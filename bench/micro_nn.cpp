@@ -1,0 +1,99 @@
+//===- bench/micro_nn.cpp - Microbenchmarks for the CNN substrate -------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark microbenchmarks for the inference path that dominates
+// every experiment: one black-box query = one batch-1 forward pass. Also
+// measures the GEMM/im2col primitives and training steps.
+//
+//===----------------------------------------------------------------------===//
+
+#include "classify/NNClassifier.h"
+#include "nn/Loss.h"
+#include "nn/ModelZoo.h"
+#include "nn/Optimizer.h"
+#include "support/Rng.h"
+#include "tensor/TensorOps.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace oppsla;
+
+namespace {
+
+void BM_Matmul(benchmark::State &State) {
+  const auto N = static_cast<size_t>(State.range(0));
+  Rng R(1);
+  const Tensor A = Tensor::randn({N, N}, R);
+  const Tensor B = Tensor::randn({N, N}, R);
+  Tensor C({N, N});
+  for (auto _ : State) {
+    matmul(A, B, C);
+    benchmark::DoNotOptimize(C.data());
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(2 * N * N * N));
+}
+BENCHMARK(BM_Matmul)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_Im2Col(benchmark::State &State) {
+  Rng R(2);
+  const Tensor In = Tensor::randn({1, 8, 32, 32}, R);
+  Tensor Cols({8 * 9, 32 * 32});
+  for (auto _ : State) {
+    im2col(In, 3, 3, 1, 1, Cols);
+    benchmark::DoNotOptimize(Cols.data());
+  }
+}
+BENCHMARK(BM_Im2Col);
+
+void BM_ForwardQuery(benchmark::State &State) {
+  const Arch A = static_cast<Arch>(State.range(0));
+  const auto Side = static_cast<size_t>(State.range(1));
+  Rng R(3);
+  auto Net = buildModel(A, 10, Side, R);
+  NNClassifier C(std::move(Net), 10, archName(A));
+  Rng IR(4);
+  Image Img(Side, Side);
+  for (float &V : Img.raw())
+    V = IR.uniformF();
+  for (auto _ : State) {
+    const std::vector<float> S = C.scores(Img);
+    benchmark::DoNotOptimize(S.data());
+  }
+  State.SetLabel(std::string(archName(A)) + "@" + std::to_string(Side));
+}
+BENCHMARK(BM_ForwardQuery)
+    ->Args({static_cast<long>(Arch::MiniVGG), 32})
+    ->Args({static_cast<long>(Arch::MiniResNet), 32})
+    ->Args({static_cast<long>(Arch::MiniGoogLeNet), 32})
+    ->Args({static_cast<long>(Arch::MiniDenseNet), 32})
+    ->Args({static_cast<long>(Arch::MiniDenseNet), 40})
+    ->Args({static_cast<long>(Arch::MiniResNet50), 40});
+
+void BM_TrainStep(benchmark::State &State) {
+  Rng R(5);
+  auto Net = buildModel(Arch::MiniVGG, 10, 32, R);
+  Sgd Opt(Net->parameters(), 0.05f);
+  CrossEntropy Loss;
+  Rng DR(6);
+  const Tensor Batch = Tensor::rand({16, 3, 32, 32}, DR);
+  std::vector<size_t> Labels(16);
+  for (size_t I = 0; I != 16; ++I)
+    Labels[I] = I % 10;
+  for (auto _ : State) {
+    Opt.zeroGrad();
+    Tensor Logits = Net->forward(Batch, /*Train=*/true);
+    Loss.forward(Logits, Labels);
+    Net->backward(Loss.backward());
+    Opt.step();
+    benchmark::DoNotOptimize(Logits.data());
+  }
+}
+BENCHMARK(BM_TrainStep);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+//===- examples/transfer_attack.cpp - Program transferability demo ------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Demonstrates the paper's transferability result (Section 5, Table 1):
+// an adversarial program synthesized against a *surrogate* classifier the
+// attacker trained themselves remains query-efficient against a different
+// *target* classifier — so the expensive synthesis queries never have to
+// hit the victim.
+//
+// Run: build/examples/transfer_attack [--source resnet] [--target vgg]
+//                                     [--scale smoke|small|paper]
+//
+//===----------------------------------------------------------------------===//
+
+#include "attacks/SketchAttack.h"
+#include "eval/Evaluation.h"
+#include "eval/Experiments.h"
+#include "support/ArgParse.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace oppsla;
+
+int main(int argc, char **argv) {
+  ArgParse Args(argc, argv);
+  const BenchScale Scale = BenchScale::preset(Args.get("scale", "smoke"));
+  const Arch Source = archFromName(Args.get("source", "MiniResNet"));
+  const Arch Target = archFromName(Args.get("target", "MiniVGG"));
+  const TaskKind Task = TaskKind::CifarLike;
+
+  std::cout << "Surrogate (synthesis): " << archName(Source)
+            << "\nTarget   (attack)   : " << archName(Target) << "\n\n";
+
+  auto Surrogate = makeScaledVictim(Task, Source, Scale);
+  auto Victim = makeScaledVictim(Task, Target, Scale);
+
+  // Programs synthesized against the surrogate only.
+  const std::vector<Program> Programs = synthesizeClassPrograms(
+      *Surrogate, victimStem(Task, Source, Scale), Task, Scale);
+
+  const Dataset Test = makeTestSet(Task, Scale);
+  Table T({"programs run against", "success rate", "avg #queries",
+           "median #queries"});
+  struct Cell {
+    const char *Name;
+    NNClassifier *C;
+  };
+  for (const Cell &Cell : {Cell{"surrogate (own classifier)",
+                                Surrogate.get()},
+                           Cell{"target (transfer)", Victim.get()}}) {
+    const auto Logs =
+        runProgramsOverSet(Programs, *Cell.C, Test, Scale.EvalQueryCap);
+    const QuerySample S = toQuerySample(Logs);
+    T.addRow({Cell.Name, Table::fmt(100.0 * S.successRate(), 1) + "%",
+              Table::fmt(S.avgQueries(), 1),
+              Table::fmt(S.medianQueries(), 1)});
+  }
+  T.print(std::cout);
+  std::cout << "\nA small increase in the transfer row's query count "
+               "(vs the surrogate row)\nis the paper's transferability "
+               "claim; success rates differ because the two\nclassifiers "
+               "have different one pixel robustness, not because of the "
+               "programs.\n";
+  return 0;
+}

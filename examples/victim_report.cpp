@@ -1,0 +1,130 @@
+//===- examples/victim_report.cpp - Victim vulnerability report -------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Diagnoses a victim classifier the way an attacker would: test accuracy,
+// confidence-margin distribution, and the fraction of test images that
+// admit *any* one pixel adversarial example in the RGB-corner space
+// (measured by exhaustively running the fixed-prioritization sketch).
+//
+// Run: build/examples/victim_report [--scale smoke|small|paper]
+//                                   [--arch vgg|resnet|googlenet|densenet]
+//                                   [--task cifar|imagenet] [--images N]
+//
+//===----------------------------------------------------------------------===//
+
+#include "attacks/SketchAttack.h"
+#include "eval/Evaluation.h"
+#include "eval/Experiments.h"
+#include "attacks/Attack.h"
+#include "support/ArgParse.h"
+#include "support/Stats.h"
+
+#include <cmath>
+#include <iostream>
+
+using namespace oppsla;
+
+int main(int argc, char **argv) {
+  ArgParse Args(argc, argv);
+  const BenchScale Scale = BenchScale::preset(Args.get("scale", "small"));
+  const Arch A = archFromName(Args.get("arch", "vgg") == "vgg"
+                                  ? "MiniVGG"
+                                  : Args.get("arch", "vgg"));
+  const TaskKind Task = Args.get("task", "cifar") == "imagenet"
+                            ? TaskKind::ImageNetLike
+                            : TaskKind::CifarLike;
+
+  auto Victim = makeScaledVictim(Task, A, Scale);
+  Dataset Test = makeTestSet(Task, Scale);
+  const size_t MaxImages =
+      static_cast<size_t>(Args.getInt("images", 40));
+  if (Test.size() > MaxImages) {
+    Test.Images.resize(MaxImages);
+    Test.Labels.resize(MaxImages);
+  }
+
+  // Accuracy and margins.
+  size_t Correct = 0;
+  RunningStat Margin;
+  for (size_t I = 0; I != Test.size(); ++I) {
+    const std::vector<float> S = Victim->scores(Test.Images[I]);
+    if (argmaxScore(S) == Test.Labels[I]) {
+      ++Correct;
+      double BestOther = 0.0;
+      for (size_t J = 0; J != S.size(); ++J)
+        if (J != Test.Labels[I])
+          BestOther = std::max(BestOther, static_cast<double>(S[J]));
+      Margin.addTracked(S[Test.Labels[I]] - BestOther);
+    }
+  }
+  std::cout << "victim: " << Victim->name() << "\n"
+            << "test accuracy: "
+            << 100.0 * static_cast<double>(Correct) /
+                   static_cast<double>(Test.size())
+            << "% over " << Test.size() << " images\n"
+            << "confidence margin (correct images): mean=" << Margin.mean()
+            << " min=" << Margin.min() << " max=" << Margin.max() << "\n";
+
+  // One pixel leverage: how far can a single corner pixel move the margin,
+  // in probability space and in logit (log-prob) space? An attack flips
+  // the argmax iff the logit-margin leverage exceeds the clean logit
+  // margin.
+  {
+    auto LogitMargin = [](const std::vector<float> &S, size_t True) {
+      double BestOther = 0.0;
+      for (size_t J = 0; J != S.size(); ++J)
+        if (J != True)
+          BestOther = std::max(BestOther, static_cast<double>(S[J]));
+      return std::log(std::max(1e-12, static_cast<double>(S[True]))) -
+             std::log(std::max(1e-12, BestOther));
+    };
+    RunningStat Leverage, LogitLeverage, CleanLogit;
+    const size_t Probe = std::min<size_t>(Test.size(), 8);
+    for (size_t I = 0; I != Probe; ++I) {
+      const Image &X = Test.Images[I];
+      const std::vector<float> S0 = Victim->scores(X);
+      if (argmaxScore(S0) != Test.Labels[I])
+        continue;
+      const double M0 = untargetedMargin(S0, Test.Labels[I]);
+      const double L0 = LogitMargin(S0, Test.Labels[I]);
+      CleanLogit.addTracked(L0);
+      double MinMargin = M0, MinLogit = L0;
+      const PairSpace Space(X);
+      for (size_t T = 0; T != 400; ++T) {
+        // Deterministic stride through the pair space.
+        const PairId Id =
+            static_cast<PairId>((T * 1315423911ULL) % Space.size());
+        const LocPert LP = Space.pairOf(Id);
+        Image Xp = X.withPixel(LP.Loc.Row, LP.Loc.Col, LP.perturbation());
+        const std::vector<float> S = Victim->scores(Xp);
+        MinMargin = std::min(MinMargin,
+                             untargetedMargin(S, Test.Labels[I]));
+        MinLogit = std::min(MinLogit, LogitMargin(S, Test.Labels[I]));
+      }
+      Leverage.addTracked(M0 - MinMargin);
+      LogitLeverage.addTracked(L0 - MinLogit);
+    }
+    std::cout << "one pixel margin leverage (400-pair sample): mean="
+              << Leverage.mean() << " max=" << Leverage.max() << "\n"
+              << "one pixel logit leverage: mean=" << LogitLeverage.mean()
+              << " max=" << LogitLeverage.max()
+              << " | clean logit margin: mean=" << CleanLogit.mean()
+              << " min=" << CleanLogit.min() << "\n";
+  }
+
+  // Exhaustive one pixel vulnerability (unlimited budget).
+  SketchAttack Exhaustive(allFalseProgram(), "exhaustive");
+  const auto Logs = runAttackOverSet(Exhaustive, *Victim, Test,
+                                     Attack::Unlimited);
+  const QuerySample Sample = toQuerySample(Logs);
+  std::cout << "one pixel vulnerable: "
+            << 100.0 * Sample.successRate() << "% of "
+            << Sample.numAttacks() << " correctly-classified images\n"
+            << "queries to find (fixed prioritization): avg="
+            << Sample.avgQueries() << " median=" << Sample.medianQueries()
+            << "\n";
+  return 0;
+}

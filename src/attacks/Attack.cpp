@@ -1,0 +1,25 @@
+//===- attacks/Attack.cpp - Black-box attack interface -----------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "attacks/Attack.h"
+
+#include <cassert>
+
+using namespace oppsla;
+
+Attack::~Attack() = default;
+
+double oppsla::untargetedMargin(const std::vector<float> &Scores,
+                                size_t TrueClass) {
+  assert(TrueClass < Scores.size() && "true class out of range");
+  double BestOther = -1.0;
+  for (size_t I = 0; I != Scores.size(); ++I) {
+    if (I == TrueClass)
+      continue;
+    BestOther = std::max(BestOther, static_cast<double>(Scores[I]));
+  }
+  return static_cast<double>(Scores[TrueClass]) - BestOther;
+}

@@ -1,0 +1,68 @@
+//===- attacks/Attack.h - Black-box attack interface ------------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Common interface for all one pixel attacks compared in the paper's
+/// evaluation: OPPSLA's adversarial programs (SketchAttack), Sparse-RS
+/// (query-minimizing random search) and SuOPA (Su et al.'s differential
+/// evolution). Attacks are stateful only through their RNG; attack() may be
+/// called repeatedly on different images.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_ATTACKS_ATTACK_H
+#define OPPSLA_ATTACKS_ATTACK_H
+
+#include "classify/Classifier.h"
+#include "core/Pair.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace oppsla {
+
+/// Outcome of one attack on one image.
+struct AttackResult {
+  bool Success = false;
+  /// Queries posed to the classifier (including any initial clean-image
+  /// query the attack makes).
+  uint64_t Queries = 0;
+  /// Perturbed pixel location (valid when Success).
+  PixelLoc Loc;
+  /// Perturbation value written at Loc (valid when Success). Corner-based
+  /// attacks always use an RGB-cube corner; SuOPA may use any value.
+  Pixel Perturbation;
+  /// The clean image was already misclassified; counted as neither success
+  /// nor failure by the evaluation harness.
+  bool AlreadyMisclassified = false;
+};
+
+/// Abstract black-box one pixel attack.
+class Attack {
+public:
+  static constexpr uint64_t Unlimited =
+      std::numeric_limits<uint64_t>::max();
+
+  virtual ~Attack();
+
+  /// Attacks \p X (true class \p TrueClass) against \p N with at most
+  /// \p QueryBudget queries.
+  virtual AttackResult attack(Classifier &N, const Image &X,
+                              size_t TrueClass,
+                              uint64_t QueryBudget = Unlimited) = 0;
+
+  /// Display name used in tables ("OPPSLA", "Sparse-RS", "SuOPA", ...).
+  virtual std::string name() const = 0;
+};
+
+/// Untargeted margin: f_{cx}(x) - max_{j != cx} f_j(x). Negative iff the
+/// image is misclassified; both baselines minimize it.
+double untargetedMargin(const std::vector<float> &Scores, size_t TrueClass);
+
+} // namespace oppsla
+
+#endif // OPPSLA_ATTACKS_ATTACK_H

@@ -1,0 +1,151 @@
+//===- attacks/KPixelRS.cpp - Few pixel random search extension ---------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "attacks/KPixelRS.h"
+
+#include "classify/QueryCounter.h"
+
+#include <algorithm>
+
+using namespace oppsla;
+
+namespace {
+
+/// Applies a pixel set to a scratch image and undoes it afterwards.
+class ScopedApply {
+public:
+  ScopedApply(Image &Scratch, const Image &Clean,
+              const std::vector<LocPert> &Pixels)
+      : Scratch(Scratch), Clean(Clean), Pixels(Pixels) {
+    for (const LocPert &P : Pixels)
+      Scratch.setPixel(P.Loc.Row, P.Loc.Col, P.perturbation());
+  }
+  ~ScopedApply() {
+    for (const LocPert &P : Pixels)
+      Scratch.setPixel(P.Loc.Row, P.Loc.Col,
+                       Clean.pixel(P.Loc.Row, P.Loc.Col));
+  }
+  ScopedApply(const ScopedApply &) = delete;
+  ScopedApply &operator=(const ScopedApply &) = delete;
+
+private:
+  Image &Scratch;
+  const Image &Clean;
+  const std::vector<LocPert> &Pixels;
+};
+
+bool containsLoc(const std::vector<LocPert> &Pixels, const PixelLoc &L,
+                 size_t SkipIndex) {
+  for (size_t I = 0; I != Pixels.size(); ++I)
+    if (I != SkipIndex && Pixels[I].Loc == L)
+      return true;
+  return false;
+}
+
+} // namespace
+
+AttackResult KPixelRS::attack(Classifier &N, const Image &X,
+                              size_t TrueClass, uint64_t QueryBudget) {
+  return attackDetailed(N, X, TrueClass, QueryBudget).Base;
+}
+
+KPixelResult KPixelRS::attackDetailed(Classifier &N, const Image &X,
+                                      size_t TrueClass,
+                                      uint64_t QueryBudget) {
+  QueryCounter Q(N, QueryBudget);
+  KPixelResult Out;
+  const size_t H = X.height(), W = X.width();
+  const size_t K = std::min(Config.K, H * W);
+
+  auto Finish = [&]() {
+    Out.Base.Queries = Q.count();
+    return Out;
+  };
+
+  {
+    const std::vector<float> S = Q.scores(X);
+    if (S.empty())
+      return Finish();
+    if (argmaxScore(S) != TrueClass) {
+      Out.Base.Success = true;
+      Out.Base.AlreadyMisclassified = true;
+      return Finish();
+    }
+  }
+
+  auto RandomPixel = [&](const std::vector<LocPert> &Existing,
+                         size_t SkipIndex) {
+    LocPert P;
+    do {
+      P.Loc = PixelLoc{static_cast<uint16_t>(R.index(H)),
+                       static_cast<uint16_t>(R.index(W))};
+    } while (containsLoc(Existing, P.Loc, SkipIndex));
+    P.Corner = static_cast<CornerIdx>(R.index(NumCorners));
+    return P;
+  };
+
+  // Initial pixel set: K distinct random locations with random corners.
+  std::vector<LocPert> Current;
+  Current.reserve(K);
+  for (size_t I = 0; I != K; ++I)
+    Current.push_back(RandomPixel(Current, Current.size()));
+
+  Image Scratch = X;
+  auto Evaluate = [&](const std::vector<LocPert> &Pixels,
+                      double &MarginOut) {
+    ScopedApply Apply(Scratch, X, Pixels);
+    const std::vector<float> S = Q.scores(Scratch);
+    if (S.empty())
+      return false;
+    MarginOut = untargetedMargin(S, TrueClass);
+    if (MarginOut < 0.0) {
+      Out.Base.Success = true;
+      Out.Base.Loc = Pixels.front().Loc;
+      Out.Base.Perturbation = Pixels.front().perturbation();
+      Out.Pixels = Pixels;
+    }
+    return true;
+  };
+
+  double Margin = 0.0;
+  if (!Evaluate(Current, Margin) || Out.Base.Success)
+    return Finish();
+
+  for (uint64_t Iter = 0; !Q.exhausted(); ++Iter) {
+    // Alpha schedule: resample many pixels early, few late.
+    const double Progress =
+        std::min(1.0, static_cast<double>(Iter) /
+                          static_cast<double>(Config.ScheduleHorizon));
+    const double Fraction =
+        std::max(Config.MinResampleFraction, 1.0 - Progress);
+    const size_t Moves = std::max<size_t>(
+        1, static_cast<size_t>(Fraction * static_cast<double>(K)));
+
+    std::vector<LocPert> Candidate = Current;
+    for (size_t M = 0; M != Moves; ++M) {
+      const size_t Idx = R.index(K);
+      if (R.chance(0.5)) {
+        Candidate[Idx] = RandomPixel(Candidate, Idx);
+      } else {
+        // Color-only move.
+        Candidate[Idx].Corner = static_cast<CornerIdx>(
+            (Candidate[Idx].Corner + 1 + R.index(NumCorners - 1)) %
+            NumCorners);
+      }
+    }
+
+    double CandMargin = 0.0;
+    if (!Evaluate(Candidate, CandMargin))
+      return Finish();
+    if (Out.Base.Success)
+      return Finish();
+    if (CandMargin <= Margin) {
+      Current = std::move(Candidate);
+      Margin = CandMargin;
+    }
+  }
+  return Finish();
+}

@@ -1,0 +1,59 @@
+//===- attacks/RandomPairSearch.cpp - Naive random baseline ------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "attacks/RandomPairSearch.h"
+
+#include "classify/QueryCounter.h"
+
+#include <numeric>
+
+using namespace oppsla;
+
+AttackResult RandomPairSearch::attack(Classifier &N, const Image &X,
+                                      size_t TrueClass,
+                                      uint64_t QueryBudget) {
+  QueryCounter Q(N, QueryBudget);
+  AttackResult Out;
+
+  auto Finish = [&]() {
+    Out.Queries = Q.count();
+    return Out;
+  };
+
+  {
+    const std::vector<float> S = Q.scores(X);
+    if (S.empty())
+      return Finish();
+    if (argmaxScore(S) != TrueClass) {
+      Out.Success = true;
+      Out.AlreadyMisclassified = true;
+      return Finish();
+    }
+  }
+
+  const PairSpace Space(X);
+  std::vector<PairId> Order(Space.size());
+  std::iota(Order.begin(), Order.end(), 0u);
+  R.shuffle(Order);
+
+  Image Scratch = X;
+  for (PairId Id : Order) {
+    const LocPert LP = Space.pairOf(Id);
+    const Pixel Orig = X.pixel(LP.Loc.Row, LP.Loc.Col);
+    Scratch.setPixel(LP.Loc.Row, LP.Loc.Col, LP.perturbation());
+    const std::vector<float> S = Q.scores(Scratch);
+    Scratch.setPixel(LP.Loc.Row, LP.Loc.Col, Orig);
+    if (S.empty())
+      return Finish();
+    if (argmaxScore(S) != TrueClass) {
+      Out.Success = true;
+      Out.Loc = LP.Loc;
+      Out.Perturbation = LP.perturbation();
+      return Finish();
+    }
+  }
+  return Finish();
+}

@@ -1,0 +1,34 @@
+//===- attacks/RandomPairSearch.h - Naive random baseline -------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_ATTACKS_RANDOMPAIRSEARCH_H
+#define OPPSLA_ATTACKS_RANDOMPAIRSEARCH_H
+
+#include "attacks/Attack.h"
+#include "support/Rng.h"
+
+namespace oppsla {
+
+/// The weakest sensible baseline: enumerate the corner pair space in a
+/// uniformly random order (without replacement) until a query succeeds.
+/// Equivalent to the sketch with a random fixed prioritization and all
+/// conditions false; useful as a sanity floor in ablations.
+class RandomPairSearch : public Attack {
+public:
+  explicit RandomPairSearch(uint64_t Seed = 0x9a9dULL) : R(Seed) {}
+
+  AttackResult attack(Classifier &N, const Image &X, size_t TrueClass,
+                      uint64_t QueryBudget) override;
+
+  std::string name() const override { return "RandomPairs"; }
+
+private:
+  Rng R;
+};
+
+} // namespace oppsla
+
+#endif // OPPSLA_ATTACKS_RANDOMPAIRSEARCH_H

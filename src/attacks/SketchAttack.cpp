@@ -1,0 +1,21 @@
+//===- attacks/SketchAttack.cpp - Program-driven attack ----------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "attacks/SketchAttack.h"
+
+using namespace oppsla;
+
+AttackResult SketchAttack::attack(Classifier &N, const Image &X,
+                                  size_t TrueClass, uint64_t QueryBudget) {
+  const SketchResult R = Sk.run(N, X, TrueClass, QueryBudget);
+  AttackResult Out;
+  Out.Success = R.Success;
+  Out.Queries = R.Queries;
+  Out.Loc = R.Adversarial.Loc;
+  Out.Perturbation = R.Adversarial.perturbation();
+  Out.AlreadyMisclassified = R.AlreadyMisclassified;
+  return Out;
+}

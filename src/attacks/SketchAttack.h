@@ -1,0 +1,36 @@
+//===- attacks/SketchAttack.h - Program-driven attack -----------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_ATTACKS_SKETCHATTACK_H
+#define OPPSLA_ATTACKS_SKETCHATTACK_H
+
+#include "attacks/Attack.h"
+#include "core/Sketch.h"
+
+namespace oppsla {
+
+/// Adapts an adversarial program (a sketch instantiation) to the Attack
+/// interface. This is what "OPPSLA" denotes in the evaluation tables —
+/// the program itself was produced offline by the synthesizer.
+class SketchAttack : public Attack {
+public:
+  explicit SketchAttack(Program P, std::string DisplayName = "OPPSLA")
+      : Sk(std::move(P)), DisplayName(std::move(DisplayName)) {}
+
+  AttackResult attack(Classifier &N, const Image &X, size_t TrueClass,
+                      uint64_t QueryBudget) override;
+
+  std::string name() const override { return DisplayName; }
+  const Program &program() const { return Sk.program(); }
+
+private:
+  Sketch Sk;
+  std::string DisplayName;
+};
+
+} // namespace oppsla
+
+#endif // OPPSLA_ATTACKS_SKETCHATTACK_H

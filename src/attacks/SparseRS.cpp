@@ -1,0 +1,108 @@
+//===- attacks/SparseRS.cpp - Sparse-RS one pixel baseline -------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "attacks/SparseRS.h"
+
+#include "classify/QueryCounter.h"
+
+using namespace oppsla;
+
+AttackResult SparseRS::attack(Classifier &N, const Image &X,
+                              size_t TrueClass, uint64_t QueryBudget) {
+  QueryCounter Q(N, QueryBudget);
+  AttackResult Out;
+  const size_t H = X.height(), W = X.width();
+
+  auto Finish = [&]() {
+    Out.Queries = Q.count();
+    return Out;
+  };
+
+  // Clean-image margin (also detects already-misclassified inputs).
+  {
+    const std::vector<float> S = Q.scores(X);
+    if (S.empty())
+      return Finish();
+    if (argmaxScore(S) != TrueClass) {
+      Out.Success = true;
+      Out.AlreadyMisclassified = true;
+      return Finish();
+    }
+  }
+
+  auto RandomLoc = [&]() {
+    return PixelLoc{static_cast<uint16_t>(R.index(H)),
+                    static_cast<uint16_t>(R.index(W))};
+  };
+  auto RandomCorner = [&]() {
+    return static_cast<CornerIdx>(R.index(NumCorners));
+  };
+
+  // Current state: one (location, corner) candidate and its margin.
+  PixelLoc Loc = RandomLoc();
+  CornerIdx Corner = RandomCorner();
+  Image Scratch = X;
+
+  auto Evaluate = [&](const PixelLoc &L, CornerIdx C, double &MarginOut) {
+    const Pixel Orig = X.pixel(L.Row, L.Col);
+    Scratch.setPixel(L.Row, L.Col, cornerPixel(C));
+    const std::vector<float> S = Q.scores(Scratch);
+    Scratch.setPixel(L.Row, L.Col, Orig);
+    if (S.empty())
+      return false; // budget exhausted
+    MarginOut = untargetedMargin(S, TrueClass);
+    return true;
+  };
+
+  double Margin = 0.0;
+  if (!Evaluate(Loc, Corner, Margin))
+    return Finish();
+  if (Margin < 0.0) {
+    Out.Success = true;
+    Out.Loc = Loc;
+    Out.Perturbation = cornerPixel(Corner);
+    return Finish();
+  }
+
+  for (uint64_t Iter = 0; !Q.exhausted(); ++Iter) {
+    // Alpha schedule: early iterations explore new locations aggressively;
+    // later ones mostly flip the color at the current location, mirroring
+    // Sparse-RS's decreasing resampling fraction.
+    const double Progress =
+        std::min(1.0, static_cast<double>(Iter) /
+                          static_cast<double>(Config.ScheduleHorizon));
+    const double LocProb =
+        std::max(Config.MinLocationProb, 1.0 - Progress);
+
+    PixelLoc CandLoc = Loc;
+    CornerIdx CandCorner = Corner;
+    if (R.chance(LocProb)) {
+      CandLoc = RandomLoc();
+      CandCorner = RandomCorner();
+    } else {
+      // Color move: a different corner at the current location.
+      CandCorner = static_cast<CornerIdx>(
+          (Corner + 1 + R.index(NumCorners - 1)) % NumCorners);
+    }
+
+    double CandMargin = 0.0;
+    if (!Evaluate(CandLoc, CandCorner, CandMargin))
+      return Finish();
+    if (CandMargin < 0.0) {
+      Out.Success = true;
+      Out.Loc = CandLoc;
+      Out.Perturbation = cornerPixel(CandCorner);
+      return Finish();
+    }
+    // Random-search acceptance: keep the candidate if it does not lose.
+    if (CandMargin <= Margin) {
+      Loc = CandLoc;
+      Corner = CandCorner;
+      Margin = CandMargin;
+    }
+  }
+  return Finish();
+}

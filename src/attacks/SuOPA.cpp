@@ -1,0 +1,129 @@
+//===- attacks/SuOPA.cpp - Su et al. one pixel attack (DE) -------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "attacks/SuOPA.h"
+
+#include "classify/QueryCounter.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace oppsla;
+
+namespace {
+
+/// One DE individual: a candidate one pixel perturbation.
+struct Individual {
+  double Row, Col;    ///< continuous; rounded and clipped on application
+  double Rc, Gc, Bc;  ///< color channels
+  double Fitness;     ///< true-class confidence (lower is better)
+};
+
+} // namespace
+
+AttackResult SuOPA::attack(Classifier &N, const Image &X, size_t TrueClass,
+                           uint64_t QueryBudget) {
+  QueryCounter Q(N, QueryBudget);
+  AttackResult Out;
+  const size_t H = X.height(), W = X.width();
+
+  auto Finish = [&]() {
+    Out.Queries = Q.count();
+    return Out;
+  };
+
+  {
+    const std::vector<float> S = Q.scores(X);
+    if (S.empty())
+      return Finish();
+    if (argmaxScore(S) != TrueClass) {
+      Out.Success = true;
+      Out.AlreadyMisclassified = true;
+      return Finish();
+    }
+  }
+
+  Image Scratch = X;
+  auto Apply = [&](const Individual &Ind, PixelLoc &LocOut, Pixel &PixOut) {
+    const auto Row = static_cast<uint16_t>(std::clamp<long>(
+        std::lround(Ind.Row), 0, static_cast<long>(H) - 1));
+    const auto Col = static_cast<uint16_t>(std::clamp<long>(
+        std::lround(Ind.Col), 0, static_cast<long>(W) - 1));
+    LocOut = PixelLoc{Row, Col};
+    PixOut = Pixel{std::clamp(static_cast<float>(Ind.Rc), 0.0f, 1.0f),
+                   std::clamp(static_cast<float>(Ind.Gc), 0.0f, 1.0f),
+                   std::clamp(static_cast<float>(Ind.Bc), 0.0f, 1.0f)};
+  };
+
+  // Returns false when the budget ran out; sets Success on misclassify.
+  auto Evaluate = [&](Individual &Ind) {
+    PixelLoc Loc;
+    Pixel Pix;
+    Apply(Ind, Loc, Pix);
+    const Pixel Orig = X.pixel(Loc.Row, Loc.Col);
+    Scratch.setPixel(Loc.Row, Loc.Col, Pix);
+    const std::vector<float> S = Q.scores(Scratch);
+    Scratch.setPixel(Loc.Row, Loc.Col, Orig);
+    if (S.empty())
+      return false;
+    Ind.Fitness = S[TrueClass];
+    if (argmaxScore(S) != TrueClass) {
+      Out.Success = true;
+      Out.Loc = Loc;
+      Out.Perturbation = Pix;
+    }
+    return true;
+  };
+
+  // Initial population: positions uniform, colors gaussian around mid-gray
+  // (Su et al.'s initialization).
+  std::vector<Individual> Pop(Config.PopulationSize);
+  for (Individual &Ind : Pop) {
+    Ind.Row = R.uniform(0.0, static_cast<double>(H));
+    Ind.Col = R.uniform(0.0, static_cast<double>(W));
+    Ind.Rc = R.normal(0.5, 0.25);
+    Ind.Gc = R.normal(0.5, 0.25);
+    Ind.Bc = R.normal(0.5, 0.25);
+    if (!Evaluate(Ind))
+      return Finish();
+    if (Out.Success)
+      return Finish();
+  }
+
+  const size_t P = Pop.size();
+  for (size_t Gen = 0; Gen != Config.MaxGenerations; ++Gen) {
+    for (size_t I = 0; I != P; ++I) {
+      // DE/rand/1: mutant = a + F * (b - c), three distinct members != I.
+      size_t A, B, C;
+      do
+        A = R.index(P);
+      while (A == I);
+      do
+        B = R.index(P);
+      while (B == I || B == A);
+      do
+        C = R.index(P);
+      while (C == I || C == A || C == B);
+
+      Individual Mut;
+      Mut.Row = Pop[A].Row + Config.F * (Pop[B].Row - Pop[C].Row);
+      Mut.Col = Pop[A].Col + Config.F * (Pop[B].Col - Pop[C].Col);
+      Mut.Rc = Pop[A].Rc + Config.F * (Pop[B].Rc - Pop[C].Rc);
+      Mut.Gc = Pop[A].Gc + Config.F * (Pop[B].Gc - Pop[C].Gc);
+      Mut.Bc = Pop[A].Bc + Config.F * (Pop[B].Bc - Pop[C].Bc);
+      Mut.Row = std::clamp(Mut.Row, 0.0, static_cast<double>(H - 1));
+      Mut.Col = std::clamp(Mut.Col, 0.0, static_cast<double>(W - 1));
+
+      if (!Evaluate(Mut))
+        return Finish();
+      if (Out.Success)
+        return Finish();
+      if (Mut.Fitness <= Pop[I].Fitness)
+        Pop[I] = Mut;
+    }
+  }
+  return Finish();
+}

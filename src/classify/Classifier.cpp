@@ -1,0 +1,26 @@
+//===- classify/Classifier.cpp - Black-box classifier interface --------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "classify/Classifier.h"
+
+#include <cassert>
+
+using namespace oppsla;
+
+Classifier::~Classifier() = default;
+
+size_t Classifier::predict(const Image &Img) {
+  return argmaxScore(scores(Img));
+}
+
+size_t oppsla::argmaxScore(const std::vector<float> &Scores) {
+  assert(!Scores.empty() && "argmax of empty score vector");
+  size_t Best = 0;
+  for (size_t I = 1; I != Scores.size(); ++I)
+    if (Scores[I] > Scores[Best])
+      Best = I;
+  return Best;
+}

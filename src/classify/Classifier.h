@@ -1,0 +1,45 @@
+//===- classify/Classifier.h - Black-box classifier interface ---*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The black-box classifier interface the attacks query. Matches the
+/// paper's threat model: the attacker can only submit images and observe
+/// the output score vector N(x) (here: softmax probabilities), never
+/// gradients or weights.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_CLASSIFY_CLASSIFIER_H
+#define OPPSLA_CLASSIFY_CLASSIFIER_H
+
+#include "data/Image.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace oppsla {
+
+/// Abstract black-box image classifier.
+class Classifier {
+public:
+  virtual ~Classifier();
+
+  /// Returns the score vector N(x); size equals numClasses().
+  virtual std::vector<float> scores(const Image &Img) = 0;
+
+  /// Number of classes in the score vector.
+  virtual size_t numClasses() const = 0;
+
+  /// argmax(N(x)).
+  size_t predict(const Image &Img);
+};
+
+/// Returns the argmax index of \p Scores; asserts non-empty.
+size_t argmaxScore(const std::vector<float> &Scores);
+
+} // namespace oppsla
+
+#endif // OPPSLA_CLASSIFY_CLASSIFIER_H

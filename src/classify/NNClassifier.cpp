@@ -1,0 +1,30 @@
+//===- classify/NNClassifier.cpp - nn::Sequential adapter --------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "classify/NNClassifier.h"
+
+#include "tensor/TensorOps.h"
+
+using namespace oppsla;
+
+NNClassifier::NNClassifier(std::unique_ptr<Sequential> Model,
+                           size_t NumClasses, std::string Name)
+    : Model(std::move(Model)), Classes(NumClasses),
+      ModelName(std::move(Name)) {
+  assert(this->Model && "null model");
+}
+
+std::vector<float> NNClassifier::scores(const Image &Img) {
+  if (InputScratch.rank() != 4 || InputScratch.dim(2) != Img.height() ||
+      InputScratch.dim(3) != Img.width())
+    InputScratch = Tensor({1, 3, Img.height(), Img.width()});
+  Img.writeToTensor(InputScratch);
+  Tensor Logits = Model->forward(InputScratch, /*Train=*/false);
+  assert(Logits.numel() == Classes && "model output size mismatch");
+  Tensor Probs = Logits.reshaped({Classes});
+  softmaxInPlace(Probs);
+  return Probs.vec();
+}

@@ -1,0 +1,43 @@
+//===- classify/NNClassifier.h - nn::Sequential adapter ---------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_CLASSIFY_NNCLASSIFIER_H
+#define OPPSLA_CLASSIFY_NNCLASSIFIER_H
+
+#include "classify/Classifier.h"
+#include "nn/Sequential.h"
+
+#include <memory>
+#include <string>
+
+namespace oppsla {
+
+/// Adapts a trained Sequential CNN to the black-box Classifier interface.
+/// Runs inference mode (running batchnorm statistics, no dropout) and
+/// returns softmax probabilities, so the DSL's score_diff thresholds live
+/// in [0,1] like the paper's example program.
+class NNClassifier : public Classifier {
+public:
+  /// Takes ownership of \p Model. \p Name is used in logs and tables.
+  NNClassifier(std::unique_ptr<Sequential> Model, size_t NumClasses,
+               std::string Name);
+
+  std::vector<float> scores(const Image &Img) override;
+  size_t numClasses() const override { return Classes; }
+
+  const std::string &name() const { return ModelName; }
+  Sequential &model() { return *Model; }
+
+private:
+  std::unique_ptr<Sequential> Model;
+  size_t Classes;
+  std::string ModelName;
+  Tensor InputScratch; ///< reused {1,3,H,W} buffer
+};
+
+} // namespace oppsla
+
+#endif // OPPSLA_CLASSIFY_NNCLASSIFIER_H

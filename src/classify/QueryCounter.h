@@ -1,0 +1,71 @@
+//===- classify/QueryCounter.h - Query accounting wrapper -------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Query accounting is the paper's central metric: every attack is scored
+/// by how many times it submits an image to the classifier. QueryCounter
+/// wraps any Classifier, counts every scores() call, and optionally
+/// enforces a hard budget. Exceeding the budget makes exhausted() true and
+/// subsequent calls return an empty vector, which attack loops treat as
+/// "stop, attack failed".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_CLASSIFY_QUERYCOUNTER_H
+#define OPPSLA_CLASSIFY_QUERYCOUNTER_H
+
+#include "classify/Classifier.h"
+
+#include <cstdint>
+#include <limits>
+
+namespace oppsla {
+
+/// Counting / budget-enforcing classifier decorator.
+class QueryCounter : public Classifier {
+public:
+  static constexpr uint64_t Unlimited =
+      std::numeric_limits<uint64_t>::max();
+
+  /// Wraps \p Inner (not owned) with a per-lifetime \p Budget.
+  explicit QueryCounter(Classifier &Inner, uint64_t Budget = Unlimited)
+      : Inner(Inner), Budget(Budget) {}
+
+  std::vector<float> scores(const Image &Img) override {
+    if (Count >= Budget) {
+      Exhausted = true;
+      return {};
+    }
+    ++Count;
+    return Inner.scores(Img);
+  }
+
+  size_t numClasses() const override { return Inner.numClasses(); }
+
+  uint64_t count() const { return Count; }
+  uint64_t budget() const { return Budget; }
+  bool exhausted() const { return Exhausted; }
+  uint64_t remaining() const { return Budget - Count; }
+
+  /// Resets the counter (and exhaustion) for a fresh attack; optionally
+  /// installs a new budget.
+  void reset(uint64_t NewBudget) {
+    Count = 0;
+    Exhausted = false;
+    Budget = NewBudget;
+  }
+  void reset() { reset(Budget); }
+
+private:
+  Classifier &Inner;
+  uint64_t Budget;
+  uint64_t Count = 0;
+  bool Exhausted = false;
+};
+
+} // namespace oppsla
+
+#endif // OPPSLA_CLASSIFY_QUERYCOUNTER_H

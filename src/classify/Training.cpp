@@ -1,0 +1,151 @@
+//===- classify/Training.cpp - Victim classifier training --------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "classify/Training.h"
+
+#include "nn/Loss.h"
+#include "nn/Optimizer.h"
+#include "nn/Serialize.h"
+#include "support/Logging.h"
+#include "support/Rng.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <numeric>
+#include <sstream>
+
+using namespace oppsla;
+
+TrainResult oppsla::trainClassifier(Sequential &Model, const Dataset &Data,
+                                    const TrainConfig &Config, Rng &R) {
+  assert(Data.size() > 0 && "empty training set");
+  const size_t N = Data.size();
+  const size_t H = Data.Images.front().height();
+  const size_t W = Data.Images.front().width();
+
+  Sgd Opt(Model.parameters(), Config.Lr, Config.Momentum,
+          Config.WeightDecay);
+  CrossEntropy Loss(Config.LabelSmoothing);
+
+  std::vector<size_t> Order(N);
+  std::iota(Order.begin(), Order.end(), 0);
+
+  TrainResult Result;
+  for (size_t Epoch = 0; Epoch != Config.Epochs; ++Epoch) {
+    R.shuffle(Order);
+    double EpochLoss = 0.0;
+    size_t EpochCorrect = 0, Batches = 0;
+    for (size_t Start = 0; Start < N; Start += Config.BatchSize) {
+      const size_t B = std::min(Config.BatchSize, N - Start);
+      Tensor Batch({B, 3, H, W});
+      std::vector<size_t> Labels(B);
+      for (size_t I = 0; I != B; ++I) {
+        const Image &Stored = Data.Images[Order[Start + I]];
+        assert(Stored.height() == H && Stored.width() == W &&
+               "mixed image sizes in one dataset");
+        Image AugBuf;
+        if (Config.UseAugment)
+          AugBuf = augment(Stored, Config.Augment, R);
+        const Image &Img = Config.UseAugment ? AugBuf : Stored;
+        // Write image I into the batch.
+        const size_t Plane = H * W;
+        float *Dst = Batch.data() + I * 3 * Plane;
+        const std::vector<float> &Raw = Img.raw();
+        for (size_t P = 0; P != Plane; ++P) {
+          Dst[P] = Raw[P * 3 + 0];
+          Dst[Plane + P] = Raw[P * 3 + 1];
+          Dst[2 * Plane + P] = Raw[P * 3 + 2];
+        }
+        Labels[I] = Data.Labels[Order[Start + I]];
+      }
+
+      Opt.zeroGrad();
+      Tensor Logits = Model.forward(Batch, /*Train=*/true);
+      EpochLoss += Loss.forward(Logits, Labels);
+      EpochCorrect += Loss.numCorrect();
+      Model.backward(Loss.backward());
+      Opt.step();
+      ++Batches;
+    }
+    Result.FinalLoss = static_cast<float>(EpochLoss /
+                                          static_cast<double>(Batches));
+    Result.TrainAccuracy =
+        static_cast<float>(EpochCorrect) / static_cast<float>(N);
+    Opt.setLr(Opt.lr() * Config.LrDecay);
+    logDebug() << "epoch " << (Epoch + 1) << "/" << Config.Epochs
+               << " loss=" << Result.FinalLoss
+               << " acc=" << Result.TrainAccuracy;
+  }
+  return Result;
+}
+
+float oppsla::evalAccuracy(Sequential &Model, const Dataset &Data) {
+  if (Data.size() == 0)
+    return 0.0f;
+  size_t Correct = 0;
+  for (size_t I = 0; I != Data.size(); ++I) {
+    Tensor In = Data.Images[I].toTensor();
+    Tensor Logits = Model.forward(In, /*Train=*/false);
+    if (Logits.argmax() == Data.Labels[I])
+      ++Correct;
+  }
+  return static_cast<float>(Correct) / static_cast<float>(Data.size());
+}
+
+std::string VictimSpec::cacheStem() const {
+  std::ostringstream OS;
+  OS << taskName(Task) << "_" << archName(Architecture) << "_s" << Seed
+     << "_n" << TrainImagesPerClass << "_c" << NumClasses << "_e"
+     << Train.Epochs << "_d" << (Side ? Side : taskDefaultSide(Task));
+  if (Train.UseAugment)
+    OS << "_aug" << Train.Augment.CutoutPatch;
+  return OS.str();
+}
+
+namespace {
+
+std::string cacheDir() {
+  if (const char *Env = std::getenv("OPPSLA_CACHE_DIR"))
+    return Env;
+  return ".oppsla-cache";
+}
+
+} // namespace
+
+std::unique_ptr<NNClassifier> oppsla::makeVictim(const VictimSpec &Spec,
+                                                 bool CacheEnabled) {
+  Rng ModelRng(Spec.Seed * 7919 + 13);
+  const size_t Side = Spec.Side ? Spec.Side : taskDefaultSide(Spec.Task);
+  auto Model = buildModel(Spec.Architecture, Spec.NumClasses, Side, ModelRng);
+  assert(Model && "unknown architecture");
+
+  const std::string Name = std::string(archName(Spec.Architecture)) + "/" +
+                           taskName(Spec.Task);
+  const std::string Path = cacheDir() + "/" + Spec.cacheStem() + ".bin";
+
+  if (CacheEnabled && loadModel(*Model, Path)) {
+    logInfo() << "loaded cached victim " << Name << " from " << Path;
+    return std::make_unique<NNClassifier>(std::move(Model), Spec.NumClasses,
+                                          Name);
+  }
+
+  Dataset Train = generateSynthetic(Spec.Task, Spec.TrainImagesPerClass,
+                                    /*Seed=*/Spec.Seed * 1000003 + 7,
+                                    Spec.Side, Spec.NumClasses);
+  Rng TrainRng(Spec.Seed * 104729 + 3);
+  TrainResult TR = trainClassifier(*Model, Train, Spec.Train, TrainRng);
+  logInfo() << "trained victim " << Name << ": loss=" << TR.FinalLoss
+            << " train-acc=" << TR.TrainAccuracy;
+
+  if (CacheEnabled) {
+    std::error_code EC;
+    std::filesystem::create_directories(cacheDir(), EC);
+    if (!saveModel(*Model, Path))
+      logWarn() << "failed to cache victim to " << Path;
+  }
+  return std::make_unique<NNClassifier>(std::move(Model), Spec.NumClasses,
+                                        Name);
+}

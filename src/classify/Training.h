@@ -1,0 +1,85 @@
+//===- classify/Training.h - Victim classifier training ---------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Training harness for the victim classifiers: mini-batch SGD over a
+/// Dataset with cross-entropy loss, plus a factory that builds, trains and
+/// (optionally) disk-caches a classifier for a (task, architecture, seed)
+/// triple so benchmark binaries don't retrain on every run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_CLASSIFY_TRAINING_H
+#define OPPSLA_CLASSIFY_TRAINING_H
+
+#include "classify/NNClassifier.h"
+#include "data/Augment.h"
+#include "data/Synthetic.h"
+#include "nn/ModelZoo.h"
+
+#include <memory>
+#include <string>
+
+namespace oppsla {
+
+class Rng;
+
+/// Knobs for trainClassifier.
+struct TrainConfig {
+  size_t Epochs = 4;
+  size_t BatchSize = 32;
+  float Lr = 0.05f;
+  float Momentum = 0.9f;
+  float WeightDecay = 0.0f; // overfit like the paper's pretrained victims
+  /// Multiply Lr by this factor after each epoch (mild decay).
+  float LrDecay = 0.8f;
+  /// Label smoothing for the cross-entropy targets; keeps the victims'
+  /// confidence margins realistic (never exactly 1.0).
+  float LabelSmoothing = 0.2f;
+  /// Opt-in training-time augmentation. Off by default: flips/cutout make
+  /// victims measurably *harder* to one pixel attack (see the robustness
+  /// ablation bench), so the default victims match the paper's
+  /// plainly-trained ones.
+  bool UseAugment = false;
+  AugmentConfig Augment;
+};
+
+/// Result of a training run.
+struct TrainResult {
+  float FinalLoss = 0.0f;
+  float TrainAccuracy = 0.0f;
+};
+
+/// Trains \p Model on \p Data with shuffled mini-batches.
+TrainResult trainClassifier(Sequential &Model, const Dataset &Data,
+                            const TrainConfig &Config, Rng &R);
+
+/// Fraction of \p Data classified correctly by \p Model (inference mode).
+float evalAccuracy(Sequential &Model, const Dataset &Data);
+
+/// Identifies a victim classifier to build or fetch from cache.
+struct VictimSpec {
+  TaskKind Task = TaskKind::CifarLike;
+  Arch Architecture = Arch::MiniVGG;
+  uint64_t Seed = 1;
+  size_t TrainImagesPerClass = 150;
+  size_t NumClasses = 10;
+  size_t Side = 0; ///< 0 = task default
+  TrainConfig Train;
+
+  /// Stable cache file stem, e.g. "cifar-like_MiniVGG_s1_n150_e4".
+  std::string cacheStem() const;
+};
+
+/// Builds and trains (or loads from cache) the victim classifier described
+/// by \p Spec. Cache directory is $OPPSLA_CACHE_DIR or ".oppsla-cache";
+/// pass CacheEnabled=false to force retraining.
+std::unique_ptr<NNClassifier> makeVictim(const VictimSpec &Spec,
+                                         bool CacheEnabled = true);
+
+} // namespace oppsla
+
+#endif // OPPSLA_CLASSIFY_TRAINING_H

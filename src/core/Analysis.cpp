@@ -1,0 +1,122 @@
+//===- core/Analysis.cpp - Static analysis of condition programs -------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Analysis.h"
+
+#include <sstream>
+
+using namespace oppsla;
+
+Interval oppsla::funcRange(const Condition &C, size_t ImageSide) {
+  switch (C.Func) {
+  case FuncKind::MaxPixel:
+  case FuncKind::MinPixel:
+  case FuncKind::AvgPixel:
+    // Corner pixels have channels in {0,1}; the aggregate range is the
+    // same closed interval either way, but keep the branch explicit for
+    // future refinement (e.g. avg(p) takes only {0, 1/3, 2/3, 1}).
+    return Interval{0.0, 1.0};
+  case FuncKind::ScoreDiff:
+    // Difference of two softmax entries for the same class.
+    return Interval{-1.0, 1.0};
+  case FuncKind::Center: {
+    // L-infinity distance from the (continuous) center.
+    const double MaxDist = (static_cast<double>(ImageSide) - 1.0) / 2.0;
+    return Interval{0.0, MaxDist};
+  }
+  }
+  return Interval{};
+}
+
+Triviality oppsla::analyzeCondition(const Condition &C, size_t ImageSide) {
+  const Interval R = funcRange(C, ImageSide);
+  if (C.Cmp == CmpKind::Less) {
+    if (R.Hi < C.Threshold)
+      return Triviality::AlwaysTrue;
+    if (R.Lo >= C.Threshold)
+      return Triviality::AlwaysFalse;
+    return Triviality::Contingent;
+  }
+  // Greater.
+  if (R.Lo > C.Threshold)
+    return Triviality::AlwaysTrue;
+  if (R.Hi <= C.Threshold)
+    return Triviality::AlwaysFalse;
+  return Triviality::Contingent;
+}
+
+Program oppsla::normalizeProgram(const Program &P, size_t ImageSide) {
+  Program Out = P;
+  const Program False = allFalseProgram();
+  const Program True = allTrueProgram();
+  for (size_t I = 0; I != Out.Conds.size(); ++I) {
+    switch (analyzeCondition(Out.Conds[I], ImageSide)) {
+    case Triviality::AlwaysFalse:
+      Out.Conds[I] = False.Conds[I];
+      break;
+    case Triviality::AlwaysTrue:
+      Out.Conds[I] = True.Conds[I];
+      break;
+    case Triviality::Contingent:
+      break;
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+bool sameCondition(const Condition &A, const Condition &B) {
+  return A.Func == B.Func && A.Source == B.Source && A.Cmp == B.Cmp &&
+         A.Threshold == B.Threshold;
+}
+
+const char *roleOf(size_t Index) {
+  switch (Index) {
+  case 0:
+    return "push back the location-closest pairs";
+  case 1:
+    return "push back the perturbation-closest pair";
+  case 2:
+    return "eagerly check the location-closest pairs";
+  default:
+    return "eagerly check the perturbation-closest pair";
+  }
+}
+
+const char *verdictOf(Triviality T) {
+  switch (T) {
+  case Triviality::AlwaysFalse:
+    return "always false (reordering disabled)";
+  case Triviality::AlwaysTrue:
+    return "always true (fires on every failed pair)";
+  case Triviality::Contingent:
+    return "contingent";
+  }
+  return "?";
+}
+
+} // namespace
+
+bool oppsla::equivalentPrograms(const Program &A, const Program &B,
+                                size_t ImageSide) {
+  const Program NA = normalizeProgram(A, ImageSide);
+  const Program NB = normalizeProgram(B, ImageSide);
+  for (size_t I = 0; I != NA.Conds.size(); ++I)
+    if (!sameCondition(NA.Conds[I], NB.Conds[I]))
+      return false;
+  return true;
+}
+
+std::string oppsla::explainProgram(const Program &P, size_t ImageSide) {
+  std::ostringstream OS;
+  for (size_t I = 0; I != P.Conds.size(); ++I) {
+    const Triviality T = analyzeCondition(P.Conds[I], ImageSide);
+    OS << "[B" << (I + 1) << "] " << P.Conds[I].str() << "\n"
+       << "     role: " << roleOf(I) << "; " << verdictOf(T) << "\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,72 @@
+//===- core/Analysis.h - Static analysis of condition programs --*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interval-based static analysis over the condition DSL. Because every
+/// function symbol has a known value range in the sketch's environments
+/// (pixels in [0,1], softmax score differences in [-1,1], center distance
+/// in [0, side/2]), many synthesized conditions are decidable without
+/// running anything:
+///
+///   max(x_l) > 2        -- always false (the canonical False)
+///   center(l) < 100     -- always true on a 32x32 image
+///   score_diff(...) < 0.21 -- contingent
+///
+/// The synthesizer's mutation keeps thresholds when only the function node
+/// changes (grammar-faithful), which routinely produces such trivial
+/// conditions; normalizeProgram canonicalizes them so programs can be
+/// compared, cached, and read by humans.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_CORE_ANALYSIS_H
+#define OPPSLA_CORE_ANALYSIS_H
+
+#include "core/Condition.h"
+
+#include <string>
+
+namespace oppsla {
+
+/// Verdict of the triviality analysis for one condition.
+enum class Triviality {
+  AlwaysFalse, ///< no environment satisfies the condition
+  AlwaysTrue,  ///< every environment satisfies the condition
+  Contingent,  ///< depends on the environment
+};
+
+/// Inclusive value interval.
+struct Interval {
+  double Lo = 0.0;
+  double Hi = 0.0;
+};
+
+/// The value range of condition \p C's function symbol over all sketch
+/// environments for images of side \p ImageSide. Perturbation-sourced
+/// pixel functions use the tighter RGB-corner range (channels in {0,1}).
+Interval funcRange(const Condition &C, size_t ImageSide);
+
+/// Decides whether \p C is always/never satisfiable on images of side
+/// \p ImageSide.
+Triviality analyzeCondition(const Condition &C, size_t ImageSide);
+
+/// Canonicalizes \p P: every always-false condition becomes the canonical
+/// False (`max(x_l) > 2`), every always-true one the canonical True
+/// (`max(x_l) > -1`); contingent conditions are unchanged.
+Program normalizeProgram(const Program &P, size_t ImageSide);
+
+/// True if \p A and \p B normalize to syntactically identical programs.
+/// (Sound for trivial conditions; syntactic for contingent ones.)
+bool equivalentPrograms(const Program &A, const Program &B,
+                        size_t ImageSide);
+
+/// Multi-line human-readable report: each condition with its role in the
+/// sketch (push-back vs eager-check) and its triviality verdict.
+std::string explainProgram(const Program &P, size_t ImageSide);
+
+} // namespace oppsla
+
+#endif // OPPSLA_CORE_ANALYSIS_H

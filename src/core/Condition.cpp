@@ -1,0 +1,114 @@
+//===- core/Condition.cpp - The condition DSL (Figure 1) ---------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Condition.h"
+
+#include <sstream>
+
+using namespace oppsla;
+
+namespace {
+
+const char *funcName(FuncKind F) {
+  switch (F) {
+  case FuncKind::MaxPixel:
+    return "max";
+  case FuncKind::MinPixel:
+    return "min";
+  case FuncKind::AvgPixel:
+    return "avg";
+  case FuncKind::ScoreDiff:
+    return "score_diff";
+  case FuncKind::Center:
+    return "center";
+  }
+  return "?";
+}
+
+bool usesPixel(FuncKind F) {
+  return F == FuncKind::MaxPixel || F == FuncKind::MinPixel ||
+         F == FuncKind::AvgPixel;
+}
+
+} // namespace
+
+std::string Condition::str() const {
+  std::ostringstream OS;
+  OS << funcName(Func);
+  if (usesPixel(Func))
+    OS << "(" << (Source == PixelSource::Original ? "x_l" : "p") << ")";
+  else if (Func == FuncKind::ScoreDiff)
+    OS << "(N(x),N(x[l<-p]),cx)";
+  else
+    OS << "(l)";
+  OS << (Cmp == CmpKind::Less ? " < " : " > ") << Threshold;
+  return OS.str();
+}
+
+std::string Program::str() const {
+  std::ostringstream OS;
+  for (size_t I = 0; I != Conds.size(); ++I)
+    OS << "[B" << (I + 1) << "] " << Conds[I].str() << "\n";
+  return OS.str();
+}
+
+double oppsla::evalFunc(const Condition &C, const CondEnv &Env) {
+  const Pixel &P = C.Source == PixelSource::Original ? Env.OriginalPixel
+                                                     : Env.PerturbPixel;
+  switch (C.Func) {
+  case FuncKind::MaxPixel:
+    return P.maxChannel();
+  case FuncKind::MinPixel:
+    return P.minChannel();
+  case FuncKind::AvgPixel:
+    return P.avgChannel();
+  case FuncKind::ScoreDiff:
+    return Env.ScoreDiff;
+  case FuncKind::Center:
+    return Env.CenterDist;
+  }
+  return 0.0;
+}
+
+bool oppsla::evalCondition(const Condition &C, const CondEnv &Env) {
+  const double V = evalFunc(C, Env);
+  return C.Cmp == CmpKind::Less ? V < C.Threshold : V > C.Threshold;
+}
+
+Program oppsla::allFalseProgram() {
+  // max(p) > 2 can never hold for pixels in [0,1].
+  Condition False;
+  False.Func = FuncKind::MaxPixel;
+  False.Source = PixelSource::Original;
+  False.Cmp = CmpKind::Greater;
+  False.Threshold = 2.0;
+  return Program{{False, False, False, False}};
+}
+
+Program oppsla::allTrueProgram() {
+  Condition True;
+  True.Func = FuncKind::MaxPixel;
+  True.Source = PixelSource::Original;
+  True.Cmp = CmpKind::Greater;
+  True.Threshold = -1.0;
+  return Program{{True, True, True, True}};
+}
+
+Program oppsla::paperExampleProgram() {
+  Program P;
+  // [B1] score_diff(N(x), N(x[l<-p]), cx) < 0.21
+  P.Conds[0] = {FuncKind::ScoreDiff, PixelSource::Original, CmpKind::Less,
+                0.21};
+  // [B2] max(x_l) > 0.19
+  P.Conds[1] = {FuncKind::MaxPixel, PixelSource::Original, CmpKind::Greater,
+                0.19};
+  // [B3] score_diff(N(x), N(x[l<-p]), cx) > 0.25
+  P.Conds[2] = {FuncKind::ScoreDiff, PixelSource::Original, CmpKind::Greater,
+                0.25};
+  // [B4] center(l) < 8
+  P.Conds[3] = {FuncKind::Center, PixelSource::Original, CmpKind::Less, 8.0};
+  return P;
+}

@@ -1,0 +1,104 @@
+//===- core/Condition.h - The condition DSL (Figure 1) ---------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's condition language (Figure 1):
+///
+///   P ::= (B1, B2, B3, B4)
+///   B ::= F > r | F < r
+///   F ::= max(p) | min(p) | avg(p) | score_diff(N(x1), N(x2), c') |
+///         center(l)
+///
+/// The pixel argument p can refer either to the original pixel x_l (as in
+/// the paper's example program) or to the perturbation value p itself; the
+/// AST carries that choice explicitly (DESIGN.md §5.2).
+///
+/// A program is the 4-condition instantiation of the sketch: B1/B2 gate the
+/// push-back reordering, B3/B4 gate the eager (push-front) checking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_CORE_CONDITION_H
+#define OPPSLA_CORE_CONDITION_H
+
+#include "core/Pair.h"
+
+#include <array>
+#include <string>
+
+namespace oppsla {
+
+/// The function symbol F of a condition.
+enum class FuncKind : uint8_t {
+  MaxPixel,  ///< max over the RGB channels of the pixel argument
+  MinPixel,  ///< min over the RGB channels
+  AvgPixel,  ///< mean over the RGB channels
+  ScoreDiff, ///< N(x)_{c_x} - N(x[l<-p])_{c_x}
+  Center,    ///< L-infinity distance of l from the image center
+};
+constexpr size_t NumFuncKinds = 5;
+
+/// Which pixel a pixel-valued function reads.
+enum class PixelSource : uint8_t {
+  Original,     ///< x_l, the attacked image's pixel at the failed location
+  Perturbation, ///< p, the attempted perturbation value
+};
+
+/// Comparison direction of a condition.
+enum class CmpKind : uint8_t { Less, Greater };
+
+/// One condition B ::= F(cmp) r.
+struct Condition {
+  FuncKind Func = FuncKind::MaxPixel;
+  PixelSource Source = PixelSource::Original; ///< used by pixel functions
+  CmpKind Cmp = CmpKind::Greater;
+  double Threshold = 2.0; ///< default makes the condition always false
+
+  /// Renders e.g. "score_diff(N(x),N(x[l<-p]),cx) < 0.21".
+  std::string str() const;
+};
+
+/// A complete instantiation of the sketch: four conditions.
+struct Program {
+  std::array<Condition, 4> Conds;
+
+  const Condition &b1() const { return Conds[0]; }
+  const Condition &b2() const { return Conds[1]; }
+  const Condition &b3() const { return Conds[2]; }
+  const Condition &b4() const { return Conds[3]; }
+
+  /// Multi-line rendering "[B1] ... \n[B2] ...".
+  std::string str() const;
+};
+
+/// Everything a condition may inspect about a failed pair, all available
+/// in the black-box setting with no extra queries.
+struct CondEnv {
+  Pixel OriginalPixel;   ///< x_l
+  Pixel PerturbPixel;    ///< p
+  double ScoreDiff = 0;  ///< N(x)_{c_x} - N(x[l<-p])_{c_x}
+  double CenterDist = 0; ///< L-infinity distance of l from the center
+};
+
+/// Evaluates the function symbol of \p C in \p Env.
+double evalFunc(const Condition &C, const CondEnv &Env);
+
+/// Evaluates the full condition in \p Env.
+bool evalCondition(const Condition &C, const CondEnv &Env);
+
+/// The canned program whose four conditions are all False — the paper's
+/// "Sketch+False" fixed-prioritization baseline (Appendix C).
+Program allFalseProgram();
+
+/// All four conditions always true; exercises the eager path maximally.
+Program allTrueProgram();
+
+/// The example program from Section 3.2 of the paper.
+Program paperExampleProgram();
+
+} // namespace oppsla
+
+#endif // OPPSLA_CORE_CONDITION_H

@@ -1,0 +1,95 @@
+//===- core/Mutation.cpp - Typed program mutation (Section 4) ----------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Mutation.h"
+
+#include "support/Rng.h"
+
+using namespace oppsla;
+
+double oppsla::sampleThreshold(FuncKind Func, const MutationContext &Ctx,
+                               Rng &R) {
+  switch (Func) {
+  case FuncKind::MaxPixel:
+  case FuncKind::MinPixel:
+  case FuncKind::AvgPixel:
+    // Pixel channels live in [0,1].
+    return R.uniform(0.0, 1.0);
+  case FuncKind::ScoreDiff:
+    // Softmax-confidence differences; almost all mass is well inside
+    // [-0.5, 0.5], and the paper's examples use thresholds near 0.2.
+    return R.uniform(-0.5, 0.5);
+  case FuncKind::Center:
+    return R.uniform(0.0, Ctx.maxCenterDist());
+  }
+  return 0.0;
+}
+
+namespace {
+
+FuncKind sampleFunc(Rng &R) {
+  return static_cast<FuncKind>(R.index(NumFuncKinds));
+}
+
+PixelSource sampleSource(Rng &R) {
+  return R.chance(0.5) ? PixelSource::Original : PixelSource::Perturbation;
+}
+
+CmpKind sampleCmp(Rng &R) {
+  return R.chance(0.5) ? CmpKind::Less : CmpKind::Greater;
+}
+
+/// Re-samples the function symbol (and its pixel source) while keeping the
+/// threshold — the "mutate only the F node" case.
+void mutateFuncNode(Condition &C, Rng &R) {
+  C.Func = sampleFunc(R);
+  C.Source = sampleSource(R);
+  C.Cmp = sampleCmp(R);
+}
+
+} // namespace
+
+Condition oppsla::randomCondition(const MutationContext &Ctx, Rng &R) {
+  Condition C;
+  C.Func = sampleFunc(R);
+  C.Source = sampleSource(R);
+  C.Cmp = sampleCmp(R);
+  C.Threshold = sampleThreshold(C.Func, Ctx, R);
+  return C;
+}
+
+Program oppsla::randomProgram(const MutationContext &Ctx, Rng &R) {
+  Program P;
+  for (Condition &C : P.Conds)
+    C = randomCondition(Ctx, R);
+  return P;
+}
+
+Program oppsla::mutateProgram(const Program &P, const MutationContext &Ctx,
+                              Rng &R) {
+  Program Out = P;
+  // Node universe (Figure 2): 1 root + 4 conditions + 4 function nodes +
+  // 4 constant nodes = 13.
+  const size_t Node = R.index(13);
+  if (Node == 0) {
+    // Root: re-sample the entire program.
+    return randomProgram(Ctx, R);
+  }
+  if (Node <= 4) {
+    // Condition node: re-sample that condition's whole subtree.
+    Out.Conds[Node - 1] = randomCondition(Ctx, R);
+    return Out;
+  }
+  if (Node <= 8) {
+    // Function node: new function symbol, threshold kept.
+    mutateFuncNode(Out.Conds[Node - 5], R);
+    return Out;
+  }
+  // Constant node: fresh threshold for the current function.
+  Condition &C = Out.Conds[Node - 9];
+  C.Threshold = sampleThreshold(C.Func, Ctx, R);
+  return Out;
+}

@@ -1,0 +1,53 @@
+//===- core/Mutation.h - Typed program mutation (Section 4) -----*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stochastic search's proposal distribution: programs are ASTs (root,
+/// four condition nodes, and per condition a function node and a constant
+/// node — Figure 2). A mutation uniformly selects one node and re-samples
+/// its entire subtree from the grammar, so every proposal is well-typed by
+/// construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_CORE_MUTATION_H
+#define OPPSLA_CORE_MUTATION_H
+
+#include "core/Condition.h"
+
+namespace oppsla {
+
+class Rng;
+
+/// Context needed to sample sensible constants: the threshold range of
+/// center(l) depends on the image side.
+struct MutationContext {
+  size_t ImageSide = 32;
+
+  /// Largest meaningful center-distance threshold.
+  double maxCenterDist() const {
+    return static_cast<double>(ImageSide) / 2.0;
+  }
+};
+
+/// Samples a fresh threshold appropriate for \p Func.
+double sampleThreshold(FuncKind Func, const MutationContext &Ctx, Rng &R);
+
+/// Samples a complete random condition.
+Condition randomCondition(const MutationContext &Ctx, Rng &R);
+
+/// Samples a complete random program (the synthesizer's starting point).
+Program randomProgram(const MutationContext &Ctx, Rng &R);
+
+/// Returns a mutated copy of \p P: one uniformly chosen AST node's subtree
+/// is re-sampled (root => all four conditions; condition => its function
+/// and constant; function => the function symbol only; constant => the
+/// threshold only, re-sampled for the current function's range).
+Program mutateProgram(const Program &P, const MutationContext &Ctx, Rng &R);
+
+} // namespace oppsla
+
+#endif // OPPSLA_CORE_MUTATION_H

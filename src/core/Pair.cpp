@@ -1,0 +1,88 @@
+//===- core/Pair.cpp - Location-perturbation pairs ---------------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pair.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+using namespace oppsla;
+
+PairSpace::PairSpace(const Image &X) : H(X.height()), W(X.width()) {
+  assert(H > 0 && W > 0 && "empty image");
+  CornerRank.resize(numLocations() * NumCorners);
+  for (size_t Row = 0; Row != H; ++Row) {
+    for (size_t Col = 0; Col != W; ++Col) {
+      const Pixel P = X.pixel(Row, Col);
+      // Sort the eight corners by decreasing L1 distance from P; ties by
+      // corner index so the order is deterministic.
+      std::array<CornerIdx, NumCorners> Order;
+      std::iota(Order.begin(), Order.end(), static_cast<CornerIdx>(0));
+      std::array<float, NumCorners> Dist;
+      for (CornerIdx C = 0; C != NumCorners; ++C)
+        Dist[C] = P.l1Distance(cornerPixel(C));
+      std::sort(Order.begin(), Order.end(), [&](CornerIdx A, CornerIdx B) {
+        if (Dist[A] != Dist[B])
+          return Dist[A] > Dist[B];
+        return A < B;
+      });
+      const size_t Base =
+          (Row * W + Col) * NumCorners;
+      for (size_t R = 0; R != NumCorners; ++R)
+        CornerRank[Base + R] = Order[R];
+    }
+  }
+}
+
+double PairSpace::centerDistance(const PixelLoc &L) const {
+  const double CenterRow = (static_cast<double>(H) - 1.0) / 2.0;
+  const double CenterCol = (static_cast<double>(W) - 1.0) / 2.0;
+  return std::max(std::fabs(static_cast<double>(L.Row) - CenterRow),
+                  std::fabs(static_cast<double>(L.Col) - CenterCol));
+}
+
+std::vector<PairId> PairSpace::initialOrder() const {
+  // Secondary key: locations sorted by center distance ascending (stable
+  // tie-break by row-major index).
+  std::vector<uint32_t> LocOrder(numLocations());
+  std::iota(LocOrder.begin(), LocOrder.end(), 0u);
+  std::vector<double> CDist(numLocations());
+  for (size_t Row = 0; Row != H; ++Row)
+    for (size_t Col = 0; Col != W; ++Col)
+      CDist[Row * W + Col] = centerDistance(
+          PixelLoc{static_cast<uint16_t>(Row), static_cast<uint16_t>(Col)});
+  std::stable_sort(LocOrder.begin(), LocOrder.end(),
+                   [&](uint32_t A, uint32_t B) { return CDist[A] < CDist[B]; });
+
+  // Primary key: corner rank groups, farthest first. Within group k, each
+  // location contributes its k-th farthest corner, ordered by LocOrder.
+  std::vector<PairId> Order;
+  Order.reserve(size());
+  const auto Locs = static_cast<PairId>(numLocations());
+  for (size_t Rank = 0; Rank != NumCorners; ++Rank)
+    for (uint32_t LIdx : LocOrder) {
+      const CornerIdx C = CornerRank[LIdx * NumCorners + Rank];
+      Order.push_back(static_cast<PairId>(C) * Locs + LIdx);
+    }
+  return Order;
+}
+
+void PairSpace::neighbors(const PixelLoc &L, std::vector<PixelLoc> &Out) const {
+  for (int DR = -1; DR <= 1; ++DR) {
+    for (int DC = -1; DC <= 1; ++DC) {
+      if (DR == 0 && DC == 0)
+        continue;
+      const long Row = static_cast<long>(L.Row) + DR;
+      const long Col = static_cast<long>(L.Col) + DC;
+      if (Row < 0 || Col < 0 || Row >= static_cast<long>(H) ||
+          Col >= static_cast<long>(W))
+        continue;
+      Out.push_back(PixelLoc{static_cast<uint16_t>(Row),
+                             static_cast<uint16_t>(Col)});
+    }
+  }
+}

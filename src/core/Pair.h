@@ -1,0 +1,135 @@
+//===- core/Pair.h - Location-perturbation pairs ----------------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The candidate space of one pixel attacks: location-perturbation pairs
+/// (Section 3.1). Perturbations are restricted to the eight corners of the
+/// RGB cube following Sparse-RS, so the space has exactly 8 * d1 * d2
+/// elements, dense-indexed as PairId = corner * numLocations + location.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_CORE_PAIR_H
+#define OPPSLA_CORE_PAIR_H
+
+#include "data/Image.h"
+
+#include <array>
+#include <cstdint>
+
+namespace oppsla {
+
+/// A pixel location (row, column).
+struct PixelLoc {
+  uint16_t Row = 0;
+  uint16_t Col = 0;
+
+  bool operator==(const PixelLoc &Other) const {
+    return Row == Other.Row && Col == Other.Col;
+  }
+
+  /// The paper's location metric: L-infinity distance.
+  unsigned linfDistance(const PixelLoc &Other) const {
+    const unsigned DR = Row > Other.Row ? Row - Other.Row : Other.Row - Row;
+    const unsigned DC = Col > Other.Col ? Col - Other.Col : Other.Col - Col;
+    return DR > DC ? DR : DC;
+  }
+};
+
+/// Index of an RGB-cube corner: bit 2 = R, bit 1 = G, bit 0 = B.
+using CornerIdx = uint8_t;
+constexpr size_t NumCorners = 8;
+
+/// The pixel value of corner \p C.
+inline Pixel cornerPixel(CornerIdx C) {
+  assert(C < NumCorners && "corner index out of range");
+  return Pixel{(C & 4) ? 1.0f : 0.0f, (C & 2) ? 1.0f : 0.0f,
+               (C & 1) ? 1.0f : 0.0f};
+}
+
+/// Dense pair identifier; see PairSpace for the encoding.
+using PairId = uint32_t;
+constexpr PairId InvalidPair = ~static_cast<PairId>(0);
+
+/// A concrete location-perturbation pair.
+struct LocPert {
+  PixelLoc Loc;
+  CornerIdx Corner = 0;
+
+  Pixel perturbation() const { return cornerPixel(Corner); }
+
+  bool operator==(const LocPert &Other) const {
+    return Loc == Other.Loc && Corner == Other.Corner;
+  }
+};
+
+/// Geometry and indexing of the full pair space for one image shape.
+///
+/// Also precomputes, per location, the ordering of the eight corners by
+/// decreasing L1 distance from the image's pixel there (the sketch's
+/// primary initialization key) and each location's L-infinity distance to
+/// the image center (the secondary key).
+class PairSpace {
+public:
+  /// Builds the space for image \p X (its pixel values determine the
+  /// per-location corner ranking).
+  explicit PairSpace(const Image &X);
+
+  size_t height() const { return H; }
+  size_t width() const { return W; }
+  size_t numLocations() const { return H * W; }
+  size_t size() const { return NumCorners * numLocations(); }
+
+  PairId idOf(const LocPert &P) const {
+    assert(P.Loc.Row < H && P.Loc.Col < W && "location out of range");
+    return static_cast<PairId>(P.Corner) * static_cast<PairId>(H * W) +
+           locIndex(P.Loc);
+  }
+
+  LocPert pairOf(PairId Id) const {
+    assert(Id < size() && "pair id out of range");
+    const auto Locs = static_cast<PairId>(H * W);
+    LocPert P;
+    P.Corner = static_cast<CornerIdx>(Id / Locs);
+    const PairId L = Id % Locs;
+    P.Loc.Row = static_cast<uint16_t>(L / W);
+    P.Loc.Col = static_cast<uint16_t>(L % W);
+    return P;
+  }
+
+  uint32_t locIndex(const PixelLoc &L) const {
+    return static_cast<uint32_t>(L.Row) * static_cast<uint32_t>(W) + L.Col;
+  }
+
+  /// L-infinity distance of \p L from the image center (continuous center
+  /// for even dimensions, so a 32x32 image has center (15.5, 15.5)).
+  double centerDistance(const PixelLoc &L) const;
+
+  /// The corner that is \p Rank-th farthest (0 = farthest) from the
+  /// image's pixel at \p L, by L1 pixel distance. Ties are broken by
+  /// corner index for determinism.
+  CornerIdx cornerByRank(const PixelLoc &L, size_t Rank) const {
+    assert(Rank < NumCorners && "rank out of range");
+    return CornerRank[locIndex(L) * NumCorners + Rank];
+  }
+
+  /// Initial queue order per Appendix A: primary key = corner rank
+  /// (farthest first), secondary key = center distance (closest to the
+  /// center first). Returns all pair ids in that order.
+  std::vector<PairId> initialOrder() const;
+
+  /// All locations at L-infinity distance exactly 1 from \p L (up to 8).
+  /// Appended to \p Out.
+  void neighbors(const PixelLoc &L, std::vector<PixelLoc> &Out) const;
+
+private:
+  size_t H, W;
+  std::vector<CornerIdx> CornerRank; ///< numLocations x NumCorners
+};
+
+} // namespace oppsla
+
+#endif // OPPSLA_CORE_PAIR_H

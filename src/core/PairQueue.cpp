@@ -1,0 +1,68 @@
+//===- core/PairQueue.cpp - The sketch's reorderable queue -------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PairQueue.h"
+
+using namespace oppsla;
+
+PairQueue::PairQueue(const std::vector<PairId> &Order, size_t UniverseSize)
+    : Nodes(UniverseSize) {
+  for (PairId Id : Order) {
+    assert(Id < UniverseSize && "pair id outside universe");
+    assert(!Nodes[Id].Live && "duplicate pair in initial order");
+    link(Id);
+  }
+}
+
+PairId PairQueue::popFront() {
+  assert(!empty() && "pop from empty queue");
+  const PairId Id = Head;
+  unlink(Id);
+  return Id;
+}
+
+void PairQueue::remove(PairId Id) {
+  assert(contains(Id) && "removing non-live pair");
+  unlink(Id);
+}
+
+void PairQueue::pushBack(PairId Id) {
+  assert(contains(Id) && "pushBack of non-live pair");
+  if (Tail == Id)
+    return; // already at the back
+  unlink(Id);
+  link(Id);
+}
+
+void PairQueue::link(PairId Id) {
+  Node &N = Nodes[Id];
+  N.Prev = Tail;
+  N.Next = InvalidPair;
+  N.Seq = NextSeq++;
+  N.Live = true;
+  if (Tail != InvalidPair)
+    Nodes[Tail].Next = Id;
+  else
+    Head = Id;
+  Tail = Id;
+  ++Count;
+}
+
+void PairQueue::unlink(PairId Id) {
+  Node &N = Nodes[Id];
+  assert(N.Live && "unlink of non-live pair");
+  if (N.Prev != InvalidPair)
+    Nodes[N.Prev].Next = N.Next;
+  else
+    Head = N.Next;
+  if (N.Next != InvalidPair)
+    Nodes[N.Next].Prev = N.Prev;
+  else
+    Tail = N.Prev;
+  N.Live = false;
+  N.Prev = N.Next = InvalidPair;
+  --Count;
+}

@@ -1,0 +1,89 @@
+//===- core/PairQueue.h - The sketch's reorderable queue --------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The priority queue L of Algorithm 1. Supports exactly the operations the
+/// sketch needs, all O(1): pop the front pair, test membership, remove an
+/// arbitrary pair (for eager checking), and push an in-queue pair to the
+/// back. Monotone sequence numbers give "position in queue order" so the
+/// sketch can find the *next* pair at a given location (closest_pert) by
+/// scanning that location's eight corners for the live pair with minimal
+/// sequence number.
+///
+/// Implementation: an intrusive doubly-linked list threaded through a dense
+/// node array indexed by PairId.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_CORE_PAIRQUEUE_H
+#define OPPSLA_CORE_PAIRQUEUE_H
+
+#include "core/Pair.h"
+
+#include <vector>
+
+namespace oppsla {
+
+/// Doubly-linked queue over a dense PairId universe.
+class PairQueue {
+public:
+  /// Builds the queue containing exactly \p Order (front first); ids must
+  /// be unique and < \p UniverseSize.
+  PairQueue(const std::vector<PairId> &Order, size_t UniverseSize);
+
+  bool empty() const { return Count == 0; }
+  size_t size() const { return Count; }
+
+  /// True if \p Id is still enqueued.
+  bool contains(PairId Id) const {
+    assert(Id < Nodes.size() && "pair id out of range");
+    return Nodes[Id].Live;
+  }
+
+  /// Position stamp: smaller means closer to the front *among pairs that
+  /// were (re)inserted earlier*. Only meaningful for live pairs.
+  uint64_t seq(PairId Id) const {
+    assert(contains(Id) && "seq of non-live pair");
+    return Nodes[Id].Seq;
+  }
+
+  /// Removes and returns the front pair; queue must be non-empty.
+  PairId popFront();
+
+  /// Unlinks \p Id from the queue; it must be live.
+  void remove(PairId Id);
+
+  /// Moves the live pair \p Id to the back of the queue (fresh sequence
+  /// number).
+  void pushBack(PairId Id);
+
+  /// Front pair id without removing it; queue must be non-empty.
+  PairId front() const {
+    assert(!empty() && "front of empty queue");
+    return Head;
+  }
+
+private:
+  struct Node {
+    PairId Prev = InvalidPair;
+    PairId Next = InvalidPair;
+    uint64_t Seq = 0;
+    bool Live = false;
+  };
+
+  void link(PairId Id); ///< appends to tail, stamps a fresh Seq
+  void unlink(PairId Id);
+
+  std::vector<Node> Nodes;
+  PairId Head = InvalidPair;
+  PairId Tail = InvalidPair;
+  size_t Count = 0;
+  uint64_t NextSeq = 0;
+};
+
+} // namespace oppsla
+
+#endif // OPPSLA_CORE_PAIRQUEUE_H

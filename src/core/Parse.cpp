@@ -1,0 +1,205 @@
+//===- core/Parse.cpp - Textual syntax for the condition DSL -----------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Parse.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace oppsla;
+
+namespace {
+
+/// Minimal cursor-based lexer/parser over the condition syntax.
+class Parser {
+public:
+  explicit Parser(const std::string &Text) : Text(Text) {}
+
+  /// Parses exactly \p Count conditions and verifies trailing content is
+  /// only whitespace.
+  ParseResult parseConditions(Condition *Out, size_t Count) {
+    for (size_t I = 0; I != Count; ++I) {
+      if (auto R = parseOne(Out[I], I); !R.Ok)
+        return R;
+    }
+    skipSpace();
+    if (!atEnd())
+      return fail("unexpected trailing input after the last condition");
+    return ParseResult::success();
+  }
+
+private:
+  ParseResult parseOne(Condition &C, size_t Index) {
+    skipSpace();
+    if (atEnd())
+      return fail("expected a condition, found end of input");
+
+    // Optional "[Bk]" label; when present, k must match the position.
+    if (peek() == '[') {
+      ++Pos;
+      if (!consumeWord("B"))
+        return fail("expected 'B' after '[' in condition label");
+      const size_t Digit = Pos;
+      while (!atEnd() && std::isdigit(peek()))
+        ++Pos;
+      if (Digit == Pos)
+        return fail("expected a condition number after '[B'");
+      const unsigned long K =
+          std::strtoul(Text.substr(Digit, Pos - Digit).c_str(), nullptr, 10);
+      if (K != Index + 1)
+        return fail("condition label out of order: expected [B" +
+                    std::to_string(Index + 1) + "]");
+      if (atEnd() || peek() != ']')
+        return fail("expected ']' to close the condition label");
+      ++Pos;
+      skipSpace();
+    }
+
+    // Function symbol.
+    const std::string Name = lexWord();
+    if (Name.empty())
+      return fail("expected a function name (max/min/avg/score_diff/"
+                  "center)");
+    if (Name == "max" || Name == "min" || Name == "avg") {
+      C.Func = Name == "max"   ? FuncKind::MaxPixel
+               : Name == "min" ? FuncKind::MinPixel
+                               : FuncKind::AvgPixel;
+      if (!consume('('))
+        return fail("expected '(' after '" + Name + "'");
+      skipSpace();
+      const std::string Arg = lexWord();
+      if (Arg == "x_l")
+        C.Source = PixelSource::Original;
+      else if (Arg == "p")
+        C.Source = PixelSource::Perturbation;
+      else
+        return fail("pixel argument must be 'x_l' or 'p', got '" + Arg +
+                    "'");
+      skipSpace();
+      if (!consume(')'))
+        return fail("expected ')' after the pixel argument");
+    } else if (Name == "score_diff") {
+      C.Func = FuncKind::ScoreDiff;
+      C.Source = PixelSource::Original;
+      // Fixed argument list: (N(x),N(x[l<-p]),cx).
+      if (!consumeLiteral("(N(x),N(x[l<-p]),cx)"))
+        return fail("score_diff arguments must be (N(x),N(x[l<-p]),cx)");
+    } else if (Name == "center") {
+      C.Func = FuncKind::Center;
+      C.Source = PixelSource::Original;
+      if (!consumeLiteral("(l)"))
+        return fail("center argument must be (l)");
+    } else {
+      return fail("unknown function '" + Name + "'");
+    }
+
+    // Comparison.
+    skipSpace();
+    if (atEnd() || (peek() != '<' && peek() != '>'))
+      return fail("expected '<' or '>' after the function");
+    C.Cmp = peek() == '<' ? CmpKind::Less : CmpKind::Greater;
+    ++Pos;
+
+    // Threshold constant.
+    skipSpace();
+    const size_t Start = Pos;
+    if (!atEnd() && (peek() == '-' || peek() == '+'))
+      ++Pos;
+    bool SawDigit = false;
+    while (!atEnd() && (std::isdigit(peek()) || peek() == '.' ||
+                        peek() == 'e' || peek() == 'E' ||
+                        ((peek() == '-' || peek() == '+') && Pos > Start &&
+                         (Text[Pos - 1] == 'e' || Text[Pos - 1] == 'E')))) {
+      SawDigit |= std::isdigit(peek()) != 0;
+      ++Pos;
+    }
+    if (!SawDigit)
+      return fail("expected a numeric threshold");
+    char *End = nullptr;
+    C.Threshold = std::strtod(Text.substr(Start, Pos - Start).c_str(), &End);
+    return ParseResult::success();
+  }
+
+  bool atEnd() const { return Pos >= Text.size(); }
+  char peek() const { return Text[Pos]; }
+
+  void skipSpace() {
+    while (!atEnd() && std::isspace(peek()))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipSpace();
+    if (atEnd() || peek() != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  /// Consumes an exact literal with interior whitespace ignored.
+  bool consumeLiteral(const char *Lit) {
+    for (const char *P = Lit; *P; ++P) {
+      skipSpace();
+      if (atEnd() || peek() != *P)
+        return false;
+      ++Pos;
+    }
+    return true;
+  }
+
+  bool consumeWord(const char *Word) {
+    for (const char *P = Word; *P; ++P) {
+      if (atEnd() || peek() != *P)
+        return false;
+      ++Pos;
+    }
+    return true;
+  }
+
+  std::string lexWord() {
+    skipSpace();
+    const size_t Start = Pos;
+    while (!atEnd() && (std::isalnum(peek()) || peek() == '_'))
+      ++Pos;
+    return Text.substr(Start, Pos - Start);
+  }
+
+  ParseResult fail(std::string Msg) const {
+    size_t Line = 1, Col = 1;
+    for (size_t I = 0; I < Pos && I < Text.size(); ++I) {
+      if (Text[I] == '\n') {
+        ++Line;
+        Col = 1;
+      } else {
+        ++Col;
+      }
+    }
+    return ParseResult::error(std::move(Msg), Line, Col);
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+ParseResult oppsla::parseCondition(const std::string &Text, Condition &Out) {
+  Condition C;
+  Parser P(Text);
+  ParseResult R = P.parseConditions(&C, 1);
+  if (R.Ok)
+    Out = C;
+  return R;
+}
+
+ParseResult oppsla::parseProgram(const std::string &Text, Program &Out) {
+  Program Prog;
+  Parser P(Text);
+  ParseResult R = P.parseConditions(Prog.Conds.data(), Prog.Conds.size());
+  if (R.Ok)
+    Out = Prog;
+  return R;
+}

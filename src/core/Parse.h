@@ -1,0 +1,66 @@
+//===- core/Parse.h - Textual syntax for the condition DSL ------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A parser for the human-readable program syntax produced by
+/// Program::str() / Condition::str(), so synthesized programs can be
+/// written, versioned, and edited as text:
+///
+///   [B1] score_diff(N(x),N(x[l<-p]),cx) < 0.21
+///   [B2] max(x_l) > 0.19
+///   [B3] score_diff(N(x),N(x[l<-p]),cx) > 0.25
+///   [B4] center(l) < 8
+///
+/// Grammar (whitespace-insensitive; the [Bk] labels are optional but must
+/// be in order when present):
+///
+///   program   ::= cond cond cond cond
+///   cond      ::= label? func cmp number
+///   label     ::= '[' 'B' digit ']'
+///   func      ::= ('max'|'min'|'avg') '(' pixel ')'
+///               | 'score_diff' '(' 'N(x)' ',' 'N(x[l<-p])' ',' 'cx' ')'
+///               | 'center' '(' 'l' ')'
+///   pixel     ::= 'x_l' | 'p'
+///   cmp       ::= '<' | '>'
+///
+/// Parsing never throws; errors are reported with a line/column position
+/// and a message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_CORE_PARSE_H
+#define OPPSLA_CORE_PARSE_H
+
+#include "core/Condition.h"
+
+#include <string>
+
+namespace oppsla {
+
+/// Outcome of a parse; on failure Message/Line/Column describe the first
+/// error (1-based line and column).
+struct ParseResult {
+  bool Ok = false;
+  std::string Message;
+  size_t Line = 0;
+  size_t Column = 0;
+
+  static ParseResult success() { return ParseResult{true, "", 0, 0}; }
+  static ParseResult error(std::string Msg, size_t Line, size_t Column) {
+    return ParseResult{false, std::move(Msg), Line, Column};
+  }
+};
+
+/// Parses a single condition from \p Text (which must contain nothing else
+/// but whitespace and an optional label).
+ParseResult parseCondition(const std::string &Text, Condition &Out);
+
+/// Parses a full four-condition program.
+ParseResult parseProgram(const std::string &Text, Program &Out);
+
+} // namespace oppsla
+
+#endif // OPPSLA_CORE_PARSE_H

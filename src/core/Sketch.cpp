@@ -1,0 +1,206 @@
+//===- core/Sketch.cpp - The one pixel attack sketch (Algorithm 1) -----------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Sketch.h"
+
+#include "classify/QueryCounter.h"
+
+#include <deque>
+
+using namespace oppsla;
+
+namespace {
+
+/// A failed pair queued for eager expansion, with the environment its
+/// conditions are evaluated in.
+struct EagerItem {
+  LocPert LP;
+  CondEnv Env;
+};
+
+/// Shared state of one sketch run.
+struct RunState {
+  const Image &X;
+  size_t TrueClass;
+  QueryCounter Queries;
+  PairSpace Space;
+  PairQueue L;
+  Image Scratch; ///< X with one pixel temporarily replaced per query
+  double BaseTrueScore = 0.0;
+
+  RunState(Classifier &N, const Image &Img, size_t TrueClass,
+           uint64_t Budget)
+      : X(Img), TrueClass(TrueClass), Queries(N, Budget), Space(Img),
+        L(Space.initialOrder(), Space.size()), Scratch(Img) {}
+
+  /// Status of a single candidate query.
+  enum class QueryStatus { Failed, Success, Exhausted };
+
+  /// Queries x[l <- p] for pair \p Id. On failure fills \p Env for the
+  /// condition evaluation.
+  QueryStatus queryPair(PairId Id, CondEnv &Env) {
+    const LocPert LP = Space.pairOf(Id);
+    const Pixel Orig = X.pixel(LP.Loc.Row, LP.Loc.Col);
+    const Pixel Pert = LP.perturbation();
+    Scratch.setPixel(LP.Loc.Row, LP.Loc.Col, Pert);
+    const std::vector<float> Scores = Queries.scores(Scratch);
+    Scratch.setPixel(LP.Loc.Row, LP.Loc.Col, Orig);
+    if (Scores.empty())
+      return QueryStatus::Exhausted;
+    if (argmaxScore(Scores) != TrueClass)
+      return QueryStatus::Success;
+    Env.OriginalPixel = Orig;
+    Env.PerturbPixel = Pert;
+    Env.ScoreDiff = BaseTrueScore - Scores[TrueClass];
+    Env.CenterDist = Space.centerDistance(LP.Loc);
+    return QueryStatus::Failed;
+  }
+
+  /// closest_loc(l, p): all live pairs at L-infinity distance 1 with the
+  /// same perturbation.
+  void closestLoc(const LocPert &LP, std::vector<PairId> &Out) {
+    Out.clear();
+    NeighborScratch.clear();
+    Space.neighbors(LP.Loc, NeighborScratch);
+    for (const PixelLoc &NL : NeighborScratch) {
+      const PairId Id = Space.idOf(LocPert{NL, LP.Corner});
+      if (L.contains(Id))
+        Out.push_back(Id);
+    }
+  }
+
+  /// closest_pert(L, l): the next (earliest-queued) live pair at location
+  /// \p Loc, or InvalidPair.
+  PairId closestPert(const PixelLoc &Loc) {
+    PairId Best = InvalidPair;
+    uint64_t BestSeq = 0;
+    for (CornerIdx C = 0; C != NumCorners; ++C) {
+      const PairId Id = Space.idOf(LocPert{Loc, C});
+      if (!L.contains(Id))
+        continue;
+      const uint64_t S = L.seq(Id);
+      if (Best == InvalidPair || S < BestSeq) {
+        Best = Id;
+        BestSeq = S;
+      }
+    }
+    return Best;
+  }
+
+  std::vector<PixelLoc> NeighborScratch;
+};
+
+} // namespace
+
+SketchResult Sketch::run(Classifier &N, const Image &X, size_t TrueClass,
+                         uint64_t QueryBudget) const {
+  assert(TrueClass < N.numClasses() && "true class out of range");
+  RunState S(N, X, TrueClass, QueryBudget);
+  SketchResult Result;
+
+  auto Finish = [&](bool Success, LocPert Adv) {
+    Result.Success = Success;
+    Result.Adversarial = Adv;
+    Result.Queries = S.Queries.count();
+    Result.BudgetExhausted = S.Queries.exhausted();
+    return Result;
+  };
+
+  // One initial query of the unperturbed image: the conditions need
+  // N(x)_{c_x} for score_diff.
+  {
+    const std::vector<float> Base = S.Queries.scores(X);
+    if (Base.empty())
+      return Finish(false, LocPert{});
+    if (argmaxScore(Base) != TrueClass) {
+      Result.AlreadyMisclassified = true;
+      return Finish(true, LocPert{});
+    }
+    S.BaseTrueScore = Base[TrueClass];
+  }
+
+  std::vector<PairId> Neigh;
+  while (!S.L.empty()) {
+    const PairId Id = S.L.popFront();
+    const LocPert LP = S.Space.pairOf(Id);
+    CondEnv Env;
+    switch (S.queryPair(Id, Env)) {
+    case RunState::QueryStatus::Success:
+      return Finish(true, LP);
+    case RunState::QueryStatus::Exhausted:
+      return Finish(false, LP);
+    case RunState::QueryStatus::Failed:
+      break;
+    }
+
+    // Push-back reordering (lines 5-6).
+    if (evalCondition(Prog.b1(), Env)) {
+      S.closestLoc(LP, Neigh);
+      for (PairId NId : Neigh)
+        S.L.pushBack(NId);
+    }
+    if (evalCondition(Prog.b2(), Env)) {
+      const PairId NId = S.closestPert(LP.Loc);
+      if (NId != InvalidPair)
+        S.L.pushBack(NId);
+    }
+
+    // Eager (conceptual push-front) BFS (lines 7-24).
+    std::deque<EagerItem> LocQ, PertQ;
+    LocQ.push_back(EagerItem{LP, Env});
+    PertQ.push_back(EagerItem{LP, Env});
+    while (!LocQ.empty() || !PertQ.empty()) {
+      while (!LocQ.empty()) {
+        const EagerItem It = LocQ.front();
+        LocQ.pop_front();
+        if (!evalCondition(Prog.b3(), It.Env))
+          continue;
+        S.closestLoc(It.LP, Neigh);
+        for (PairId NId : Neigh) {
+          if (!S.L.contains(NId))
+            continue; // an earlier eager check in this batch removed it
+          S.L.remove(NId);
+          const LocPert NLP = S.Space.pairOf(NId);
+          CondEnv NEnv;
+          switch (S.queryPair(NId, NEnv)) {
+          case RunState::QueryStatus::Success:
+            return Finish(true, NLP);
+          case RunState::QueryStatus::Exhausted:
+            return Finish(false, NLP);
+          case RunState::QueryStatus::Failed:
+            LocQ.push_back(EagerItem{NLP, NEnv});
+            PertQ.push_back(EagerItem{NLP, NEnv});
+            break;
+          }
+        }
+      }
+      while (!PertQ.empty()) {
+        const EagerItem It = PertQ.front();
+        PertQ.pop_front();
+        if (!evalCondition(Prog.b4(), It.Env))
+          continue;
+        const PairId NId = S.closestPert(It.LP.Loc);
+        if (NId == InvalidPair)
+          continue;
+        S.L.remove(NId);
+        const LocPert NLP = S.Space.pairOf(NId);
+        CondEnv NEnv;
+        switch (S.queryPair(NId, NEnv)) {
+        case RunState::QueryStatus::Success:
+          return Finish(true, NLP);
+        case RunState::QueryStatus::Exhausted:
+          return Finish(false, NLP);
+        case RunState::QueryStatus::Failed:
+          LocQ.push_back(EagerItem{NLP, NEnv});
+          PertQ.push_back(EagerItem{NLP, NEnv});
+          break;
+        }
+      }
+    }
+  }
+  // The whole corner space holds no one pixel adversarial example.
+  return Finish(false, LocPert{});
+}

@@ -1,0 +1,80 @@
+//===- core/Sketch.h - The one pixel attack sketch (Algorithm 1) -*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executor for the paper's program sketch (Appendix A, Algorithm 1).
+///
+/// The sketch maintains the queue L of all location-perturbation pairs in
+/// the initialization order (farthest corner first, then center-closest
+/// location first). It repeatedly pops a pair, queries the classifier on
+/// the corresponding one pixel perturbation, and returns on success. On
+/// failure the four synthesized conditions reorder L:
+///
+///   - B1 true  => push the location-closest pairs (same perturbation,
+///                 L-inf distance 1) to the back of L;
+///   - B2 true  => push the perturbation-closest pair (next pair in L at
+///                 the same location) to the back of L;
+///   - B3 true  => eagerly check the location-closest pairs now
+///                 (conceptual push-front), transitively via a BFS that
+///                 also re-applies B3/B4 to each failed eager pair;
+///   - B4 true  => eagerly check the perturbation-closest pair, same BFS.
+///
+/// Every instantiation is *exhaustive*: each pair is queried at most once,
+/// and if any one pixel adversarial example exists in the corner space the
+/// sketch finds it (given enough budget). Programs only change the order,
+/// i.e. the query count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_CORE_SKETCH_H
+#define OPPSLA_CORE_SKETCH_H
+
+#include "classify/Classifier.h"
+#include "core/Condition.h"
+#include "core/PairQueue.h"
+
+#include <cstdint>
+#include <limits>
+
+namespace oppsla {
+
+/// Outcome of one sketch run on one image.
+struct SketchResult {
+  bool Success = false;
+  /// The successful pair (valid only when Success).
+  LocPert Adversarial;
+  /// Queries posed to the classifier during this run, including the one
+  /// initial query of the unperturbed image.
+  uint64_t Queries = 0;
+  /// True if the run stopped because the query budget ran out.
+  bool BudgetExhausted = false;
+  /// True if the unperturbed image was already misclassified (the run
+  /// reports Success with an all-zero pair in that case).
+  bool AlreadyMisclassified = false;
+};
+
+/// Runs the sketch instantiated with program \p P.
+class Sketch {
+public:
+  static constexpr uint64_t Unlimited =
+      std::numeric_limits<uint64_t>::max();
+
+  explicit Sketch(Program P) : Prog(std::move(P)) {}
+
+  const Program &program() const { return Prog; }
+
+  /// Attacks image \p X whose true class is \p TrueClass, querying \p N at
+  /// most \p QueryBudget times.
+  SketchResult run(Classifier &N, const Image &X, size_t TrueClass,
+                   uint64_t QueryBudget = Unlimited) const;
+
+private:
+  Program Prog;
+};
+
+} // namespace oppsla
+
+#endif // OPPSLA_CORE_SKETCH_H

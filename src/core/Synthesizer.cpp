@@ -1,0 +1,137 @@
+//===- core/Synthesizer.cpp - OPPSLA's MH search (Algorithm 2) ---------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Synthesizer.h"
+
+#include "support/Logging.h"
+#include "support/Rng.h"
+
+#include <cmath>
+
+using namespace oppsla;
+
+double ProgramEval::score(double Beta) const {
+  if (Successes == 0)
+    return 0.0;
+  return std::exp(-Beta * AvgQueries);
+}
+
+ProgramEval oppsla::evaluateProgram(const Program &P, Classifier &N,
+                                    const Dataset &TrainSet,
+                                    uint64_t PerImageCap) {
+  assert(TrainSet.size() > 0 && "empty training set");
+  Sketch Sk(P);
+  ProgramEval Eval;
+  double QuerySum = 0.0;
+  for (size_t I = 0; I != TrainSet.size(); ++I) {
+    const SketchResult R =
+        Sk.run(N, TrainSet.Images[I], TrainSet.Labels[I], PerImageCap);
+    Eval.TotalQueries += R.Queries;
+    ++Eval.Attacks;
+    if (!R.Success || R.AlreadyMisclassified)
+      continue; // the paper averages over successful attacks only
+    ++Eval.Successes;
+    QuerySum += static_cast<double>(R.Queries);
+  }
+  if (Eval.Successes > 0)
+    Eval.AvgQueries = QuerySum / static_cast<double>(Eval.Successes);
+  return Eval;
+}
+
+Program oppsla::synthesizeProgram(Classifier &N, const Dataset &TrainSet,
+                                  const SynthesisConfig &Config,
+                                  std::vector<SynthesisStep> *Trace) {
+  Rng R(Config.Seed);
+  MutationContext Ctx;
+  Ctx.ImageSide =
+      TrainSet.size() > 0 ? TrainSet.Images.front().height() : 32;
+
+  Program P = randomProgram(Ctx, R);
+  ProgramEval Eval = evaluateProgram(P, N, TrainSet, Config.PerImageQueryCap);
+  double Score = Eval.score(Config.Beta);
+  uint64_t Cumulative = Eval.TotalQueries;
+  Program Best = P;
+  double BestScore = Score;
+  if (Trace)
+    Trace->push_back(
+        SynthesisStep{0, true, P, Eval.AvgQueries, Cumulative});
+  logDebug() << "synthesis init: avgQ=" << Eval.AvgQueries
+             << " successes=" << Eval.Successes << "/" << Eval.Attacks;
+
+  for (size_t Iter = 1; Iter <= Config.MaxIter; ++Iter) {
+    const Program Candidate = mutateProgram(P, Ctx, R);
+    const ProgramEval CandEval =
+        evaluateProgram(Candidate, N, TrainSet, Config.PerImageQueryCap);
+    const double CandScore = CandEval.score(Config.Beta);
+    Cumulative += CandEval.TotalQueries;
+
+    // MH acceptance: u < S(P')/S(P). A zero-score incumbent accepts any
+    // scoring candidate.
+    bool Accept;
+    if (Score <= 0.0)
+      Accept = CandScore > 0.0;
+    else
+      Accept = R.uniform() < CandScore / Score;
+    if (Accept) {
+      P = Candidate;
+      Eval = CandEval;
+      Score = CandScore;
+    }
+    if (CandScore > BestScore) {
+      Best = Candidate;
+      BestScore = CandScore;
+    }
+    if (Trace)
+      Trace->push_back(
+          SynthesisStep{Iter, Accept, P, Eval.AvgQueries, Cumulative});
+    logDebug() << "synthesis iter " << Iter << ": candAvgQ="
+               << CandEval.AvgQueries << (Accept ? " accepted" : " rejected")
+               << " curAvgQ=" << Eval.AvgQueries;
+  }
+  logInfo() << "synthesis done: avgQ=" << Eval.AvgQueries << " over "
+            << Eval.Successes << "/" << Eval.Attacks
+            << " train images, total synthesis queries=" << Cumulative;
+  if (Config.ReturnBestSeen && BestScore <= 0.0) {
+    // No candidate ever succeeded on the training set (e.g. a robust
+    // class under a tight cap): the scores carry no signal, so prefer the
+    // deterministic fixed prioritization over an arbitrary random program.
+    logWarn() << "synthesis saw no successful training attack; returning "
+                 "the fixed-prioritization program";
+    return allFalseProgram();
+  }
+  return Config.ReturnBestSeen ? Best : P;
+}
+
+Program oppsla::randomSearchProgram(Classifier &N, const Dataset &TrainSet,
+                                    size_t NumSamples, uint64_t PerImageCap,
+                                    uint64_t Seed) {
+  assert(NumSamples > 0 && "need at least one sample");
+  Rng R(Seed);
+  MutationContext Ctx;
+  Ctx.ImageSide =
+      TrainSet.size() > 0 ? TrainSet.Images.front().height() : 32;
+
+  Program Best;
+  double BestAvg = 0.0;
+  bool HaveBest = false;
+  for (size_t I = 0; I != NumSamples; ++I) {
+    const Program P = randomProgram(Ctx, R);
+    const ProgramEval Eval = evaluateProgram(P, N, TrainSet, PerImageCap);
+    if (Eval.Successes == 0)
+      continue;
+    if (!HaveBest || Eval.AvgQueries < BestAvg) {
+      Best = P;
+      BestAvg = Eval.AvgQueries;
+      HaveBest = true;
+    }
+  }
+  if (!HaveBest) {
+    logWarn() << "random search found no succeeding program; returning "
+                 "the fixed-prioritization program";
+    return allFalseProgram();
+  }
+  return Best;
+}

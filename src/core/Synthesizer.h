@@ -1,0 +1,85 @@
+//===- core/Synthesizer.h - OPPSLA's MH search (Algorithm 2) ----*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// OPPSLA's synthesizer (Appendix B, Algorithm 2): Metropolis-Hastings-
+/// style stochastic search over sketch instantiations. Each candidate
+/// program is scored by running it on every training image and measuring
+/// the average number of queries over *successful* attacks:
+///
+///   S(P) = exp(-beta * avgQueries(P))
+///
+/// A mutated candidate P' replaces P with probability min(1, S(P')/S(P)).
+/// The synthesizer optionally records a trace of accepted programs with
+/// cumulative query counts — the raw series behind the paper's Figure 4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_CORE_SYNTHESIZER_H
+#define OPPSLA_CORE_SYNTHESIZER_H
+
+#include "core/Mutation.h"
+#include "core/Sketch.h"
+
+#include <vector>
+
+namespace oppsla {
+
+/// Hyper-parameters of Algorithm 2.
+struct SynthesisConfig {
+  size_t MaxIter = 210;    ///< MH iterations (paper Appendix C uses 210)
+  double Beta = 0.02;      ///< score sharpness in exp(-beta * avgQ)
+  uint64_t PerImageQueryCap = 4096; ///< cap per training image (DESIGN §5.3)
+  uint64_t Seed = 1;       ///< RNG seed for init + proposals + acceptance
+  /// Return the best-scoring program seen rather than the last accepted
+  /// one (the Metropolis chain is an explorer, not an estimator; stochastic
+  /// superoptimizers such as STOKE make the same choice). Disable to match
+  /// Algorithm 2 verbatim.
+  bool ReturnBestSeen = true;
+};
+
+/// Aggregate result of running one program over a training set.
+struct ProgramEval {
+  double AvgQueries = 0.0;   ///< over successful attacks only
+  size_t Successes = 0;      ///< images successfully attacked
+  size_t Attacks = 0;        ///< images attempted
+  uint64_t TotalQueries = 0; ///< all queries posed, successes and failures
+
+  /// The paper's score S(P) = exp(-beta * avgQ); programs with zero
+  /// successes score 0 so they are (almost) never accepted.
+  double score(double Beta) const;
+};
+
+/// One entry of the synthesis trace: the state after an iteration.
+struct SynthesisStep {
+  size_t Iteration = 0;            ///< 0 = the initial random program
+  bool Accepted = false;           ///< proposal accepted this iteration
+  Program Current;                 ///< program held after the iteration
+  double AvgQueries = 0.0;         ///< its training-set average queries
+  uint64_t CumulativeQueries = 0;  ///< synthesis queries posed so far
+};
+
+/// Runs program \p P over every (image, label) pair of \p TrainSet with a
+/// per-image budget of \p PerImageCap queries.
+ProgramEval evaluateProgram(const Program &P, Classifier &N,
+                            const Dataset &TrainSet, uint64_t PerImageCap);
+
+/// OPPSLA: synthesizes a program for classifier \p N and training set
+/// \p TrainSet. If \p Trace is non-null every iteration is recorded.
+Program synthesizeProgram(Classifier &N, const Dataset &TrainSet,
+                          const SynthesisConfig &Config,
+                          std::vector<SynthesisStep> *Trace = nullptr);
+
+/// The Sketch+Random baseline (Appendix C): samples \p NumSamples random
+/// programs, evaluates each on the training set, and returns the one with
+/// the lowest average query count.
+Program randomSearchProgram(Classifier &N, const Dataset &TrainSet,
+                            size_t NumSamples, uint64_t PerImageCap,
+                            uint64_t Seed);
+
+} // namespace oppsla
+
+#endif // OPPSLA_CORE_SYNTHESIZER_H

@@ -1,0 +1,76 @@
+//===- data/Augment.cpp - Training-time data augmentation --------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "data/Augment.h"
+
+#include "data/Draw.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+
+using namespace oppsla;
+
+Image oppsla::flipHorizontal(const Image &Img) {
+  const size_t H = Img.height(), W = Img.width();
+  Image Out(H, W);
+  for (size_t I = 0; I != H; ++I)
+    for (size_t J = 0; J != W; ++J)
+      Out.setPixel(I, J, Img.pixel(I, W - 1 - J));
+  return Out;
+}
+
+Image oppsla::translate(const Image &Img, int DRow, int DCol) {
+  const size_t H = Img.height(), W = Img.width();
+  Image Out(H, W);
+  for (size_t I = 0; I != H; ++I) {
+    const long SrcRow = std::clamp<long>(static_cast<long>(I) - DRow, 0,
+                                         static_cast<long>(H) - 1);
+    for (size_t J = 0; J != W; ++J) {
+      const long SrcCol = std::clamp<long>(static_cast<long>(J) - DCol, 0,
+                                           static_cast<long>(W) - 1);
+      Out.setPixel(I, J,
+                   Img.pixel(static_cast<size_t>(SrcRow),
+                             static_cast<size_t>(SrcCol)));
+    }
+  }
+  return Out;
+}
+
+void oppsla::cutout(Image &Img, size_t Patch, Rng &R) {
+  if (Patch == 0)
+    return;
+  const size_t H = Img.height(), W = Img.width();
+  const size_t Row = R.index(H);
+  const size_t Col = R.index(W);
+  const size_t Row1 = std::min(H, Row + Patch);
+  const size_t Col1 = std::min(W, Col + Patch);
+  for (size_t I = Row; I != Row1; ++I)
+    for (size_t J = Col; J != Col1; ++J)
+      Img.setPixel(I, J, Pixel{0.0f, 0.0f, 0.0f});
+}
+
+Image oppsla::augment(const Image &Img, const AugmentConfig &Config,
+                      Rng &R) {
+  Image Out = Img;
+  if (Config.HorizontalFlip && R.chance(0.5))
+    Out = flipHorizontal(Out);
+  if (Config.MaxTranslate > 0) {
+    const int DRow = R.intIn(-Config.MaxTranslate, Config.MaxTranslate);
+    const int DCol = R.intIn(-Config.MaxTranslate, Config.MaxTranslate);
+    if (DRow != 0 || DCol != 0)
+      Out = translate(Out, DRow, DCol);
+  }
+  const float Gain = 1.0f + static_cast<float>(R.uniform(
+                               -Config.ContrastJitter,
+                               Config.ContrastJitter));
+  const float Bias = static_cast<float>(R.uniform(
+      -Config.BrightnessJitter, Config.BrightnessJitter));
+  adjust(Out, Gain, Bias);
+  if (Config.CutoutPatch > 0)
+    cutout(Out, Config.CutoutPatch, R);
+  Out.clamp();
+  return Out;
+}

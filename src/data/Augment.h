@@ -1,0 +1,51 @@
+//===- data/Augment.h - Training-time data augmentation ---------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Standard light augmentations for victim training: horizontal flips,
+/// integer translations with edge clamping, brightness/contrast jitter,
+/// and cutout. Augmentation is a robustness lever: flips/translations make
+/// classifiers generalize better, while cutout in particular teaches them
+/// to tolerate local occlusion — which *reduces* one pixel vulnerability.
+/// The victim trainer therefore exposes it as an opt-in knob (see
+/// TrainConfig::Augment), and the ablation bench can quantify the effect.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_DATA_AUGMENT_H
+#define OPPSLA_DATA_AUGMENT_H
+
+#include "data/Image.h"
+
+namespace oppsla {
+
+class Rng;
+
+/// Mirrors the image left-right.
+Image flipHorizontal(const Image &Img);
+
+/// Shifts by (\p DRow, \p DCol) pixels; vacated areas replicate the
+/// nearest edge pixel.
+Image translate(const Image &Img, int DRow, int DCol);
+
+/// Zeroes a random square patch of side \p Patch (clipped to the image).
+void cutout(Image &Img, size_t Patch, Rng &R);
+
+/// Augmentation policy applied per sample during training.
+struct AugmentConfig {
+  bool HorizontalFlip = true;  ///< with probability 1/2
+  int MaxTranslate = 2;        ///< uniform in [-MaxTranslate, MaxTranslate]
+  float BrightnessJitter = 0.05f; ///< additive, uniform
+  float ContrastJitter = 0.1f;    ///< multiplicative, uniform around 1
+  size_t CutoutPatch = 0;         ///< 0 disables cutout
+};
+
+/// Applies one random augmentation draw to a copy of \p Img.
+Image augment(const Image &Img, const AugmentConfig &Config, Rng &R);
+
+} // namespace oppsla
+
+#endif // OPPSLA_DATA_AUGMENT_H

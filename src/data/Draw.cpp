@@ -1,0 +1,138 @@
+//===- data/Draw.cpp - Procedural drawing primitives -------------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "data/Draw.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace oppsla;
+
+namespace {
+
+Pixel lerp(const Pixel &A, const Pixel &B, float T) {
+  return Pixel{A.R + (B.R - A.R) * T, A.G + (B.G - A.G) * T,
+               A.B + (B.B - A.B) * T};
+}
+
+void blendPixel(Image &Img, size_t Row, size_t Col, const Pixel &Color,
+                float Alpha) {
+  if (Alpha <= 0.0f)
+    return;
+  Pixel P = Img.pixel(Row, Col);
+  Img.setPixel(Row, Col, lerp(P, Color, std::min(Alpha, 1.0f)));
+}
+
+} // namespace
+
+void oppsla::fillVGradient(Image &Img, const Pixel &Top, const Pixel &Bottom) {
+  const size_t H = Img.height(), W = Img.width();
+  for (size_t I = 0; I != H; ++I) {
+    const float T = H > 1 ? static_cast<float>(I) / static_cast<float>(H - 1)
+                          : 0.0f;
+    const Pixel Row = lerp(Top, Bottom, T);
+    for (size_t J = 0; J != W; ++J)
+      Img.setPixel(I, J, Row);
+  }
+}
+
+void oppsla::fillDiagGradient(Image &Img, const Pixel &A, const Pixel &B) {
+  const size_t H = Img.height(), W = Img.width();
+  const float Denom = static_cast<float>(H + W - 2);
+  for (size_t I = 0; I != H; ++I)
+    for (size_t J = 0; J != W; ++J) {
+      const float T = Denom > 0.0f ? static_cast<float>(I + J) / Denom : 0.0f;
+      Img.setPixel(I, J, lerp(A, B, T));
+    }
+}
+
+void oppsla::fillSolid(Image &Img, const Pixel &Color) {
+  const size_t H = Img.height(), W = Img.width();
+  for (size_t I = 0; I != H; ++I)
+    for (size_t J = 0; J != W; ++J)
+      Img.setPixel(I, J, Color);
+}
+
+void oppsla::drawDisc(Image &Img, double CenterRow, double CenterCol,
+                      double Radius, const Pixel &Color) {
+  const size_t H = Img.height(), W = Img.width();
+  const long R0 = std::max(0L, static_cast<long>(CenterRow - Radius - 1));
+  const long R1 = std::min(static_cast<long>(H) - 1,
+                           static_cast<long>(CenterRow + Radius + 1));
+  const long C0 = std::max(0L, static_cast<long>(CenterCol - Radius - 1));
+  const long C1 = std::min(static_cast<long>(W) - 1,
+                           static_cast<long>(CenterCol + Radius + 1));
+  for (long I = R0; I <= R1; ++I)
+    for (long J = C0; J <= C1; ++J) {
+      const double D = std::hypot(static_cast<double>(I) - CenterRow,
+                                  static_cast<double>(J) - CenterCol);
+      // Soft edge across one pixel.
+      const float Alpha = static_cast<float>(std::clamp(Radius - D + 0.5,
+                                                        0.0, 1.0));
+      blendPixel(Img, static_cast<size_t>(I), static_cast<size_t>(J), Color,
+                 Alpha);
+    }
+}
+
+void oppsla::drawRect(Image &Img, long Row0, long Col0, long Row1, long Col1,
+                      const Pixel &Color) {
+  const long H = static_cast<long>(Img.height());
+  const long W = static_cast<long>(Img.width());
+  for (long I = std::max(0L, Row0); I <= std::min(H - 1, Row1); ++I)
+    for (long J = std::max(0L, Col0); J <= std::min(W - 1, Col1); ++J)
+      Img.setPixel(static_cast<size_t>(I), static_cast<size_t>(J), Color);
+}
+
+void oppsla::drawRing(Image &Img, double CenterRow, double CenterCol,
+                      double R0, double R1, const Pixel &Color) {
+  const size_t H = Img.height(), W = Img.width();
+  for (size_t I = 0; I != H; ++I)
+    for (size_t J = 0; J != W; ++J) {
+      const double D = std::hypot(static_cast<double>(I) - CenterRow,
+                                  static_cast<double>(J) - CenterCol);
+      if (D < R0 || D > R1)
+        continue;
+      const float EdgeIn = static_cast<float>(std::clamp(D - R0 + 0.5, 0.0,
+                                                         1.0));
+      const float EdgeOut = static_cast<float>(std::clamp(R1 - D + 0.5, 0.0,
+                                                          1.0));
+      blendPixel(Img, I, J, Color, std::min(EdgeIn, EdgeOut));
+    }
+}
+
+void oppsla::drawHStripes(Image &Img, size_t Period, const Pixel &A,
+                          const Pixel &B) {
+  assert(Period >= 2 && "stripe period must be >= 2");
+  const size_t H = Img.height(), W = Img.width();
+  for (size_t I = 0; I != H; ++I) {
+    const Pixel &Color = (I % Period) < Period / 2 ? A : B;
+    for (size_t J = 0; J != W; ++J)
+      Img.setPixel(I, J, Color);
+  }
+}
+
+void oppsla::drawChecker(Image &Img, size_t Cell, const Pixel &A,
+                         const Pixel &B) {
+  assert(Cell >= 1 && "checker cell must be >= 1");
+  const size_t H = Img.height(), W = Img.width();
+  for (size_t I = 0; I != H; ++I)
+    for (size_t J = 0; J != W; ++J) {
+      const bool Even = ((I / Cell) + (J / Cell)) % 2 == 0;
+      Img.setPixel(I, J, Even ? A : B);
+    }
+}
+
+void oppsla::addGaussianNoise(Image &Img, double Sigma, Rng &R) {
+  for (float &V : Img.raw())
+    V += static_cast<float>(R.normal(0.0, Sigma));
+}
+
+void oppsla::adjust(Image &Img, float Gain, float Bias) {
+  for (float &V : Img.raw())
+    V = V * Gain + Bias;
+}

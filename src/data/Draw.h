@@ -1,0 +1,61 @@
+//===- data/Draw.h - Procedural drawing primitives -------------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drawing primitives used by the synthetic dataset generators: gradients,
+/// discs, rectangles, rings, stripes, checkerboards and noise fields. All
+/// operations blend in place and leave values unclamped until the generator
+/// finishes (a final clamp keeps images in [0,1]).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_DATA_DRAW_H
+#define OPPSLA_DATA_DRAW_H
+
+#include "data/Image.h"
+
+namespace oppsla {
+
+class Rng;
+
+/// Fills with a vertical gradient from \p Top (row 0) to \p Bottom.
+void fillVGradient(Image &Img, const Pixel &Top, const Pixel &Bottom);
+
+/// Fills with a diagonal gradient from the top-left \p A to the
+/// bottom-right \p B.
+void fillDiagGradient(Image &Img, const Pixel &A, const Pixel &B);
+
+/// Fills with a constant colour.
+void fillSolid(Image &Img, const Pixel &Color);
+
+/// Draws a filled disc with soft 1px edge.
+void drawDisc(Image &Img, double CenterRow, double CenterCol, double Radius,
+              const Pixel &Color);
+
+/// Draws an axis-aligned filled rectangle (clipped to the image).
+void drawRect(Image &Img, long Row0, long Col0, long Row1, long Col1,
+              const Pixel &Color);
+
+/// Draws a ring (annulus) with inner radius \p R0 and outer radius \p R1.
+void drawRing(Image &Img, double CenterRow, double CenterCol, double R0,
+              double R1, const Pixel &Color);
+
+/// Alternating horizontal stripes of height \p Period/2 in two colours.
+void drawHStripes(Image &Img, size_t Period, const Pixel &A, const Pixel &B);
+
+/// Checkerboard with square cells of size \p Cell.
+void drawChecker(Image &Img, size_t Cell, const Pixel &A, const Pixel &B);
+
+/// Adds i.i.d. Gaussian noise with stddev \p Sigma to every channel.
+void addGaussianNoise(Image &Img, double Sigma, Rng &R);
+
+/// Multiplies every channel by \p Gain and adds \p Bias (brightness/contrast
+/// jitter).
+void adjust(Image &Img, float Gain, float Bias);
+
+} // namespace oppsla
+
+#endif // OPPSLA_DATA_DRAW_H

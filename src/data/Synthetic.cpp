@@ -1,0 +1,300 @@
+//===- data/Synthetic.cpp - Procedural classification datasets --------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "data/Synthetic.h"
+
+#include "data/Draw.h"
+#include "support/Rng.h"
+
+#include <cmath>
+
+using namespace oppsla;
+
+namespace {
+
+/// Per-instance jitter shared by all recipes.
+struct Jitter {
+  float Gain;    ///< brightness gain
+  float Bias;    ///< brightness bias
+  double Noise;  ///< gaussian pixel noise sigma
+};
+
+Jitter sampleJitter(Rng &R, double BaseNoise) {
+  return Jitter{static_cast<float>(R.uniform(0.85, 1.1)),
+                static_cast<float>(R.uniform(-0.05, 0.05)),
+                BaseNoise * R.uniform(0.7, 1.3)};
+}
+
+Pixel jitterColor(const Pixel &Base, Rng &R, float Spread) {
+  auto J = [&](float V) {
+    return static_cast<float>(V + R.uniform(-Spread, Spread));
+  };
+  return Pixel{J(Base.R), J(Base.G), J(Base.B)};
+}
+
+double frac(Rng &R, double Lo, double Hi) { return R.uniform(Lo, Hi); }
+
+/// Draws \p Count pixel-scale dots of colour \p Color at random positions.
+/// These micro-features are deliberately one-pixel sized: several classes
+/// are partly identified by them, so trained victims learn local detectors
+/// that a single corner-coloured pixel can excite — the mechanism one
+/// pixel attacks exploit on real CNNs (cf. Vargas & Su's locality
+/// analysis).
+void drawMicroDots(Image &Img, size_t Count, const Pixel &Color, Rng &R) {
+  const auto S = static_cast<double>(Img.height());
+  for (size_t K = 0; K != Count; ++K)
+    drawDisc(Img, frac(R, 0.1, 0.9) * S, frac(R, 0.1, 0.9) * S,
+             R.uniform(0.5, 0.9), Color);
+}
+
+//===----------------------------------------------------------------------===//
+// CIFAR-like recipes: ten coarse, visually distinct classes.
+//===----------------------------------------------------------------------===//
+
+void cifarClass(Image &Img, size_t Label, Rng &R) {
+  const auto S = static_cast<double>(Img.height());
+  switch (Label) {
+  case 0: { // "airplane": sky gradient + light disc
+    fillVGradient(Img, jitterColor({0.55f, 0.7f, 0.95f}, R, 0.08f),
+                  jitterColor({0.75f, 0.85f, 1.0f}, R, 0.08f));
+    drawDisc(Img, frac(R, 0.25, 0.75) * S, frac(R, 0.25, 0.75) * S,
+             frac(R, 0.12, 0.2) * S, jitterColor({0.95f, 0.95f, 0.97f}, R,
+                                                 0.05f));
+    break;
+  }
+  case 1: { // "automobile": dark asphalt + saturated box
+    fillSolid(Img, jitterColor({0.25f, 0.25f, 0.28f}, R, 0.06f));
+    const long R0 = static_cast<long>(frac(R, 0.35, 0.55) * S);
+    const long C0 = static_cast<long>(frac(R, 0.1, 0.35) * S);
+    drawRect(Img, R0, C0, R0 + static_cast<long>(0.3 * S),
+             C0 + static_cast<long>(0.5 * S),
+             jitterColor({0.85f, 0.15f, 0.12f}, R, 0.1f));
+    drawMicroDots(Img, 2, {1.0f, 0.95f, 0.05f}, R); // yellow headlights
+    break;
+  }
+  case 2: { // "bird": greenish field + two thin vertical bars
+    fillVGradient(Img, jitterColor({0.35f, 0.6f, 0.3f}, R, 0.08f),
+                  jitterColor({0.5f, 0.75f, 0.4f}, R, 0.08f));
+    for (int K = 0; K != 2; ++K) {
+      const long C = static_cast<long>(frac(R, 0.15, 0.8) * S);
+      drawRect(Img, static_cast<long>(0.1 * S), C,
+               static_cast<long>(0.9 * S), C + std::max(1L, (long)(S / 16)),
+               jitterColor({0.4f, 0.25f, 0.12f}, R, 0.06f));
+    }
+    break;
+  }
+  case 3: { // "cat": warm coarse checkerboard
+    drawChecker(Img, std::max<size_t>(2, Img.height() / 8),
+                jitterColor({0.75f, 0.55f, 0.35f}, R, 0.08f),
+                jitterColor({0.5f, 0.3f, 0.2f}, R, 0.08f));
+    break;
+  }
+  case 4: { // "deer": muted background + ring
+    fillSolid(Img, jitterColor({0.55f, 0.55f, 0.45f}, R, 0.07f));
+    const double Cr = frac(R, 0.35, 0.65) * S, Cc = frac(R, 0.35, 0.65) * S;
+    drawRing(Img, Cr, Cc, 0.15 * S, 0.28 * S,
+             jitterColor({0.75f, 0.65f, 0.5f}, R, 0.07f));
+    drawMicroDots(Img, 1 + R.index(2), {1.0f, 0.05f, 1.0f}, R); // ear tags
+    break;
+  }
+  case 5: { // "dog": horizontal stripes
+    drawHStripes(Img, std::max<size_t>(4, Img.height() / 5),
+                 jitterColor({0.7f, 0.6f, 0.5f}, R, 0.08f),
+                 jitterColor({0.45f, 0.35f, 0.3f}, R, 0.08f));
+    break;
+  }
+  case 6: { // "frog": dark scene with darker blob (the paper's dark-spot
+            // observation feeds the min/avg conditions)
+    fillSolid(Img, jitterColor({0.18f, 0.25f, 0.15f}, R, 0.05f));
+    drawDisc(Img, frac(R, 0.3, 0.7) * S, frac(R, 0.3, 0.7) * S,
+             frac(R, 0.18, 0.3) * S, jitterColor({0.05f, 0.1f, 0.05f}, R,
+                                                 0.03f));
+    drawMicroDots(Img, 1 + R.index(2), {0.05f, 1.0f, 0.1f}, R); // green eyes
+    break;
+  }
+  case 7: { // "horse": diagonal gradient + bright horizontal bar
+    fillDiagGradient(Img, jitterColor({0.6f, 0.45f, 0.3f}, R, 0.08f),
+                     jitterColor({0.35f, 0.25f, 0.2f}, R, 0.08f));
+    const long Row = static_cast<long>(frac(R, 0.3, 0.6) * S);
+    drawRect(Img, Row, 0, Row + std::max(1L, (long)(S / 10)),
+             static_cast<long>(S) - 1,
+             jitterColor({0.9f, 0.85f, 0.7f}, R, 0.06f));
+    drawMicroDots(Img, 1 + R.index(2), {0.05f, 1.0f, 1.0f}, R); // bridle studs
+    break;
+  }
+  case 8: { // "ship": sea/sky split + white superstructure
+    fillVGradient(Img, jitterColor({0.7f, 0.8f, 0.95f}, R, 0.06f),
+                  jitterColor({0.1f, 0.25f, 0.5f}, R, 0.06f));
+    const long R0 = static_cast<long>(frac(R, 0.35, 0.55) * S);
+    const long C0 = static_cast<long>(frac(R, 0.2, 0.5) * S);
+    drawRect(Img, R0, C0, R0 + static_cast<long>(0.18 * S),
+             C0 + static_cast<long>(0.35 * S),
+             jitterColor({0.92f, 0.92f, 0.95f}, R, 0.04f));
+    drawMicroDots(Img, 1 + R.index(2), {1.0f, 0.05f, 0.05f}, R); // red beacons
+    break;
+  }
+  default: { // 9 "truck": noisy background + blue box
+    fillSolid(Img, jitterColor({0.5f, 0.5f, 0.5f}, R, 0.1f));
+    addGaussianNoise(Img, 0.12, R);
+    const long R0 = static_cast<long>(frac(R, 0.25, 0.5) * S);
+    const long C0 = static_cast<long>(frac(R, 0.15, 0.4) * S);
+    drawRect(Img, R0, C0, R0 + static_cast<long>(0.35 * S),
+             C0 + static_cast<long>(0.45 * S),
+             jitterColor({0.15f, 0.3f, 0.8f}, R, 0.08f));
+    break;
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ImageNet-like recipes: ten fine-grained classes over a shared marine
+// background, mirroring the paper's closely-related class subsets.
+//===----------------------------------------------------------------------===//
+
+void imageNetClass(Image &Img, size_t Label, Rng &R) {
+  const auto S = static_cast<double>(Img.height());
+  // Shared background family: deep-water vertical gradient.
+  fillVGradient(Img, jitterColor({0.2f, 0.4f, 0.65f}, R, 0.06f),
+                jitterColor({0.05f, 0.15f, 0.35f}, R, 0.06f));
+  const Pixel Body = jitterColor({0.75f, 0.75f, 0.8f}, R, 0.06f);
+  const Pixel Dark = jitterColor({0.2f, 0.2f, 0.25f}, R, 0.05f);
+  const double Cr = frac(R, 0.35, 0.65) * S;
+  const double Cc = frac(R, 0.35, 0.65) * S;
+  switch (Label) {
+  case 0: // small disc with white speckles ("stingray")
+    drawDisc(Img, Cr, Cc, 0.1 * S, Body);
+    drawMicroDots(Img, 2, {1.0f, 1.0f, 1.0f}, R);
+    break;
+  case 1: // large disc ("great white shark")
+    drawDisc(Img, Cr, Cc, 0.22 * S, Body);
+    break;
+  case 2: // thin ring ("electric ray")
+    drawRing(Img, Cr, Cc, 0.16 * S, 0.2 * S, Body);
+    break;
+  case 3: // thick ring ("hammerhead")
+    drawRing(Img, Cr, Cc, 0.1 * S, 0.22 * S, Body);
+    break;
+  case 4: // tall rectangle with a red comb dot ("cock")
+    drawRect(Img, static_cast<long>(Cr - 0.25 * S),
+             static_cast<long>(Cc - 0.08 * S),
+             static_cast<long>(Cr + 0.25 * S),
+             static_cast<long>(Cc + 0.08 * S), Body);
+    drawMicroDots(Img, 1, {1.0f, 0.1f, 0.1f}, R);
+    break;
+  case 5: // wide rectangle ("hen")
+    drawRect(Img, static_cast<long>(Cr - 0.08 * S),
+             static_cast<long>(Cc - 0.25 * S),
+             static_cast<long>(Cr + 0.08 * S),
+             static_cast<long>(Cc + 0.25 * S), Body);
+    break;
+  case 6: // two small discs plus blue speckles ("house finch")
+    drawDisc(Img, Cr, Cc - 0.15 * S, 0.09 * S, Body);
+    drawDisc(Img, Cr, Cc + 0.15 * S, 0.09 * S, Body);
+    drawMicroDots(Img, 2, {0.15f, 0.3f, 1.0f}, R);
+    break;
+  case 7: // disc with a dark core ("junco")
+    drawDisc(Img, Cr, Cc, 0.18 * S, Body);
+    drawDisc(Img, Cr, Cc, 0.08 * S, Dark);
+    break;
+  case 8: // disc plus off-center dark satellite ("bulbul")
+    drawDisc(Img, Cr, Cc, 0.15 * S, Body);
+    drawDisc(Img, Cr - 0.18 * S, Cc + 0.12 * S, 0.07 * S, Dark);
+    break;
+  default: // 9: ring with a bright core ("jay")
+    drawRing(Img, Cr, Cc, 0.12 * S, 0.2 * S, Body);
+    drawDisc(Img, Cr, Cc, 0.06 * S,
+             jitterColor({0.95f, 0.9f, 0.85f}, R, 0.04f));
+    break;
+  }
+}
+
+} // namespace
+
+const char *oppsla::taskName(TaskKind Kind) {
+  switch (Kind) {
+  case TaskKind::CifarLike:
+    return "cifar-like";
+  case TaskKind::ImageNetLike:
+    return "imagenet-like";
+  }
+  return "unknown";
+}
+
+size_t oppsla::taskDefaultSide(TaskKind Kind) {
+  return Kind == TaskKind::CifarLike ? 32 : 48;
+}
+
+namespace {
+
+/// Img = (1-Alpha)*Img + Alpha*Other, pixelwise.
+void blendImages(Image &Img, const Image &Other, float Alpha) {
+  assert(Img.raw().size() == Other.raw().size() && "blend size mismatch");
+  float *Dst = Img.raw().data();
+  const float *Src = Other.raw().data();
+  for (size_t I = 0, E = Img.raw().size(); I != E; ++I)
+    Dst[I] = (1.0f - Alpha) * Dst[I] + Alpha * Src[I];
+}
+
+} // namespace
+
+Image oppsla::generateSyntheticImage(TaskKind Kind, size_t Label,
+                                     uint64_t Seed, size_t Side) {
+  assert(Label < 10 && "synthetic tasks have at most 10 classes");
+  if (Side == 0)
+    Side = taskDefaultSide(Kind);
+  Rng R(Seed);
+  Image Img(Side, Side);
+  const double BaseNoise = Kind == TaskKind::CifarLike ? 0.035 : 0.04;
+  const Jitter J = sampleJitter(R, BaseNoise);
+  if (Kind == TaskKind::CifarLike)
+    cifarClass(Img, Label, R);
+  else
+    imageNetClass(Img, Label, R);
+
+  // Cross-class distractor: with some probability, blend in a weakened
+  // rendering of another class. This creates genuinely ambiguous images
+  // near the decision boundary — the population one pixel attacks feed on
+  // (real CIFAR/ImageNet have the same property; cleanly separable
+  // procedural classes would make every classifier unrealistically
+  // over-confident).
+  {
+    size_t Other = R.index(10);
+    if (Other == Label)
+      Other = (Other + 1) % 10;
+    Image Distract(Side, Side);
+    Rng DR(R.nextU64());
+    if (Kind == TaskKind::CifarLike)
+      cifarClass(Distract, Other, DR);
+    else
+      imageNetClass(Distract, Other, DR);
+    // Continuous difficulty: blend strength spans "clean instance" to
+    // "barely the labeled class", so trained victims see a full spectrum
+    // of margins instead of a bimodal easy/impossible split.
+    blendImages(Img, Distract, static_cast<float>(R.uniform(0.1, 0.72)));
+  }
+
+  adjust(Img, J.Gain, J.Bias);
+  addGaussianNoise(Img, J.Noise, R);
+  Img.clamp();
+  return Img;
+}
+
+Dataset oppsla::generateSynthetic(TaskKind Kind, size_t PerClass,
+                                  uint64_t Seed, size_t Side,
+                                  size_t NumClasses) {
+  assert(NumClasses >= 2 && NumClasses <= 10 && "2..10 classes supported");
+  Dataset DS;
+  DS.NumClasses = NumClasses;
+  SplitMix64 SeedGen(Seed);
+  for (size_t Label = 0; Label != NumClasses; ++Label) {
+    for (size_t I = 0; I != PerClass; ++I) {
+      DS.Images.push_back(
+          generateSyntheticImage(Kind, Label, SeedGen.next(), Side));
+      DS.Labels.push_back(Label);
+    }
+  }
+  return DS;
+}

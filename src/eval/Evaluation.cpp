@@ -1,0 +1,77 @@
+//===- eval/Evaluation.cpp - Attack evaluation harness -----------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Evaluation.h"
+
+#include "attacks/SketchAttack.h"
+
+using namespace oppsla;
+
+std::vector<AttackRunLog> oppsla::runAttackOverSet(Attack &A, Classifier &N,
+                                                   const Dataset &TestSet,
+                                                   uint64_t Budget) {
+  std::vector<AttackRunLog> Logs;
+  Logs.reserve(TestSet.size());
+  for (size_t I = 0; I != TestSet.size(); ++I) {
+    const AttackResult R =
+        A.attack(N, TestSet.Images[I], TestSet.Labels[I], Budget);
+    AttackRunLog Log;
+    Log.Label = TestSet.Labels[I];
+    Log.Discarded = R.AlreadyMisclassified;
+    Log.Success = R.Success && !R.AlreadyMisclassified;
+    Log.Queries = R.Queries;
+    Logs.push_back(Log);
+  }
+  return Logs;
+}
+
+std::vector<AttackRunLog> oppsla::runProgramsOverSet(
+    const std::vector<Program> &Programs, Classifier &N,
+    const Dataset &TestSet, uint64_t Budget) {
+  std::vector<AttackRunLog> Logs;
+  Logs.reserve(TestSet.size());
+  for (size_t I = 0; I != TestSet.size(); ++I) {
+    const size_t Label = TestSet.Labels[I];
+    assert(Label < Programs.size() && "no program for this class");
+    SketchAttack A(Programs[Label]);
+    const AttackResult R = A.attack(N, TestSet.Images[I], Label, Budget);
+    AttackRunLog Log;
+    Log.Label = Label;
+    Log.Discarded = R.AlreadyMisclassified;
+    Log.Success = R.Success && !R.AlreadyMisclassified;
+    Log.Queries = R.Queries;
+    Logs.push_back(Log);
+  }
+  return Logs;
+}
+
+QuerySample oppsla::toQuerySample(const std::vector<AttackRunLog> &Logs) {
+  QuerySample Sample;
+  for (const AttackRunLog &Log : Logs) {
+    if (Log.Discarded)
+      continue;
+    if (Log.Success)
+      Sample.SuccessQueries.push_back(static_cast<double>(Log.Queries));
+    else
+      ++Sample.NumFailures;
+  }
+  return Sample;
+}
+
+double oppsla::successRateAt(const std::vector<AttackRunLog> &Logs,
+                             uint64_t Budget) {
+  size_t Within = 0, Total = 0;
+  for (const AttackRunLog &Log : Logs) {
+    if (Log.Discarded)
+      continue;
+    ++Total;
+    if (Log.Success && Log.Queries <= Budget)
+      ++Within;
+  }
+  if (Total == 0)
+    return 0.0;
+  return static_cast<double>(Within) / static_cast<double>(Total);
+}

@@ -1,0 +1,62 @@
+//===- eval/Evaluation.h - Attack evaluation harness ------------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The measurement harness behind the paper's evaluation: runs attacks
+/// over test sets, records per-image query counts, and derives the
+/// paper's metrics (success rate at a query budget, average and median
+/// queries over successes). Misclassified test images are discarded
+/// exactly as in Section 5.
+///
+/// The success-rate-at-budget curves exploit the prefix property: an
+/// attack run with budget B that succeeds after q <= B queries would have
+/// succeeded identically with any budget in [q, B], so one run per image
+/// yields the whole curve.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_EVAL_EVALUATION_H
+#define OPPSLA_EVAL_EVALUATION_H
+
+#include "attacks/Attack.h"
+#include "core/Condition.h"
+#include "support/Stats.h"
+
+#include <vector>
+
+namespace oppsla {
+
+/// Per-image record of one attack run.
+struct AttackRunLog {
+  size_t Label = 0;        ///< true class of the image
+  bool Discarded = false;  ///< clean image was misclassified
+  bool Success = false;
+  uint64_t Queries = 0;
+};
+
+/// Runs \p A on every image of \p TestSet with \p Budget queries each.
+std::vector<AttackRunLog> runAttackOverSet(Attack &A, Classifier &N,
+                                           const Dataset &TestSet,
+                                           uint64_t Budget);
+
+/// Runs the per-class adversarial programs over \p TestSet: the image's
+/// label selects the program (the paper synthesizes one program per class
+/// training set). \p Programs must have one entry per class in use.
+std::vector<AttackRunLog> runProgramsOverSet(
+    const std::vector<Program> &Programs, Classifier &N,
+    const Dataset &TestSet, uint64_t Budget);
+
+/// Collapses run logs into the QuerySample statistics (discarded images
+/// are excluded entirely).
+QuerySample toQuerySample(const std::vector<AttackRunLog> &Logs);
+
+/// Success rate counting only successes within \p Budget queries, over
+/// all non-discarded images.
+double successRateAt(const std::vector<AttackRunLog> &Logs, uint64_t Budget);
+
+} // namespace oppsla
+
+#endif // OPPSLA_EVAL_EVALUATION_H

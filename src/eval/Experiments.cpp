@@ -1,0 +1,173 @@
+//===- eval/Experiments.cpp - Shared experiment setup ------------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Experiments.h"
+
+#include "support/Logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+using namespace oppsla;
+
+const std::vector<Arch> &oppsla::cifarArchs() {
+  static const std::vector<Arch> Archs = {Arch::MiniGoogLeNet,
+                                          Arch::MiniResNet, Arch::MiniVGG};
+  return Archs;
+}
+
+const std::vector<Arch> &oppsla::imageNetArchs() {
+  static const std::vector<Arch> Archs = {Arch::MiniDenseNet,
+                                          Arch::MiniResNet50};
+  return Archs;
+}
+
+size_t oppsla::taskSide(TaskKind Task, const BenchScale &Scale) {
+  return Task == TaskKind::CifarLike ? Scale.CifarSide : Scale.ImageNetSide;
+}
+
+namespace {
+
+VictimSpec scaledSpec(TaskKind Task, Arch Architecture,
+                      const BenchScale &Scale, uint64_t Seed) {
+  VictimSpec Spec;
+  Spec.Task = Task;
+  Spec.Architecture = Architecture;
+  Spec.Seed = Seed;
+  // Victims are always full 10-way classifiers like the paper's (a wider
+  // softmax keeps margins realistic); Scale.NumClasses only bounds which
+  // classes the experiments attack.
+  Spec.NumClasses = 10;
+  Spec.TrainImagesPerClass =
+      std::max<size_t>(1, Scale.ClassifierTrainSet / 10);
+  Spec.Side = taskSide(Task, Scale);
+  Spec.Train.Epochs = Scale.TrainEpochs;
+  return Spec;
+}
+
+} // namespace
+
+std::unique_ptr<NNClassifier> oppsla::makeScaledVictim(TaskKind Task,
+                                                       Arch Architecture,
+                                                       const BenchScale &Scale,
+                                                       uint64_t Seed) {
+  return makeVictim(scaledSpec(Task, Architecture, Scale, Seed));
+}
+
+std::string oppsla::victimStem(TaskKind Task, Arch Architecture,
+                               const BenchScale &Scale, uint64_t Seed) {
+  return scaledSpec(Task, Architecture, Scale, Seed).cacheStem();
+}
+
+Dataset oppsla::makeTestSet(TaskKind Task, const BenchScale &Scale,
+                            uint64_t Seed) {
+  // 0xteset namespace: disjoint from the victim-training (0x...7) and
+  // synthesis (below) seed streams.
+  return generateSynthetic(Task, Scale.TestPerClass,
+                           /*Seed=*/Seed * 7778777 + 424243,
+                           taskSide(Task, Scale), Scale.NumClasses);
+}
+
+Dataset oppsla::makeSynthesisSet(TaskKind Task, size_t Label,
+                                 const BenchScale &Scale, uint64_t Seed) {
+  Dataset All = generateSynthetic(Task, Scale.TrainPerClass,
+                                  /*Seed=*/Seed * 31337 + 101 + Label * 977,
+                                  taskSide(Task, Scale), Scale.NumClasses);
+  return All.filterByClass(Label);
+}
+
+//===----------------------------------------------------------------------===//
+// Program (de)serialization
+//===----------------------------------------------------------------------===//
+
+bool oppsla::saveProgram(const Program &P, const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  for (const Condition &C : P.Conds)
+    std::fprintf(F, "%d %d %d %.17g\n", static_cast<int>(C.Func),
+                 static_cast<int>(C.Source), static_cast<int>(C.Cmp),
+                 C.Threshold);
+  std::fclose(F);
+  return true;
+}
+
+bool oppsla::loadProgram(Program &P, const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  if (!F)
+    return false;
+  Program Out;
+  for (Condition &C : Out.Conds) {
+    int Func = 0, Source = 0, Cmp = 0;
+    double Threshold = 0.0;
+    if (std::fscanf(F, "%d %d %d %lg", &Func, &Source, &Cmp, &Threshold) !=
+        4) {
+      std::fclose(F);
+      return false;
+    }
+    if (Func < 0 || Func >= static_cast<int>(NumFuncKinds) || Source < 0 ||
+        Source > 1 || Cmp < 0 || Cmp > 1) {
+      std::fclose(F);
+      return false;
+    }
+    C.Func = static_cast<FuncKind>(Func);
+    C.Source = static_cast<PixelSource>(Source);
+    C.Cmp = static_cast<CmpKind>(Cmp);
+    C.Threshold = Threshold;
+  }
+  std::fclose(F);
+  P = Out;
+  return true;
+}
+
+namespace {
+
+std::string cacheDir() {
+  if (const char *Env = std::getenv("OPPSLA_CACHE_DIR"))
+    return Env;
+  return ".oppsla-cache";
+}
+
+} // namespace
+
+std::vector<Program> oppsla::synthesizeClassPrograms(
+    NNClassifier &Victim, const std::string &VictimStem, TaskKind Task,
+    const BenchScale &Scale, uint64_t Seed) {
+  std::vector<Program> Programs;
+  Programs.reserve(Scale.NumClasses);
+
+  std::error_code EC;
+  std::filesystem::create_directories(cacheDir(), EC);
+
+  for (size_t Label = 0; Label != Scale.NumClasses; ++Label) {
+    std::ostringstream Key;
+    Key << cacheDir() << "/prog_" << VictimStem << "_cls" << Label << "_i"
+        << Scale.SynthIters << "_t" << Scale.TrainPerClass << "_s" << Seed
+        << ".txt";
+    Program P;
+    if (loadProgram(P, Key.str())) {
+      logInfo() << "loaded cached program for class " << Label << " from "
+                << Key.str();
+      Programs.push_back(P);
+      continue;
+    }
+    const Dataset Train = makeSynthesisSet(Task, Label, Scale, Seed);
+    SynthesisConfig Config;
+    Config.MaxIter = Scale.SynthIters;
+    Config.PerImageQueryCap = Scale.SynthQueryCap;
+    Config.Seed = Seed * 131071 + Label * 8191 + 5;
+    logInfo() << "synthesizing program for " << Victim.name() << " class "
+              << Label << " (" << Train.size() << " train images, "
+              << Config.MaxIter << " iters)";
+    P = synthesizeProgram(Victim, Train, Config);
+    if (!saveProgram(P, Key.str()))
+      logWarn() << "failed to cache program to " << Key.str();
+    Programs.push_back(P);
+  }
+  return Programs;
+}

@@ -1,0 +1,76 @@
+//===- eval/Experiments.h - Shared experiment setup -------------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Common setup shared by the bench binaries and examples: building the
+/// scaled victim classifiers (the paper's three CIFAR CNNs and two
+/// ImageNet CNNs), generating held-out test sets, and synthesizing — or
+/// loading from the disk cache — the per-class adversarial programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_EVAL_EXPERIMENTS_H
+#define OPPSLA_EVAL_EXPERIMENTS_H
+
+#include "classify/Training.h"
+#include "core/Synthesizer.h"
+#include "support/BenchScale.h"
+
+#include <memory>
+#include <vector>
+
+namespace oppsla {
+
+/// The paper's CIFAR-10 victim families, in table order.
+const std::vector<Arch> &cifarArchs();
+/// The paper's ImageNet victim families.
+const std::vector<Arch> &imageNetArchs();
+
+/// Image side used for \p Task at this scale.
+size_t taskSide(TaskKind Task, const BenchScale &Scale);
+
+/// Builds (or loads from cache) the victim classifier for (\p Task,
+/// \p Architecture) at this scale.
+std::unique_ptr<NNClassifier> makeScaledVictim(TaskKind Task,
+                                               Arch Architecture,
+                                               const BenchScale &Scale,
+                                               uint64_t Seed = 1);
+
+/// The cache stem makeScaledVictim uses for this victim; also the key
+/// under which its synthesized programs are cached.
+std::string victimStem(TaskKind Task, Arch Architecture,
+                       const BenchScale &Scale, uint64_t Seed = 1);
+
+/// A held-out evaluation set: Scale.TestPerClass images for each of
+/// Scale.NumClasses classes, generated from a seed disjoint from every
+/// training seed.
+Dataset makeTestSet(TaskKind Task, const BenchScale &Scale,
+                    uint64_t Seed = 1);
+
+/// Per-class synthesis training sets use this seed; disjoint from victim
+/// training and test generation.
+Dataset makeSynthesisSet(TaskKind Task, size_t Label,
+                         const BenchScale &Scale, uint64_t Seed = 1);
+
+/// Synthesizes one adversarial program per class for \p Victim (or loads
+/// them from the program cache). Returns Scale.NumClasses programs.
+/// The cache key includes \p VictimStem so programs synthesized for one
+/// classifier are never reused for another.
+std::vector<Program> synthesizeClassPrograms(NNClassifier &Victim,
+                                             const std::string &VictimStem,
+                                             TaskKind Task,
+                                             const BenchScale &Scale,
+                                             uint64_t Seed = 1);
+
+/// Saves a program as a small text file. \returns true on success.
+bool saveProgram(const Program &P, const std::string &Path);
+
+/// Loads a program saved with saveProgram.
+bool loadProgram(Program &P, const std::string &Path);
+
+} // namespace oppsla
+
+#endif // OPPSLA_EVAL_EXPERIMENTS_H

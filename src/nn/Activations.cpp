@@ -1,0 +1,85 @@
+//===- nn/Activations.cpp - Elementwise activation layers ------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nn/Activations.h"
+
+#include <cmath>
+
+using namespace oppsla;
+
+Tensor ReLU::forward(const Tensor &In, bool Train) {
+  Tensor Out(In.shape());
+  const float *Src = In.data();
+  float *Dst = Out.data();
+  if (Train) {
+    CachedMask = Tensor(In.shape());
+    float *Mask = CachedMask.data();
+    for (size_t I = 0, E = In.numel(); I != E; ++I) {
+      const bool Pos = Src[I] > 0.0f;
+      Dst[I] = Pos ? Src[I] : 0.0f;
+      Mask[I] = Pos ? 1.0f : 0.0f;
+    }
+    return Out;
+  }
+  for (size_t I = 0, E = In.numel(); I != E; ++I)
+    Dst[I] = Src[I] > 0.0f ? Src[I] : 0.0f;
+  return Out;
+}
+
+Tensor ReLU::backward(const Tensor &GradOut) {
+  assert(GradOut.shape() == CachedMask.shape() && "relu grad shape");
+  Tensor GradIn(GradOut.shape());
+  const float *Dy = GradOut.data();
+  const float *Mask = CachedMask.data();
+  float *Dx = GradIn.data();
+  for (size_t I = 0, E = GradOut.numel(); I != E; ++I)
+    Dx[I] = Dy[I] * Mask[I];
+  return GradIn;
+}
+
+Tensor LeakyReLU::forward(const Tensor &In, bool Train) {
+  if (Train)
+    CachedIn = In;
+  Tensor Out(In.shape());
+  const float *Src = In.data();
+  float *Dst = Out.data();
+  for (size_t I = 0, E = In.numel(); I != E; ++I)
+    Dst[I] = Src[I] > 0.0f ? Src[I] : Slope * Src[I];
+  return Out;
+}
+
+Tensor LeakyReLU::backward(const Tensor &GradOut) {
+  assert(GradOut.shape() == CachedIn.shape() && "leaky relu grad shape");
+  Tensor GradIn(GradOut.shape());
+  const float *Dy = GradOut.data();
+  const float *X = CachedIn.data();
+  float *Dx = GradIn.data();
+  for (size_t I = 0, E = GradOut.numel(); I != E; ++I)
+    Dx[I] = X[I] > 0.0f ? Dy[I] : Slope * Dy[I];
+  return GradIn;
+}
+
+Tensor Tanh::forward(const Tensor &In, bool Train) {
+  Tensor Out(In.shape());
+  const float *Src = In.data();
+  float *Dst = Out.data();
+  for (size_t I = 0, E = In.numel(); I != E; ++I)
+    Dst[I] = std::tanh(Src[I]);
+  if (Train)
+    CachedOut = Out;
+  return Out;
+}
+
+Tensor Tanh::backward(const Tensor &GradOut) {
+  assert(GradOut.shape() == CachedOut.shape() && "tanh grad shape");
+  Tensor GradIn(GradOut.shape());
+  const float *Dy = GradOut.data();
+  const float *Y = CachedOut.data();
+  float *Dx = GradIn.data();
+  for (size_t I = 0, E = GradOut.numel(); I != E; ++I)
+    Dx[I] = Dy[I] * (1.0f - Y[I] * Y[I]);
+  return GradIn;
+}

@@ -1,0 +1,118 @@
+//===- nn/Conv2d.cpp - 2-D convolution layer -------------------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nn/Conv2d.h"
+
+#include "nn/Init.h"
+#include "support/Rng.h"
+#include "tensor/TensorOps.h"
+
+#include <cmath>
+
+using namespace oppsla;
+
+Conv2d::Conv2d(size_t InC, size_t OutC, size_t Kernel, size_t Stride,
+               size_t Pad, Rng &R, bool HasBias)
+    : InC(InC), OutC(OutC), Kernel(Kernel), Stride(Stride), Pad(Pad),
+      HasBias(HasBias), Weight({OutC, InC * Kernel * Kernel}),
+      WeightGrad({OutC, InC * Kernel * Kernel}), Bias({OutC}),
+      BiasGrad({OutC}) {
+  kaimingNormal(Weight, /*FanIn=*/InC * Kernel * Kernel, R);
+}
+
+Tensor Conv2d::forward(const Tensor &In, bool Train) {
+  assert(In.rank() == 4 && In.dim(1) == InC && "conv input shape mismatch");
+  const size_t N = In.dim(0), H = In.dim(2), W = In.dim(3);
+  const size_t OH = convOutSize(H, Kernel, Stride, Pad);
+  const size_t OW = convOutSize(W, Kernel, Stride, Pad);
+  const size_t Rows = InC * Kernel * Kernel;
+  const size_t ColsN = N * OH * OW;
+
+  Tensor &Cols = Train ? CachedCols : ScratchCols;
+  if (Cols.rank() != 2 || Cols.dim(0) != Rows || Cols.dim(1) != ColsN)
+    Cols = Tensor({Rows, ColsN});
+  im2col(In, Kernel, Kernel, Stride, Pad, Cols);
+  if (Train) {
+    CachedN = N;
+    CachedH = H;
+    CachedW = W;
+  }
+
+  // GEMM: {OutC, Rows} x {Rows, N*OH*OW}.
+  Tensor &Out2d = ScratchOut;
+  if (Out2d.rank() != 2 || Out2d.dim(0) != OutC || Out2d.dim(1) != ColsN)
+    Out2d = Tensor({OutC, ColsN});
+  matmul(Weight, Cols, Out2d);
+
+  // Scatter {OutC, N*OH*OW} into NCHW (plus bias). Column index encodes
+  // (B, Oi, Oj) as (B*OH + Oi)*OW + Oj.
+  Tensor Out({N, OutC, OH, OW});
+  const size_t Plane = OH * OW;
+  for (size_t Oc = 0; Oc != OutC; ++Oc) {
+    const float B = HasBias ? Bias[Oc] : 0.0f;
+    const float *Src = Out2d.data() + Oc * ColsN;
+    for (size_t Bn = 0; Bn != N; ++Bn) {
+      float *Dst = Out.data() + (Bn * OutC + Oc) * Plane;
+      const float *SrcB = Src + Bn * Plane;
+      for (size_t I = 0; I != Plane; ++I)
+        Dst[I] = SrcB[I] + B;
+    }
+  }
+  return Out;
+}
+
+Tensor Conv2d::backward(const Tensor &GradOut) {
+  assert(CachedN != 0 && "backward without cached forward");
+  const size_t N = CachedN, H = CachedH, W = CachedW;
+  const size_t OH = convOutSize(H, Kernel, Stride, Pad);
+  const size_t OW = convOutSize(W, Kernel, Stride, Pad);
+  const size_t Rows = InC * Kernel * Kernel;
+  const size_t ColsN = N * OH * OW;
+  assert(GradOut.rank() == 4 && GradOut.dim(0) == N &&
+         GradOut.dim(1) == OutC && GradOut.dim(2) == OH &&
+         GradOut.dim(3) == OW && "conv grad shape mismatch");
+
+  // Gather NCHW grad into the {OutC, N*OH*OW} GEMM layout.
+  Tensor Grad2d({OutC, ColsN});
+  const size_t Plane = OH * OW;
+  for (size_t Oc = 0; Oc != OutC; ++Oc) {
+    float *Dst = Grad2d.data() + Oc * ColsN;
+    for (size_t Bn = 0; Bn != N; ++Bn) {
+      const float *Src = GradOut.data() + (Bn * OutC + Oc) * Plane;
+      float *DstB = Dst + Bn * Plane;
+      for (size_t I = 0; I != Plane; ++I)
+        DstB[I] = Src[I];
+    }
+  }
+
+  // dW += Grad2d * Cols^T; db += row sums of Grad2d.
+  Tensor WG({OutC, Rows});
+  matmulTransposedB(Grad2d, CachedCols, WG);
+  WeightGrad += WG;
+  if (HasBias) {
+    for (size_t Oc = 0; Oc != OutC; ++Oc) {
+      const float *Row = Grad2d.data() + Oc * ColsN;
+      float Acc = 0.0f;
+      for (size_t I = 0; I != ColsN; ++I)
+        Acc += Row[I];
+      BiasGrad[Oc] += Acc;
+    }
+  }
+
+  // dX = col2im(W^T * Grad2d).
+  Tensor GradCols({Rows, ColsN});
+  matmulTransposedA(Weight, Grad2d, GradCols);
+  Tensor GradIn({N, InC, H, W});
+  col2im(GradCols, N, InC, H, W, Kernel, Kernel, Stride, Pad, GradIn);
+  return GradIn;
+}
+
+void Conv2d::collectParams(const std::string &Prefix,
+                           std::vector<ParamRef> &Params) {
+  Params.push_back({Prefix + ".weight", &Weight, &WeightGrad});
+  if (HasBias)
+    Params.push_back({Prefix + ".bias", &Bias, &BiasGrad});
+}

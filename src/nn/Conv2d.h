@@ -1,0 +1,54 @@
+//===- nn/Conv2d.h - 2-D convolution layer ---------------------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_NN_CONV2D_H
+#define OPPSLA_NN_CONV2D_H
+
+#include "nn/Layer.h"
+
+namespace oppsla {
+
+class Rng;
+
+/// 2-D convolution over NCHW tensors, lowered to GEMM via im2col.
+///
+/// Weight shape is {OutC, InC * KH * KW} (each output channel is one GEMM
+/// row); bias is {OutC}. Kaiming-normal initialization.
+class Conv2d : public Layer {
+public:
+  Conv2d(size_t InC, size_t OutC, size_t Kernel, size_t Stride, size_t Pad,
+         Rng &R, bool HasBias = true);
+
+  Tensor forward(const Tensor &In, bool Train) override;
+  Tensor backward(const Tensor &GradOut) override;
+  void collectParams(const std::string &Prefix,
+                     std::vector<ParamRef> &Params) override;
+  std::string name() const override { return "conv2d"; }
+
+  size_t inChannels() const { return InC; }
+  size_t outChannels() const { return OutC; }
+  size_t kernel() const { return Kernel; }
+  size_t stride() const { return Stride; }
+  size_t padding() const { return Pad; }
+
+  Tensor &weight() { return Weight; }
+  Tensor &bias() { return Bias; }
+
+private:
+  size_t InC, OutC, Kernel, Stride, Pad;
+  bool HasBias;
+  Tensor Weight, WeightGrad;
+  Tensor Bias, BiasGrad;
+  // Cached forward state for backward.
+  Tensor CachedCols; ///< im2col matrix of the last training input
+  size_t CachedN = 0, CachedH = 0, CachedW = 0;
+  // Scratch reused across batch-1 inference calls to avoid reallocation.
+  Tensor ScratchCols, ScratchOut;
+};
+
+} // namespace oppsla
+
+#endif // OPPSLA_NN_CONV2D_H

@@ -1,0 +1,27 @@
+//===- nn/Init.cpp - Weight initialization schemes -------------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nn/Init.h"
+
+#include "support/Rng.h"
+
+#include <cmath>
+
+using namespace oppsla;
+
+void oppsla::kaimingNormal(Tensor &W, size_t FanIn, Rng &R) {
+  assert(FanIn > 0 && "kaimingNormal needs positive fan-in");
+  const double Stddev = std::sqrt(2.0 / static_cast<double>(FanIn));
+  for (float &V : W.vec())
+    V = static_cast<float>(R.normal(0.0, Stddev));
+}
+
+void oppsla::xavierUniform(Tensor &W, size_t FanIn, size_t FanOut, Rng &R) {
+  assert(FanIn + FanOut > 0 && "xavierUniform needs positive fans");
+  const double A = std::sqrt(6.0 / static_cast<double>(FanIn + FanOut));
+  for (float &V : W.vec())
+    V = static_cast<float>(R.uniform(-A, A));
+}

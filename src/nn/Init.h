@@ -1,0 +1,25 @@
+//===- nn/Init.h - Weight initialization schemes ---------------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_NN_INIT_H
+#define OPPSLA_NN_INIT_H
+
+#include "tensor/Tensor.h"
+
+namespace oppsla {
+
+class Rng;
+
+/// He/Kaiming normal init: N(0, sqrt(2 / FanIn)); the default for layers
+/// followed by ReLU.
+void kaimingNormal(Tensor &W, size_t FanIn, Rng &R);
+
+/// Glorot/Xavier uniform init: U(-a, a) with a = sqrt(6 / (FanIn+FanOut)).
+void xavierUniform(Tensor &W, size_t FanIn, size_t FanOut, Rng &R);
+
+} // namespace oppsla
+
+#endif // OPPSLA_NN_INIT_H

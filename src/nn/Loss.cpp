@@ -1,0 +1,73 @@
+//===- nn/Loss.cpp - Training loss functions ---------------------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nn/Loss.h"
+
+#include "tensor/TensorOps.h"
+
+#include <cmath>
+
+using namespace oppsla;
+
+float CrossEntropy::forward(const Tensor &Logits,
+                            const std::vector<size_t> &Labels) {
+  assert(Logits.rank() == 2 && "cross entropy expects {N, C} logits");
+  const size_t N = Logits.dim(0), C = Logits.dim(1);
+  assert(Labels.size() == N && "one label per row required");
+
+  Probs = Logits;
+  softmaxInPlace(Probs);
+  CachedLabels = Labels;
+  Correct = 0;
+
+  // Label-smoothed targets: (1-eps) + eps/C on the true class, eps/C on
+  // the rest; the loss is the cross entropy against those targets.
+  const float Eps = Smoothing;
+  const float Off = Eps / static_cast<float>(C);
+  const float On = 1.0f - Eps + Off;
+  double Loss = 0.0;
+  for (size_t I = 0; I != N; ++I) {
+    assert(Labels[I] < C && "label out of range");
+    const float *Row = Probs.data() + I * C;
+    if (Eps == 0.0f) {
+      Loss -= std::log(std::max(Row[Labels[I]], 1e-12f));
+    } else {
+      for (size_t J = 0; J != C; ++J) {
+        const float Target = J == Labels[I] ? On : Off;
+        Loss -= Target * std::log(std::max(Row[J], 1e-12f));
+      }
+    }
+    size_t Arg = 0;
+    for (size_t J = 1; J != C; ++J)
+      if (Row[J] > Row[Arg])
+        Arg = J;
+    if (Arg == Labels[I])
+      ++Correct;
+  }
+  return static_cast<float>(Loss / static_cast<double>(N));
+}
+
+Tensor CrossEntropy::backward() const {
+  assert(!Probs.empty() && "backward without forward");
+  const size_t N = Probs.dim(0), C = Probs.dim(1);
+  Tensor Grad = Probs;
+  const float Inv = 1.0f / static_cast<float>(N);
+  const float Eps = Smoothing;
+  const float Off = Eps / static_cast<float>(C);
+  const float On = 1.0f - Eps + Off;
+  for (size_t I = 0; I != N; ++I) {
+    float *Row = Grad.data() + I * C;
+    if (Eps == 0.0f) {
+      Row[CachedLabels[I]] -= 1.0f;
+    } else {
+      for (size_t J = 0; J != C; ++J)
+        Row[J] -= J == CachedLabels[I] ? On : Off;
+    }
+    for (size_t J = 0; J != C; ++J)
+      Row[J] *= Inv;
+  }
+  return Grad;
+}

@@ -1,0 +1,42 @@
+//===- nn/Loss.h - Training loss functions ---------------------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_NN_LOSS_H
+#define OPPSLA_NN_LOSS_H
+
+#include "tensor/Tensor.h"
+
+#include <vector>
+
+namespace oppsla {
+
+/// Softmax cross-entropy over a {N, C} logits batch, with optional label
+/// smoothing (targets (1-eps) on the true class, eps/C elsewhere). The
+/// victim classifiers train with smoothing so their confidence margins
+/// stay realistic rather than saturating at 1.0.
+struct CrossEntropy {
+  explicit CrossEntropy(float Smoothing = 0.0f) : Smoothing(Smoothing) {}
+
+  /// Mean loss over the batch; also records the probabilities needed by
+  /// backward. \p Labels are class indices, one per row.
+  float forward(const Tensor &Logits, const std::vector<size_t> &Labels);
+
+  /// Gradient of the mean loss wrt logits, shape {N, C}.
+  Tensor backward() const;
+
+  /// Number of rows whose argmax matched the label in the last forward.
+  size_t numCorrect() const { return Correct; }
+
+private:
+  float Smoothing;
+  Tensor Probs;
+  std::vector<size_t> CachedLabels;
+  size_t Correct = 0;
+};
+
+} // namespace oppsla
+
+#endif // OPPSLA_NN_LOSS_H

@@ -1,0 +1,51 @@
+//===- nn/Misc.cpp - Flatten and Dropout layers -----------------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nn/Misc.h"
+
+using namespace oppsla;
+
+Tensor Flatten::forward(const Tensor &In, bool Train) {
+  assert(In.rank() >= 2 && "flatten expects a batched tensor");
+  if (Train)
+    CachedInShape = In.shape();
+  const size_t N = In.dim(0);
+  return In.reshaped({N, In.numel() / N});
+}
+
+Tensor Flatten::backward(const Tensor &GradOut) {
+  assert(CachedInShape.rank() >= 2 && "backward without cached forward");
+  assert(GradOut.numel() == CachedInShape.numel() && "flatten grad numel");
+  return GradOut.reshaped(CachedInShape);
+}
+
+Tensor Dropout::forward(const Tensor &In, bool Train) {
+  if (!Train)
+    return In;
+  CachedMask = Tensor(In.shape());
+  Tensor Out(In.shape());
+  const float Scale = 1.0f / (1.0f - Prob);
+  const float *Src = In.data();
+  float *Mask = CachedMask.data();
+  float *Dst = Out.data();
+  for (size_t I = 0, E = In.numel(); I != E; ++I) {
+    const bool Keep = !MaskRng.chance(Prob);
+    Mask[I] = Keep ? Scale : 0.0f;
+    Dst[I] = Src[I] * Mask[I];
+  }
+  return Out;
+}
+
+Tensor Dropout::backward(const Tensor &GradOut) {
+  assert(GradOut.shape() == CachedMask.shape() && "dropout grad shape");
+  Tensor GradIn(GradOut.shape());
+  const float *Dy = GradOut.data();
+  const float *Mask = CachedMask.data();
+  float *Dx = GradIn.data();
+  for (size_t I = 0, E = GradOut.numel(); I != E; ++I)
+    Dx[I] = Dy[I] * Mask[I];
+  return GradIn;
+}

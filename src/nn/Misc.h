@@ -1,0 +1,48 @@
+//===- nn/Misc.h - Flatten and Dropout layers ------------------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_NN_MISC_H
+#define OPPSLA_NN_MISC_H
+
+#include "nn/Layer.h"
+#include "support/Rng.h"
+
+namespace oppsla {
+
+/// Flattens {N, C, H, W} to {N, C*H*W}; remembers the input shape so the
+/// gradient can be folded back.
+class Flatten : public Layer {
+public:
+  Tensor forward(const Tensor &In, bool Train) override;
+  Tensor backward(const Tensor &GradOut) override;
+  std::string name() const override { return "flatten"; }
+
+private:
+  Shape CachedInShape;
+};
+
+/// Inverted dropout: active only in training mode, identity at inference.
+class Dropout : public Layer {
+public:
+  /// \p Prob is the drop probability; \p Seed makes the masks deterministic.
+  explicit Dropout(float Prob, uint64_t Seed = 0xd20ULL)
+      : Prob(Prob), MaskRng(Seed) {
+    assert(Prob >= 0.0f && Prob < 1.0f && "invalid dropout probability");
+  }
+
+  Tensor forward(const Tensor &In, bool Train) override;
+  Tensor backward(const Tensor &GradOut) override;
+  std::string name() const override { return "dropout"; }
+
+private:
+  float Prob;
+  Rng MaskRng;
+  Tensor CachedMask;
+};
+
+} // namespace oppsla
+
+#endif // OPPSLA_NN_MISC_H

@@ -1,0 +1,60 @@
+//===- nn/ModelZoo.h - Victim classifier architectures ---------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Miniature analogues of the architectures the paper attacks. The paper
+/// uses pretrained VGG-16-BN / ResNet18 / GoogLeNet (CIFAR-10) and
+/// DenseNet121 / ResNet50 (ImageNet); we reproduce the *family traits*
+/// (plain conv stacks, residual connections, inception branches, dense
+/// connectivity) at a size where a forward pass costs microseconds, because
+/// the attack evaluation runs millions of black-box queries.
+///
+/// Models end in a Flatten + Linear head (like the original VGG/ResNet
+/// classifiers) rather than global average pooling: averaging would wash
+/// out single-pixel influence and make one pixel attacks unrealistically
+/// hard. The head size depends on the input resolution, so builders take
+/// the input side explicitly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_NN_MODELZOO_H
+#define OPPSLA_NN_MODELZOO_H
+
+#include "nn/Sequential.h"
+
+#include <memory>
+#include <string>
+
+namespace oppsla {
+
+class Rng;
+
+/// Architecture families available for victim classifiers.
+enum class Arch {
+  MiniVGG,        ///< plain conv-bn-relu stack (VGG-16-BN analogue)
+  MiniResNet,     ///< residual blocks (ResNet18 analogue)
+  MiniGoogLeNet,  ///< inception blocks (GoogLeNet analogue)
+  MiniDenseNet,   ///< dense connectivity (DenseNet121 analogue)
+  MiniResNet50,   ///< deeper residual net (ResNet50 analogue)
+  Mlp,            ///< tiny fully-connected net (tests/debugging only)
+};
+
+/// Human-readable architecture name ("MiniVGG", ...).
+const char *archName(Arch A);
+
+/// Parses an architecture name; returns Mlp for unknown strings.
+Arch archFromName(const std::string &Name);
+
+/// Builds an untrained model of family \p A with \p NumClasses outputs
+/// for square RGB inputs of side \p InputSide (must be a multiple of 8,
+/// or 16 for MiniResNet50). Weights are initialized from \p R;
+/// construction is deterministic given the RNG state.
+std::unique_ptr<Sequential> buildModel(Arch A, size_t NumClasses,
+                                       size_t InputSide, Rng &R);
+
+} // namespace oppsla
+
+#endif // OPPSLA_NN_MODELZOO_H

@@ -1,0 +1,50 @@
+//===- nn/Sequential.cpp - Layer composition --------------------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nn/Sequential.h"
+
+using namespace oppsla;
+
+Tensor Sequential::forward(const Tensor &In, bool Train) {
+  Tensor X = In;
+  for (LayerPtr &L : Layers)
+    X = L->forward(X, Train);
+  return X;
+}
+
+Tensor Sequential::backward(const Tensor &GradOut) {
+  Tensor G = GradOut;
+  for (size_t I = Layers.size(); I-- > 0;)
+    G = Layers[I]->backward(G);
+  return G;
+}
+
+void Sequential::collectParams(const std::string &Prefix,
+                               std::vector<ParamRef> &Params) {
+  for (size_t I = 0; I != Layers.size(); ++I)
+    Layers[I]->collectParams(
+        Prefix + "." + std::to_string(I) + "." + Layers[I]->name(), Params);
+}
+
+void Sequential::collectBuffers(
+    const std::string &Prefix,
+    std::vector<std::pair<std::string, Tensor *>> &Buffers) {
+  for (size_t I = 0; I != Layers.size(); ++I)
+    Layers[I]->collectBuffers(
+        Prefix + "." + std::to_string(I) + "." + Layers[I]->name(), Buffers);
+}
+
+std::vector<ParamRef> Sequential::parameters() {
+  std::vector<ParamRef> Params;
+  collectParams("net", Params);
+  return Params;
+}
+
+std::vector<std::pair<std::string, Tensor *>> Sequential::buffers() {
+  std::vector<std::pair<std::string, Tensor *>> Buffers;
+  collectBuffers("net", Buffers);
+  return Buffers;
+}

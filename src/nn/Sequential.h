@@ -1,0 +1,62 @@
+//===- nn/Sequential.h - Layer composition ---------------------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_NN_SEQUENTIAL_H
+#define OPPSLA_NN_SEQUENTIAL_H
+
+#include "nn/Layer.h"
+
+#include <utility>
+
+namespace oppsla {
+
+/// A chain of layers; itself a Layer so blocks can nest.
+class Sequential : public Layer {
+public:
+  Sequential() = default;
+
+  /// Appends a layer; returns *this for chaining.
+  Sequential &add(LayerPtr L) {
+    assert(L && "null layer");
+    Layers.push_back(std::move(L));
+    return *this;
+  }
+
+  /// Constructs a layer of type \p T in place and returns a reference to it.
+  template <typename T, typename... Args> T &emplace(Args &&...As) {
+    auto L = std::make_unique<T>(std::forward<Args>(As)...);
+    T &Ref = *L;
+    Layers.push_back(std::move(L));
+    return Ref;
+  }
+
+  size_t size() const { return Layers.size(); }
+  Layer &layer(size_t I) {
+    assert(I < Layers.size() && "layer index out of range");
+    return *Layers[I];
+  }
+
+  Tensor forward(const Tensor &In, bool Train) override;
+  Tensor backward(const Tensor &GradOut) override;
+  void collectParams(const std::string &Prefix,
+                     std::vector<ParamRef> &Params) override;
+  void collectBuffers(const std::string &Prefix,
+                      std::vector<std::pair<std::string, Tensor *>> &Buffers)
+      override;
+  std::string name() const override { return "sequential"; }
+
+  /// Convenience: all parameters with a fresh prefix.
+  std::vector<ParamRef> parameters();
+  /// Convenience: all persistent buffers with a fresh prefix.
+  std::vector<std::pair<std::string, Tensor *>> buffers();
+
+private:
+  std::vector<LayerPtr> Layers;
+};
+
+} // namespace oppsla
+
+#endif // OPPSLA_NN_SEQUENTIAL_H

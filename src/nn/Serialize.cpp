@@ -1,0 +1,118 @@
+//===- nn/Serialize.cpp - Model parameter serialization --------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nn/Serialize.h"
+
+#include "nn/Sequential.h"
+#include "support/Logging.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+using namespace oppsla;
+
+namespace {
+
+constexpr uint32_t Magic = 0x4c53504fU; // "OPSL" little-endian
+constexpr uint32_t Version = 1;
+
+struct FileCloser {
+  void operator()(std::FILE *F) const {
+    if (F)
+      std::fclose(F);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool writeU32(std::FILE *F, uint32_t V) {
+  return std::fwrite(&V, sizeof(V), 1, F) == 1;
+}
+
+bool readU32(std::FILE *F, uint32_t &V) {
+  return std::fread(&V, sizeof(V), 1, F) == 1;
+}
+
+bool writeEntry(std::FILE *F, const std::string &Name, const Tensor &T) {
+  if (!writeU32(F, static_cast<uint32_t>(Name.size())))
+    return false;
+  if (std::fwrite(Name.data(), 1, Name.size(), F) != Name.size())
+    return false;
+  if (!writeU32(F, static_cast<uint32_t>(T.numel())))
+    return false;
+  return std::fwrite(T.data(), sizeof(float), T.numel(), F) == T.numel();
+}
+
+bool readEntry(std::FILE *F, const std::string &ExpectName, Tensor &T) {
+  uint32_t NameLen = 0;
+  if (!readU32(F, NameLen) || NameLen > 4096)
+    return false;
+  std::string Name(NameLen, '\0');
+  if (std::fread(Name.data(), 1, NameLen, F) != NameLen)
+    return false;
+  if (Name != ExpectName) {
+    logError() << "model load: expected entry '" << ExpectName
+               << "' but file has '" << Name << "'";
+    return false;
+  }
+  uint32_t Numel = 0;
+  if (!readU32(F, Numel))
+    return false;
+  if (Numel != T.numel()) {
+    logError() << "model load: entry '" << Name << "' has " << Numel
+               << " values, model expects " << T.numel();
+    return false;
+  }
+  return std::fread(T.data(), sizeof(float), Numel, F) == Numel;
+}
+
+} // namespace
+
+bool oppsla::saveModel(Sequential &Model, const std::string &Path) {
+  FilePtr F(std::fopen(Path.c_str(), "wb"));
+  if (!F) {
+    logWarn() << "cannot open '" << Path << "' for writing";
+    return false;
+  }
+  auto Params = Model.parameters();
+  auto Buffers = Model.buffers();
+  const auto Count = static_cast<uint32_t>(Params.size() + Buffers.size());
+  if (!writeU32(F.get(), Magic) || !writeU32(F.get(), Version) ||
+      !writeU32(F.get(), Count))
+    return false;
+  for (const ParamRef &P : Params)
+    if (!writeEntry(F.get(), P.Name, *P.Value))
+      return false;
+  for (const auto &[Name, T] : Buffers)
+    if (!writeEntry(F.get(), Name, *T))
+      return false;
+  return true;
+}
+
+bool oppsla::loadModel(Sequential &Model, const std::string &Path) {
+  FilePtr F(std::fopen(Path.c_str(), "rb"));
+  if (!F)
+    return false;
+  uint32_t M = 0, V = 0, Count = 0;
+  if (!readU32(F.get(), M) || M != Magic || !readU32(F.get(), V) ||
+      V != Version || !readU32(F.get(), Count)) {
+    logWarn() << "'" << Path << "' is not a valid oppsla model file";
+    return false;
+  }
+  auto Params = Model.parameters();
+  auto Buffers = Model.buffers();
+  if (Count != Params.size() + Buffers.size()) {
+    logWarn() << "'" << Path << "' entry count mismatch";
+    return false;
+  }
+  for (const ParamRef &P : Params)
+    if (!readEntry(F.get(), P.Name, *P.Value))
+      return false;
+  for (const auto &[Name, T] : Buffers)
+    if (!readEntry(F.get(), Name, *T))
+      return false;
+  return true;
+}

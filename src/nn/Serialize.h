@@ -1,0 +1,39 @@
+//===- nn/Serialize.h - Model parameter serialization ----------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Saves and loads the full state (parameters + persistent buffers) of a
+/// Sequential model to a simple binary format. The benches use this to
+/// cache trained victim classifiers across runs.
+///
+/// Format: magic "OPSL", u32 version, u32 entry count; then per entry a
+/// length-prefixed name, u32 numel, and raw float32 data. Shapes are not
+/// stored — loading requires a structurally identical model, and names are
+/// verified entry by entry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_NN_SERIALIZE_H
+#define OPPSLA_NN_SERIALIZE_H
+
+#include <string>
+
+namespace oppsla {
+
+class Sequential;
+
+/// Writes all parameters and buffers of \p Model to \p Path.
+/// \returns true on success.
+bool saveModel(Sequential &Model, const std::string &Path);
+
+/// Loads parameters and buffers into \p Model from \p Path. The model must
+/// have the same architecture (same entry names, counts and sizes) as the
+/// one that was saved. \returns true on success.
+bool loadModel(Sequential &Model, const std::string &Path);
+
+} // namespace oppsla
+
+#endif // OPPSLA_NN_SERIALIZE_H

@@ -1,0 +1,63 @@
+//===- support/ArgParse.cpp - Minimal command line parsing ---------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ArgParse.h"
+
+#include <cstdlib>
+
+using namespace oppsla;
+
+ArgParse::ArgParse(int Argc, const char *const *Argv) {
+  if (Argc > 0)
+    Program = Argv[0];
+  for (int I = 1; I < Argc; ++I) {
+    std::string Tok = Argv[I];
+    if (Tok.rfind("--", 0) != 0) {
+      Positional.push_back(Tok);
+      continue;
+    }
+    std::string Key = Tok.substr(2);
+    // `--key=value` form.
+    if (auto Eq = Key.find('='); Eq != std::string::npos) {
+      Values[Key.substr(0, Eq)] = Key.substr(Eq + 1);
+      continue;
+    }
+    // `--key value` form, unless the next token is another flag.
+    if (I + 1 < Argc && std::string(Argv[I + 1]).rfind("--", 0) != 0) {
+      Values[Key] = Argv[++I];
+      continue;
+    }
+    Values[Key] = "";
+  }
+}
+
+bool ArgParse::has(const std::string &Name) const {
+  return Values.count(Name) != 0;
+}
+
+std::string ArgParse::get(const std::string &Name,
+                          const std::string &Default) const {
+  auto It = Values.find(Name);
+  return It == Values.end() ? Default : It->second;
+}
+
+long long ArgParse::getInt(const std::string &Name, long long Default) const {
+  auto It = Values.find(Name);
+  if (It == Values.end() || It->second.empty())
+    return Default;
+  char *End = nullptr;
+  long long V = std::strtoll(It->second.c_str(), &End, 10);
+  return (End && *End == '\0') ? V : Default;
+}
+
+double ArgParse::getDouble(const std::string &Name, double Default) const {
+  auto It = Values.find(Name);
+  if (It == Values.end() || It->second.empty())
+    return Default;
+  char *End = nullptr;
+  double V = std::strtod(It->second.c_str(), &End);
+  return (End && *End == '\0') ? V : Default;
+}

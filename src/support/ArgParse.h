@@ -1,0 +1,62 @@
+//===- support/ArgParse.h - Minimal command line parsing -------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal `--flag value` / `--flag` command line parsing for the example
+/// and benchmark executables. Unknown flags are collected so callers can
+/// report them; values are parsed on demand with defaults.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_SUPPORT_ARGPARSE_H
+#define OPPSLA_SUPPORT_ARGPARSE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace oppsla {
+
+/// Parses `--key value` and bare `--switch` arguments.
+///
+/// A token starting with `--` consumes the following token as its value,
+/// unless that token also starts with `--` (then it is a boolean switch).
+/// Positional arguments are kept in order.
+class ArgParse {
+public:
+  ArgParse(int Argc, const char *const *Argv);
+
+  /// True if `--name` appeared at all (switch or key-value).
+  bool has(const std::string &Name) const;
+
+  /// Returns the string value of `--name`, or \p Default if absent.
+  std::string get(const std::string &Name, const std::string &Default) const;
+
+  /// Returns the integer value of `--name`, or \p Default if absent or
+  /// unparseable.
+  long long getInt(const std::string &Name, long long Default) const;
+
+  /// Returns the double value of `--name`, or \p Default if absent or
+  /// unparseable.
+  double getDouble(const std::string &Name, double Default) const;
+
+  /// Returns the boolean state of `--name` (present => true).
+  bool getFlag(const std::string &Name) const { return has(Name); }
+
+  const std::vector<std::string> &positional() const { return Positional; }
+
+  /// Name of the executable (argv[0]).
+  const std::string &program() const { return Program; }
+
+private:
+  std::string Program;
+  std::map<std::string, std::string> Values;
+  std::vector<std::string> Positional;
+};
+
+} // namespace oppsla
+
+#endif // OPPSLA_SUPPORT_ARGPARSE_H

@@ -1,0 +1,55 @@
+//===- support/BenchScale.cpp - Experiment sizing knobs -------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BenchScale.h"
+
+#include <cstdlib>
+
+using namespace oppsla;
+
+BenchScale BenchScale::preset(const std::string &Name) {
+  if (Name == "smoke")
+    return BenchScale{/*Name=*/"smoke",
+                      /*TrainPerClass=*/4,
+                      /*TestPerClass=*/6,
+                      /*NumClasses=*/2,
+                      /*SynthIters=*/4,
+                      /*SynthQueryCap=*/512,
+                      /*EvalQueryCap=*/2048,
+                      /*TrainEpochs=*/2,
+                      /*ClassifierTrainSet=*/400,
+                      /*CifarSide=*/16,
+                      /*ImageNetSide=*/24};
+  if (Name == "paper")
+    return BenchScale{/*Name=*/"paper",
+                      /*TrainPerClass=*/50,
+                      /*TestPerClass=*/1000,
+                      /*NumClasses=*/10,
+                      /*SynthIters=*/210,
+                      /*SynthQueryCap=*/8192,
+                      /*EvalQueryCap=*/10000,
+                      /*TrainEpochs=*/8,
+                      /*ClassifierTrainSet=*/4000,
+                      /*CifarSide=*/32,
+                      /*ImageNetSide=*/64};
+  // Default: "small" — shape-preserving but minutes, not hours.
+  return BenchScale{/*Name=*/"small",
+                    /*TrainPerClass=*/8,
+                    /*TestPerClass=*/16,
+                    /*NumClasses=*/4,
+                    /*SynthIters=*/20,
+                    /*SynthQueryCap=*/1024,
+                    /*EvalQueryCap=*/4096,
+                    /*TrainEpochs=*/8,
+                    /*ClassifierTrainSet=*/2000,
+                    /*CifarSide=*/32,
+                    /*ImageNetSide=*/40};
+}
+
+BenchScale BenchScale::fromEnv(const std::string &Fallback) {
+  const char *Env = std::getenv("OPPSLA_BENCH_SCALE");
+  return preset(Env ? std::string(Env) : Fallback);
+}

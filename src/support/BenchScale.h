@@ -1,0 +1,51 @@
+//===- support/BenchScale.h - Experiment sizing knobs ----------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Central sizing knobs for the paper-reproduction benchmarks. Every bench
+/// binary honours the OPPSLA_BENCH_SCALE environment variable:
+///
+///   - "smoke": tiny sizes, seconds per bench (CI sanity only)
+///   - "small": default; preserves the paper's qualitative shape while the
+///     full bench suite finishes in minutes on one core
+///   - "paper": matches the paper's set sizes (50 train images/class, large
+///     test sets, 210 synthesis iterations); hours of compute
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_SUPPORT_BENCHSCALE_H
+#define OPPSLA_SUPPORT_BENCHSCALE_H
+
+#include <cstddef>
+#include <string>
+
+namespace oppsla {
+
+/// Sizing preset for a reproduction run.
+struct BenchScale {
+  std::string Name;          ///< preset name for logging
+  size_t TrainPerClass;      ///< synthesis training images per class
+  size_t TestPerClass;       ///< evaluation images per class
+  size_t NumClasses;         ///< classes evaluated per classifier
+  size_t SynthIters;         ///< MH iterations (paper: 210)
+  size_t SynthQueryCap;      ///< per-image query cap during synthesis
+  size_t EvalQueryCap;       ///< per-image query cap during evaluation
+  size_t TrainEpochs;        ///< classifier training epochs
+  size_t ClassifierTrainSet; ///< images used to train each classifier
+  size_t CifarSide;          ///< CIFAR-like image side (paper: 32)
+  size_t ImageNetSide;       ///< ImageNet-like image side (paper analogue)
+
+  /// Looks up OPPSLA_BENCH_SCALE (smoke|small|paper) with fallback to
+  /// \p Fallback when unset or unknown.
+  static BenchScale fromEnv(const std::string &Fallback = "small");
+
+  /// Returns the named preset; unknown names map to "small".
+  static BenchScale preset(const std::string &Name);
+};
+
+} // namespace oppsla
+
+#endif // OPPSLA_SUPPORT_BENCHSCALE_H

@@ -1,0 +1,59 @@
+//===- support/Logging.cpp - Lightweight leveled logging -----------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace oppsla;
+
+namespace {
+
+LogLevel parseEnvLevel() {
+  const char *Env = std::getenv("OPPSLA_LOG");
+  if (!Env)
+    return LogLevel::Info;
+  if (!std::strcmp(Env, "error"))
+    return LogLevel::Error;
+  if (!std::strcmp(Env, "warn"))
+    return LogLevel::Warn;
+  if (!std::strcmp(Env, "debug"))
+    return LogLevel::Debug;
+  return LogLevel::Info;
+}
+
+LogLevel &currentLevel() {
+  static LogLevel Level = parseEnvLevel();
+  return Level;
+}
+
+const char *levelTag(LogLevel Level) {
+  switch (Level) {
+  case LogLevel::Error:
+    return "error";
+  case LogLevel::Warn:
+    return "warn";
+  case LogLevel::Info:
+    return "info";
+  case LogLevel::Debug:
+    return "debug";
+  }
+  return "?";
+}
+
+} // namespace
+
+LogLevel oppsla::logLevel() { return currentLevel(); }
+
+void oppsla::setLogLevel(LogLevel Level) { currentLevel() = Level; }
+
+void oppsla::logLine(LogLevel Level, const std::string &Message) {
+  if (static_cast<int>(Level) > static_cast<int>(currentLevel()))
+    return;
+  std::fprintf(stderr, "[oppsla:%s] %s\n", levelTag(Level), Message.c_str());
+}

@@ -1,0 +1,67 @@
+//===- support/Logging.h - Lightweight leveled logging ---------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny leveled logger. Long-running benches use it to narrate progress
+/// (synthesis iterations, per-classifier sweeps) on stderr without polluting
+/// the table output on stdout. The level is settable programmatically or via
+/// the OPPSLA_LOG environment variable (error|warn|info|debug).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_SUPPORT_LOGGING_H
+#define OPPSLA_SUPPORT_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace oppsla {
+
+enum class LogLevel { Error = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/// Returns the process-wide log level (initialized from OPPSLA_LOG on first
+/// use; defaults to Info).
+LogLevel logLevel();
+
+/// Overrides the process-wide log level.
+void setLogLevel(LogLevel Level);
+
+/// Emits one log line at \p Level to stderr if enabled.
+void logLine(LogLevel Level, const std::string &Message);
+
+namespace detail {
+/// Stream-style log statement builder; flushes one line on destruction.
+class LogStream {
+public:
+  explicit LogStream(LogLevel Level) : Level(Level) {}
+  ~LogStream() { logLine(Level, Buffer.str()); }
+  LogStream(const LogStream &) = delete;
+  LogStream &operator=(const LogStream &) = delete;
+
+  template <typename T> LogStream &operator<<(const T &Value) {
+    Buffer << Value;
+    return *this;
+  }
+
+private:
+  LogLevel Level;
+  std::ostringstream Buffer;
+};
+} // namespace detail
+
+/// Usage: `logInfo() << "trained " << Name << " acc=" << Acc;`
+inline detail::LogStream logError() {
+  return detail::LogStream(LogLevel::Error);
+}
+inline detail::LogStream logWarn() { return detail::LogStream(LogLevel::Warn); }
+inline detail::LogStream logInfo() { return detail::LogStream(LogLevel::Info); }
+inline detail::LogStream logDebug() {
+  return detail::LogStream(LogLevel::Debug);
+}
+
+} // namespace oppsla
+
+#endif // OPPSLA_SUPPORT_LOGGING_H

@@ -1,0 +1,15 @@
+//===- support/Rng.cpp - Deterministic random number generation ----------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include <cmath>
+
+using namespace oppsla;
+
+double Rng::sqrtMinusTwoLogOverS(double S) {
+  return std::sqrt(-2.0 * std::log(S) / S);
+}

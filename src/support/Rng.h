@@ -1,0 +1,172 @@
+//===- support/Rng.h - Deterministic random number generation --*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seedable random number generators used everywhere in the
+/// project. We deliberately avoid std::mt19937 + std::uniform_*_distribution
+/// because their exact output is implementation-defined across standard
+/// libraries; experiments must be reproducible bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_SUPPORT_RNG_H
+#define OPPSLA_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace oppsla {
+
+/// SplitMix64 generator, primarily used to seed Xoshiro and for cheap
+/// one-off hashing of seeds.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64 random bits.
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// Xoshiro256** — fast, high-quality, deterministic PRNG.
+///
+/// All randomized components (data generation, weight init, MH proposals,
+/// baseline attacks) take an Rng by reference so that experiments can be
+/// replayed exactly from a single seed.
+class Rng {
+public:
+  /// Seeds the four words of state via SplitMix64 as recommended by the
+  /// xoshiro authors.
+  explicit Rng(uint64_t Seed = 0x5eedULL) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed.
+  void reseed(uint64_t Seed) {
+    SplitMix64 SM(Seed);
+    for (uint64_t &Word : State)
+      Word = SM.next();
+  }
+
+  /// Returns the next 64 random bits.
+  uint64_t nextU64() {
+    const uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    const uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double uniform() {
+    // 53 high bits -> [0,1) with full double precision.
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns a uniform float in [0, 1).
+  float uniformF() { return static_cast<float>(uniform()); }
+
+  /// Returns a uniform double in [\p Lo, \p Hi).
+  double uniform(double Lo, double Hi) {
+    assert(Lo <= Hi && "empty uniform range");
+    return Lo + (Hi - Lo) * uniform();
+  }
+
+  /// Returns a uniform integer in [0, \p N). \p N must be positive.
+  /// Uses Lemire's nearly-divisionless bounded sampling.
+  uint64_t bounded(uint64_t N) {
+    assert(N > 0 && "bounded(0) is meaningless");
+    __uint128_t M = static_cast<__uint128_t>(nextU64()) * N;
+    auto Lo = static_cast<uint64_t>(M);
+    if (Lo < N) {
+      uint64_t Threshold = (0 - N) % N;
+      while (Lo < Threshold) {
+        M = static_cast<__uint128_t>(nextU64()) * N;
+        Lo = static_cast<uint64_t>(M);
+      }
+    }
+    return static_cast<uint64_t>(M >> 64);
+  }
+
+  /// Returns a uniform index in [0, \p N) as size_t.
+  size_t index(size_t N) { return static_cast<size_t>(bounded(N)); }
+
+  /// Returns a uniform int in [\p Lo, \p Hi] inclusive.
+  int intIn(int Lo, int Hi) {
+    assert(Lo <= Hi && "empty int range");
+    return Lo + static_cast<int>(bounded(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// Returns true with probability \p P.
+  bool chance(double P) { return uniform() < P; }
+
+  /// Returns a sample from the standard normal distribution
+  /// (Marsaglia polar method; one cached value).
+  double normal() {
+    if (HasCachedNormal) {
+      HasCachedNormal = false;
+      return CachedNormal;
+    }
+    double U, V, S;
+    do {
+      U = uniform(-1.0, 1.0);
+      V = uniform(-1.0, 1.0);
+      S = U * U + V * V;
+    } while (S >= 1.0 || S == 0.0);
+    const double Mul = sqrtMinusTwoLogOverS(S);
+    CachedNormal = V * Mul;
+    HasCachedNormal = true;
+    return U * Mul;
+  }
+
+  /// Returns a normal sample with mean \p Mean and stddev \p Sigma.
+  double normal(double Mean, double Sigma) { return Mean + Sigma * normal(); }
+
+  /// Fisher-Yates shuffles \p Values in place.
+  template <typename T> void shuffle(std::vector<T> &Values) {
+    if (Values.empty())
+      return;
+    for (size_t I = Values.size() - 1; I > 0; --I) {
+      size_t J = index(I + 1);
+      std::swap(Values[I], Values[J]);
+    }
+  }
+
+  /// Picks a uniformly random element of \p Values.
+  template <typename T> const T &pick(const std::vector<T> &Values) {
+    assert(!Values.empty() && "pick() from empty vector");
+    return Values[index(Values.size())];
+  }
+
+  /// Derives an independent child generator; useful for giving each
+  /// parallel-ish subtask its own stream.
+  Rng fork() { return Rng(nextU64() ^ 0xa5a5a5a5a5a5a5a5ULL); }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+  static double sqrtMinusTwoLogOverS(double S);
+
+  uint64_t State[4] = {};
+  double CachedNormal = 0.0;
+  bool HasCachedNormal = false;
+};
+
+} // namespace oppsla
+
+#endif // OPPSLA_SUPPORT_RNG_H

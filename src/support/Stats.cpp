@@ -1,0 +1,77 @@
+//===- support/Stats.cpp - Summary statistics helpers --------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace oppsla;
+
+double oppsla::mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double oppsla::stddev(const std::vector<double> &Values) {
+  if (Values.size() < 2)
+    return 0.0;
+  double M = mean(Values);
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += (V - M) * (V - M);
+  return std::sqrt(Sum / static_cast<double>(Values.size()));
+}
+
+double oppsla::median(std::vector<double> Values) {
+  return quantile(std::move(Values), 0.5);
+}
+
+double oppsla::quantile(std::vector<double> Values, double Q) {
+  assert(Q >= 0.0 && Q <= 1.0 && "quantile outside [0,1]");
+  if (Values.empty())
+    return 0.0;
+  std::sort(Values.begin(), Values.end());
+  if (Values.size() == 1)
+    return Values.front();
+  double Rank = Q * static_cast<double>(Values.size() - 1);
+  auto Lo = static_cast<size_t>(Rank);
+  size_t Hi = std::min(Lo + 1, Values.size() - 1);
+  double Frac = Rank - static_cast<double>(Lo);
+  return Values[Lo] * (1.0 - Frac) + Values[Hi] * Frac;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double QuerySample::successRate() const {
+  size_t Total = numAttacks();
+  if (Total == 0)
+    return 0.0;
+  return static_cast<double>(SuccessQueries.size()) /
+         static_cast<double>(Total);
+}
+
+double QuerySample::successRateAtBudget(double Budget) const {
+  size_t Total = numAttacks();
+  if (Total == 0)
+    return 0.0;
+  size_t Within = 0;
+  for (double Q : SuccessQueries)
+    if (Q <= Budget)
+      ++Within;
+  return static_cast<double>(Within) / static_cast<double>(Total);
+}
+
+void QuerySample::merge(const QuerySample &Other) {
+  SuccessQueries.insert(SuccessQueries.end(), Other.SuccessQueries.begin(),
+                        Other.SuccessQueries.end());
+  NumFailures += Other.NumFailures;
+}

@@ -1,0 +1,99 @@
+//===- support/Stats.h - Summary statistics helpers ------------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Summary statistics used by the evaluation harness: mean, median,
+/// quantiles, a Welford running accumulator, and success-rate helpers.
+/// The paper reports average and median query counts (Tables 1 and 2) and
+/// success rates at query budgets (Figure 3); these helpers are the single
+/// source of truth for how those numbers are computed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_SUPPORT_STATS_H
+#define OPPSLA_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace oppsla {
+
+/// Returns the arithmetic mean of \p Values; 0 for an empty vector.
+double mean(const std::vector<double> &Values);
+
+/// Returns the population standard deviation of \p Values; 0 if size < 2.
+double stddev(const std::vector<double> &Values);
+
+/// Returns the median of \p Values (average of middle two for even sizes);
+/// 0 for an empty vector. Does not modify the input.
+double median(std::vector<double> Values);
+
+/// Returns the \p Q quantile (0 <= Q <= 1) using linear interpolation
+/// between closest ranks; 0 for an empty vector.
+double quantile(std::vector<double> Values, double Q);
+
+/// Welford online mean/variance accumulator.
+class RunningStat {
+public:
+  /// Adds one observation.
+  void add(double X) {
+    ++N;
+    double Delta = X - Mean;
+    Mean += Delta / static_cast<double>(N);
+    M2 += Delta * (X - Mean);
+  }
+
+  size_t count() const { return N; }
+  double mean() const { return Mean; }
+  /// Population variance; 0 if fewer than two observations.
+  double variance() const {
+    return N < 2 ? 0.0 : M2 / static_cast<double>(N);
+  }
+  double stddev() const;
+  double min() const { return MinSeen; }
+  double max() const { return MaxSeen; }
+
+  /// Adds one observation and tracks min/max.
+  void addTracked(double X) {
+    if (N == 0 || X < MinSeen)
+      MinSeen = X;
+    if (N == 0 || X > MaxSeen)
+      MaxSeen = X;
+    add(X);
+  }
+
+private:
+  size_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double MinSeen = 0.0;
+  double MaxSeen = 0.0;
+};
+
+/// Per-image query counts from an attack run over a test set, split into
+/// successes and failures. Mirrors the paper's accounting: averages and
+/// medians are over *successful* attacks only, success rate is
+/// |successes| / (|successes| + |failures|).
+struct QuerySample {
+  std::vector<double> SuccessQueries; ///< queries for successful attacks
+  size_t NumFailures = 0;             ///< attacks that never succeeded
+
+  size_t numAttacks() const { return SuccessQueries.size() + NumFailures; }
+  double successRate() const;
+  double avgQueries() const { return mean(SuccessQueries); }
+  double medianQueries() const { return median(SuccessQueries); }
+
+  /// Success rate counting only successes that used at most \p Budget
+  /// queries (Figure 3's success-rate-at-budget).
+  double successRateAtBudget(double Budget) const;
+
+  /// Merges another sample into this one.
+  void merge(const QuerySample &Other);
+};
+
+} // namespace oppsla
+
+#endif // OPPSLA_SUPPORT_STATS_H

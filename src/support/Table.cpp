@@ -1,0 +1,78 @@
+//===- support/Table.cpp - Text table / CSV rendering --------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+using namespace oppsla;
+
+Table::Table(std::vector<std::string> Header) : Header(std::move(Header)) {
+  assert(!this->Header.empty() && "table must have at least one column");
+}
+
+void Table::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Header.size() && "row width must match header");
+  Rows.push_back(std::move(Row));
+}
+
+void Table::addRow(const std::string &Label, const std::vector<double> &Values,
+                   int Precision) {
+  std::vector<std::string> Row;
+  Row.reserve(Values.size() + 1);
+  Row.push_back(Label);
+  for (double V : Values)
+    Row.push_back(fmt(V, Precision));
+  addRow(std::move(Row));
+}
+
+std::string Table::fmt(double Value, int Precision) {
+  std::ostringstream OS;
+  OS << std::fixed << std::setprecision(Precision) << Value;
+  return OS.str();
+}
+
+void Table::print(std::ostream &OS) const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t C = 0; C != Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    OS << "| ";
+    for (size_t C = 0; C != Row.size(); ++C) {
+      OS << std::left << std::setw(static_cast<int>(Widths[C])) << Row[C];
+      OS << " | ";
+    }
+    OS << "\n";
+  };
+
+  PrintRow(Header);
+  OS << "|";
+  for (size_t C = 0; C != Header.size(); ++C)
+    OS << std::string(Widths[C] + 2, '-') << "|";
+  OS << "\n";
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}
+
+void Table::printCsv(std::ostream &OS) const {
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C != Row.size(); ++C) {
+      if (C)
+        OS << ",";
+      OS << Row[C];
+    }
+    OS << "\n";
+  };
+  PrintRow(Header);
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}

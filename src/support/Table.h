@@ -1,0 +1,54 @@
+//===- support/Table.h - Text table / CSV rendering ------------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small text-table builder used by the benchmark harness to print the
+/// paper's tables (Table 1, Table 2) and figure series (Figure 3, Figure 4)
+/// in aligned plain-text and CSV forms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_SUPPORT_TABLE_H
+#define OPPSLA_SUPPORT_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace oppsla {
+
+/// Column-aligned text table with optional CSV emission.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Appends a row; it must have exactly as many cells as the header.
+  void addRow(std::vector<std::string> Row);
+
+  /// Convenience: formats each double with \p Precision digits.
+  void addRow(const std::string &Label, const std::vector<double> &Values,
+              int Precision = 2);
+
+  size_t numRows() const { return Rows.size(); }
+
+  /// Renders the table with aligned columns.
+  void print(std::ostream &OS) const;
+
+  /// Renders the table as CSV (no quoting of commas; labels in this project
+  /// never contain them).
+  void printCsv(std::ostream &OS) const;
+
+  /// Formats a double with fixed precision.
+  static std::string fmt(double Value, int Precision = 2);
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace oppsla
+
+#endif // OPPSLA_SUPPORT_TABLE_H

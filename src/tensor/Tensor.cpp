@@ -1,0 +1,118 @@
+//===- tensor/Tensor.cpp - Dense float tensors ----------------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tensor/Tensor.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace oppsla;
+
+std::string Shape::str() const {
+  std::ostringstream OS;
+  OS << "[";
+  for (size_t I = 0; I != Dims.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << Dims[I];
+  }
+  OS << "]";
+  return OS.str();
+}
+
+void Tensor::fill(float Value) {
+  std::fill(Data.begin(), Data.end(), Value);
+}
+
+Tensor Tensor::reshaped(Shape NewShape) const {
+  assert(NewShape.numel() == numel() && "reshape must preserve numel");
+  return Tensor(std::move(NewShape), Data);
+}
+
+Tensor &Tensor::operator+=(const Tensor &Other) {
+  assert(numel() == Other.numel() && "shape mismatch in +=");
+  const float *Src = Other.data();
+  float *Dst = data();
+  for (size_t I = 0, E = numel(); I != E; ++I)
+    Dst[I] += Src[I];
+  return *this;
+}
+
+Tensor &Tensor::operator-=(const Tensor &Other) {
+  assert(numel() == Other.numel() && "shape mismatch in -=");
+  const float *Src = Other.data();
+  float *Dst = data();
+  for (size_t I = 0, E = numel(); I != E; ++I)
+    Dst[I] -= Src[I];
+  return *this;
+}
+
+Tensor &Tensor::operator*=(float Scalar) {
+  for (float &V : Data)
+    V *= Scalar;
+  return *this;
+}
+
+void Tensor::addScaled(const Tensor &Other, float Scalar) {
+  assert(numel() == Other.numel() && "shape mismatch in addScaled");
+  const float *Src = Other.data();
+  float *Dst = data();
+  for (size_t I = 0, E = numel(); I != E; ++I)
+    Dst[I] += Scalar * Src[I];
+}
+
+float Tensor::sum() const {
+  float Acc = 0.0f;
+  for (float V : Data)
+    Acc += V;
+  return Acc;
+}
+
+float Tensor::maxElement() const {
+  assert(!Data.empty() && "maxElement of empty tensor");
+  return *std::max_element(Data.begin(), Data.end());
+}
+
+size_t Tensor::argmax() const {
+  assert(!Data.empty() && "argmax of empty tensor");
+  return static_cast<size_t>(
+      std::max_element(Data.begin(), Data.end()) - Data.begin());
+}
+
+float Tensor::meanElement() const {
+  if (Data.empty())
+    return 0.0f;
+  return sum() / static_cast<float>(Data.size());
+}
+
+float Tensor::squaredNorm() const {
+  float Acc = 0.0f;
+  for (float V : Data)
+    Acc += V * V;
+  return Acc;
+}
+
+Tensor Tensor::full(Shape S, float Value) {
+  Tensor T(std::move(S));
+  T.fill(Value);
+  return T;
+}
+
+Tensor Tensor::randn(Shape S, Rng &R, float Stddev) {
+  Tensor T(std::move(S));
+  for (float &V : T.vec())
+    V = static_cast<float>(R.normal(0.0, Stddev));
+  return T;
+}
+
+Tensor Tensor::rand(Shape S, Rng &R, float Lo, float Hi) {
+  Tensor T(std::move(S));
+  for (float &V : T.vec())
+    V = static_cast<float>(R.uniform(Lo, Hi));
+  return T;
+}

@@ -1,0 +1,164 @@
+//===- tensor/Tensor.h - Dense float tensors -------------------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small dense float32 tensor with row-major (C-contiguous) layout, used
+/// as the storage type of the neural network substrate. Supports ranks 1-4;
+/// 4-D tensors follow the NCHW convention used by the nn library.
+///
+/// The class is intentionally minimal: contiguous storage, shape queries,
+/// element access, and a handful of elementwise helpers. Structured
+/// operations (matmul, im2col, ...) live in tensor/TensorOps.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_TENSOR_TENSOR_H
+#define OPPSLA_TENSOR_TENSOR_H
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace oppsla {
+
+class Rng;
+
+/// Tensor shape: up to four dimensions, stored in row-major order.
+class Shape {
+public:
+  Shape() = default;
+  Shape(std::initializer_list<size_t> Dims) : Dims(Dims) {
+    assert(this->Dims.size() <= 4 && "rank > 4 unsupported");
+  }
+  explicit Shape(std::vector<size_t> Dims) : Dims(std::move(Dims)) {
+    assert(this->Dims.size() <= 4 && "rank > 4 unsupported");
+  }
+
+  size_t rank() const { return Dims.size(); }
+  size_t operator[](size_t I) const {
+    assert(I < Dims.size() && "shape index out of range");
+    return Dims[I];
+  }
+  /// Total number of elements (1 for a rank-0 shape).
+  size_t numel() const {
+    size_t N = 1;
+    for (size_t D : Dims)
+      N *= D;
+    return N;
+  }
+  bool operator==(const Shape &Other) const { return Dims == Other.Dims; }
+  bool operator!=(const Shape &Other) const { return !(*this == Other); }
+
+  const std::vector<size_t> &dims() const { return Dims; }
+
+  /// Human-readable form, e.g. "[2, 3, 32, 32]".
+  std::string str() const;
+
+private:
+  std::vector<size_t> Dims;
+};
+
+/// Dense float32 tensor with contiguous row-major storage.
+class Tensor {
+public:
+  Tensor() = default;
+  /// Allocates a zero-initialized tensor of the given shape.
+  explicit Tensor(Shape S) : Dims(std::move(S)), Data(Dims.numel(), 0.0f) {}
+  Tensor(std::initializer_list<size_t> Dims) : Tensor(Shape(Dims)) {}
+
+  /// Allocates with explicit contents (size must match the shape).
+  Tensor(Shape S, std::vector<float> Values)
+      : Dims(std::move(S)), Data(std::move(Values)) {
+    assert(Data.size() == Dims.numel() && "data size does not match shape");
+  }
+
+  const Shape &shape() const { return Dims; }
+  size_t rank() const { return Dims.rank(); }
+  size_t numel() const { return Data.size(); }
+  bool empty() const { return Data.empty(); }
+
+  size_t dim(size_t I) const { return Dims[I]; }
+
+  float *data() { return Data.data(); }
+  const float *data() const { return Data.data(); }
+  std::vector<float> &vec() { return Data; }
+  const std::vector<float> &vec() const { return Data; }
+
+  /// Flat element access.
+  float &operator[](size_t I) {
+    assert(I < Data.size() && "flat index out of range");
+    return Data[I];
+  }
+  float operator[](size_t I) const {
+    assert(I < Data.size() && "flat index out of range");
+    return Data[I];
+  }
+
+  /// 2-D access (row, col).
+  float &at(size_t I, size_t J) {
+    assert(rank() == 2 && "at(i,j) requires rank 2");
+    return Data[I * Dims[1] + J];
+  }
+  float at(size_t I, size_t J) const {
+    assert(rank() == 2 && "at(i,j) requires rank 2");
+    return Data[I * Dims[1] + J];
+  }
+
+  /// 4-D NCHW access.
+  float &at(size_t N, size_t C, size_t H, size_t W) {
+    assert(rank() == 4 && "at(n,c,h,w) requires rank 4");
+    return Data[((N * Dims[1] + C) * Dims[2] + H) * Dims[3] + W];
+  }
+  float at(size_t N, size_t C, size_t H, size_t W) const {
+    assert(rank() == 4 && "at(n,c,h,w) requires rank 4");
+    return Data[((N * Dims[1] + C) * Dims[2] + H) * Dims[3] + W];
+  }
+
+  /// Sets every element to \p Value.
+  void fill(float Value);
+  /// Zeroes all elements (keeps the allocation).
+  void zero() { fill(0.0f); }
+
+  /// Reinterprets the storage under a new shape with equal numel.
+  Tensor reshaped(Shape NewShape) const;
+
+  /// Elementwise in-place operations.
+  Tensor &operator+=(const Tensor &Other);
+  Tensor &operator-=(const Tensor &Other);
+  Tensor &operator*=(float Scalar);
+  /// this += Scalar * Other (axpy).
+  void addScaled(const Tensor &Other, float Scalar);
+
+  /// Sum of all elements.
+  float sum() const;
+  /// Maximum element; asserts non-empty.
+  float maxElement() const;
+  /// Index of the maximum element; asserts non-empty.
+  size_t argmax() const;
+  /// Mean of all elements; 0 when empty.
+  float meanElement() const;
+
+  /// Squared L2 norm of all elements.
+  float squaredNorm() const;
+
+  // Factories.
+  static Tensor zeros(Shape S) { return Tensor(std::move(S)); }
+  static Tensor full(Shape S, float Value);
+  /// Gaussian-initialized tensor with the given stddev.
+  static Tensor randn(Shape S, Rng &R, float Stddev = 1.0f);
+  /// Uniform in [Lo, Hi).
+  static Tensor rand(Shape S, Rng &R, float Lo = 0.0f, float Hi = 1.0f);
+
+private:
+  Shape Dims;
+  std::vector<float> Data;
+};
+
+} // namespace oppsla
+
+#endif // OPPSLA_TENSOR_TENSOR_H

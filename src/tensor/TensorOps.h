@@ -1,0 +1,64 @@
+//===- tensor/TensorOps.h - Structured tensor operations -------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured tensor operations: GEMM, transpose, im2col/col2im (the
+/// convolution lowering used by nn::Conv2d), and softmax. These are plain
+/// scalar loops tuned only as far as the reproduction needs (the attack
+/// workloads run millions of 32x32 forward passes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_TENSOR_TENSOROPS_H
+#define OPPSLA_TENSOR_TENSOROPS_H
+
+#include "tensor/Tensor.h"
+
+namespace oppsla {
+
+/// C = A(MxK) * B(KxN). \p C must already have shape {M, N}; it is
+/// overwritten.
+void matmul(const Tensor &A, const Tensor &B, Tensor &C);
+
+/// C = A(MxK) * B(KxN)^T where B has shape {N, K}.
+void matmulTransposedB(const Tensor &A, const Tensor &B, Tensor &C);
+
+/// C = A(MxK)^T * B(MxN) where A has shape {M, K}; result is {K, N}.
+void matmulTransposedA(const Tensor &A, const Tensor &B, Tensor &C);
+
+/// Returns the row-major transpose of a rank-2 tensor.
+Tensor transpose2d(const Tensor &A);
+
+/// Lowers convolution input patches to a matrix.
+///
+/// Input is {N, C, H, W}; output Cols is a {C*KH*KW, N*OH*OW} matrix where
+/// OH/OW are the output spatial dims for the given stride/padding. Zero
+/// padding is applied implicitly.
+void im2col(const Tensor &Input, size_t KH, size_t KW, size_t Stride,
+            size_t Pad, Tensor &Cols);
+
+/// Inverse of im2col: accumulates columns back into an {N, C, H, W} tensor
+/// (used for convolution input gradients). \p Output must be pre-shaped and
+/// is zeroed before accumulation.
+void col2im(const Tensor &Cols, size_t N, size_t C, size_t H, size_t W,
+            size_t KH, size_t KW, size_t Stride, size_t Pad, Tensor &Output);
+
+/// Returns the conv output spatial size for one dimension.
+inline size_t convOutSize(size_t In, size_t K, size_t Stride, size_t Pad) {
+  assert(In + 2 * Pad >= K && "kernel larger than padded input");
+  return (In + 2 * Pad - K) / Stride + 1;
+}
+
+/// Numerically stable in-place softmax over the last dimension of a rank-1
+/// or rank-2 tensor.
+void softmaxInPlace(Tensor &Logits);
+
+/// Numerically stable log-softmax of a rank-1 tensor (returns a copy).
+Tensor logSoftmax(const Tensor &Logits);
+
+} // namespace oppsla
+
+#endif // OPPSLA_TENSOR_TENSOROPS_H

@@ -1,0 +1,99 @@
+//===- tests/GradCheck.h - Numerical gradient checking ----------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Central-difference gradient checking for Layer implementations. We
+/// define a scalar loss L = sum_i w_i * out_i with fixed pseudo-random
+/// weights w, compute analytic input/parameter gradients via backward(w),
+/// and compare against (L(x+eps) - L(x-eps)) / (2 eps).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_TESTS_GRADCHECK_H
+#define OPPSLA_TESTS_GRADCHECK_H
+
+#include "nn/Layer.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace oppsla::test {
+
+/// Weighted sum of a forward pass; the scalar loss for gradient checks.
+inline double weightedLoss(Layer &L, const Tensor &In,
+                           const std::vector<float> &W) {
+  Tensor Out = L.forward(In, /*Train=*/true);
+  EXPECT_EQ(Out.numel(), W.size());
+  double Acc = 0.0;
+  for (size_t I = 0; I != Out.numel(); ++I)
+    Acc += static_cast<double>(W[I]) * Out[I];
+  return Acc;
+}
+
+/// Checks input and parameter gradients of \p L at input \p In.
+///
+/// \p Eps is the finite-difference step; \p Tol the allowed mismatch,
+/// evaluated as |analytic - numeric| <= Tol * max(1, |analytic|).
+inline void checkGradients(Layer &L, Tensor In, double Eps = 1e-2,
+                           double Tol = 2e-2, uint64_t Seed = 7) {
+  // Fixed loss weights (avoid all-ones: it hides sign errors that cancel).
+  Tensor Probe = L.forward(In, /*Train=*/true);
+  Rng R(Seed);
+  std::vector<float> W(Probe.numel());
+  for (float &V : W)
+    V = static_cast<float>(R.uniform(-1.0, 1.0));
+
+  // Analytic gradients.
+  std::vector<ParamRef> Params;
+  L.collectParams("p", Params);
+  zeroGrads(Params);
+  L.forward(In, /*Train=*/true);
+  Tensor GradOut(Probe.shape());
+  for (size_t I = 0; I != W.size(); ++I)
+    GradOut[I] = W[I];
+  Tensor GradIn = L.backward(GradOut);
+  ASSERT_EQ(GradIn.numel(), In.numel());
+
+  auto Compare = [&](double Analytic, double Numeric, const char *What,
+                     size_t Index) {
+    const double Scale = std::max(1.0, std::fabs(Analytic));
+    EXPECT_NEAR(Analytic, Numeric, Tol * Scale)
+        << What << " gradient mismatch at flat index " << Index;
+  };
+
+  // Input gradient, checked on a strided subset for speed.
+  const size_t InStride = std::max<size_t>(1, In.numel() / 24);
+  for (size_t I = 0; I < In.numel(); I += InStride) {
+    const float Orig = In[I];
+    In[I] = Orig + static_cast<float>(Eps);
+    const double Plus = weightedLoss(L, In, W);
+    In[I] = Orig - static_cast<float>(Eps);
+    const double Minus = weightedLoss(L, In, W);
+    In[I] = Orig;
+    Compare(GradIn[I], (Plus - Minus) / (2 * Eps), "input", I);
+  }
+
+  // Parameter gradients.
+  for (ParamRef &P : Params) {
+    Tensor &V = *P.Value;
+    const size_t Stride = std::max<size_t>(1, V.numel() / 16);
+    for (size_t I = 0; I < V.numel(); I += Stride) {
+      const float Orig = V[I];
+      V[I] = Orig + static_cast<float>(Eps);
+      const double Plus = weightedLoss(L, In, W);
+      V[I] = Orig - static_cast<float>(Eps);
+      const double Minus = weightedLoss(L, In, W);
+      V[I] = Orig;
+      Compare((*P.Grad)[I], (Plus - Minus) / (2 * Eps), P.Name.c_str(), I);
+    }
+  }
+}
+
+} // namespace oppsla::test
+
+#endif // OPPSLA_TESTS_GRADCHECK_H

@@ -1,0 +1,77 @@
+//===- tests/TestUtil.h - Shared test helpers -------------------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_TESTS_TESTUTIL_H
+#define OPPSLA_TESTS_TESTUTIL_H
+
+#include "classify/Classifier.h"
+#include "data/Image.h"
+#include "support/Rng.h"
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace oppsla::test {
+
+/// A classifier defined by an arbitrary scoring function; the workhorse of
+/// the attack/sketch tests (no neural network needed).
+class FakeClassifier : public Classifier {
+public:
+  using ScoreFn = std::function<std::vector<float>(const Image &)>;
+
+  FakeClassifier(size_t NumClasses, ScoreFn Fn)
+      : Classes(NumClasses), Fn(std::move(Fn)) {}
+
+  std::vector<float> scores(const Image &Img) override {
+    ++Calls;
+    return Fn(Img);
+  }
+  size_t numClasses() const override { return Classes; }
+
+  size_t calls() const { return Calls; }
+
+private:
+  size_t Classes;
+  ScoreFn Fn;
+  size_t Calls = 0;
+};
+
+/// A classifier that always answers class 0 with fixed confidence — no
+/// image is adversarially attackable.
+inline FakeClassifier robustClassifier(size_t NumClasses = 3) {
+  return FakeClassifier(NumClasses, [NumClasses](const Image &) {
+    std::vector<float> S(NumClasses, 0.1f);
+    S[0] = 0.8f;
+    return S;
+  });
+}
+
+/// Deterministic test image with smoothly varying pixel values in (0,1).
+inline Image gradientImage(size_t H, size_t W) {
+  Image Img(H, W);
+  for (size_t I = 0; I != H; ++I)
+    for (size_t J = 0; J != W; ++J) {
+      const float T =
+          static_cast<float>(I * W + J) / static_cast<float>(H * W);
+      Img.setPixel(I, J, Pixel{0.1f + 0.8f * T, 0.9f - 0.8f * T,
+                               0.2f + 0.6f * T * T});
+    }
+  return Img;
+}
+
+/// Deterministic pseudo-random image.
+inline Image randomImage(size_t H, size_t W, uint64_t Seed) {
+  Rng R(Seed);
+  Image Img(H, W);
+  for (float &V : Img.raw())
+    V = R.uniformF();
+  return Img;
+}
+
+} // namespace oppsla::test
+
+#endif // OPPSLA_TESTS_TESTUTIL_H

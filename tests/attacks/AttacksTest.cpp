@@ -1,0 +1,225 @@
+//===- tests/attacks/AttacksTest.cpp - Baseline attack tests ------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "attacks/RandomPairSearch.h"
+#include "attacks/SketchAttack.h"
+#include "attacks/SparseRS.h"
+#include "attacks/SuOPA.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace oppsla;
+using namespace oppsla::test;
+
+namespace {
+
+/// Flips to class 1 whenever any pixel is more than 0.95 bright in all
+/// channels (i.e. close to the white corner) — a fat target every attack
+/// finds quickly.
+FakeClassifier whitePixelVulnerable() {
+  return FakeClassifier(2, [](const Image &X) {
+    for (size_t I = 0; I != X.height(); ++I)
+      for (size_t J = 0; J != X.width(); ++J) {
+        const Pixel P = X.pixel(I, J);
+        if (P.R > 0.95f && P.G > 0.95f && P.B > 0.95f)
+          return std::vector<float>{0.1f, 0.9f};
+      }
+    return std::vector<float>{0.9f, 0.1f};
+  });
+}
+
+Image midGray(size_t Side) {
+  Image Img(Side, Side);
+  for (float &V : Img.raw())
+    V = 0.5f;
+  return Img;
+}
+
+} // namespace
+
+TEST(UntargetedMargin, Definition) {
+  EXPECT_NEAR(untargetedMargin({0.7f, 0.2f, 0.1f}, 0), 0.5, 1e-6);
+  EXPECT_NEAR(untargetedMargin({0.2f, 0.5f, 0.3f}, 0), -0.3, 1e-6);
+  EXPECT_NEAR(untargetedMargin({0.5f, 0.5f}, 1), 0.0, 1e-6);
+}
+
+//===----------------------------------------------------------------------===//
+// SketchAttack
+//===----------------------------------------------------------------------===//
+
+TEST(SketchAttack, AdaptsSketchResult) {
+  FakeClassifier N = whitePixelVulnerable();
+  SketchAttack A(allFalseProgram(), "test-sketch");
+  const AttackResult R = A.attack(N, midGray(4), 0, 1000);
+  EXPECT_TRUE(R.Success);
+  EXPECT_EQ(A.name(), "test-sketch");
+  EXPECT_EQ(R.Perturbation, cornerPixel(7)) << "white corner flips";
+  EXPECT_GT(R.Queries, 0u);
+}
+
+TEST(SketchAttack, DefaultNameIsOPPSLA) {
+  SketchAttack A(allFalseProgram());
+  EXPECT_EQ(A.name(), "OPPSLA");
+}
+
+//===----------------------------------------------------------------------===//
+// SparseRS
+//===----------------------------------------------------------------------===//
+
+TEST(SparseRS, SucceedsOnFatTarget) {
+  FakeClassifier N = whitePixelVulnerable();
+  SparseRS A;
+  const AttackResult R = A.attack(N, midGray(6), 0, 5000);
+  ASSERT_TRUE(R.Success);
+  EXPECT_EQ(R.Perturbation, cornerPixel(7));
+  EXPECT_LE(R.Queries, 5000u);
+}
+
+TEST(SparseRS, RespectsBudgetOnRobustTarget) {
+  FakeClassifier N = robustClassifier();
+  SparseRS A;
+  const AttackResult R = A.attack(N, midGray(6), 0, 100);
+  EXPECT_FALSE(R.Success);
+  EXPECT_EQ(R.Queries, 100u);
+}
+
+TEST(SparseRS, DetectsAlreadyMisclassified) {
+  FakeClassifier N = robustClassifier();
+  SparseRS A;
+  const AttackResult R = A.attack(N, midGray(4), /*TrueClass=*/1, 100);
+  EXPECT_TRUE(R.Success);
+  EXPECT_TRUE(R.AlreadyMisclassified);
+  EXPECT_EQ(R.Queries, 1u);
+}
+
+TEST(SparseRS, MarginDescentFindsGradedTarget) {
+  // Margin shrinks as the perturbed pixel approaches the image's top-left
+  // corner; only (0,0) with the white corner flips. Random search must
+  // exploit the gradient through its accept rule.
+  FakeClassifier N(2, [](const Image &X) {
+    float Best = 0.0f;
+    for (size_t I = 0; I != X.height(); ++I)
+      for (size_t J = 0; J != X.width(); ++J) {
+        const Pixel P = X.pixel(I, J);
+        if (P.R > 0.95f && P.G > 0.95f && P.B > 0.95f) {
+          const float Dist = static_cast<float>(I + J);
+          Best = std::max(Best, 1.0f / (1.0f + Dist));
+        }
+      }
+    if (Best >= 0.99f)
+      return std::vector<float>{0.2f, 0.8f};
+    return std::vector<float>{0.6f - 0.2f * Best, 0.4f + 0.2f * Best};
+  });
+  SparseRS A(SparseRSConfig{/*Seed=*/7, /*ScheduleHorizon=*/500,
+                            /*MinLocationProb=*/0.3});
+  const AttackResult R = A.attack(N, midGray(8), 0, 20000);
+  ASSERT_TRUE(R.Success);
+  EXPECT_EQ(R.Loc.Row, 0u);
+  EXPECT_EQ(R.Loc.Col, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// SuOPA
+//===----------------------------------------------------------------------===//
+
+TEST(SuOPA, MinimumQueriesIsPopulationPlusClean) {
+  FakeClassifier N = robustClassifier();
+  SuOPAConfig Config;
+  Config.PopulationSize = 50;
+  Config.MaxGenerations = 0;
+  SuOPA A(Config);
+  const AttackResult R = A.attack(N, midGray(6), 0, 10000);
+  EXPECT_FALSE(R.Success);
+  EXPECT_EQ(R.Queries, 51u) << "one clean query + one per individual";
+}
+
+TEST(SuOPA, FindsFatTargetDuringInitOrEvolution) {
+  FakeClassifier N = whitePixelVulnerable();
+  SuOPAConfig Config;
+  Config.PopulationSize = 60;
+  Config.MaxGenerations = 30;
+  SuOPA A(Config);
+  const AttackResult R = A.attack(N, midGray(6), 0, 50000);
+  ASSERT_TRUE(R.Success);
+  EXPECT_GT(R.Perturbation.R, 0.95f);
+  EXPECT_GT(R.Perturbation.G, 0.95f);
+  EXPECT_GT(R.Perturbation.B, 0.95f);
+}
+
+TEST(SuOPA, RespectsBudgetMidPopulation) {
+  FakeClassifier N = robustClassifier();
+  SuOPAConfig Config;
+  Config.PopulationSize = 400;
+  SuOPA A(Config);
+  const AttackResult R = A.attack(N, midGray(6), 0, /*Budget=*/37);
+  EXPECT_FALSE(R.Success);
+  EXPECT_EQ(R.Queries, 37u);
+}
+
+TEST(SuOPA, DetectsAlreadyMisclassified) {
+  FakeClassifier N = robustClassifier();
+  SuOPA A;
+  const AttackResult R = A.attack(N, midGray(4), 2, 100);
+  EXPECT_TRUE(R.Success);
+  EXPECT_TRUE(R.AlreadyMisclassified);
+  EXPECT_EQ(R.Queries, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// RandomPairSearch
+//===----------------------------------------------------------------------===//
+
+TEST(RandomPairSearch, ExhaustsCornerSpaceOnRobustTarget) {
+  FakeClassifier N = robustClassifier();
+  RandomPairSearch A;
+  const AttackResult R = A.attack(N, midGray(4), 0, Attack::Unlimited);
+  EXPECT_FALSE(R.Success);
+  EXPECT_EQ(R.Queries, 4u * 4u * 8u + 1u);
+}
+
+TEST(RandomPairSearch, FindsFatTarget) {
+  FakeClassifier N = whitePixelVulnerable();
+  RandomPairSearch A;
+  const AttackResult R = A.attack(N, midGray(4), 0, Attack::Unlimited);
+  ASSERT_TRUE(R.Success);
+  EXPECT_EQ(R.Perturbation, cornerPixel(7));
+}
+
+TEST(RandomPairSearch, BudgetStopsSearch) {
+  FakeClassifier N = robustClassifier();
+  RandomPairSearch A;
+  const AttackResult R = A.attack(N, midGray(4), 0, 9);
+  EXPECT_FALSE(R.Success);
+  EXPECT_EQ(R.Queries, 9u);
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-attack property: query accounting under a common budget
+//===----------------------------------------------------------------------===//
+
+class AttackBudgetSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AttackBudgetSweep, NoAttackEverExceedsItsBudget) {
+  const uint64_t Budget = GetParam();
+  const Image X = midGray(5);
+  SketchAttack Sk(paperExampleProgram());
+  SparseRS Rs;
+  SuOPA De;
+  RandomPairSearch Rp;
+  for (Attack *A : {static_cast<Attack *>(&Sk), static_cast<Attack *>(&Rs),
+                    static_cast<Attack *>(&De),
+                    static_cast<Attack *>(&Rp)}) {
+    FakeClassifier N = robustClassifier();
+    const AttackResult R = A->attack(N, X, 0, Budget);
+    EXPECT_LE(R.Queries, Budget) << A->name();
+    EXPECT_FALSE(R.Success) << A->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, AttackBudgetSweep,
+                         ::testing::Values(1, 2, 10, 100, 400));

@@ -1,0 +1,193 @@
+//===- tests/attacks/KPixelAugmentTest.cpp - KPixelRS & Augment ---------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "attacks/KPixelRS.h"
+#include "data/Augment.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace oppsla;
+using namespace oppsla::test;
+
+namespace {
+
+Image midGray(size_t Side) {
+  Image Img(Side, Side);
+  for (float &V : Img.raw())
+    V = 0.5f;
+  return Img;
+}
+
+/// Flips to class 1 only when at least \p Need pixels are near-white —
+/// requires a genuinely multi-pixel perturbation.
+FakeClassifier needsWhitePixels(size_t Need) {
+  return FakeClassifier(2, [Need](const Image &X) {
+    size_t Count = 0;
+    for (size_t I = 0; I != X.height(); ++I)
+      for (size_t J = 0; J != X.width(); ++J) {
+        const Pixel P = X.pixel(I, J);
+        Count += P.R > 0.95f && P.G > 0.95f && P.B > 0.95f;
+      }
+    if (Count >= Need)
+      return std::vector<float>{0.2f, 0.8f};
+    // Graded margin: more white pixels => lower confidence.
+    const float Boost = 0.1f * static_cast<float>(Count);
+    return std::vector<float>{0.8f - Boost, 0.2f + Boost};
+  });
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// KPixelRS
+//===----------------------------------------------------------------------===//
+
+TEST(KPixelRS, KEqualsOneBehavesLikeOnePixelSearch) {
+  FakeClassifier N = needsWhitePixels(1);
+  KPixelRSConfig Config;
+  Config.K = 1;
+  KPixelRS A(Config);
+  const AttackResult R = A.attack(N, midGray(6), 0, 20000);
+  ASSERT_TRUE(R.Success);
+}
+
+TEST(KPixelRS, TwoPixelTargetNeedsTwoPixels) {
+  // A one pixel attack cannot flip this classifier...
+  {
+    FakeClassifier N = needsWhitePixels(2);
+    KPixelRSConfig Config;
+    Config.K = 1;
+    KPixelRS A(Config);
+    EXPECT_FALSE(A.attack(N, midGray(5), 0, 3000).Success);
+  }
+  // ...but the two pixel variant can, and reports both pixels.
+  {
+    FakeClassifier N = needsWhitePixels(2);
+    KPixelRSConfig Config;
+    Config.K = 2;
+    KPixelRS A(Config);
+    const KPixelResult R = A.attackDetailed(N, midGray(5), 0, 60000);
+    ASSERT_TRUE(R.Base.Success);
+    ASSERT_EQ(R.Pixels.size(), 2u);
+    EXPECT_FALSE(R.Pixels[0].Loc == R.Pixels[1].Loc);
+    for (const LocPert &P : R.Pixels)
+      EXPECT_EQ(P.Corner, 7) << "both perturbed pixels must be white";
+  }
+}
+
+TEST(KPixelRS, PixelLocationsStayDistinct) {
+  FakeClassifier N = robustClassifier(2);
+  KPixelRSConfig Config;
+  Config.K = 4;
+  KPixelRS A(Config);
+  const KPixelResult R = A.attackDetailed(N, midGray(4), 0, 500);
+  EXPECT_FALSE(R.Base.Success);
+  EXPECT_EQ(R.Base.Queries, 500u);
+}
+
+TEST(KPixelRS, RespectsBudgetAndCleanDetection) {
+  FakeClassifier N = robustClassifier(2);
+  KPixelRSConfig Config;
+  Config.K = 3;
+  KPixelRS A(Config);
+  const AttackResult R1 = A.attack(N, midGray(5), 0, 50);
+  EXPECT_FALSE(R1.Success);
+  EXPECT_EQ(R1.Queries, 50u);
+  const AttackResult R2 = A.attack(N, midGray(5), /*TrueClass=*/1, 50);
+  EXPECT_TRUE(R2.AlreadyMisclassified);
+}
+
+TEST(KPixelRS, NameIncludesK) {
+  KPixelRSConfig Config;
+  Config.K = 3;
+  EXPECT_EQ(KPixelRS(Config).name(), "Sparse-RS(k=3)");
+}
+
+//===----------------------------------------------------------------------===//
+// Augmentation
+//===----------------------------------------------------------------------===//
+
+TEST(Augment, FlipHorizontalMirrors) {
+  Image Img(2, 3);
+  Img.setPixel(0, 0, Pixel{1, 0, 0});
+  Img.setPixel(0, 2, Pixel{0, 0, 1});
+  const Image Out = flipHorizontal(Img);
+  EXPECT_FLOAT_EQ(Out.pixel(0, 0).B, 1.0f);
+  EXPECT_FLOAT_EQ(Out.pixel(0, 2).R, 1.0f);
+  EXPECT_FLOAT_EQ(Out.pixel(0, 1).R, Img.pixel(0, 1).R);
+}
+
+TEST(Augment, DoubleFlipIsIdentity) {
+  const Image Img = gradientImage(5, 7);
+  const Image Twice = flipHorizontal(flipHorizontal(Img));
+  EXPECT_EQ(Twice.raw(), Img.raw());
+}
+
+TEST(Augment, TranslateShiftsContent) {
+  Image Img(3, 3);
+  Img.setPixel(1, 1, Pixel{1, 1, 1});
+  const Image Out = translate(Img, 1, 0);
+  EXPECT_FLOAT_EQ(Out.pixel(2, 1).R, 1.0f);
+  EXPECT_FLOAT_EQ(Out.pixel(1, 1).R, 0.0f);
+}
+
+TEST(Augment, TranslateClampsEdges) {
+  Image Img(2, 2);
+  Img.setPixel(0, 0, Pixel{1, 0, 0});
+  Img.setPixel(0, 1, Pixel{0, 1, 0});
+  Img.setPixel(1, 0, Pixel{0, 0, 1});
+  Img.setPixel(1, 1, Pixel{1, 1, 1});
+  // Shift down by 1: the vacated top row replicates the original top row.
+  const Image Out = translate(Img, 1, 0);
+  EXPECT_FLOAT_EQ(Out.pixel(0, 0).R, 1.0f);
+  EXPECT_FLOAT_EQ(Out.pixel(1, 0).R, 1.0f);
+}
+
+TEST(Augment, ZeroTranslateIsIdentity) {
+  const Image Img = gradientImage(4, 4);
+  EXPECT_EQ(translate(Img, 0, 0).raw(), Img.raw());
+}
+
+TEST(Augment, CutoutZeroesAPatch) {
+  Image Img(8, 8);
+  for (float &V : Img.raw())
+    V = 1.0f;
+  Rng R(3);
+  cutout(Img, 3, R);
+  size_t Zeros = 0;
+  for (float V : Img.raw())
+    Zeros += V == 0.0f;
+  EXPECT_GT(Zeros, 0u);
+  EXPECT_LE(Zeros, 3u * 3u * 3u);
+  EXPECT_EQ(Zeros % 3, 0u) << "whole pixels are zeroed";
+}
+
+TEST(Augment, FullPolicyKeepsRangeAndShape) {
+  AugmentConfig Config;
+  Config.CutoutPatch = 2;
+  Rng R(5);
+  const Image Img = gradientImage(8, 8);
+  for (int I = 0; I != 50; ++I) {
+    const Image Out = augment(Img, Config, R);
+    ASSERT_EQ(Out.height(), 8u);
+    ASSERT_EQ(Out.width(), 8u);
+    for (float V : Out.raw()) {
+      ASSERT_GE(V, 0.0f);
+      ASSERT_LE(V, 1.0f);
+    }
+  }
+}
+
+TEST(Augment, DeterministicGivenRngState) {
+  AugmentConfig Config;
+  Rng R1(9), R2(9);
+  const Image Img = gradientImage(6, 6);
+  EXPECT_EQ(augment(Img, Config, R1).raw(), augment(Img, Config, R2).raw());
+}

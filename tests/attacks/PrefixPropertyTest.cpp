@@ -1,0 +1,116 @@
+//===- tests/attacks/PrefixPropertyTest.cpp - Budget prefix property ----------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The evaluation harness derives the whole success-rate-vs-budget curve
+// from ONE attack run per image (eval/Evaluation.h): if a deterministic
+// attack succeeds after q queries under budget B, it succeeds identically
+// under any budget in [q, B], and fails under budgets < q. These tests
+// pin that prefix property for every attack implementation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "attacks/RandomPairSearch.h"
+#include "attacks/SketchAttack.h"
+#include "attacks/SparseRS.h"
+#include "attacks/SuOPA.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+using namespace oppsla;
+using namespace oppsla::test;
+
+namespace {
+
+Image midGray(size_t Side) {
+  Image Img(Side, Side);
+  for (float &V : Img.raw())
+    V = 0.5f;
+  return Img;
+}
+
+/// Classifier with a moderately hidden vulnerability so attacks need a
+/// nontrivial number of queries.
+FakeClassifier hiddenTarget() {
+  return FakeClassifier(2, [](const Image &X) {
+    const Pixel P = X.pixel(1, 3);
+    if (P.R > 0.95f && P.G < 0.05f && P.B > 0.95f) // magenta corner
+      return std::vector<float>{0.2f, 0.8f};
+    return std::vector<float>{0.9f, 0.1f};
+  });
+}
+
+/// Factory type: builds a fresh attack with identical RNG state, so
+/// reruns replay the same query sequence.
+using AttackFactory = std::function<std::unique_ptr<Attack>()>;
+
+void checkPrefixProperty(const AttackFactory &Make) {
+  const Image X = midGray(5);
+  FakeClassifier N1 = hiddenTarget();
+  const AttackResult Full = Make()->attack(N1, X, 0, 100000);
+  ASSERT_TRUE(Full.Success) << Make()->name();
+  const uint64_t Q = Full.Queries;
+  ASSERT_GT(Q, 1u);
+
+  // Exactly-enough budget: identical outcome.
+  FakeClassifier N2 = hiddenTarget();
+  const AttackResult Exact = Make()->attack(N2, X, 0, Q);
+  EXPECT_TRUE(Exact.Success);
+  EXPECT_EQ(Exact.Queries, Q);
+  EXPECT_EQ(Exact.Loc.Row, Full.Loc.Row);
+  EXPECT_EQ(Exact.Loc.Col, Full.Loc.Col);
+
+  // One query short: failure, with the budget fully spent.
+  FakeClassifier N3 = hiddenTarget();
+  const AttackResult Short = Make()->attack(N3, X, 0, Q - 1);
+  EXPECT_FALSE(Short.Success);
+  EXPECT_EQ(Short.Queries, Q - 1);
+
+  // A larger budget changes nothing.
+  FakeClassifier N4 = hiddenTarget();
+  const AttackResult Large = Make()->attack(N4, X, 0, Q + 1234);
+  EXPECT_TRUE(Large.Success);
+  EXPECT_EQ(Large.Queries, Q);
+}
+
+} // namespace
+
+TEST(PrefixProperty, SketchAttack) {
+  checkPrefixProperty([] {
+    return std::make_unique<SketchAttack>(paperExampleProgram());
+  });
+}
+
+TEST(PrefixProperty, SketchAttackAllTrue) {
+  checkPrefixProperty(
+      [] { return std::make_unique<SketchAttack>(allTrueProgram()); });
+}
+
+TEST(PrefixProperty, SparseRS) {
+  checkPrefixProperty([] {
+    return std::make_unique<SparseRS>(SparseRSConfig{/*Seed=*/77,
+                                                     /*Horizon=*/1000,
+                                                     /*MinLocProb=*/0.2});
+  });
+}
+
+TEST(PrefixProperty, SuOPA) {
+  SuOPAConfig Config;
+  Config.Seed = 99;
+  Config.PopulationSize = 30;
+  Config.MaxGenerations = 200;
+  checkPrefixProperty(
+      [Config] { return std::make_unique<SuOPA>(Config); });
+}
+
+TEST(PrefixProperty, RandomPairSearch) {
+  checkPrefixProperty(
+      [] { return std::make_unique<RandomPairSearch>(/*Seed=*/5); });
+}

@@ -1,0 +1,15 @@
+# Runs `oppsla explain` on the textual example program and checks the
+# report mentions roles and verdicts.
+execute_process(
+  COMMAND ${CLI} explain --program ${SRC_DIR}/cli/example_program.txt
+  OUTPUT_VARIABLE OUT
+  RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "explain failed with ${RC}")
+endif()
+foreach(NEEDLE "[B1]" "push back" "eagerly check" "contingent")
+  string(FIND "${OUT}" "${NEEDLE}" POS)
+  if(POS EQUAL -1)
+    message(FATAL_ERROR "missing '${NEEDLE}' in: ${OUT}")
+  endif()
+endforeach()

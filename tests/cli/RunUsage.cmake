@@ -1,0 +1,9 @@
+# No arguments => usage text and non-zero exit.
+execute_process(COMMAND ${CLI} ERROR_VARIABLE ERR RESULT_VARIABLE RC)
+if(RC EQUAL 0)
+  message(FATAL_ERROR "expected non-zero exit without a subcommand")
+endif()
+string(FIND "${ERR}" "usage:" POS)
+if(POS EQUAL -1)
+  message(FATAL_ERROR "missing usage text: ${ERR}")
+endif()

@@ -1,0 +1,253 @@
+//===- tests/core/ConditionTest.cpp - DSL & mutation tests --------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Condition.h"
+#include "core/Mutation.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace oppsla;
+
+namespace {
+
+CondEnv sampleEnv(Rng &R) {
+  CondEnv Env;
+  Env.OriginalPixel = Pixel{R.uniformF(), R.uniformF(), R.uniformF()};
+  Env.PerturbPixel = cornerPixel(static_cast<CornerIdx>(R.index(8)));
+  Env.ScoreDiff = R.uniform(-1.0, 1.0);
+  Env.CenterDist = R.uniform(0.0, 16.0);
+  return Env;
+}
+
+} // namespace
+
+TEST(Condition, EvalFuncPixelKinds) {
+  CondEnv Env;
+  Env.OriginalPixel = Pixel{0.2f, 0.8f, 0.5f};
+  Env.PerturbPixel = Pixel{1.0f, 0.0f, 0.0f};
+
+  Condition C;
+  C.Source = PixelSource::Original;
+  C.Func = FuncKind::MaxPixel;
+  EXPECT_FLOAT_EQ(evalFunc(C, Env), 0.8f);
+  C.Func = FuncKind::MinPixel;
+  EXPECT_FLOAT_EQ(evalFunc(C, Env), 0.2f);
+  C.Func = FuncKind::AvgPixel;
+  EXPECT_NEAR(evalFunc(C, Env), 0.5, 1e-6);
+
+  C.Source = PixelSource::Perturbation;
+  C.Func = FuncKind::MaxPixel;
+  EXPECT_FLOAT_EQ(evalFunc(C, Env), 1.0f);
+  C.Func = FuncKind::MinPixel;
+  EXPECT_FLOAT_EQ(evalFunc(C, Env), 0.0f);
+}
+
+TEST(Condition, EvalFuncScoreDiffAndCenter) {
+  CondEnv Env;
+  Env.ScoreDiff = 0.37;
+  Env.CenterDist = 5.5;
+  Condition C;
+  C.Func = FuncKind::ScoreDiff;
+  EXPECT_DOUBLE_EQ(evalFunc(C, Env), 0.37);
+  C.Func = FuncKind::Center;
+  EXPECT_DOUBLE_EQ(evalFunc(C, Env), 5.5);
+}
+
+TEST(Condition, ComparisonDirections) {
+  CondEnv Env;
+  Env.CenterDist = 5.0;
+  Condition C;
+  C.Func = FuncKind::Center;
+  C.Threshold = 8.0;
+  C.Cmp = CmpKind::Less;
+  EXPECT_TRUE(evalCondition(C, Env));
+  C.Cmp = CmpKind::Greater;
+  EXPECT_FALSE(evalCondition(C, Env));
+  C.Threshold = 5.0;
+  EXPECT_FALSE(evalCondition(C, Env)) << "strict comparison";
+  C.Cmp = CmpKind::Less;
+  EXPECT_FALSE(evalCondition(C, Env));
+}
+
+TEST(Condition, AllFalseProgramNeverFires) {
+  const Program P = allFalseProgram();
+  Rng R(1);
+  for (int I = 0; I != 500; ++I) {
+    const CondEnv Env = sampleEnv(R);
+    for (const Condition &C : P.Conds)
+      ASSERT_FALSE(evalCondition(C, Env));
+  }
+}
+
+TEST(Condition, AllTrueProgramAlwaysFires) {
+  const Program P = allTrueProgram();
+  Rng R(2);
+  for (int I = 0; I != 500; ++I) {
+    const CondEnv Env = sampleEnv(R);
+    for (const Condition &C : P.Conds)
+      ASSERT_TRUE(evalCondition(C, Env));
+  }
+}
+
+TEST(Condition, PaperExampleMatchesSection32) {
+  const Program P = paperExampleProgram();
+  EXPECT_EQ(P.b1().Func, FuncKind::ScoreDiff);
+  EXPECT_EQ(P.b1().Cmp, CmpKind::Less);
+  EXPECT_DOUBLE_EQ(P.b1().Threshold, 0.21);
+  EXPECT_EQ(P.b2().Func, FuncKind::MaxPixel);
+  EXPECT_EQ(P.b2().Source, PixelSource::Original);
+  EXPECT_DOUBLE_EQ(P.b2().Threshold, 0.19);
+  EXPECT_EQ(P.b3().Cmp, CmpKind::Greater);
+  EXPECT_DOUBLE_EQ(P.b3().Threshold, 0.25);
+  EXPECT_EQ(P.b4().Func, FuncKind::Center);
+  EXPECT_DOUBLE_EQ(P.b4().Threshold, 8.0);
+}
+
+TEST(Condition, StrRendering) {
+  Condition C;
+  C.Func = FuncKind::ScoreDiff;
+  C.Cmp = CmpKind::Less;
+  C.Threshold = 0.21;
+  EXPECT_EQ(C.str(), "score_diff(N(x),N(x[l<-p]),cx) < 0.21");
+  C.Func = FuncKind::MaxPixel;
+  C.Source = PixelSource::Original;
+  C.Cmp = CmpKind::Greater;
+  C.Threshold = 0.19;
+  EXPECT_EQ(C.str(), "max(x_l) > 0.19");
+  C.Source = PixelSource::Perturbation;
+  EXPECT_EQ(C.str(), "max(p) > 0.19");
+  C.Func = FuncKind::Center;
+  C.Cmp = CmpKind::Less;
+  C.Threshold = 8.0;
+  EXPECT_EQ(C.str(), "center(l) < 8");
+}
+
+TEST(Program, StrListsAllFourConditions) {
+  const std::string S = paperExampleProgram().str();
+  EXPECT_NE(S.find("[B1]"), std::string::npos);
+  EXPECT_NE(S.find("[B4]"), std::string::npos);
+  EXPECT_NE(S.find("center(l) < 8"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Mutation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool thresholdInRange(const Condition &C, const MutationContext &Ctx) {
+  switch (C.Func) {
+  case FuncKind::MaxPixel:
+  case FuncKind::MinPixel:
+  case FuncKind::AvgPixel:
+    return C.Threshold >= 0.0 && C.Threshold <= 1.0;
+  case FuncKind::ScoreDiff:
+    return C.Threshold >= -0.5 && C.Threshold <= 0.5;
+  case FuncKind::Center:
+    return C.Threshold >= 0.0 && C.Threshold <= Ctx.maxCenterDist();
+  }
+  return false;
+}
+
+size_t numDifferingConds(const Program &A, const Program &B) {
+  size_t N = 0;
+  for (size_t I = 0; I != 4; ++I) {
+    const Condition &X = A.Conds[I], &Y = B.Conds[I];
+    if (X.Func != Y.Func || X.Source != Y.Source || X.Cmp != Y.Cmp ||
+        X.Threshold != Y.Threshold)
+      ++N;
+  }
+  return N;
+}
+
+} // namespace
+
+TEST(Mutation, RandomProgramDeterministicGivenSeed) {
+  MutationContext Ctx{32};
+  Rng A(9), B(9);
+  const Program PA = randomProgram(Ctx, A);
+  const Program PB = randomProgram(Ctx, B);
+  EXPECT_EQ(numDifferingConds(PA, PB), 0u);
+}
+
+class MutationSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MutationSweep, RandomProgramsAreWellTyped) {
+  MutationContext Ctx{32};
+  Rng R(GetParam());
+  for (int I = 0; I != 200; ++I) {
+    const Program P = randomProgram(Ctx, R);
+    for (const Condition &C : P.Conds)
+      ASSERT_TRUE(thresholdInRange(C, Ctx)) << C.str();
+  }
+}
+
+TEST_P(MutationSweep, MutationChangesAtMostAllConditions) {
+  MutationContext Ctx{32};
+  Rng R(GetParam() + 1000);
+  Program P = randomProgram(Ctx, R);
+  size_t SingleCondChanges = 0, Mutations = 0;
+  for (int I = 0; I != 300; ++I, ++Mutations) {
+    const Program Q = mutateProgram(P, Ctx, R);
+    const size_t D = numDifferingConds(P, Q);
+    ASSERT_LE(D, 4u);
+    if (D <= 1)
+      ++SingleCondChanges;
+    P = Q;
+  }
+  // Most node choices (12 of 13) touch a single condition.
+  EXPECT_GT(SingleCondChanges, Mutations / 2);
+}
+
+TEST_P(MutationSweep, ThresholdResampleStaysInCurrentFuncRange) {
+  // After many mutations every threshold remains in the range of *some*
+  // function; specifically, a condition whose function never changed keeps
+  // a valid threshold for it.
+  MutationContext Ctx{32};
+  Rng R(GetParam() + 2000);
+  Program P = randomProgram(Ctx, R);
+  for (int I = 0; I != 200; ++I) {
+    P = mutateProgram(P, Ctx, R);
+    for (const Condition &C : P.Conds) {
+      // A kept threshold may be out of the new function's range when only
+      // the function node mutated (grammar-faithful), but it must always
+      // lie in the union of all ranges.
+      const bool InUnion =
+          (C.Threshold >= -0.5 && C.Threshold <= Ctx.maxCenterDist());
+      ASSERT_TRUE(InUnion) << C.str();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationSweep,
+                         ::testing::Values(1, 7, 42, 31337));
+
+TEST(Mutation, SampleThresholdRanges) {
+  MutationContext Ctx{32};
+  Rng R(5);
+  for (int I = 0; I != 200; ++I) {
+    const double P = sampleThreshold(FuncKind::AvgPixel, Ctx, R);
+    EXPECT_GE(P, 0.0);
+    EXPECT_LE(P, 1.0);
+    const double S = sampleThreshold(FuncKind::ScoreDiff, Ctx, R);
+    EXPECT_GE(S, -0.5);
+    EXPECT_LE(S, 0.5);
+    const double C = sampleThreshold(FuncKind::Center, Ctx, R);
+    EXPECT_GE(C, 0.0);
+    EXPECT_LE(C, 16.0);
+  }
+}
+
+TEST(Mutation, ContextScalesCenterRange) {
+  MutationContext Big{64};
+  EXPECT_DOUBLE_EQ(Big.maxCenterDist(), 32.0);
+  Rng R(6);
+  double MaxSeen = 0.0;
+  for (int I = 0; I != 500; ++I)
+    MaxSeen = std::max(MaxSeen, sampleThreshold(FuncKind::Center, Big, R));
+  EXPECT_GT(MaxSeen, 16.0) << "range must extend beyond the 32-side limit";
+}

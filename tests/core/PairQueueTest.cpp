@@ -1,0 +1,169 @@
+//===- tests/core/PairQueueTest.cpp - PairQueue unit tests --------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PairQueue.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <list>
+
+using namespace oppsla;
+
+namespace {
+
+std::vector<PairId> iota(size_t N) {
+  std::vector<PairId> V(N);
+  for (size_t I = 0; I != N; ++I)
+    V[I] = static_cast<PairId>(I);
+  return V;
+}
+
+} // namespace
+
+TEST(PairQueue, PopsInInsertionOrder) {
+  PairQueue Q({3, 1, 4, 0}, 5);
+  EXPECT_EQ(Q.size(), 4u);
+  EXPECT_EQ(Q.front(), 3u);
+  EXPECT_EQ(Q.popFront(), 3u);
+  EXPECT_EQ(Q.popFront(), 1u);
+  EXPECT_EQ(Q.popFront(), 4u);
+  EXPECT_EQ(Q.popFront(), 0u);
+  EXPECT_TRUE(Q.empty());
+}
+
+TEST(PairQueue, ContainsTracksMembership) {
+  PairQueue Q(iota(4), 4);
+  EXPECT_TRUE(Q.contains(2));
+  Q.remove(2);
+  EXPECT_FALSE(Q.contains(2));
+  EXPECT_EQ(Q.size(), 3u);
+  EXPECT_EQ(Q.popFront(), 0u);
+  EXPECT_EQ(Q.popFront(), 1u);
+  EXPECT_EQ(Q.popFront(), 3u);
+}
+
+TEST(PairQueue, RemoveHeadAndTail) {
+  PairQueue Q(iota(3), 3);
+  Q.remove(0);
+  Q.remove(2);
+  EXPECT_EQ(Q.size(), 1u);
+  EXPECT_EQ(Q.popFront(), 1u);
+}
+
+TEST(PairQueue, PushBackMovesToTail) {
+  PairQueue Q(iota(3), 3);
+  Q.pushBack(0);
+  EXPECT_EQ(Q.popFront(), 1u);
+  EXPECT_EQ(Q.popFront(), 2u);
+  EXPECT_EQ(Q.popFront(), 0u);
+}
+
+TEST(PairQueue, PushBackOfTailIsNoop) {
+  PairQueue Q(iota(3), 3);
+  const uint64_t SeqBefore = Q.seq(2);
+  Q.pushBack(2);
+  EXPECT_EQ(Q.seq(2), SeqBefore) << "tail keeps its stamp";
+  EXPECT_EQ(Q.popFront(), 0u);
+}
+
+TEST(PairQueue, SeqIncreasesWithReinsertion) {
+  PairQueue Q(iota(4), 4);
+  EXPECT_LT(Q.seq(0), Q.seq(3));
+  const uint64_t Old = Q.seq(1);
+  Q.pushBack(1);
+  EXPECT_GT(Q.seq(1), Old);
+  EXPECT_GT(Q.seq(1), Q.seq(3));
+}
+
+TEST(PairQueue, SingleElementQueue) {
+  PairQueue Q({7}, 8);
+  EXPECT_EQ(Q.size(), 1u);
+  Q.pushBack(7);
+  EXPECT_EQ(Q.popFront(), 7u);
+  EXPECT_TRUE(Q.empty());
+}
+
+TEST(PairQueue, EmptyInitialOrder) {
+  PairQueue Q({}, 4);
+  EXPECT_TRUE(Q.empty());
+  EXPECT_EQ(Q.size(), 0u);
+  EXPECT_FALSE(Q.contains(0));
+}
+
+TEST(PairQueue, InterleavedOperations) {
+  PairQueue Q(iota(5), 5);
+  Q.remove(1);
+  Q.pushBack(0);       // order: 2 3 4 0
+  EXPECT_EQ(Q.popFront(), 2u); // 3 4 0
+  Q.pushBack(3);       // 4 0 3
+  Q.remove(0);         // 4 3
+  EXPECT_EQ(Q.popFront(), 4u);
+  EXPECT_EQ(Q.popFront(), 3u);
+  EXPECT_TRUE(Q.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Property test: random operation sequences vs a std::list reference model.
+//===----------------------------------------------------------------------===//
+
+class PairQueueModelSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PairQueueModelSweep, AgreesWithReferenceModel) {
+  Rng R(GetParam());
+  constexpr size_t N = 64;
+  PairQueue Q(iota(N), N);
+  std::list<PairId> Model(N);
+  size_t K = 0;
+  for (PairId &Id : Model)
+    Id = static_cast<PairId>(K++);
+
+  auto ModelContains = [&](PairId Id) {
+    for (PairId V : Model)
+      if (V == Id)
+        return true;
+    return false;
+  };
+
+  for (int Step = 0; Step != 2000; ++Step) {
+    const int Op = static_cast<int>(R.bounded(3));
+    if (Op == 0 && !Model.empty()) {
+      // popFront
+      ASSERT_EQ(Q.popFront(), Model.front());
+      Model.pop_front();
+    } else if (Op == 1) {
+      // remove a random id if live
+      const PairId Id = static_cast<PairId>(R.bounded(N));
+      ASSERT_EQ(Q.contains(Id), ModelContains(Id));
+      if (Q.contains(Id)) {
+        Q.remove(Id);
+        Model.remove(Id);
+      }
+    } else {
+      // pushBack a random live id
+      const PairId Id = static_cast<PairId>(R.bounded(N));
+      if (Q.contains(Id)) {
+        Q.pushBack(Id);
+        Model.remove(Id);
+        Model.push_back(Id);
+      }
+    }
+    ASSERT_EQ(Q.size(), Model.size());
+    if (!Model.empty()) {
+      ASSERT_EQ(Q.front(), Model.front());
+    }
+  }
+  // Drain and compare the final order.
+  while (!Model.empty()) {
+    ASSERT_EQ(Q.popFront(), Model.front());
+    Model.pop_front();
+  }
+  EXPECT_TRUE(Q.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PairQueueModelSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 99, 1234));

@@ -1,0 +1,150 @@
+//===- tests/core/PairTest.cpp - PairSpace unit tests -------------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pair.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace oppsla;
+using namespace oppsla::test;
+
+TEST(CornerPixel, MatchesBitEncoding) {
+  EXPECT_EQ(cornerPixel(0), (Pixel{0, 0, 0}));
+  EXPECT_EQ(cornerPixel(1), (Pixel{0, 0, 1}));
+  EXPECT_EQ(cornerPixel(2), (Pixel{0, 1, 0}));
+  EXPECT_EQ(cornerPixel(4), (Pixel{1, 0, 0}));
+  EXPECT_EQ(cornerPixel(7), (Pixel{1, 1, 1}));
+}
+
+TEST(PixelLoc, LinfDistance) {
+  const PixelLoc A{3, 4};
+  EXPECT_EQ(A.linfDistance(PixelLoc{3, 4}), 0u);
+  EXPECT_EQ(A.linfDistance(PixelLoc{4, 4}), 1u);
+  EXPECT_EQ(A.linfDistance(PixelLoc{0, 6}), 3u);
+  EXPECT_EQ(A.linfDistance(PixelLoc{10, 5}), 7u);
+}
+
+TEST(PairSpace, SizeAndIdRoundTrip) {
+  const Image X = gradientImage(5, 7);
+  const PairSpace Space(X);
+  EXPECT_EQ(Space.numLocations(), 35u);
+  EXPECT_EQ(Space.size(), 280u);
+  for (PairId Id = 0; Id != Space.size(); ++Id) {
+    const LocPert P = Space.pairOf(Id);
+    EXPECT_EQ(Space.idOf(P), Id);
+    EXPECT_LT(P.Loc.Row, 5u);
+    EXPECT_LT(P.Loc.Col, 7u);
+    EXPECT_LT(P.Corner, NumCorners);
+  }
+}
+
+TEST(PairSpace, CenterDistanceEvenDims) {
+  // 4x4: continuous center at (1.5, 1.5).
+  const Image X(4, 4);
+  const PairSpace Space(X);
+  EXPECT_DOUBLE_EQ(Space.centerDistance(PixelLoc{1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(Space.centerDistance(PixelLoc{0, 0}), 1.5);
+  EXPECT_DOUBLE_EQ(Space.centerDistance(PixelLoc{3, 0}), 1.5);
+  EXPECT_DOUBLE_EQ(Space.centerDistance(PixelLoc{0, 3}), 1.5);
+}
+
+TEST(PairSpace, CenterDistanceOddDims) {
+  const Image X(5, 5);
+  const PairSpace Space(X);
+  EXPECT_DOUBLE_EQ(Space.centerDistance(PixelLoc{2, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(Space.centerDistance(PixelLoc{0, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Space.centerDistance(PixelLoc{4, 4}), 2.0);
+}
+
+TEST(PairSpace, CornerRankSortsByDecreasingDistance) {
+  Image X(2, 2);
+  X.setPixel(0, 0, Pixel{0.1f, 0.1f, 0.1f}); // near black
+  const PairSpace Space(X);
+  const PixelLoc L{0, 0};
+  // Farthest corner from near-black is white (corner 7).
+  EXPECT_EQ(Space.cornerByRank(L, 0), 7);
+  // Closest corner is black (corner 0).
+  EXPECT_EQ(Space.cornerByRank(L, NumCorners - 1), 0);
+  // Ranks enumerate all corners exactly once.
+  std::set<CornerIdx> Seen;
+  for (size_t R = 0; R != NumCorners; ++R)
+    Seen.insert(Space.cornerByRank(L, R));
+  EXPECT_EQ(Seen.size(), NumCorners);
+  // Distances are non-increasing along ranks.
+  const Pixel P = X.pixel(0, 0);
+  for (size_t R = 0; R + 1 != NumCorners; ++R)
+    EXPECT_GE(P.l1Distance(cornerPixel(Space.cornerByRank(L, R))),
+              P.l1Distance(cornerPixel(Space.cornerByRank(L, R + 1))));
+}
+
+TEST(PairSpace, InitialOrderIsAPermutation) {
+  const Image X = randomImage(6, 6, 42);
+  const PairSpace Space(X);
+  const std::vector<PairId> Order = Space.initialOrder();
+  EXPECT_EQ(Order.size(), Space.size());
+  std::set<PairId> Seen(Order.begin(), Order.end());
+  EXPECT_EQ(Seen.size(), Order.size());
+}
+
+TEST(PairSpace, InitialOrderGroupsByRankThenCenter) {
+  const Image X = randomImage(4, 4, 7);
+  const PairSpace Space(X);
+  const std::vector<PairId> Order = Space.initialOrder();
+  const size_t Locs = Space.numLocations();
+  // Each block of `Locs` pairs covers every location exactly once, with
+  // the block-rank corner for that location.
+  for (size_t Rank = 0; Rank != NumCorners; ++Rank) {
+    std::set<uint32_t> SeenLocs;
+    double PrevCenter = -1.0;
+    for (size_t I = 0; I != Locs; ++I) {
+      const LocPert P = Space.pairOf(Order[Rank * Locs + I]);
+      SeenLocs.insert(Space.locIndex(P.Loc));
+      EXPECT_EQ(P.Corner, Space.cornerByRank(P.Loc, Rank));
+      const double C = Space.centerDistance(P.Loc);
+      EXPECT_GE(C, PrevCenter) << "center distance must be non-decreasing";
+      PrevCenter = C;
+    }
+    EXPECT_EQ(SeenLocs.size(), Locs);
+  }
+}
+
+TEST(PairSpace, FirstPairIsCenterMostFarthestCorner) {
+  const Image X = gradientImage(5, 5);
+  const PairSpace Space(X);
+  const LocPert First = Space.pairOf(Space.initialOrder().front());
+  EXPECT_EQ(First.Loc.Row, 2u);
+  EXPECT_EQ(First.Loc.Col, 2u);
+  EXPECT_EQ(First.Corner, Space.cornerByRank(First.Loc, 0));
+}
+
+TEST(PairSpace, NeighborsCounts) {
+  const Image X(4, 5);
+  const PairSpace Space(X);
+  std::vector<PixelLoc> N;
+  Space.neighbors(PixelLoc{0, 0}, N);
+  EXPECT_EQ(N.size(), 3u) << "corner location";
+  N.clear();
+  Space.neighbors(PixelLoc{0, 2}, N);
+  EXPECT_EQ(N.size(), 5u) << "edge location";
+  N.clear();
+  Space.neighbors(PixelLoc{2, 2}, N);
+  EXPECT_EQ(N.size(), 8u) << "interior location";
+  for (const PixelLoc &L : N)
+    EXPECT_EQ(L.linfDistance(PixelLoc{2, 2}), 1u);
+}
+
+TEST(PairSpace, NeighborsAppendsWithoutClearing) {
+  const Image X(3, 3);
+  const PairSpace Space(X);
+  std::vector<PixelLoc> N = {PixelLoc{9, 9}};
+  Space.neighbors(PixelLoc{1, 1}, N);
+  EXPECT_EQ(N.size(), 9u);
+  EXPECT_EQ(N.front().Row, 9u);
+}

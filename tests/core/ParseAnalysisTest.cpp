@@ -1,0 +1,304 @@
+//===- tests/core/ParseAnalysisTest.cpp - DSL parser & analysis ---------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Analysis.h"
+#include "core/Mutation.h"
+#include "core/Parse.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace oppsla;
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TEST(Parse, SingleConditionForms) {
+  Condition C;
+  ASSERT_TRUE(parseCondition("max(x_l) > 0.19", C).Ok);
+  EXPECT_EQ(C.Func, FuncKind::MaxPixel);
+  EXPECT_EQ(C.Source, PixelSource::Original);
+  EXPECT_EQ(C.Cmp, CmpKind::Greater);
+  EXPECT_DOUBLE_EQ(C.Threshold, 0.19);
+
+  ASSERT_TRUE(parseCondition("min(p) < 0.5", C).Ok);
+  EXPECT_EQ(C.Func, FuncKind::MinPixel);
+  EXPECT_EQ(C.Source, PixelSource::Perturbation);
+  EXPECT_EQ(C.Cmp, CmpKind::Less);
+
+  ASSERT_TRUE(parseCondition("avg(x_l) > .25", C).Ok);
+  EXPECT_EQ(C.Func, FuncKind::AvgPixel);
+  EXPECT_DOUBLE_EQ(C.Threshold, 0.25);
+
+  ASSERT_TRUE(
+      parseCondition("score_diff(N(x),N(x[l<-p]),cx) < 0.21", C).Ok);
+  EXPECT_EQ(C.Func, FuncKind::ScoreDiff);
+  EXPECT_DOUBLE_EQ(C.Threshold, 0.21);
+
+  ASSERT_TRUE(parseCondition("center(l) < 8", C).Ok);
+  EXPECT_EQ(C.Func, FuncKind::Center);
+  EXPECT_DOUBLE_EQ(C.Threshold, 8.0);
+}
+
+TEST(Parse, NegativeAndScientificThresholds) {
+  Condition C;
+  ASSERT_TRUE(
+      parseCondition("score_diff(N(x),N(x[l<-p]),cx) > -0.3", C).Ok);
+  EXPECT_DOUBLE_EQ(C.Threshold, -0.3);
+  ASSERT_TRUE(parseCondition("max(p) < 1e-2", C).Ok);
+  EXPECT_DOUBLE_EQ(C.Threshold, 0.01);
+  ASSERT_TRUE(parseCondition("max(p) < 2.5E+1", C).Ok);
+  EXPECT_DOUBLE_EQ(C.Threshold, 25.0);
+}
+
+TEST(Parse, WhitespaceInsensitive) {
+  Condition C;
+  ASSERT_TRUE(parseCondition("  max ( x_l )   >   0.5 ", C).Ok);
+  EXPECT_EQ(C.Func, FuncKind::MaxPixel);
+  ASSERT_TRUE(parseCondition("score_diff ( N(x) , N(x[l<-p]) , cx ) < 0",
+                             C).Ok);
+}
+
+TEST(Parse, OptionalOrderedLabels) {
+  Program P;
+  ASSERT_TRUE(parseProgram("[B1] max(x_l) > 2\n[B2] max(x_l) > 2\n"
+                           "[B3] max(x_l) > 2\n[B4] max(x_l) > 2\n",
+                           P).Ok);
+  const ParseResult Bad = parseProgram(
+      "[B2] max(x_l) > 2\n[B1] max(x_l) > 2\n"
+      "[B3] max(x_l) > 2\n[B4] max(x_l) > 2\n",
+      P);
+  EXPECT_FALSE(Bad.Ok);
+  EXPECT_NE(Bad.Message.find("out of order"), std::string::npos);
+}
+
+TEST(Parse, ErrorsCarryPositions) {
+  Condition C;
+  const ParseResult R = parseCondition("max(q) > 0.5", C);
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.Line, 1u);
+  EXPECT_GT(R.Column, 1u);
+  EXPECT_NE(R.Message.find("x_l"), std::string::npos);
+}
+
+TEST(Parse, RejectsMalformedInputs) {
+  Condition C;
+  EXPECT_FALSE(parseCondition("", C).Ok);
+  EXPECT_FALSE(parseCondition("bogus(x_l) > 1", C).Ok);
+  EXPECT_FALSE(parseCondition("max(x_l) 0.5", C).Ok);
+  EXPECT_FALSE(parseCondition("max(x_l) > ", C).Ok);
+  EXPECT_FALSE(parseCondition("max(x_l) > abc", C).Ok);
+  EXPECT_FALSE(parseCondition("center(x_l) < 3", C).Ok);
+  EXPECT_FALSE(parseCondition("score_diff(N(x),N(x),cx) < 0.1", C).Ok);
+  EXPECT_FALSE(parseCondition("max(x_l) > 0.5 trailing", C).Ok);
+}
+
+TEST(Parse, RejectsPartialPrograms) {
+  Program P;
+  EXPECT_FALSE(parseProgram("max(x_l) > 2\nmax(x_l) > 2\n", P).Ok);
+}
+
+TEST(Parse, FailedParseLeavesOutputUntouched) {
+  Program P = paperExampleProgram();
+  ASSERT_FALSE(parseProgram("garbage", P).Ok);
+  EXPECT_EQ(P.b4().Func, FuncKind::Center);
+}
+
+TEST(Parse, RoundTripsPrinterOutput) {
+  // str() -> parse -> identical program, for canned and random programs.
+  MutationContext Ctx{32};
+  Rng R(77);
+  std::vector<Program> Programs = {allFalseProgram(), allTrueProgram(),
+                                   paperExampleProgram()};
+  for (int I = 0; I != 20; ++I)
+    Programs.push_back(randomProgram(Ctx, R));
+  for (const Program &P : Programs) {
+    Program Q;
+    const ParseResult Res = parseProgram(P.str(), Q);
+    ASSERT_TRUE(Res.Ok) << Res.Message << " in:\n" << P.str();
+    for (size_t I = 0; I != 4; ++I) {
+      EXPECT_EQ(Q.Conds[I].Func, P.Conds[I].Func);
+      EXPECT_EQ(Q.Conds[I].Cmp, P.Conds[I].Cmp);
+      if (Q.Conds[I].Func != FuncKind::ScoreDiff &&
+          Q.Conds[I].Func != FuncKind::Center)
+        EXPECT_EQ(Q.Conds[I].Source, P.Conds[I].Source);
+      // str() prints with default precision; allow rounding.
+      EXPECT_NEAR(Q.Conds[I].Threshold, P.Conds[I].Threshold, 1e-4)
+          << P.Conds[I].str();
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Analysis
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, FuncRanges) {
+  Condition C;
+  C.Func = FuncKind::AvgPixel;
+  EXPECT_DOUBLE_EQ(funcRange(C, 32).Lo, 0.0);
+  EXPECT_DOUBLE_EQ(funcRange(C, 32).Hi, 1.0);
+  C.Func = FuncKind::ScoreDiff;
+  EXPECT_DOUBLE_EQ(funcRange(C, 32).Lo, -1.0);
+  C.Func = FuncKind::Center;
+  EXPECT_DOUBLE_EQ(funcRange(C, 32).Hi, 15.5);
+  EXPECT_DOUBLE_EQ(funcRange(C, 5).Hi, 2.0);
+}
+
+TEST(Analysis, TrivialityVerdicts) {
+  Condition C;
+  C.Func = FuncKind::MaxPixel;
+  C.Cmp = CmpKind::Greater;
+  C.Threshold = 2.0;
+  EXPECT_EQ(analyzeCondition(C, 32), Triviality::AlwaysFalse);
+  C.Threshold = -1.0;
+  EXPECT_EQ(analyzeCondition(C, 32), Triviality::AlwaysTrue);
+  C.Threshold = 0.5;
+  EXPECT_EQ(analyzeCondition(C, 32), Triviality::Contingent);
+
+  C.Cmp = CmpKind::Less;
+  C.Threshold = 2.0;
+  EXPECT_EQ(analyzeCondition(C, 32), Triviality::AlwaysTrue);
+  C.Threshold = -0.5;
+  EXPECT_EQ(analyzeCondition(C, 32), Triviality::AlwaysFalse);
+
+  // Boundary: strict comparisons make range endpoints decidable.
+  C.Threshold = 0.0;
+  EXPECT_EQ(analyzeCondition(C, 32), Triviality::AlwaysFalse)
+      << "max(x) < 0 can never hold for x in [0,1]";
+  C.Cmp = CmpKind::Greater;
+  C.Threshold = 1.0;
+  EXPECT_EQ(analyzeCondition(C, 32), Triviality::AlwaysFalse)
+      << "max(x) > 1 can never hold";
+}
+
+TEST(Analysis, CenterTrivialityDependsOnImageSide) {
+  Condition C;
+  C.Func = FuncKind::Center;
+  C.Cmp = CmpKind::Less;
+  C.Threshold = 20.0;
+  EXPECT_EQ(analyzeCondition(C, 32), Triviality::AlwaysTrue)
+      << "all 32x32 locations are within L-inf 15.5 of the center";
+  EXPECT_EQ(analyzeCondition(C, 64), Triviality::Contingent);
+}
+
+TEST(Analysis, CannedProgramsAnalyzeAsExpected) {
+  for (const Condition &C : allFalseProgram().Conds)
+    EXPECT_EQ(analyzeCondition(C, 32), Triviality::AlwaysFalse);
+  for (const Condition &C : allTrueProgram().Conds)
+    EXPECT_EQ(analyzeCondition(C, 32), Triviality::AlwaysTrue);
+  for (const Condition &C : paperExampleProgram().Conds)
+    EXPECT_EQ(analyzeCondition(C, 32), Triviality::Contingent);
+}
+
+TEST(Analysis, NormalizeCanonicalizesTrivialConditions) {
+  Program P = paperExampleProgram();
+  P.Conds[0] = {FuncKind::Center, PixelSource::Original, CmpKind::Less,
+                100.0};                        // always true on 32x32
+  P.Conds[1] = {FuncKind::ScoreDiff, PixelSource::Original,
+                CmpKind::Greater, 1.5};        // always false
+  const Program N = normalizeProgram(P, 32);
+  EXPECT_EQ(analyzeCondition(N.Conds[0], 32), Triviality::AlwaysTrue);
+  EXPECT_DOUBLE_EQ(N.Conds[0].Threshold, -1.0) << "canonical True";
+  EXPECT_DOUBLE_EQ(N.Conds[1].Threshold, 2.0) << "canonical False";
+  // Contingent conditions untouched.
+  EXPECT_DOUBLE_EQ(N.Conds[2].Threshold, 0.25);
+}
+
+TEST(Analysis, EquivalenceModuloTriviality) {
+  Program A = allFalseProgram();
+  Program B = allFalseProgram();
+  // Different syntax, same (always-false) semantics.
+  B.Conds[2] = {FuncKind::ScoreDiff, PixelSource::Original,
+                CmpKind::Greater, 1.5};
+  EXPECT_TRUE(equivalentPrograms(A, B, 32));
+  B.Conds[2] = paperExampleProgram().Conds[2];
+  EXPECT_FALSE(equivalentPrograms(A, B, 32));
+}
+
+TEST(Analysis, ExplainMentionsRolesAndVerdicts) {
+  const std::string S = explainProgram(allFalseProgram(), 32);
+  EXPECT_NE(S.find("[B1]"), std::string::npos);
+  EXPECT_NE(S.find("push back"), std::string::npos);
+  EXPECT_NE(S.find("eagerly check"), std::string::npos);
+  EXPECT_NE(S.find("always false"), std::string::npos);
+}
+
+TEST(Analysis, NormalizedRandomProgramsStaySemanticallyIntact) {
+  // Normalization must not change what a contingent condition computes.
+  MutationContext Ctx{32};
+  Rng R(99);
+  for (int I = 0; I != 50; ++I) {
+    const Program P = randomProgram(Ctx, R);
+    const Program N = normalizeProgram(P, 32);
+    for (size_t K = 0; K != 4; ++K)
+      if (analyzeCondition(P.Conds[K], 32) == Triviality::Contingent) {
+        EXPECT_EQ(N.Conds[K].Func, P.Conds[K].Func);
+        EXPECT_DOUBLE_EQ(N.Conds[K].Threshold, P.Conds[K].Threshold);
+      }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-module property: normalization preserves sketch semantics
+//===----------------------------------------------------------------------===//
+
+#include "core/Sketch.h"
+#include "../TestUtil.h"
+
+namespace {
+
+using oppsla::test::FakeClassifier;
+
+/// Records the order of perturbed-pixel queries (see SketchTest.cpp for
+/// the richer variant).
+std::vector<oppsla::PairId> querySequence(const Program &P,
+                                          const oppsla::Image &X) {
+  const oppsla::PairSpace Space(X);
+  std::vector<oppsla::PairId> Seen;
+  FakeClassifier N(2, [&](const oppsla::Image &Q) {
+    for (size_t I = 0; I != X.height(); ++I)
+      for (size_t J = 0; J != X.width(); ++J)
+        if (!(Q.pixel(I, J) == X.pixel(I, J))) {
+          for (oppsla::CornerIdx C = 0; C != oppsla::NumCorners; ++C)
+            if (Q.pixel(I, J) == oppsla::cornerPixel(C))
+              Seen.push_back(Space.idOf(oppsla::LocPert{
+                  oppsla::PixelLoc{static_cast<uint16_t>(I),
+                                   static_cast<uint16_t>(J)},
+                  C}));
+          return std::vector<float>{0.9f, 0.1f};
+        }
+    return std::vector<float>{0.9f, 0.1f};
+  });
+  oppsla::Sketch Sk(P);
+  Sk.run(N, X, 0);
+  return Seen;
+}
+
+} // namespace
+
+TEST(Analysis, NormalizationPreservesSketchQueryOrder) {
+  // normalizeProgram only rewrites conditions whose truth value is fixed,
+  // so the *entire observable behavior* of the sketch — the sequence of
+  // queries — must be bit-identical before and after.
+  MutationContext Ctx{6};
+  Rng R(2024);
+  oppsla::Image X(6, 6);
+  {
+    Rng IR(7);
+    for (float &V : X.raw())
+      V = IR.uniformF();
+  }
+  for (int Trial = 0; Trial != 8; ++Trial) {
+    const Program P = randomProgram(Ctx, R);
+    const Program N = normalizeProgram(P, 6);
+    EXPECT_EQ(querySequence(P, X), querySequence(N, X))
+        << "program:\n"
+        << P.str() << "normalized:\n"
+        << N.str();
+  }
+}

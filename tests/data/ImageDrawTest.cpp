@@ -1,0 +1,217 @@
+//===- tests/data/ImageDrawTest.cpp - Image & drawing tests -------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "data/Draw.h"
+#include "data/Image.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace oppsla;
+
+//===----------------------------------------------------------------------===//
+// Pixel & Image
+//===----------------------------------------------------------------------===//
+
+TEST(Pixel, L1DistanceAndChannels) {
+  const Pixel A{0.1f, 0.5f, 0.9f};
+  const Pixel B{0.2f, 0.3f, 0.9f};
+  EXPECT_NEAR(A.l1Distance(B), 0.3f, 1e-6f);
+  EXPECT_FLOAT_EQ(A.maxChannel(), 0.9f);
+  EXPECT_FLOAT_EQ(A.minChannel(), 0.1f);
+  EXPECT_FLOAT_EQ(A.avgChannel(), 0.5f);
+  EXPECT_EQ(A, A);
+  EXPECT_FALSE(A == B);
+}
+
+TEST(Image, PixelGetSet) {
+  Image Img(4, 6);
+  EXPECT_EQ(Img.height(), 4u);
+  EXPECT_EQ(Img.width(), 6u);
+  EXPECT_EQ(Img.numPixels(), 24u);
+  Img.setPixel(2, 5, Pixel{0.1f, 0.2f, 0.3f});
+  const Pixel P = Img.pixel(2, 5);
+  EXPECT_FLOAT_EQ(P.R, 0.1f);
+  EXPECT_FLOAT_EQ(P.G, 0.2f);
+  EXPECT_FLOAT_EQ(P.B, 0.3f);
+}
+
+TEST(Image, WithPixelIsNonDestructive) {
+  Image Img(2, 2);
+  const Image Out = Img.withPixel(1, 1, Pixel{1.0f, 1.0f, 1.0f});
+  EXPECT_EQ(Img.pixel(1, 1).R, 0.0f);
+  EXPECT_EQ(Out.pixel(1, 1).R, 1.0f);
+  EXPECT_EQ(Out.pixel(0, 0).R, 0.0f);
+}
+
+TEST(Image, ClampBoundsChannels) {
+  Image Img(1, 2);
+  Img.setPixel(0, 0, Pixel{-0.5f, 0.5f, 1.5f});
+  Img.clamp();
+  const Pixel P = Img.pixel(0, 0);
+  EXPECT_EQ(P.R, 0.0f);
+  EXPECT_EQ(P.G, 0.5f);
+  EXPECT_EQ(P.B, 1.0f);
+}
+
+TEST(Image, TensorRoundTrip) {
+  Rng R(1);
+  Image Img(3, 5);
+  for (float &V : Img.raw())
+    V = R.uniformF();
+  const Tensor T = Img.toTensor();
+  EXPECT_EQ(T.shape(), Shape({1, 3, 3, 5}));
+  const Image Back = Image::fromTensor(T);
+  ASSERT_EQ(Back.raw().size(), Img.raw().size());
+  for (size_t I = 0; I != Img.raw().size(); ++I)
+    EXPECT_EQ(Back.raw()[I], Img.raw()[I]);
+}
+
+TEST(Image, TensorLayoutIsChannelPlanes) {
+  Image Img(1, 2);
+  Img.setPixel(0, 0, Pixel{0.1f, 0.2f, 0.3f});
+  Img.setPixel(0, 1, Pixel{0.4f, 0.5f, 0.6f});
+  const Tensor T = Img.toTensor();
+  // NCHW: R plane first.
+  EXPECT_FLOAT_EQ(T[0], 0.1f);
+  EXPECT_FLOAT_EQ(T[1], 0.4f);
+  EXPECT_FLOAT_EQ(T[2], 0.2f);
+  EXPECT_FLOAT_EQ(T[5], 0.6f);
+}
+
+TEST(Dataset, FilterByClass) {
+  Dataset DS;
+  DS.NumClasses = 3;
+  for (size_t I = 0; I != 9; ++I) {
+    DS.Images.emplace_back(2, 2);
+    DS.Labels.push_back(I % 3);
+  }
+  const Dataset OnlyOnes = DS.filterByClass(1);
+  EXPECT_EQ(OnlyOnes.size(), 3u);
+  for (size_t L : OnlyOnes.Labels)
+    EXPECT_EQ(L, 1u);
+  EXPECT_EQ(OnlyOnes.NumClasses, 3u);
+}
+
+TEST(Dataset, AppendConcatenates) {
+  Dataset A, B;
+  A.NumClasses = B.NumClasses = 2;
+  A.Images.emplace_back(2, 2);
+  A.Labels.push_back(0);
+  B.Images.emplace_back(2, 2);
+  B.Labels.push_back(1);
+  A.append(B);
+  EXPECT_EQ(A.size(), 2u);
+  EXPECT_EQ(A.Labels[1], 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Drawing primitives
+//===----------------------------------------------------------------------===//
+
+TEST(Draw, VGradientEndpoints) {
+  Image Img(5, 3);
+  fillVGradient(Img, Pixel{0, 0, 0}, Pixel{1, 1, 1});
+  EXPECT_FLOAT_EQ(Img.pixel(0, 1).R, 0.0f);
+  EXPECT_FLOAT_EQ(Img.pixel(4, 1).R, 1.0f);
+  EXPECT_NEAR(Img.pixel(2, 0).R, 0.5f, 1e-6f);
+}
+
+TEST(Draw, SolidFill) {
+  Image Img(3, 3);
+  fillSolid(Img, Pixel{0.25f, 0.5f, 0.75f});
+  for (size_t I = 0; I != 3; ++I)
+    for (size_t J = 0; J != 3; ++J)
+      EXPECT_FLOAT_EQ(Img.pixel(I, J).G, 0.5f);
+}
+
+TEST(Draw, DiagGradientCorners) {
+  Image Img(4, 4);
+  fillDiagGradient(Img, Pixel{0, 0, 0}, Pixel{1, 1, 1});
+  EXPECT_FLOAT_EQ(Img.pixel(0, 0).R, 0.0f);
+  EXPECT_FLOAT_EQ(Img.pixel(3, 3).R, 1.0f);
+}
+
+TEST(Draw, DiscCoversCenterNotCorners) {
+  Image Img(11, 11);
+  drawDisc(Img, 5, 5, 3, Pixel{1, 0, 0});
+  EXPECT_FLOAT_EQ(Img.pixel(5, 5).R, 1.0f);
+  EXPECT_FLOAT_EQ(Img.pixel(0, 0).R, 0.0f);
+  EXPECT_FLOAT_EQ(Img.pixel(10, 10).R, 0.0f);
+}
+
+TEST(Draw, DiscClipsAtBorders) {
+  Image Img(4, 4);
+  drawDisc(Img, 0, 0, 10, Pixel{0, 1, 0});
+  // Whole image covered; no crash on out-of-range.
+  EXPECT_FLOAT_EQ(Img.pixel(3, 3).G, 1.0f);
+}
+
+TEST(Draw, RectFillsInclusiveRange) {
+  Image Img(5, 5);
+  drawRect(Img, 1, 1, 3, 2, Pixel{0, 0, 1});
+  EXPECT_FLOAT_EQ(Img.pixel(1, 1).B, 1.0f);
+  EXPECT_FLOAT_EQ(Img.pixel(3, 2).B, 1.0f);
+  EXPECT_FLOAT_EQ(Img.pixel(0, 0).B, 0.0f);
+  EXPECT_FLOAT_EQ(Img.pixel(4, 3).B, 0.0f);
+}
+
+TEST(Draw, RectClipsNegativeCoords) {
+  Image Img(3, 3);
+  drawRect(Img, -5, -5, 1, 1, Pixel{1, 1, 1});
+  EXPECT_FLOAT_EQ(Img.pixel(0, 0).R, 1.0f);
+  EXPECT_FLOAT_EQ(Img.pixel(2, 2).R, 0.0f);
+}
+
+TEST(Draw, RingHasHole) {
+  Image Img(21, 21);
+  drawRing(Img, 10, 10, 5, 8, Pixel{1, 1, 1});
+  EXPECT_FLOAT_EQ(Img.pixel(10, 10).R, 0.0f) << "center is inside the hole";
+  EXPECT_GT(Img.pixel(10, 16).R, 0.5f) << "radius ~6 lies on the ring";
+  EXPECT_FLOAT_EQ(Img.pixel(0, 0).R, 0.0f);
+}
+
+TEST(Draw, HStripesAlternate) {
+  Image Img(8, 2);
+  drawHStripes(Img, 4, Pixel{1, 0, 0}, Pixel{0, 1, 0});
+  EXPECT_FLOAT_EQ(Img.pixel(0, 0).R, 1.0f);
+  EXPECT_FLOAT_EQ(Img.pixel(1, 0).R, 1.0f);
+  EXPECT_FLOAT_EQ(Img.pixel(2, 0).G, 1.0f);
+  EXPECT_FLOAT_EQ(Img.pixel(4, 0).R, 1.0f);
+}
+
+TEST(Draw, CheckerAlternates) {
+  Image Img(4, 4);
+  drawChecker(Img, 2, Pixel{1, 1, 1}, Pixel{0, 0, 0});
+  EXPECT_FLOAT_EQ(Img.pixel(0, 0).R, 1.0f);
+  EXPECT_FLOAT_EQ(Img.pixel(0, 2).R, 0.0f);
+  EXPECT_FLOAT_EQ(Img.pixel(2, 2).R, 1.0f);
+}
+
+TEST(Draw, GaussianNoiseHasRequestedSpread) {
+  Image Img(32, 32);
+  fillSolid(Img, Pixel{0.5f, 0.5f, 0.5f});
+  Rng R(9);
+  addGaussianNoise(Img, 0.1, R);
+  double Sum = 0.0, SqSum = 0.0;
+  for (float V : Img.raw()) {
+    Sum += V;
+    SqSum += static_cast<double>(V) * V;
+  }
+  const double N = static_cast<double>(Img.raw().size());
+  const double Mean = Sum / N;
+  EXPECT_NEAR(Mean, 0.5, 0.01);
+  EXPECT_NEAR(std::sqrt(SqSum / N - Mean * Mean), 0.1, 0.01);
+}
+
+TEST(Draw, AdjustAppliesGainAndBias) {
+  Image Img(1, 1);
+  Img.setPixel(0, 0, Pixel{0.5f, 0.5f, 0.5f});
+  adjust(Img, 2.0f, -0.25f);
+  EXPECT_FLOAT_EQ(Img.pixel(0, 0).R, 0.75f);
+}

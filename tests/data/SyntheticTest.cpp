@@ -1,0 +1,129 @@
+//===- tests/data/SyntheticTest.cpp - Synthetic dataset tests -----------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "data/Synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace oppsla;
+
+TEST(Synthetic, TaskMetadata) {
+  EXPECT_STREQ(taskName(TaskKind::CifarLike), "cifar-like");
+  EXPECT_STREQ(taskName(TaskKind::ImageNetLike), "imagenet-like");
+  EXPECT_EQ(taskDefaultSide(TaskKind::CifarLike), 32u);
+  EXPECT_EQ(taskDefaultSide(TaskKind::ImageNetLike), 48u);
+}
+
+TEST(Synthetic, DeterministicGivenSeed) {
+  const Image A = generateSyntheticImage(TaskKind::CifarLike, 3, 123, 16);
+  const Image B = generateSyntheticImage(TaskKind::CifarLike, 3, 123, 16);
+  ASSERT_EQ(A.raw().size(), B.raw().size());
+  for (size_t I = 0; I != A.raw().size(); ++I)
+    EXPECT_EQ(A.raw()[I], B.raw()[I]);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  const Image A = generateSyntheticImage(TaskKind::CifarLike, 3, 1, 16);
+  const Image B = generateSyntheticImage(TaskKind::CifarLike, 3, 2, 16);
+  size_t Diff = 0;
+  for (size_t I = 0; I != A.raw().size(); ++I)
+    Diff += A.raw()[I] != B.raw()[I];
+  EXPECT_GT(Diff, A.raw().size() / 2);
+}
+
+TEST(Synthetic, ValuesInUnitInterval) {
+  for (size_t Label = 0; Label != 10; ++Label) {
+    const Image Img =
+        generateSyntheticImage(TaskKind::ImageNetLike, Label, Label * 7, 24);
+    for (float V : Img.raw()) {
+      ASSERT_GE(V, 0.0f);
+      ASSERT_LE(V, 1.0f);
+    }
+  }
+}
+
+TEST(Synthetic, RespectsRequestedSide) {
+  const Image Img = generateSyntheticImage(TaskKind::CifarLike, 0, 5, 20);
+  EXPECT_EQ(Img.height(), 20u);
+  EXPECT_EQ(Img.width(), 20u);
+  const Image Def = generateSyntheticImage(TaskKind::CifarLike, 0, 5, 0);
+  EXPECT_EQ(Def.height(), 32u);
+}
+
+TEST(Synthetic, BalancedDataset) {
+  const Dataset DS = generateSynthetic(TaskKind::CifarLike, 5, 99, 16, 4);
+  EXPECT_EQ(DS.size(), 20u);
+  EXPECT_EQ(DS.NumClasses, 4u);
+  std::map<size_t, size_t> Counts;
+  for (size_t L : DS.Labels)
+    ++Counts[L];
+  ASSERT_EQ(Counts.size(), 4u);
+  for (const auto &[Label, Count] : Counts) {
+    EXPECT_LT(Label, 4u);
+    EXPECT_EQ(Count, 5u);
+  }
+}
+
+TEST(Synthetic, DatasetDeterministicGivenSeed) {
+  const Dataset A = generateSynthetic(TaskKind::ImageNetLike, 2, 7, 16, 3);
+  const Dataset B = generateSynthetic(TaskKind::ImageNetLike, 2, 7, 16, 3);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I)
+    EXPECT_EQ(A.Images[I].raw(), B.Images[I].raw());
+}
+
+TEST(Synthetic, ClassesAreStatisticallyDistinct) {
+  // Average images of two different classes must differ noticeably more
+  // than two halves of the same class.
+  auto MeanImage = [](TaskKind Kind, size_t Label, uint64_t Base) {
+    std::vector<double> Acc(16 * 16 * 3, 0.0);
+    const int N = 24;
+    for (int I = 0; I != N; ++I) {
+      const Image Img =
+          generateSyntheticImage(Kind, Label, Base + I * 31, 16);
+      for (size_t J = 0; J != Acc.size(); ++J)
+        Acc[J] += Img.raw()[J];
+    }
+    for (double &V : Acc)
+      V /= N;
+    return Acc;
+  };
+  auto L2 = [](const std::vector<double> &A, const std::vector<double> &B) {
+    double D = 0.0;
+    for (size_t I = 0; I != A.size(); ++I)
+      D += (A[I] - B[I]) * (A[I] - B[I]);
+    return D;
+  };
+  const auto Class0a = MeanImage(TaskKind::CifarLike, 0, 1000);
+  const auto Class0b = MeanImage(TaskKind::CifarLike, 0, 9000);
+  const auto Class6 = MeanImage(TaskKind::CifarLike, 6, 1000);
+  EXPECT_GT(L2(Class0a, Class6), 4.0 * L2(Class0a, Class0b))
+      << "between-class distance must dominate within-class distance";
+}
+
+class SyntheticLabelSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SyntheticLabelSweep, EveryClassGeneratesBothTasks) {
+  const size_t Label = GetParam();
+  const Image A =
+      generateSyntheticImage(TaskKind::CifarLike, Label, 5 + Label, 16);
+  const Image B =
+      generateSyntheticImage(TaskKind::ImageNetLike, Label, 5 + Label, 16);
+  EXPECT_EQ(A.numPixels(), 256u);
+  EXPECT_EQ(B.numPixels(), 256u);
+  // Images are non-degenerate (not a constant fill).
+  float MinV = 2.0f, MaxV = -1.0f;
+  for (float V : A.raw()) {
+    MinV = std::min(MinV, V);
+    MaxV = std::max(MaxV, V);
+  }
+  EXPECT_GT(MaxV - MinV, 0.05f);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLabels, SyntheticLabelSweep,
+                         ::testing::Range<size_t>(0, 10));

@@ -1,0 +1,208 @@
+//===- tests/eval/EvalTest.cpp - Evaluation harness tests ---------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "attacks/SketchAttack.h"
+#include "eval/Evaluation.h"
+#include "eval/Experiments.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+using namespace oppsla;
+using namespace oppsla::test;
+
+namespace {
+
+/// Class-1 images flip with a white pixel; class-0 images are robust;
+/// class-2 images are misclassified outright.
+FakeClassifier threeWorldClassifier() {
+  return FakeClassifier(3, [](const Image &X) {
+    // Class is encoded in the image's top-left pixel red channel.
+    const float Tag = X.pixel(0, 0).R;
+    if (Tag > 0.85f)
+      return std::vector<float>{0.8f, 0.1f, 0.1f}; // class 2 tag -> pred 0
+    if (Tag > 0.45f) {
+      // Class-1 images flip to class 2 when any non-tag pixel goes white.
+      for (size_t I = 0; I != X.height(); ++I)
+        for (size_t J = 0; J != X.width(); ++J) {
+          const Pixel P = X.pixel(I, J);
+          if (P.R > 0.95f && P.G > 0.95f && P.B > 0.95f &&
+              !(I == 0 && J == 0))
+            return std::vector<float>{0.1f, 0.1f, 0.8f};
+        }
+      return std::vector<float>{0.1f, 0.8f, 0.1f}; // class 1
+    }
+    return std::vector<float>{0.8f, 0.1f, 0.1f}; // class 0: robust
+  });
+}
+
+Dataset threeWorldDataset() {
+  Dataset DS;
+  DS.NumClasses = 3;
+  for (size_t Label = 0; Label != 3; ++Label) {
+    for (int I = 0; I != 2; ++I) {
+      Image Img(4, 4);
+      for (float &V : Img.raw())
+        V = 0.3f;
+      Img.setPixel(0, 0, Pixel{Label == 0   ? 0.3f
+                               : Label == 1 ? 0.6f
+                                            : 0.9f,
+                               0.3f, 0.3f});
+      DS.Images.push_back(Img);
+      DS.Labels.push_back(Label);
+    }
+  }
+  return DS;
+}
+
+} // namespace
+
+TEST(Evaluation, RunAttackOverSetClassifiesOutcomes) {
+  FakeClassifier N = threeWorldClassifier();
+  const Dataset Test = threeWorldDataset();
+  SketchAttack A(allFalseProgram());
+  const auto Logs = runAttackOverSet(A, N, Test, 2000);
+  ASSERT_EQ(Logs.size(), 6u);
+  // Class 0: robust -> failures. Class 1: vulnerable -> successes.
+  // Class 2: discarded (misclassified as 0).
+  for (const AttackRunLog &Log : Logs) {
+    switch (Log.Label) {
+    case 0:
+      EXPECT_FALSE(Log.Success);
+      EXPECT_FALSE(Log.Discarded);
+      break;
+    case 1:
+      EXPECT_TRUE(Log.Success);
+      break;
+    default:
+      EXPECT_TRUE(Log.Discarded);
+      break;
+    }
+  }
+}
+
+TEST(Evaluation, ToQuerySampleExcludesDiscarded) {
+  std::vector<AttackRunLog> Logs(4);
+  Logs[0] = {0, false, true, 10};
+  Logs[1] = {0, false, false, 999};
+  Logs[2] = {1, true, false, 1}; // discarded
+  Logs[3] = {1, false, true, 30};
+  const QuerySample S = toQuerySample(Logs);
+  EXPECT_EQ(S.SuccessQueries.size(), 2u);
+  EXPECT_EQ(S.NumFailures, 1u);
+  EXPECT_EQ(S.numAttacks(), 3u);
+  EXPECT_DOUBLE_EQ(S.avgQueries(), 20.0);
+}
+
+TEST(Evaluation, SuccessRateAtBudgetCurve) {
+  std::vector<AttackRunLog> Logs(3);
+  Logs[0] = {0, false, true, 10};
+  Logs[1] = {0, false, true, 100};
+  Logs[2] = {0, false, false, 8192};
+  EXPECT_DOUBLE_EQ(successRateAt(Logs, 5), 0.0);
+  EXPECT_DOUBLE_EQ(successRateAt(Logs, 10), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(successRateAt(Logs, 100), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(successRateAt(Logs, 100000), 2.0 / 3.0);
+}
+
+TEST(Evaluation, RunProgramsOverSetDispatchesByLabel) {
+  FakeClassifier N = threeWorldClassifier();
+  const Dataset Test = threeWorldDataset();
+  const std::vector<Program> Programs = {allFalseProgram(),
+                                         paperExampleProgram(),
+                                         allFalseProgram()};
+  const auto Logs = runProgramsOverSet(Programs, N, Test, 2000);
+  ASSERT_EQ(Logs.size(), 6u);
+  size_t Successes = 0;
+  for (const AttackRunLog &Log : Logs)
+    Successes += Log.Success;
+  EXPECT_EQ(Successes, 2u) << "both class-1 images flip";
+}
+
+//===----------------------------------------------------------------------===//
+// Experiments helpers
+//===----------------------------------------------------------------------===//
+
+TEST(Experiments, ArchListsMatchPaper) {
+  ASSERT_EQ(cifarArchs().size(), 3u);
+  EXPECT_EQ(cifarArchs()[0], Arch::MiniGoogLeNet);
+  EXPECT_EQ(cifarArchs()[1], Arch::MiniResNet);
+  EXPECT_EQ(cifarArchs()[2], Arch::MiniVGG);
+  ASSERT_EQ(imageNetArchs().size(), 2u);
+  EXPECT_EQ(imageNetArchs()[0], Arch::MiniDenseNet);
+  EXPECT_EQ(imageNetArchs()[1], Arch::MiniResNet50);
+}
+
+TEST(Experiments, TaskSideSelectsPreset) {
+  const BenchScale Scale = BenchScale::preset("paper");
+  EXPECT_EQ(taskSide(TaskKind::CifarLike, Scale), 32u);
+  EXPECT_EQ(taskSide(TaskKind::ImageNetLike, Scale), 64u);
+}
+
+TEST(Experiments, ProgramSaveLoadRoundTrip) {
+  const std::string Path =
+      (std::filesystem::temp_directory_path() / "oppsla_prog.txt").string();
+  const Program P = paperExampleProgram();
+  ASSERT_TRUE(saveProgram(P, Path));
+  Program Q;
+  ASSERT_TRUE(loadProgram(Q, Path));
+  for (size_t I = 0; I != 4; ++I) {
+    EXPECT_EQ(Q.Conds[I].Func, P.Conds[I].Func);
+    EXPECT_EQ(Q.Conds[I].Source, P.Conds[I].Source);
+    EXPECT_EQ(Q.Conds[I].Cmp, P.Conds[I].Cmp);
+    EXPECT_DOUBLE_EQ(Q.Conds[I].Threshold, P.Conds[I].Threshold);
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(Experiments, LoadProgramRejectsGarbage) {
+  const std::string Path =
+      (std::filesystem::temp_directory_path() / "oppsla_bad.txt").string();
+  {
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    ASSERT_NE(F, nullptr);
+    std::fputs("99 99 99 nonsense\n", F);
+    std::fclose(F);
+  }
+  Program P = paperExampleProgram();
+  EXPECT_FALSE(loadProgram(P, Path));
+  // P must be left untouched on failure.
+  EXPECT_EQ(P.b4().Func, FuncKind::Center);
+  std::remove(Path.c_str());
+}
+
+TEST(Experiments, LoadProgramMissingFile) {
+  Program P;
+  EXPECT_FALSE(loadProgram(P, "/nonexistent/oppsla_prog.txt"));
+}
+
+TEST(Experiments, MakeSynthesisSetIsSingleClass) {
+  const BenchScale Scale = BenchScale::preset("smoke");
+  const Dataset DS = makeSynthesisSet(TaskKind::CifarLike, 1, Scale);
+  EXPECT_EQ(DS.size(), Scale.TrainPerClass);
+  for (size_t L : DS.Labels)
+    EXPECT_EQ(L, 1u);
+}
+
+TEST(Experiments, MakeTestSetShape) {
+  const BenchScale Scale = BenchScale::preset("smoke");
+  const Dataset DS = makeTestSet(TaskKind::CifarLike, Scale);
+  EXPECT_EQ(DS.size(), Scale.TestPerClass * Scale.NumClasses);
+  EXPECT_EQ(DS.Images.front().height(), Scale.CifarSide);
+}
+
+TEST(Experiments, TestAndSynthesisSetsAreDisjointInContent) {
+  const BenchScale Scale = BenchScale::preset("smoke");
+  const Dataset Test = makeTestSet(TaskKind::CifarLike, Scale);
+  const Dataset Synth = makeSynthesisSet(TaskKind::CifarLike, 0, Scale);
+  for (const Image &A : Synth.Images)
+    for (const Image &B : Test.Images)
+      EXPECT_NE(A.raw(), B.raw());
+}

@@ -1,0 +1,91 @@
+//===- tests/eval/ExportTest.cpp - CSV export tests ---------------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace oppsla;
+
+namespace {
+
+std::string tempPath(const char *Name) {
+  return (std::filesystem::temp_directory_path() / Name).string();
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream OS;
+  OS << In.rdbuf();
+  return OS.str();
+}
+
+std::vector<AttackRunLog> sampleLogs() {
+  std::vector<AttackRunLog> Logs(4);
+  Logs[0] = {0, false, true, 10};
+  Logs[1] = {1, false, false, 4096};
+  Logs[2] = {2, true, false, 1};
+  Logs[3] = {0, false, true, 300};
+  return Logs;
+}
+
+} // namespace
+
+TEST(Export, RunLogsCsvContents) {
+  const std::string Path = tempPath("oppsla_runlogs.csv");
+  ASSERT_TRUE(exportRunLogsCsv(sampleLogs(), Path));
+  const std::string Csv = slurp(Path);
+  EXPECT_NE(Csv.find("label,outcome,queries\n"), std::string::npos);
+  EXPECT_NE(Csv.find("0,success,10\n"), std::string::npos);
+  EXPECT_NE(Csv.find("1,failure,4096\n"), std::string::npos);
+  EXPECT_NE(Csv.find("2,discarded,1\n"), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(Export, RunLogsCsvFailsOnBadPath) {
+  EXPECT_FALSE(exportRunLogsCsv(sampleLogs(), "/nonexistent/dir/x.csv"));
+}
+
+TEST(Export, SuccessCurveIsMonotoneAndEndsAtFinalRate) {
+  const std::string Path = tempPath("oppsla_curve.csv");
+  const auto Logs = sampleLogs();
+  ASSERT_TRUE(exportSuccessCurveCsv(Logs, 4096, Path));
+  std::ifstream In(Path);
+  std::string Header;
+  std::getline(In, Header);
+  EXPECT_EQ(Header, "budget,success_rate");
+  double PrevRate = -1.0;
+  uint64_t PrevBudget = 0;
+  uint64_t Budget = 0;
+  double Rate = 0.0;
+  char Comma;
+  size_t Rows = 0;
+  while (In >> Budget >> Comma >> Rate) {
+    EXPECT_GT(Budget, PrevBudget);
+    EXPECT_GE(Rate, PrevRate) << "success(q) must be non-decreasing";
+    PrevBudget = Budget;
+    PrevRate = Rate;
+    ++Rows;
+  }
+  EXPECT_GT(Rows, 5u);
+  // Final rate: 2 successes of 3 non-discarded attacks.
+  EXPECT_NEAR(PrevRate, 2.0 / 3.0, 1e-5); // CSV carries 6 decimals
+  std::remove(Path.c_str());
+}
+
+TEST(Export, SuccessCurveIncludesExactSuccessTimes) {
+  const std::string Path = tempPath("oppsla_curve2.csv");
+  ASSERT_TRUE(exportSuccessCurveCsv(sampleLogs(), 4096, Path));
+  const std::string Csv = slurp(Path);
+  EXPECT_NE(Csv.find("\n10,"), std::string::npos);
+  EXPECT_NE(Csv.find("\n300,"), std::string::npos);
+  std::remove(Path.c_str());
+}

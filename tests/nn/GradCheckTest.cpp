@@ -1,0 +1,235 @@
+//===- tests/nn/GradCheckTest.cpp - Numerical gradient checks -----------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Every layer's backward pass is validated against central differences.
+// These are the tests that keep the training substrate honest.
+//
+//===----------------------------------------------------------------------===//
+
+#include "GradCheck.h"
+
+#include "nn/Activations.h"
+#include "nn/BatchNorm2d.h"
+#include "nn/Blocks.h"
+#include "nn/Conv2d.h"
+#include "nn/Linear.h"
+#include "nn/Misc.h"
+#include "nn/Pooling.h"
+#include "nn/Sequential.h"
+
+using namespace oppsla;
+using namespace oppsla::test;
+
+namespace {
+
+Tensor smallInput(size_t N, size_t C, size_t H, size_t W, uint64_t Seed) {
+  Rng R(Seed);
+  return Tensor::randn({N, C, H, W}, R);
+}
+
+} // namespace
+
+TEST(GradCheck, Linear) {
+  Rng R(1);
+  Linear L(6, 4, R);
+  Rng DataRng(2);
+  checkGradients(L, Tensor::randn({3, 6}, DataRng));
+}
+
+TEST(GradCheck, LinearSingleRow) {
+  Rng R(1);
+  Linear L(5, 2, R);
+  Rng DataRng(3);
+  checkGradients(L, Tensor::randn({1, 5}, DataRng));
+}
+
+TEST(GradCheck, Conv2dStride1) {
+  Rng R(4);
+  Conv2d L(2, 3, 3, 1, 1, R);
+  checkGradients(L, smallInput(2, 2, 5, 5, 5));
+}
+
+TEST(GradCheck, Conv2dStride2) {
+  Rng R(6);
+  Conv2d L(3, 4, 3, 2, 1, R);
+  checkGradients(L, smallInput(1, 3, 6, 6, 7));
+}
+
+TEST(GradCheck, Conv2dNoPadNoBias) {
+  Rng R(8);
+  Conv2d L(2, 2, 2, 1, 0, R, /*HasBias=*/false);
+  checkGradients(L, smallInput(2, 2, 4, 4, 9));
+}
+
+TEST(GradCheck, Conv2d1x1) {
+  Rng R(10);
+  Conv2d L(4, 3, 1, 1, 0, R);
+  checkGradients(L, smallInput(1, 4, 3, 3, 11));
+}
+
+TEST(GradCheck, BatchNorm2d) {
+  BatchNorm2d L(3);
+  // Offset the input so batch means are non-trivial.
+  Tensor In = smallInput(4, 3, 3, 3, 13);
+  for (float &V : In.vec())
+    V = V * 2.0f + 0.5f;
+  checkGradients(L, In, /*Eps=*/1e-2, /*Tol=*/4e-2);
+}
+
+TEST(GradCheck, ReLU) {
+  ReLU L;
+  // Keep values away from the kink at 0.
+  Tensor In = smallInput(2, 2, 4, 4, 15);
+  for (float &V : In.vec())
+    if (std::fabs(V) < 0.05f)
+      V += 0.2f;
+  checkGradients(L, In);
+}
+
+TEST(GradCheck, LeakyReLU) {
+  LeakyReLU L(0.2f);
+  Tensor In = smallInput(1, 3, 4, 4, 17);
+  for (float &V : In.vec())
+    if (std::fabs(V) < 0.05f)
+      V -= 0.2f;
+  checkGradients(L, In);
+}
+
+TEST(GradCheck, Tanh) {
+  Tanh L;
+  checkGradients(L, smallInput(2, 2, 3, 3, 19));
+}
+
+TEST(GradCheck, MaxPool) {
+  MaxPool2d L(2);
+  // Perturbations must not change the argmax; spread the values.
+  Rng R(21);
+  Tensor In({1, 2, 4, 4});
+  for (size_t I = 0; I != In.numel(); ++I)
+    In[I] = static_cast<float>(I % 7) + 0.3f * R.uniformF();
+  checkGradients(L, In);
+}
+
+TEST(GradCheck, AvgPool) {
+  AvgPool2d L(2);
+  checkGradients(L, smallInput(2, 3, 4, 4, 23));
+}
+
+TEST(GradCheck, AvgPoolStride1) {
+  AvgPool2d L(2, 1);
+  checkGradients(L, smallInput(1, 2, 4, 4, 25));
+}
+
+TEST(GradCheck, GlobalAvgPool) {
+  GlobalAvgPool L;
+  checkGradients(L, smallInput(2, 3, 4, 5, 27));
+}
+
+TEST(GradCheck, Flatten) {
+  Flatten L;
+  checkGradients(L, smallInput(2, 2, 3, 3, 29));
+}
+
+TEST(GradCheck, ResidualBlockIdentitySkip) {
+  Rng R(31);
+  ResidualBlock L(4, 4, 1, R);
+  checkGradients(L, smallInput(2, 4, 4, 4, 33), 2e-3, 5e-2);
+}
+
+TEST(GradCheck, ResidualBlockProjectedSkip) {
+  Rng R(35);
+  ResidualBlock L(3, 5, 2, R);
+  checkGradients(L, smallInput(2, 3, 6, 6, 37), 2e-3, 5e-2);
+}
+
+TEST(GradCheck, InceptionBlockMatchesManualAssembly) {
+  // Finite differences are ill-conditioned for inception's narrow
+  // reduce-conv + BatchNorm branches (1/sigma amplifies the ReLU kink
+  // window), so instead verify the block's forward AND backward wiring
+  // exactly against a manually assembled reference built from the same
+  // RNG stream (identical weights by construction). The constituent
+  // layers' gradients are covered by the finite-difference tests above.
+  constexpr size_t InC = 3, C1 = 2, C3 = 3, C5 = 2;
+  Rng RBlock(39), RRef(39);
+  InceptionBlock Block(InC, C1, C3, C5, RBlock);
+
+  // Mirror of InceptionBlock's constructor order.
+  Sequential B1, B2, B3;
+  B1.add(convBnRelu(InC, C1, 1, 1, 0, RRef));
+  const size_t Red3 = std::max<size_t>(1, C3 / 2);
+  B2.add(convBnRelu(InC, Red3, 1, 1, 0, RRef));
+  B2.add(convBnRelu(Red3, C3, 3, 1, 1, RRef));
+  const size_t Red5 = std::max<size_t>(1, C5 / 2);
+  B3.add(convBnRelu(InC, Red5, 1, 1, 0, RRef));
+  B3.add(convBnRelu(Red5, C5, 5, 1, 2, RRef));
+
+  const Tensor In = smallInput(2, InC, 5, 5, 41);
+  const Tensor Out = Block.forward(In, /*Train=*/true);
+  const Tensor O1 = B1.forward(In, true);
+  const Tensor O2 = B2.forward(In, true);
+  const Tensor O3 = B3.forward(In, true);
+
+  // Forward: channel-concatenated branch outputs.
+  const size_t N = 2, H = 5, W = 5, Plane = H * W;
+  ASSERT_EQ(Out.shape(), Shape({N, C1 + C3 + C5, H, W}));
+  for (size_t B = 0; B != N; ++B) {
+    for (size_t I = 0; I != C1 * Plane; ++I)
+      ASSERT_EQ(Out[(B * (C1 + C3 + C5)) * Plane + I],
+                O1[B * C1 * Plane + I]);
+    for (size_t I = 0; I != C3 * Plane; ++I)
+      ASSERT_EQ(Out[(B * (C1 + C3 + C5) + C1) * Plane + I],
+                O2[B * C3 * Plane + I]);
+    for (size_t I = 0; I != C5 * Plane; ++I)
+      ASSERT_EQ(Out[(B * (C1 + C3 + C5) + C1 + C3) * Plane + I],
+                O3[B * C5 * Plane + I]);
+  }
+
+  // Backward: the block's input gradient equals the sum of the branches'.
+  Rng GR(7);
+  Tensor GradOut = Tensor::randn(Out.shape(), GR);
+  const Tensor GIn = Block.backward(GradOut);
+  Tensor G1({N, C1, H, W}), G2({N, C3, H, W}), G3({N, C5, H, W});
+  for (size_t B = 0; B != N; ++B) {
+    for (size_t I = 0; I != C1 * Plane; ++I)
+      G1[B * C1 * Plane + I] = GradOut[(B * (C1 + C3 + C5)) * Plane + I];
+    for (size_t I = 0; I != C3 * Plane; ++I)
+      G2[B * C3 * Plane + I] =
+          GradOut[(B * (C1 + C3 + C5) + C1) * Plane + I];
+    for (size_t I = 0; I != C5 * Plane; ++I)
+      G3[B * C5 * Plane + I] =
+          GradOut[(B * (C1 + C3 + C5) + C1 + C3) * Plane + I];
+  }
+  Tensor Expect = B1.backward(G1);
+  Expect += B2.backward(G2);
+  Expect += B3.backward(G3);
+  ASSERT_EQ(GIn.numel(), Expect.numel());
+  for (size_t I = 0; I != GIn.numel(); ++I)
+    ASSERT_NEAR(GIn[I], Expect[I], 1e-5f) << "input grad at " << I;
+}
+
+TEST(GradCheck, DenseLayer) {
+  Rng R(43);
+  DenseLayer L(3, 4, R);
+  checkGradients(L, smallInput(2, 3, 4, 4, 45), 2e-3, 5e-2);
+}
+
+TEST(GradCheck, SequentialComposition) {
+  Rng R(47);
+  Sequential Seq;
+  Seq.emplace<Conv2d>(2, 3, 3, 1, 1, R);
+  Seq.emplace<BatchNorm2d>(3);
+  Seq.emplace<ReLU>();
+  Seq.emplace<MaxPool2d>(2);
+  Seq.emplace<Flatten>();
+  Seq.emplace<Linear>(3 * 2 * 2, 4, R);
+  checkGradients(Seq, smallInput(3, 2, 4, 4, 49), 1e-2, 6e-2);
+}
+
+TEST(GradCheck, ConvBnReluUnit) {
+  Rng R(51);
+  LayerPtr L = convBnRelu(2, 3, 3, 1, 1, R);
+  checkGradients(*L, smallInput(2, 2, 4, 4, 53), 1e-2, 6e-2);
+}

@@ -1,0 +1,298 @@
+//===- tests/nn/LayerBehaviorTest.cpp - Layer semantics tests -----------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nn/Activations.h"
+#include "nn/BatchNorm2d.h"
+#include "nn/Blocks.h"
+#include "nn/Conv2d.h"
+#include "nn/Linear.h"
+#include "nn/Misc.h"
+#include "nn/ModelZoo.h"
+#include "nn/Pooling.h"
+#include "nn/Sequential.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+using namespace oppsla;
+
+TEST(ReLULayer, ClampsNegatives) {
+  ReLU L;
+  const Tensor In({1, 1, 1, 4}, {-1.0f, 0.0f, 2.0f, -0.5f});
+  const Tensor Out = L.forward(In, false);
+  EXPECT_EQ(Out[0], 0.0f);
+  EXPECT_EQ(Out[1], 0.0f);
+  EXPECT_EQ(Out[2], 2.0f);
+  EXPECT_EQ(Out[3], 0.0f);
+}
+
+TEST(LeakyReLULayer, ScalesNegatives) {
+  LeakyReLU L(0.1f);
+  const Tensor In({1, 1, 1, 2}, {-2.0f, 3.0f});
+  const Tensor Out = L.forward(In, false);
+  EXPECT_FLOAT_EQ(Out[0], -0.2f);
+  EXPECT_FLOAT_EQ(Out[1], 3.0f);
+}
+
+TEST(TanhLayer, Saturates) {
+  Tanh L;
+  const Tensor In({1, 1, 1, 2}, {100.0f, -100.0f});
+  const Tensor Out = L.forward(In, false);
+  EXPECT_NEAR(Out[0], 1.0f, 1e-5f);
+  EXPECT_NEAR(Out[1], -1.0f, 1e-5f);
+}
+
+TEST(MaxPoolLayer, SelectsWindowMax) {
+  MaxPool2d L(2);
+  const Tensor In({1, 1, 2, 4}, {1, 5, 2, 0, 3, 4, 8, 7});
+  const Tensor Out = L.forward(In, false);
+  ASSERT_EQ(Out.numel(), 2u);
+  EXPECT_EQ(Out[0], 5.0f);
+  EXPECT_EQ(Out[1], 8.0f);
+}
+
+TEST(AvgPoolLayer, AveragesWindow) {
+  AvgPool2d L(2);
+  const Tensor In({1, 1, 2, 2}, {1, 2, 3, 6});
+  const Tensor Out = L.forward(In, false);
+  ASSERT_EQ(Out.numel(), 1u);
+  EXPECT_FLOAT_EQ(Out[0], 3.0f);
+}
+
+TEST(GlobalAvgPoolLayer, ReducesToNC) {
+  GlobalAvgPool L;
+  Tensor In({2, 3, 2, 2});
+  In.fill(2.0f);
+  const Tensor Out = L.forward(In, false);
+  EXPECT_EQ(Out.rank(), 2u);
+  EXPECT_EQ(Out.dim(0), 2u);
+  EXPECT_EQ(Out.dim(1), 3u);
+  for (size_t I = 0; I != Out.numel(); ++I)
+    EXPECT_FLOAT_EQ(Out[I], 2.0f);
+}
+
+TEST(FlattenLayer, PreservesBatchDim) {
+  Flatten L;
+  const Tensor In({2, 3, 4, 5});
+  const Tensor Out = L.forward(In, false);
+  EXPECT_EQ(Out.rank(), 2u);
+  EXPECT_EQ(Out.dim(0), 2u);
+  EXPECT_EQ(Out.dim(1), 60u);
+}
+
+TEST(DropoutLayer, IdentityAtInference) {
+  Dropout L(0.5f);
+  Rng R(1);
+  const Tensor In = Tensor::randn({100}, R);
+  const Tensor Out = L.forward(In, false);
+  for (size_t I = 0; I != In.numel(); ++I)
+    EXPECT_EQ(Out[I], In[I]);
+}
+
+TEST(DropoutLayer, TrainModeZeroesAndRescales) {
+  Dropout L(0.5f, /*Seed=*/3);
+  Tensor In({10000});
+  In.fill(1.0f);
+  const Tensor Out = L.forward(In, true);
+  size_t Zeros = 0;
+  double Sum = 0.0;
+  for (size_t I = 0; I != Out.numel(); ++I) {
+    if (Out[I] == 0.0f)
+      ++Zeros;
+    else
+      EXPECT_FLOAT_EQ(Out[I], 2.0f) << "survivors are scaled by 1/(1-p)";
+    Sum += Out[I];
+  }
+  EXPECT_NEAR(static_cast<double>(Zeros) / Out.numel(), 0.5, 0.05);
+  EXPECT_NEAR(Sum / Out.numel(), 1.0, 0.05) << "expectation preserved";
+}
+
+TEST(BatchNormLayer, NormalizesBatchStatistics) {
+  BatchNorm2d L(1);
+  Rng R(5);
+  Tensor In({8, 1, 4, 4});
+  for (float &V : In.vec())
+    V = static_cast<float>(R.normal(5.0, 3.0));
+  const Tensor Out = L.forward(In, true);
+  double Sum = 0.0, SqSum = 0.0;
+  for (size_t I = 0; I != Out.numel(); ++I) {
+    Sum += Out[I];
+    SqSum += static_cast<double>(Out[I]) * Out[I];
+  }
+  const double Mean = Sum / Out.numel();
+  EXPECT_NEAR(Mean, 0.0, 1e-4);
+  EXPECT_NEAR(SqSum / Out.numel() - Mean * Mean, 1.0, 1e-3);
+}
+
+TEST(BatchNormLayer, InferenceUsesRunningStats) {
+  BatchNorm2d L(1, /*Momentum=*/1.0f); // running stats = last batch stats
+  Rng R(6);
+  Tensor In({4, 1, 2, 2});
+  for (float &V : In.vec())
+    V = static_cast<float>(R.normal(2.0, 0.5));
+  L.forward(In, true);
+  // At inference, normalizing the same batch with the captured stats gives
+  // nearly the same output as train mode (up to the biased-variance eps).
+  const Tensor TrainOut = L.forward(In, true);
+  const Tensor EvalOut = L.forward(In, false);
+  for (size_t I = 0; I != EvalOut.numel(); ++I)
+    EXPECT_NEAR(EvalOut[I], TrainOut[I], 5e-2f);
+}
+
+TEST(BatchNormLayer, ExposesRunningBuffers) {
+  BatchNorm2d L(2);
+  std::vector<std::pair<std::string, Tensor *>> Buffers;
+  L.collectBuffers("bn", Buffers);
+  ASSERT_EQ(Buffers.size(), 2u);
+  EXPECT_EQ(Buffers[0].first, "bn.running_mean");
+  EXPECT_EQ(Buffers[1].first, "bn.running_var");
+}
+
+TEST(Conv2dLayer, OutputShape) {
+  Rng R(7);
+  Conv2d L(3, 8, 3, 2, 1, R);
+  const Tensor In({2, 3, 32, 32});
+  const Tensor Out = L.forward(In, false);
+  EXPECT_EQ(Out.shape(), Shape({2, 8, 16, 16}));
+}
+
+TEST(Conv2dLayer, KnownConvolution) {
+  // 1 input channel, 1 output channel, 2x2 averaging-ish kernel.
+  Rng R(8);
+  Conv2d L(1, 1, 2, 1, 0, R);
+  L.weight().fill(1.0f);
+  L.bias().fill(0.5f);
+  const Tensor In({1, 1, 2, 2}, {1, 2, 3, 4});
+  const Tensor Out = L.forward(In, false);
+  ASSERT_EQ(Out.numel(), 1u);
+  EXPECT_FLOAT_EQ(Out[0], 10.5f);
+}
+
+TEST(Conv2dLayer, TranslatedInputTranslatesOutput) {
+  Rng R(9);
+  Conv2d L(1, 2, 3, 1, 1, R);
+  Tensor A({1, 1, 6, 6});
+  A.at(0, 0, 2, 2) = 1.0f;
+  Tensor B({1, 1, 6, 6});
+  B.at(0, 0, 2, 3) = 1.0f;
+  const Tensor OutA = L.forward(A, false);
+  const Tensor OutB = L.forward(B, false);
+  // Interior responses are shifted copies.
+  for (size_t C = 0; C != 2; ++C)
+    for (size_t I = 1; I != 5; ++I)
+      for (size_t J = 1; J != 4; ++J)
+        EXPECT_NEAR(OutA.at(0, C, I, J), OutB.at(0, C, I, J + 1), 1e-5f);
+}
+
+TEST(LinearLayer, KnownAffineMap) {
+  Rng R(10);
+  Linear L(2, 2, R);
+  L.weight() = Tensor({2, 2}, {1, 2, 3, 4});
+  L.bias() = Tensor({2}, {10, 20});
+  const Tensor In({1, 2}, {1, 1});
+  const Tensor Out = L.forward(In, false);
+  EXPECT_FLOAT_EQ(Out[0], 13.0f);
+  EXPECT_FLOAT_EQ(Out[1], 27.0f);
+}
+
+TEST(SequentialLayer, ParamNamesAreUnique) {
+  Rng R(11);
+  auto Net = buildModel(Arch::MiniVGG, 10, 32, R);
+  auto Params = Net->parameters();
+  std::set<std::string> Names;
+  for (const ParamRef &P : Params) {
+    EXPECT_TRUE(Names.insert(P.Name).second) << "duplicate " << P.Name;
+    EXPECT_EQ(P.Value->numel(), P.Grad->numel());
+  }
+  EXPECT_GT(Params.size(), 8u);
+}
+
+TEST(ResidualBlockLayer, IdentityPathPreservedWhenBodyIsZero) {
+  Rng R(12);
+  ResidualBlock L(3, 3, 1, R);
+  // Zero the body's second conv so F(x) == 0 and Out == ReLU(x).
+  std::vector<ParamRef> Params;
+  L.collectParams("r", Params);
+  for (ParamRef &P : Params)
+    if (P.Name.find("body.3") != std::string::npos) // second conv weight
+      P.Value->zero();
+  Tensor In({1, 3, 4, 4});
+  In.fill(0.7f);
+  const Tensor Out = L.forward(In, false);
+  for (size_t I = 0; I != Out.numel(); ++I)
+    EXPECT_NEAR(Out[I], 0.7f, 1e-4f);
+}
+
+TEST(InceptionBlockLayer, ChannelCountsAdd) {
+  Rng R(13);
+  InceptionBlock L(4, 2, 5, 3, R);
+  EXPECT_EQ(L.outChannels(), 10u);
+  const Tensor In({2, 4, 6, 6});
+  const Tensor Out = L.forward(In, false);
+  EXPECT_EQ(Out.shape(), Shape({2, 10, 6, 6}));
+}
+
+TEST(DenseLayerLayer, ConcatenatesInput) {
+  Rng R(14);
+  DenseLayer L(3, 2, R);
+  EXPECT_EQ(L.outChannels(), 5u);
+  Rng DR(15);
+  const Tensor In = Tensor::randn({1, 3, 4, 4}, DR);
+  const Tensor Out = L.forward(In, false);
+  EXPECT_EQ(Out.shape(), Shape({1, 5, 4, 4}));
+  // First three channels are the input, verbatim.
+  for (size_t I = 0; I != 3 * 16; ++I)
+    EXPECT_EQ(Out[I], In[I]);
+}
+
+//===----------------------------------------------------------------------===//
+// Model zoo shapes across architectures and input sizes
+//===----------------------------------------------------------------------===//
+
+class ModelZooSweep
+    : public ::testing::TestWithParam<std::tuple<Arch, size_t>> {};
+
+TEST_P(ModelZooSweep, ForwardShapeAndFiniteness) {
+  const auto [A, Side] = GetParam();
+  Rng R(100);
+  auto Net = buildModel(A, 10, Side, R);
+  ASSERT_NE(Net, nullptr);
+  Rng DR(101);
+  const Tensor In = Tensor::rand({1, 3, Side, Side}, DR);
+  const Tensor Out = Net->forward(In, false);
+  ASSERT_EQ(Out.numel(), 10u);
+  for (size_t I = 0; I != Out.numel(); ++I)
+    EXPECT_TRUE(std::isfinite(Out[I]));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ArchsAndSizes, ModelZooSweep,
+    ::testing::Combine(::testing::Values(Arch::MiniVGG, Arch::MiniResNet,
+                                         Arch::MiniGoogLeNet,
+                                         Arch::MiniDenseNet,
+                                         Arch::MiniResNet50),
+                       ::testing::Values(size_t(16), size_t(24), size_t(32),
+                                         size_t(40), size_t(48))));
+
+TEST(ModelZoo, NamesRoundTrip) {
+  for (Arch A : {Arch::MiniVGG, Arch::MiniResNet, Arch::MiniGoogLeNet,
+                 Arch::MiniDenseNet, Arch::MiniResNet50})
+    EXPECT_EQ(archFromName(archName(A)), A);
+  EXPECT_EQ(archFromName("nonsense"), Arch::Mlp);
+  EXPECT_EQ(archFromName("vgg"), Arch::MiniVGG);
+}
+
+TEST(ModelZoo, TrainingBatchForwardWorks) {
+  Rng R(102);
+  auto Net = buildModel(Arch::MiniResNet, 10, 16, R);
+  Rng DR(103);
+  const Tensor In = Tensor::rand({4, 3, 16, 16}, DR);
+  const Tensor Out = Net->forward(In, true);
+  EXPECT_EQ(Out.shape(), Shape({4, 10}));
+}

@@ -1,0 +1,183 @@
+//===- tests/nn/LossOptimTest.cpp - Loss and optimizer tests ------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nn/Linear.h"
+#include "nn/Loss.h"
+#include "nn/Optimizer.h"
+#include "support/Rng.h"
+#include "tensor/TensorOps.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace oppsla;
+
+//===----------------------------------------------------------------------===//
+// CrossEntropy
+//===----------------------------------------------------------------------===//
+
+TEST(CrossEntropy, MatchesHandComputedValue) {
+  CrossEntropy CE;
+  const Tensor Logits({1, 3}, {1.0f, 2.0f, 3.0f});
+  const float Loss = CE.forward(Logits, {2});
+  // -log softmax(3 | {1,2,3})
+  const float Expect = -std::log(std::exp(3.0f) /
+                                 (std::exp(1.0f) + std::exp(2.0f) +
+                                  std::exp(3.0f)));
+  EXPECT_NEAR(Loss, Expect, 1e-5f);
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogC) {
+  CrossEntropy CE;
+  Tensor Logits({2, 4});
+  const float Loss = CE.forward(Logits, {0, 3});
+  EXPECT_NEAR(Loss, std::log(4.0f), 1e-5f);
+}
+
+TEST(CrossEntropy, CountsCorrectPredictions) {
+  CrossEntropy CE;
+  const Tensor Logits({2, 2}, {5.0f, 0.0f, 0.0f, 5.0f});
+  CE.forward(Logits, {0, 0});
+  EXPECT_EQ(CE.numCorrect(), 1u);
+}
+
+TEST(CrossEntropy, GradientIsProbsMinusOneHotOverN) {
+  CrossEntropy CE;
+  const Tensor Logits({1, 2}, {0.0f, 0.0f});
+  CE.forward(Logits, {1});
+  const Tensor G = CE.backward();
+  EXPECT_NEAR(G[0], 0.5f, 1e-6f);
+  EXPECT_NEAR(G[1], -0.5f, 1e-6f);
+}
+
+TEST(CrossEntropy, GradientMatchesFiniteDifferences) {
+  Rng R(1);
+  Tensor Logits = Tensor::randn({3, 5}, R);
+  const std::vector<size_t> Labels = {0, 4, 2};
+  CrossEntropy CE(0.1f);
+  CE.forward(Logits, Labels);
+  const Tensor G = CE.backward();
+  const double Eps = 1e-3;
+  for (size_t I = 0; I != Logits.numel(); ++I) {
+    const float Orig = Logits[I];
+    Logits[I] = Orig + static_cast<float>(Eps);
+    CrossEntropy Plus(0.1f);
+    const double Lp = Plus.forward(Logits, Labels);
+    Logits[I] = Orig - static_cast<float>(Eps);
+    CrossEntropy Minus(0.1f);
+    const double Lm = Minus.forward(Logits, Labels);
+    Logits[I] = Orig;
+    EXPECT_NEAR(G[I], (Lp - Lm) / (2 * Eps), 2e-4) << "logit " << I;
+  }
+}
+
+TEST(CrossEntropy, SmoothingRaisesLossOfConfidentCorrect) {
+  const Tensor Logits({1, 3}, {10.0f, 0.0f, 0.0f});
+  CrossEntropy Sharp(0.0f), Smooth(0.2f);
+  const float L0 = Sharp.forward(Logits, {0});
+  const float L1 = Smooth.forward(Logits, {0});
+  EXPECT_GT(L1, L0) << "smoothed targets penalize over-confidence";
+}
+
+//===----------------------------------------------------------------------===//
+// Optimizers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One trivially-differentiable "layer": a bare parameter vector.
+struct ParamHolder {
+  Tensor W{Shape({4})};
+  Tensor G{Shape({4})};
+  std::vector<ParamRef> refs() { return {{"w", &W, &G}}; }
+};
+
+} // namespace
+
+TEST(Sgd, PlainStepIsLrTimesGrad) {
+  ParamHolder P;
+  P.W.fill(1.0f);
+  P.G.fill(2.0f);
+  Sgd Opt(P.refs(), /*Lr=*/0.1f, /*Momentum=*/0.0f);
+  Opt.step();
+  for (size_t I = 0; I != 4; ++I)
+    EXPECT_NEAR(P.W[I], 0.8f, 1e-6f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  ParamHolder P;
+  P.G.fill(1.0f);
+  Sgd Opt(P.refs(), 0.1f, 0.9f);
+  Opt.step(); // v=1, w=-0.1
+  Opt.step(); // v=1.9, w=-0.29
+  EXPECT_NEAR(P.W[0], -0.29f, 1e-6f);
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  ParamHolder P;
+  P.W.fill(10.0f);
+  // No loss gradient; decay alone must shrink the weights.
+  Sgd Opt(P.refs(), 0.1f, 0.0f, /*WeightDecay=*/0.5f);
+  Opt.step();
+  EXPECT_NEAR(P.W[0], 9.5f, 1e-5f);
+}
+
+TEST(Sgd, ZeroGradClears) {
+  ParamHolder P;
+  P.G.fill(3.0f);
+  Sgd Opt(P.refs(), 0.1f);
+  Opt.zeroGrad();
+  EXPECT_EQ(P.G.sum(), 0.0f);
+}
+
+TEST(Adam, FirstStepIsLrSigned) {
+  ParamHolder P;
+  P.G.fill(0.5f);
+  Adam Opt(P.refs(), 0.01f);
+  Opt.step();
+  // With bias correction, the first Adam step is ~ -lr * sign(g).
+  EXPECT_NEAR(P.W[0], -0.01f, 1e-4f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize (w - 3)^2 elementwise.
+  ParamHolder P;
+  Adam Opt(P.refs(), 0.05f);
+  for (int Iter = 0; Iter != 500; ++Iter) {
+    for (size_t I = 0; I != 4; ++I)
+      P.G[I] = 2.0f * (P.W[I] - 3.0f);
+    Opt.step();
+  }
+  for (size_t I = 0; I != 4; ++I)
+    EXPECT_NEAR(P.W[I], 3.0f, 1e-2f);
+}
+
+TEST(Sgd, LinearRegressionConverges) {
+  // Fit y = 2x + 1 with a 1-in 1-out Linear layer.
+  Rng R(3);
+  Linear L(1, 1, R);
+  std::vector<ParamRef> Params;
+  L.collectParams("lin", Params);
+  Sgd Opt(Params, 0.05f, 0.9f);
+  Rng DataRng(4);
+  for (int Iter = 0; Iter != 400; ++Iter) {
+    Tensor X({8, 1});
+    for (size_t I = 0; I != 8; ++I)
+      X[I] = static_cast<float>(DataRng.uniform(-1.0, 1.0));
+    Opt.zeroGrad();
+    const Tensor Pred = L.forward(X, true);
+    Tensor Grad({8, 1});
+    for (size_t I = 0; I != 8; ++I) {
+      const float Y = 2.0f * X[I] + 1.0f;
+      Grad[I] = 2.0f * (Pred[I] - Y) / 8.0f;
+    }
+    L.backward(Grad);
+    Opt.step();
+  }
+  EXPECT_NEAR(L.weight()[0], 2.0f, 5e-2f);
+  EXPECT_NEAR(L.bias()[0], 1.0f, 5e-2f);
+}

@@ -1,0 +1,150 @@
+//===- tests/support/MiscSupportTest.cpp - Table/ArgParse/BenchScale ----------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ArgParse.h"
+#include "support/BenchScale.h"
+#include "support/Logging.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace oppsla;
+
+//===----------------------------------------------------------------------===//
+// Table
+//===----------------------------------------------------------------------===//
+
+TEST(Table, FormatsFixedPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(3.0, 0), "3");
+  EXPECT_EQ(Table::fmt(-1.005, 1), "-1.0");
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table T({"name", "value"});
+  T.addRow({"a", "1"});
+  T.addRow({"longer", "22"});
+  std::ostringstream OS;
+  T.print(OS);
+  const std::string Out = OS.str();
+  EXPECT_NE(Out.find("| name   | value |"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("| longer | 22    |"), std::string::npos) << Out;
+  EXPECT_EQ(T.numRows(), 2u);
+}
+
+TEST(Table, AddRowWithDoubles) {
+  Table T({"label", "x", "y"});
+  T.addRow("row", {1.234, 5.678}, 1);
+  std::ostringstream OS;
+  T.printCsv(OS);
+  EXPECT_EQ(OS.str(), "label,x,y\nrow,1.2,5.7\n");
+}
+
+TEST(Table, CsvRoundTripShape) {
+  Table T({"a", "b"});
+  T.addRow({"x", "y"});
+  T.addRow({"1", "2"});
+  std::ostringstream OS;
+  T.printCsv(OS);
+  EXPECT_EQ(OS.str(), "a,b\nx,y\n1,2\n");
+}
+
+//===----------------------------------------------------------------------===//
+// ArgParse
+//===----------------------------------------------------------------------===//
+
+namespace {
+ArgParse parse(std::initializer_list<const char *> Args) {
+  std::vector<const char *> V = {"prog"};
+  V.insert(V.end(), Args.begin(), Args.end());
+  return ArgParse(static_cast<int>(V.size()), V.data());
+}
+} // namespace
+
+TEST(ArgParse, KeyValuePairs) {
+  ArgParse A = parse({"--name", "value", "--n", "42"});
+  EXPECT_EQ(A.get("name", ""), "value");
+  EXPECT_EQ(A.getInt("n", 0), 42);
+  EXPECT_TRUE(A.has("name"));
+  EXPECT_FALSE(A.has("missing"));
+}
+
+TEST(ArgParse, EqualsSyntax) {
+  ArgParse A = parse({"--alpha=0.5", "--beta=hello"});
+  EXPECT_DOUBLE_EQ(A.getDouble("alpha", 0.0), 0.5);
+  EXPECT_EQ(A.get("beta", ""), "hello");
+}
+
+TEST(ArgParse, BooleanSwitchBeforeFlag) {
+  ArgParse A = parse({"--verbose", "--out", "file"});
+  EXPECT_TRUE(A.getFlag("verbose"));
+  EXPECT_EQ(A.get("verbose", "def"), "");
+  EXPECT_EQ(A.get("out", ""), "file");
+}
+
+TEST(ArgParse, TrailingSwitch) {
+  ArgParse A = parse({"--quiet"});
+  EXPECT_TRUE(A.has("quiet"));
+}
+
+TEST(ArgParse, Positional) {
+  ArgParse A = parse({"input.txt", "--k", "v", "more"});
+  ASSERT_EQ(A.positional().size(), 2u);
+  EXPECT_EQ(A.positional()[0], "input.txt");
+  EXPECT_EQ(A.positional()[1], "more");
+  EXPECT_EQ(A.program(), "prog");
+}
+
+TEST(ArgParse, DefaultsOnMissingOrMalformed) {
+  ArgParse A = parse({"--n", "notanumber"});
+  EXPECT_EQ(A.getInt("n", -1), -1);
+  EXPECT_EQ(A.getInt("absent", 9), 9);
+  EXPECT_DOUBLE_EQ(A.getDouble("absent", 2.5), 2.5);
+}
+
+//===----------------------------------------------------------------------===//
+// BenchScale
+//===----------------------------------------------------------------------===//
+
+TEST(BenchScale, PresetsAreOrdered) {
+  const BenchScale Smoke = BenchScale::preset("smoke");
+  const BenchScale Small = BenchScale::preset("small");
+  const BenchScale Paper = BenchScale::preset("paper");
+  EXPECT_EQ(Smoke.Name, "smoke");
+  EXPECT_EQ(Small.Name, "small");
+  EXPECT_EQ(Paper.Name, "paper");
+  EXPECT_LT(Smoke.TestPerClass, Small.TestPerClass);
+  EXPECT_LT(Small.TestPerClass, Paper.TestPerClass);
+  EXPECT_LT(Small.SynthIters, Paper.SynthIters);
+  EXPECT_EQ(Paper.SynthIters, 210u) << "paper preset must match Appendix C";
+  EXPECT_EQ(Paper.TrainPerClass, 50u);
+  EXPECT_EQ(Paper.CifarSide, 32u);
+}
+
+TEST(BenchScale, UnknownNameFallsBackToSmall) {
+  EXPECT_EQ(BenchScale::preset("bogus").Name, "small");
+}
+
+TEST(BenchScale, FromEnvHonorsVariable) {
+  ASSERT_EQ(setenv("OPPSLA_BENCH_SCALE", "smoke", 1), 0);
+  EXPECT_EQ(BenchScale::fromEnv("paper").Name, "smoke");
+  unsetenv("OPPSLA_BENCH_SCALE");
+  EXPECT_EQ(BenchScale::fromEnv("paper").Name, "paper");
+}
+
+//===----------------------------------------------------------------------===//
+// Logging
+//===----------------------------------------------------------------------===//
+
+TEST(Logging, LevelIsAdjustable) {
+  const LogLevel Orig = logLevel();
+  setLogLevel(LogLevel::Error);
+  EXPECT_EQ(logLevel(), LogLevel::Error);
+  logInfo() << "suppressed at error level";
+  setLogLevel(Orig);
+}

@@ -1,0 +1,130 @@
+//===- tests/support/StatsTest.cpp - Stats unit tests -------------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace oppsla;
+
+TEST(Stats, MeanBasics) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({-1.0, 1.0}), 0.0);
+}
+
+TEST(Stats, StddevBasics) {
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({7.0}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({1.0, 1.0, 1.0}), 0.0);
+  // Population stddev of {2, 4} is 1.
+  EXPECT_DOUBLE_EQ(stddev({2.0, 4.0}), 1.0);
+}
+
+TEST(Stats, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Stats, MedianDoesNotRequireSortedInput) {
+  EXPECT_DOUBLE_EQ(median({9.0, 1.0, 5.0, 7.0, 3.0}), 5.0);
+}
+
+TEST(Stats, QuantileEndpoints) {
+  const std::vector<double> V = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(V, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(V, 1.0), 4.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> V = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(V, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(V, 0.5), 5.0);
+}
+
+TEST(Stats, QuantileSingleton) {
+  EXPECT_DOUBLE_EQ(quantile({42.0}, 0.99), 42.0);
+}
+
+TEST(RunningStat, MatchesDirectComputation) {
+  const std::vector<double> V = {1.0, 4.0, 2.0, 8.0, 5.0};
+  RunningStat S;
+  for (double X : V)
+    S.addTracked(X);
+  EXPECT_EQ(S.count(), V.size());
+  EXPECT_NEAR(S.mean(), mean(V), 1e-12);
+  EXPECT_NEAR(S.stddev(), stddev(V), 1e-12);
+  EXPECT_DOUBLE_EQ(S.min(), 1.0);
+  EXPECT_DOUBLE_EQ(S.max(), 8.0);
+}
+
+TEST(RunningStat, EmptyAndSingle) {
+  RunningStat S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0);
+  S.add(3.0);
+  EXPECT_DOUBLE_EQ(S.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0);
+}
+
+TEST(QuerySample, SuccessRate) {
+  QuerySample S;
+  EXPECT_DOUBLE_EQ(S.successRate(), 0.0);
+  S.SuccessQueries = {10.0, 20.0, 30.0};
+  S.NumFailures = 1;
+  EXPECT_DOUBLE_EQ(S.successRate(), 0.75);
+  EXPECT_EQ(S.numAttacks(), 4u);
+}
+
+TEST(QuerySample, AvgAndMedianOverSuccessesOnly) {
+  QuerySample S;
+  S.SuccessQueries = {10.0, 30.0};
+  S.NumFailures = 100; // failures must not affect avg/median
+  EXPECT_DOUBLE_EQ(S.avgQueries(), 20.0);
+  EXPECT_DOUBLE_EQ(S.medianQueries(), 20.0);
+}
+
+TEST(QuerySample, SuccessRateAtBudget) {
+  QuerySample S;
+  S.SuccessQueries = {5.0, 50.0, 500.0};
+  S.NumFailures = 1;
+  EXPECT_DOUBLE_EQ(S.successRateAtBudget(4.0), 0.0);
+  EXPECT_DOUBLE_EQ(S.successRateAtBudget(5.0), 0.25);
+  EXPECT_DOUBLE_EQ(S.successRateAtBudget(100.0), 0.5);
+  EXPECT_DOUBLE_EQ(S.successRateAtBudget(1e9), 0.75);
+}
+
+TEST(QuerySample, MergeCombines) {
+  QuerySample A, B;
+  A.SuccessQueries = {1.0};
+  A.NumFailures = 2;
+  B.SuccessQueries = {3.0, 4.0};
+  B.NumFailures = 1;
+  A.merge(B);
+  EXPECT_EQ(A.SuccessQueries.size(), 3u);
+  EXPECT_EQ(A.NumFailures, 3u);
+  EXPECT_EQ(A.numAttacks(), 6u);
+}
+
+// Quantile sweep: for a known arithmetic sequence the quantile is linear.
+class QuantileSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileSweep, LinearSequence) {
+  std::vector<double> V;
+  for (int I = 0; I <= 100; ++I)
+    V.push_back(static_cast<double>(I));
+  const double Q = GetParam();
+  EXPECT_NEAR(quantile(V, Q), 100.0 * Q, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, QuantileSweep,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9,
+                                           1.0));

@@ -1,0 +1,203 @@
+//===- tests/tensor/TensorOpsTest.cpp - Tensor op unit tests ------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tensor/TensorOps.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace oppsla;
+
+namespace {
+
+/// Naive reference GEMM.
+Tensor refMatmul(const Tensor &A, const Tensor &B) {
+  const size_t M = A.dim(0), K = A.dim(1), N = B.dim(1);
+  Tensor C({M, N});
+  for (size_t I = 0; I != M; ++I)
+    for (size_t J = 0; J != N; ++J) {
+      double Acc = 0.0;
+      for (size_t Kk = 0; Kk != K; ++Kk)
+        Acc += static_cast<double>(A.at(I, Kk)) * B.at(Kk, J);
+      C.at(I, J) = static_cast<float>(Acc);
+    }
+  return C;
+}
+
+void expectNear(const Tensor &A, const Tensor &B, float Tol = 1e-4f) {
+  ASSERT_EQ(A.numel(), B.numel());
+  for (size_t I = 0; I != A.numel(); ++I)
+    ASSERT_NEAR(A[I], B[I], Tol) << "at " << I;
+}
+
+} // namespace
+
+TEST(Matmul, KnownSmallCase) {
+  const Tensor A({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor B({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor C({2, 2});
+  matmul(A, B, C);
+  EXPECT_FLOAT_EQ(C.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(C.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(C.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(C.at(1, 1), 154.0f);
+}
+
+TEST(Matmul, IdentityLeavesMatrixUnchanged) {
+  Tensor I3({3, 3});
+  for (size_t I = 0; I != 3; ++I)
+    I3.at(I, I) = 1.0f;
+  Rng R(1);
+  const Tensor B = Tensor::randn({3, 5}, R);
+  Tensor C({3, 5});
+  matmul(I3, B, C);
+  expectNear(C, B);
+}
+
+class MatmulSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+};
+
+TEST_P(MatmulSweep, MatchesReference) {
+  const auto [M, K, N] = GetParam();
+  Rng R(42 + M * 100 + K * 10 + N);
+  const Tensor A = Tensor::randn({static_cast<size_t>(M),
+                                  static_cast<size_t>(K)}, R);
+  const Tensor B = Tensor::randn({static_cast<size_t>(K),
+                                  static_cast<size_t>(N)}, R);
+  Tensor C({static_cast<size_t>(M), static_cast<size_t>(N)});
+  matmul(A, B, C);
+  expectNear(C, refMatmul(A, B), 1e-3f);
+
+  // Transposed-B variant must agree with its definition.
+  const Tensor Bt = transpose2d(B);
+  Tensor C2({static_cast<size_t>(M), static_cast<size_t>(N)});
+  matmulTransposedB(A, Bt, C2);
+  expectNear(C2, C, 1e-3f);
+
+  // Transposed-A variant: A^T * A has shape {K, K}.
+  Tensor C3({static_cast<size_t>(K), static_cast<size_t>(K)});
+  matmulTransposedA(A, A, C3);
+  expectNear(C3, refMatmul(transpose2d(A), A), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, MatmulSweep,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(5, 7, 3), std::make_tuple(8, 8, 8),
+                      std::make_tuple(1, 16, 5), std::make_tuple(13, 1, 9)));
+
+TEST(Transpose2d, SwapsIndices) {
+  const Tensor A({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor T = transpose2d(A);
+  EXPECT_EQ(T.dim(0), 3u);
+  EXPECT_EQ(T.dim(1), 2u);
+  EXPECT_EQ(T.at(2, 1), 6.0f);
+  EXPECT_EQ(T.at(0, 1), 4.0f);
+}
+
+TEST(ConvOutSize, StandardCases) {
+  EXPECT_EQ(convOutSize(32, 3, 1, 1), 32u);
+  EXPECT_EQ(convOutSize(32, 3, 2, 1), 16u);
+  EXPECT_EQ(convOutSize(5, 3, 2, 1), 3u);
+  EXPECT_EQ(convOutSize(4, 2, 2, 0), 2u);
+  EXPECT_EQ(convOutSize(7, 7, 1, 0), 1u);
+}
+
+TEST(Im2Col, IdentityKernelExtractsPixels) {
+  // 1x1 kernel, stride 1, no pad: im2col is just a reshape.
+  const Tensor In({1, 2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor Cols({2, 4});
+  im2col(In, 1, 1, 1, 0, Cols);
+  for (size_t C = 0; C != 2; ++C)
+    for (size_t P = 0; P != 4; ++P)
+      EXPECT_EQ(Cols.at(C, P), In[C * 4 + P]);
+}
+
+TEST(Im2Col, ZeroPaddingProducesZeros) {
+  // 3x3 kernel on a 1x1 image with pad 1: only the center tap is nonzero.
+  const Tensor In({1, 1, 1, 1}, {5});
+  Tensor Cols({9, 1});
+  im2col(In, 3, 3, 1, 1, Cols);
+  for (size_t RIdx = 0; RIdx != 9; ++RIdx)
+    EXPECT_EQ(Cols.at(RIdx, 0), RIdx == 4 ? 5.0f : 0.0f);
+}
+
+TEST(Im2Col, StrideSkipsPositions) {
+  // 4-wide row, kernel 2, stride 2: two output positions per row tap.
+  const Tensor In({1, 1, 1, 4}, {1, 2, 3, 4});
+  Tensor Cols({2, 2});
+  im2col(In, 1, 2, 2, 0, Cols);
+  EXPECT_EQ(Cols.at(0, 0), 1.0f);
+  EXPECT_EQ(Cols.at(0, 1), 3.0f);
+  EXPECT_EQ(Cols.at(1, 0), 2.0f);
+  EXPECT_EQ(Cols.at(1, 1), 4.0f);
+}
+
+TEST(Col2Im, IsAdjointOfIm2Col) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+  // property that makes conv backward correct.
+  Rng R(99);
+  const size_t N = 2, C = 3, H = 5, W = 4, K = 3, Stride = 2, Pad = 1;
+  const size_t OH = convOutSize(H, K, Stride, Pad);
+  const size_t OW = convOutSize(W, K, Stride, Pad);
+  const Tensor X = Tensor::randn({N, C, H, W}, R);
+  const Tensor Y = Tensor::randn({C * K * K, N * OH * OW}, R);
+
+  Tensor Xc({C * K * K, N * OH * OW});
+  im2col(X, K, K, Stride, Pad, Xc);
+  double Lhs = 0.0;
+  for (size_t I = 0; I != Xc.numel(); ++I)
+    Lhs += static_cast<double>(Xc[I]) * Y[I];
+
+  Tensor Yi({N, C, H, W});
+  col2im(Y, N, C, H, W, K, K, Stride, Pad, Yi);
+  double Rhs = 0.0;
+  for (size_t I = 0; I != X.numel(); ++I)
+    Rhs += static_cast<double>(X[I]) * Yi[I];
+
+  EXPECT_NEAR(Lhs, Rhs, 1e-2);
+}
+
+TEST(Softmax, SumsToOneAndPreservesOrder) {
+  Tensor T({4}, {1.0f, 3.0f, 2.0f, -1.0f});
+  softmaxInPlace(T);
+  float Sum = 0.0f;
+  for (size_t I = 0; I != 4; ++I) {
+    EXPECT_GT(T[I], 0.0f);
+    Sum += T[I];
+  }
+  EXPECT_NEAR(Sum, 1.0f, 1e-6f);
+  EXPECT_GT(T[1], T[2]);
+  EXPECT_GT(T[2], T[0]);
+  EXPECT_GT(T[0], T[3]);
+}
+
+TEST(Softmax, NumericallyStableForLargeLogits) {
+  Tensor T({2}, {1000.0f, 1001.0f});
+  softmaxInPlace(T);
+  EXPECT_FALSE(std::isnan(T[0]));
+  EXPECT_NEAR(T[0] + T[1], 1.0f, 1e-6f);
+  EXPECT_GT(T[1], T[0]);
+}
+
+TEST(Softmax, RowwiseOnRank2) {
+  Tensor T({2, 2}, {0.0f, 0.0f, 10.0f, 0.0f});
+  softmaxInPlace(T);
+  EXPECT_NEAR(T.at(0, 0), 0.5f, 1e-6f);
+  EXPECT_GT(T.at(1, 0), 0.99f);
+}
+
+TEST(LogSoftmax, MatchesLogOfSoftmax) {
+  const Tensor Logits({3}, {0.5f, -1.0f, 2.0f});
+  Tensor Probs = Logits;
+  softmaxInPlace(Probs);
+  const Tensor LogP = logSoftmax(Logits);
+  for (size_t I = 0; I != 3; ++I)
+    EXPECT_NEAR(LogP[I], std::log(Probs[I]), 1e-5f);
+}

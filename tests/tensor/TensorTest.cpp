@@ -1,0 +1,136 @@
+//===- tests/tensor/TensorTest.cpp - Tensor unit tests ------------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tensor/Tensor.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace oppsla;
+
+TEST(Shape, RankNumelAndEquality) {
+  const Shape S({2, 3, 4});
+  EXPECT_EQ(S.rank(), 3u);
+  EXPECT_EQ(S.numel(), 24u);
+  EXPECT_EQ(S[1], 3u);
+  EXPECT_EQ(S, Shape({2, 3, 4}));
+  EXPECT_NE(S, Shape({2, 3}));
+  EXPECT_NE(S, Shape({2, 3, 5}));
+}
+
+TEST(Shape, EmptyShapeIsScalarLike) {
+  const Shape S;
+  EXPECT_EQ(S.rank(), 0u);
+  EXPECT_EQ(S.numel(), 1u);
+}
+
+TEST(Shape, StrRendering) {
+  EXPECT_EQ(Shape({1, 3, 32, 32}).str(), "[1, 3, 32, 32]");
+  EXPECT_EQ(Shape({}).str(), "[]");
+}
+
+TEST(Tensor, ZeroInitialized) {
+  const Tensor T({2, 2});
+  EXPECT_EQ(T.numel(), 4u);
+  for (size_t I = 0; I != T.numel(); ++I)
+    EXPECT_EQ(T[I], 0.0f);
+}
+
+TEST(Tensor, Rank2Access) {
+  Tensor T({2, 3});
+  T.at(1, 2) = 5.0f;
+  T.at(0, 0) = 1.0f;
+  EXPECT_EQ(T[5], 5.0f);
+  EXPECT_EQ(T[0], 1.0f);
+  EXPECT_EQ(T.at(1, 2), 5.0f);
+}
+
+TEST(Tensor, Rank4NCHWAccess) {
+  Tensor T({2, 3, 4, 5});
+  T.at(1, 2, 3, 4) = 7.0f;
+  // Flat index: ((1*3+2)*4+3)*5+4 = 119.
+  EXPECT_EQ(T[119], 7.0f);
+}
+
+TEST(Tensor, FillAndZero) {
+  Tensor T({3});
+  T.fill(2.5f);
+  EXPECT_EQ(T.sum(), 7.5f);
+  T.zero();
+  EXPECT_EQ(T.sum(), 0.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor T({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor R = T.reshaped({3, 2});
+  EXPECT_EQ(R.rank(), 2u);
+  EXPECT_EQ(R.dim(0), 3u);
+  EXPECT_EQ(R.at(2, 1), 6.0f);
+}
+
+TEST(Tensor, ElementwiseInPlaceOps) {
+  Tensor A({3}, {1, 2, 3});
+  const Tensor B({3}, {10, 20, 30});
+  A += B;
+  EXPECT_EQ(A[2], 33.0f);
+  A -= B;
+  EXPECT_EQ(A[0], 1.0f);
+  A *= 2.0f;
+  EXPECT_EQ(A[1], 4.0f);
+  A.addScaled(B, 0.5f);
+  EXPECT_EQ(A[0], 7.0f);
+}
+
+TEST(Tensor, Reductions) {
+  const Tensor T({4}, {3, -1, 7, 2});
+  EXPECT_EQ(T.sum(), 11.0f);
+  EXPECT_EQ(T.maxElement(), 7.0f);
+  EXPECT_EQ(T.argmax(), 2u);
+  EXPECT_FLOAT_EQ(T.meanElement(), 2.75f);
+  EXPECT_FLOAT_EQ(T.squaredNorm(), 9 + 1 + 49 + 4);
+}
+
+TEST(Tensor, ArgmaxTakesFirstOnTies) {
+  const Tensor T({3}, {5, 5, 5});
+  EXPECT_EQ(T.argmax(), 0u);
+}
+
+TEST(Tensor, FullFactory) {
+  const Tensor T = Tensor::full({2, 2}, 3.0f);
+  EXPECT_EQ(T.sum(), 12.0f);
+}
+
+TEST(Tensor, RandnDeterministicGivenRng) {
+  Rng A(5), B(5);
+  const Tensor X = Tensor::randn({10}, A);
+  const Tensor Y = Tensor::randn({10}, B);
+  for (size_t I = 0; I != 10; ++I)
+    EXPECT_EQ(X[I], Y[I]);
+}
+
+TEST(Tensor, RandnRoughMoments) {
+  Rng R(6);
+  const Tensor T = Tensor::randn({10000}, R, 2.0f);
+  EXPECT_NEAR(T.meanElement(), 0.0f, 0.1f);
+  EXPECT_NEAR(T.squaredNorm() / 10000.0f, 4.0f, 0.3f);
+}
+
+TEST(Tensor, RandRange) {
+  Rng R(7);
+  const Tensor T = Tensor::rand({1000}, R, -1.0f, 1.0f);
+  for (size_t I = 0; I != T.numel(); ++I) {
+    EXPECT_GE(T[I], -1.0f);
+    EXPECT_LT(T[I], 1.0f);
+  }
+}
+
+TEST(Tensor, ConstructFromData) {
+  const Tensor T({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(T.at(1, 0), 3.0f);
+  EXPECT_FALSE(T.empty());
+  EXPECT_TRUE(Tensor().empty());
+}

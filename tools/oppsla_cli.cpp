@@ -1,0 +1,233 @@
+//===- tools/oppsla_cli.cpp - Command line driver for the library -------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Umbrella command line tool exposing the library's workflow:
+//
+//   oppsla train      --arch vgg --task cifar [--scale small]
+//   oppsla synthesize --arch vgg --class 0 [--iters 20] [--out prog.txt]
+//   oppsla explain    --program prog.txt [--side 32]
+//   oppsla attack     --arch vgg --class 0 --program prog.txt
+//                     [--budget 4096] [--images 16]
+//   oppsla eval       --arch vgg --attack oppsla|sparse-rs|suopa|random
+//                     [--class 0] [--budget 4096]
+//
+// Victims are cached under .oppsla-cache (or $OPPSLA_CACHE_DIR), so the
+// train step is implicit in the other subcommands.
+//
+//===----------------------------------------------------------------------===//
+
+#include "attacks/RandomPairSearch.h"
+#include "attacks/SketchAttack.h"
+#include "attacks/SparseRS.h"
+#include "attacks/SuOPA.h"
+#include "core/Analysis.h"
+#include "core/Parse.h"
+#include "eval/Evaluation.h"
+#include "eval/Experiments.h"
+#include "support/ArgParse.h"
+#include "support/Table.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace oppsla;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: oppsla <train|synthesize|explain|attack|eval> [options]\n"
+         "  common options: --arch vgg|resnet|googlenet|densenet|resnet50\n"
+         "                  --task cifar|imagenet  --scale smoke|small|paper\n"
+         "run with a subcommand for its specific options (see tool header)\n";
+  return 2;
+}
+
+TaskKind taskOf(const ArgParse &Args) {
+  return Args.get("task", "cifar") == "imagenet" ? TaskKind::ImageNetLike
+                                                 : TaskKind::CifarLike;
+}
+
+Arch archOf(const ArgParse &Args) {
+  return archFromName(Args.get("arch", "resnet"));
+}
+
+int cmdTrain(const ArgParse &Args) {
+  const BenchScale Scale = BenchScale::preset(Args.get("scale", "small"));
+  auto Victim = makeScaledVictim(taskOf(Args), archOf(Args), Scale);
+  const Dataset Test = makeTestSet(taskOf(Args), Scale);
+  size_t Correct = 0;
+  for (size_t I = 0; I != Test.size(); ++I)
+    Correct += Victim->predict(Test.Images[I]) == Test.Labels[I];
+  std::cout << "victim " << Victim->name() << " ready; test accuracy "
+            << Table::fmt(100.0 * static_cast<double>(Correct) /
+                              static_cast<double>(Test.size()),
+                          1)
+            << "% over " << Test.size() << " images\n";
+  return 0;
+}
+
+int cmdSynthesize(const ArgParse &Args) {
+  const BenchScale Scale = BenchScale::preset(Args.get("scale", "small"));
+  const TaskKind Task = taskOf(Args);
+  const auto Label = static_cast<size_t>(Args.getInt("class", 0));
+  auto Victim = makeScaledVictim(Task, archOf(Args), Scale);
+
+  SynthesisConfig Config;
+  Config.MaxIter = static_cast<size_t>(
+      Args.getInt("iters", static_cast<long long>(Scale.SynthIters)));
+  Config.PerImageQueryCap = Scale.SynthQueryCap;
+  const Dataset Train = makeSynthesisSet(Task, Label, Scale);
+  const Program P = synthesizeProgram(*Victim, Train, Config);
+  std::cout << P.str();
+
+  const std::string Out = Args.get("out", "");
+  if (!Out.empty()) {
+    if (!saveProgram(P, Out)) {
+      std::cerr << "error: cannot write " << Out << "\n";
+      return 1;
+    }
+    std::cout << "saved to " << Out << "\n";
+  }
+  return 0;
+}
+
+int cmdExplain(const ArgParse &Args) {
+  const std::string Path = Args.get("program", "");
+  if (Path.empty()) {
+    std::cerr << "error: --program <file> is required\n";
+    return 2;
+  }
+  std::ifstream In(Path);
+  if (!In) {
+    std::cerr << "error: cannot open " << Path << "\n";
+    return 1;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+
+  // Accept both the save-file format and the textual DSL.
+  Program P;
+  if (!loadProgram(P, Path)) {
+    const ParseResult R = parseProgram(Buffer.str(), P);
+    if (!R.Ok) {
+      std::cerr << "parse error at " << R.Line << ":" << R.Column << ": "
+                << R.Message << "\n";
+      return 1;
+    }
+  }
+  const auto Side = static_cast<size_t>(Args.getInt("side", 32));
+  std::cout << explainProgram(P, Side);
+  const Program Normalized = normalizeProgram(P, Side);
+  if (!equivalentPrograms(P, allFalseProgram(), Side) &&
+      equivalentPrograms(Normalized, allFalseProgram(), Side))
+    std::cout << "note: normalizes to the fixed prioritization\n";
+  return 0;
+}
+
+int cmdAttack(const ArgParse &Args) {
+  const BenchScale Scale = BenchScale::preset(Args.get("scale", "small"));
+  const TaskKind Task = taskOf(Args);
+  const auto Label = static_cast<size_t>(Args.getInt("class", 0));
+  const auto Budget = static_cast<uint64_t>(
+      Args.getInt("budget", static_cast<long long>(Scale.EvalQueryCap)));
+  auto Victim = makeScaledVictim(Task, archOf(Args), Scale);
+
+  Program P = allFalseProgram();
+  const std::string Path = Args.get("program", "");
+  if (!Path.empty() && !loadProgram(P, Path)) {
+    std::cerr << "error: cannot load program from " << Path << "\n";
+    return 1;
+  }
+
+  Dataset Test = makeTestSet(Task, Scale).filterByClass(Label);
+  const auto MaxImages = static_cast<size_t>(Args.getInt("images", 16));
+  if (Test.size() > MaxImages) {
+    Test.Images.resize(MaxImages);
+    Test.Labels.resize(MaxImages);
+  }
+
+  SketchAttack A(P, Path.empty() ? "Sketch+False" : "program");
+  Table T({"image", "outcome", "#queries", "pixel", "perturbation"});
+  for (size_t I = 0; I != Test.size(); ++I) {
+    const AttackResult R =
+        A.attack(*Victim, Test.Images[I], Label, Budget);
+    std::ostringstream Loc, Pert;
+    if (R.Success && !R.AlreadyMisclassified) {
+      Loc << "(" << R.Loc.Row << "," << R.Loc.Col << ")";
+      Pert << "(" << R.Perturbation.R << "," << R.Perturbation.G << ","
+           << R.Perturbation.B << ")";
+    }
+    T.addRow({std::to_string(I),
+              R.AlreadyMisclassified ? "discarded"
+              : R.Success            ? "success"
+                                     : "failure",
+              std::to_string(R.Queries), Loc.str(), Pert.str()});
+  }
+  T.print(std::cout);
+  return 0;
+}
+
+int cmdEval(const ArgParse &Args) {
+  const BenchScale Scale = BenchScale::preset(Args.get("scale", "small"));
+  const TaskKind Task = taskOf(Args);
+  const Arch A = archOf(Args);
+  const auto Budget = static_cast<uint64_t>(
+      Args.getInt("budget", static_cast<long long>(Scale.EvalQueryCap)));
+  auto Victim = makeScaledVictim(Task, A, Scale);
+  const Dataset Test = makeTestSet(Task, Scale);
+
+  const std::string Kind = Args.get("attack", "oppsla");
+  std::vector<AttackRunLog> Logs;
+  if (Kind == "oppsla") {
+    const std::vector<Program> Programs = synthesizeClassPrograms(
+        *Victim, victimStem(Task, A, Scale), Task, Scale);
+    Logs = runProgramsOverSet(Programs, *Victim, Test, Budget);
+  } else if (Kind == "sparse-rs") {
+    SparseRS Attack;
+    Logs = runAttackOverSet(Attack, *Victim, Test, Budget);
+  } else if (Kind == "suopa") {
+    SuOPA Attack;
+    Logs = runAttackOverSet(Attack, *Victim, Test, Budget);
+  } else if (Kind == "random") {
+    RandomPairSearch Attack;
+    Logs = runAttackOverSet(Attack, *Victim, Test, Budget);
+  } else {
+    std::cerr << "error: unknown --attack '" << Kind << "'\n";
+    return 2;
+  }
+
+  const QuerySample S = toQuerySample(Logs);
+  std::cout << "attack=" << Kind << " victim=" << Victim->name()
+            << " budget=" << Budget << "\n"
+            << "  success rate : "
+            << Table::fmt(100.0 * S.successRate(), 1) << "%\n"
+            << "  avg #queries : " << Table::fmt(S.avgQueries(), 1) << "\n"
+            << "  med #queries : " << Table::fmt(S.medianQueries(), 1)
+            << "\n";
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage();
+  const std::string Cmd = argv[1];
+  ArgParse Args(argc - 1, argv + 1);
+  if (Cmd == "train")
+    return cmdTrain(Args);
+  if (Cmd == "synthesize")
+    return cmdSynthesize(Args);
+  if (Cmd == "explain")
+    return cmdExplain(Args);
+  if (Cmd == "attack")
+    return cmdAttack(Args);
+  if (Cmd == "eval")
+    return cmdEval(Args);
+  return usage();
+}
