@@ -22,7 +22,9 @@
 #include "core/Analysis.h"
 #include "eval/Evaluation.h"
 #include "eval/Experiments.h"
+#include "support/ArgParse.h"
 #include "support/Logging.h"
+#include "support/Metrics.h"
 #include "support/Table.h"
 
 #include <iostream>
@@ -106,10 +108,15 @@ void robustnessAblation(const BenchScale &Scale) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  // --trace-out / --metrics-out / --layer-timing (see support/Metrics.h).
+  const ArgParse Args(argc, argv);
+  if (!telemetry::configureFromArgs(Args))
+    return 1;
   const BenchScale Scale = BenchScale::fromEnv();
   std::cout << "== Extended ablations (scale: " << Scale.Name << ") ==\n\n";
   perConditionAblation(Scale);
   robustnessAblation(Scale);
+  telemetry::finalizeTelemetry();
   return 0;
 }

@@ -25,7 +25,9 @@
 #include "attacks/SuOPA.h"
 #include "eval/Evaluation.h"
 #include "eval/Experiments.h"
+#include "support/ArgParse.h"
 #include "support/Logging.h"
+#include "support/Metrics.h"
 #include "support/Table.h"
 
 #include <iostream>
@@ -89,7 +91,11 @@ void runTask(TaskKind Task, const std::vector<Arch> &Archs,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  // --trace-out / --metrics-out / --layer-timing (see support/Metrics.h).
+  const ArgParse Args(argc, argv);
+  if (!telemetry::configureFromArgs(Args))
+    return 1;
   const BenchScale Scale = BenchScale::fromEnv();
   std::cout << "== Figure 3: success rate vs query budget (scale: "
             << Scale.Name << ") ==\n\n";
@@ -100,5 +106,6 @@ int main() {
   std::cout << "Expected shape (paper): OPPSLA >= baselines at every "
                "budget;\nthe gap is largest at <=100 queries; baselines "
                "approach OPPSLA\nonly at the largest budgets.\n";
+  telemetry::finalizeTelemetry();
   return 0;
 }

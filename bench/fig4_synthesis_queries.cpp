@@ -18,14 +18,20 @@
 
 #include "eval/Evaluation.h"
 #include "eval/Experiments.h"
+#include "support/ArgParse.h"
 #include "support/Logging.h"
+#include "support/Metrics.h"
 #include "support/Table.h"
 
 #include <iostream>
 
 using namespace oppsla;
 
-int main() {
+int main(int argc, char **argv) {
+  // --trace-out / --metrics-out / --layer-timing (see support/Metrics.h).
+  const ArgParse Args(argc, argv);
+  if (!telemetry::configureFromArgs(Args))
+    return 1;
   const BenchScale Scale = BenchScale::fromEnv();
   std::cout << "== Figure 4: attack quality vs synthesis budget (scale: "
             << Scale.Name << ") ==\n\n";
@@ -79,5 +85,6 @@ int main() {
                "most of the improvement lands within the first few\n"
                "iterations (the paper reports ~2.7x after ~6 iterations), "
                "then a flat tail.\n";
+  telemetry::finalizeTelemetry();
   return 0;
 }

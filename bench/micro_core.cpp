@@ -14,11 +14,14 @@
 
 #include "core/Mutation.h"
 #include "core/Sketch.h"
+#include "support/ArgParse.h"
+#include "support/Metrics.h"
 #include "support/Rng.h"
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstring>
 
 using namespace oppsla;
 
@@ -156,4 +159,31 @@ BENCHMARK(BM_SketchFullSweep)->Arg(16)->Arg(32);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main: accepts the standard telemetry flags (stripped before argv
+// reaches google-benchmark) so sketch-sweep query traces can be captured.
+int main(int argc, char **argv) {
+  const ArgParse Args(argc, argv);
+  if (!oppsla::telemetry::configureFromArgs(Args))
+    return 1;
+
+  std::vector<char *> BenchArgv;
+  for (int I = 0; I != argc; ++I) {
+    const char *A = argv[I];
+    const bool Telemetry = std::strncmp(A, "--layer-timing", 14) == 0 ||
+                           std::strncmp(A, "--metrics-out", 13) == 0 ||
+                           std::strncmp(A, "--trace-out", 11) == 0;
+    if (Telemetry) {
+      if (std::strchr(A, '=') == nullptr && I + 1 < argc &&
+          std::strncmp(argv[I + 1], "--", 2) != 0)
+        ++I;
+      continue;
+    }
+    BenchArgv.push_back(argv[I]);
+  }
+  int BenchArgc = static_cast<int>(BenchArgv.size());
+  benchmark::Initialize(&BenchArgc, BenchArgv.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  oppsla::telemetry::finalizeTelemetry();
+  return 0;
+}

@@ -14,10 +14,15 @@
 #include "nn/Loss.h"
 #include "nn/ModelZoo.h"
 #include "nn/Optimizer.h"
+#include "support/ArgParse.h"
+#include "support/Metrics.h"
 #include "support/Rng.h"
 #include "tensor/TensorOps.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <iostream>
 
 using namespace oppsla;
 
@@ -96,4 +101,38 @@ BENCHMARK(BM_TrainStep);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): strips the telemetry flags
+// (--layer-timing / --metrics-out / --trace-out) before handing argv to
+// google-benchmark, and prints the per-layer forward time breakdown
+// collected under --layer-timing after the benchmarks ran.
+int main(int argc, char **argv) {
+  const ArgParse Args(argc, argv);
+  if (!oppsla::telemetry::configureFromArgs(Args))
+    return 1;
+
+  std::vector<char *> BenchArgv;
+  for (int I = 0; I != argc; ++I) {
+    const char *A = argv[I];
+    const bool Telemetry = std::strncmp(A, "--layer-timing", 14) == 0 ||
+                           std::strncmp(A, "--metrics-out", 13) == 0 ||
+                           std::strncmp(A, "--trace-out", 11) == 0;
+    if (Telemetry) {
+      // Skip a separate `--flag value` operand as ArgParse would.
+      if (std::strchr(A, '=') == nullptr && I + 1 < argc &&
+          std::strncmp(argv[I + 1], "--", 2) != 0)
+        ++I;
+      continue;
+    }
+    BenchArgv.push_back(argv[I]);
+  }
+  int BenchArgc = static_cast<int>(BenchArgv.size());
+  benchmark::Initialize(&BenchArgc, BenchArgv.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const std::string LayerReport = oppsla::telemetry::layerTimingReport();
+  if (!LayerReport.empty())
+    std::cout << "\n" << LayerReport;
+  oppsla::telemetry::finalizeTelemetry();
+  return 0;
+}

@@ -16,14 +16,20 @@
 
 #include "eval/Evaluation.h"
 #include "eval/Experiments.h"
+#include "support/ArgParse.h"
 #include "support/Logging.h"
+#include "support/Metrics.h"
 #include "support/Table.h"
 
 #include <iostream>
 
 using namespace oppsla;
 
-int main() {
+int main(int argc, char **argv) {
+  // --trace-out / --metrics-out / --layer-timing (see support/Metrics.h).
+  const ArgParse Args(argc, argv);
+  if (!telemetry::configureFromArgs(Args))
+    return 1;
   const BenchScale Scale = BenchScale::fromEnv();
   std::cout << "== Table 1: transferability (avg #queries; scale: "
             << Scale.Name << ") ==\n\n";
@@ -71,5 +77,6 @@ int main() {
   RateT.print(std::cout);
   std::cout << "\nExpected shape (paper): off-diagonal avg queries within "
                "a small factor\n(~1.2-2x) of the diagonal.\n";
+  telemetry::finalizeTelemetry();
   return 0;
 }

@@ -22,7 +22,9 @@
 #include "attacks/SparseRS.h"
 #include "eval/Evaluation.h"
 #include "eval/Experiments.h"
+#include "support/ArgParse.h"
 #include "support/Logging.h"
+#include "support/Metrics.h"
 #include "support/Table.h"
 
 #include <filesystem>
@@ -71,7 +73,11 @@ std::vector<Program> randomBaselinePrograms(NNClassifier &Victim,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  // --trace-out / --metrics-out / --layer-timing (see support/Metrics.h).
+  const ArgParse Args(argc, argv);
+  if (!telemetry::configureFromArgs(Args))
+    return 1;
   const BenchScale Scale = BenchScale::fromEnv();
   std::cout << "== Table 2: conditions & search ablation (scale: "
             << Scale.Name << ") ==\n\n";
@@ -121,5 +127,6 @@ int main() {
   std::cout << "\nExpected shape (paper): OPPSLA < Sketch+Random < "
                "Sketch+False < Sparse-RS\non average queries; all sketch "
                "variants share one success rate.\n";
+  telemetry::finalizeTelemetry();
   return 0;
 }

@@ -51,12 +51,22 @@ public:
 
   /// Attacks \p X (true class \p TrueClass) against \p N with at most
   /// \p QueryBudget queries.
-  virtual AttackResult attack(Classifier &N, const Image &X,
-                              size_t TrueClass,
-                              uint64_t QueryBudget = Unlimited) = 0;
+  ///
+  /// Every run is a telemetry span: the queries-per-attack and attack-
+  /// duration histograms are always recorded, and when the trace sink is
+  /// open an attack_begin/attack_end event pair tagged with the attack
+  /// name, ambient image id (telemetry::traceImage()), and outcome is
+  /// emitted around the run.
+  AttackResult attack(Classifier &N, const Image &X, size_t TrueClass,
+                      uint64_t QueryBudget = Unlimited);
 
   /// Display name used in tables ("OPPSLA", "Sparse-RS", "SuOPA", ...).
   virtual std::string name() const = 0;
+
+protected:
+  /// The attack implementation; always invoked through attack().
+  virtual AttackResult runAttack(Classifier &N, const Image &X,
+                                 size_t TrueClass, uint64_t QueryBudget) = 0;
 };
 
 /// Untargeted margin: f_{cx}(x) - max_{j != cx} f_j(x). Negative iff the

@@ -47,8 +47,8 @@ bool containsLoc(const std::vector<LocPert> &Pixels, const PixelLoc &L,
 
 } // namespace
 
-AttackResult KPixelRS::attack(Classifier &N, const Image &X,
-                              size_t TrueClass, uint64_t QueryBudget) {
+AttackResult KPixelRS::runAttack(Classifier &N, const Image &X,
+                                 size_t TrueClass, uint64_t QueryBudget) {
   return attackDetailed(N, X, TrueClass, QueryBudget).Base;
 }
 
@@ -56,6 +56,7 @@ KPixelResult KPixelRS::attackDetailed(Classifier &N, const Image &X,
                                       size_t TrueClass,
                                       uint64_t QueryBudget) {
   QueryCounter Q(N, QueryBudget);
+  Q.setTraceTrueClass(TrueClass);
   KPixelResult Out;
   const size_t H = X.height(), W = X.width();
   const size_t K = std::min(Config.K, H * W);

@@ -48,16 +48,18 @@ public:
     assert(Config.K >= 1 && "need at least one pixel");
   }
 
-  AttackResult attack(Classifier &N, const Image &X, size_t TrueClass,
-                      uint64_t QueryBudget) override;
-
-  /// Like attack() but also reports every perturbed pixel.
+  /// Like attack() but also reports every perturbed pixel. (Called
+  /// directly, this bypasses the attack() telemetry span.)
   KPixelResult attackDetailed(Classifier &N, const Image &X,
                               size_t TrueClass, uint64_t QueryBudget);
 
   std::string name() const override {
     return "Sparse-RS(k=" + std::to_string(Config.K) + ")";
   }
+
+protected:
+  AttackResult runAttack(Classifier &N, const Image &X, size_t TrueClass,
+                         uint64_t QueryBudget) override;
 
 private:
   KPixelRSConfig Config;

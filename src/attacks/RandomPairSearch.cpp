@@ -12,10 +12,11 @@
 
 using namespace oppsla;
 
-AttackResult RandomPairSearch::attack(Classifier &N, const Image &X,
-                                      size_t TrueClass,
-                                      uint64_t QueryBudget) {
+AttackResult RandomPairSearch::runAttack(Classifier &N, const Image &X,
+                                         size_t TrueClass,
+                                         uint64_t QueryBudget) {
   QueryCounter Q(N, QueryBudget);
+  Q.setTraceTrueClass(TrueClass);
   AttackResult Out;
 
   auto Finish = [&]() {

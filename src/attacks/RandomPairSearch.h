@@ -20,10 +20,11 @@ class RandomPairSearch : public Attack {
 public:
   explicit RandomPairSearch(uint64_t Seed = 0x9a9dULL) : R(Seed) {}
 
-  AttackResult attack(Classifier &N, const Image &X, size_t TrueClass,
-                      uint64_t QueryBudget) override;
-
   std::string name() const override { return "RandomPairs"; }
+
+protected:
+  AttackResult runAttack(Classifier &N, const Image &X, size_t TrueClass,
+                         uint64_t QueryBudget) override;
 
 private:
   Rng R;

@@ -8,8 +8,9 @@
 
 using namespace oppsla;
 
-AttackResult SketchAttack::attack(Classifier &N, const Image &X,
-                                  size_t TrueClass, uint64_t QueryBudget) {
+AttackResult SketchAttack::runAttack(Classifier &N, const Image &X,
+                                     size_t TrueClass,
+                                     uint64_t QueryBudget) {
   const SketchResult R = Sk.run(N, X, TrueClass, QueryBudget);
   AttackResult Out;
   Out.Success = R.Success;

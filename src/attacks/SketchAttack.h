@@ -20,11 +20,12 @@ public:
   explicit SketchAttack(Program P, std::string DisplayName = "OPPSLA")
       : Sk(std::move(P)), DisplayName(std::move(DisplayName)) {}
 
-  AttackResult attack(Classifier &N, const Image &X, size_t TrueClass,
-                      uint64_t QueryBudget) override;
-
   std::string name() const override { return DisplayName; }
   const Program &program() const { return Sk.program(); }
+
+protected:
+  AttackResult runAttack(Classifier &N, const Image &X, size_t TrueClass,
+                         uint64_t QueryBudget) override;
 
 private:
   Sketch Sk;

@@ -10,9 +10,10 @@
 
 using namespace oppsla;
 
-AttackResult SparseRS::attack(Classifier &N, const Image &X,
-                              size_t TrueClass, uint64_t QueryBudget) {
+AttackResult SparseRS::runAttack(Classifier &N, const Image &X,
+                                 size_t TrueClass, uint64_t QueryBudget) {
   QueryCounter Q(N, QueryBudget);
+  Q.setTraceTrueClass(TrueClass);
   AttackResult Out;
   const size_t H = X.height(), W = X.width();
 

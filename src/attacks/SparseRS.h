@@ -38,10 +38,11 @@ public:
   explicit SparseRS(SparseRSConfig Config = SparseRSConfig())
       : Config(Config), R(Config.Seed) {}
 
-  AttackResult attack(Classifier &N, const Image &X, size_t TrueClass,
-                      uint64_t QueryBudget) override;
-
   std::string name() const override { return "Sparse-RS"; }
+
+protected:
+  AttackResult runAttack(Classifier &N, const Image &X, size_t TrueClass,
+                         uint64_t QueryBudget) override;
 
 private:
   SparseRSConfig Config;

@@ -24,9 +24,10 @@ struct Individual {
 
 } // namespace
 
-AttackResult SuOPA::attack(Classifier &N, const Image &X, size_t TrueClass,
-                           uint64_t QueryBudget) {
+AttackResult SuOPA::runAttack(Classifier &N, const Image &X,
+                              size_t TrueClass, uint64_t QueryBudget) {
   QueryCounter Q(N, QueryBudget);
+  Q.setTraceTrueClass(TrueClass);
   AttackResult Out;
   const size_t H = X.height(), W = X.width();
 

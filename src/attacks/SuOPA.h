@@ -36,10 +36,11 @@ public:
   explicit SuOPA(SuOPAConfig Config = SuOPAConfig())
       : Config(Config), R(Config.Seed) {}
 
-  AttackResult attack(Classifier &N, const Image &X, size_t TrueClass,
-                      uint64_t QueryBudget) override;
-
   std::string name() const override { return "SuOPA"; }
+
+protected:
+  AttackResult runAttack(Classifier &N, const Image &X, size_t TrueClass,
+                         uint64_t QueryBudget) override;
 
 private:
   SuOPAConfig Config;

@@ -18,6 +18,7 @@
 #define OPPSLA_CLASSIFY_QUERYCOUNTER_H
 
 #include "classify/Classifier.h"
+#include "support/Trace.h"
 
 #include <cstdint>
 #include <limits>
@@ -25,6 +26,12 @@
 namespace oppsla {
 
 /// Counting / budget-enforcing classifier decorator.
+///
+/// When the telemetry trace sink is open, every counted query also emits a
+/// `query` event carrying the query index, the predicted class, and the
+/// margin (to the true class when set via setTraceTrueClass, else
+/// top1 - top2) — the raw per-query series behind the paper's
+/// queries-to-the-classifier metric.
 class QueryCounter : public Classifier {
 public:
   static constexpr uint64_t Unlimited =
@@ -40,7 +47,10 @@ public:
       return {};
     }
     ++Count;
-    return Inner.scores(Img);
+    std::vector<float> S = Inner.scores(Img);
+    if (telemetry::traceEnabled())
+      emitQueryEvent(S);
+    return S;
   }
 
   size_t numClasses() const override { return Inner.numClasses(); }
@@ -48,7 +58,12 @@ public:
   uint64_t count() const { return Count; }
   uint64_t budget() const { return Budget; }
   bool exhausted() const { return Exhausted; }
-  uint64_t remaining() const { return Budget - Count; }
+  /// Queries left under the budget; an Unlimited budget stays Unlimited
+  /// rather than shrinking arithmetically (Unlimited is a sentinel, not a
+  /// number of queries).
+  uint64_t remaining() const {
+    return Budget == Unlimited ? Unlimited : Budget - Count;
+  }
 
   /// Resets the counter (and exhaustion) for a fresh attack; optionally
   /// installs a new budget.
@@ -59,11 +74,23 @@ public:
   }
   void reset() { reset(Budget); }
 
+  /// Stamps the attacked image's true class onto per-query trace events so
+  /// their margin field is the paper's untargeted margin.
+  void setTraceTrueClass(size_t TrueClass) {
+    HasTrueClass = true;
+    this->TrueClass = TrueClass;
+  }
+
 private:
+  /// Cold path: emits the per-query trace event (tracing enabled only).
+  void emitQueryEvent(const std::vector<float> &Scores) const;
+
   Classifier &Inner;
   uint64_t Budget;
   uint64_t Count = 0;
   bool Exhausted = false;
+  bool HasTrueClass = false;
+  size_t TrueClass = 0;
 };
 
 } // namespace oppsla

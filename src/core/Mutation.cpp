@@ -68,27 +68,49 @@ Program oppsla::randomProgram(const MutationContext &Ctx, Rng &R) {
   return P;
 }
 
+const char *oppsla::mutationKindName(MutationKind K) {
+  switch (K) {
+  case MutationKind::Root:
+    return "root";
+  case MutationKind::Condition:
+    return "condition";
+  case MutationKind::Function:
+    return "function";
+  case MutationKind::Constant:
+    return "constant";
+  }
+  return "?";
+}
+
 Program oppsla::mutateProgram(const Program &P, const MutationContext &Ctx,
-                              Rng &R) {
+                              Rng &R, MutationKind *KindOut) {
   Program Out = P;
   // Node universe (Figure 2): 1 root + 4 conditions + 4 function nodes +
   // 4 constant nodes = 13.
   const size_t Node = R.index(13);
   if (Node == 0) {
     // Root: re-sample the entire program.
+    if (KindOut)
+      *KindOut = MutationKind::Root;
     return randomProgram(Ctx, R);
   }
   if (Node <= 4) {
     // Condition node: re-sample that condition's whole subtree.
+    if (KindOut)
+      *KindOut = MutationKind::Condition;
     Out.Conds[Node - 1] = randomCondition(Ctx, R);
     return Out;
   }
   if (Node <= 8) {
     // Function node: new function symbol, threshold kept.
+    if (KindOut)
+      *KindOut = MutationKind::Function;
     mutateFuncNode(Out.Conds[Node - 5], R);
     return Out;
   }
   // Constant node: fresh threshold for the current function.
+  if (KindOut)
+    *KindOut = MutationKind::Constant;
   Condition &C = Out.Conds[Node - 9];
   C.Threshold = sampleThreshold(C.Func, Ctx, R);
   return Out;

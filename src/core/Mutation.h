@@ -42,11 +42,20 @@ Condition randomCondition(const MutationContext &Ctx, Rng &R);
 /// Samples a complete random program (the synthesizer's starting point).
 Program randomProgram(const MutationContext &Ctx, Rng &R);
 
+/// Which AST node class a mutation re-sampled (Figure 2's node universe);
+/// reported so synthesis telemetry can attribute proposals.
+enum class MutationKind { Root, Condition, Function, Constant };
+
+/// Short stable name of \p K ("root", "condition", "function", "constant").
+const char *mutationKindName(MutationKind K);
+
 /// Returns a mutated copy of \p P: one uniformly chosen AST node's subtree
 /// is re-sampled (root => all four conditions; condition => its function
 /// and constant; function => the function symbol only; constant => the
-/// threshold only, re-sampled for the current function's range).
-Program mutateProgram(const Program &P, const MutationContext &Ctx, Rng &R);
+/// threshold only, re-sampled for the current function's range). When
+/// \p KindOut is non-null it receives the mutated node class.
+Program mutateProgram(const Program &P, const MutationContext &Ctx, Rng &R,
+                      MutationKind *KindOut = nullptr);
 
 } // namespace oppsla
 

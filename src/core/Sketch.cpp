@@ -34,7 +34,9 @@ struct RunState {
   RunState(Classifier &N, const Image &Img, size_t TrueClass,
            uint64_t Budget)
       : X(Img), TrueClass(TrueClass), Queries(N, Budget), Space(Img),
-        L(Space.initialOrder(), Space.size()), Scratch(Img) {}
+        L(Space.initialOrder(), Space.size()), Scratch(Img) {
+    Queries.setTraceTrueClass(TrueClass);
+  }
 
   /// Status of a single candidate query.
   enum class QueryStatus { Failed, Success, Exhausted };

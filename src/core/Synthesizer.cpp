@@ -7,7 +7,9 @@
 #include "core/Synthesizer.h"
 
 #include "support/Logging.h"
+#include "support/Metrics.h"
 #include "support/Rng.h"
+#include "support/Trace.h"
 
 #include <cmath>
 
@@ -58,11 +60,28 @@ Program oppsla::synthesizeProgram(Classifier &N, const Dataset &TrainSet,
   if (Trace)
     Trace->push_back(
         SynthesisStep{0, true, P, Eval.AvgQueries, Cumulative});
+  if (telemetry::traceEnabled())
+    telemetry::traceEvent("synth_begin",
+                          {{"max_iter", Config.MaxIter},
+                           {"beta", Config.Beta},
+                           {"train_images", TrainSet.size()},
+                           {"init_avg_queries", Eval.AvgQueries},
+                           {"init_queries", Eval.TotalQueries}});
   logDebug() << "synthesis init: avgQ=" << Eval.AvgQueries
              << " successes=" << Eval.Successes << "/" << Eval.Attacks;
 
+  // Per-run MH accounting for the metrics snapshot.
+  static telemetry::Counter &IterCounter =
+      telemetry::counter("synth.iterations");
+  static telemetry::Counter &AcceptCounter =
+      telemetry::counter("synth.accepts");
+  static telemetry::Counter &SynthQueries =
+      telemetry::counter("synth.queries");
+  SynthQueries.inc(Eval.TotalQueries);
+
   for (size_t Iter = 1; Iter <= Config.MaxIter; ++Iter) {
-    const Program Candidate = mutateProgram(P, Ctx, R);
+    MutationKind Kind = MutationKind::Root;
+    const Program Candidate = mutateProgram(P, Ctx, R, &Kind);
     const ProgramEval CandEval =
         evaluateProgram(Candidate, N, TrainSet, Config.PerImageQueryCap);
     const double CandScore = CandEval.score(Config.Beta);
@@ -87,10 +106,30 @@ Program oppsla::synthesizeProgram(Classifier &N, const Dataset &TrainSet,
     if (Trace)
       Trace->push_back(
           SynthesisStep{Iter, Accept, P, Eval.AvgQueries, Cumulative});
+    IterCounter.inc();
+    if (Accept)
+      AcceptCounter.inc();
+    SynthQueries.inc(CandEval.TotalQueries);
+    if (telemetry::traceEnabled())
+      telemetry::traceEvent("synth_iter",
+                            {{"iter", Iter},
+                             {"proposal", mutationKindName(Kind)},
+                             {"accepted", Accept},
+                             {"cand_score", CandScore},
+                             {"cand_avg_queries", CandEval.AvgQueries},
+                             {"cand_successes", CandEval.Successes},
+                             {"cur_avg_queries", Eval.AvgQueries},
+                             {"cum_queries", Cumulative}});
     logDebug() << "synthesis iter " << Iter << ": candAvgQ="
                << CandEval.AvgQueries << (Accept ? " accepted" : " rejected")
                << " curAvgQ=" << Eval.AvgQueries;
   }
+  if (telemetry::traceEnabled())
+    telemetry::traceEvent("synth_end",
+                          {{"avg_queries", Eval.AvgQueries},
+                           {"successes", Eval.Successes},
+                           {"attacks", Eval.Attacks},
+                           {"cum_queries", Cumulative}});
   logInfo() << "synthesis done: avgQ=" << Eval.AvgQueries << " over "
             << Eval.Successes << "/" << Eval.Attacks
             << " train images, total synthesis queries=" << Cumulative;

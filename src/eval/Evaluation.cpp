@@ -7,15 +7,37 @@
 #include "eval/Evaluation.h"
 
 #include "attacks/SketchAttack.h"
+#include "support/Trace.h"
 
 using namespace oppsla;
+
+namespace {
+
+/// Publishes the loop index as the ambient trace image id for the
+/// duration of a set sweep; restores the previous id on exit so nested
+/// sweeps (e.g. synthesis inside eval) stay consistent.
+class TraceImageScope {
+public:
+  TraceImageScope() : Saved(telemetry::traceImage()) {}
+  ~TraceImageScope() { telemetry::setTraceImage(Saved); }
+  void set(size_t I) {
+    telemetry::setTraceImage(static_cast<int64_t>(I));
+  }
+
+private:
+  int64_t Saved;
+};
+
+} // namespace
 
 std::vector<AttackRunLog> oppsla::runAttackOverSet(Attack &A, Classifier &N,
                                                    const Dataset &TestSet,
                                                    uint64_t Budget) {
   std::vector<AttackRunLog> Logs;
   Logs.reserve(TestSet.size());
+  TraceImageScope Scope;
   for (size_t I = 0; I != TestSet.size(); ++I) {
+    Scope.set(I);
     const AttackResult R =
         A.attack(N, TestSet.Images[I], TestSet.Labels[I], Budget);
     AttackRunLog Log;
@@ -33,7 +55,9 @@ std::vector<AttackRunLog> oppsla::runProgramsOverSet(
     const Dataset &TestSet, uint64_t Budget) {
   std::vector<AttackRunLog> Logs;
   Logs.reserve(TestSet.size());
+  TraceImageScope Scope;
   for (size_t I = 0; I != TestSet.size(); ++I) {
+    Scope.set(I);
     const size_t Label = TestSet.Labels[I];
     assert(Label < Programs.size() && "no program for this class");
     SketchAttack A(Programs[Label]);

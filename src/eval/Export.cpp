@@ -6,11 +6,21 @@
 
 #include "eval/Export.h"
 
+#include "support/Trace.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <set>
 
 using namespace oppsla;
+
+namespace {
+
+const char *outcomeName(const AttackRunLog &Log) {
+  return Log.Discarded ? "discarded" : Log.Success ? "success" : "failure";
+}
+
+} // namespace
 
 bool oppsla::exportRunLogsCsv(const std::vector<AttackRunLog> &Logs,
                               const std::string &Path) {
@@ -18,13 +28,9 @@ bool oppsla::exportRunLogsCsv(const std::vector<AttackRunLog> &Logs,
   if (!F)
     return false;
   std::fputs("label,outcome,queries\n", F);
-  for (const AttackRunLog &Log : Logs) {
-    const char *Outcome = Log.Discarded  ? "discarded"
-                          : Log.Success ? "success"
-                                        : "failure";
-    std::fprintf(F, "%zu,%s,%llu\n", Log.Label, Outcome,
+  for (const AttackRunLog &Log : Logs)
+    std::fprintf(F, "%zu,%s,%llu\n", Log.Label, outcomeName(Log),
                  static_cast<unsigned long long>(Log.Queries));
-  }
   std::fclose(F);
   return true;
 }
@@ -49,6 +55,47 @@ bool oppsla::exportSuccessCurveCsv(const std::vector<AttackRunLog> &Logs,
   for (uint64_t B : Budgets)
     std::fprintf(F, "%llu,%.6f\n", static_cast<unsigned long long>(B),
                  successRateAt(Logs, B));
+  std::fclose(F);
+  return true;
+}
+
+bool oppsla::exportRunLogsJsonl(const std::vector<AttackRunLog> &Logs,
+                                const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  for (size_t I = 0; I != Logs.size(); ++I) {
+    const AttackRunLog &Log = Logs[I];
+    std::fprintf(F,
+                 "{\"image\":%zu,\"label\":%zu,\"outcome\":\"%s\","
+                 "\"queries\":%llu}\n",
+                 I, Log.Label, outcomeName(Log),
+                 static_cast<unsigned long long>(Log.Queries));
+  }
+  std::fclose(F);
+  return true;
+}
+
+bool oppsla::exportSynthesisTraceJsonl(
+    const std::vector<SynthesisStep> &Steps, const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  for (const SynthesisStep &Step : Steps) {
+    std::string Line = "{\"iter\":";
+    Line += std::to_string(Step.Iteration);
+    Line += ",\"accepted\":";
+    Line += Step.Accepted ? "true" : "false";
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), ",\"avg_queries\":%.9g", Step.AvgQueries);
+    Line += Buf;
+    Line += ",\"cum_queries\":";
+    Line += std::to_string(Step.CumulativeQueries);
+    Line += ",\"program\":\"";
+    telemetry::appendJsonEscaped(Line, Step.Current.str());
+    Line += "\"}\n";
+    std::fwrite(Line.data(), 1, Line.size(), F);
+  }
   std::fclose(F);
   return true;
 }

@@ -5,15 +5,18 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// CSV writers for the evaluation artifacts, so the bench output can be
-/// re-plotted outside this repository (the paper's figures are line/bar
-/// plots over exactly these series).
+/// CSV and JSONL writers for the evaluation artifacts, so the bench
+/// output can be re-plotted outside this repository (the paper's figures
+/// are line/bar plots over exactly these series). The JSONL writers use
+/// the same record shapes as the telemetry trace events, so offline
+/// tooling handles live traces and exported artifacts identically.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef OPPSLA_EVAL_EXPORT_H
 #define OPPSLA_EVAL_EXPORT_H
 
+#include "core/Synthesizer.h"
 #include "eval/Evaluation.h"
 
 #include <string>
@@ -30,6 +33,18 @@ bool exportRunLogsCsv(const std::vector<AttackRunLog> &Logs,
 /// one row per budget. \returns true on success.
 bool exportSuccessCurveCsv(const std::vector<AttackRunLog> &Logs,
                            uint64_t MaxBudget, const std::string &Path);
+
+/// Writes one JSON object per attacked image:
+/// {"image":i,"label":l,"outcome":"...","queries":q}. \returns true on
+/// success.
+bool exportRunLogsJsonl(const std::vector<AttackRunLog> &Logs,
+                        const std::string &Path);
+
+/// Writes one JSON object per synthesis iteration (the raw series behind
+/// Figure 4): {"iter":i,"accepted":b,"avg_queries":a,"cum_queries":q,
+/// "program":"..."}. \returns true on success.
+bool exportSynthesisTraceJsonl(const std::vector<SynthesisStep> &Steps,
+                               const std::string &Path);
 
 } // namespace oppsla
 

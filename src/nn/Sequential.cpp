@@ -6,9 +6,49 @@
 
 #include "nn/Sequential.h"
 
+#include "support/Metrics.h"
+
+#include <chrono>
+#include <cstdio>
+
 using namespace oppsla;
 
+namespace {
+
+/// Blocks nest Sequentials inside Sequentials; only the outermost forward
+/// is instrumented so per-layer times partition the total instead of
+/// double-counting nested spans.
+thread_local int ForwardDepth = 0;
+
+/// `nn.forward.<ii>.<layer>` counter pair (zero-padded index so the
+/// registry's lexicographic order is layer order).
+void recordLayerTime(size_t Index, const std::string &LayerName,
+                     uint64_t Us) {
+  char Key[160];
+  std::snprintf(Key, sizeof(Key), "nn.forward.%02zu.%s", Index,
+                LayerName.c_str());
+  telemetry::counter(std::string(Key) + ".us").inc(Us);
+  telemetry::counter(std::string(Key) + ".calls").inc();
+}
+
+} // namespace
+
 Tensor Sequential::forward(const Tensor &In, bool Train) {
+  if (telemetry::layerTimingEnabled() && ForwardDepth == 0) {
+    ++ForwardDepth;
+    Tensor X = In;
+    for (size_t I = 0; I != Layers.size(); ++I) {
+      const auto T0 = std::chrono::steady_clock::now();
+      X = Layers[I]->forward(X, Train);
+      const auto Us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - T0)
+              .count();
+      recordLayerTime(I, Layers[I]->name(), static_cast<uint64_t>(Us));
+    }
+    --ForwardDepth;
+    return X;
+  }
   Tensor X = In;
   for (LayerPtr &L : Layers)
     X = L->forward(X, Train);

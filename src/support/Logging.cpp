@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 using namespace oppsla;
 
@@ -22,8 +23,16 @@ LogLevel parseEnvLevel() {
     return LogLevel::Error;
   if (!std::strcmp(Env, "warn"))
     return LogLevel::Warn;
+  if (!std::strcmp(Env, "info"))
+    return LogLevel::Info;
   if (!std::strcmp(Env, "debug"))
     return LogLevel::Debug;
+  // Unrecognized values used to be silently treated as Info; warn once so
+  // typos like OPPSLA_LOG=Debug don't go unnoticed.
+  std::fprintf(stderr,
+               "[oppsla:warn] unrecognized OPPSLA_LOG value '%s' "
+               "(expected error|warn|info|debug); using info\n",
+               Env);
   return LogLevel::Info;
 }
 
@@ -55,5 +64,16 @@ void oppsla::setLogLevel(LogLevel Level) { currentLevel() = Level; }
 void oppsla::logLine(LogLevel Level, const std::string &Message) {
   if (static_cast<int>(Level) > static_cast<int>(currentLevel()))
     return;
-  std::fprintf(stderr, "[oppsla:%s] %s\n", levelTag(Level), Message.c_str());
+  // Compose the full line, then emit it with a single fwrite under a
+  // mutex so concurrent callers never interleave fragments.
+  std::string Line;
+  Line.reserve(Message.size() + 16);
+  Line += "[oppsla:";
+  Line += levelTag(Level);
+  Line += "] ";
+  Line += Message;
+  Line += '\n';
+  static std::mutex Mu;
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::fwrite(Line.data(), 1, Line.size(), stderr);
 }

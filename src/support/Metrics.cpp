@@ -1,0 +1,352 @@
+//===- support/Metrics.cpp - Process-wide metrics registry -------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include "support/ArgParse.h"
+#include "support/Logging.h"
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+using namespace oppsla;
+using namespace oppsla::telemetry;
+
+namespace {
+
+/// fetch_add for atomic<double> via CAS (atomic<double>::fetch_add is
+/// C++20 but not universally lock-free-optimized; this is portable).
+void atomicAdd(std::atomic<double> &A, double Delta) {
+  double Cur = A.load(std::memory_order_relaxed);
+  while (!A.compare_exchange_weak(Cur, Cur + Delta,
+                                  std::memory_order_relaxed))
+    ;
+}
+
+void appendDouble(std::string &Out, double V) {
+  if (!std::isfinite(V)) {
+    Out += "null";
+    return;
+  }
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+  Out += Buf;
+}
+
+void appendUInt(std::string &Out, uint64_t V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64, V);
+  Out += Buf;
+}
+
+std::atomic<bool> LayerTimingFlag{false};
+
+/// Path for the deferred --metrics-out snapshot (finalizeTelemetry()).
+std::string &pendingMetricsPath() {
+  static std::string Path;
+  return Path;
+}
+
+} // namespace
+
+Histogram::Histogram(std::vector<double> UpperBounds)
+    : Bounds(std::move(UpperBounds)),
+      Buckets(new std::atomic<uint64_t>[Bounds.size() + 1]) {
+  assert(!Bounds.empty() && "histogram needs at least one bound");
+  assert(std::is_sorted(Bounds.begin(), Bounds.end()) &&
+         std::adjacent_find(Bounds.begin(), Bounds.end()) == Bounds.end() &&
+         "bounds must be strictly increasing");
+  for (size_t I = 0; I != Bounds.size() + 1; ++I)
+    Buckets[I].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double X) {
+  const auto It = std::lower_bound(Bounds.begin(), Bounds.end(), X);
+  const size_t Idx = static_cast<size_t>(It - Bounds.begin());
+  Buckets[Idx].fetch_add(1, std::memory_order_relaxed);
+  N.fetch_add(1, std::memory_order_relaxed);
+  atomicAdd(Sum, X);
+}
+
+double Histogram::mean() const {
+  const uint64_t C = count();
+  return C == 0 ? 0.0 : sum() / static_cast<double>(C);
+}
+
+uint64_t Histogram::bucketCount(size_t I) const {
+  assert(I < numBuckets() && "bucket index out of range");
+  return Buckets[I].load(std::memory_order_relaxed);
+}
+
+std::vector<double> oppsla::telemetry::exponentialBuckets(double Start,
+                                                          double Factor,
+                                                          size_t Count) {
+  assert(Start > 0.0 && Factor > 1.0 && Count > 0 && "degenerate buckets");
+  std::vector<double> Bounds;
+  Bounds.reserve(Count);
+  double B = Start;
+  for (size_t I = 0; I != Count; ++I, B *= Factor)
+    Bounds.push_back(B);
+  return Bounds;
+}
+
+MetricsRegistry &MetricsRegistry::instance() {
+  static MetricsRegistry R;
+  return R;
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto &Slot = Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<Counter>();
+  return *Slot;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto &Slot = Gauges[Name];
+  if (!Slot)
+    Slot = std::make_unique<Gauge>();
+  return *Slot;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name,
+                                      std::vector<double> UpperBounds) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto &Slot = Histograms[Name];
+  if (!Slot)
+    Slot = std::make_unique<Histogram>(std::move(UpperBounds));
+  return *Slot;
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+MetricsRegistry::counterValues() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<std::pair<std::string, uint64_t>> Out;
+  Out.reserve(Counters.size());
+  for (const auto &[Name, C] : Counters)
+    Out.emplace_back(Name, C->value());
+  return Out;
+}
+
+std::string MetricsRegistry::snapshotJson() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::string Out;
+  Out += "{\"counters\":{";
+  bool First = true;
+  for (const auto &[Name, C] : Counters) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '"';
+    appendJsonEscaped(Out, Name);
+    Out += "\":";
+    appendUInt(Out, C->value());
+  }
+  Out += "},\"gauges\":{";
+  First = true;
+  for (const auto &[Name, G] : Gauges) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '"';
+    appendJsonEscaped(Out, Name);
+    Out += "\":";
+    appendDouble(Out, G->value());
+  }
+  Out += "},\"histograms\":{";
+  First = true;
+  for (const auto &[Name, H] : Histograms) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '"';
+    appendJsonEscaped(Out, Name);
+    Out += "\":{\"count\":";
+    appendUInt(Out, H->count());
+    Out += ",\"sum\":";
+    appendDouble(Out, H->sum());
+    Out += ",\"mean\":";
+    appendDouble(Out, H->mean());
+    Out += ",\"buckets\":[";
+    for (size_t I = 0; I != H->numBuckets(); ++I) {
+      if (I)
+        Out += ',';
+      Out += "{\"le\":";
+      if (I < H->upperBounds().size())
+        appendDouble(Out, H->upperBounds()[I]);
+      else
+        Out += "\"inf\"";
+      Out += ",\"count\":";
+      appendUInt(Out, H->bucketCount(I));
+      Out += '}';
+    }
+    Out += "]}";
+  }
+  Out += "}}";
+  return Out;
+}
+
+std::string MetricsRegistry::textReport() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::ostringstream Out;
+  for (const auto &[Name, C] : Counters)
+    Out << Name << " = " << C->value() << "\n";
+  for (const auto &[Name, G] : Gauges)
+    Out << Name << " = " << G->value() << "\n";
+  for (const auto &[Name, H] : Histograms) {
+    Out << Name << ": count=" << H->count() << " mean=" << H->mean()
+        << " buckets[";
+    for (size_t I = 0; I != H->numBuckets(); ++I) {
+      if (I)
+        Out << ' ';
+      if (I < H->upperBounds().size())
+        Out << "le" << H->upperBounds()[I];
+      else
+        Out << "inf";
+      Out << ':' << H->bucketCount(I);
+    }
+    Out << "]\n";
+  }
+  return Out.str();
+}
+
+bool MetricsRegistry::empty() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Counters.empty() && Gauges.empty() && Histograms.empty();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Counters.clear();
+  Gauges.clear();
+  Histograms.clear();
+}
+
+Counter &oppsla::telemetry::counter(const std::string &Name) {
+  return MetricsRegistry::instance().counter(Name);
+}
+
+Gauge &oppsla::telemetry::gauge(const std::string &Name) {
+  return MetricsRegistry::instance().gauge(Name);
+}
+
+Histogram &oppsla::telemetry::histogram(const std::string &Name,
+                                        std::vector<double> UpperBounds) {
+  return MetricsRegistry::instance().histogram(Name, std::move(UpperBounds));
+}
+
+std::string oppsla::telemetry::snapshotMetricsJson() {
+  return MetricsRegistry::instance().snapshotJson();
+}
+
+std::string oppsla::telemetry::metricsTextReport() {
+  return MetricsRegistry::instance().textReport();
+}
+
+bool oppsla::telemetry::writeMetricsJson(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  const std::string Json = snapshotMetricsJson();
+  const size_t Written = std::fwrite(Json.data(), 1, Json.size(), F);
+  std::fputc('\n', F);
+  const bool Ok = Written == Json.size() && std::fclose(F) == 0;
+  return Ok;
+}
+
+void oppsla::telemetry::setLayerTimingEnabled(bool Enabled) {
+  LayerTimingFlag.store(Enabled, std::memory_order_relaxed);
+}
+
+bool oppsla::telemetry::layerTimingEnabled() {
+  return LayerTimingFlag.load(std::memory_order_relaxed);
+}
+
+std::string oppsla::telemetry::layerTimingReport() {
+  // Collect the nn.forward.<i>.<layer>.{us,calls} counter pairs out of the
+  // snapshot-ordered map; report in layer order with share of total.
+  struct Row {
+    std::string Layer;
+    uint64_t Us = 0;
+    uint64_t Calls = 0;
+  };
+  std::map<std::string, Row> Rows;
+  const std::string Prefix = "nn.forward.";
+  for (const auto &[Name, Value] :
+       MetricsRegistry::instance().counterValues()) {
+    if (Name.compare(0, Prefix.size(), Prefix) != 0)
+      continue;
+    const bool IsUs = Name.ends_with(".us");
+    const bool IsCalls = Name.ends_with(".calls");
+    if (!IsUs && !IsCalls)
+      continue;
+    const std::string Base = Name.substr(
+        Prefix.size(), Name.size() - Prefix.size() - (IsUs ? 3 : 6));
+    Row &R = Rows[Base];
+    R.Layer = Base;
+    if (IsUs)
+      R.Us = Value;
+    else
+      R.Calls = Value;
+  }
+  if (Rows.empty())
+    return "";
+  uint64_t TotalUs = 0;
+  for (const auto &[_, R] : Rows)
+    TotalUs += R.Us;
+  std::ostringstream Out;
+  Out << "per-layer forward time:\n";
+  for (const auto &[_, R] : Rows) {
+    const double AvgUs =
+        R.Calls ? static_cast<double>(R.Us) / static_cast<double>(R.Calls)
+                : 0.0;
+    const double Share =
+        TotalUs ? 100.0 * static_cast<double>(R.Us) /
+                      static_cast<double>(TotalUs)
+                : 0.0;
+    char Buf[160];
+    std::snprintf(Buf, sizeof(Buf),
+                  "  %-28s calls=%-8" PRIu64 " total=%8.3f ms  avg=%9.1f us"
+                  "  %5.1f%%\n",
+                  R.Layer.c_str(), R.Calls,
+                  static_cast<double>(R.Us) / 1000.0, AvgUs, Share);
+    Out << Buf;
+  }
+  return Out.str();
+}
+
+bool oppsla::telemetry::configureFromArgs(const ArgParse &Args) {
+  const std::string TraceOut = Args.get("trace-out", "");
+  if (!TraceOut.empty() && !TraceWriter::instance().open(TraceOut)) {
+    logError() << "cannot open --trace-out " << TraceOut;
+    return false;
+  }
+  const std::string MetricsOut = Args.get("metrics-out", "");
+  pendingMetricsPath() = MetricsOut;
+  if (!MetricsOut.empty() || Args.getFlag("layer-timing"))
+    setLayerTimingEnabled(true);
+  return true;
+}
+
+bool oppsla::telemetry::finalizeTelemetry() {
+  TraceWriter::instance().close();
+  const std::string Path = pendingMetricsPath();
+  pendingMetricsPath().clear();
+  if (Path.empty())
+    return true;
+  if (!writeMetricsJson(Path)) {
+    logError() << "cannot write --metrics-out " << Path;
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,177 @@
+//===- support/Trace.cpp - Structured JSONL event traces ---------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+using namespace oppsla;
+using namespace oppsla::telemetry;
+
+namespace {
+
+uint64_t monotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Appends a double as JSON: finite values as shortest-ish decimal, non-
+/// finite (not representable in JSON) as null.
+void appendJsonDouble(std::string &Out, double V) {
+  if (!std::isfinite(V)) {
+    Out += "null";
+    return;
+  }
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+  Out += Buf;
+}
+
+std::atomic<int64_t> CurrentImage{-1};
+
+} // namespace
+
+void oppsla::telemetry::appendJsonEscaped(std::string &Out,
+                                          std::string_view S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+void TraceField::appendTo(std::string &Out) const {
+  Out += '"';
+  appendJsonEscaped(Out, Key);
+  Out += "\":";
+  char Buf[32];
+  switch (K) {
+  case Kind::Str:
+    Out += '"';
+    appendJsonEscaped(Out, Str);
+    Out += '"';
+    break;
+  case Kind::Bool:
+    Out += B ? "true" : "false";
+    break;
+  case Kind::Double:
+    appendJsonDouble(Out, D);
+    break;
+  case Kind::UInt:
+    std::snprintf(Buf, sizeof(Buf), "%" PRIu64, U);
+    Out += Buf;
+    break;
+  case Kind::Int:
+    std::snprintf(Buf, sizeof(Buf), "%" PRId64, I);
+    Out += Buf;
+    break;
+  }
+}
+
+std::atomic<bool> TraceWriter::EnabledFlag{false};
+
+TraceWriter &TraceWriter::instance() {
+  static TraceWriter W;
+  return W;
+}
+
+TraceWriter::~TraceWriter() { close(); }
+
+bool TraceWriter::open(const std::string &Path) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (File) {
+    std::fclose(File);
+    File = nullptr;
+    EnabledFlag.store(false, std::memory_order_relaxed);
+  }
+  File = std::fopen(Path.c_str(), "w");
+  if (!File)
+    return false;
+  StartNs = monotonicNowNs();
+  Events.store(0, std::memory_order_relaxed);
+  EnabledFlag.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void TraceWriter::close() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  EnabledFlag.store(false, std::memory_order_relaxed);
+  if (File) {
+    std::fflush(File);
+    std::fclose(File);
+    File = nullptr;
+  }
+}
+
+void TraceWriter::event(const char *Type,
+                        std::initializer_list<TraceField> Fields) {
+  if (!enabled())
+    return;
+  // Compose the whole line outside the lock; one fwrite under it so
+  // concurrent events never interleave.
+  const uint64_t TsUs = (monotonicNowNs() - StartNs) / 1000;
+  std::string Line;
+  Line.reserve(96);
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64, TsUs);
+  Line += "{\"ts_us\":";
+  Line += Buf;
+  Line += ",\"type\":\"";
+  appendJsonEscaped(Line, Type);
+  Line += '"';
+  for (const TraceField &F : Fields) {
+    Line += ',';
+    F.appendTo(Line);
+  }
+  Line += "}\n";
+
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (!File)
+    return; // closed between the check and the lock
+  std::fwrite(Line.data(), 1, Line.size(), File);
+  Events.fetch_add(1, std::memory_order_relaxed);
+}
+
+void oppsla::telemetry::traceEvent(const char *Type,
+                                   std::initializer_list<TraceField> Fields) {
+  TraceWriter::instance().event(Type, Fields);
+}
+
+void oppsla::telemetry::setTraceImage(int64_t ImageId) {
+  CurrentImage.store(ImageId, std::memory_order_relaxed);
+}
+
+int64_t oppsla::telemetry::traceImage() {
+  return CurrentImage.load(std::memory_order_relaxed);
+}

@@ -1,0 +1,125 @@
+//===- support/Trace.h - Structured JSONL event traces ---------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A low-overhead structured event trace: one JSON object per line
+/// (JSONL), written through a process-wide TraceWriter. Events carry a
+/// monotonic timestamp (microseconds since the trace was opened), a type
+/// tag, and arbitrary typed fields.
+///
+/// Query-level attack telemetry is the paper's raw data (queries to the
+/// classifier are the central metric), so the hot-path cost when tracing
+/// is *disabled* must be a single relaxed atomic load. Callers on hot
+/// paths therefore guard field construction:
+///
+///   if (telemetry::traceEnabled())
+///     telemetry::traceEvent("query", {{"idx", Count}, {"margin", M}});
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_SUPPORT_TRACE_H
+#define OPPSLA_SUPPORT_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace oppsla {
+namespace telemetry {
+
+/// Appends \p S to \p Out with JSON string escaping (quotes, backslashes,
+/// control characters); does not add surrounding quotes.
+void appendJsonEscaped(std::string &Out, std::string_view S);
+
+/// One typed key/value field of a trace event.
+class TraceField {
+public:
+  TraceField(const char *Key, const char *V)
+      : Key(Key), K(Kind::Str), Str(V) {}
+  TraceField(const char *Key, const std::string &V)
+      : Key(Key), K(Kind::Str), Str(V) {}
+  TraceField(const char *Key, bool V) : Key(Key), K(Kind::Bool), B(V) {}
+  TraceField(const char *Key, double V) : Key(Key), K(Kind::Double), D(V) {}
+  TraceField(const char *Key, uint64_t V) : Key(Key), K(Kind::UInt), U(V) {}
+  TraceField(const char *Key, int64_t V) : Key(Key), K(Kind::Int), I(V) {}
+  TraceField(const char *Key, int V)
+      : Key(Key), K(Kind::Int), I(static_cast<int64_t>(V)) {}
+
+  /// Appends `"key":value` to \p Out.
+  void appendTo(std::string &Out) const;
+
+private:
+  enum class Kind { Str, Bool, Double, UInt, Int };
+  const char *Key;
+  Kind K;
+  std::string Str;
+  bool B = false;
+  double D = 0.0;
+  uint64_t U = 0;
+  int64_t I = 0;
+};
+
+/// Process-wide JSONL event sink. Disabled (no-op) until open() succeeds.
+class TraceWriter {
+public:
+  static TraceWriter &instance();
+
+  /// Opens (truncates) \p Path and enables tracing. \returns false and
+  /// leaves tracing disabled if the file cannot be created.
+  bool open(const std::string &Path);
+
+  /// Flushes and closes the sink; tracing becomes disabled again.
+  void close();
+
+  /// The no-op fast path: one relaxed atomic load.
+  static bool enabled() {
+    return EnabledFlag.load(std::memory_order_relaxed);
+  }
+
+  /// Emits one event line `{"ts_us":...,"type":...,<fields>}`. No-op when
+  /// disabled. Safe for concurrent callers (one line per call, never
+  /// interleaved).
+  void event(const char *Type, std::initializer_list<TraceField> Fields);
+
+  /// Number of events written since the last open().
+  uint64_t eventsWritten() const {
+    return Events.load(std::memory_order_relaxed);
+  }
+
+  TraceWriter(const TraceWriter &) = delete;
+  TraceWriter &operator=(const TraceWriter &) = delete;
+
+private:
+  TraceWriter() = default;
+  ~TraceWriter();
+
+  static std::atomic<bool> EnabledFlag;
+  std::mutex Mu;
+  std::FILE *File = nullptr;
+  std::atomic<uint64_t> Events{0};
+  uint64_t StartNs = 0;
+};
+
+/// True when the process-wide trace sink is open.
+inline bool traceEnabled() { return TraceWriter::enabled(); }
+
+/// Convenience forwarder to TraceWriter::instance().event().
+void traceEvent(const char *Type, std::initializer_list<TraceField> Fields);
+
+/// Ambient trace context: the index of the image currently under attack,
+/// stamped onto query and attack-span events by the emitters so individual
+/// attacks/queries can be grouped offline. -1 when unset.
+void setTraceImage(int64_t ImageId);
+int64_t traceImage();
+
+} // namespace telemetry
+} // namespace oppsla
+
+#endif // OPPSLA_SUPPORT_TRACE_H

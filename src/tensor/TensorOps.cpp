@@ -93,7 +93,7 @@ void oppsla::im2col(const Tensor &Input, size_t KH, size_t KW, size_t Stride,
   const size_t H = Input.dim(2), W = Input.dim(3);
   const size_t OH = convOutSize(H, KH, Stride, Pad);
   const size_t OW = convOutSize(W, KW, Stride, Pad);
-  const size_t Rows = C * KH * KW;
+  [[maybe_unused]] const size_t Rows = C * KH * KW;
   const size_t ColsN = N * OH * OW;
   assert(Cols.rank() == 2 && Cols.dim(0) == Rows && Cols.dim(1) == ColsN &&
          "im2col output shape");
@@ -136,7 +136,7 @@ void oppsla::col2im(const Tensor &Cols, size_t N, size_t C, size_t H,
                     Tensor &Output) {
   const size_t OH = convOutSize(H, KH, Stride, Pad);
   const size_t OW = convOutSize(W, KW, Stride, Pad);
-  const size_t Rows = C * KH * KW;
+  [[maybe_unused]] const size_t Rows = C * KH * KW;
   const size_t ColsN = N * OH * OW;
   assert(Cols.rank() == 2 && Cols.dim(0) == Rows && Cols.dim(1) == ColsN &&
          "col2im input shape");

@@ -1,0 +1,231 @@
+//===- tests/JsonTestUtil.h - Minimal JSON validation for tests -*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny recursive-descent JSON parser used by the tests to validate that
+/// telemetry/export output (JSONL traces, metrics snapshots) really is
+/// well-formed JSON, and to pull top-level fields out of one-line event
+/// objects. Deliberately minimal — validation plus flat field extraction,
+/// not a DOM.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_TESTS_JSONTESTUTIL_H
+#define OPPSLA_TESTS_JSONTESTUTIL_H
+
+#include <cctype>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace oppsla::test {
+
+/// Validates a complete JSON value; optionally captures the top-level
+/// object's fields (string values decoded, everything else as raw text).
+class JsonParser {
+public:
+  explicit JsonParser(std::string_view S) : S(S) {}
+
+  /// True iff the whole input is exactly one valid JSON value.
+  bool valid() {
+    Pos = 0;
+    skipWs();
+    if (!value(nullptr))
+      return false;
+    skipWs();
+    return Pos == S.size();
+  }
+
+  /// Parses the input as a JSON object and fills \p Fields with its
+  /// top-level key/value pairs. String values are unescaped; numbers,
+  /// booleans, null, and nested containers keep their raw JSON text.
+  bool topLevelFields(std::map<std::string, std::string> &Fields) {
+    Pos = 0;
+    skipWs();
+    if (!object(&Fields))
+      return false;
+    skipWs();
+    return Pos == S.size();
+  }
+
+private:
+  void skipWs() {
+    while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view Word) {
+    if (S.substr(Pos, Word.size()) != Word)
+      return false;
+    Pos += Word.size();
+    return true;
+  }
+
+  bool string(std::string *Out) {
+    if (!consume('"'))
+      return false;
+    while (Pos < S.size()) {
+      const char C = S[Pos++];
+      if (C == '"')
+        return true;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return false; // control characters must be escaped
+      if (C != '\\') {
+        if (Out)
+          Out->push_back(C);
+        continue;
+      }
+      if (Pos == S.size())
+        return false;
+      const char E = S[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        if (Out)
+          Out->push_back(E);
+        break;
+      case 'n':
+        if (Out)
+          Out->push_back('\n');
+        break;
+      case 't':
+        if (Out)
+          Out->push_back('\t');
+        break;
+      case 'r':
+        if (Out)
+          Out->push_back('\r');
+        break;
+      case 'b':
+        if (Out)
+          Out->push_back('\b');
+        break;
+      case 'f':
+        if (Out)
+          Out->push_back('\f');
+        break;
+      case 'u': {
+        unsigned V = 0;
+        for (int I = 0; I != 4; ++I) {
+          if (Pos == S.size() ||
+              !std::isxdigit(static_cast<unsigned char>(S[Pos])))
+            return false;
+          const char H = S[Pos++];
+          V = V * 16 + static_cast<unsigned>(
+                           H <= '9' ? H - '0' : (H | 0x20) - 'a' + 10);
+        }
+        // The telemetry writer only emits \u00XX for control chars; a
+        // byte-wise append suffices for validation purposes.
+        if (Out)
+          Out->push_back(static_cast<char>(V & 0xFF));
+        break;
+      }
+      default:
+        return false;
+      }
+    }
+    return false; // unterminated
+  }
+
+  bool number() {
+    const size_t Start = Pos;
+    (void)consume('-');
+    if (literal("Infinity") || literal("NaN"))
+      return false; // not JSON
+    while (Pos < S.size() &&
+           (std::isdigit(static_cast<unsigned char>(S[Pos])) ||
+            S[Pos] == '.' || S[Pos] == 'e' || S[Pos] == 'E' ||
+            S[Pos] == '+' || S[Pos] == '-'))
+      ++Pos;
+    return Pos > Start && S[Start] != '.' &&
+           std::isdigit(static_cast<unsigned char>(
+               S[Pos - 1])); // must end in a digit
+  }
+
+  bool array() {
+    if (!consume('['))
+      return false;
+    skipWs();
+    if (consume(']'))
+      return true;
+    do {
+      skipWs();
+      if (!value(nullptr))
+        return false;
+      skipWs();
+    } while (consume(','));
+    return consume(']');
+  }
+
+  bool object(std::map<std::string, std::string> *Fields) {
+    if (!consume('{'))
+      return false;
+    skipWs();
+    if (consume('}'))
+      return true;
+    do {
+      skipWs();
+      std::string Key;
+      if (!string(&Key))
+        return false;
+      skipWs();
+      if (!consume(':'))
+        return false;
+      skipWs();
+      std::string Val;
+      if (!value(Fields ? &Val : nullptr))
+        return false;
+      if (Fields)
+        (*Fields)[Key] = Val;
+      skipWs();
+    } while (consume(','));
+    return consume('}');
+  }
+
+  /// Parses any value; when \p Raw is non-null, string values are decoded
+  /// into it and all other kinds copy their source text verbatim.
+  bool value(std::string *Raw) {
+    const size_t Start = Pos;
+    bool Ok;
+    if (Pos < S.size() && S[Pos] == '"')
+      return string(Raw);
+    if (Pos < S.size() && S[Pos] == '{')
+      Ok = object(nullptr);
+    else if (Pos < S.size() && S[Pos] == '[')
+      Ok = array();
+    else if (literal("true") || literal("false") || literal("null"))
+      Ok = true;
+    else
+      Ok = number();
+    if (Ok && Raw)
+      *Raw = std::string(S.substr(Start, Pos - Start));
+    return Ok;
+  }
+
+  std::string_view S;
+  size_t Pos = 0;
+};
+
+/// One-shot helpers.
+inline bool isValidJson(std::string_view S) { return JsonParser(S).valid(); }
+
+inline bool parseJsonObject(std::string_view S,
+                            std::map<std::string, std::string> &Fields) {
+  return JsonParser(S).topLevelFields(Fields);
+}
+
+} // namespace oppsla::test
+
+#endif // OPPSLA_TESTS_JSONTESTUTIL_H

@@ -8,10 +8,17 @@
 #include "attacks/SketchAttack.h"
 #include "attacks/SparseRS.h"
 #include "attacks/SuOPA.h"
+#include "support/Trace.h"
 
+#include "../JsonTestUtil.h"
 #include "../TestUtil.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
 
 using namespace oppsla;
 using namespace oppsla::test;
@@ -223,3 +230,50 @@ TEST_P(AttackBudgetSweep, NoAttackEverExceedsItsBudget) {
 
 INSTANTIATE_TEST_SUITE_P(Budgets, AttackBudgetSweep,
                          ::testing::Values(1, 2, 10, 100, 400));
+
+//===----------------------------------------------------------------------===//
+// Telemetry: every Attack::attack() call is wrapped in a trace span
+//===----------------------------------------------------------------------===//
+
+TEST(AttackTelemetry, EmitsOneSpanPerAttack) {
+  const std::string Path =
+      (std::filesystem::temp_directory_path() / "oppsla_attack_span.jsonl")
+          .string();
+  ASSERT_TRUE(telemetry::TraceWriter::instance().open(Path));
+
+  SparseRS Rs;
+  SketchAttack Sk(allFalseProgram());
+  for (Attack *A :
+       {static_cast<Attack *>(&Rs), static_cast<Attack *>(&Sk)}) {
+    FakeClassifier N = robustClassifier();
+    A->attack(N, midGray(4), 0, 16);
+  }
+  telemetry::TraceWriter::instance().close();
+
+  std::ifstream In(Path);
+  std::string Line;
+  size_t Begins = 0, Ends = 0, Queries = 0;
+  std::vector<std::map<std::string, std::string>> EndEvents;
+  while (std::getline(In, Line)) {
+    std::map<std::string, std::string> F;
+    ASSERT_TRUE(oppsla::test::parseJsonObject(Line, F)) << Line;
+    if (F["type"] == "attack_begin")
+      ++Begins;
+    else if (F["type"] == "attack_end") {
+      ++Ends;
+      EndEvents.push_back(std::move(F));
+    } else if (F["type"] == "query")
+      ++Queries;
+  }
+  EXPECT_EQ(Begins, 2u);
+  ASSERT_EQ(Ends, 2u);
+  EXPECT_GT(Queries, 0u) << "per-query events appear inside the spans";
+  for (const auto &E : EndEvents) {
+    EXPECT_EQ(E.at("outcome"), "failure");
+    const uint64_t Q = std::stoull(E.at("queries"));
+    EXPECT_GT(Q, 0u);
+    EXPECT_LE(Q, 16u) << "span query count respects the budget";
+    EXPECT_TRUE(E.count("duration_us"));
+  }
+  std::remove(Path.c_str());
+}

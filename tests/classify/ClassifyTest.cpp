@@ -8,12 +8,18 @@
 #include "classify/QueryCounter.h"
 #include "nn/ModelZoo.h"
 #include "support/Rng.h"
+#include "support/Trace.h"
 
+#include "../JsonTestUtil.h"
 #include "../TestUtil.h"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
 
 using namespace oppsla;
 using namespace oppsla::test;
@@ -114,4 +120,57 @@ TEST(QueryCounter, UnlimitedByDefault) {
   for (int I = 0; I != 1000; ++I)
     EXPECT_FALSE(Q.scores(Img).empty());
   EXPECT_EQ(Q.count(), 1000u);
+}
+
+TEST(QueryCounter, RemainingStaysUnlimited) {
+  FakeClassifier Inner = robustClassifier();
+  QueryCounter Q(Inner, QueryCounter::Unlimited);
+  const Image Img(2, 2);
+  EXPECT_EQ(Q.remaining(), QueryCounter::Unlimited);
+  Q.scores(Img);
+  Q.scores(Img);
+  // Unlimited is a sentinel, not a number: it must not shrink as queries
+  // are spent (Unlimited - 2 would be a bogus, near-Unlimited budget).
+  EXPECT_EQ(Q.remaining(), QueryCounter::Unlimited);
+  EXPECT_FALSE(Q.exhausted());
+  Q.reset(3);
+  EXPECT_EQ(Q.remaining(), 3u);
+  Q.scores(Img);
+  EXPECT_EQ(Q.remaining(), 2u);
+}
+
+TEST(QueryCounter, EmitsPerQueryTraceEvents) {
+  const std::string Path =
+      (std::filesystem::temp_directory_path() / "oppsla_query_trace.jsonl")
+          .string();
+  ASSERT_TRUE(telemetry::TraceWriter::instance().open(Path));
+
+  FakeClassifier Inner(3, [](const Image &) {
+    return std::vector<float>{0.2f, 0.7f, 0.1f};
+  });
+  QueryCounter Q(Inner, 2);
+  Q.setTraceTrueClass(0);
+  telemetry::setTraceImage(5);
+  const Image Img(2, 2);
+  Q.scores(Img);
+  Q.scores(Img);
+  Q.scores(Img); // over budget: no query, no event
+  telemetry::setTraceImage(-1);
+  telemetry::TraceWriter::instance().close();
+
+  std::ifstream In(Path);
+  std::string Line;
+  size_t Events = 0;
+  while (std::getline(In, Line)) {
+    std::map<std::string, std::string> F;
+    ASSERT_TRUE(parseJsonObject(Line, F)) << Line;
+    EXPECT_EQ(F["type"], "query");
+    EXPECT_EQ(F["idx"], std::to_string(++Events));
+    EXPECT_EQ(F["image"], "5");
+    EXPECT_EQ(F["pred"], "1");
+    // Untargeted margin to the declared true class: 0.2 - 0.7.
+    EXPECT_NEAR(std::stod(F["margin"]), -0.5, 1e-6);
+  }
+  EXPECT_EQ(Events, 2u) << "one event per counted query, none over budget";
+  std::remove(Path.c_str());
 }

@@ -1,0 +1,57 @@
+# Runs `oppsla attack` with telemetry enabled and validates the outputs:
+# the JSONL trace must be one well-formed object per line with exactly one
+# attack_end event per attacked image, and the metrics snapshot must carry
+# the queries-per-attack histogram.
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(TRACE ${WORK_DIR}/trace.jsonl)
+set(METRICS ${WORK_DIR}/metrics.json)
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env OPPSLA_CACHE_DIR=${WORK_DIR}/cache
+    ${CLI} attack --scale smoke --images 2 --budget 256
+    --trace-out ${TRACE} --metrics-out ${METRICS}
+  OUTPUT_VARIABLE OUT
+  RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "attack failed with ${RC}: ${OUT}")
+endif()
+
+if(NOT EXISTS ${TRACE})
+  message(FATAL_ERROR "--trace-out produced no file")
+endif()
+file(STRINGS ${TRACE} LINES)
+list(LENGTH LINES NUM_LINES)
+if(NUM_LINES EQUAL 0)
+  message(FATAL_ERROR "trace is empty")
+endif()
+set(NUM_ENDS 0)
+set(NUM_QUERIES 0)
+foreach(LINE IN LISTS LINES)
+  if(NOT LINE MATCHES "^{.*}$")
+    message(FATAL_ERROR "trace line is not a JSON object: ${LINE}")
+  endif()
+  if(NOT LINE MATCHES "\"ts_us\":[0-9]+" OR NOT LINE MATCHES "\"type\":\"")
+    message(FATAL_ERROR "trace line lacks ts_us/type: ${LINE}")
+  endif()
+  if(LINE MATCHES "\"type\":\"attack_end\"")
+    math(EXPR NUM_ENDS "${NUM_ENDS} + 1")
+  elseif(LINE MATCHES "\"type\":\"query\"")
+    math(EXPR NUM_QUERIES "${NUM_QUERIES} + 1")
+  endif()
+endforeach()
+if(NOT NUM_ENDS EQUAL 2)
+  message(FATAL_ERROR "expected 2 attack_end events (one per image), got ${NUM_ENDS}")
+endif()
+if(NUM_QUERIES EQUAL 0)
+  message(FATAL_ERROR "expected per-query events in the trace")
+endif()
+
+if(NOT EXISTS ${METRICS})
+  message(FATAL_ERROR "--metrics-out produced no file")
+endif()
+file(READ ${METRICS} MJSON)
+foreach(NEEDLE "\"counters\"" "\"histograms\"" "attack.queries" "attack.seconds")
+  string(FIND "${MJSON}" "${NEEDLE}" POS)
+  if(POS EQUAL -1)
+    message(FATAL_ERROR "missing '${NEEDLE}' in metrics: ${MJSON}")
+  endif()
+endforeach()

@@ -124,8 +124,9 @@ TEST(Parse, RoundTripsPrinterOutput) {
       EXPECT_EQ(Q.Conds[I].Func, P.Conds[I].Func);
       EXPECT_EQ(Q.Conds[I].Cmp, P.Conds[I].Cmp);
       if (Q.Conds[I].Func != FuncKind::ScoreDiff &&
-          Q.Conds[I].Func != FuncKind::Center)
+          Q.Conds[I].Func != FuncKind::Center) {
         EXPECT_EQ(Q.Conds[I].Source, P.Conds[I].Source);
+      }
       // str() prints with default precision; allow rounding.
       EXPECT_NEAR(Q.Conds[I].Threshold, P.Conds[I].Threshold, 1e-4)
           << P.Conds[I].str();

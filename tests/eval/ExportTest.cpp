@@ -6,14 +6,18 @@
 
 #include "eval/Export.h"
 
+#include "../JsonTestUtil.h"
+
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 using namespace oppsla;
+using namespace oppsla::test;
 
 namespace {
 
@@ -87,5 +91,65 @@ TEST(Export, SuccessCurveIncludesExactSuccessTimes) {
   const std::string Csv = slurp(Path);
   EXPECT_NE(Csv.find("\n10,"), std::string::npos);
   EXPECT_NE(Csv.find("\n300,"), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(Export, RunLogsJsonlParsesBack) {
+  const std::string Path = tempPath("oppsla_runlogs.jsonl");
+  ASSERT_TRUE(exportRunLogsJsonl(sampleLogs(), Path));
+  std::ifstream In(Path);
+  std::string Line;
+  std::vector<std::map<std::string, std::string>> Rows;
+  while (std::getline(In, Line)) {
+    std::map<std::string, std::string> F;
+    ASSERT_TRUE(parseJsonObject(Line, F)) << Line;
+    Rows.push_back(std::move(F));
+  }
+  ASSERT_EQ(Rows.size(), 4u);
+  EXPECT_EQ(Rows[0]["image"], "0");
+  EXPECT_EQ(Rows[0]["label"], "0");
+  EXPECT_EQ(Rows[0]["outcome"], "success");
+  EXPECT_EQ(Rows[0]["queries"], "10");
+  EXPECT_EQ(Rows[1]["outcome"], "failure");
+  EXPECT_EQ(Rows[2]["outcome"], "discarded");
+  EXPECT_EQ(Rows[3]["image"], "3");
+  EXPECT_FALSE(exportRunLogsJsonl(sampleLogs(), "/nonexistent/dir/x.jsonl"));
+  std::remove(Path.c_str());
+}
+
+TEST(Export, SynthesisTraceJsonlParsesBack) {
+  std::vector<SynthesisStep> Steps(2);
+  Steps[0].Iteration = 0;
+  Steps[0].Accepted = true;
+  Steps[0].Current = paperExampleProgram();
+  Steps[0].AvgQueries = 12.5;
+  Steps[0].CumulativeQueries = 100;
+  Steps[1].Iteration = 1;
+  Steps[1].Accepted = false;
+  Steps[1].Current = allFalseProgram();
+  Steps[1].AvgQueries = 9.75;
+  Steps[1].CumulativeQueries = 240;
+
+  const std::string Path = tempPath("oppsla_synth_trace.jsonl");
+  ASSERT_TRUE(exportSynthesisTraceJsonl(Steps, Path));
+  std::ifstream In(Path);
+  std::string Line;
+  std::vector<std::map<std::string, std::string>> Rows;
+  while (std::getline(In, Line)) {
+    std::map<std::string, std::string> F;
+    ASSERT_TRUE(parseJsonObject(Line, F)) << Line;
+    Rows.push_back(std::move(F));
+  }
+  ASSERT_EQ(Rows.size(), 2u);
+  EXPECT_EQ(Rows[0]["iter"], "0");
+  EXPECT_EQ(Rows[0]["accepted"], "true");
+  EXPECT_EQ(Rows[0]["avg_queries"], "12.5");
+  EXPECT_EQ(Rows[0]["cum_queries"], "100");
+  // The program text (it contains newlines) must round-trip through the
+  // JSON escaping.
+  EXPECT_EQ(Rows[0]["program"], paperExampleProgram().str());
+  EXPECT_EQ(Rows[1]["iter"], "1");
+  EXPECT_EQ(Rows[1]["accepted"], "false");
+  EXPECT_EQ(Rows[1]["program"], allFalseProgram().str());
   std::remove(Path.c_str());
 }

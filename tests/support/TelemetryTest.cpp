@@ -1,0 +1,280 @@
+//===- tests/support/TelemetryTest.cpp - Metrics + trace tests ----------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include "../JsonTestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+using namespace oppsla;
+using namespace oppsla::test;
+
+namespace {
+
+std::string tempPath(const char *Name) {
+  return (std::filesystem::temp_directory_path() / Name).string();
+}
+
+std::vector<std::string> readLines(const std::string &Path) {
+  std::ifstream In(Path);
+  std::vector<std::string> Lines;
+  std::string Line;
+  while (std::getline(In, Line))
+    Lines.push_back(Line);
+  return Lines;
+}
+
+/// Closes the process-wide trace sink on scope exit so a failing test
+/// cannot leave tracing enabled for the rest of the suite.
+struct TraceGuard {
+  ~TraceGuard() { telemetry::TraceWriter::instance().close(); }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+TEST(Histogram, BucketBoundariesAreInclusive) {
+  telemetry::Histogram H({1.0, 2.0, 4.0});
+  ASSERT_EQ(H.numBuckets(), 4u) << "three bounds plus overflow";
+  // Bucket i counts X <= UpperBounds[i]; observations on the boundary
+  // belong to the bucket whose bound they equal.
+  H.observe(0.5); // bucket 0
+  H.observe(1.0); // bucket 0 (X <= 1)
+  H.observe(1.5); // bucket 1
+  H.observe(2.0); // bucket 1 (X <= 2)
+  H.observe(4.0); // bucket 2
+  H.observe(5.0); // overflow
+  EXPECT_EQ(H.bucketCount(0), 2u);
+  EXPECT_EQ(H.bucketCount(1), 2u);
+  EXPECT_EQ(H.bucketCount(2), 1u);
+  EXPECT_EQ(H.bucketCount(3), 1u);
+  EXPECT_EQ(H.count(), 6u);
+  EXPECT_NEAR(H.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 5.0, 1e-12);
+  EXPECT_NEAR(H.mean(), H.sum() / 6.0, 1e-12);
+}
+
+TEST(Histogram, EmptyMeanIsZero) {
+  telemetry::Histogram H({1.0});
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.mean(), 0.0);
+}
+
+TEST(Histogram, ExponentialBuckets) {
+  const std::vector<double> B = telemetry::exponentialBuckets(1.0, 2.0, 5);
+  ASSERT_EQ(B.size(), 5u);
+  EXPECT_DOUBLE_EQ(B[0], 1.0);
+  EXPECT_DOUBLE_EQ(B[1], 2.0);
+  EXPECT_DOUBLE_EQ(B[2], 4.0);
+  EXPECT_DOUBLE_EQ(B[3], 8.0);
+  EXPECT_DOUBLE_EQ(B[4], 16.0);
+  for (size_t I = 1; I != B.size(); ++I)
+    EXPECT_GT(B[I], B[I - 1]) << "bounds must be strictly increasing";
+}
+
+TEST(Histogram, ConcurrentObserveLosesNoSamples) {
+  telemetry::Histogram H(telemetry::exponentialBuckets(1.0, 2.0, 10));
+  constexpr int NumThreads = 4;
+  constexpr int PerThread = 5000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&H] {
+      for (int I = 0; I != PerThread; ++I)
+        H.observe(static_cast<double>(I % 100));
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(H.count(), static_cast<uint64_t>(NumThreads * PerThread));
+  uint64_t BucketTotal = 0;
+  for (size_t I = 0; I != H.numBuckets(); ++I)
+    BucketTotal += H.bucketCount(I);
+  EXPECT_EQ(BucketTotal, H.count()) << "every sample lands in some bucket";
+  // Sum of 0..99 per thread pass, 50 passes each: exact in double.
+  EXPECT_NEAR(H.sum(), NumThreads * 50.0 * 4950.0, 1e-6);
+}
+
+//===----------------------------------------------------------------------===//
+// Counter / Gauge / registry
+//===----------------------------------------------------------------------===//
+
+TEST(Counter, AtomicUnderContention) {
+  telemetry::Counter C;
+  constexpr int NumThreads = 8;
+  constexpr int PerThread = 10000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&C] {
+      for (int I = 0; I != PerThread; ++I)
+        C.inc();
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(C.value(), static_cast<uint64_t>(NumThreads * PerThread))
+      << "no increment may be lost";
+}
+
+TEST(MetricsRegistry, SameNameSameInstrument) {
+  telemetry::Counter &A = telemetry::counter("test.registry.counter");
+  telemetry::Counter &B = telemetry::counter("test.registry.counter");
+  EXPECT_EQ(&A, &B);
+  A.inc(3);
+  EXPECT_EQ(B.value(), 3u);
+
+  telemetry::Histogram &H1 =
+      telemetry::histogram("test.registry.hist", {1.0, 2.0});
+  telemetry::Histogram &H2 =
+      telemetry::histogram("test.registry.hist", {5.0, 6.0, 7.0});
+  EXPECT_EQ(&H1, &H2) << "first registration's bounds win";
+  EXPECT_EQ(H2.upperBounds().size(), 2u);
+
+  telemetry::gauge("test.registry.gauge").set(2.5);
+  EXPECT_DOUBLE_EQ(telemetry::gauge("test.registry.gauge").value(), 2.5);
+}
+
+TEST(MetricsRegistry, SnapshotJsonIsValid) {
+  telemetry::counter("test.snapshot.counter").inc(7);
+  telemetry::gauge("test.snapshot.gauge").set(1.25);
+  telemetry::Histogram &H =
+      telemetry::histogram("test.snapshot.hist", {1.0, 10.0});
+  H.observe(0.5);
+  H.observe(100.0);
+
+  const std::string Json = telemetry::snapshotMetricsJson();
+  EXPECT_TRUE(isValidJson(Json)) << Json;
+  std::map<std::string, std::string> Top;
+  ASSERT_TRUE(parseJsonObject(Json, Top));
+  ASSERT_TRUE(Top.count("counters"));
+  ASSERT_TRUE(Top.count("gauges"));
+  ASSERT_TRUE(Top.count("histograms"));
+  EXPECT_NE(Top["counters"].find("\"test.snapshot.counter\":7"),
+            std::string::npos);
+  // The overflow bucket serializes with "le":"inf".
+  EXPECT_NE(Top["histograms"].find("\"le\":\"inf\""), std::string::npos);
+
+  const std::string Text = telemetry::metricsTextReport();
+  EXPECT_NE(Text.find("test.snapshot.counter"), std::string::npos);
+  EXPECT_NE(Text.find("test.snapshot.hist"), std::string::npos);
+}
+
+TEST(MetricsRegistry, WriteMetricsJsonRoundTrips) {
+  telemetry::counter("test.file.counter").inc();
+  const std::string Path = tempPath("oppsla_metrics_test.json");
+  ASSERT_TRUE(telemetry::writeMetricsJson(Path));
+  std::ifstream In(Path);
+  std::string Json((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_TRUE(isValidJson(Json)) << Json;
+  EXPECT_NE(Json.find("test.file.counter"), std::string::npos);
+  std::remove(Path.c_str());
+  EXPECT_FALSE(telemetry::writeMetricsJson("/nonexistent/dir/m.json"));
+}
+
+//===----------------------------------------------------------------------===//
+// ScopedTimer
+//===----------------------------------------------------------------------===//
+
+TEST(ScopedTimer, RecordsIntoHistogram) {
+  telemetry::Histogram H({1.0, 10.0});
+  {
+    telemetry::ScopedTimer T(&H);
+    EXPECT_GE(T.seconds(), 0.0);
+  }
+  EXPECT_EQ(H.count(), 1u);
+  EXPECT_GE(H.sum(), 0.0);
+  EXPECT_LT(H.sum(), 1.0) << "an empty scope takes well under a second";
+}
+
+TEST(ScopedTimer, CancelRecordsNothing) {
+  telemetry::Histogram H({1.0});
+  {
+    telemetry::ScopedTimer T(&H);
+    T.cancel();
+  }
+  EXPECT_EQ(H.count(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// TraceWriter
+//===----------------------------------------------------------------------===//
+
+TEST(TraceWriter, DisabledByDefaultAndNoOp) {
+  ASSERT_FALSE(telemetry::traceEnabled())
+      << "tests must not leak an open trace sink";
+  telemetry::traceEvent("ignored", {{"k", 1}}); // must not crash
+}
+
+TEST(TraceWriter, EmitsValidJsonl) {
+  TraceGuard Guard;
+  const std::string Path = tempPath("oppsla_trace_test.jsonl");
+  ASSERT_TRUE(telemetry::TraceWriter::instance().open(Path));
+  EXPECT_TRUE(telemetry::traceEnabled());
+
+  telemetry::traceEvent("alpha", {{"idx", 0},
+                                  {"name", "plain"},
+                                  {"ok", true},
+                                  {"score", 0.25}});
+  telemetry::traceEvent(
+      "beta", {{"text", std::string("quote\" slash\\ nl\n tab\t ctl\x01")},
+               {"neg", static_cast<int64_t>(-3)},
+               {"big", static_cast<uint64_t>(1) << 40}});
+  telemetry::TraceWriter::instance().close();
+  EXPECT_FALSE(telemetry::traceEnabled());
+
+  const std::vector<std::string> Lines = readLines(Path);
+  ASSERT_EQ(Lines.size(), 2u);
+  for (const std::string &Line : Lines)
+    EXPECT_TRUE(isValidJson(Line)) << Line;
+
+  std::map<std::string, std::string> A, B;
+  ASSERT_TRUE(parseJsonObject(Lines[0], A));
+  EXPECT_EQ(A["type"], "alpha");
+  EXPECT_EQ(A["idx"], "0");
+  EXPECT_EQ(A["name"], "plain");
+  EXPECT_EQ(A["ok"], "true");
+  EXPECT_EQ(A["score"], "0.25");
+  EXPECT_TRUE(A.count("ts_us")) << "events carry a timestamp";
+
+  ASSERT_TRUE(parseJsonObject(Lines[1], B));
+  EXPECT_EQ(B["text"], "quote\" slash\\ nl\n tab\t ctl\x01")
+      << "escaping must round-trip through a JSON parser";
+  EXPECT_EQ(B["neg"], "-3");
+  EXPECT_EQ(B["big"], std::to_string(uint64_t(1) << 40));
+  std::remove(Path.c_str());
+}
+
+TEST(TraceWriter, CountsEventsAndRejectsBadPath) {
+  TraceGuard Guard;
+  EXPECT_FALSE(
+      telemetry::TraceWriter::instance().open("/nonexistent/dir/t.jsonl"));
+  EXPECT_FALSE(telemetry::traceEnabled());
+
+  const std::string Path = tempPath("oppsla_trace_count.jsonl");
+  ASSERT_TRUE(telemetry::TraceWriter::instance().open(Path));
+  for (int I = 0; I != 5; ++I)
+    telemetry::traceEvent("tick", {{"i", I}});
+  EXPECT_EQ(telemetry::TraceWriter::instance().eventsWritten(), 5u);
+  telemetry::TraceWriter::instance().close();
+  EXPECT_EQ(readLines(Path).size(), 5u);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceWriter, ImageContextDefaultsToUnset) {
+  EXPECT_EQ(telemetry::traceImage(), -1);
+  telemetry::setTraceImage(42);
+  EXPECT_EQ(telemetry::traceImage(), 42);
+  telemetry::setTraceImage(-1);
+  EXPECT_EQ(telemetry::traceImage(), -1);
+}

@@ -27,8 +27,11 @@
 #include "core/Parse.h"
 #include "eval/Evaluation.h"
 #include "eval/Experiments.h"
+#include "eval/Export.h"
 #include "support/ArgParse.h"
+#include "support/Metrics.h"
 #include "support/Table.h"
+#include "support/Trace.h"
 
 #include <fstream>
 #include <iostream>
@@ -43,6 +46,8 @@ int usage() {
       << "usage: oppsla <train|synthesize|explain|attack|eval> [options]\n"
          "  common options: --arch vgg|resnet|googlenet|densenet|resnet50\n"
          "                  --task cifar|imagenet  --scale smoke|small|paper\n"
+         "  telemetry:      --trace-out t.jsonl  --metrics-out m.json\n"
+         "                  --layer-timing (per-layer forward timings)\n"
          "run with a subcommand for its specific options (see tool header)\n";
   return 2;
 }
@@ -82,8 +87,18 @@ int cmdSynthesize(const ArgParse &Args) {
       Args.getInt("iters", static_cast<long long>(Scale.SynthIters)));
   Config.PerImageQueryCap = Scale.SynthQueryCap;
   const Dataset Train = makeSynthesisSet(Task, Label, Scale);
-  const Program P = synthesizeProgram(*Victim, Train, Config);
+  std::vector<SynthesisStep> Trace;
+  const std::string TraceJsonl = Args.get("synth-trace-out", "");
+  const Program P = synthesizeProgram(*Victim, Train, Config,
+                                      TraceJsonl.empty() ? nullptr : &Trace);
   std::cout << P.str();
+  if (!TraceJsonl.empty()) {
+    if (!exportSynthesisTraceJsonl(Trace, TraceJsonl)) {
+      std::cerr << "error: cannot write " << TraceJsonl << "\n";
+      return 1;
+    }
+    std::cout << "synthesis trace saved to " << TraceJsonl << "\n";
+  }
 
   const std::string Out = Args.get("out", "");
   if (!Out.empty()) {
@@ -154,6 +169,7 @@ int cmdAttack(const ArgParse &Args) {
   SketchAttack A(P, Path.empty() ? "Sketch+False" : "program");
   Table T({"image", "outcome", "#queries", "pixel", "perturbation"});
   for (size_t I = 0; I != Test.size(); ++I) {
+    telemetry::setTraceImage(static_cast<int64_t>(I));
     const AttackResult R =
         A.attack(*Victim, Test.Images[I], Label, Budget);
     std::ostringstream Loc, Pert;
@@ -168,6 +184,7 @@ int cmdAttack(const ArgParse &Args) {
                                      : "failure",
               std::to_string(R.Queries), Loc.str(), Pert.str()});
   }
+  telemetry::setTraceImage(-1);
   T.print(std::cout);
   return 0;
 }
@@ -201,6 +218,12 @@ int cmdEval(const ArgParse &Args) {
     return 2;
   }
 
+  const std::string RunsOut = Args.get("runs-out", "");
+  if (!RunsOut.empty() && !exportRunLogsJsonl(Logs, RunsOut)) {
+    std::cerr << "error: cannot write " << RunsOut << "\n";
+    return 1;
+  }
+
   const QuerySample S = toQuerySample(Logs);
   std::cout << "attack=" << Kind << " victim=" << Victim->name()
             << " budget=" << Budget << "\n"
@@ -209,6 +232,18 @@ int cmdEval(const ArgParse &Args) {
             << "  avg #queries : " << Table::fmt(S.avgQueries(), 1) << "\n"
             << "  med #queries : " << Table::fmt(S.medianQueries(), 1)
             << "\n";
+
+  // Telemetry summary: queries-per-attack distribution, attack outcome
+  // counters, and (with --metrics-out/--layer-timing) per-layer forward
+  // times collected during this run.
+  std::cout << "metrics:\n";
+  std::istringstream Report(telemetry::metricsTextReport());
+  std::string Line;
+  while (std::getline(Report, Line))
+    std::cout << "  " << Line << "\n";
+  const std::string LayerReport = telemetry::layerTimingReport();
+  if (!LayerReport.empty())
+    std::cout << LayerReport;
   return 0;
 }
 
@@ -219,15 +254,24 @@ int main(int argc, char **argv) {
     return usage();
   const std::string Cmd = argv[1];
   ArgParse Args(argc - 1, argv + 1);
+
+  // Telemetry flags are shared by every subcommand.
+  if (!telemetry::configureFromArgs(Args))
+    return 1;
+  int RC;
   if (Cmd == "train")
-    return cmdTrain(Args);
-  if (Cmd == "synthesize")
-    return cmdSynthesize(Args);
-  if (Cmd == "explain")
-    return cmdExplain(Args);
-  if (Cmd == "attack")
-    return cmdAttack(Args);
-  if (Cmd == "eval")
-    return cmdEval(Args);
-  return usage();
+    RC = cmdTrain(Args);
+  else if (Cmd == "synthesize")
+    RC = cmdSynthesize(Args);
+  else if (Cmd == "explain")
+    RC = cmdExplain(Args);
+  else if (Cmd == "attack")
+    RC = cmdAttack(Args);
+  else if (Cmd == "eval")
+    RC = cmdEval(Args);
+  else
+    return usage();
+  if (!telemetry::finalizeTelemetry() && RC == 0)
+    RC = 1;
+  return RC;
 }
