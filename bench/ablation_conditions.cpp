@@ -26,6 +26,7 @@
 #include "support/Logging.h"
 #include "support/Metrics.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
 
 #include <iostream>
 
@@ -33,12 +34,13 @@ using namespace oppsla;
 
 namespace {
 
-void perConditionAblation(const BenchScale &Scale) {
+void perConditionAblation(const BenchScale &Scale, size_t Threads) {
   std::cout << "-- (1) per-condition ablation (MiniResNet) --\n\n";
   const TaskKind Task = TaskKind::CifarLike;
   auto Victim = makeScaledVictim(Task, Arch::MiniResNet, Scale);
   const std::vector<Program> Programs = synthesizeClassPrograms(
-      *Victim, victimStem(Task, Arch::MiniResNet, Scale), Task, Scale);
+      *Victim, victimStem(Task, Arch::MiniResNet, Scale), Task, Scale,
+      /*Seed=*/1, Threads);
   const Dataset Test = makeTestSet(Task, Scale);
 
   Table T({"variant", "avg #queries", "median #queries"});
@@ -46,7 +48,7 @@ void perConditionAblation(const BenchScale &Scale) {
                      const std::vector<Program> &Ps) {
     logInfo() << "ablation: " << Name;
     const auto Logs = runProgramsOverSet(Ps, *Victim, Test,
-                                         Scale.EvalQueryCap);
+                                         Scale.EvalQueryCap, Threads);
     const QuerySample S = toQuerySample(Logs);
     T.addRow({Name, Table::fmt(S.avgQueries(), 2),
               Table::fmt(S.medianQueries(), 1)});
@@ -69,7 +71,7 @@ void perConditionAblation(const BenchScale &Scale) {
             << "\n";
 }
 
-void robustnessAblation(const BenchScale &Scale) {
+void robustnessAblation(const BenchScale &Scale, size_t Threads) {
   std::cout << "-- (2) augmented-training robustness ablation "
                "(MiniResNet) --\n\n";
   const TaskKind Task = TaskKind::CifarLike;
@@ -94,8 +96,8 @@ void robustnessAblation(const BenchScale &Scale) {
     // Attack with the fixed-prioritization sketch (no synthesis, so the
     // comparison isolates the victim's robustness).
     const std::vector<Program> Fixed(Scale.NumClasses, allFalseProgram());
-    const auto Logs =
-        runProgramsOverSet(Fixed, *Victim, Test, Scale.EvalQueryCap);
+    const auto Logs = runProgramsOverSet(Fixed, *Victim, Test,
+                                         Scale.EvalQueryCap, Threads);
     const QuerySample S = toQuerySample(Logs);
     T.addRow({Augmented ? "flips+translate+cutout" : "plain (paper-like)",
               Table::fmt(100.0 * S.successRate(), 1) + "%",
@@ -114,9 +116,10 @@ int main(int argc, char **argv) {
   if (!telemetry::configureFromArgs(Args))
     return 1;
   const BenchScale Scale = BenchScale::fromEnv();
+  const size_t Threads = threadCountFromArgs(Args);
   std::cout << "== Extended ablations (scale: " << Scale.Name << ") ==\n\n";
-  perConditionAblation(Scale);
-  robustnessAblation(Scale);
+  perConditionAblation(Scale, Threads);
+  robustnessAblation(Scale, Threads);
   telemetry::finalizeTelemetry();
   return 0;
 }

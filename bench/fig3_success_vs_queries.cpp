@@ -29,6 +29,7 @@
 #include "support/Logging.h"
 #include "support/Metrics.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
 
 #include <iostream>
 
@@ -37,7 +38,7 @@ using namespace oppsla;
 namespace {
 
 void runTask(TaskKind Task, const std::vector<Arch> &Archs,
-             const BenchScale &Scale) {
+             const BenchScale &Scale, size_t Threads) {
   const std::vector<uint64_t> Budgets = {100, 500, Scale.EvalQueryCap};
   std::vector<std::string> Header = {"classifier", "attack"};
   for (uint64_t B : Budgets)
@@ -53,13 +54,14 @@ void runTask(TaskKind Task, const std::vector<Arch> &Archs,
 
     // OPPSLA: per-class synthesized programs.
     const std::vector<Program> Programs = synthesizeClassPrograms(
-        *Victim, victimStem(Task, A, Scale), Task, Scale);
-    const auto OppslaLogs =
-        runProgramsOverSet(Programs, *Victim, Test, Scale.EvalQueryCap);
+        *Victim, victimStem(Task, A, Scale), Task, Scale, /*Seed=*/1,
+        Threads);
+    const auto OppslaLogs = runProgramsOverSet(Programs, *Victim, Test,
+                                               Scale.EvalQueryCap, Threads);
 
     SparseRS Rs;
     const auto RsLogs =
-        runAttackOverSet(Rs, *Victim, Test, Scale.EvalQueryCap);
+        runAttackOverSet(Rs, *Victim, Test, Scale.EvalQueryCap, Threads);
 
     SuOPAConfig DeConfig;
     // Keep Su et al.'s defining trait (population >= the minimum query
@@ -68,7 +70,7 @@ void runTask(TaskKind Task, const std::vector<Arch> &Archs,
         std::min<size_t>(400, std::max<size_t>(20, Scale.EvalQueryCap / 10));
     SuOPA De(DeConfig);
     const auto DeLogs =
-        runAttackOverSet(De, *Victim, Test, Scale.EvalQueryCap);
+        runAttackOverSet(De, *Victim, Test, Scale.EvalQueryCap, Threads);
 
     const struct {
       const char *Name;
@@ -97,12 +99,13 @@ int main(int argc, char **argv) {
   if (!telemetry::configureFromArgs(Args))
     return 1;
   const BenchScale Scale = BenchScale::fromEnv();
+  const size_t Threads = threadCountFromArgs(Args);
   std::cout << "== Figure 3: success rate vs query budget (scale: "
             << Scale.Name << ") ==\n\n";
   std::cout << "-- CIFAR-like victims --\n";
-  runTask(TaskKind::CifarLike, cifarArchs(), Scale);
+  runTask(TaskKind::CifarLike, cifarArchs(), Scale, Threads);
   std::cout << "-- ImageNet-like victims --\n";
-  runTask(TaskKind::ImageNetLike, imageNetArchs(), Scale);
+  runTask(TaskKind::ImageNetLike, imageNetArchs(), Scale, Threads);
   std::cout << "Expected shape (paper): OPPSLA >= baselines at every "
                "budget;\nthe gap is largest at <=100 queries; baselines "
                "approach OPPSLA\nonly at the largest budgets.\n";

@@ -22,6 +22,7 @@
 #include "support/Logging.h"
 #include "support/Metrics.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
 
 #include <iostream>
 
@@ -33,6 +34,7 @@ int main(int argc, char **argv) {
   if (!telemetry::configureFromArgs(Args))
     return 1;
   const BenchScale Scale = BenchScale::fromEnv();
+  const size_t Threads = threadCountFromArgs(Args);
   std::cout << "== Figure 4: attack quality vs synthesis budget (scale: "
             << Scale.Name << ") ==\n\n";
 
@@ -45,7 +47,7 @@ int main(int argc, char **argv) {
   // Reference: the fixed-prioritization program (zero synthesis queries).
   const auto FixedLogs = runProgramsOverSet(
       std::vector<Program>(Scale.NumClasses, allFalseProgram()), *Victim,
-      Test, Scale.EvalQueryCap);
+      Test, Scale.EvalQueryCap, Threads);
   const double FixedAvg = toQuerySample(FixedLogs).avgQueries();
 
   // Synthesis with a full trace.
@@ -53,6 +55,7 @@ int main(int argc, char **argv) {
   Config.MaxIter = Scale.SynthIters;
   Config.PerImageQueryCap = Scale.SynthQueryCap;
   Config.Seed = 1;
+  Config.Threads = Threads;
   std::vector<SynthesisStep> Trace;
   synthesizeProgram(*Victim, Train, Config, &Trace);
 
@@ -67,8 +70,8 @@ int main(int argc, char **argv) {
     if (!Step.Accepted)
       continue;
     std::vector<Program> PerClass(Scale.NumClasses, Step.Current);
-    const auto Logs =
-        runProgramsOverSet(PerClass, *Victim, Test, Scale.EvalQueryCap);
+    const auto Logs = runProgramsOverSet(PerClass, *Victim, Test,
+                                         Scale.EvalQueryCap, Threads);
     const double Avg = toQuerySample(Logs).avgQueries();
     logInfo() << "fig4: iter " << Step.Iteration << " -> test avgQ=" << Avg;
     T.addRow({std::to_string(Step.Iteration),

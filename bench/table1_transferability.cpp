@@ -20,6 +20,7 @@
 #include "support/Logging.h"
 #include "support/Metrics.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
 
 #include <iostream>
 
@@ -31,6 +32,7 @@ int main(int argc, char **argv) {
   if (!telemetry::configureFromArgs(Args))
     return 1;
   const BenchScale Scale = BenchScale::fromEnv();
+  const size_t Threads = threadCountFromArgs(Args);
   std::cout << "== Table 1: transferability (avg #queries; scale: "
             << Scale.Name << ") ==\n\n";
 
@@ -44,7 +46,8 @@ int main(int argc, char **argv) {
   for (Arch A : Archs) {
     Victims.push_back(makeScaledVictim(Task, A, Scale));
     ProgramSets.push_back(synthesizeClassPrograms(
-        *Victims.back(), victimStem(Task, A, Scale), Task, Scale));
+        *Victims.back(), victimStem(Task, A, Scale), Task, Scale,
+        /*Seed=*/1, Threads));
   }
 
   std::vector<std::string> Header = {"target \\ synthesized for"};
@@ -58,9 +61,9 @@ int main(int argc, char **argv) {
     for (size_t Source = 0; Source != ProgramSets.size(); ++Source) {
       logInfo() << "table1: programs(" << archName(Archs[Source])
                 << ") -> target " << archName(Archs[Target]);
-      const auto Logs = runProgramsOverSet(ProgramSets[Source],
-                                           *Victims[Target], Test,
-                                           Scale.EvalQueryCap);
+      const auto Logs =
+          runProgramsOverSet(ProgramSets[Source], *Victims[Target], Test,
+                             Scale.EvalQueryCap, Threads);
       const QuerySample S = toQuerySample(Logs);
       AvgRow.push_back(Table::fmt(S.avgQueries(), 2));
       RateRow.push_back(Table::fmt(100.0 * S.successRate(), 1) + "%");

@@ -26,6 +26,7 @@
 #include "support/Logging.h"
 #include "support/Metrics.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
 
 #include <filesystem>
 #include <iostream>
@@ -47,7 +48,8 @@ std::string cacheDir() {
 std::vector<Program> randomBaselinePrograms(NNClassifier &Victim,
                                             const std::string &Stem,
                                             TaskKind Task,
-                                            const BenchScale &Scale) {
+                                            const BenchScale &Scale,
+                                            size_t Threads) {
   std::vector<Program> Programs;
   std::error_code EC;
   std::filesystem::create_directories(cacheDir(), EC);
@@ -64,7 +66,7 @@ std::vector<Program> randomBaselinePrograms(NNClassifier &Victim,
     logInfo() << "table2: random-search baseline for class " << Label;
     P = randomSearchProgram(Victim, Train, Scale.SynthIters,
                             Scale.SynthQueryCap,
-                            /*Seed=*/0xabc123 + Label);
+                            /*Seed=*/0xabc123 + Label, Threads);
     saveProgram(P, Key.str());
     Programs.push_back(P);
   }
@@ -79,6 +81,7 @@ int main(int argc, char **argv) {
   if (!telemetry::configureFromArgs(Args))
     return 1;
   const BenchScale Scale = BenchScale::fromEnv();
+  const size_t Threads = threadCountFromArgs(Args);
   std::cout << "== Table 2: conditions & search ablation (scale: "
             << Scale.Name << ") ==\n\n";
 
@@ -91,12 +94,12 @@ int main(int argc, char **argv) {
     auto Victim = makeScaledVictim(Task, A, Scale);
     const std::string Stem = victimStem(Task, A, Scale);
 
-    const std::vector<Program> Synthesized =
-        synthesizeClassPrograms(*Victim, Stem, Task, Scale);
+    const std::vector<Program> Synthesized = synthesizeClassPrograms(
+        *Victim, Stem, Task, Scale, /*Seed=*/1, Threads);
     const std::vector<Program> FalseProgs(Scale.NumClasses,
                                           allFalseProgram());
     const std::vector<Program> RandomProgs =
-        randomBaselinePrograms(*Victim, Stem, Task, Scale);
+        randomBaselinePrograms(*Victim, Stem, Task, Scale, Threads);
 
     struct RowSpec {
       const char *Name;
@@ -111,10 +114,11 @@ int main(int argc, char **argv) {
       std::vector<AttackRunLog> Logs;
       if (Row.Programs) {
         Logs = runProgramsOverSet(*Row.Programs, *Victim, Test,
-                                  Scale.EvalQueryCap);
+                                  Scale.EvalQueryCap, Threads);
       } else {
         SparseRS Rs;
-        Logs = runAttackOverSet(Rs, *Victim, Test, Scale.EvalQueryCap);
+        Logs = runAttackOverSet(Rs, *Victim, Test, Scale.EvalQueryCap,
+                                Threads);
       }
       const QuerySample S = toQuerySample(Logs);
       T.addRow({Victim->name(), Row.Name, Table::fmt(S.avgQueries(), 2),

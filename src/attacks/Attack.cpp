@@ -29,7 +29,10 @@ AttackResult Attack::attack(Classifier &N, const Image &X, size_t TrueClass,
                         : static_cast<int64_t>(QueryBudget)}});
 
   telemetry::ScopedTimer Timer;
-  const AttackResult R = runAttack(N, X, TrueClass, QueryBudget);
+  // Per-run RNG isolation: the stream depends only on the attack's
+  // configured seed and the image itself, never on previous runs.
+  Rng RunRng = Rng::forRun(seed(), X.contentHash());
+  const AttackResult R = runAttack(N, X, TrueClass, QueryBudget, RunRng);
   const double Seconds = Timer.seconds();
 
   // Queries-per-attack is the paper's central metric; its distribution and

@@ -18,9 +18,11 @@
 
 #include "classify/Classifier.h"
 #include "core/Pair.h"
+#include "support/Rng.h"
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 
 namespace oppsla {
@@ -52,6 +54,13 @@ public:
   /// Attacks \p X (true class \p TrueClass) against \p N with at most
   /// \p QueryBudget queries.
   ///
+  /// Each call owns its randomness: a fresh Rng seeded with
+  /// Rng::deriveRunSeed(seed(), X.contentHash()) is handed to runAttack(),
+  /// so the outcome is a pure function of (attack seed, image) — rerunning
+  /// the same attack object, reordering a sweep, or subsetting a test set
+  /// never changes any image's result, and concurrent runs on one attack's
+  /// clones are bit-identical to serial ones.
+  ///
   /// Every run is a telemetry span: the queries-per-attack and attack-
   /// duration histograms are always recorded, and when the trace sink is
   /// open an attack_begin/attack_end event pair tagged with the attack
@@ -63,10 +72,22 @@ public:
   /// Display name used in tables ("OPPSLA", "Sparse-RS", "SuOPA", ...).
   virtual std::string name() const = 0;
 
+  /// An independent copy with identical configuration (and therefore
+  /// identical per-run RNG streams). Parallel sweep workers clone the
+  /// attack they were handed instead of sharing it across threads.
+  virtual std::unique_ptr<Attack> clone() const = 0;
+
 protected:
-  /// The attack implementation; always invoked through attack().
+  /// The configured base seed of this attack's randomness; deterministic
+  /// attacks keep the default. Mixed per run with the image content hash
+  /// (see attack()).
+  virtual uint64_t seed() const { return 0; }
+
+  /// The attack implementation; always invoked through attack(), which
+  /// supplies \p R freshly derived for this (seed, image) pair.
   virtual AttackResult runAttack(Classifier &N, const Image &X,
-                                 size_t TrueClass, uint64_t QueryBudget) = 0;
+                                 size_t TrueClass, uint64_t QueryBudget,
+                                 Rng &R) = 0;
 };
 
 /// Untargeted margin: f_{cx}(x) - max_{j != cx} f_j(x). Negative iff the

@@ -48,13 +48,21 @@ bool containsLoc(const std::vector<LocPert> &Pixels, const PixelLoc &L,
 } // namespace
 
 AttackResult KPixelRS::runAttack(Classifier &N, const Image &X,
-                                 size_t TrueClass, uint64_t QueryBudget) {
-  return attackDetailed(N, X, TrueClass, QueryBudget).Base;
+                                 size_t TrueClass, uint64_t QueryBudget,
+                                 Rng &R) {
+  return runDetailed(N, X, TrueClass, QueryBudget, R).Base;
 }
 
 KPixelResult KPixelRS::attackDetailed(Classifier &N, const Image &X,
                                       size_t TrueClass,
                                       uint64_t QueryBudget) {
+  Rng R = Rng::forRun(Config.Seed, X.contentHash());
+  return runDetailed(N, X, TrueClass, QueryBudget, R);
+}
+
+KPixelResult KPixelRS::runDetailed(Classifier &N, const Image &X,
+                                   size_t TrueClass, uint64_t QueryBudget,
+                                   Rng &R) {
   QueryCounter Q(N, QueryBudget);
   Q.setTraceTrueClass(TrueClass);
   KPixelResult Out;

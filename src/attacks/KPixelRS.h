@@ -44,12 +44,14 @@ struct KPixelRSConfig {
 class KPixelRS : public Attack {
 public:
   explicit KPixelRS(KPixelRSConfig Config = KPixelRSConfig())
-      : Config(Config), R(Config.Seed) {
+      : Config(Config) {
     assert(Config.K >= 1 && "need at least one pixel");
   }
 
   /// Like attack() but also reports every perturbed pixel. (Called
-  /// directly, this bypasses the attack() telemetry span.)
+  /// directly, this bypasses the attack() telemetry span.) Uses the same
+  /// per-run RNG derivation as attack(), so both entry points replay the
+  /// identical query sequence for a given image.
   KPixelResult attackDetailed(Classifier &N, const Image &X,
                               size_t TrueClass, uint64_t QueryBudget);
 
@@ -57,13 +59,21 @@ public:
     return "Sparse-RS(k=" + std::to_string(Config.K) + ")";
   }
 
+  std::unique_ptr<Attack> clone() const override {
+    return std::make_unique<KPixelRS>(Config);
+  }
+
 protected:
+  uint64_t seed() const override { return Config.Seed; }
+
   AttackResult runAttack(Classifier &N, const Image &X, size_t TrueClass,
-                         uint64_t QueryBudget) override;
+                         uint64_t QueryBudget, Rng &R) override;
 
 private:
+  KPixelResult runDetailed(Classifier &N, const Image &X, size_t TrueClass,
+                           uint64_t QueryBudget, Rng &R);
+
   KPixelRSConfig Config;
-  Rng R;
 };
 
 } // namespace oppsla

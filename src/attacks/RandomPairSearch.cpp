@@ -14,7 +14,7 @@ using namespace oppsla;
 
 AttackResult RandomPairSearch::runAttack(Classifier &N, const Image &X,
                                          size_t TrueClass,
-                                         uint64_t QueryBudget) {
+                                         uint64_t QueryBudget, Rng &R) {
   QueryCounter Q(N, QueryBudget);
   Q.setTraceTrueClass(TrueClass);
   AttackResult Out;

@@ -18,16 +18,22 @@ namespace oppsla {
 /// conditions false; useful as a sanity floor in ablations.
 class RandomPairSearch : public Attack {
 public:
-  explicit RandomPairSearch(uint64_t Seed = 0x9a9dULL) : R(Seed) {}
+  explicit RandomPairSearch(uint64_t Seed = 0x9a9dULL) : Seed_(Seed) {}
 
   std::string name() const override { return "RandomPairs"; }
 
+  std::unique_ptr<Attack> clone() const override {
+    return std::make_unique<RandomPairSearch>(Seed_);
+  }
+
 protected:
+  uint64_t seed() const override { return Seed_; }
+
   AttackResult runAttack(Classifier &N, const Image &X, size_t TrueClass,
-                         uint64_t QueryBudget) override;
+                         uint64_t QueryBudget, Rng &R) override;
 
 private:
-  Rng R;
+  uint64_t Seed_;
 };
 
 } // namespace oppsla

@@ -9,8 +9,9 @@
 using namespace oppsla;
 
 AttackResult SketchAttack::runAttack(Classifier &N, const Image &X,
-                                     size_t TrueClass,
-                                     uint64_t QueryBudget) {
+                                     size_t TrueClass, uint64_t QueryBudget,
+                                     Rng &) {
+  // The sketch is deterministic; the per-run Rng is unused.
   const SketchResult R = Sk.run(N, X, TrueClass, QueryBudget);
   AttackResult Out;
   Out.Success = R.Success;

@@ -23,9 +23,13 @@ public:
   std::string name() const override { return DisplayName; }
   const Program &program() const { return Sk.program(); }
 
+  std::unique_ptr<Attack> clone() const override {
+    return std::make_unique<SketchAttack>(Sk.program(), DisplayName);
+  }
+
 protected:
   AttackResult runAttack(Classifier &N, const Image &X, size_t TrueClass,
-                         uint64_t QueryBudget) override;
+                         uint64_t QueryBudget, Rng &R) override;
 
 private:
   Sketch Sk;

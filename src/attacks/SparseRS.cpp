@@ -11,7 +11,8 @@
 using namespace oppsla;
 
 AttackResult SparseRS::runAttack(Classifier &N, const Image &X,
-                                 size_t TrueClass, uint64_t QueryBudget) {
+                                 size_t TrueClass, uint64_t QueryBudget,
+                                 Rng &R) {
   QueryCounter Q(N, QueryBudget);
   Q.setTraceTrueClass(TrueClass);
   AttackResult Out;

@@ -36,17 +36,22 @@ struct SparseRSConfig {
 class SparseRS : public Attack {
 public:
   explicit SparseRS(SparseRSConfig Config = SparseRSConfig())
-      : Config(Config), R(Config.Seed) {}
+      : Config(Config) {}
 
   std::string name() const override { return "Sparse-RS"; }
 
+  std::unique_ptr<Attack> clone() const override {
+    return std::make_unique<SparseRS>(Config);
+  }
+
 protected:
+  uint64_t seed() const override { return Config.Seed; }
+
   AttackResult runAttack(Classifier &N, const Image &X, size_t TrueClass,
-                         uint64_t QueryBudget) override;
+                         uint64_t QueryBudget, Rng &R) override;
 
 private:
   SparseRSConfig Config;
-  Rng R;
 };
 
 } // namespace oppsla

@@ -25,7 +25,8 @@ struct Individual {
 } // namespace
 
 AttackResult SuOPA::runAttack(Classifier &N, const Image &X,
-                              size_t TrueClass, uint64_t QueryBudget) {
+                              size_t TrueClass, uint64_t QueryBudget,
+                              Rng &R) {
   QueryCounter Q(N, QueryBudget);
   Q.setTraceTrueClass(TrueClass);
   AttackResult Out;
@@ -80,11 +81,14 @@ AttackResult SuOPA::runAttack(Classifier &N, const Image &X,
   };
 
   // Initial population: positions uniform, colors gaussian around mid-gray
-  // (Su et al.'s initialization).
+  // (Su et al.'s initialization). Positions are drawn over the same closed
+  // range [0, side-1] that mutants are clamped to below, so initialization
+  // and mutation explore the identical domain (drawing over [0, side) put
+  // extra rounding mass on the last row/column).
   std::vector<Individual> Pop(Config.PopulationSize);
   for (Individual &Ind : Pop) {
-    Ind.Row = R.uniform(0.0, static_cast<double>(H));
-    Ind.Col = R.uniform(0.0, static_cast<double>(W));
+    Ind.Row = R.uniform(0.0, static_cast<double>(H - 1));
+    Ind.Col = R.uniform(0.0, static_cast<double>(W - 1));
     Ind.Rc = R.normal(0.5, 0.25);
     Ind.Gc = R.normal(0.5, 0.25);
     Ind.Bc = R.normal(0.5, 0.25);

@@ -33,18 +33,22 @@ struct SuOPAConfig {
 /// Su et al. (2017) one pixel attack.
 class SuOPA : public Attack {
 public:
-  explicit SuOPA(SuOPAConfig Config = SuOPAConfig())
-      : Config(Config), R(Config.Seed) {}
+  explicit SuOPA(SuOPAConfig Config = SuOPAConfig()) : Config(Config) {}
 
   std::string name() const override { return "SuOPA"; }
 
+  std::unique_ptr<Attack> clone() const override {
+    return std::make_unique<SuOPA>(Config);
+  }
+
 protected:
+  uint64_t seed() const override { return Config.Seed; }
+
   AttackResult runAttack(Classifier &N, const Image &X, size_t TrueClass,
-                         uint64_t QueryBudget) override;
+                         uint64_t QueryBudget, Rng &R) override;
 
 private:
   SuOPAConfig Config;
-  Rng R;
 };
 
 } // namespace oppsla

@@ -18,6 +18,7 @@
 #include "data/Image.h"
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 namespace oppsla {
@@ -32,6 +33,13 @@ public:
 
   /// Number of classes in the score vector.
   virtual size_t numClasses() const = 0;
+
+  /// An independent copy answering identically to this classifier, or
+  /// nullptr when the classifier cannot be duplicated. scores() is allowed
+  /// to mutate internal scratch state, so parallel evaluation gives every
+  /// worker thread its own clone; a nullptr makes the sweeps fall back to
+  /// serial execution.
+  virtual std::unique_ptr<Classifier> clone() const { return nullptr; }
 
   /// argmax(N(x)).
   size_t predict(const Image &Img);

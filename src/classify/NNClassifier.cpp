@@ -17,6 +17,38 @@ NNClassifier::NNClassifier(std::unique_ptr<Sequential> Model,
   assert(this->Model && "null model");
 }
 
+std::unique_ptr<Classifier> NNClassifier::clone() const {
+  if (!Builder)
+    return nullptr;
+  std::unique_ptr<Sequential> Fresh = Builder();
+  assert(Fresh && "model builder returned null");
+
+  // parameters()/buffers() are non-const traversals but do not mutate the
+  // model; the source stays logically untouched.
+  Sequential &Src = *Model;
+  const std::vector<ParamRef> SrcParams = Src.parameters();
+  const std::vector<ParamRef> DstParams = Fresh->parameters();
+  assert(SrcParams.size() == DstParams.size() &&
+         "builder architecture mismatch");
+  for (size_t I = 0; I != SrcParams.size(); ++I) {
+    assert(SrcParams[I].Name == DstParams[I].Name &&
+           "builder architecture mismatch");
+    *DstParams[I].Value = *SrcParams[I].Value;
+  }
+  const auto SrcBufs = Src.buffers();
+  const auto DstBufs = Fresh->buffers();
+  assert(SrcBufs.size() == DstBufs.size() && "builder buffer mismatch");
+  for (size_t I = 0; I != SrcBufs.size(); ++I) {
+    assert(SrcBufs[I].first == DstBufs[I].first && "builder buffer mismatch");
+    *DstBufs[I].second = *SrcBufs[I].second;
+  }
+
+  auto Out =
+      std::make_unique<NNClassifier>(std::move(Fresh), Classes, ModelName);
+  Out->setModelBuilder(Builder);
+  return Out;
+}
+
 std::vector<float> NNClassifier::scores(const Image &Img) {
   if (InputScratch.rank() != 4 || InputScratch.dim(2) != Img.height() ||
       InputScratch.dim(3) != Img.width())

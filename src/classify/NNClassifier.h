@@ -10,6 +10,7 @@
 #include "classify/Classifier.h"
 #include "nn/Sequential.h"
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -21,12 +22,27 @@ namespace oppsla {
 /// in [0,1] like the paper's example program.
 class NNClassifier : public Classifier {
 public:
+  /// Builds a structurally identical untrained model; weight contents are
+  /// irrelevant (clone() overwrites them from the source model).
+  using ModelBuilder = std::function<std::unique_ptr<Sequential>()>;
+
   /// Takes ownership of \p Model. \p Name is used in logs and tables.
   NNClassifier(std::unique_ptr<Sequential> Model, size_t NumClasses,
                std::string Name);
 
   std::vector<float> scores(const Image &Img) override;
   size_t numClasses() const override { return Classes; }
+
+  /// Installs the architecture rebuilder that makes this classifier
+  /// cloneable (layers carry forward-pass scratch state, so clones need a
+  /// fresh structural copy, not a pointer share). makeVictim() installs
+  /// one automatically.
+  void setModelBuilder(ModelBuilder B) { Builder = std::move(B); }
+
+  /// Deep copy: rebuilds the architecture via the installed ModelBuilder
+  /// and copies every parameter and persistent buffer. Returns nullptr if
+  /// no builder was installed.
+  std::unique_ptr<Classifier> clone() const override;
 
   const std::string &name() const { return ModelName; }
   Sequential &model() { return *Model; }
@@ -35,6 +51,7 @@ private:
   std::unique_ptr<Sequential> Model;
   size_t Classes;
   std::string ModelName;
+  ModelBuilder Builder;
   Tensor InputScratch; ///< reused {1,3,H,W} buffer
 };
 

@@ -122,14 +122,25 @@ std::unique_ptr<NNClassifier> oppsla::makeVictim(const VictimSpec &Spec,
   auto Model = buildModel(Spec.Architecture, Spec.NumClasses, Side, ModelRng);
   assert(Model && "unknown architecture");
 
+  // Lets NNClassifier::clone() rebuild a structurally identical model for
+  // per-thread copies; initial weights are overwritten by the clone.
+  const auto Arch = Spec.Architecture;
+  const size_t Classes = Spec.NumClasses;
+  NNClassifier::ModelBuilder Builder = [Arch, Classes, Side]() {
+    Rng Throwaway(0);
+    return buildModel(Arch, Classes, Side, Throwaway);
+  };
+
   const std::string Name = std::string(archName(Spec.Architecture)) + "/" +
                            taskName(Spec.Task);
   const std::string Path = cacheDir() + "/" + Spec.cacheStem() + ".bin";
 
   if (CacheEnabled && loadModel(*Model, Path)) {
     logInfo() << "loaded cached victim " << Name << " from " << Path;
-    return std::make_unique<NNClassifier>(std::move(Model), Spec.NumClasses,
-                                          Name);
+    auto C = std::make_unique<NNClassifier>(std::move(Model), Spec.NumClasses,
+                                            Name);
+    C->setModelBuilder(Builder);
+    return C;
   }
 
   Dataset Train = generateSynthetic(Spec.Task, Spec.TrainImagesPerClass,
@@ -146,6 +157,8 @@ std::unique_ptr<NNClassifier> oppsla::makeVictim(const VictimSpec &Spec,
     if (!saveModel(*Model, Path))
       logWarn() << "failed to cache victim to " << Path;
   }
-  return std::make_unique<NNClassifier>(std::move(Model), Spec.NumClasses,
-                                        Name);
+  auto C = std::make_unique<NNClassifier>(std::move(Model), Spec.NumClasses,
+                                          Name);
+  C->setModelBuilder(Builder);
+  return C;
 }

@@ -9,9 +9,13 @@
 #include "support/Logging.h"
 #include "support/Metrics.h"
 #include "support/Rng.h"
+#include "support/ThreadPool.h"
 #include "support/Trace.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <future>
 
 using namespace oppsla;
 
@@ -21,26 +25,108 @@ double ProgramEval::score(double Beta) const {
   return std::exp(-Beta * AvgQueries);
 }
 
-ProgramEval oppsla::evaluateProgram(const Program &P, Classifier &N,
-                                    const Dataset &TrainSet,
-                                    uint64_t PerImageCap) {
+namespace {
+
+/// Outcome of one sketch run, recorded per image so the aggregate can be
+/// reduced in a fixed order regardless of which worker produced it.
+struct ImageOutcome {
+  uint64_t Queries = 0;
+  bool Counted = false; ///< successful and not already misclassified
+};
+
+/// Per-worker evaluation state reused across many evaluateProgram calls:
+/// the MH loop scores MaxIter+1 candidates, so the pool and the classifier
+/// clones are built once per synthesis, not once per candidate. An empty
+/// Workers list (or a 1-element one) means serial evaluation.
+struct EvalWorkers {
+  std::unique_ptr<ThreadPool> Pool;
+  std::vector<Classifier *> Classifiers; ///< [0] is the caller's own
+  std::vector<std::unique_ptr<Classifier>> Owned;
+
+  /// Builds workers for \p Threads threads; degrades to serial (empty)
+  /// when the classifier is not cloneable or Threads < 2.
+  static EvalWorkers make(Classifier &N, size_t Threads, size_t NumImages) {
+    EvalWorkers W;
+    const size_t Count = std::min(Threads, NumImages);
+    if (Count < 2)
+      return W;
+    std::vector<std::unique_ptr<Classifier>> Owned;
+    for (size_t T = 1; T != Count; ++T) {
+      auto C = N.clone();
+      if (!C)
+        return W; // not cloneable: keep W empty, run serial
+      Owned.push_back(std::move(C));
+    }
+    W.Owned = std::move(Owned);
+    W.Classifiers.push_back(&N);
+    for (auto &C : W.Owned)
+      W.Classifiers.push_back(C.get());
+    W.Pool = std::make_unique<ThreadPool>(Count);
+    return W;
+  }
+
+  bool parallel() const { return Pool != nullptr; }
+};
+
+/// The shared core of serial and parallel evaluation: fills one outcome
+/// slot per training image, then reduces them in index order (the average
+/// is a floating-point sum, so reduction order is part of the contract).
+ProgramEval evaluateProgramWith(const Program &P, Classifier &N,
+                                const Dataset &TrainSet, uint64_t PerImageCap,
+                                EvalWorkers *Workers) {
   assert(TrainSet.size() > 0 && "empty training set");
-  Sketch Sk(P);
+  std::vector<ImageOutcome> Out(TrainSet.size());
+
+  auto RunOne = [&](Sketch &Sk, Classifier &NN, size_t I) {
+    const SketchResult R =
+        Sk.run(NN, TrainSet.Images[I], TrainSet.Labels[I], PerImageCap);
+    Out[I].Queries = R.Queries;
+    Out[I].Counted = R.Success && !R.AlreadyMisclassified;
+  };
+
+  if (Workers && Workers->parallel()) {
+    std::atomic<size_t> Next{0};
+    std::vector<std::future<void>> Futures;
+    Futures.reserve(Workers->Classifiers.size());
+    for (Classifier *NT : Workers->Classifiers)
+      Futures.push_back(Workers->Pool->submit([&, NT] {
+        Sketch Sk(P);
+        for (size_t I = Next.fetch_add(1); I < TrainSet.size();
+             I = Next.fetch_add(1))
+          RunOne(Sk, *NT, I);
+      }));
+    for (auto &F : Futures)
+      F.get();
+  } else {
+    Sketch Sk(P);
+    for (size_t I = 0; I != TrainSet.size(); ++I)
+      RunOne(Sk, N, I);
+  }
+
   ProgramEval Eval;
   double QuerySum = 0.0;
-  for (size_t I = 0; I != TrainSet.size(); ++I) {
-    const SketchResult R =
-        Sk.run(N, TrainSet.Images[I], TrainSet.Labels[I], PerImageCap);
-    Eval.TotalQueries += R.Queries;
+  for (const ImageOutcome &O : Out) {
+    Eval.TotalQueries += O.Queries;
     ++Eval.Attacks;
-    if (!R.Success || R.AlreadyMisclassified)
+    if (!O.Counted)
       continue; // the paper averages over successful attacks only
     ++Eval.Successes;
-    QuerySum += static_cast<double>(R.Queries);
+    QuerySum += static_cast<double>(O.Queries);
   }
   if (Eval.Successes > 0)
     Eval.AvgQueries = QuerySum / static_cast<double>(Eval.Successes);
   return Eval;
+}
+
+} // namespace
+
+ProgramEval oppsla::evaluateProgram(const Program &P, Classifier &N,
+                                    const Dataset &TrainSet,
+                                    uint64_t PerImageCap, size_t Threads) {
+  if (Threads < 2)
+    return evaluateProgramWith(P, N, TrainSet, PerImageCap, nullptr);
+  EvalWorkers Workers = EvalWorkers::make(N, Threads, TrainSet.size());
+  return evaluateProgramWith(P, N, TrainSet, PerImageCap, &Workers);
 }
 
 Program oppsla::synthesizeProgram(Classifier &N, const Dataset &TrainSet,
@@ -51,8 +137,12 @@ Program oppsla::synthesizeProgram(Classifier &N, const Dataset &TrainSet,
   Ctx.ImageSide =
       TrainSet.size() > 0 ? TrainSet.Images.front().height() : 32;
 
+  // One pool + one set of classifier clones for the whole MH chain.
+  EvalWorkers Workers = EvalWorkers::make(N, Config.Threads, TrainSet.size());
+
   Program P = randomProgram(Ctx, R);
-  ProgramEval Eval = evaluateProgram(P, N, TrainSet, Config.PerImageQueryCap);
+  ProgramEval Eval = evaluateProgramWith(P, N, TrainSet,
+                                         Config.PerImageQueryCap, &Workers);
   double Score = Eval.score(Config.Beta);
   uint64_t Cumulative = Eval.TotalQueries;
   Program Best = P;
@@ -82,8 +172,8 @@ Program oppsla::synthesizeProgram(Classifier &N, const Dataset &TrainSet,
   for (size_t Iter = 1; Iter <= Config.MaxIter; ++Iter) {
     MutationKind Kind = MutationKind::Root;
     const Program Candidate = mutateProgram(P, Ctx, R, &Kind);
-    const ProgramEval CandEval =
-        evaluateProgram(Candidate, N, TrainSet, Config.PerImageQueryCap);
+    const ProgramEval CandEval = evaluateProgramWith(
+        Candidate, N, TrainSet, Config.PerImageQueryCap, &Workers);
     const double CandScore = CandEval.score(Config.Beta);
     Cumulative += CandEval.TotalQueries;
 
@@ -146,19 +236,22 @@ Program oppsla::synthesizeProgram(Classifier &N, const Dataset &TrainSet,
 
 Program oppsla::randomSearchProgram(Classifier &N, const Dataset &TrainSet,
                                     size_t NumSamples, uint64_t PerImageCap,
-                                    uint64_t Seed) {
+                                    uint64_t Seed, size_t Threads) {
   assert(NumSamples > 0 && "need at least one sample");
   Rng R(Seed);
   MutationContext Ctx;
   Ctx.ImageSide =
       TrainSet.size() > 0 ? TrainSet.Images.front().height() : 32;
 
+  EvalWorkers Workers = EvalWorkers::make(N, Threads, TrainSet.size());
+
   Program Best;
   double BestAvg = 0.0;
   bool HaveBest = false;
   for (size_t I = 0; I != NumSamples; ++I) {
     const Program P = randomProgram(Ctx, R);
-    const ProgramEval Eval = evaluateProgram(P, N, TrainSet, PerImageCap);
+    const ProgramEval Eval =
+        evaluateProgramWith(P, N, TrainSet, PerImageCap, &Workers);
     if (Eval.Successes == 0)
       continue;
     if (!HaveBest || Eval.AvgQueries < BestAvg) {

@@ -39,6 +39,13 @@ struct SynthesisConfig {
   /// superoptimizers such as STOKE make the same choice). Disable to match
   /// Algorithm 2 verbatim.
   bool ReturnBestSeen = true;
+  /// Worker threads for scoring each candidate over the training set.
+  /// Candidate scoring dominates synthesis cost (MaxIter evaluations of
+  /// the full training set); the MH chain itself stays serial, and the
+  /// per-image results are reduced in index order, so any thread count
+  /// produces bit-identical programs. Requires a cloneable classifier;
+  /// falls back to serial otherwise.
+  size_t Threads = 1;
 };
 
 /// Aggregate result of running one program over a training set.
@@ -63,9 +70,13 @@ struct SynthesisStep {
 };
 
 /// Runs program \p P over every (image, label) pair of \p TrainSet with a
-/// per-image budget of \p PerImageCap queries.
+/// per-image budget of \p PerImageCap queries. With \p Threads > 1 the
+/// images are scored by a worker pool over classifier clones; the
+/// per-image outcomes are reduced in index order, so the result is
+/// bit-identical to the serial evaluation.
 ProgramEval evaluateProgram(const Program &P, Classifier &N,
-                            const Dataset &TrainSet, uint64_t PerImageCap);
+                            const Dataset &TrainSet, uint64_t PerImageCap,
+                            size_t Threads = 1);
 
 /// OPPSLA: synthesizes a program for classifier \p N and training set
 /// \p TrainSet. If \p Trace is non-null every iteration is recorded.
@@ -75,10 +86,11 @@ Program synthesizeProgram(Classifier &N, const Dataset &TrainSet,
 
 /// The Sketch+Random baseline (Appendix C): samples \p NumSamples random
 /// programs, evaluates each on the training set, and returns the one with
-/// the lowest average query count.
+/// the lowest average query count. \p Threads parallelizes each
+/// evaluation as in evaluateProgram.
 Program randomSearchProgram(Classifier &N, const Dataset &TrainSet,
                             size_t NumSamples, uint64_t PerImageCap,
-                            uint64_t Seed);
+                            uint64_t Seed, size_t Threads = 1);
 
 } // namespace oppsla
 

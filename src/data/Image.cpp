@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 using namespace oppsla;
 
@@ -23,6 +24,28 @@ float Pixel::minChannel() const { return std::min({R, G, B}); }
 void Image::clamp() {
   for (float &V : Data)
     V = std::clamp(V, 0.0f, 1.0f);
+}
+
+uint64_t Image::contentHash() const {
+  // FNV-1a over the float bit patterns, with the dimensions folded in so
+  // differently-shaped images of identical bytes hash apart. Byte-exact on
+  // purpose: the hash seeds attack RNG streams, which must be bit-stable.
+  constexpr uint64_t Prime = 0x100000001b3ULL;
+  uint64_t Hash = 0xcbf29ce484222325ULL;
+  auto Mix = [&](uint64_t V) {
+    for (int Shift = 0; Shift != 64; Shift += 8) {
+      Hash ^= (V >> Shift) & 0xffU;
+      Hash *= Prime;
+    }
+  };
+  Mix(H);
+  Mix(W);
+  for (float F : Data) {
+    uint32_t Bits;
+    std::memcpy(&Bits, &F, sizeof(Bits));
+    Hash = (Hash ^ Bits) * Prime;
+  }
+  return Hash;
 }
 
 Tensor Image::toTensor() const {

@@ -18,6 +18,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace oppsla {
@@ -88,6 +89,13 @@ public:
 
   const std::vector<float> &raw() const { return Data; }
   std::vector<float> &raw() { return Data; }
+
+  /// Stable 64-bit hash of the image's shape and pixel bytes (FNV-1a).
+  /// Randomized attacks derive their per-run RNG stream from this (see
+  /// support/Rng.h: Rng::deriveRunSeed), making every attack run a pure
+  /// function of (attack seed, image) — independent of how the image is
+  /// ordered or subset within a sweep.
+  uint64_t contentHash() const;
 
 private:
   const float *at(size_t Row, size_t Col) const {

@@ -7,68 +7,153 @@
 #include "eval/Evaluation.h"
 
 #include "attacks/SketchAttack.h"
+#include "support/ThreadPool.h"
 #include "support/Trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <future>
 
 using namespace oppsla;
 
 namespace {
 
-/// Publishes the loop index as the ambient trace image id for the
-/// duration of a set sweep; restores the previous id on exit so nested
-/// sweeps (e.g. synthesis inside eval) stay consistent.
-class TraceImageScope {
-public:
-  TraceImageScope() : Saved(telemetry::traceImage()) {}
-  ~TraceImageScope() { telemetry::setTraceImage(Saved); }
-  void set(size_t I) {
-    telemetry::setTraceImage(static_cast<int64_t>(I));
+/// Attacks image \p I of \p TestSet and records the outcome into a log
+/// slot. Shared by the serial and parallel sweep paths so both produce
+/// the same records.
+AttackRunLog attackOne(Attack &A, Classifier &N, const Dataset &TestSet,
+                       size_t I, uint64_t Budget) {
+  telemetry::TraceImageScope Scope(static_cast<int64_t>(I));
+  const AttackResult R =
+      A.attack(N, TestSet.Images[I], TestSet.Labels[I], Budget);
+  AttackRunLog Log;
+  Log.Label = TestSet.Labels[I];
+  Log.Discarded = R.AlreadyMisclassified;
+  Log.Success = R.Success && !R.AlreadyMisclassified;
+  Log.Queries = R.Queries;
+  return Log;
+}
+
+/// Parallel sweep: every worker thread gets its own clone of the attack
+/// and the classifier, and images are handed out dynamically. The result
+/// slots are pre-sized, so assignment order does not affect the output;
+/// per-run RNG isolation makes each slot's content independent of which
+/// worker computed it.
+///
+/// Returns false (without touching \p Logs) when the classifier cannot be
+/// cloned, in which case the caller runs the serial path.
+bool runAttackOverSetParallel(Attack &A, Classifier &N,
+                              const Dataset &TestSet, uint64_t Budget,
+                              size_t Threads,
+                              std::vector<AttackRunLog> &Logs) {
+  const size_t Workers = std::min(Threads, TestSet.size());
+  if (Workers < 2)
+    return false;
+
+  // Worker 0 reuses the caller's attack/classifier; the rest get clones.
+  std::vector<std::unique_ptr<Attack>> AttackClones;
+  std::vector<std::unique_ptr<Classifier>> ClassifierClones;
+  for (size_t T = 1; T != Workers; ++T) {
+    auto AC = A.clone();
+    auto NC = N.clone();
+    if (!AC || !NC)
+      return false;
+    AttackClones.push_back(std::move(AC));
+    ClassifierClones.push_back(std::move(NC));
   }
 
-private:
-  int64_t Saved;
-};
+  Logs.assign(TestSet.size(), AttackRunLog());
+  ThreadPool Pool(Workers);
+  std::atomic<size_t> Next{0};
+  std::vector<std::future<void>> Futures;
+  Futures.reserve(Workers);
+  for (size_t T = 0; T != Workers; ++T) {
+    Attack *AT = T == 0 ? &A : AttackClones[T - 1].get();
+    Classifier *NT = T == 0 ? &N : ClassifierClones[T - 1].get();
+    Futures.push_back(Pool.submit([&, AT, NT] {
+      for (size_t I = Next.fetch_add(1); I < TestSet.size();
+           I = Next.fetch_add(1))
+        Logs[I] = attackOne(*AT, *NT, TestSet, I, Budget);
+    }));
+  }
+  for (auto &F : Futures)
+    F.get();
+  return true;
+}
 
 } // namespace
 
 std::vector<AttackRunLog> oppsla::runAttackOverSet(Attack &A, Classifier &N,
                                                    const Dataset &TestSet,
-                                                   uint64_t Budget) {
+                                                   uint64_t Budget,
+                                                   size_t Threads) {
   std::vector<AttackRunLog> Logs;
+  if (Threads > 1 &&
+      runAttackOverSetParallel(A, N, TestSet, Budget, Threads, Logs))
+    return Logs;
+
   Logs.reserve(TestSet.size());
-  TraceImageScope Scope;
-  for (size_t I = 0; I != TestSet.size(); ++I) {
-    Scope.set(I);
-    const AttackResult R =
-        A.attack(N, TestSet.Images[I], TestSet.Labels[I], Budget);
-    AttackRunLog Log;
-    Log.Label = TestSet.Labels[I];
-    Log.Discarded = R.AlreadyMisclassified;
-    Log.Success = R.Success && !R.AlreadyMisclassified;
-    Log.Queries = R.Queries;
-    Logs.push_back(Log);
-  }
+  for (size_t I = 0; I != TestSet.size(); ++I)
+    Logs.push_back(attackOne(A, N, TestSet, I, Budget));
   return Logs;
 }
 
 std::vector<AttackRunLog> oppsla::runProgramsOverSet(
     const std::vector<Program> &Programs, Classifier &N,
-    const Dataset &TestSet, uint64_t Budget) {
-  std::vector<AttackRunLog> Logs;
-  Logs.reserve(TestSet.size());
-  TraceImageScope Scope;
-  for (size_t I = 0; I != TestSet.size(); ++I) {
-    Scope.set(I);
+    const Dataset &TestSet, uint64_t Budget, size_t Threads) {
+  // Per-image construction of the SketchAttack is cheap (programs are a
+  // handful of ops), so each run builds the attack for its label locally;
+  // that also makes the parallel path trivially race-free.
+  auto RunOne = [&Programs, &TestSet, Budget](Classifier &NN,
+                                              size_t I) -> AttackRunLog {
+    telemetry::TraceImageScope Scope(static_cast<int64_t>(I));
     const size_t Label = TestSet.Labels[I];
     assert(Label < Programs.size() && "no program for this class");
     SketchAttack A(Programs[Label]);
-    const AttackResult R = A.attack(N, TestSet.Images[I], Label, Budget);
+    const AttackResult R = A.attack(NN, TestSet.Images[I], Label, Budget);
     AttackRunLog Log;
     Log.Label = Label;
     Log.Discarded = R.AlreadyMisclassified;
     Log.Success = R.Success && !R.AlreadyMisclassified;
     Log.Queries = R.Queries;
-    Logs.push_back(Log);
+    return Log;
+  };
+
+  const size_t Workers = std::min(Threads, TestSet.size());
+  if (Workers >= 2) {
+    std::vector<std::unique_ptr<Classifier>> Clones;
+    bool Cloneable = true;
+    for (size_t T = 1; T != Workers && Cloneable; ++T) {
+      auto NC = N.clone();
+      if (!NC)
+        Cloneable = false;
+      else
+        Clones.push_back(std::move(NC));
+    }
+    if (Cloneable) {
+      std::vector<AttackRunLog> Logs(TestSet.size());
+      ThreadPool Pool(Workers);
+      std::atomic<size_t> Next{0};
+      std::vector<std::future<void>> Futures;
+      Futures.reserve(Workers);
+      for (size_t T = 0; T != Workers; ++T) {
+        Classifier *NT = T == 0 ? &N : Clones[T - 1].get();
+        Futures.push_back(Pool.submit([&, NT] {
+          for (size_t I = Next.fetch_add(1); I < TestSet.size();
+               I = Next.fetch_add(1))
+            Logs[I] = RunOne(*NT, I);
+        }));
+      }
+      for (auto &F : Futures)
+        F.get();
+      return Logs;
+    }
   }
+
+  std::vector<AttackRunLog> Logs;
+  Logs.reserve(TestSet.size());
+  for (size_t I = 0; I != TestSet.size(); ++I)
+    Logs.push_back(RunOne(N, I));
   return Logs;
 }
 

@@ -38,16 +38,25 @@ struct AttackRunLog {
 };
 
 /// Runs \p A on every image of \p TestSet with \p Budget queries each.
+///
+/// With \p Threads > 1 the images are attacked by a worker pool; every
+/// worker operates on its own Attack::clone() and Classifier::clone(), so
+/// the result vector is bit-identical to the serial sweep (each run's
+/// outcome is a pure function of the attack seed and the image — see
+/// Attack::attack()). Falls back to serial execution when the classifier
+/// is not cloneable.
 std::vector<AttackRunLog> runAttackOverSet(Attack &A, Classifier &N,
                                            const Dataset &TestSet,
-                                           uint64_t Budget);
+                                           uint64_t Budget,
+                                           size_t Threads = 1);
 
 /// Runs the per-class adversarial programs over \p TestSet: the image's
 /// label selects the program (the paper synthesizes one program per class
 /// training set). \p Programs must have one entry per class in use.
+/// \p Threads parallelizes the sweep as in runAttackOverSet.
 std::vector<AttackRunLog> runProgramsOverSet(
     const std::vector<Program> &Programs, Classifier &N,
-    const Dataset &TestSet, uint64_t Budget);
+    const Dataset &TestSet, uint64_t Budget, size_t Threads = 1);
 
 /// Collapses run logs into the QuerySample statistics (discarded images
 /// are excluded entirely).

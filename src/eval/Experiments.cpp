@@ -137,7 +137,7 @@ std::string cacheDir() {
 
 std::vector<Program> oppsla::synthesizeClassPrograms(
     NNClassifier &Victim, const std::string &VictimStem, TaskKind Task,
-    const BenchScale &Scale, uint64_t Seed) {
+    const BenchScale &Scale, uint64_t Seed, size_t Threads) {
   std::vector<Program> Programs;
   Programs.reserve(Scale.NumClasses);
 
@@ -161,6 +161,7 @@ std::vector<Program> oppsla::synthesizeClassPrograms(
     Config.MaxIter = Scale.SynthIters;
     Config.PerImageQueryCap = Scale.SynthQueryCap;
     Config.Seed = Seed * 131071 + Label * 8191 + 5;
+    Config.Threads = Threads;
     logInfo() << "synthesizing program for " << Victim.name() << " class "
               << Label << " (" << Train.size() << " train images, "
               << Config.MaxIter << " iters)";

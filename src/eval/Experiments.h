@@ -58,12 +58,15 @@ Dataset makeSynthesisSet(TaskKind Task, size_t Label,
 /// Synthesizes one adversarial program per class for \p Victim (or loads
 /// them from the program cache). Returns Scale.NumClasses programs.
 /// The cache key includes \p VictimStem so programs synthesized for one
-/// classifier are never reused for another.
+/// classifier are never reused for another. \p Threads parallelizes
+/// candidate scoring (SynthesisConfig::Threads); the synthesized programs
+/// are identical for any thread count, so the cache key ignores it.
 std::vector<Program> synthesizeClassPrograms(NNClassifier &Victim,
                                              const std::string &VictimStem,
                                              TaskKind Task,
                                              const BenchScale &Scale,
-                                             uint64_t Seed = 1);
+                                             uint64_t Seed = 1,
+                                             size_t Threads = 1);
 
 /// Saves a program as a small text file. \returns true on success.
 bool saveProgram(const Program &P, const std::string &Path);

@@ -156,6 +156,25 @@ public:
   /// parallel-ish subtask its own stream.
   Rng fork() { return Rng(nextU64() ^ 0xa5a5a5a5a5a5a5a5ULL); }
 
+  /// Derives the seed for one run of a randomized component from the
+  /// component's configured \p Seed and a stable per-run \p StreamId (for
+  /// attacks: the attacked image's content hash). Two SplitMix64 scrambles
+  /// decorrelate the streams: the first turns the configured seed into a
+  /// stream root (so nearby seeds do not yield nearby streams), the second
+  /// mixes in the stream id. The result is a pure function of
+  /// (Seed, StreamId) — independent of any prior runs — which is what makes
+  /// sweep results invariant to dataset order and subset.
+  static uint64_t deriveRunSeed(uint64_t Seed, uint64_t StreamId) {
+    SplitMix64 Root(Seed);
+    SplitMix64 Run(Root.next() ^ StreamId);
+    return Run.next();
+  }
+
+  /// Convenience: a generator seeded with deriveRunSeed(Seed, StreamId).
+  static Rng forRun(uint64_t Seed, uint64_t StreamId) {
+    return Rng(deriveRunSeed(Seed, StreamId));
+  }
+
 private:
   static uint64_t rotl(uint64_t X, int K) {
     return (X << K) | (X >> (64 - K));

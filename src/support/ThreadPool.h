@@ -1,0 +1,82 @@
+//===- support/ThreadPool.h - Fixed-size worker pool -----------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed pool of worker threads draining one shared FIFO queue — no work
+/// stealing, no priorities. The evaluation sweeps are embarrassingly
+/// parallel across images once every attack run owns its RNG
+/// (support/Rng.h: Rng::deriveRunSeed), so a plain queue is all the
+/// scheduling the project needs; determinism comes from writing results
+/// into pre-sized output slots, never from task ordering.
+///
+/// submit() returns a std::future<void> whose get() rethrows any exception
+/// the task threw on the worker. forEach() is the common fan-out shape:
+/// run Fn(I) for every I in [0, N) across the pool, block until done, and
+/// rethrow the failing call with the lowest index (a deterministic choice
+/// even though workers race).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_SUPPORT_THREADPOOL_H
+#define OPPSLA_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace oppsla {
+
+class ArgParse;
+
+/// Fixed-size FIFO thread pool.
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers; 0 is clamped to 1.
+  explicit ThreadPool(size_t NumThreads);
+
+  /// Drains outstanding tasks, then joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  size_t numThreads() const { return Workers.size(); }
+
+  /// Enqueues \p Task. The future's get() blocks until the task ran and
+  /// rethrows anything it threw.
+  std::future<void> submit(std::function<void()> Task);
+
+  /// Runs Fn(I) for every I in [0, N) on the pool and blocks until all
+  /// calls finished. If any calls throw, the exception of the lowest
+  /// failing index is rethrown (the rest still run to completion).
+  void forEach(size_t N, const std::function<void(size_t)> &Fn);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static size_t hardwareThreads();
+
+private:
+  void workerLoop();
+
+  std::mutex Mu;
+  std::condition_variable HasWork;
+  std::deque<std::packaged_task<void()>> Queue;
+  std::vector<std::thread> Workers;
+  bool Stopping = false;
+};
+
+/// Shared `--threads N` wiring for the CLI and bench binaries: N >= 1 is a
+/// worker count, 0 means "all hardware threads", absent defaults to
+/// \p Default (serial unless the caller says otherwise).
+size_t threadCountFromArgs(const ArgParse &Args, size_t Default = 1);
+
+} // namespace oppsla
+
+#endif // OPPSLA_SUPPORT_THREADPOOL_H

@@ -35,7 +35,9 @@ void appendJsonDouble(std::string &Out, double V) {
   Out += Buf;
 }
 
-std::atomic<int64_t> CurrentImage{-1};
+/// Thread-local so parallel sweep workers tag their events with their own
+/// image id (see Trace.h).
+thread_local int64_t CurrentImage = -1;
 
 } // namespace
 
@@ -169,9 +171,7 @@ void oppsla::telemetry::traceEvent(const char *Type,
 }
 
 void oppsla::telemetry::setTraceImage(int64_t ImageId) {
-  CurrentImage.store(ImageId, std::memory_order_relaxed);
+  CurrentImage = ImageId;
 }
 
-int64_t oppsla::telemetry::traceImage() {
-  return CurrentImage.load(std::memory_order_relaxed);
-}
+int64_t oppsla::telemetry::traceImage() { return CurrentImage; }

@@ -116,8 +116,34 @@ void traceEvent(const char *Type, std::initializer_list<TraceField> Fields);
 /// Ambient trace context: the index of the image currently under attack,
 /// stamped onto query and attack-span events by the emitters so individual
 /// attacks/queries can be grouped offline. -1 when unset.
+///
+/// The value is thread-local: parallel sweep workers each publish their own
+/// image id, so events emitted concurrently are tagged with the image their
+/// thread is actually attacking (a process-global id would interleave).
 void setTraceImage(int64_t ImageId);
 int64_t traceImage();
+
+/// RAII ambient image id: saves the calling thread's current id on
+/// construction and restores it on destruction, so nested sweeps (e.g.
+/// synthesis inside eval) and early exits — including exceptions — never
+/// leak an id into the enclosing scope.
+class TraceImageScope {
+public:
+  TraceImageScope() : Saved(traceImage()) {}
+  explicit TraceImageScope(int64_t ImageId) : TraceImageScope() {
+    setTraceImage(ImageId);
+  }
+  ~TraceImageScope() { setTraceImage(Saved); }
+
+  TraceImageScope(const TraceImageScope &) = delete;
+  TraceImageScope &operator=(const TraceImageScope &) = delete;
+
+  /// Publishes \p I as the current thread's image id.
+  void set(size_t I) { setTraceImage(static_cast<int64_t>(I)); }
+
+private:
+  int64_t Saved;
+};
 
 } // namespace telemetry
 } // namespace oppsla

@@ -12,6 +12,7 @@
 #include "support/Rng.h"
 
 #include <functional>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -31,6 +32,13 @@ public:
     return Fn(Img);
   }
   size_t numClasses() const override { return Classes; }
+
+  /// Clones share the scoring function (which tests keep pure) but count
+  /// their queries separately; calls() on the original only reflects its
+  /// own queries.
+  std::unique_ptr<Classifier> clone() const override {
+    return std::make_unique<FakeClassifier>(Classes, Fn);
+  }
 
   size_t calls() const { return Calls; }
 

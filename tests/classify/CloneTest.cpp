@@ -1,0 +1,89 @@
+//===- tests/classify/CloneTest.cpp - Classifier cloning tests ----------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "classify/NNClassifier.h"
+#include "classify/Training.h"
+#include "nn/ModelZoo.h"
+
+#include "../TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace oppsla;
+using namespace oppsla::test;
+
+namespace {
+
+/// A small untrained MiniVGG wrapped in an NNClassifier; random weights
+/// are as good as trained ones for testing clone fidelity.
+std::unique_ptr<NNClassifier> tinyVictim(bool WithBuilder) {
+  const size_t Classes = 3, Side = 8;
+  Rng R(11);
+  auto Model = buildModel(Arch::MiniVGG, Classes, Side, R);
+  auto C = std::make_unique<NNClassifier>(std::move(Model), Classes, "tiny");
+  if (WithBuilder)
+    C->setModelBuilder([Classes, Side] {
+      Rng Throwaway(0);
+      return buildModel(Arch::MiniVGG, Classes, Side, Throwaway);
+    });
+  return C;
+}
+
+} // namespace
+
+TEST(NNClassifierClone, WithoutBuilderReturnsNull) {
+  auto Victim = tinyVictim(/*WithBuilder=*/false);
+  EXPECT_EQ(Victim->clone(), nullptr);
+}
+
+TEST(NNClassifierClone, CloneScoresBitIdentically) {
+  auto Victim = tinyVictim(/*WithBuilder=*/true);
+  auto Clone = Victim->clone();
+  ASSERT_NE(Clone, nullptr);
+  EXPECT_EQ(Clone->numClasses(), Victim->numClasses());
+  for (uint64_t Seed = 0; Seed != 5; ++Seed) {
+    const Image X = randomImage(8, 8, Seed);
+    EXPECT_EQ(Clone->scores(X), Victim->scores(X)) << "image seed " << Seed;
+  }
+}
+
+TEST(NNClassifierClone, CloneIsIndependentOfTheOriginal) {
+  auto Victim = tinyVictim(/*WithBuilder=*/true);
+  auto Clone = Victim->clone();
+  ASSERT_NE(Clone, nullptr);
+  const Image X = randomImage(8, 8, 1);
+  const std::vector<float> Expected = Victim->scores(X);
+  // Keep querying the original; the clone must not share weights or
+  // scratch buffers with it.
+  Victim->scores(randomImage(8, 8, 2));
+  Victim->scores(randomImage(8, 8, 5));
+  EXPECT_EQ(Clone->scores(X), Expected);
+}
+
+TEST(NNClassifierClone, ClonesAreThemselvesCloneable) {
+  auto Victim = tinyVictim(/*WithBuilder=*/true);
+  auto Clone = Victim->clone();
+  ASSERT_NE(Clone, nullptr);
+  auto Grandclone = Clone->clone();
+  ASSERT_NE(Grandclone, nullptr) << "the builder must propagate";
+  const Image X = randomImage(8, 8, 3);
+  EXPECT_EQ(Grandclone->scores(X), Victim->scores(X));
+}
+
+TEST(NNClassifierClone, MakeVictimInstallsABuilder) {
+  VictimSpec Spec;
+  Spec.Task = TaskKind::CifarLike;
+  Spec.Architecture = Arch::MiniVGG;
+  Spec.NumClasses = 3;
+  Spec.TrainImagesPerClass = 2;
+  Spec.Side = 8;
+  Spec.Train.Epochs = 1;
+  auto Victim = makeVictim(Spec, /*CacheEnabled=*/false);
+  auto Clone = Victim->clone();
+  ASSERT_NE(Clone, nullptr);
+  const Image X = randomImage(8, 8, 4);
+  EXPECT_EQ(Clone->scores(X), Victim->scores(X));
+}

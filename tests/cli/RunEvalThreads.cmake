@@ -1,0 +1,41 @@
+# Runs `oppsla eval` twice — serial and with 4 worker threads — against the
+# same cached victim and compares the per-image --runs-out JSONL byte for
+# byte. This is the end-to-end check of the determinism contract: per-run
+# RNG isolation makes every attack run a pure function of (seed, image),
+# so the thread count must not change a single byte of the results.
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(RUNS1 ${WORK_DIR}/runs_t1.jsonl)
+set(RUNS4 ${WORK_DIR}/runs_t4.jsonl)
+
+foreach(CASE "1;${RUNS1}" "4;${RUNS4}")
+  list(GET CASE 0 THREADS)
+  list(GET CASE 1 OUT_FILE)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env OPPSLA_CACHE_DIR=${WORK_DIR}/cache
+      ${CLI} eval --scale smoke --attack sparse-rs --budget 256
+      --threads ${THREADS} --runs-out ${OUT_FILE}
+    OUTPUT_VARIABLE OUT
+    RESULT_VARIABLE RC)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR "eval --threads ${THREADS} failed with ${RC}: ${OUT}")
+  endif()
+  if(NOT EXISTS ${OUT_FILE})
+    message(FATAL_ERROR "--runs-out produced no file for --threads ${THREADS}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${RUNS1} ${RUNS4}
+  RESULT_VARIABLE DIFF)
+if(NOT DIFF EQUAL 0)
+  message(FATAL_ERROR
+    "per-image run logs differ between --threads 1 and --threads 4; "
+    "parallel evaluation is supposed to be bit-identical to serial "
+    "(compare ${RUNS1} with ${RUNS4})")
+endif()
+
+file(STRINGS ${RUNS1} LINES)
+list(LENGTH LINES NUM_LINES)
+if(NUM_LINES EQUAL 0)
+  message(FATAL_ERROR "runs JSONL is empty — the comparison proved nothing")
+endif()

@@ -31,6 +31,7 @@
 #include "support/ArgParse.h"
 #include "support/Metrics.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
 #include "support/Trace.h"
 
 #include <fstream>
@@ -46,6 +47,8 @@ int usage() {
       << "usage: oppsla <train|synthesize|explain|attack|eval> [options]\n"
          "  common options: --arch vgg|resnet|googlenet|densenet|resnet50\n"
          "                  --task cifar|imagenet  --scale smoke|small|paper\n"
+         "                  --threads N (parallel sweeps; 0 = all cores;\n"
+         "                  results are identical for any thread count)\n"
          "  telemetry:      --trace-out t.jsonl  --metrics-out m.json\n"
          "                  --layer-timing (per-layer forward timings)\n"
          "run with a subcommand for its specific options (see tool header)\n";
@@ -86,6 +89,7 @@ int cmdSynthesize(const ArgParse &Args) {
   Config.MaxIter = static_cast<size_t>(
       Args.getInt("iters", static_cast<long long>(Scale.SynthIters)));
   Config.PerImageQueryCap = Scale.SynthQueryCap;
+  Config.Threads = threadCountFromArgs(Args);
   const Dataset Train = makeSynthesisSet(Task, Label, Scale);
   std::vector<SynthesisStep> Trace;
   const std::string TraceJsonl = Args.get("synth-trace-out", "");
@@ -169,7 +173,7 @@ int cmdAttack(const ArgParse &Args) {
   SketchAttack A(P, Path.empty() ? "Sketch+False" : "program");
   Table T({"image", "outcome", "#queries", "pixel", "perturbation"});
   for (size_t I = 0; I != Test.size(); ++I) {
-    telemetry::setTraceImage(static_cast<int64_t>(I));
+    telemetry::TraceImageScope Scope(static_cast<int64_t>(I));
     const AttackResult R =
         A.attack(*Victim, Test.Images[I], Label, Budget);
     std::ostringstream Loc, Pert;
@@ -184,7 +188,6 @@ int cmdAttack(const ArgParse &Args) {
                                      : "failure",
               std::to_string(R.Queries), Loc.str(), Pert.str()});
   }
-  telemetry::setTraceImage(-1);
   T.print(std::cout);
   return 0;
 }
@@ -199,20 +202,22 @@ int cmdEval(const ArgParse &Args) {
   const Dataset Test = makeTestSet(Task, Scale);
 
   const std::string Kind = Args.get("attack", "oppsla");
+  const size_t Threads = threadCountFromArgs(Args);
   std::vector<AttackRunLog> Logs;
   if (Kind == "oppsla") {
     const std::vector<Program> Programs = synthesizeClassPrograms(
-        *Victim, victimStem(Task, A, Scale), Task, Scale);
-    Logs = runProgramsOverSet(Programs, *Victim, Test, Budget);
+        *Victim, victimStem(Task, A, Scale), Task, Scale, /*Seed=*/1,
+        Threads);
+    Logs = runProgramsOverSet(Programs, *Victim, Test, Budget, Threads);
   } else if (Kind == "sparse-rs") {
     SparseRS Attack;
-    Logs = runAttackOverSet(Attack, *Victim, Test, Budget);
+    Logs = runAttackOverSet(Attack, *Victim, Test, Budget, Threads);
   } else if (Kind == "suopa") {
     SuOPA Attack;
-    Logs = runAttackOverSet(Attack, *Victim, Test, Budget);
+    Logs = runAttackOverSet(Attack, *Victim, Test, Budget, Threads);
   } else if (Kind == "random") {
     RandomPairSearch Attack;
-    Logs = runAttackOverSet(Attack, *Victim, Test, Budget);
+    Logs = runAttackOverSet(Attack, *Victim, Test, Budget, Threads);
   } else {
     std::cerr << "error: unknown --attack '" << Kind << "'\n";
     return 2;
