@@ -1,0 +1,204 @@
+//===- bench/batch_throughput.cpp - Query engine throughput ------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures what the query engine buys on raw forward throughput: images/sec
+// and physical forwards for batch 1 vs batch N, cache off vs cache on, and
+// (when the host has the cores for it) the engine's worker-clone parallel
+// path. Emits BENCH_queryengine.json for the driver to diff; the headline
+// acceptance number is images/sec at batch >= 8 relative to the serial
+// batch-1 loop on the same model.
+//
+//===----------------------------------------------------------------------===//
+
+#include "classify/NNClassifier.h"
+#include "engine/QueryEngine.h"
+#include "nn/ModelZoo.h"
+#include "support/ArgParse.h"
+#include "support/BenchScale.h"
+#include "support/Metrics.h"
+#include "support/Rng.h"
+#include "support/Table.h"
+#include "support/ThreadPool.h"
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+using namespace oppsla;
+
+namespace {
+
+struct RunSpec {
+  size_t BatchSize;
+  size_t CacheCapacity;
+  size_t Threads;
+  size_t Passes; // how many times the image set is queried
+};
+
+struct RunResult {
+  std::string Model;
+  RunSpec Spec;
+  size_t Images = 0;
+  uint64_t LogicalQueries = 0;
+  uint64_t PhysicalForwards = 0;
+  double Seconds = 0.0;
+  double ImagesPerSec = 0.0;
+  double SpeedupVsBatch1 = 0.0;
+  double CacheHitRate = 0.0;
+};
+
+std::vector<Image> makeImages(size_t N, size_t Side) {
+  Rng R(0x1337);
+  std::vector<Image> Out;
+  Out.reserve(N);
+  for (size_t I = 0; I != N; ++I) {
+    Image Img(Side, Side);
+    for (float &V : Img.raw())
+      V = R.uniformF();
+    Out.push_back(std::move(Img));
+  }
+  return Out;
+}
+
+RunResult runOne(const std::string &Model, NNClassifier &Inner,
+                 const std::vector<Image> &Imgs, const RunSpec &Spec) {
+  QueryEngineConfig Config;
+  Config.BatchSize = Spec.BatchSize;
+  Config.CacheCapacity = Spec.CacheCapacity;
+  Config.Threads = Spec.Threads;
+  QueryEngine Engine(Inner, Config);
+
+  const auto Start = std::chrono::steady_clock::now();
+  for (size_t Pass = 0; Pass != Spec.Passes; ++Pass) {
+    if (Spec.BatchSize <= 1) {
+      // The pre-engine serial path: one logical query, one forward, each.
+      for (const Image &Img : Imgs) {
+        const std::vector<float> S = Engine.scores(Img);
+        if (S.empty())
+          std::abort();
+      }
+    } else {
+      const auto Out = Engine.scoresBatch(std::span<const Image>(Imgs));
+      if (Out.size() != Imgs.size())
+        std::abort();
+    }
+  }
+  const auto End = std::chrono::steady_clock::now();
+
+  RunResult R;
+  R.Model = Model;
+  R.Spec = Spec;
+  R.Images = Imgs.size() * Spec.Passes;
+  R.LogicalQueries = Engine.logicalQueries();
+  R.PhysicalForwards = Engine.physicalForwards();
+  R.Seconds = std::chrono::duration<double>(End - Start).count();
+  R.ImagesPerSec = R.Seconds > 0 ? static_cast<double>(R.Images) / R.Seconds : 0;
+  const uint64_t Probes = Engine.cache().hits() + Engine.cache().misses();
+  R.CacheHitRate =
+      Probes ? static_cast<double>(Engine.cache().hits()) / Probes : 0.0;
+  return R;
+}
+
+void appendJson(std::string &Out, const RunResult &R) {
+  std::ostringstream S;
+  S << "    {\"model\": \"" << R.Model << "\", \"batch_size\": "
+    << R.Spec.BatchSize << ", \"cache_capacity\": " << R.Spec.CacheCapacity
+    << ", \"engine_threads\": " << R.Spec.Threads
+    << ", \"passes\": " << R.Spec.Passes << ", \"images\": " << R.Images
+    << ", \"logical_queries\": " << R.LogicalQueries
+    << ", \"physical_forwards\": " << R.PhysicalForwards
+    << ", \"seconds\": " << R.Seconds
+    << ", \"images_per_sec\": " << R.ImagesPerSec
+    << ", \"speedup_vs_batch1\": " << R.SpeedupVsBatch1
+    << ", \"cache_hit_rate\": " << R.CacheHitRate << "}";
+  Out += S.str();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const ArgParse Args(argc, argv);
+  if (!telemetry::configureFromArgs(Args))
+    return 1;
+  const BenchScale Scale = BenchScale::fromEnv();
+  const std::string OutPath = Args.get("out", "BENCH_queryengine.json");
+  const size_t HwThreads = ThreadPool::hardwareThreads();
+
+  // Throughput does not need trained weights; random initialization runs
+  // the exact same arithmetic.
+  const size_t NumImages = Scale.Name == "smoke"   ? 24
+                           : Scale.Name == "paper" ? 256
+                                                   : 96;
+  const size_t Side = Scale.CifarSide;
+  const struct {
+    Arch A;
+    const char *Name;
+  } Models[] = {{Arch::MiniVGG, "MiniVGG"}, {Arch::MiniResNet, "MiniResNet"}};
+
+  std::cout << "== Query engine batch throughput (scale: " << Scale.Name
+            << ", side " << Side << ", " << NumImages << " images, "
+            << HwThreads << " hw threads) ==\n\n";
+
+  std::vector<RunResult> Results;
+  for (const auto &M : Models) {
+    Rng R(7);
+    NNClassifier Inner(buildModel(M.A, 10, Side, R), 10, M.Name);
+    const std::vector<Image> Imgs = makeImages(NumImages, Side);
+
+    std::vector<RunSpec> Specs = {
+        {/*BatchSize=*/1, /*CacheCapacity=*/0, /*Threads=*/1, /*Passes=*/1},
+        {/*BatchSize=*/8, /*CacheCapacity=*/0, /*Threads=*/1, /*Passes=*/1},
+        {/*BatchSize=*/32, /*CacheCapacity=*/0, /*Threads=*/1, /*Passes=*/1},
+        // Cache on, two passes: the second pass is pure hits, the shape an
+        // attack's repeated-proposal traffic takes.
+        {/*BatchSize=*/8, /*CacheCapacity=*/4096, /*Threads=*/1, /*Passes=*/2},
+    };
+    if (HwThreads > 1)
+      Specs.push_back({/*BatchSize=*/8, /*CacheCapacity=*/0, HwThreads, 1});
+
+    double Batch1Rate = 0.0;
+    for (const RunSpec &Spec : Specs) {
+      RunResult Res = runOne(M.Name, Inner, Imgs, Spec);
+      if (Spec.BatchSize == 1)
+        Batch1Rate = Res.ImagesPerSec;
+      Res.SpeedupVsBatch1 =
+          Batch1Rate > 0 ? Res.ImagesPerSec / Batch1Rate : 0.0;
+      Results.push_back(Res);
+    }
+  }
+
+  Table T({"model", "batch", "cache", "threads", "images", "forwards",
+           "images/sec", "vs batch 1"});
+  for (const RunResult &R : Results)
+    T.addRow({R.Model, std::to_string(R.Spec.BatchSize),
+              R.Spec.CacheCapacity ? "on" : "off",
+              std::to_string(R.Spec.Threads), std::to_string(R.Images),
+              std::to_string(R.PhysicalForwards), Table::fmt(R.ImagesPerSec, 1),
+              Table::fmt(R.SpeedupVsBatch1, 2) + "x"});
+  T.print(std::cout);
+
+  std::string Json = "{\n  \"bench\": \"queryengine_batch_throughput\",\n";
+  Json += "  \"scale\": \"" + Scale.Name + "\",\n";
+  Json += "  \"hardware_threads\": " + std::to_string(HwThreads) + ",\n";
+  Json += "  \"results\": [\n";
+  for (size_t I = 0; I != Results.size(); ++I) {
+    appendJson(Json, Results[I]);
+    Json += I + 1 == Results.size() ? "\n" : ",\n";
+  }
+  Json += "  ]\n}\n";
+
+  std::ofstream Out(OutPath);
+  if (!Out) {
+    std::cerr << "error: cannot write " << OutPath << "\n";
+    return 1;
+  }
+  Out << Json;
+  std::cout << "\nwrote " << OutPath << "\n";
+  telemetry::finalizeTelemetry();
+  return 0;
+}

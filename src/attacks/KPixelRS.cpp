@@ -85,14 +85,14 @@ KPixelResult KPixelRS::runDetailed(Classifier &N, const Image &X,
     }
   }
 
-  auto RandomPixel = [&](const std::vector<LocPert> &Existing,
+  auto RandomPixel = [&](Rng &G, const std::vector<LocPert> &Existing,
                          size_t SkipIndex) {
     LocPert P;
     do {
-      P.Loc = PixelLoc{static_cast<uint16_t>(R.index(H)),
-                       static_cast<uint16_t>(R.index(W))};
+      P.Loc = PixelLoc{static_cast<uint16_t>(G.index(H)),
+                       static_cast<uint16_t>(G.index(W))};
     } while (containsLoc(Existing, P.Loc, SkipIndex));
-    P.Corner = static_cast<CornerIdx>(R.index(NumCorners));
+    P.Corner = static_cast<CornerIdx>(G.index(NumCorners));
     return P;
   };
 
@@ -100,7 +100,7 @@ KPixelResult KPixelRS::runDetailed(Classifier &N, const Image &X,
   std::vector<LocPert> Current;
   Current.reserve(K);
   for (size_t I = 0; I != K; ++I)
-    Current.push_back(RandomPixel(Current, Current.size()));
+    Current.push_back(RandomPixel(R, Current, Current.size()));
 
   Image Scratch = X;
   auto Evaluate = [&](const std::vector<LocPert> &Pixels,
@@ -123,8 +123,15 @@ KPixelResult KPixelRS::runDetailed(Classifier &N, const Image &X,
   if (!Evaluate(Current, Margin) || Out.Base.Success)
     return Finish();
 
-  for (uint64_t Iter = 0; !Q.exhausted(); ++Iter) {
-    // Alpha schedule: resample many pixels early, few late.
+  // One proposal draw, shared by the real loop and the speculative replay.
+  // Unlike one-pixel Sparse-RS, the location rejection loop inspects the
+  // candidate's contents, so a replay's draw stream stays exact only while
+  // no acceptance occurs — after a mid-window acceptance the rest of the
+  // window mispredicts (wasted forwards, never wrong answers).
+  //
+  // Alpha schedule: resample many pixels early, few late.
+  auto Propose = [&](Rng &G, uint64_t Iter,
+                     const std::vector<LocPert> &Cur) {
     const double Progress =
         std::min(1.0, static_cast<double>(Iter) /
                           static_cast<double>(Config.ScheduleHorizon));
@@ -133,18 +140,40 @@ KPixelResult KPixelRS::runDetailed(Classifier &N, const Image &X,
     const size_t Moves = std::max<size_t>(
         1, static_cast<size_t>(Fraction * static_cast<double>(K)));
 
-    std::vector<LocPert> Candidate = Current;
+    std::vector<LocPert> Candidate = Cur;
     for (size_t M = 0; M != Moves; ++M) {
-      const size_t Idx = R.index(K);
-      if (R.chance(0.5)) {
-        Candidate[Idx] = RandomPixel(Candidate, Idx);
+      const size_t Idx = G.index(K);
+      if (G.chance(0.5)) {
+        Candidate[Idx] = RandomPixel(G, Candidate, Idx);
       } else {
         // Color-only move.
         Candidate[Idx].Corner = static_cast<CornerIdx>(
-            (Candidate[Idx].Corner + 1 + R.index(NumCorners - 1)) %
+            (Candidate[Idx].Corner + 1 + G.index(NumCorners - 1)) %
             NumCorners);
       }
     }
+    return Candidate;
+  };
+
+  const size_t Horizon = Config.PrefetchHorizon;
+  const bool Speculate = Horizon > 1 && Q.prefetchable();
+
+  for (uint64_t Iter = 0; !Q.exhausted(); ++Iter) {
+    if (Speculate && Iter % Horizon == 0) {
+      Rng Sim = R;
+      std::vector<Image> Batch;
+      Batch.reserve(Horizon);
+      for (size_t J = 0; J != Horizon; ++J) {
+        const std::vector<LocPert> Spec = Propose(Sim, Iter + J, Current);
+        Image Cand = X;
+        for (const LocPert &P : Spec)
+          Cand.setPixel(P.Loc.Row, P.Loc.Col, P.perturbation());
+        Batch.push_back(std::move(Cand));
+      }
+      Q.prefetch(Batch);
+    }
+
+    std::vector<LocPert> Candidate = Propose(R, Iter, Current);
 
     double CandMargin = 0.0;
     if (!Evaluate(Candidate, CandMargin))

@@ -38,6 +38,10 @@ struct KPixelRSConfig {
   uint64_t Seed = 0x2b15ULL;
   uint64_t ScheduleHorizon = 10000;
   double MinResampleFraction = 0.1; ///< late-phase fraction of pixels moved
+  /// Iterations speculated per prefetch submission when the classifier is
+  /// prefetchable (no-acceptance replay on a cloned Rng; mispredictions
+  /// cost wasted forwards only). 1 disables prefetching.
+  size_t PrefetchHorizon = 16;
 };
 
 /// Few pixel Sparse-RS-style attack.

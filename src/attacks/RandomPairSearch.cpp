@@ -40,8 +40,27 @@ AttackResult RandomPairSearch::runAttack(Classifier &N, const Image &X,
   std::iota(Order.begin(), Order.end(), 0u);
   R.shuffle(Order);
 
+  // The full visit order is known upfront, so prefetch windows are exact
+  // predictions: every window image is queried unless the run ends first.
+  constexpr size_t Window = 32;
+  const bool Prefetch = Q.prefetchable();
+
   Image Scratch = X;
-  for (PairId Id : Order) {
+  for (size_t Pos = 0; Pos != Order.size(); ++Pos) {
+    if (Prefetch && Pos % Window == 0) {
+      const size_t End = std::min(Pos + Window, Order.size());
+      std::vector<Image> Batch;
+      Batch.reserve(End - Pos);
+      for (size_t J = Pos; J != End; ++J) {
+        const LocPert LP = Space.pairOf(Order[J]);
+        Image Cand = X;
+        Cand.setPixel(LP.Loc.Row, LP.Loc.Col, LP.perturbation());
+        Batch.push_back(std::move(Cand));
+      }
+      Q.prefetch(Batch);
+    }
+
+    const PairId Id = Order[Pos];
     const LocPert LP = Space.pairOf(Id);
     const Pixel Orig = X.pixel(LP.Loc.Row, LP.Loc.Col);
     Scratch.setPixel(LP.Loc.Row, LP.Loc.Col, LP.perturbation());

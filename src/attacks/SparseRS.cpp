@@ -35,17 +35,10 @@ AttackResult SparseRS::runAttack(Classifier &N, const Image &X,
     }
   }
 
-  auto RandomLoc = [&]() {
-    return PixelLoc{static_cast<uint16_t>(R.index(H)),
-                    static_cast<uint16_t>(R.index(W))};
-  };
-  auto RandomCorner = [&]() {
-    return static_cast<CornerIdx>(R.index(NumCorners));
-  };
-
   // Current state: one (location, corner) candidate and its margin.
-  PixelLoc Loc = RandomLoc();
-  CornerIdx Corner = RandomCorner();
+  PixelLoc Loc{static_cast<uint16_t>(R.index(H)),
+               static_cast<uint16_t>(R.index(W))};
+  CornerIdx Corner = static_cast<CornerIdx>(R.index(NumCorners));
   Image Scratch = X;
 
   auto Evaluate = [&](const PixelLoc &L, CornerIdx C, double &MarginOut) {
@@ -69,26 +62,60 @@ AttackResult SparseRS::runAttack(Classifier &N, const Image &X,
     return Finish();
   }
 
-  for (uint64_t Iter = 0; !Q.exhausted(); ++Iter) {
-    // Alpha schedule: early iterations explore new locations aggressively;
-    // later ones mostly flip the color at the current location, mirroring
-    // Sparse-RS's decreasing resampling fraction.
+  // One proposal draw, shared verbatim by the real loop and the
+  // speculative replay. The schedule depends only on the iteration number
+  // and the draw count only on the RNG stream, so a cloned Rng predicts
+  // upcoming proposals exactly; only the *current* (location, corner) pair
+  // is speculative state.
+  //
+  // Alpha schedule: early iterations explore new locations aggressively;
+  // later ones mostly flip the color at the current location, mirroring
+  // Sparse-RS's decreasing resampling fraction.
+  auto Propose = [&](Rng &G, uint64_t Iter, const PixelLoc &CurLoc,
+                     CornerIdx CurCorner, PixelLoc &CandLoc,
+                     CornerIdx &CandCorner) {
     const double Progress =
         std::min(1.0, static_cast<double>(Iter) /
                           static_cast<double>(Config.ScheduleHorizon));
     const double LocProb =
         std::max(Config.MinLocationProb, 1.0 - Progress);
-
-    PixelLoc CandLoc = Loc;
-    CornerIdx CandCorner = Corner;
-    if (R.chance(LocProb)) {
-      CandLoc = RandomLoc();
-      CandCorner = RandomCorner();
+    CandLoc = CurLoc;
+    CandCorner = CurCorner;
+    if (G.chance(LocProb)) {
+      CandLoc = PixelLoc{static_cast<uint16_t>(G.index(H)),
+                         static_cast<uint16_t>(G.index(W))};
+      CandCorner = static_cast<CornerIdx>(G.index(NumCorners));
     } else {
       // Color move: a different corner at the current location.
       CandCorner = static_cast<CornerIdx>(
-          (Corner + 1 + R.index(NumCorners - 1)) % NumCorners);
+          (CurCorner + 1 + G.index(NumCorners - 1)) % NumCorners);
     }
+  };
+
+  const size_t Horizon = Config.PrefetchHorizon;
+  const bool Speculate = Horizon > 1 && Q.prefetchable();
+
+  for (uint64_t Iter = 0; !Q.exhausted(); ++Iter) {
+    if (Speculate && Iter % Horizon == 0) {
+      // Replay the next Horizon proposals under a no-acceptance
+      // assumption and warm the engine cache with the candidate images.
+      Rng Sim = R;
+      std::vector<Image> Batch;
+      Batch.reserve(Horizon);
+      for (size_t J = 0; J != Horizon; ++J) {
+        PixelLoc SpecLoc;
+        CornerIdx SpecCorner;
+        Propose(Sim, Iter + J, Loc, Corner, SpecLoc, SpecCorner);
+        Image Cand = X;
+        Cand.setPixel(SpecLoc.Row, SpecLoc.Col, cornerPixel(SpecCorner));
+        Batch.push_back(std::move(Cand));
+      }
+      Q.prefetch(Batch);
+    }
+
+    PixelLoc CandLoc;
+    CornerIdx CandCorner;
+    Propose(R, Iter, Loc, Corner, CandLoc, CandCorner);
 
     double CandMargin = 0.0;
     if (!Evaluate(CandLoc, CandCorner, CandMargin))

@@ -80,11 +80,31 @@ AttackResult SuOPA::runAttack(Classifier &N, const Image &X,
     return true;
   };
 
+  // A candidate image materialized the way Evaluate submits it: X with one
+  // pixel replaced. Byte-identical to the Scratch image Evaluate queries,
+  // so prefetched entries hit.
+  auto Materialize = [&](const Individual &Ind) {
+    PixelLoc Loc;
+    Pixel Pix;
+    Apply(Ind, Loc, Pix);
+    Image Cand = X;
+    Cand.setPixel(Loc.Row, Loc.Col, Pix);
+    return Cand;
+  };
+
+  const size_t Window = Config.PrefetchWindow;
+  const bool Speculate = Window > 1 && Q.prefetchable();
+
   // Initial population: positions uniform, colors gaussian around mid-gray
   // (Su et al.'s initialization). Positions are drawn over the same closed
   // range [0, side-1] that mutants are clamped to below, so initialization
   // and mutation explore the identical domain (drawing over [0, side) put
   // extra rounding mass on the last row/column).
+  //
+  // All individuals are drawn before any is evaluated. Evaluate consumes no
+  // RNG, so the draw stream is identical to drawing and evaluating
+  // interleaved — and the complete population is then known upfront, which
+  // lets the engine run exact (not speculative) prefetch windows.
   std::vector<Individual> Pop(Config.PopulationSize);
   for (Individual &Ind : Pop) {
     Ind.Row = R.uniform(0.0, static_cast<double>(H - 1));
@@ -92,35 +112,75 @@ AttackResult SuOPA::runAttack(Classifier &N, const Image &X,
     Ind.Rc = R.normal(0.5, 0.25);
     Ind.Gc = R.normal(0.5, 0.25);
     Ind.Bc = R.normal(0.5, 0.25);
-    if (!Evaluate(Ind))
+  }
+
+  const size_t P = Pop.size();
+  for (size_t I = 0; I != P; ++I) {
+    if (Speculate && I % Window == 0) {
+      const size_t End = std::min(I + Window, P);
+      std::vector<Image> Batch;
+      Batch.reserve(End - I);
+      for (size_t J = I; J != End; ++J)
+        Batch.push_back(Materialize(Pop[J]));
+      Q.prefetch(Batch);
+    }
+    if (!Evaluate(Pop[I]))
       return Finish();
     if (Out.Success)
       return Finish();
   }
 
-  const size_t P = Pop.size();
+  // DE/rand/1 index selection: three distinct members != I. The rejection
+  // loops compare draws against indices only, never against Pop values, so
+  // a cloned Rng replays the exact index stream of upcoming iterations —
+  // only the mutant *values* are speculative (they read Pop, which changes
+  // on acceptance).
+  auto DrawIndices = [P](Rng &G, size_t I, size_t &A, size_t &B, size_t &C) {
+    do
+      A = G.index(P);
+    while (A == I);
+    do
+      B = G.index(P);
+    while (B == I || B == A);
+    do
+      C = G.index(P);
+    while (C == I || C == A || C == B);
+  };
+
+  auto MutantOf = [&](size_t A, size_t B, size_t C) {
+    Individual Mut;
+    Mut.Row = Pop[A].Row + Config.F * (Pop[B].Row - Pop[C].Row);
+    Mut.Col = Pop[A].Col + Config.F * (Pop[B].Col - Pop[C].Col);
+    Mut.Rc = Pop[A].Rc + Config.F * (Pop[B].Rc - Pop[C].Rc);
+    Mut.Gc = Pop[A].Gc + Config.F * (Pop[B].Gc - Pop[C].Gc);
+    Mut.Bc = Pop[A].Bc + Config.F * (Pop[B].Bc - Pop[C].Bc);
+    Mut.Row = std::clamp(Mut.Row, 0.0, static_cast<double>(H - 1));
+    Mut.Col = std::clamp(Mut.Col, 0.0, static_cast<double>(W - 1));
+    return Mut;
+  };
+
   for (size_t Gen = 0; Gen != Config.MaxGenerations; ++Gen) {
     for (size_t I = 0; I != P; ++I) {
-      // DE/rand/1: mutant = a + F * (b - c), three distinct members != I.
-      size_t A, B, C;
-      do
-        A = R.index(P);
-      while (A == I);
-      do
-        B = R.index(P);
-      while (B == I || B == A);
-      do
-        C = R.index(P);
-      while (C == I || C == A || C == B);
+      if (Speculate && I % Window == 0) {
+        // Predict the window's mutants from the current population under a
+        // no-acceptance assumption. Mispredictions (an acceptance inside
+        // the window) cost wasted forwards, never wrong answers: the cache
+        // verifies full image bytes on every hit.
+        Rng Sim = R;
+        const size_t End = std::min(I + Window, P);
+        std::vector<Image> Batch;
+        Batch.reserve(End - I);
+        for (size_t J = I; J != End; ++J) {
+          size_t A, B, C;
+          DrawIndices(Sim, J, A, B, C);
+          Batch.push_back(Materialize(MutantOf(A, B, C)));
+        }
+        Q.prefetch(Batch);
+      }
 
-      Individual Mut;
-      Mut.Row = Pop[A].Row + Config.F * (Pop[B].Row - Pop[C].Row);
-      Mut.Col = Pop[A].Col + Config.F * (Pop[B].Col - Pop[C].Col);
-      Mut.Rc = Pop[A].Rc + Config.F * (Pop[B].Rc - Pop[C].Rc);
-      Mut.Gc = Pop[A].Gc + Config.F * (Pop[B].Gc - Pop[C].Gc);
-      Mut.Bc = Pop[A].Bc + Config.F * (Pop[B].Bc - Pop[C].Bc);
-      Mut.Row = std::clamp(Mut.Row, 0.0, static_cast<double>(H - 1));
-      Mut.Col = std::clamp(Mut.Col, 0.0, static_cast<double>(W - 1));
+      size_t A, B, C;
+      DrawIndices(R, I, A, B, C);
+      Individual Mut = MutantOf(A, B, C);
 
       if (!Evaluate(Mut))
         return Finish();

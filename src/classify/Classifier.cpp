@@ -12,6 +12,15 @@ using namespace oppsla;
 
 Classifier::~Classifier() = default;
 
+std::vector<std::vector<float>> Classifier::scoresBatch(
+    std::span<const Image> Imgs) {
+  std::vector<std::vector<float>> Out;
+  Out.reserve(Imgs.size());
+  for (const Image &Img : Imgs)
+    Out.push_back(scores(Img));
+  return Out;
+}
+
 size_t Classifier::predict(const Image &Img) {
   return argmaxScore(scores(Img));
 }

@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <vector>
 
 namespace oppsla {
@@ -30,6 +31,25 @@ public:
 
   /// Returns the score vector N(x); size equals numClasses().
   virtual std::vector<float> scores(const Image &Img) = 0;
+
+  /// Batched query: element i is N(Imgs[i]). The contract every override
+  /// must keep is bit-identity with the serial path — result[i] equals
+  /// scores(Imgs[i]) byte for byte, for any batch size — so callers may
+  /// batch or not batch freely without changing a single result. The
+  /// default implementation is that serial loop.
+  virtual std::vector<std::vector<float>> scoresBatch(
+      std::span<const Image> Imgs);
+
+  /// Hint that the caller expects to query these images soon. Plain
+  /// classifiers ignore it; a memoizing engine (engine/QueryEngine.h) runs
+  /// the batched forward now and answers the later scores() calls from its
+  /// cache. Never counts as a logical query anywhere.
+  virtual void prefetch(std::span<const Image> Imgs) { (void)Imgs; }
+
+  /// True when prefetch() actually does something (i.e. a memoizing layer
+  /// sits below). Attacks gate candidate speculation on this so plain
+  /// classifiers do not pay for image copies that would be thrown away.
+  virtual bool prefetchable() const { return false; }
 
   /// Number of classes in the score vector.
   virtual size_t numClasses() const = 0;

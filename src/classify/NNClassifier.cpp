@@ -49,6 +49,38 @@ std::unique_ptr<Classifier> NNClassifier::clone() const {
   return Out;
 }
 
+std::vector<std::vector<float>> NNClassifier::scoresBatch(
+    std::span<const Image> Imgs) {
+  if (Imgs.empty())
+    return {};
+  // The batch-1 path keeps its dedicated scratch so interleaved single
+  // queries never reshape the batch buffer (and vice versa).
+  if (Imgs.size() == 1)
+    return {scores(Imgs[0])};
+
+  const size_t N = Imgs.size();
+  const size_t H = Imgs[0].height(), W = Imgs[0].width();
+  if (BatchInputScratch.rank() != 4 || BatchInputScratch.dim(0) != N ||
+      BatchInputScratch.dim(2) != H || BatchInputScratch.dim(3) != W)
+    BatchInputScratch = Tensor({N, 3, H, W});
+  for (size_t I = 0; I != N; ++I) {
+    assert(Imgs[I].height() == H && Imgs[I].width() == W &&
+           "mixed image shapes in one batch");
+    Imgs[I].writeToTensorBatch(BatchInputScratch, I);
+  }
+
+  Tensor Logits = Model->forward(BatchInputScratch, /*Train=*/false);
+  assert(Logits.numel() == N * Classes && "model output size mismatch");
+  Tensor Probs = Logits.reshaped({N, Classes});
+  softmaxInPlace(Probs);
+
+  std::vector<std::vector<float>> Out(N);
+  const float *Src = Probs.data();
+  for (size_t I = 0; I != N; ++I)
+    Out[I].assign(Src + I * Classes, Src + (I + 1) * Classes);
+  return Out;
+}
+
 std::vector<float> NNClassifier::scores(const Image &Img) {
   if (InputScratch.rank() != 4 || InputScratch.dim(2) != Img.height() ||
       InputScratch.dim(3) != Img.width())

@@ -31,6 +31,15 @@ public:
                std::string Name);
 
   std::vector<float> scores(const Image &Img) override;
+
+  /// Batched inference: assembles one {N, 3, H, W} tensor and runs a
+  /// single forward through the Sequential. Every layer's inference path
+  /// treats batch items independently with identical accumulation order,
+  /// so result[i] is bit-identical to scores(Imgs[i]) — verified per
+  /// architecture by tests/classify/BatchForwardTest.cpp.
+  std::vector<std::vector<float>> scoresBatch(
+      std::span<const Image> Imgs) override;
+
   size_t numClasses() const override { return Classes; }
 
   /// Installs the architecture rebuilder that makes this classifier
@@ -52,7 +61,8 @@ private:
   size_t Classes;
   std::string ModelName;
   ModelBuilder Builder;
-  Tensor InputScratch; ///< reused {1,3,H,W} buffer
+  Tensor InputScratch;      ///< reused {1,3,H,W} buffer
+  Tensor BatchInputScratch; ///< reused {N,3,H,W} buffer for scoresBatch
 };
 
 } // namespace oppsla

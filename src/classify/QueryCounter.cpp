@@ -6,9 +6,58 @@
 
 #include "classify/QueryCounter.h"
 
+#include <algorithm>
+
 using namespace oppsla;
 
-void QueryCounter::emitQueryEvent(const std::vector<float> &Scores) const {
+QueryCounter::Claim QueryCounter::claim(uint64_t N) {
+  if (N == 0)
+    return {count(), 0};
+  uint64_t Cur = Count.load(std::memory_order_relaxed);
+  for (;;) {
+    if (Cur >= Budget) {
+      Exhausted.store(true, std::memory_order_relaxed);
+      return {Cur, 0};
+    }
+    const uint64_t Grant = std::min(N, Budget - Cur);
+    if (Count.compare_exchange_weak(Cur, Cur + Grant,
+                                    std::memory_order_relaxed)) {
+      if (Grant < N)
+        Exhausted.store(true, std::memory_order_relaxed);
+      return {Cur, Grant};
+    }
+  }
+}
+
+std::vector<std::vector<float>> QueryCounter::scoresBatch(
+    std::span<const Image> Imgs) {
+  std::vector<std::vector<float>> Out(Imgs.size());
+  if (Imgs.empty())
+    return Out;
+  const Claim C = claim(Imgs.size());
+  if (C.Granted == 0)
+    return Out;
+  std::vector<std::vector<float>> S =
+      Inner.scoresBatch(Imgs.first(C.Granted));
+  for (size_t I = 0; I != C.Granted; ++I) {
+    if (telemetry::traceEnabled())
+      emitQueryEvent(S[I], C.Base + I + 1);
+    Out[I] = std::move(S[I]);
+  }
+  return Out;
+}
+
+void QueryCounter::prefetch(std::span<const Image> Imgs) {
+  const uint64_t Rem = remaining();
+  if (Rem == 0)
+    return;
+  const size_t N = static_cast<size_t>(
+      std::min<uint64_t>(Rem, Imgs.size()));
+  Inner.prefetch(Imgs.first(N));
+}
+
+void QueryCounter::emitQueryEvent(const std::vector<float> &Scores,
+                                  uint64_t Idx) const {
   if (Scores.empty())
     return;
   // Predicted class and margin. With a true class set this is the paper's
@@ -32,7 +81,7 @@ void QueryCounter::emitQueryEvent(const std::vector<float> &Scores) const {
         Second = std::max(Second, static_cast<double>(Scores[I]));
     Margin = static_cast<double>(Scores[Pred]) - Second;
   }
-  telemetry::traceEvent("query", {{"idx", Count},
+  telemetry::traceEvent("query", {{"idx", Idx},
                                   {"image", telemetry::traceImage()},
                                   {"pred", Pred},
                                   {"margin", Margin}});

@@ -12,6 +12,14 @@
 /// subsequent calls return an empty vector, which attack loops treat as
 /// "stop, attack failed".
 ///
+/// The counter is shareable across the query engine's batch submissions:
+/// the count is a relaxed atomic claimed via CAS, and a batch is granted a
+/// *prefix* of its images under the budget (images past the grant get an
+/// empty score vector, exactly as serial over-budget calls would). Logical
+/// charging is per-image in deterministic index order, so a batch of N
+/// costs precisely what N serial queries cost — batching never changes
+/// avgQueries.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef OPPSLA_CLASSIFY_QUERYCOUNTER_H
@@ -20,6 +28,7 @@
 #include "classify/Classifier.h"
 #include "support/Trace.h"
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 
@@ -42,34 +51,47 @@ public:
       : Inner(Inner), Budget(Budget) {}
 
   std::vector<float> scores(const Image &Img) override {
-    if (Count >= Budget) {
-      Exhausted = true;
+    const Claim C = claim(1);
+    if (C.Granted == 0)
       return {};
-    }
-    ++Count;
     std::vector<float> S = Inner.scores(Img);
     if (telemetry::traceEnabled())
-      emitQueryEvent(S);
+      emitQueryEvent(S, C.Base + 1);
     return S;
   }
 
+  /// Charges one logical query per image, in index order. Under a budget
+  /// the submission is granted a prefix: the first remaining() images are
+  /// queried, the rest come back as empty vectors (and the counter is
+  /// exhausted), mirroring what the same images would see serially.
+  std::vector<std::vector<float>> scoresBatch(
+      std::span<const Image> Imgs) override;
+
+  /// Forwards up to remaining() images to the inner classifier's
+  /// speculative prefetch. Prefetching is never charged: it is the engine
+  /// warming its cache, not the attack querying the model.
+  void prefetch(std::span<const Image> Imgs) override;
+  bool prefetchable() const override { return Inner.prefetchable(); }
+
   size_t numClasses() const override { return Inner.numClasses(); }
 
-  uint64_t count() const { return Count; }
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
   uint64_t budget() const { return Budget; }
-  bool exhausted() const { return Exhausted; }
+  bool exhausted() const {
+    return Exhausted.load(std::memory_order_relaxed);
+  }
   /// Queries left under the budget; an Unlimited budget stays Unlimited
   /// rather than shrinking arithmetically (Unlimited is a sentinel, not a
   /// number of queries).
   uint64_t remaining() const {
-    return Budget == Unlimited ? Unlimited : Budget - Count;
+    return Budget == Unlimited ? Unlimited : Budget - count();
   }
 
   /// Resets the counter (and exhaustion) for a fresh attack; optionally
-  /// installs a new budget.
+  /// installs a new budget. Not safe concurrently with in-flight queries.
   void reset(uint64_t NewBudget) {
-    Count = 0;
-    Exhausted = false;
+    Count.store(0, std::memory_order_relaxed);
+    Exhausted.store(false, std::memory_order_relaxed);
     Budget = NewBudget;
   }
   void reset() { reset(Budget); }
@@ -82,13 +104,25 @@ public:
   }
 
 private:
+  /// Result of atomically claiming budget: queries [Base+1, Base+Granted]
+  /// belong to the caller.
+  struct Claim {
+    uint64_t Base;
+    uint64_t Granted;
+  };
+
+  /// CAS-claims up to \p N queries. Grants the largest prefix the budget
+  /// allows; a partial (or zero) grant marks the counter exhausted.
+  Claim claim(uint64_t N);
+
   /// Cold path: emits the per-query trace event (tracing enabled only).
-  void emitQueryEvent(const std::vector<float> &Scores) const;
+  /// \p Idx is the 1-based query index the scores belong to.
+  void emitQueryEvent(const std::vector<float> &Scores, uint64_t Idx) const;
 
   Classifier &Inner;
   uint64_t Budget;
-  uint64_t Count = 0;
-  bool Exhausted = false;
+  std::atomic<uint64_t> Count{0};
+  std::atomic<bool> Exhausted{false};
   bool HasTrueClass = false;
   size_t TrueClass = 0;
 };

@@ -66,6 +66,15 @@ public:
     return Head;
   }
 
+  /// Appends up to \p K front-most pair ids to \p Out without removing
+  /// them (a walk of the list head — used by the sketch to prefetch the
+  /// upcoming candidates as one engine batch).
+  void peekFront(size_t K, std::vector<PairId> &Out) const {
+    for (PairId Id = Head; Id != InvalidPair && K != 0;
+         Id = Nodes[Id].Next, --K)
+      Out.push_back(Id);
+  }
+
 private:
   struct Node {
     PairId Prev = InvalidPair;

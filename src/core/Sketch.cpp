@@ -61,6 +61,26 @@ struct RunState {
     return QueryStatus::Failed;
   }
 
+  /// Warms the query engine's cache with the candidate images of \p Ids as
+  /// one batched submission. No-op without a prefetchable classifier (the
+  /// engine advertises one only when its cache is on); never counts
+  /// against the query budget. Every pair is queried at most once per run,
+  /// so even when the consumption order is reordered under the batch, a
+  /// prefetched pair's entry stays useful until eviction.
+  void prefetchPairs(const std::vector<PairId> &Ids) {
+    if (Ids.size() < 2 || !Queries.prefetchable())
+      return;
+    PrefetchBatch.clear();
+    PrefetchBatch.reserve(Ids.size());
+    for (PairId Id : Ids) {
+      const LocPert LP = Space.pairOf(Id);
+      Image Cand = X;
+      Cand.setPixel(LP.Loc.Row, LP.Loc.Col, LP.perturbation());
+      PrefetchBatch.push_back(std::move(Cand));
+    }
+    Queries.prefetch(PrefetchBatch);
+  }
+
   /// closest_loc(l, p): all live pairs at L-infinity distance 1 with the
   /// same perturbation.
   void closestLoc(const LocPert &LP, std::vector<PairId> &Out) {
@@ -93,7 +113,11 @@ struct RunState {
   }
 
   std::vector<PixelLoc> NeighborScratch;
+  std::vector<Image> PrefetchBatch;
 };
+
+/// Queue-front pairs prefetched per batch in the sketch's main loop.
+constexpr size_t FrontPrefetchWindow = 16;
 
 } // namespace
 
@@ -125,7 +149,22 @@ SketchResult Sketch::run(Classifier &N, const Image &X, size_t TrueClass,
   }
 
   std::vector<PairId> Neigh;
+  std::vector<PairId> Upcoming;
+  uint64_t PopsUntilPrefetch = 0;
   while (!S.L.empty()) {
+    // Batch the next window of queue-front candidates through the engine.
+    // Eager checks below may reorder or steal some of them, but a stolen
+    // pair is queried (and so hits) anyway — only pairs never reached
+    // before the run ends cost a wasted forward.
+    if (PopsUntilPrefetch == 0 && S.Queries.prefetchable()) {
+      Upcoming.clear();
+      S.L.peekFront(FrontPrefetchWindow, Upcoming);
+      S.prefetchPairs(Upcoming);
+      PopsUntilPrefetch = Upcoming.size();
+    }
+    if (PopsUntilPrefetch != 0)
+      --PopsUntilPrefetch;
+
     const PairId Id = S.L.popFront();
     const LocPert LP = S.Space.pairOf(Id);
     CondEnv Env;
@@ -161,6 +200,9 @@ SketchResult Sketch::run(Classifier &N, const Image &X, size_t TrueClass,
         if (!evalCondition(Prog.b3(), It.Env))
           continue;
         S.closestLoc(It.LP, Neigh);
+        // Every live neighbor below is queried (barring early success), so
+        // this batch is an exact prediction, not speculation.
+        S.prefetchPairs(Neigh);
         for (PairId NId : Neigh) {
           if (!S.L.contains(NId))
             continue; // an earlier eager check in this batch removed it

@@ -66,6 +66,18 @@ void Image::writeToTensor(Tensor &Out) const {
   }
 }
 
+void Image::writeToTensorBatch(Tensor &Out, size_t Index) const {
+  assert(Out.rank() == 4 && Index < Out.dim(0) && Out.dim(1) == 3 &&
+         Out.dim(2) == H && Out.dim(3) == W && "tensor shape mismatch");
+  const size_t Plane = H * W;
+  float *Dst = Out.data() + Index * 3 * Plane;
+  for (size_t I = 0; I != Plane; ++I) {
+    Dst[I] = Data[I * 3 + 0];
+    Dst[Plane + I] = Data[I * 3 + 1];
+    Dst[2 * Plane + I] = Data[I * 3 + 2];
+  }
+}
+
 Image Image::fromTensor(const Tensor &T) {
   [[maybe_unused]] size_t C;
   size_t H, W;

@@ -84,6 +84,10 @@ public:
   /// without allocation; shapes must match.
   void writeToTensor(Tensor &Out) const;
 
+  /// Writes this image into slot \p Index of an existing {N,3,H,W} batch
+  /// tensor (the assembly step of Classifier::scoresBatch).
+  void writeToTensorBatch(Tensor &Out, size_t Index) const;
+
   /// Builds an image from a {1, 3, H, W} or {3, H, W} tensor.
   static Image fromTensor(const Tensor &T);
 

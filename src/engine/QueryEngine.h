@@ -1,0 +1,119 @@
+//===- engine/QueryEngine.h - Batched, memoizing query engine ---*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The query engine that sits between the attacks and the classifier. It
+/// is itself a Classifier, so every existing call site (QueryCounter,
+/// sweeps, clones) composes unchanged; what it adds is the split the
+/// paper's accounting needs:
+///
+///   - *logical queries* are what the attack asks for and what the
+///     paper's avgQueries metric reports — a cache hit still counts;
+///   - *physical forwards* are what the hardware pays — batched through
+///     Classifier::scoresBatch in chunks of Config.BatchSize and
+///     optionally spread over a worker pool of classifier clones.
+///
+/// Correctness invariant: the engine never changes a single result byte.
+/// Forwards are deterministic and per-sample independent (batched output
+/// is bit-identical to serial output), and the ScoreCache verifies full
+/// image bytes on every hit, so any combination of --batch-size,
+/// --cache-capacity, and engine threads yields byte-identical attack
+/// outcomes — enforced end to end by the cli_eval_engine_identical ctest.
+///
+/// prefetch() is the speculation entry point: attacks submit the candidate
+/// images they are *about* to query serially; the engine runs them as
+/// batched forwards into the cache, and the subsequent scores() calls hit.
+/// Mispredicted candidates cost a wasted forward, never a wrong answer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_ENGINE_QUERYENGINE_H
+#define OPPSLA_ENGINE_QUERYENGINE_H
+
+#include "classify/Classifier.h"
+#include "engine/ScoreCache.h"
+#include "support/ThreadPool.h"
+
+#include <memory>
+#include <string>
+
+namespace oppsla {
+
+/// Engine tunables, mirrored by the CLI's --batch-size / --cache-capacity /
+/// --no-cache / --engine-threads flags.
+struct QueryEngineConfig {
+  /// Maximum images per physical forward (the {N,3,H,W} batch dimension).
+  size_t BatchSize = 8;
+  /// ScoreCache entries; 0 disables memoization (and with it prefetch).
+  size_t CacheCapacity = 4096;
+  /// Worker threads for physical batches. 1 = evaluate on the calling
+  /// thread; >1 spreads the BatchSize-chunks of one submission over a pool
+  /// of classifier clones (requires a cloneable inner classifier). Results
+  /// are assembled in index order, so the thread count never changes them.
+  size_t Threads = 1;
+};
+
+/// Batching, memoizing classifier decorator.
+class QueryEngine : public Classifier {
+public:
+  /// Wraps \p Inner (not owned; must outlive the engine).
+  explicit QueryEngine(Classifier &Inner,
+                       QueryEngineConfig Config = QueryEngineConfig());
+  ~QueryEngine() override;
+
+  std::vector<float> scores(const Image &Img) override;
+  std::vector<std::vector<float>> scoresBatch(
+      std::span<const Image> Imgs) override;
+  void prefetch(std::span<const Image> Imgs) override;
+  bool prefetchable() const override { return Cache.enabled(); }
+  size_t numClasses() const override { return Inner.numClasses(); }
+
+  /// Clones the inner classifier and builds an independent engine around
+  /// it (same config, fresh cache). Returns nullptr when the inner
+  /// classifier is not cloneable.
+  std::unique_ptr<Classifier> clone() const override;
+
+  const QueryEngineConfig &config() const { return Config; }
+  ScoreCache &cache() { return Cache; }
+
+  /// Per-engine counters (process-wide aggregates live in the telemetry
+  /// registry under engine.*).
+  uint64_t logicalQueries() const { return Logical; }
+  uint64_t physicalForwards() const { return Physical; }
+
+private:
+  /// Runs the batched forward for \p Unique (indices into \p Imgs),
+  /// chunked by Config.BatchSize and optionally parallelized, writing
+  /// score vectors into \p Out at the same positions.
+  void forwardUnique(std::span<const Image> Imgs,
+                     const std::vector<size_t> &Unique,
+                     std::vector<std::vector<float>> &Out);
+
+  /// Lazily builds the worker pool and per-worker inner clones; returns
+  /// false when unavailable (Threads <= 1 or inner not cloneable).
+  bool ensureWorkers();
+
+  Classifier &Inner;
+  std::unique_ptr<Classifier> OwnedInner; ///< set on clones
+  QueryEngineConfig Config;
+  ScoreCache Cache;
+
+  std::unique_ptr<ThreadPool> Pool;
+  std::vector<std::unique_ptr<Classifier>> WorkerClones;
+  bool WorkersUnavailable = false;
+
+  uint64_t Logical = 0;
+  uint64_t Physical = 0;
+};
+
+/// One-line human summary of the process-wide engine counters (hit rate,
+/// forwards vs logical queries, mean physical batch). Empty string when no
+/// engine query ran.
+std::string engineMetricsSummary();
+
+} // namespace oppsla
+
+#endif // OPPSLA_ENGINE_QUERYENGINE_H

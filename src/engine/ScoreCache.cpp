@@ -1,0 +1,84 @@
+//===- engine/ScoreCache.cpp - Memoizing score cache -------------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/ScoreCache.h"
+
+#include <cstring>
+
+using namespace oppsla;
+
+bool ScoreCache::sameImage(const Entry &E, const Image &Img) {
+  if (E.H != Img.height() || E.W != Img.width())
+    return false;
+  const std::vector<float> &Raw = Img.raw();
+  if (E.Pixels.size() != Raw.size())
+    return false;
+  // Byte comparison, not float ==: the hash is over bit patterns, and
+  // -0.0f / NaN payloads must verify the same way they hashed.
+  return std::memcmp(E.Pixels.data(), Raw.data(),
+                     Raw.size() * sizeof(float)) == 0;
+}
+
+bool ScoreCache::lookup(const Image &Img, uint64_t Hash,
+                        std::vector<float> &ScoresOut) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  const auto It = Map.find(Hash);
+  if (It == Map.end()) {
+    ++Misses;
+    return false;
+  }
+  if (!sameImage(*It->second, Img)) {
+    ++Collisions;
+    ++Misses;
+    return false;
+  }
+  Lru.splice(Lru.begin(), Lru, It->second);
+  ScoresOut = It->second->Scores;
+  ++Hits;
+  return true;
+}
+
+void ScoreCache::insert(const Image &Img, uint64_t Hash,
+                        std::vector<float> Scores) {
+  if (Capacity == 0)
+    return;
+  std::lock_guard<std::mutex> Lock(Mu);
+  const auto It = Map.find(Hash);
+  if (It != Map.end()) {
+    // Refresh (or, on collision, replace) the resident entry in place.
+    Entry &E = *It->second;
+    E.H = Img.height();
+    E.W = Img.width();
+    E.Pixels = Img.raw();
+    E.Scores = std::move(Scores);
+    Lru.splice(Lru.begin(), Lru, It->second);
+    return;
+  }
+  if (Lru.size() >= Capacity) {
+    Map.erase(Lru.back().Hash);
+    Lru.pop_back();
+  }
+  Lru.push_front(Entry{Hash, Img.height(), Img.width(), Img.raw(),
+                       std::move(Scores)});
+  Map[Hash] = Lru.begin();
+}
+
+bool ScoreCache::contains(const Image &Img, uint64_t Hash) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  const auto It = Map.find(Hash);
+  return It != Map.end() && sameImage(*It->second, Img);
+}
+
+size_t ScoreCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Lru.size();
+}
+
+void ScoreCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Map.clear();
+  Lru.clear();
+}

@@ -1,0 +1,94 @@
+//===- tests/classify/BatchForwardTest.cpp - batched == serial, bitwise ------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The engine's correctness rests on NNClassifier::scoresBatch being
+// bit-identical to repeated scores() calls. Every inference-mode layer
+// treats batch items independently with the same accumulation order, so
+// this must hold exactly — for every ModelZoo architecture and for batch
+// sizes that exercise one-chunk, odd, and large submissions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "classify/NNClassifier.h"
+#include "nn/ModelZoo.h"
+#include "support/Rng.h"
+
+#include "TestUtil.h"
+#include <cstring>
+#include <gtest/gtest.h>
+
+using namespace oppsla;
+using test::randomImage;
+
+namespace {
+
+struct ArchCase {
+  Arch A;
+  size_t Side;
+};
+
+// InputSide must be a multiple of 8 (16 for MiniResNet50).
+const ArchCase Cases[] = {
+    {Arch::MiniVGG, 8},      {Arch::MiniResNet, 8},
+    {Arch::MiniGoogLeNet, 8}, {Arch::MiniDenseNet, 8},
+    {Arch::MiniResNet50, 16}, {Arch::Mlp, 8},
+};
+
+class BatchForwardTest : public ::testing::TestWithParam<ArchCase> {};
+
+bool bitIdentical(const std::vector<float> &A, const std::vector<float> &B) {
+  return A.size() == B.size() &&
+         std::memcmp(A.data(), B.data(), A.size() * sizeof(float)) == 0;
+}
+
+} // namespace
+
+TEST_P(BatchForwardTest, BitIdenticalToSerial) {
+  const ArchCase C = GetParam();
+  constexpr size_t Classes = 5;
+  Rng R(0xba7c4);
+  NNClassifier N(buildModel(C.A, Classes, C.Side, R), Classes,
+                 archName(C.A));
+
+  for (const size_t BatchSize : {1u, 2u, 7u, 32u}) {
+    std::vector<Image> Imgs;
+    Imgs.reserve(BatchSize);
+    for (size_t I = 0; I != BatchSize; ++I)
+      Imgs.push_back(randomImage(C.Side, C.Side, 0x1000 + I));
+
+    const std::vector<std::vector<float>> Batched =
+        N.scoresBatch(std::span<const Image>(Imgs));
+    ASSERT_EQ(Batched.size(), BatchSize);
+    for (size_t I = 0; I != BatchSize; ++I) {
+      const std::vector<float> Serial = N.scores(Imgs[I]);
+      ASSERT_EQ(Serial.size(), Classes);
+      EXPECT_TRUE(bitIdentical(Batched[I], Serial))
+          << archName(C.A) << " batch " << BatchSize << " item " << I;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchitectures, BatchForwardTest,
+                         ::testing::ValuesIn(Cases),
+                         [](const ::testing::TestParamInfo<ArchCase> &Info) {
+                           return std::string(archName(Info.param.A));
+                         });
+
+TEST(BatchForward, InterleavingBatchAndSerialIsStateless) {
+  // Inference forwards must not leak state between submissions: serial,
+  // then batched, then serial again all agree.
+  constexpr size_t Classes = 4;
+  Rng R(0x5eed1);
+  NNClassifier N(buildModel(Arch::MiniResNet, Classes, 8, R), Classes,
+                 "MiniResNet");
+  const Image A = randomImage(8, 8, 1), B = randomImage(8, 8, 2);
+  const std::vector<float> SA1 = N.scores(A);
+  const std::vector<Image> Both{A, B};
+  const auto Batched = N.scoresBatch(std::span<const Image>(Both));
+  const std::vector<float> SA2 = N.scores(A);
+  EXPECT_TRUE(bitIdentical(SA1, SA2));
+  EXPECT_TRUE(bitIdentical(SA1, Batched[0]));
+}

@@ -1,0 +1,192 @@
+//===- tests/classify/QueryCounterBatchTest.cpp - shared/batch accounting ----===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The counter must be safe to share across the engine's batch submissions
+// and must charge logical queries per image in deterministic index order:
+// a batch of N costs exactly what N serial queries cost, and a budget cuts
+// a batch to its granted prefix.
+//
+//===----------------------------------------------------------------------===//
+
+#include "classify/QueryCounter.h"
+
+#include "TestUtil.h"
+#include <gtest/gtest.h>
+#include <thread>
+
+using namespace oppsla;
+using test::FakeClassifier;
+using test::randomImage;
+
+namespace {
+
+FakeClassifier constantClassifier() {
+  return FakeClassifier(3, [](const Image &) {
+    return std::vector<float>{0.7f, 0.2f, 0.1f};
+  });
+}
+
+std::vector<Image> distinctImages(size_t N) {
+  std::vector<Image> Out;
+  Out.reserve(N);
+  for (size_t I = 0; I != N; ++I)
+    Out.push_back(randomImage(4, 4, 0xc0 + I));
+  return Out;
+}
+
+/// Records what reaches the inner classifier through prefetch.
+class PrefetchProbe : public FakeClassifier {
+public:
+  using FakeClassifier::FakeClassifier;
+  void prefetch(std::span<const Image> Imgs) override {
+    PrefetchSizes.push_back(Imgs.size());
+  }
+  bool prefetchable() const override { return true; }
+  std::vector<size_t> PrefetchSizes;
+};
+
+} // namespace
+
+TEST(QueryCounterBatch, BatchChargesPerImage) {
+  FakeClassifier Inner = constantClassifier();
+  QueryCounter Q(Inner);
+  const std::vector<Image> Imgs = distinctImages(5);
+  const auto Out = Q.scoresBatch(std::span<const Image>(Imgs));
+  ASSERT_EQ(Out.size(), 5u);
+  for (const auto &S : Out)
+    EXPECT_EQ(S.size(), 3u);
+  EXPECT_EQ(Q.count(), 5u);
+  EXPECT_FALSE(Q.exhausted());
+}
+
+TEST(QueryCounterBatch, BudgetGrantsPrefixInIndexOrder) {
+  FakeClassifier Inner = constantClassifier();
+  QueryCounter Q(Inner, /*Budget=*/3);
+  const std::vector<Image> Imgs = distinctImages(5);
+  const auto Out = Q.scoresBatch(std::span<const Image>(Imgs));
+  ASSERT_EQ(Out.size(), 5u);
+  // Exactly the first three images were queried; the rest are the same
+  // empty vectors serial over-budget calls return.
+  for (size_t I = 0; I != 3; ++I)
+    EXPECT_FALSE(Out[I].empty()) << "index " << I;
+  for (size_t I = 3; I != 5; ++I)
+    EXPECT_TRUE(Out[I].empty()) << "index " << I;
+  EXPECT_EQ(Q.count(), 3u);
+  EXPECT_TRUE(Q.exhausted());
+  EXPECT_EQ(Inner.calls(), 3u);
+}
+
+TEST(QueryCounterBatch, ExactBudgetConsumptionIsNotExhaustedYet) {
+  FakeClassifier Inner = constantClassifier();
+  QueryCounter Q(Inner, /*Budget=*/4);
+  const std::vector<Image> Imgs = distinctImages(4);
+  (void)Q.scoresBatch(std::span<const Image>(Imgs));
+  // Matches serial semantics: exhaustion is flagged by the first *denied*
+  // query, not by consuming the last unit.
+  EXPECT_EQ(Q.count(), 4u);
+  EXPECT_FALSE(Q.exhausted());
+  EXPECT_TRUE(Q.scores(Imgs[0]).empty());
+  EXPECT_TRUE(Q.exhausted());
+}
+
+TEST(QueryCounterBatch, BatchOfNCostsSameAsNSerial) {
+  const std::vector<Image> Imgs = distinctImages(7);
+
+  FakeClassifier SerialInner = constantClassifier();
+  QueryCounter Serial(SerialInner, 100);
+  for (const Image &Img : Imgs)
+    (void)Serial.scores(Img);
+
+  FakeClassifier BatchInner = constantClassifier();
+  QueryCounter Batch(BatchInner, 100);
+  (void)Batch.scoresBatch(std::span<const Image>(Imgs));
+
+  EXPECT_EQ(Serial.count(), Batch.count());
+  EXPECT_EQ(Serial.remaining(), Batch.remaining());
+}
+
+namespace {
+
+/// Stateless, thread-safe inner classifier for the concurrency test
+/// (FakeClassifier's call counter is deliberately not atomic).
+class StatelessClassifier : public Classifier {
+public:
+  std::vector<float> scores(const Image &) override {
+    return {0.7f, 0.2f, 0.1f};
+  }
+  size_t numClasses() const override { return 3; }
+};
+
+} // namespace
+
+TEST(QueryCounterBatch, ConcurrentClaimsNeverOvershootBudget) {
+  StatelessClassifier Inner;
+  constexpr uint64_t Budget = 256;
+  QueryCounter Q(Inner, Budget);
+  const std::vector<Image> Imgs = distinctImages(4);
+
+  // 8 threads submitting batches of 4 until denied: the counter must hand
+  // out exactly Budget grants in total, no lost or duplicated units.
+  std::vector<std::thread> Threads;
+  std::vector<uint64_t> Granted(8, 0);
+  for (size_t T = 0; T != 8; ++T)
+    Threads.emplace_back([&, T] {
+      for (;;) {
+        const auto Out = Q.scoresBatch(std::span<const Image>(Imgs));
+        uint64_t NonEmpty = 0;
+        for (const auto &S : Out)
+          NonEmpty += !S.empty();
+        Granted[T] += NonEmpty;
+        if (NonEmpty < Imgs.size())
+          return;
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  uint64_t Total = 0;
+  for (uint64_t G : Granted)
+    Total += G;
+  EXPECT_EQ(Total, Budget);
+  EXPECT_EQ(Q.count(), Budget);
+  EXPECT_TRUE(Q.exhausted());
+}
+
+TEST(QueryCounterBatch, PrefetchForwardsOnlyRemainingBudget) {
+  PrefetchProbe Inner(3, [](const Image &) {
+    return std::vector<float>{0.7f, 0.2f, 0.1f};
+  });
+  QueryCounter Q(Inner, /*Budget=*/4);
+  EXPECT_TRUE(Q.prefetchable());
+  const std::vector<Image> Imgs = distinctImages(6);
+
+  Q.prefetch(Imgs);
+  ASSERT_EQ(Inner.PrefetchSizes.size(), 1u);
+  EXPECT_EQ(Inner.PrefetchSizes[0], 4u); // clipped to remaining()
+  EXPECT_EQ(Q.count(), 0u);              // prefetch is never charged
+
+  (void)Q.scores(Imgs[0]);
+  (void)Q.scores(Imgs[1]);
+  Q.prefetch(Imgs);
+  ASSERT_EQ(Inner.PrefetchSizes.size(), 2u);
+  EXPECT_EQ(Inner.PrefetchSizes[1], 2u);
+
+  (void)Q.scores(Imgs[2]);
+  (void)Q.scores(Imgs[3]);
+  Q.prefetch(Imgs); // budget gone: nothing forwarded
+  EXPECT_EQ(Inner.PrefetchSizes.size(), 2u);
+}
+
+TEST(QueryCounterBatch, UnlimitedBudgetBatch) {
+  FakeClassifier Inner = constantClassifier();
+  QueryCounter Q(Inner);
+  const std::vector<Image> Imgs = distinctImages(9);
+  const auto Out = Q.scoresBatch(std::span<const Image>(Imgs));
+  for (const auto &S : Out)
+    EXPECT_FALSE(S.empty());
+  EXPECT_EQ(Q.count(), 9u);
+  EXPECT_EQ(Q.remaining(), QueryCounter::Unlimited);
+}

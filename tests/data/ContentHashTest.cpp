@@ -1,0 +1,80 @@
+//===- tests/data/ContentHashTest.cpp - Image::contentHash properties --------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Property tests for the hash the engine's ScoreCache (and the per-run RNG
+// derivation) keys on: stable across copies, sensitive to every single
+// pixel channel, byte-exact, and shape-aware.
+//
+//===----------------------------------------------------------------------===//
+
+#include "data/Image.h"
+
+#include "TestUtil.h"
+#include <gtest/gtest.h>
+
+using namespace oppsla;
+using test::gradientImage;
+using test::randomImage;
+
+TEST(ContentHash, StableAcrossCopies) {
+  const Image A = randomImage(8, 6, 0x11);
+  const Image B = A;
+  Image C(8, 6);
+  C = A;
+  EXPECT_EQ(A.contentHash(), B.contentHash());
+  EXPECT_EQ(A.contentHash(), C.contentHash());
+  // And across repeated evaluation.
+  EXPECT_EQ(A.contentHash(), A.contentHash());
+}
+
+TEST(ContentHash, EqualContentEqualHash) {
+  const Image A = gradientImage(5, 7);
+  const Image B = gradientImage(5, 7);
+  EXPECT_EQ(A.contentHash(), B.contentHash());
+}
+
+TEST(ContentHash, AnySingleChannelChangeAltersHash) {
+  const Image Base = gradientImage(4, 4);
+  const uint64_t H0 = Base.contentHash();
+  for (size_t I = 0; I != Base.raw().size(); ++I) {
+    Image Mut = Base;
+    Mut.raw()[I] += 0.25f;
+    EXPECT_NE(Mut.contentHash(), H0) << "channel index " << I;
+  }
+}
+
+TEST(ContentHash, AnySinglePixelChangeAltersHash) {
+  const Image Base = randomImage(6, 6, 0x77);
+  const uint64_t H0 = Base.contentHash();
+  for (size_t R = 0; R != 6; ++R)
+    for (size_t C = 0; C != 6; ++C) {
+      Image Mut = Base;
+      Pixel P = Mut.pixel(R, C);
+      P.G = P.G < 0.5f ? P.G + 0.3f : P.G - 0.3f;
+      Mut.setPixel(R, C, P);
+      EXPECT_NE(Mut.contentHash(), H0) << "pixel (" << R << "," << C << ")";
+    }
+}
+
+TEST(ContentHash, ByteExactDistinguishesSignedZero) {
+  Image A(2, 2), B(2, 2);
+  for (float &V : A.raw())
+    V = 0.0f;
+  for (float &V : B.raw())
+    V = 0.0f;
+  B.raw()[5] = -0.0f; // same float value, different bit pattern
+  EXPECT_NE(A.contentHash(), B.contentHash());
+}
+
+TEST(ContentHash, DimensionsFoldedIn) {
+  // Same 18 floats viewed as 2x3 and 3x2 must hash apart.
+  Image A(2, 3), B(3, 2);
+  for (size_t I = 0; I != A.raw().size(); ++I) {
+    A.raw()[I] = static_cast<float>(I) * 0.05f;
+    B.raw()[I] = static_cast<float>(I) * 0.05f;
+  }
+  EXPECT_NE(A.contentHash(), B.contentHash());
+}

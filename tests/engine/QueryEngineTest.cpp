@@ -1,0 +1,203 @@
+//===- tests/engine/QueryEngineTest.cpp - Query engine unit tests ------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/QueryEngine.h"
+
+#include "TestUtil.h"
+#include <gtest/gtest.h>
+
+using namespace oppsla;
+using test::FakeClassifier;
+using test::randomImage;
+
+namespace {
+
+/// FakeClassifier that also records every physical batch submission size.
+class RecordingClassifier : public FakeClassifier {
+public:
+  using FakeClassifier::FakeClassifier;
+
+  std::vector<std::vector<float>> scoresBatch(
+      std::span<const Image> Imgs) override {
+    BatchSizes.push_back(Imgs.size());
+    return FakeClassifier::scoresBatch(Imgs);
+  }
+
+  std::vector<size_t> BatchSizes;
+};
+
+/// Deterministic scores derived from the image's first pixel, so every
+/// distinct image has distinct scores and correctness is checkable.
+RecordingClassifier makeInner() {
+  return RecordingClassifier(3, [](const Image &Img) {
+    const float V = Img.raw()[0];
+    return std::vector<float>{V, 1.0f - V, 0.5f * V};
+  });
+}
+
+QueryEngineConfig config(size_t Batch, size_t CacheCap, size_t Threads = 1) {
+  QueryEngineConfig C;
+  C.BatchSize = Batch;
+  C.CacheCapacity = CacheCap;
+  C.Threads = Threads;
+  return C;
+}
+
+std::vector<Image> distinctImages(size_t N) {
+  std::vector<Image> Out;
+  Out.reserve(N);
+  for (size_t I = 0; I != N; ++I)
+    Out.push_back(randomImage(4, 4, 0x900 + I));
+  return Out;
+}
+
+} // namespace
+
+TEST(QueryEngine, LogicalVsPhysicalSplit) {
+  RecordingClassifier Inner = makeInner();
+  QueryEngine Engine(Inner, config(8, 64));
+  const Image A = randomImage(4, 4, 1);
+
+  const std::vector<float> S1 = Engine.scores(A);
+  const std::vector<float> S2 = Engine.scores(A);
+  EXPECT_EQ(S1, S2);
+  // Both queries count logically; only the first paid a forward.
+  EXPECT_EQ(Engine.logicalQueries(), 2u);
+  EXPECT_EQ(Engine.physicalForwards(), 1u);
+  EXPECT_EQ(Inner.calls(), 1u);
+  EXPECT_EQ(Engine.cache().hits(), 1u);
+}
+
+TEST(QueryEngine, BatchChunksByConfiguredSize) {
+  RecordingClassifier Inner = makeInner();
+  QueryEngine Engine(Inner, config(8, 64));
+  const std::vector<Image> Imgs = distinctImages(20);
+
+  const auto Out = Engine.scoresBatch(std::span<const Image>(Imgs));
+  ASSERT_EQ(Out.size(), 20u);
+  for (size_t I = 0; I != Imgs.size(); ++I)
+    EXPECT_EQ(Out[I], Inner.scores(Imgs[I])) << "index " << I;
+
+  // 20 unique misses -> chunks of 8, 8, 4.
+  EXPECT_EQ(Engine.logicalQueries(), 20u);
+  EXPECT_EQ(Engine.physicalForwards(), 20u);
+  ASSERT_EQ(Inner.BatchSizes.size(), 3u);
+  EXPECT_EQ(Inner.BatchSizes[0], 8u);
+  EXPECT_EQ(Inner.BatchSizes[1], 8u);
+  EXPECT_EQ(Inner.BatchSizes[2], 4u);
+}
+
+TEST(QueryEngine, BatchDeduplicatesIdenticalImages) {
+  RecordingClassifier Inner = makeInner();
+  QueryEngine Engine(Inner, config(8, 64));
+  const Image A = randomImage(4, 4, 1);
+  const Image B = randomImage(4, 4, 2);
+  const std::vector<Image> Imgs{A, B, A, A, B};
+
+  const auto Out = Engine.scoresBatch(std::span<const Image>(Imgs));
+  EXPECT_EQ(Out[0], Out[2]);
+  EXPECT_EQ(Out[0], Out[3]);
+  EXPECT_EQ(Out[1], Out[4]);
+  // Five logical queries, two physical forwards.
+  EXPECT_EQ(Engine.logicalQueries(), 5u);
+  EXPECT_EQ(Engine.physicalForwards(), 2u);
+}
+
+TEST(QueryEngine, PrefetchWarmsCacheWithoutLogicalCharge) {
+  RecordingClassifier Inner = makeInner();
+  QueryEngine Engine(Inner, config(4, 64));
+  ASSERT_TRUE(Engine.prefetchable());
+  const std::vector<Image> Imgs = distinctImages(6);
+
+  Engine.prefetch(Imgs);
+  EXPECT_EQ(Engine.logicalQueries(), 0u);
+  EXPECT_EQ(Engine.physicalForwards(), 6u);
+
+  // Subsequent queries are all hits: no further inner calls.
+  const size_t CallsAfterPrefetch = Inner.calls();
+  for (const Image &Img : Imgs)
+    EXPECT_EQ(Engine.scores(Img), Inner.scores(Img));
+  EXPECT_EQ(Engine.physicalForwards(), 6u);
+  EXPECT_EQ(Engine.logicalQueries(), 6u);
+  // Inner.scores above accounts for the verification queries only.
+  EXPECT_EQ(Inner.calls(), CallsAfterPrefetch + Imgs.size());
+
+  // Prefetching already-resident images is free.
+  Inner.BatchSizes.clear();
+  Engine.prefetch(Imgs);
+  EXPECT_TRUE(Inner.BatchSizes.empty());
+  EXPECT_EQ(Engine.physicalForwards(), 6u);
+}
+
+TEST(QueryEngine, NoCacheDisablesPrefetchAndMemoization) {
+  RecordingClassifier Inner = makeInner();
+  QueryEngine Engine(Inner, config(4, 0));
+  EXPECT_FALSE(Engine.prefetchable());
+
+  const std::vector<Image> Imgs = distinctImages(3);
+  Engine.prefetch(Imgs);
+  EXPECT_EQ(Inner.calls(), 0u);
+
+  const Image A = Imgs[0];
+  (void)Engine.scores(A);
+  (void)Engine.scores(A);
+  EXPECT_EQ(Engine.logicalQueries(), 2u);
+  EXPECT_EQ(Engine.physicalForwards(), 2u); // no memoization
+}
+
+TEST(QueryEngine, BatchSizeOneStillBatchesLogically) {
+  RecordingClassifier Inner = makeInner();
+  QueryEngine Engine(Inner, config(1, 64));
+  const std::vector<Image> Imgs = distinctImages(3);
+  const auto Out = Engine.scoresBatch(std::span<const Image>(Imgs));
+  ASSERT_EQ(Out.size(), 3u);
+  EXPECT_EQ(Engine.logicalQueries(), 3u);
+  // Chunk size 1: three single-image physical submissions.
+  ASSERT_EQ(Inner.BatchSizes.size(), 3u);
+  for (size_t S : Inner.BatchSizes)
+    EXPECT_EQ(S, 1u);
+}
+
+TEST(QueryEngine, ThreadedForwardMatchesSerial) {
+  RecordingClassifier SerialInner = makeInner();
+  QueryEngine Serial(SerialInner, config(4, 0));
+  RecordingClassifier ThreadedInner = makeInner();
+  QueryEngine Threaded(ThreadedInner, config(4, 0, 4));
+
+  const std::vector<Image> Imgs = distinctImages(23);
+  const auto A = Serial.scoresBatch(std::span<const Image>(Imgs));
+  const auto B = Threaded.scoresBatch(std::span<const Image>(Imgs));
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I)
+    EXPECT_EQ(A[I], B[I]) << "index " << I;
+}
+
+TEST(QueryEngine, CloneIsIndependent) {
+  RecordingClassifier Inner = makeInner();
+  QueryEngine Engine(Inner, config(8, 64));
+  const Image A = randomImage(4, 4, 1);
+  (void)Engine.scores(A);
+
+  std::unique_ptr<Classifier> CloneP = Engine.clone();
+  ASSERT_NE(CloneP, nullptr);
+  auto *Clone = dynamic_cast<QueryEngine *>(CloneP.get());
+  ASSERT_NE(Clone, nullptr);
+  // Fresh counters and cache; same config.
+  EXPECT_EQ(Clone->logicalQueries(), 0u);
+  EXPECT_EQ(Clone->cache().size(), 0u);
+  EXPECT_EQ(Clone->config().BatchSize, 8u);
+  EXPECT_EQ(Clone->scores(A), Engine.scores(A));
+  // The clone queried its own inner copy, not the original.
+  EXPECT_EQ(Inner.calls(), 1u);
+}
+
+TEST(QueryEngine, CacheCapacityBoundsResidency) {
+  RecordingClassifier Inner = makeInner();
+  QueryEngine Engine(Inner, config(8, 4));
+  const std::vector<Image> Imgs = distinctImages(10);
+  (void)Engine.scoresBatch(std::span<const Image>(Imgs));
+  EXPECT_LE(Engine.cache().size(), 4u);
+}

@@ -1,0 +1,126 @@
+//===- tests/engine/ScoreCacheTest.cpp - LRU score cache unit tests ----------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/ScoreCache.h"
+
+#include "TestUtil.h"
+#include <gtest/gtest.h>
+
+using namespace oppsla;
+using test::randomImage;
+
+namespace {
+
+std::vector<float> scoresFor(float Tag) { return {Tag, 1.0f - Tag}; }
+
+} // namespace
+
+TEST(ScoreCache, MissThenVerifiedHit) {
+  ScoreCache Cache(4);
+  const Image A = randomImage(4, 4, 1);
+  std::vector<float> Out;
+  EXPECT_FALSE(Cache.lookup(A, A.contentHash(), Out));
+  EXPECT_EQ(Cache.misses(), 1u);
+
+  Cache.insert(A, A.contentHash(), scoresFor(0.25f));
+  ASSERT_TRUE(Cache.lookup(A, A.contentHash(), Out));
+  EXPECT_EQ(Out, scoresFor(0.25f));
+  EXPECT_EQ(Cache.hits(), 1u);
+  EXPECT_EQ(Cache.size(), 1u);
+}
+
+TEST(ScoreCache, HashCollisionVerifiesBytesAndMisses) {
+  ScoreCache Cache(4);
+  const Image A = randomImage(4, 4, 1);
+  const Image B = randomImage(4, 4, 2); // different bytes
+  const uint64_t SharedHash = 0xdeadbeefULL;
+
+  Cache.insert(A, SharedHash, scoresFor(0.1f));
+  std::vector<float> Out;
+  // B presents the same hash but different bytes: counted as a collision
+  // and a miss, never a wrong answer.
+  EXPECT_FALSE(Cache.lookup(B, SharedHash, Out));
+  EXPECT_EQ(Cache.collisions(), 1u);
+  EXPECT_EQ(Cache.misses(), 1u);
+
+  // Inserting B under the same hash replaces the entry; A now misses.
+  Cache.insert(B, SharedHash, scoresFor(0.2f));
+  EXPECT_EQ(Cache.size(), 1u);
+  ASSERT_TRUE(Cache.lookup(B, SharedHash, Out));
+  EXPECT_EQ(Out, scoresFor(0.2f));
+  EXPECT_FALSE(Cache.lookup(A, SharedHash, Out));
+}
+
+TEST(ScoreCache, LruEvictionOrder) {
+  ScoreCache Cache(2);
+  const Image A = randomImage(4, 4, 1);
+  const Image B = randomImage(4, 4, 2);
+  const Image C = randomImage(4, 4, 3);
+  Cache.insert(A, A.contentHash(), scoresFor(0.1f));
+  Cache.insert(B, B.contentHash(), scoresFor(0.2f));
+
+  // Touch A so B becomes least recently used.
+  std::vector<float> Out;
+  ASSERT_TRUE(Cache.lookup(A, A.contentHash(), Out));
+
+  Cache.insert(C, C.contentHash(), scoresFor(0.3f));
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_TRUE(Cache.contains(A, A.contentHash()));
+  EXPECT_FALSE(Cache.contains(B, B.contentHash())); // evicted
+  EXPECT_TRUE(Cache.contains(C, C.contentHash()));
+}
+
+TEST(ScoreCache, CapacityZeroDisablesEverything) {
+  ScoreCache Cache(0);
+  EXPECT_FALSE(Cache.enabled());
+  const Image A = randomImage(4, 4, 1);
+  Cache.insert(A, A.contentHash(), scoresFor(0.5f));
+  std::vector<float> Out;
+  EXPECT_FALSE(Cache.lookup(A, A.contentHash(), Out));
+  EXPECT_EQ(Cache.size(), 0u);
+}
+
+TEST(ScoreCache, ContainsDoesNotPromote) {
+  ScoreCache Cache(2);
+  const Image A = randomImage(4, 4, 1);
+  const Image B = randomImage(4, 4, 2);
+  const Image C = randomImage(4, 4, 3);
+  Cache.insert(A, A.contentHash(), scoresFor(0.1f));
+  Cache.insert(B, B.contentHash(), scoresFor(0.2f));
+  // contains() must not refresh A's recency: A is still LRU...
+  EXPECT_TRUE(Cache.contains(A, A.contentHash()));
+  Cache.insert(C, C.contentHash(), scoresFor(0.3f));
+  // ...so it is the one evicted.
+  EXPECT_FALSE(Cache.contains(A, A.contentHash()));
+  EXPECT_TRUE(Cache.contains(B, B.contentHash()));
+}
+
+TEST(ScoreCache, ClearKeepsStats) {
+  ScoreCache Cache(4);
+  const Image A = randomImage(4, 4, 1);
+  Cache.insert(A, A.contentHash(), scoresFor(0.1f));
+  std::vector<float> Out;
+  ASSERT_TRUE(Cache.lookup(A, A.contentHash(), Out));
+  Cache.clear();
+  EXPECT_EQ(Cache.size(), 0u);
+  EXPECT_EQ(Cache.hits(), 1u);
+  EXPECT_FALSE(Cache.lookup(A, A.contentHash(), Out));
+}
+
+TEST(ScoreCache, ShapeMismatchIsNotAHit) {
+  ScoreCache Cache(4);
+  // Same raw float contents, different shape: must not verify.
+  Image A(2, 3), B(3, 2);
+  for (size_t I = 0; I != A.raw().size(); ++I) {
+    A.raw()[I] = 0.5f;
+    B.raw()[I] = 0.5f;
+  }
+  const uint64_t SharedHash = 42;
+  Cache.insert(A, SharedHash, scoresFor(0.1f));
+  std::vector<float> Out;
+  EXPECT_FALSE(Cache.lookup(B, SharedHash, Out));
+  EXPECT_EQ(Cache.collisions(), 1u);
+}

@@ -25,6 +25,7 @@
 #include "attacks/SuOPA.h"
 #include "core/Analysis.h"
 #include "core/Parse.h"
+#include "engine/QueryEngine.h"
 #include "eval/Evaluation.h"
 #include "eval/Experiments.h"
 #include "eval/Export.h"
@@ -34,6 +35,7 @@
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -51,6 +53,12 @@ int usage() {
          "                  results are identical for any thread count)\n"
          "  telemetry:      --trace-out t.jsonl  --metrics-out m.json\n"
          "                  --layer-timing (per-layer forward timings)\n"
+         "  query engine:   --batch-size N (images per physical forward,\n"
+         "                  default 8)  --cache-capacity N (memoized\n"
+         "                  scores, default 4096)  --no-cache\n"
+         "                  --engine-threads N (parallel forward chunks)\n"
+         "                  results and avgQueries are identical for any\n"
+         "                  engine setting, including --batch-size 1\n"
          "run with a subcommand for its specific options (see tool header)\n";
   return 2;
 }
@@ -62,6 +70,25 @@ TaskKind taskOf(const ArgParse &Args) {
 
 Arch archOf(const ArgParse &Args) {
   return archFromName(Args.get("arch", "resnet"));
+}
+
+/// Shared `--batch-size` / `--cache-capacity` / `--no-cache` /
+/// `--engine-threads` wiring. The engine is always interposed; the
+/// degenerate config (batch 1, cache off) makes it a pure pass-through, so
+/// these flags tune performance only — never results.
+QueryEngineConfig engineConfigFromArgs(const ArgParse &Args) {
+  QueryEngineConfig Config;
+  Config.BatchSize = static_cast<size_t>(std::max(
+      1LL, Args.getInt("batch-size", static_cast<long long>(Config.BatchSize))));
+  Config.CacheCapacity =
+      Args.getFlag("no-cache")
+          ? 0
+          : static_cast<size_t>(std::max(
+                0LL, Args.getInt("cache-capacity",
+                                 static_cast<long long>(Config.CacheCapacity))));
+  Config.Threads = static_cast<size_t>(
+      std::max(1LL, Args.getInt("engine-threads", 1)));
+  return Config;
 }
 
 int cmdTrain(const ArgParse &Args) {
@@ -170,12 +197,13 @@ int cmdAttack(const ArgParse &Args) {
     Test.Labels.resize(MaxImages);
   }
 
+  QueryEngine Engine(*Victim, engineConfigFromArgs(Args));
   SketchAttack A(P, Path.empty() ? "Sketch+False" : "program");
   Table T({"image", "outcome", "#queries", "pixel", "perturbation"});
   for (size_t I = 0; I != Test.size(); ++I) {
     telemetry::TraceImageScope Scope(static_cast<int64_t>(I));
     const AttackResult R =
-        A.attack(*Victim, Test.Images[I], Label, Budget);
+        A.attack(Engine, Test.Images[I], Label, Budget);
     std::ostringstream Loc, Pert;
     if (R.Success && !R.AlreadyMisclassified) {
       Loc << "(" << R.Loc.Row << "," << R.Loc.Col << ")";
@@ -201,6 +229,11 @@ int cmdEval(const ArgParse &Args) {
   auto Victim = makeScaledVictim(Task, A, Scale);
   const Dataset Test = makeTestSet(Task, Scale);
 
+  // The attack sweeps query through the engine (synthesis drives the raw
+  // victim: it needs the concrete NNClassifier). The parallel sweep clones
+  // the engine per worker, so each worker gets its own cache.
+  QueryEngine Engine(*Victim, engineConfigFromArgs(Args));
+
   const std::string Kind = Args.get("attack", "oppsla");
   const size_t Threads = threadCountFromArgs(Args);
   std::vector<AttackRunLog> Logs;
@@ -208,16 +241,16 @@ int cmdEval(const ArgParse &Args) {
     const std::vector<Program> Programs = synthesizeClassPrograms(
         *Victim, victimStem(Task, A, Scale), Task, Scale, /*Seed=*/1,
         Threads);
-    Logs = runProgramsOverSet(Programs, *Victim, Test, Budget, Threads);
+    Logs = runProgramsOverSet(Programs, Engine, Test, Budget, Threads);
   } else if (Kind == "sparse-rs") {
     SparseRS Attack;
-    Logs = runAttackOverSet(Attack, *Victim, Test, Budget, Threads);
+    Logs = runAttackOverSet(Attack, Engine, Test, Budget, Threads);
   } else if (Kind == "suopa") {
     SuOPA Attack;
-    Logs = runAttackOverSet(Attack, *Victim, Test, Budget, Threads);
+    Logs = runAttackOverSet(Attack, Engine, Test, Budget, Threads);
   } else if (Kind == "random") {
     RandomPairSearch Attack;
-    Logs = runAttackOverSet(Attack, *Victim, Test, Budget, Threads);
+    Logs = runAttackOverSet(Attack, Engine, Test, Budget, Threads);
   } else {
     std::cerr << "error: unknown --attack '" << Kind << "'\n";
     return 2;
@@ -242,6 +275,9 @@ int cmdEval(const ArgParse &Args) {
   // counters, and (with --metrics-out/--layer-timing) per-layer forward
   // times collected during this run.
   std::cout << "metrics:\n";
+  const std::string EngineSummary = engineMetricsSummary();
+  if (!EngineSummary.empty())
+    std::cout << "  " << EngineSummary << "\n";
   std::istringstream Report(telemetry::metricsTextReport());
   std::string Line;
   while (std::getline(Report, Line))
