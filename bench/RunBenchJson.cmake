@@ -1,0 +1,54 @@
+# Runs one bench binary with --json-out and validates the standard
+# BENCH_<name>.json artifact: it must parse as JSON, carry the expected
+# name/scale, and have a non-empty flat numeric metrics map.
+#
+# Inputs: BENCH (binary path), NAME (expected "name" field), WORK_DIR,
+# optional EXTRA (space-separated extra argv, e.g. a benchmark filter).
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(OUT_JSON ${WORK_DIR}/BENCH_${NAME}.json)
+file(REMOVE ${OUT_JSON})
+if(DEFINED EXTRA)
+  separate_arguments(EXTRA_ARGS UNIX_COMMAND "${EXTRA}")
+else()
+  set(EXTRA_ARGS "")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env OPPSLA_BENCH_SCALE=smoke
+    OPPSLA_CACHE_DIR=${WORK_DIR}/cache
+    ${BENCH} --json-out ${OUT_JSON} ${EXTRA_ARGS}
+  WORKING_DIRECTORY ${WORK_DIR}
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE ERR
+  RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "${NAME} failed with ${RC}: ${OUT}\n${ERR}")
+endif()
+
+if(NOT EXISTS ${OUT_JSON})
+  message(FATAL_ERROR "--json-out produced no file at ${OUT_JSON}")
+endif()
+file(READ ${OUT_JSON} J)
+
+# string(JSON) raises a hard error on malformed JSON or missing keys.
+string(JSON GOT_NAME GET "${J}" name)
+if(NOT GOT_NAME STREQUAL "${NAME}")
+  message(FATAL_ERROR "artifact name '${GOT_NAME}' != expected '${NAME}'")
+endif()
+string(JSON GOT_SCALE GET "${J}" scale)
+if(NOT GOT_SCALE STREQUAL "smoke")
+  message(FATAL_ERROR "artifact scale '${GOT_SCALE}' != 'smoke'")
+endif()
+string(JSON NUM_METRICS LENGTH "${J}" metrics)
+if(NUM_METRICS EQUAL 0)
+  message(FATAL_ERROR "artifact has an empty metrics map")
+endif()
+# Every metric value must be numeric (the schema is one flat number map).
+math(EXPR LAST "${NUM_METRICS} - 1")
+foreach(I RANGE 0 ${LAST})
+  string(JSON KEY MEMBER "${J}" metrics ${I})
+  string(JSON KIND TYPE "${J}" metrics "${KEY}")
+  if(NOT KIND STREQUAL "NUMBER" AND NOT KIND STREQUAL "NULL")
+    message(FATAL_ERROR "metric '${KEY}' has non-numeric type ${KIND}")
+  endif()
+endforeach()
+message(STATUS "${NAME}: ${NUM_METRICS} metrics OK")

@@ -23,11 +23,13 @@
 #include "eval/Evaluation.h"
 #include "eval/Experiments.h"
 #include "support/ArgParse.h"
+#include "support/BenchJson.h"
 #include "support/Logging.h"
 #include "support/Metrics.h"
 #include "support/Table.h"
 #include "support/ThreadPool.h"
 
+#include <chrono>
 #include <iostream>
 
 using namespace oppsla;
@@ -115,11 +117,21 @@ int main(int argc, char **argv) {
   const ArgParse Args(argc, argv);
   if (!telemetry::configureFromArgs(Args))
     return 1;
+  const auto BenchStart = std::chrono::steady_clock::now();
   const BenchScale Scale = BenchScale::fromEnv();
   const size_t Threads = threadCountFromArgs(Args);
   std::cout << "== Extended ablations (scale: " << Scale.Name << ") ==\n\n";
   perConditionAblation(Scale, Threads);
   robustnessAblation(Scale, Threads);
+
+  BenchJson BJ("ablation_conditions", Scale.Name);
+  BJ.set("wall_seconds",
+         std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       BenchStart)
+             .count());
+  BJ.addTelemetryCounters();
+  if (!BJ.writeFromArgs(Args))
+    return 1;
   telemetry::finalizeTelemetry();
   return 0;
 }

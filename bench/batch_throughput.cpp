@@ -17,12 +17,14 @@
 #include "engine/QueryEngine.h"
 #include "nn/ModelZoo.h"
 #include "support/ArgParse.h"
+#include "support/BenchJson.h"
 #include "support/BenchScale.h"
 #include "support/Metrics.h"
 #include "support/Rng.h"
 #include "support/Table.h"
 #include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -199,6 +201,21 @@ int main(int argc, char **argv) {
   }
   Out << Json;
   std::cout << "\nwrote " << OutPath << "\n";
+
+  // The standard flat artifact alongside the detailed per-spec one above.
+  BenchJson BJ("batch_throughput", Scale.Name);
+  double BestSpeedup = 0.0, BestRate = 0.0, TotalSeconds = 0.0;
+  for (const RunResult &R : Results) {
+    BestSpeedup = std::max(BestSpeedup, R.SpeedupVsBatch1);
+    BestRate = std::max(BestRate, R.ImagesPerSec);
+    TotalSeconds += R.Seconds;
+  }
+  BJ.set("wall_seconds", TotalSeconds);
+  BJ.set("best_speedup_vs_batch1", BestSpeedup);
+  BJ.set("best_images_per_sec", BestRate);
+  BJ.set("runs", static_cast<double>(Results.size()));
+  if (!BJ.writeFromArgs(Args))
+    return 1;
   telemetry::finalizeTelemetry();
   return 0;
 }

@@ -26,11 +26,13 @@
 #include "eval/Evaluation.h"
 #include "eval/Experiments.h"
 #include "support/ArgParse.h"
+#include "support/BenchJson.h"
 #include "support/Logging.h"
 #include "support/Metrics.h"
 #include "support/Table.h"
 #include "support/ThreadPool.h"
 
+#include <chrono>
 #include <iostream>
 
 using namespace oppsla;
@@ -98,6 +100,7 @@ int main(int argc, char **argv) {
   const ArgParse Args(argc, argv);
   if (!telemetry::configureFromArgs(Args))
     return 1;
+  const auto BenchStart = std::chrono::steady_clock::now();
   const BenchScale Scale = BenchScale::fromEnv();
   const size_t Threads = threadCountFromArgs(Args);
   std::cout << "== Figure 3: success rate vs query budget (scale: "
@@ -109,6 +112,15 @@ int main(int argc, char **argv) {
   std::cout << "Expected shape (paper): OPPSLA >= baselines at every "
                "budget;\nthe gap is largest at <=100 queries; baselines "
                "approach OPPSLA\nonly at the largest budgets.\n";
+
+  BenchJson BJ("fig3_success_vs_queries", Scale.Name);
+  BJ.set("wall_seconds",
+         std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       BenchStart)
+             .count());
+  BJ.addTelemetryCounters();
+  if (!BJ.writeFromArgs(Args))
+    return 1;
   telemetry::finalizeTelemetry();
   return 0;
 }

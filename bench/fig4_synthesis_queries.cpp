@@ -19,11 +19,13 @@
 #include "eval/Evaluation.h"
 #include "eval/Experiments.h"
 #include "support/ArgParse.h"
+#include "support/BenchJson.h"
 #include "support/Logging.h"
 #include "support/Metrics.h"
 #include "support/Table.h"
 #include "support/ThreadPool.h"
 
+#include <chrono>
 #include <iostream>
 
 using namespace oppsla;
@@ -33,6 +35,7 @@ int main(int argc, char **argv) {
   const ArgParse Args(argc, argv);
   if (!telemetry::configureFromArgs(Args))
     return 1;
+  const auto BenchStart = std::chrono::steady_clock::now();
   const BenchScale Scale = BenchScale::fromEnv();
   const size_t Threads = threadCountFromArgs(Args);
   std::cout << "== Figure 4: attack quality vs synthesis budget (scale: "
@@ -88,6 +91,17 @@ int main(int argc, char **argv) {
                "most of the improvement lands within the first few\n"
                "iterations (the paper reports ~2.7x after ~6 iterations), "
                "then a flat tail.\n";
+
+  BenchJson BJ("fig4_synthesis_queries", Scale.Name);
+  BJ.set("wall_seconds",
+         std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       BenchStart)
+             .count());
+  BJ.set("fixed_avg_queries", FixedAvg);
+  BJ.set("final_avg_queries", LastPlotted);
+  BJ.addTelemetryCounters();
+  if (!BJ.writeFromArgs(Args))
+    return 1;
   telemetry::finalizeTelemetry();
   return 0;
 }

@@ -15,6 +15,8 @@
 #include "nn/ModelZoo.h"
 #include "nn/Optimizer.h"
 #include "support/ArgParse.h"
+#include "support/BenchJson.h"
+#include "support/BenchScale.h"
 #include "support/Metrics.h"
 #include "support/Rng.h"
 #include "tensor/TensorOps.h"
@@ -99,12 +101,28 @@ void BM_TrainStep(benchmark::State &State) {
 }
 BENCHMARK(BM_TrainStep);
 
+/// Console reporter that additionally captures each benchmark's adjusted
+/// real time (in its display time unit, ns by default) so main() can fold
+/// the results into the standard BENCH_<name>.json artifact.
+class CaptureReporter : public benchmark::ConsoleReporter {
+public:
+  std::map<std::string, double> Times;
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    for (const Run &R : Runs)
+      if (!R.error_occurred && !R.report_big_o && !R.report_rms)
+        Times[R.benchmark_name()] = R.GetAdjustedRealTime();
+    ConsoleReporter::ReportRuns(Runs);
+  }
+};
+
 } // namespace
 
 // Custom main instead of BENCHMARK_MAIN(): strips the telemetry flags
-// (--layer-timing / --metrics-out / --trace-out) before handing argv to
-// google-benchmark, and prints the per-layer forward time breakdown
-// collected under --layer-timing after the benchmarks ran.
+// (--layer-timing / --metrics-out / --trace-out / --json-out / profiler
+// flags) before handing argv to google-benchmark, and prints the per-layer
+// forward time breakdown collected under --layer-timing after the
+// benchmarks ran.
 int main(int argc, char **argv) {
   const ArgParse Args(argc, argv);
   if (!oppsla::telemetry::configureFromArgs(Args))
@@ -113,9 +131,16 @@ int main(int argc, char **argv) {
   std::vector<char *> BenchArgv;
   for (int I = 0; I != argc; ++I) {
     const char *A = argv[I];
+    // "--profile" also matches "--profile-out", "--stats-port" also
+    // matches "--stats-port-file"; all of them are ours, not benchmark's.
     const bool Telemetry = std::strncmp(A, "--layer-timing", 14) == 0 ||
                            std::strncmp(A, "--metrics-out", 13) == 0 ||
-                           std::strncmp(A, "--trace-out", 11) == 0;
+                           std::strncmp(A, "--trace-out", 11) == 0 ||
+                           std::strncmp(A, "--json-out", 10) == 0 ||
+                           std::strncmp(A, "--profile", 9) == 0 ||
+                           std::strncmp(A, "--progress", 10) == 0 ||
+                           std::strncmp(A, "--stats-port", 12) == 0 ||
+                           std::strncmp(A, "--stats-linger", 14) == 0;
     if (Telemetry) {
       // Skip a separate `--flag value` operand as ArgParse would.
       if (std::strchr(A, '=') == nullptr && I + 1 < argc &&
@@ -127,12 +152,19 @@ int main(int argc, char **argv) {
   }
   int BenchArgc = static_cast<int>(BenchArgv.size());
   benchmark::Initialize(&BenchArgc, BenchArgv.data());
-  benchmark::RunSpecifiedBenchmarks();
+  CaptureReporter Reporter;
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
   benchmark::Shutdown();
 
   const std::string LayerReport = oppsla::telemetry::layerTimingReport();
   if (!LayerReport.empty())
     std::cout << "\n" << LayerReport;
+
+  BenchJson BJ("micro_nn", BenchScale::fromEnv().Name);
+  for (const auto &[Name, RealTime] : Reporter.Times)
+    BJ.set(Name + "_ns", RealTime);
+  if (!BJ.writeFromArgs(Args))
+    return 1;
   oppsla::telemetry::finalizeTelemetry();
   return 0;
 }

@@ -17,11 +17,13 @@
 #include "eval/Evaluation.h"
 #include "eval/Experiments.h"
 #include "support/ArgParse.h"
+#include "support/BenchJson.h"
 #include "support/Logging.h"
 #include "support/Metrics.h"
 #include "support/Table.h"
 #include "support/ThreadPool.h"
 
+#include <chrono>
 #include <iostream>
 
 using namespace oppsla;
@@ -31,6 +33,7 @@ int main(int argc, char **argv) {
   const ArgParse Args(argc, argv);
   if (!telemetry::configureFromArgs(Args))
     return 1;
+  const auto BenchStart = std::chrono::steady_clock::now();
   const BenchScale Scale = BenchScale::fromEnv();
   const size_t Threads = threadCountFromArgs(Args);
   std::cout << "== Table 1: transferability (avg #queries; scale: "
@@ -80,6 +83,16 @@ int main(int argc, char **argv) {
   RateT.print(std::cout);
   std::cout << "\nExpected shape (paper): off-diagonal avg queries within "
                "a small factor\n(~1.2-2x) of the diagonal.\n";
+
+  BenchJson BJ("table1_transferability", Scale.Name);
+  BJ.set("wall_seconds",
+         std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       BenchStart)
+             .count());
+  BJ.set("victims", static_cast<double>(Victims.size()));
+  BJ.addTelemetryCounters();
+  if (!BJ.writeFromArgs(Args))
+    return 1;
   telemetry::finalizeTelemetry();
   return 0;
 }

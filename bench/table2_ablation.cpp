@@ -23,11 +23,13 @@
 #include "eval/Evaluation.h"
 #include "eval/Experiments.h"
 #include "support/ArgParse.h"
+#include "support/BenchJson.h"
 #include "support/Logging.h"
 #include "support/Metrics.h"
 #include "support/Table.h"
 #include "support/ThreadPool.h"
 
+#include <chrono>
 #include <filesystem>
 #include <iostream>
 #include <sstream>
@@ -80,6 +82,7 @@ int main(int argc, char **argv) {
   const ArgParse Args(argc, argv);
   if (!telemetry::configureFromArgs(Args))
     return 1;
+  const auto BenchStart = std::chrono::steady_clock::now();
   const BenchScale Scale = BenchScale::fromEnv();
   const size_t Threads = threadCountFromArgs(Args);
   std::cout << "== Table 2: conditions & search ablation (scale: "
@@ -131,6 +134,15 @@ int main(int argc, char **argv) {
   std::cout << "\nExpected shape (paper): OPPSLA < Sketch+Random < "
                "Sketch+False < Sparse-RS\non average queries; all sketch "
                "variants share one success rate.\n";
+
+  BenchJson BJ("table2_ablation", Scale.Name);
+  BJ.set("wall_seconds",
+         std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       BenchStart)
+             .count());
+  BJ.addTelemetryCounters();
+  if (!BJ.writeFromArgs(Args))
+    return 1;
   telemetry::finalizeTelemetry();
   return 0;
 }

@@ -7,6 +7,7 @@
 #include "attacks/Attack.h"
 
 #include "support/Metrics.h"
+#include "support/Profiler.h"
 #include "support/Trace.h"
 
 #include <cassert>
@@ -32,7 +33,16 @@ AttackResult Attack::attack(Classifier &N, const Image &X, size_t TrueClass,
   // Per-run RNG isolation: the stream depends only on the attack's
   // configured seed and the image itself, never on previous runs.
   Rng RunRng = Rng::forRun(seed(), X.contentHash());
-  const AttackResult R = runAttack(N, X, TrueClass, QueryBudget, RunRng);
+  AttackResult R;
+  {
+    // The root profiler span for one attacked image, named after the
+    // concrete attack (interned only when profiling is on).
+    telemetry::ProfileScope Span(
+        telemetry::profilingEnabled()
+            ? telemetry::internProfileName("attack:" + name())
+            : nullptr);
+    R = runAttack(N, X, TrueClass, QueryBudget, RunRng);
+  }
   const double Seconds = Timer.seconds();
 
   // Queries-per-attack is the paper's central metric; its distribution and

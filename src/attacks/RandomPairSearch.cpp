@@ -7,6 +7,7 @@
 #include "attacks/RandomPairSearch.h"
 
 #include "classify/QueryCounter.h"
+#include "support/Profiler.h"
 
 #include <numeric>
 
@@ -46,8 +47,10 @@ AttackResult RandomPairSearch::runAttack(Classifier &N, const Image &X,
   const bool Prefetch = Q.prefetchable();
 
   Image Scratch = X;
+  telemetry::ProfileScope SearchSpan("random_pairs.search");
   for (size_t Pos = 0; Pos != Order.size(); ++Pos) {
     if (Prefetch && Pos % Window == 0) {
+      telemetry::ProfileScope PrefetchSpan("random_pairs.prefetch");
       const size_t End = std::min(Pos + Window, Order.size());
       std::vector<Image> Batch;
       Batch.reserve(End - Pos);

@@ -7,6 +7,7 @@
 #include "attacks/SparseRS.h"
 
 #include "classify/QueryCounter.h"
+#include "support/Profiler.h"
 
 using namespace oppsla;
 
@@ -95,10 +96,13 @@ AttackResult SparseRS::runAttack(Classifier &N, const Image &X,
   const size_t Horizon = Config.PrefetchHorizon;
   const bool Speculate = Horizon > 1 && Q.prefetchable();
 
+  telemetry::ProfileScope SearchSpan("sparse_rs.search");
   for (uint64_t Iter = 0; !Q.exhausted(); ++Iter) {
+    telemetry::ProfileScope IterSpan("sparse_rs.iteration");
     if (Speculate && Iter % Horizon == 0) {
       // Replay the next Horizon proposals under a no-acceptance
       // assumption and warm the engine cache with the candidate images.
+      telemetry::ProfileScope PrefetchSpan("sparse_rs.prefetch");
       Rng Sim = R;
       std::vector<Image> Batch;
       Batch.reserve(Horizon);

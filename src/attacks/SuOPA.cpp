@@ -7,6 +7,7 @@
 #include "attacks/SuOPA.h"
 
 #include "classify/QueryCounter.h"
+#include "support/Profiler.h"
 
 #include <algorithm>
 #include <cmath>
@@ -115,19 +116,23 @@ AttackResult SuOPA::runAttack(Classifier &N, const Image &X,
   }
 
   const size_t P = Pop.size();
-  for (size_t I = 0; I != P; ++I) {
-    if (Speculate && I % Window == 0) {
-      const size_t End = std::min(I + Window, P);
-      std::vector<Image> Batch;
-      Batch.reserve(End - I);
-      for (size_t J = I; J != End; ++J)
-        Batch.push_back(Materialize(Pop[J]));
-      Q.prefetch(Batch);
+  {
+    telemetry::ProfileScope InitSpan("suopa.init");
+    for (size_t I = 0; I != P; ++I) {
+      if (Speculate && I % Window == 0) {
+        telemetry::ProfileScope PrefetchSpan("suopa.prefetch");
+        const size_t End = std::min(I + Window, P);
+        std::vector<Image> Batch;
+        Batch.reserve(End - I);
+        for (size_t J = I; J != End; ++J)
+          Batch.push_back(Materialize(Pop[J]));
+        Q.prefetch(Batch);
+      }
+      if (!Evaluate(Pop[I]))
+        return Finish();
+      if (Out.Success)
+        return Finish();
     }
-    if (!Evaluate(Pop[I]))
-      return Finish();
-    if (Out.Success)
-      return Finish();
   }
 
   // DE/rand/1 index selection: three distinct members != I. The rejection
@@ -160,12 +165,14 @@ AttackResult SuOPA::runAttack(Classifier &N, const Image &X,
   };
 
   for (size_t Gen = 0; Gen != Config.MaxGenerations; ++Gen) {
+    telemetry::ProfileScope GenSpan("suopa.generation");
     for (size_t I = 0; I != P; ++I) {
       if (Speculate && I % Window == 0) {
         // Predict the window's mutants from the current population under a
         // no-acceptance assumption. Mispredictions (an acceptance inside
         // the window) cost wasted forwards, never wrong answers: the cache
         // verifies full image bytes on every hit.
+        telemetry::ProfileScope PrefetchSpan("suopa.prefetch");
         Rng Sim = R;
         const size_t End = std::min(I + Window, P);
         std::vector<Image> Batch;

@@ -10,6 +10,7 @@
 #include "nn/Optimizer.h"
 #include "nn/Serialize.h"
 #include "support/Logging.h"
+#include "support/Profiler.h"
 #include "support/Rng.h"
 
 #include <cstdlib>
@@ -35,6 +36,7 @@ TrainResult oppsla::trainClassifier(Sequential &Model, const Dataset &Data,
 
   TrainResult Result;
   for (size_t Epoch = 0; Epoch != Config.Epochs; ++Epoch) {
+    telemetry::ProfileScope EpochSpan("train.epoch");
     R.shuffle(Order);
     double EpochLoss = 0.0;
     size_t EpochCorrect = 0, Batches = 0;

@@ -7,6 +7,7 @@
 #include "core/Sketch.h"
 
 #include "classify/QueryCounter.h"
+#include "support/Profiler.h"
 
 #include <deque>
 
@@ -70,6 +71,7 @@ struct RunState {
   void prefetchPairs(const std::vector<PairId> &Ids) {
     if (Ids.size() < 2 || !Queries.prefetchable())
       return;
+    telemetry::ProfileScope Span("sketch.prefetch");
     PrefetchBatch.clear();
     PrefetchBatch.reserve(Ids.size());
     for (PairId Id : Ids) {
@@ -178,18 +180,23 @@ SketchResult Sketch::run(Classifier &N, const Image &X, size_t TrueClass,
     }
 
     // Push-back reordering (lines 5-6).
-    if (evalCondition(Prog.b1(), Env)) {
-      S.closestLoc(LP, Neigh);
-      for (PairId NId : Neigh)
-        S.L.pushBack(NId);
-    }
-    if (evalCondition(Prog.b2(), Env)) {
-      const PairId NId = S.closestPert(LP.Loc);
-      if (NId != InvalidPair)
-        S.L.pushBack(NId);
+    {
+      telemetry::ProfileScope ReorderSpan("sketch.reorder");
+      if (evalCondition(Prog.b1(), Env)) {
+        S.closestLoc(LP, Neigh);
+        for (PairId NId : Neigh)
+          S.L.pushBack(NId);
+      }
+      if (evalCondition(Prog.b2(), Env)) {
+        const PairId NId = S.closestPert(LP.Loc);
+        if (NId != InvalidPair)
+          S.L.pushBack(NId);
+      }
     }
 
     // Eager (conceptual push-front) BFS (lines 7-24).
+    telemetry::ProfileScope EagerSpan(
+        telemetry::profilingEnabled() ? "sketch.eager" : nullptr);
     std::deque<EagerItem> LocQ, PertQ;
     LocQ.push_back(EagerItem{LP, Env});
     PertQ.push_back(EagerItem{LP, Env});

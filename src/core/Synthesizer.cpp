@@ -8,6 +8,8 @@
 
 #include "support/Logging.h"
 #include "support/Metrics.h"
+#include "support/Profiler.h"
+#include "support/Progress.h"
 #include "support/Rng.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
@@ -75,6 +77,7 @@ ProgramEval evaluateProgramWith(const Program &P, Classifier &N,
                                 const Dataset &TrainSet, uint64_t PerImageCap,
                                 EvalWorkers *Workers) {
   assert(TrainSet.size() > 0 && "empty training set");
+  telemetry::ProfileScope Span("synth.score");
   std::vector<ImageOutcome> Out(TrainSet.size());
 
   auto RunOne = [&](Sketch &Sk, Classifier &NN, size_t I) {
@@ -169,9 +172,14 @@ Program oppsla::synthesizeProgram(Classifier &N, const Dataset &TrainSet,
       telemetry::counter("synth.queries");
   SynthQueries.inc(Eval.TotalQueries);
 
+  telemetry::progressBegin("synth", Config.MaxIter);
   for (size_t Iter = 1; Iter <= Config.MaxIter; ++Iter) {
     MutationKind Kind = MutationKind::Root;
-    const Program Candidate = mutateProgram(P, Ctx, R, &Kind);
+    Program Candidate;
+    {
+      telemetry::ProfileScope ProposeSpan("synth.propose");
+      Candidate = mutateProgram(P, Ctx, R, &Kind);
+    }
     const ProgramEval CandEval = evaluateProgramWith(
         Candidate, N, TrainSet, Config.PerImageQueryCap, &Workers);
     const double CandScore = CandEval.score(Config.Beta);
@@ -179,6 +187,7 @@ Program oppsla::synthesizeProgram(Classifier &N, const Dataset &TrainSet,
 
     // MH acceptance: u < S(P')/S(P). A zero-score incumbent accepts any
     // scoring candidate.
+    telemetry::ProfileScope AcceptSpan("synth.accept");
     bool Accept;
     if (Score <= 0.0)
       Accept = CandScore > 0.0;
@@ -213,7 +222,13 @@ Program oppsla::synthesizeProgram(Classifier &N, const Dataset &TrainSet,
     logDebug() << "synthesis iter " << Iter << ": candAvgQ="
                << CandEval.AvgQueries << (Accept ? " accepted" : " rejected")
                << " curAvgQ=" << Eval.AvgQueries;
+    telemetry::progressSet(Iter,
+                Eval.Attacks ? static_cast<double>(Eval.Successes) /
+                                   static_cast<double>(Eval.Attacks)
+                             : 0.0,
+                Eval.AvgQueries);
   }
+  telemetry::progressFinish();
   if (telemetry::traceEnabled())
     telemetry::traceEvent("synth_end",
                           {{"avg_queries", Eval.AvgQueries},

@@ -7,6 +7,7 @@
 #include "engine/QueryEngine.h"
 
 #include "support/Metrics.h"
+#include "support/Profiler.h"
 #include "support/Trace.h"
 
 #include <algorithm>
@@ -61,6 +62,7 @@ QueryEngine::QueryEngine(Classifier &Inner, QueryEngineConfig Config)
 QueryEngine::~QueryEngine() = default;
 
 std::vector<float> QueryEngine::scores(const Image &Img) {
+  telemetry::ProfileScope Span("engine.query");
   ++Logical;
   logicalCounter().inc();
   std::vector<float> S;
@@ -87,6 +89,7 @@ std::vector<float> QueryEngine::scores(const Image &Img) {
 
 std::vector<std::vector<float>> QueryEngine::scoresBatch(
     std::span<const Image> Imgs) {
+  telemetry::ProfileScope Span("engine.batch");
   const size_t N = Imgs.size();
   Logical += N;
   logicalCounter().inc(N);
@@ -100,26 +103,29 @@ std::vector<std::vector<float>> QueryEngine::scoresBatch(
   std::vector<std::pair<size_t, size_t>> Aliases; ///< (dup index, rep index)
   std::unordered_map<uint64_t, std::vector<size_t>> Reps;
   uint64_t Hits = 0;
-  for (size_t I = 0; I != N; ++I) {
-    const uint64_t Hash = Cache.enabled() ? Imgs[I].contentHash() : 0;
-    if (Cache.enabled() && Cache.lookup(Imgs[I], Hash, Out[I])) {
-      ++Hits;
-      continue;
-    }
-    bool Aliased = false;
-    if (Cache.enabled()) {
-      for (size_t Rep : Reps[Hash]) {
-        if (sameBytes(Imgs[Rep], Imgs[I])) {
-          Aliases.emplace_back(I, Rep);
-          Aliased = true;
-          break;
+  {
+    telemetry::ProfileScope ProbeSpan("engine.cache.probe");
+    for (size_t I = 0; I != N; ++I) {
+      const uint64_t Hash = Cache.enabled() ? Imgs[I].contentHash() : 0;
+      if (Cache.enabled() && Cache.lookup(Imgs[I], Hash, Out[I])) {
+        ++Hits;
+        continue;
+      }
+      bool Aliased = false;
+      if (Cache.enabled()) {
+        for (size_t Rep : Reps[Hash]) {
+          if (sameBytes(Imgs[Rep], Imgs[I])) {
+            Aliases.emplace_back(I, Rep);
+            Aliased = true;
+            break;
+          }
         }
+        if (!Aliased)
+          Reps[Hash].push_back(I);
       }
       if (!Aliased)
-        Reps[Hash].push_back(I);
+        Unique.push_back(I);
     }
-    if (!Aliased)
-      Unique.push_back(I);
   }
   hitCounter().inc(Hits);
   missCounter().inc(N - Hits);
@@ -145,6 +151,7 @@ void QueryEngine::prefetch(std::span<const Image> Imgs) {
   // Without a cache there is nowhere to park speculative results.
   if (!Cache.enabled() || Imgs.empty())
     return;
+  telemetry::ProfileScope Span("engine.prefetch");
 
   std::vector<size_t> Unique;
   std::unordered_map<uint64_t, std::vector<size_t>> Reps;
@@ -208,6 +215,7 @@ void QueryEngine::forwardUnique(std::span<const Image> Imgs,
                                 std::vector<std::vector<float>> &Out) {
   if (Unique.empty())
     return;
+  telemetry::ProfileScope Span("engine.forward");
   Physical += Unique.size();
   forwardCounter().inc(Unique.size());
 
@@ -222,9 +230,12 @@ void QueryEngine::forwardUnique(std::span<const Image> Imgs,
     const size_t Begin = K * B;
     const size_t End = std::min(Begin + B, Unique.size());
     std::vector<Image> Chunk;
-    Chunk.reserve(End - Begin);
-    for (size_t I = Begin; I != End; ++I)
-      Chunk.push_back(Imgs[Unique[I]]);
+    {
+      telemetry::ProfileScope AssembleSpan("engine.assemble");
+      Chunk.reserve(End - Begin);
+      for (size_t I = Begin; I != End; ++I)
+        Chunk.push_back(Imgs[Unique[I]]);
+    }
     std::vector<std::vector<float>> S =
         C.scoresBatch(std::span<const Image>(Chunk));
     for (size_t I = Begin; I != End; ++I)

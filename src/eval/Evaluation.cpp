@@ -7,6 +7,8 @@
 #include "eval/Evaluation.h"
 
 #include "attacks/SketchAttack.h"
+#include "support/Profiler.h"
+#include "support/Progress.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
 
@@ -31,6 +33,7 @@ AttackRunLog attackOne(Attack &A, Classifier &N, const Dataset &TestSet,
   Log.Discarded = R.AlreadyMisclassified;
   Log.Success = R.Success && !R.AlreadyMisclassified;
   Log.Queries = R.Queries;
+  telemetry::progressItem(!Log.Discarded, Log.Success, Log.Queries);
   return Log;
 }
 
@@ -87,14 +90,19 @@ std::vector<AttackRunLog> oppsla::runAttackOverSet(Attack &A, Classifier &N,
                                                    const Dataset &TestSet,
                                                    uint64_t Budget,
                                                    size_t Threads) {
+  telemetry::ProfileScope Span("eval.sweep");
+  telemetry::progressBegin("eval", TestSet.size());
   std::vector<AttackRunLog> Logs;
   if (Threads > 1 &&
-      runAttackOverSetParallel(A, N, TestSet, Budget, Threads, Logs))
+      runAttackOverSetParallel(A, N, TestSet, Budget, Threads, Logs)) {
+    telemetry::progressFinish();
     return Logs;
+  }
 
   Logs.reserve(TestSet.size());
   for (size_t I = 0; I != TestSet.size(); ++I)
     Logs.push_back(attackOne(A, N, TestSet, I, Budget));
+  telemetry::progressFinish();
   return Logs;
 }
 
@@ -116,9 +124,12 @@ std::vector<AttackRunLog> oppsla::runProgramsOverSet(
     Log.Discarded = R.AlreadyMisclassified;
     Log.Success = R.Success && !R.AlreadyMisclassified;
     Log.Queries = R.Queries;
+    telemetry::progressItem(!Log.Discarded, Log.Success, Log.Queries);
     return Log;
   };
 
+  telemetry::ProfileScope Span("eval.sweep");
+  telemetry::progressBegin("eval", TestSet.size());
   const size_t Workers = std::min(Threads, TestSet.size());
   if (Workers >= 2) {
     std::vector<std::unique_ptr<Classifier>> Clones;
@@ -146,6 +157,7 @@ std::vector<AttackRunLog> oppsla::runProgramsOverSet(
       }
       for (auto &F : Futures)
         F.get();
+      telemetry::progressFinish();
       return Logs;
     }
   }
@@ -154,6 +166,7 @@ std::vector<AttackRunLog> oppsla::runProgramsOverSet(
   Logs.reserve(TestSet.size());
   for (size_t I = 0; I != TestSet.size(); ++I)
     Logs.push_back(RunOne(N, I));
+  telemetry::progressFinish();
   return Logs;
 }
 

@@ -7,6 +7,7 @@
 #include "nn/Sequential.h"
 
 #include "support/Metrics.h"
+#include "support/Profiler.h"
 
 #include <chrono>
 #include <cstdio>
@@ -34,17 +35,35 @@ void recordLayerTime(size_t Index, const std::string &LayerName,
 } // namespace
 
 Tensor Sequential::forward(const Tensor &In, bool Train) {
-  if (telemetry::layerTimingEnabled() && ForwardDepth == 0) {
+  const bool Timing = telemetry::layerTimingEnabled();
+  const bool Prof = telemetry::profilingEnabled();
+  if ((Timing || Prof) && ForwardDepth == 0) {
+    if (Prof && SpanNames.size() != Layers.size()) {
+      // Models are cloned per worker thread, so the lazy build races
+      // nothing: only the owning thread runs this forward.
+      SpanNames.clear();
+      SpanNames.reserve(Layers.size());
+      char Key[160];
+      for (size_t I = 0; I != Layers.size(); ++I) {
+        std::snprintf(Key, sizeof(Key), "nn.%02zu.%s", I,
+                      Layers[I]->name().c_str());
+        SpanNames.push_back(telemetry::internProfileName(Key));
+      }
+    }
     ++ForwardDepth;
+    telemetry::ProfileScope ForwardSpan(Prof ? "nn.forward" : nullptr);
     Tensor X = In;
     for (size_t I = 0; I != Layers.size(); ++I) {
+      telemetry::ProfileScope LayerSpan(Prof ? SpanNames[I] : nullptr);
       const auto T0 = std::chrono::steady_clock::now();
       X = Layers[I]->forward(X, Train);
-      const auto Us =
-          std::chrono::duration_cast<std::chrono::microseconds>(
-              std::chrono::steady_clock::now() - T0)
-              .count();
-      recordLayerTime(I, Layers[I]->name(), static_cast<uint64_t>(Us));
+      if (Timing) {
+        const auto Us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - T0)
+                .count();
+        recordLayerTime(I, Layers[I]->name(), static_cast<uint64_t>(Us));
+      }
     }
     --ForwardDepth;
     return X;

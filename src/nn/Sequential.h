@@ -55,6 +55,9 @@ public:
 
 private:
   std::vector<LayerPtr> Layers;
+  /// Interned `nn.<ii>.<layer>` span names for the profiler, built lazily
+  /// on the first profiled forward (index-aligned with Layers).
+  std::vector<const char *> SpanNames;
 };
 
 } // namespace oppsla

@@ -1,0 +1,73 @@
+//===- support/BenchJson.cpp - Standard bench result artifact ----------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BenchJson.h"
+
+#include "support/ArgParse.h"
+#include "support/Logging.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace oppsla;
+
+void BenchJson::addTelemetryCounters() {
+  const std::string Skip = "nn.forward.";
+  for (const auto &[Name, Value] :
+       telemetry::MetricsRegistry::instance().counterValues()) {
+    if (Name.compare(0, Skip.size(), Skip) == 0)
+      continue;
+    Metrics[Name] = static_cast<double>(Value);
+  }
+}
+
+std::string BenchJson::render() const {
+  std::string Out = "{\"name\":\"";
+  telemetry::appendJsonEscaped(Out, Name);
+  Out += "\",\"scale\":\"";
+  telemetry::appendJsonEscaped(Out, Scale);
+  Out += "\",\"metrics\":{";
+  bool First = true;
+  char Buf[40];
+  for (const auto &[Key, Value] : Metrics) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '"';
+    telemetry::appendJsonEscaped(Out, Key);
+    Out += "\":";
+    if (std::isfinite(Value)) {
+      std::snprintf(Buf, sizeof(Buf), "%.9g", Value);
+      Out += Buf;
+    } else {
+      Out += "null";
+    }
+  }
+  Out += "}}\n";
+  return Out;
+}
+
+bool BenchJson::write(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  const std::string Json = render();
+  const size_t Written = std::fwrite(Json.data(), 1, Json.size(), F);
+  return Written == Json.size() && std::fclose(F) == 0;
+}
+
+bool BenchJson::writeFromArgs(const ArgParse &Args) const {
+  const std::string Path = Args.get("json-out", "");
+  if (Path.empty())
+    return true;
+  if (!write(Path)) {
+    logError() << "cannot write --json-out " << Path;
+    return false;
+  }
+  return true;
+}

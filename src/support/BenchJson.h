@@ -1,0 +1,58 @@
+//===- support/BenchJson.h - Standard bench result artifact ----*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The standard machine-readable artifact every bench binary writes at its
+/// `--json-out` path:
+///
+///   {"name": "<bench>", "scale": "<smoke|small|paper>",
+///    "metrics": {"<key>": <number>, ...}}
+///
+/// One flat numeric map keeps the driver-side diffing trivial; benches
+/// with richer tables (batch_throughput's per-spec results) keep their own
+/// detailed artifact and emit the standard one alongside it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_SUPPORT_BENCHJSON_H
+#define OPPSLA_SUPPORT_BENCHJSON_H
+
+#include <map>
+#include <string>
+
+namespace oppsla {
+
+class ArgParse;
+
+/// Builder for the BENCH_<name>.json artifact.
+struct BenchJson {
+  BenchJson(std::string Name, std::string Scale)
+      : Name(std::move(Name)), Scale(std::move(Scale)) {}
+
+  std::string Name;
+  std::string Scale;
+  std::map<std::string, double> Metrics; ///< name-sorted for determinism
+
+  void set(const std::string &Key, double Value) { Metrics[Key] = Value; }
+
+  /// Copies every telemetry counter of the process into Metrics, skipping
+  /// the high-cardinality per-layer `nn.forward.*` timing counters.
+  void addTelemetryCounters();
+
+  /// Renders the artifact as a JSON document (trailing newline included).
+  std::string render() const;
+
+  /// Writes render() to \p Path. \returns true on success.
+  bool write(const std::string &Path) const;
+
+  /// Writes to \p Args's `--json-out` path when given. \returns false
+  /// (after logging) only when the path was given but writing failed.
+  bool writeFromArgs(const ArgParse &Args) const;
+};
+
+} // namespace oppsla
+
+#endif // OPPSLA_SUPPORT_BENCHJSON_H

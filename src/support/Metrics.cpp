@@ -8,13 +8,16 @@
 
 #include "support/ArgParse.h"
 #include "support/Logging.h"
+#include "support/Profiler.h"
 #include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cinttypes>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 using namespace oppsla;
@@ -55,6 +58,77 @@ std::string &pendingMetricsPath() {
   return Path;
 }
 
+/// Path for the deferred --profile-out folded stacks.
+std::string &pendingProfilePath() {
+  static std::string Path;
+  return Path;
+}
+
+/// Labels for the oppsla_run_info exposition metric.
+struct RunInfoMap {
+  std::mutex Mu;
+  std::map<std::string, std::string> KV;
+};
+
+RunInfoMap &runInfo() {
+  static RunInfoMap M;
+  return M;
+}
+
+/// Maps a dotted instrument name onto the Prometheus charset
+/// ([a-zA-Z0-9_]) under the oppsla_ namespace prefix.
+std::string sanitizeMetricName(const std::string &Name) {
+  std::string Out = "oppsla_";
+  for (char C : Name) {
+    const bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+                    (C >= '0' && C <= '9') || C == '_';
+    Out += Ok ? C : '_';
+  }
+  return Out;
+}
+
+std::string sanitizeLabelName(const std::string &Name) {
+  std::string Out;
+  for (char C : Name) {
+    const bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+                    (C >= '0' && C <= '9') || C == '_';
+    Out += Ok ? C : '_';
+  }
+  if (Out.empty() || (Out[0] >= '0' && Out[0] <= '9'))
+    Out.insert(Out.begin(), '_');
+  return Out;
+}
+
+/// Prometheus label values escape backslash, double quote and newline.
+void appendPromLabelEscaped(std::string &Out, const std::string &V) {
+  for (char C : V) {
+    if (C == '\\')
+      Out += "\\\\";
+    else if (C == '"')
+      Out += "\\\"";
+    else if (C == '\n')
+      Out += "\\n";
+    else
+      Out += C;
+  }
+}
+
+/// Sample values in the exposition format: non-finite spells NaN/+Inf/-Inf
+/// (JSON's null is not valid there).
+void appendPromDouble(std::string &Out, double V) {
+  if (std::isnan(V)) {
+    Out += "NaN";
+    return;
+  }
+  if (std::isinf(V)) {
+    Out += V > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+  Out += Buf;
+}
+
 } // namespace
 
 Histogram::Histogram(std::vector<double> UpperBounds)
@@ -84,6 +158,29 @@ double Histogram::mean() const {
 uint64_t Histogram::bucketCount(size_t I) const {
   assert(I < numBuckets() && "bucket index out of range");
   return Buckets[I].load(std::memory_order_relaxed);
+}
+
+double Histogram::quantile(double Q) const {
+  const uint64_t C = count();
+  if (C == 0)
+    return 0.0;
+  Q = std::min(1.0, std::max(0.0, Q));
+  const double Rank = Q * static_cast<double>(C);
+  double Cum = 0.0;
+  for (size_t I = 0; I != Bounds.size(); ++I) {
+    const double InBucket =
+        static_cast<double>(Buckets[I].load(std::memory_order_relaxed));
+    if (InBucket > 0.0 && Cum + InBucket >= Rank) {
+      // Linear interpolation between the bucket's edges; the first
+      // bucket's lower edge is 0 (all recorded quantities are
+      // non-negative: queries, seconds, batch sizes).
+      const double Lower = I == 0 ? 0.0 : Bounds[I - 1];
+      return Lower + (Bounds[I] - Lower) * (Rank - Cum) / InBucket;
+    }
+    Cum += InBucket;
+  }
+  // The rank falls in the overflow bucket, whose extent is unknown.
+  return Bounds.back();
 }
 
 std::vector<double> oppsla::telemetry::exponentialBuckets(double Start,
@@ -177,6 +274,12 @@ std::string MetricsRegistry::snapshotJson() const {
     appendDouble(Out, H->sum());
     Out += ",\"mean\":";
     appendDouble(Out, H->mean());
+    Out += ",\"p50\":";
+    appendDouble(Out, H->quantile(0.5));
+    Out += ",\"p90\":";
+    appendDouble(Out, H->quantile(0.9));
+    Out += ",\"p99\":";
+    appendDouble(Out, H->quantile(0.99));
     Out += ",\"buckets\":[";
     for (size_t I = 0; I != H->numBuckets(); ++I) {
       if (I)
@@ -192,7 +295,12 @@ std::string MetricsRegistry::snapshotJson() const {
     }
     Out += "]}";
   }
-  Out += "}}";
+  Out += '}';
+  if (profileThreadCount() != 0) {
+    Out += ",\"profile\":";
+    Out += profileJson();
+  }
+  Out += '}';
   return Out;
 }
 
@@ -205,7 +313,8 @@ std::string MetricsRegistry::textReport() const {
     Out << Name << " = " << G->value() << "\n";
   for (const auto &[Name, H] : Histograms) {
     Out << Name << ": count=" << H->count() << " mean=" << H->mean()
-        << " buckets[";
+        << " p50=" << H->quantile(0.5) << " p90=" << H->quantile(0.9)
+        << " p99=" << H->quantile(0.99) << " buckets[";
     for (size_t I = 0; I != H->numBuckets(); ++I) {
       if (I)
         Out << ' ';
@@ -218,6 +327,74 @@ std::string MetricsRegistry::textReport() const {
     Out << "]\n";
   }
   return Out.str();
+}
+
+std::string MetricsRegistry::prometheusText() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::string Out;
+  char Buf[32];
+
+  for (const auto &[Name, C] : Counters) {
+    const std::string M = sanitizeMetricName(Name) + "_total";
+    Out += "# HELP " + M + " OPPSLA counter " + Name + "\n";
+    Out += "# TYPE " + M + " counter\n";
+    Out += M + ' ';
+    appendUInt(Out, C->value());
+    Out += '\n';
+  }
+  for (const auto &[Name, G] : Gauges) {
+    const std::string M = sanitizeMetricName(Name);
+    Out += "# HELP " + M + " OPPSLA gauge " + Name + "\n";
+    Out += "# TYPE " + M + " gauge\n";
+    Out += M + ' ';
+    appendPromDouble(Out, G->value());
+    Out += '\n';
+  }
+  for (const auto &[Name, H] : Histograms) {
+    const std::string M = sanitizeMetricName(Name);
+    Out += "# HELP " + M + " OPPSLA histogram " + Name + "\n";
+    Out += "# TYPE " + M + " histogram\n";
+    uint64_t Cum = 0;
+    for (size_t I = 0; I != H->upperBounds().size(); ++I) {
+      Cum += H->bucketCount(I);
+      Out += M + "_bucket{le=\"";
+      std::snprintf(Buf, sizeof(Buf), "%.9g", H->upperBounds()[I]);
+      Out += Buf;
+      Out += "\"} ";
+      appendUInt(Out, Cum);
+      Out += '\n';
+    }
+    // The +Inf bucket is the running total: finite cumulative count plus
+    // the overflow bucket, which by construction equals count().
+    Out += M + "_bucket{le=\"+Inf\"} ";
+    appendUInt(Out, Cum + H->bucketCount(H->numBuckets() - 1));
+    Out += '\n';
+    Out += M + "_sum ";
+    appendPromDouble(Out, H->sum());
+    Out += '\n';
+    Out += M + "_count ";
+    appendUInt(Out, Cum + H->bucketCount(H->numBuckets() - 1));
+    Out += '\n';
+  }
+  {
+    std::lock_guard<std::mutex> InfoLock(runInfo().Mu);
+    if (!runInfo().KV.empty()) {
+      Out += "# HELP oppsla_run_info Run metadata carried as labels.\n";
+      Out += "# TYPE oppsla_run_info gauge\n";
+      Out += "oppsla_run_info{";
+      bool First = true;
+      for (const auto &[K, V] : runInfo().KV) {
+        if (!First)
+          Out += ',';
+        First = false;
+        Out += sanitizeLabelName(K) + "=\"";
+        appendPromLabelEscaped(Out, V);
+        Out += '"';
+      }
+      Out += "} 1\n";
+    }
+  }
+  return Out;
 }
 
 bool MetricsRegistry::empty() const {
@@ -251,6 +428,16 @@ std::string oppsla::telemetry::snapshotMetricsJson() {
 
 std::string oppsla::telemetry::metricsTextReport() {
   return MetricsRegistry::instance().textReport();
+}
+
+std::string oppsla::telemetry::prometheusTextExposition() {
+  return MetricsRegistry::instance().prometheusText();
+}
+
+void oppsla::telemetry::setRunInfo(const std::string &Key,
+                                   const std::string &Value) {
+  std::lock_guard<std::mutex> Lock(runInfo().Mu);
+  runInfo().KV[Key] = Value;
 }
 
 bool oppsla::telemetry::writeMetricsJson(const std::string &Path) {
@@ -325,6 +512,45 @@ std::string oppsla::telemetry::layerTimingReport() {
   return Out.str();
 }
 
+namespace {
+
+std::atomic<bool> ExitHandlersInstalled{false};
+std::atomic<bool> FlushInProgress{false};
+
+/// Best-effort flush of every configured file sink. Runs from atexit and
+/// from the SIGINT/SIGTERM handler; the exchange guard makes a signal
+/// that lands during a flush a no-op instead of a reentrant corruption.
+/// (File I/O is not async-signal-safe in general — for an interrupted
+/// run, partially flushed telemetry beats none.)
+void flushTelemetrySinks() {
+  if (FlushInProgress.exchange(true))
+    return;
+  TraceWriter::instance().close();
+  const std::string MetricsPath = pendingMetricsPath();
+  if (!MetricsPath.empty())
+    writeMetricsJson(MetricsPath);
+  const std::string ProfilePath = pendingProfilePath();
+  if (!ProfilePath.empty())
+    writeProfileFolded(ProfilePath);
+  FlushInProgress.store(false);
+}
+
+void telemetrySignalHandler(int Sig) {
+  flushTelemetrySinks();
+  std::signal(Sig, SIG_DFL);
+  std::raise(Sig);
+}
+
+} // namespace
+
+void oppsla::telemetry::installTelemetryExitHandlers() {
+  if (ExitHandlersInstalled.exchange(true))
+    return;
+  std::atexit([] { flushTelemetrySinks(); });
+  std::signal(SIGINT, telemetrySignalHandler);
+  std::signal(SIGTERM, telemetrySignalHandler);
+}
+
 bool oppsla::telemetry::configureFromArgs(const ArgParse &Args) {
   const std::string TraceOut = Args.get("trace-out", "");
   if (!TraceOut.empty() && !TraceWriter::instance().open(TraceOut)) {
@@ -335,18 +561,29 @@ bool oppsla::telemetry::configureFromArgs(const ArgParse &Args) {
   pendingMetricsPath() = MetricsOut;
   if (!MetricsOut.empty() || Args.getFlag("layer-timing"))
     setLayerTimingEnabled(true);
+  const std::string ProfileOut = Args.get("profile-out", "");
+  pendingProfilePath() = ProfileOut;
+  if (!ProfileOut.empty() || Args.getFlag("profile"))
+    setProfilingEnabled(true);
+  if (!TraceOut.empty() || !MetricsOut.empty() || !ProfileOut.empty())
+    installTelemetryExitHandlers();
   return true;
 }
 
 bool oppsla::telemetry::finalizeTelemetry() {
   TraceWriter::instance().close();
-  const std::string Path = pendingMetricsPath();
+  bool Ok = true;
+  const std::string MetricsPath = pendingMetricsPath();
   pendingMetricsPath().clear();
-  if (Path.empty())
-    return true;
-  if (!writeMetricsJson(Path)) {
-    logError() << "cannot write --metrics-out " << Path;
-    return false;
+  if (!MetricsPath.empty() && !writeMetricsJson(MetricsPath)) {
+    logError() << "cannot write --metrics-out " << MetricsPath;
+    Ok = false;
   }
-  return true;
+  const std::string ProfilePath = pendingProfilePath();
+  pendingProfilePath().clear();
+  if (!ProfilePath.empty() && !writeProfileFolded(ProfilePath)) {
+    logError() << "cannot write --profile-out " << ProfilePath;
+    Ok = false;
+  }
+  return Ok;
 }

@@ -56,6 +56,12 @@ private:
 class Gauge {
 public:
   void set(double X) { V.store(X, std::memory_order_relaxed); }
+  void add(double Delta) {
+    double Cur = V.load(std::memory_order_relaxed);
+    while (!V.compare_exchange_weak(Cur, Cur + Delta,
+                                    std::memory_order_relaxed))
+      ;
+  }
   double value() const { return V.load(std::memory_order_relaxed); }
 
 private:
@@ -75,6 +81,11 @@ public:
   uint64_t count() const { return N.load(std::memory_order_relaxed); }
   double sum() const { return Sum.load(std::memory_order_relaxed); }
   double mean() const;
+  /// Estimates the \p Q quantile (0 < Q < 1) by linear interpolation
+  /// within the bucket the target rank falls into. Observations in the
+  /// overflow bucket clamp to the last finite bound (the histogram does
+  /// not know how far above it they landed). Returns 0 when empty.
+  double quantile(double Q) const;
 
   const std::vector<double> &upperBounds() const { return Bounds; }
   /// Number of buckets including overflow: upperBounds().size() + 1.
@@ -111,10 +122,18 @@ public:
   std::vector<std::pair<std::string, uint64_t>> counterValues() const;
 
   /// Full JSON snapshot: {"counters":{...},"gauges":{...},
-  /// "histograms":{name:{"count","sum","mean","buckets":[{"le","count"}]}}}.
+  /// "histograms":{name:{"count","sum","mean","p50","p90","p99",
+  /// "buckets":[{"le","count"}]}},"profile":{...}} — the profile block is
+  /// present only when the span profiler recorded something.
   std::string snapshotJson() const;
   /// Human-readable dump of the same data, one instrument per line.
   std::string textReport() const;
+  /// Prometheus text exposition (version 0.0.4) of every instrument:
+  /// `# HELP`/`# TYPE` headers, `oppsla_`-prefixed sanitized names,
+  /// `_total`-suffixed counters, cumulative `_bucket{le="..."}` series
+  /// plus `_sum`/`_count` per histogram, and an `oppsla_run_info{...} 1`
+  /// info metric carrying the labels set via setRunInfo().
+  std::string prometheusText() const;
 
   bool empty() const;
   /// Drops every instrument. Only for tests — invalidates cached refs.
@@ -139,8 +158,16 @@ Histogram &histogram(const std::string &Name,
                      std::vector<double> UpperBounds);
 std::string snapshotMetricsJson();
 std::string metricsTextReport();
+/// MetricsRegistry::prometheusText() of the singleton (the `/metrics`
+/// endpoint payload).
+std::string prometheusTextExposition();
 /// Writes snapshotMetricsJson() to \p Path. \returns true on success.
 bool writeMetricsJson(const std::string &Path);
+
+/// Attaches a key/value label to the `oppsla_run_info` metric of the
+/// Prometheus exposition (command name, attack kind, model arch, ...).
+/// Setting an existing key overwrites it.
+void setRunInfo(const std::string &Key, const std::string &Value);
 
 /// RAII wall-clock span. Records elapsed seconds into \p H (when non-null)
 /// on destruction; seconds() reads the running value early.
@@ -183,12 +210,23 @@ std::string layerTimingReport();
 ///   --metrics-out <path>  write a metrics JSON snapshot at finalize
 ///                         (also enables per-layer forward timing)
 ///   --layer-timing        enable per-layer forward timing only
+///   --profile             enable the hierarchical span profiler
+///   --profile-out <path>  write folded stacks at finalize (implies
+///                         --profile)
+/// When any file sink is configured, installs best-effort flush handlers
+/// (atexit + SIGINT/SIGTERM) so the sinks survive an interrupted run.
 /// \returns false (after logging) if the trace sink cannot be opened.
 bool configureFromArgs(const ArgParse &Args);
 
-/// Closes the trace sink and writes the pending --metrics-out snapshot.
-/// \returns false if the snapshot could not be written.
+/// Closes the trace sink and writes the pending --metrics-out snapshot
+/// and --profile-out folded stacks. \returns false if a sink could not be
+/// written.
 bool finalizeTelemetry();
+
+/// Installs the atexit + SIGINT/SIGTERM flush handlers directly (done
+/// automatically by configureFromArgs when a file sink is requested).
+/// Idempotent.
+void installTelemetryExitHandlers();
 
 } // namespace telemetry
 } // namespace oppsla

@@ -1,0 +1,328 @@
+//===- support/Profiler.cpp - Hierarchical span profiler ---------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Profiler.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+
+using namespace oppsla;
+using namespace oppsla::telemetry;
+
+namespace oppsla::telemetry::profdetail {
+
+/// One span call site within one thread's tree. Structure is written only
+/// by the owning thread; Count/TotalNs and the child links are atomic so a
+/// snapshot thread can read a consistent (if slightly stale) tree while
+/// spans are still being recorded.
+struct ProfNode {
+  const char *Name = nullptr;
+  ProfNode *Parent = nullptr;
+  std::atomic<ProfNode *> FirstChild{nullptr};
+  std::atomic<ProfNode *> NextSibling{nullptr};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> TotalNs{0};
+};
+
+/// Per-thread arena: a node tree plus the enter/exit cursor. Nodes live in
+/// a deque so appending never moves existing nodes (the snapshot thread
+/// holds raw pointers into it).
+struct ProfArena {
+  ProfNode Root;
+  ProfNode *Current = &Root;
+  std::deque<ProfNode> Nodes;
+};
+
+} // namespace oppsla::telemetry::profdetail
+
+namespace {
+
+using profdetail::ProfArena;
+using profdetail::ProfNode;
+
+std::atomic<bool> ProfilingFlag{false};
+
+/// Registry of every arena ever created. Arenas outlive their threads (a
+/// sweep's worker pool is torn down before the report is rendered), so the
+/// registry shares ownership with each thread's TLS slot. Epoch bumps on
+/// resetProfiler() so stale TLS arenas re-register fresh ones.
+struct ProfRegistry {
+  std::mutex Mu;
+  std::vector<std::shared_ptr<ProfArena>> Arenas;
+  std::atomic<uint64_t> Epoch{1};
+};
+
+ProfRegistry &registry() {
+  static ProfRegistry R;
+  return R;
+}
+
+struct TlsArena {
+  std::shared_ptr<ProfArena> Arena;
+  uint64_t Epoch = 0;
+};
+
+/// Aggregated node of the cross-thread merge, keyed by span-name content.
+struct MergedNode {
+  uint64_t Count = 0;
+  uint64_t TotalNs = 0;
+  std::map<std::string, MergedNode> Children;
+};
+
+void mergeInto(MergedNode &Dst, const ProfNode &Src) {
+  Dst.Count += Src.Count.load(std::memory_order_relaxed);
+  Dst.TotalNs += Src.TotalNs.load(std::memory_order_relaxed);
+  for (const ProfNode *C = Src.FirstChild.load(std::memory_order_acquire); C;
+       C = C->NextSibling.load(std::memory_order_relaxed))
+    mergeInto(Dst.Children[C->Name], *C);
+}
+
+/// Builds the merged forest over all arenas. \p Threads (optional) gets
+/// the number of arenas with at least one recorded span.
+MergedNode mergedForest(size_t *Threads = nullptr) {
+  std::vector<std::shared_ptr<ProfArena>> Arenas;
+  {
+    std::lock_guard<std::mutex> Lock(registry().Mu);
+    Arenas = registry().Arenas;
+  }
+  MergedNode Root;
+  size_t Active = 0;
+  for (const auto &A : Arenas) {
+    if (!A->Root.FirstChild.load(std::memory_order_acquire))
+      continue;
+    ++Active;
+    for (const ProfNode *C = A->Root.FirstChild.load(std::memory_order_acquire);
+         C; C = C->NextSibling.load(std::memory_order_relaxed))
+      mergeInto(Root.Children[C->Name], *C);
+  }
+  if (Threads)
+    *Threads = Active;
+  return Root;
+}
+
+void flatten(const MergedNode &N, const std::string &Path,
+             const std::string &Name, size_t Depth,
+             std::vector<ProfileEntry> &Out) {
+  // Siblings by descending total time, then name for determinism.
+  std::vector<const std::pair<const std::string, MergedNode> *> Order;
+  Order.reserve(N.Children.size());
+  for (const auto &KV : N.Children)
+    Order.push_back(&KV);
+  std::sort(Order.begin(), Order.end(), [](const auto *A, const auto *B) {
+    if (A->second.TotalNs != B->second.TotalNs)
+      return A->second.TotalNs > B->second.TotalNs;
+    return A->first < B->first;
+  });
+
+  // An in-flight span (entered, never exited) has Count == 0: it gets no
+  // entry of its own — it contributes only after it exits — but completed
+  // descendants underneath it are still emitted with their full path, so
+  // a mid-run /profile scrape sees finished work under the open root.
+  if (!Name.empty() && N.Count != 0) {
+    uint64_t ChildTotal = 0;
+    for (const auto &[_, C] : N.Children)
+      ChildTotal += C.TotalNs;
+    ProfileEntry E;
+    E.Path = Path;
+    E.Name = Name;
+    E.Depth = Depth;
+    E.Count = N.Count;
+    E.TotalNs = N.TotalNs;
+    E.SelfNs = N.TotalNs > ChildTotal ? N.TotalNs - ChildTotal : 0;
+    Out.push_back(std::move(E));
+  }
+  for (const auto *KV : Order) {
+    const std::string ChildPath =
+        Path.empty() ? KV->first : Path + ";" + KV->first;
+    flatten(KV->second, ChildPath, KV->first,
+            Name.empty() ? Depth : Depth + 1, Out);
+  }
+}
+
+} // namespace
+
+ProfArena &oppsla::telemetry::profdetail::arena() {
+  thread_local TlsArena Tls;
+  const uint64_t Epoch = registry().Epoch.load(std::memory_order_relaxed);
+  if (!Tls.Arena || Tls.Epoch != Epoch) {
+    Tls.Arena = std::make_shared<ProfArena>();
+    Tls.Epoch = Epoch;
+    std::lock_guard<std::mutex> Lock(registry().Mu);
+    registry().Arenas.push_back(Tls.Arena);
+  }
+  return *Tls.Arena;
+}
+
+ProfNode *oppsla::telemetry::profdetail::enter(ProfArena &A,
+                                               const char *Name) {
+  ProfNode *Cur = A.Current;
+  for (ProfNode *C = Cur->FirstChild.load(std::memory_order_relaxed); C;
+       C = C->NextSibling.load(std::memory_order_relaxed)) {
+    // Pointer comparison is the fast path (one call site, one literal);
+    // content comparison catches equal literals from different TUs.
+    if (C->Name == Name || std::strcmp(C->Name, Name) == 0) {
+      A.Current = C;
+      return C;
+    }
+  }
+  ProfNode &N = A.Nodes.emplace_back();
+  N.Name = Name;
+  N.Parent = Cur;
+  // Publish at the list head with release so a concurrent snapshot sees
+  // the node fully initialized. Only the owner thread ever inserts.
+  N.NextSibling.store(Cur->FirstChild.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  Cur->FirstChild.store(&N, std::memory_order_release);
+  A.Current = &N;
+  return &N;
+}
+
+void oppsla::telemetry::profdetail::exit(ProfArena &A, ProfNode *N,
+                                         uint64_t Ns) {
+  N->Count.fetch_add(1, std::memory_order_relaxed);
+  N->TotalNs.fetch_add(Ns, std::memory_order_relaxed);
+  A.Current = N->Parent;
+}
+
+void oppsla::telemetry::setProfilingEnabled(bool Enabled) {
+  ProfilingFlag.store(Enabled, std::memory_order_relaxed);
+}
+
+bool oppsla::telemetry::profilingEnabled() {
+  return ProfilingFlag.load(std::memory_order_relaxed);
+}
+
+const char *oppsla::telemetry::internProfileName(const std::string &Name) {
+  static std::mutex Mu;
+  static std::set<std::string> Interned;
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Interned.insert(Name).first->c_str();
+}
+
+std::vector<ProfileEntry> oppsla::telemetry::profileSnapshot() {
+  const MergedNode Root = mergedForest();
+  std::vector<ProfileEntry> Out;
+  flatten(Root, "", "", 0, Out);
+  return Out;
+}
+
+size_t oppsla::telemetry::profileThreadCount() {
+  size_t Threads = 0;
+  (void)mergedForest(&Threads);
+  return Threads;
+}
+
+std::string oppsla::telemetry::profileTextReport() {
+  size_t Threads = 0;
+  const MergedNode Root = mergedForest(&Threads);
+  std::vector<ProfileEntry> Entries;
+  flatten(Root, "", "", 0, Entries);
+  if (Entries.empty())
+    return "";
+
+  uint64_t GrandTotalNs = 0;
+  for (const auto &[_, C] : Root.Children)
+    GrandTotalNs += C.TotalNs;
+
+  std::string Out;
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "profile: %zu thread%s, %zu span path%s\n", Threads,
+                Threads == 1 ? "" : "s", Entries.size(),
+                Entries.size() == 1 ? "" : "s");
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf), "  %-40s %10s %14s %12s %7s\n", "span",
+                "count", "total ms", "self ms", "%");
+  Out += Buf;
+  for (const ProfileEntry &E : Entries) {
+    std::string Label(E.Depth * 2, ' ');
+    Label += E.Name;
+    if (Label.size() > 40)
+      Label = Label.substr(0, 37) + "...";
+    const double Pct =
+        GrandTotalNs
+            ? 100.0 * static_cast<double>(E.TotalNs) /
+                  static_cast<double>(GrandTotalNs)
+            : 0.0;
+    std::snprintf(Buf, sizeof(Buf),
+                  "  %-40s %10" PRIu64 " %14.3f %12.3f %6.1f%%\n",
+                  Label.c_str(), E.Count,
+                  static_cast<double>(E.TotalNs) / 1e6,
+                  static_cast<double>(E.SelfNs) / 1e6, Pct);
+    Out += Buf;
+  }
+  return Out;
+}
+
+std::string oppsla::telemetry::profileFoldedReport() {
+  std::string Out;
+  char Buf[64];
+  for (const ProfileEntry &E : profileSnapshot()) {
+    const uint64_t SelfUs = E.SelfNs / 1000;
+    if (SelfUs == 0)
+      continue;
+    Out += E.Path;
+    std::snprintf(Buf, sizeof(Buf), " %" PRIu64 "\n", SelfUs);
+    Out += Buf;
+  }
+  return Out;
+}
+
+std::string oppsla::telemetry::profileJson() {
+  size_t Threads = 0;
+  const MergedNode Root = mergedForest(&Threads);
+  std::vector<ProfileEntry> Entries;
+  flatten(Root, "", "", 0, Entries);
+
+  std::string Out = "{\"threads\":";
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "%zu", Threads);
+  Out += Buf;
+  Out += ",\"spans\":[";
+  bool First = true;
+  for (const ProfileEntry &E : Entries) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "{\"path\":\"";
+    // Span names are identifier-like literals; still escape the JSON
+    // specials so a hostile interned name cannot corrupt the document.
+    for (char C : E.Path) {
+      if (C == '"' || C == '\\')
+        Out += '\\';
+      Out += C;
+    }
+    std::snprintf(Buf, sizeof(Buf),
+                  "\",\"count\":%" PRIu64 ",\"total_us\":%" PRIu64
+                  ",\"self_us\":%" PRIu64 "}",
+                  E.Count, E.TotalNs / 1000, E.SelfNs / 1000);
+    Out += Buf;
+  }
+  Out += "]}";
+  return Out;
+}
+
+bool oppsla::telemetry::writeProfileFolded(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  const std::string Folded = profileFoldedReport();
+  const size_t Written = std::fwrite(Folded.data(), 1, Folded.size(), F);
+  return Written == Folded.size() && std::fclose(F) == 0;
+}
+
+void oppsla::telemetry::resetProfiler() {
+  std::lock_guard<std::mutex> Lock(registry().Mu);
+  registry().Arenas.clear();
+  registry().Epoch.fetch_add(1, std::memory_order_relaxed);
+}

@@ -1,0 +1,146 @@
+//===- support/Profiler.h - Hierarchical span profiler ---------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An always-available, low-overhead hierarchical span profiler.
+///
+/// RAII `ProfileScope`s record into per-thread arenas: each thread owns a
+/// tree of `ProfNode`s keyed by span name, with a `Current` cursor that
+/// enter/exit moves up and down. The hot path takes no locks — entering a
+/// span walks the current node's (short) child list, exiting adds two
+/// relaxed atomic increments. When profiling is disabled the entire cost
+/// is one relaxed atomic load per scope.
+///
+/// A process-wide registry keeps every arena alive past thread exit and
+/// merges identical call paths (compared by span-name *content*, so equal
+/// paths recorded on different threads, or from string literals in
+/// different TUs, aggregate) into one call-tree with count / total /
+/// self time. Three sinks render the merged tree:
+///
+///   - profileTextReport():   indented top-down tree for the CLI
+///                            `metrics:` section (`--profile`);
+///   - profileFoldedReport(): folded stacks, one `a;b;c <usec>` line per
+///                            path (self time), consumable by
+///                            flamegraph.pl / speedscope (`--profile-out`);
+///   - profileJson():         a summary block embedded in `--metrics-out`
+///                            snapshots and served by the stats server.
+///
+/// Span timings never feed back into attack results or RNG streams: with
+/// profiling disabled, instrumented code is byte-identical in behavior.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_SUPPORT_PROFILER_H
+#define OPPSLA_SUPPORT_PROFILER_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace oppsla {
+namespace telemetry {
+
+/// Process-wide profiling gate. Off by default; the disabled ProfileScope
+/// costs one relaxed load.
+void setProfilingEnabled(bool Enabled);
+bool profilingEnabled();
+
+namespace profdetail {
+
+struct ProfNode;
+struct ProfArena;
+
+/// This thread's arena (created and registered on first use).
+ProfArena &arena();
+/// Descends into the child of the current node named \p Name (creating it
+/// if needed) and returns it.
+ProfNode *enter(ProfArena &A, const char *Name);
+/// Records one completed span of \p Ns nanoseconds on \p N and moves the
+/// cursor back to its parent.
+void exit(ProfArena &A, ProfNode *N, uint64_t Ns);
+
+inline uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace profdetail
+
+/// RAII span. \p Name must outlive the process (string literals, or
+/// pointers from internProfileName()); a null name records nothing, which
+/// lets call sites gate dynamic names on profilingEnabled() themselves.
+class ProfileScope {
+public:
+  explicit ProfileScope(const char *Name) {
+    if (!Name || !profilingEnabled())
+      return;
+    A = &profdetail::arena();
+    Node = profdetail::enter(*A, Name);
+    StartNs = profdetail::nowNs();
+  }
+  ~ProfileScope() {
+    if (Node)
+      profdetail::exit(*A, Node, profdetail::nowNs() - StartNs);
+  }
+  ProfileScope(const ProfileScope &) = delete;
+  ProfileScope &operator=(const ProfileScope &) = delete;
+
+private:
+  profdetail::ProfArena *A = nullptr;
+  profdetail::ProfNode *Node = nullptr;
+  uint64_t StartNs = 0;
+};
+
+/// Returns a stable `const char *` for a dynamic span name (e.g. an attack
+/// name composed at runtime). Interned strings live for the process
+/// lifetime; repeated calls with equal content return the same pointer.
+const char *internProfileName(const std::string &Name);
+
+/// One merged call path in depth-first order.
+struct ProfileEntry {
+  std::string Path;     ///< `a;b;c` — span names root to leaf
+  std::string Name;     ///< leaf span name (last path component)
+  size_t Depth = 0;     ///< 0 for top-level spans
+  uint64_t Count = 0;   ///< completed spans on this path
+  uint64_t TotalNs = 0; ///< inclusive time
+  uint64_t SelfNs = 0;  ///< TotalNs minus children's TotalNs
+};
+
+/// Merges all thread arenas by call-path content. Entries are emitted
+/// depth-first, siblings ordered by descending total time. Only completed
+/// spans are counted — an in-flight span contributes after it exits.
+std::vector<ProfileEntry> profileSnapshot();
+
+/// Number of thread arenas that recorded at least one span.
+size_t profileThreadCount();
+
+/// Human-readable top-down call tree (empty string when nothing was
+/// recorded).
+std::string profileTextReport();
+
+/// Folded-stack rendering of the merged tree: one `a;b;c <usec>` line per
+/// path with non-zero self time, flamegraph.pl/speedscope compatible.
+std::string profileFoldedReport();
+
+/// JSON summary block (an object, not a document):
+/// {"threads":N,"spans":[{"path","count","total_us","self_us"},...]}.
+std::string profileJson();
+
+/// Writes profileFoldedReport() to \p Path. \returns true on success.
+bool writeProfileFolded(const std::string &Path);
+
+/// Discards every recorded span and detaches live thread arenas. Only for
+/// tests; must not race in-flight ProfileScopes on other threads.
+void resetProfiler();
+
+} // namespace telemetry
+} // namespace oppsla
+
+#endif // OPPSLA_SUPPORT_PROFILER_H

@@ -1,0 +1,204 @@
+//===- support/Progress.cpp - Live run progress tracking ---------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Progress.h"
+
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <mutex>
+
+using namespace oppsla;
+using namespace oppsla::telemetry;
+
+namespace {
+
+std::atomic<bool> ProgressFlag{false};
+
+/// Mode label + start time + render throttling. The gauges carry the
+/// counts; this is the part that is not a plain number.
+struct ProgressState {
+  std::mutex Mu;
+  std::string Mode;
+  bool Active = false;
+  bool LinePending = false; ///< an unterminated \r line is on stderr
+  std::chrono::steady_clock::time_point Start;
+  std::chrono::steady_clock::time_point LastRender;
+};
+
+ProgressState &state() {
+  static ProgressState S;
+  return S;
+}
+
+Gauge &doneGauge() {
+  static Gauge &G = gauge("run.done");
+  return G;
+}
+Gauge &totalGauge() {
+  static Gauge &G = gauge("run.total");
+  return G;
+}
+Gauge &countedGauge() {
+  static Gauge &G = gauge("run.counted");
+  return G;
+}
+Gauge &successGauge() {
+  static Gauge &G = gauge("run.successes");
+  return G;
+}
+Gauge &queriesGauge() {
+  static Gauge &G = gauge("run.queries");
+  return G;
+}
+Gauge &etaGauge() {
+  static Gauge &G = gauge("run.eta.seconds");
+  return G;
+}
+Gauge &elapsedGauge() {
+  static Gauge &G = gauge("run.elapsed.seconds");
+  return G;
+}
+
+/// Renders the single updating line, rate-limited to ~10 Hz so parallel
+/// sweeps do not spend their time writing to stderr. Caller holds no lock.
+void maybeRender(bool Force) {
+  if (!progressEnabled())
+    return;
+  const RunProgress P = progressSnapshot();
+  if (!P.Active)
+    return;
+  ProgressState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  const auto Now = std::chrono::steady_clock::now();
+  if (!Force && S.LinePending &&
+      std::chrono::duration<double>(Now - S.LastRender).count() < 0.1)
+    return;
+  S.LastRender = Now;
+  S.LinePending = true;
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "\r[%s] %" PRIu64 "/%" PRIu64
+                "  success %5.1f%%  avgQ %8.1f  ETA %6.0fs ",
+                P.Mode.c_str(), P.Done, P.Total, 100.0 * P.SuccessRate,
+                P.AvgQueries, P.EtaSeconds);
+  std::fputs(Buf, stderr);
+  std::fflush(stderr);
+}
+
+} // namespace
+
+void oppsla::telemetry::setProgressEnabled(bool Enabled) {
+  ProgressFlag.store(Enabled, std::memory_order_relaxed);
+}
+
+bool oppsla::telemetry::progressEnabled() {
+  return ProgressFlag.load(std::memory_order_relaxed);
+}
+
+void oppsla::telemetry::progressBegin(const char *Mode, uint64_t Total) {
+  {
+    ProgressState &S = state();
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    S.Mode = Mode;
+    S.Active = true;
+    S.Start = std::chrono::steady_clock::now();
+    S.LastRender = S.Start - std::chrono::seconds(1);
+  }
+  doneGauge().set(0.0);
+  totalGauge().set(static_cast<double>(Total));
+  countedGauge().set(0.0);
+  successGauge().set(0.0);
+  queriesGauge().set(0.0);
+  etaGauge().set(0.0);
+  elapsedGauge().set(0.0);
+  maybeRender(/*Force=*/true);
+}
+
+void oppsla::telemetry::progressItem(bool Counted, bool Success,
+                                     uint64_t Queries) {
+  doneGauge().add(1.0);
+  if (Counted) {
+    countedGauge().add(1.0);
+    queriesGauge().add(static_cast<double>(Queries));
+    if (Success)
+      successGauge().add(1.0);
+  }
+  const RunProgress P = progressSnapshot();
+  elapsedGauge().set(P.ElapsedSeconds);
+  etaGauge().set(P.EtaSeconds);
+  maybeRender(/*Force=*/false);
+}
+
+void oppsla::telemetry::progressSet(uint64_t Done, double SuccessRate,
+                                    double AvgQueries) {
+  doneGauge().set(static_cast<double>(Done));
+  // Encode the aggregate rates through the same counted/successes/queries
+  // gauges progressSnapshot() divides, scaled to the done count.
+  countedGauge().set(static_cast<double>(Done));
+  successGauge().set(SuccessRate * static_cast<double>(Done));
+  queriesGauge().set(AvgQueries * static_cast<double>(Done));
+  const RunProgress P = progressSnapshot();
+  elapsedGauge().set(P.ElapsedSeconds);
+  etaGauge().set(P.EtaSeconds);
+  maybeRender(/*Force=*/false);
+}
+
+void oppsla::telemetry::progressFinish() {
+  maybeRender(/*Force=*/true);
+  ProgressState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  if (S.LinePending) {
+    std::fputc('\n', stderr);
+    std::fflush(stderr);
+    S.LinePending = false;
+  }
+}
+
+RunProgress oppsla::telemetry::progressSnapshot() {
+  RunProgress P;
+  std::chrono::steady_clock::time_point Start;
+  {
+    ProgressState &S = state();
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    P.Active = S.Active;
+    P.Mode = S.Mode;
+    Start = S.Start;
+  }
+  P.Done = static_cast<uint64_t>(doneGauge().value());
+  P.Total = static_cast<uint64_t>(totalGauge().value());
+  const double Counted = countedGauge().value();
+  if (Counted > 0.0) {
+    P.SuccessRate = successGauge().value() / Counted;
+    P.AvgQueries = queriesGauge().value() / Counted;
+  }
+  if (P.Active) {
+    P.ElapsedSeconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - Start)
+                           .count();
+    if (P.Done > 0 && P.Total > P.Done)
+      P.EtaSeconds = P.ElapsedSeconds / static_cast<double>(P.Done) *
+                     static_cast<double>(P.Total - P.Done);
+  }
+  return P;
+}
+
+std::string oppsla::telemetry::healthzJson() {
+  const RunProgress P = progressSnapshot();
+  char Buf[320];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"status\":\"ok\",\"active\":%s,\"mode\":\"%s\","
+                "\"done\":%" PRIu64 ",\"total\":%" PRIu64
+                ",\"success_rate\":%.6g,\"avg_queries\":%.6g,"
+                "\"elapsed_seconds\":%.3f,\"eta_seconds\":%.3f}",
+                P.Active ? "true" : "false", P.Mode.c_str(), P.Done,
+                P.Total, P.SuccessRate, P.AvgQueries, P.ElapsedSeconds,
+                P.EtaSeconds);
+  return std::string(Buf);
+}

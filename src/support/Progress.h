@@ -1,0 +1,72 @@
+//===- support/Progress.h - Live run progress tracking ---------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Run-progress accounting shared by the `--progress` stderr line and the
+/// stats server's `/healthz` endpoint. Sweeps and the synthesizer publish
+/// done/total/successes/queries into `run.*` gauges of the metrics
+/// registry; progressSnapshot() derives success rate, average queries,
+/// elapsed and ETA from those gauges, so every consumer (stderr line,
+/// /healthz, /metrics) reads the same numbers.
+///
+/// The gauges are always maintained (they are a handful of relaxed atomic
+/// ops per attacked image); only the stderr rendering is gated behind
+/// setProgressEnabled().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_SUPPORT_PROGRESS_H
+#define OPPSLA_SUPPORT_PROGRESS_H
+
+#include <cstdint>
+#include <string>
+
+namespace oppsla {
+namespace telemetry {
+
+/// Gates the single updating stderr line (`--progress`). The gauges are
+/// updated regardless.
+void setProgressEnabled(bool Enabled);
+bool progressEnabled();
+
+/// Starts a new run phase of \p Total work items (attacked images, MH
+/// iterations, ...). Resets the `run.*` gauges and stamps the start time.
+void progressBegin(const char *Mode, uint64_t Total);
+
+/// Records one finished work item. \p Counted is false for discarded
+/// (already-misclassified) images, \p Success marks a counted success,
+/// \p Queries the logical queries the item spent.
+void progressItem(bool Counted, bool Success, uint64_t Queries);
+
+/// Absolute update for phases that track aggregate statistics themselves
+/// (the MH synthesizer): \p Done items finished, with the phase's current
+/// success rate and average query count.
+void progressSet(uint64_t Done, double SuccessRate, double AvgQueries);
+
+/// Terminates the updating stderr line (prints the newline) if one was
+/// started. Safe to call when --progress is off.
+void progressFinish();
+
+/// Derived view over the `run.*` gauges.
+struct RunProgress {
+  bool Active = false; ///< progressBegin() was called
+  std::string Mode;
+  uint64_t Done = 0;
+  uint64_t Total = 0;
+  double SuccessRate = 0.0;    ///< successes / counted items so far
+  double AvgQueries = 0.0;     ///< mean queries per counted item so far
+  double ElapsedSeconds = 0.0; ///< since progressBegin()
+  double EtaSeconds = 0.0;     ///< elapsed/done * remaining (0 if unknown)
+};
+RunProgress progressSnapshot();
+
+/// The `/healthz` payload: run progress as a one-line JSON object.
+std::string healthzJson();
+
+} // namespace telemetry
+} // namespace oppsla
+
+#endif // OPPSLA_SUPPORT_PROGRESS_H

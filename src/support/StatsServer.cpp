@@ -1,0 +1,202 @@
+//===- support/StatsServer.cpp - Embedded HTTP stats endpoint ----------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StatsServer.h"
+
+#include "support/Logging.h"
+#include "support/Metrics.h"
+#include "support/Profiler.h"
+#include "support/Progress.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace oppsla;
+using namespace oppsla::telemetry;
+
+namespace {
+
+#ifdef MSG_NOSIGNAL
+constexpr int SendFlags = MSG_NOSIGNAL;
+#else
+constexpr int SendFlags = 0;
+#endif
+
+void sendAll(int Fd, const char *Data, size_t Len) {
+  size_t Off = 0;
+  while (Off < Len) {
+    const ssize_t N = ::send(Fd, Data + Off, Len - Off, SendFlags);
+    if (N <= 0) {
+      if (N < 0 && errno == EINTR)
+        continue;
+      return;
+    }
+    Off += static_cast<size_t>(N);
+  }
+}
+
+void sendResponse(int Fd, const char *Status, const char *ContentType,
+                  const std::string &Body) {
+  char Header[256];
+  const int N = std::snprintf(Header, sizeof(Header),
+                              "HTTP/1.1 %s\r\n"
+                              "Content-Type: %s\r\n"
+                              "Content-Length: %zu\r\n"
+                              "Connection: close\r\n"
+                              "\r\n",
+                              Status, ContentType, Body.size());
+  sendAll(Fd, Header, static_cast<size_t>(N));
+  sendAll(Fd, Body.data(), Body.size());
+}
+
+/// Reads until the end of the request headers (or the buffer fills) and
+/// returns the request target of `GET <target> ...`, empty on anything
+/// else. The server only serves GETs, so the body is never read.
+std::string readRequestTarget(int Fd) {
+  char Buf[2048];
+  size_t Len = 0;
+  while (Len < sizeof(Buf) - 1) {
+    const ssize_t N = ::recv(Fd, Buf + Len, sizeof(Buf) - 1 - Len, 0);
+    if (N <= 0) {
+      if (N < 0 && errno == EINTR)
+        continue;
+      break;
+    }
+    Len += static_cast<size_t>(N);
+    Buf[Len] = '\0';
+    if (std::strstr(Buf, "\r\n\r\n") || std::strstr(Buf, "\n\n"))
+      break;
+    if (std::memchr(Buf, '\n', Len)) // request line is complete
+      break;
+  }
+  Buf[Len] = '\0';
+  if (std::strncmp(Buf, "GET ", 4) != 0)
+    return "";
+  const char *Start = Buf + 4;
+  const char *End = Start;
+  while (*End && *End != ' ' && *End != '\r' && *End != '\n')
+    ++End;
+  return std::string(Start, End);
+}
+
+} // namespace
+
+StatsServer::~StatsServer() { stop(); }
+
+bool StatsServer::start(uint16_t Port) {
+  if (ListenFd >= 0) {
+    logError() << "stats server already running on port " << BoundPort;
+    return false;
+  }
+
+  const int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    logError() << "stats server: socket() failed: " << std::strerror(errno);
+    return false;
+  }
+  const int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+
+  sockaddr_in Addr = {};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::bind(Fd, reinterpret_cast<const sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    logError() << "stats server: bind(127.0.0.1:" << Port
+               << ") failed: " << std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+  if (::listen(Fd, 16) < 0) {
+    logError() << "stats server: listen() failed: " << std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+
+  sockaddr_in Bound = {};
+  socklen_t BoundLen = sizeof(Bound);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Bound), &BoundLen) <
+      0) {
+    logError() << "stats server: getsockname() failed: "
+               << std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+  BoundPort = ntohs(Bound.sin_port);
+
+  ListenFd = Fd;
+  Stopping.store(false, std::memory_order_relaxed);
+  Quit.store(false, std::memory_order_relaxed);
+  Thread = std::thread([this] { serveLoop(); });
+  return true;
+}
+
+void StatsServer::serveLoop() {
+  for (;;) {
+    const int Client = ::accept(ListenFd, nullptr, nullptr);
+    if (Client < 0) {
+      if (errno == EINTR)
+        continue;
+      // stop() shut the listening socket down; any other failure also
+      // ends the serve loop (the server is best-effort observability).
+      return;
+    }
+    if (Stopping.load(std::memory_order_relaxed)) {
+      ::close(Client);
+      return;
+    }
+
+    const std::string Target = readRequestTarget(Client);
+    if (Target == "/metrics") {
+      sendResponse(Client, "200 OK",
+                   "text/plain; version=0.0.4; charset=utf-8",
+                   prometheusTextExposition());
+    } else if (Target == "/profile") {
+      sendResponse(Client, "200 OK", "text/plain; charset=utf-8",
+                   profileFoldedReport());
+    } else if (Target == "/healthz") {
+      sendResponse(Client, "200 OK", "application/json", healthzJson());
+    } else if (Target == "/quitquitquit") {
+      Quit.store(true, std::memory_order_relaxed);
+      sendResponse(Client, "200 OK", "text/plain; charset=utf-8",
+                   "quitting\n");
+    } else {
+      sendResponse(Client, "404 Not Found", "text/plain; charset=utf-8",
+                   "not found\n");
+    }
+    ::close(Client);
+  }
+}
+
+bool StatsServer::waitQuit(double TimeoutSeconds) {
+  const auto Deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(TimeoutSeconds);
+  while (!quitRequested() &&
+         std::chrono::steady_clock::now() < Deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  return quitRequested();
+}
+
+void StatsServer::stop() {
+  if (ListenFd < 0)
+    return;
+  Stopping.store(true, std::memory_order_relaxed);
+  // shutdown() wakes the blocking accept(); close() releases the port.
+  ::shutdown(ListenFd, SHUT_RDWR);
+  ::close(ListenFd);
+  if (Thread.joinable())
+    Thread.join();
+  ListenFd = -1;
+}

@@ -1,0 +1,81 @@
+//===- support/StatsServer.h - Embedded HTTP stats endpoint ----*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal embedded HTTP server for live introspection of long sweeps
+/// and synthesis runs (`--stats-port N`). Raw POSIX sockets, one blocking
+/// accept thread, no dependencies. Endpoints:
+///
+///   GET /metrics       the metrics registry in Prometheus text
+///                      exposition format (counters, gauges, histogram
+///                      _bucket/_sum/_count series);
+///   GET /profile       the profiler's current folded stacks (text);
+///   GET /healthz       run progress JSON (done/total, success rate,
+///                      avg queries, elapsed, ETA);
+///   GET /quitquitquit  asks the server's owner to stop lingering (used
+///                      by tests scraping a finished run).
+///
+/// The server binds 127.0.0.1 only. Port 0 binds an ephemeral port;
+/// port() reports the actual one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_SUPPORT_STATSSERVER_H
+#define OPPSLA_SUPPORT_STATSSERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace oppsla {
+namespace telemetry {
+
+class StatsServer {
+public:
+  StatsServer() = default;
+  ~StatsServer();
+
+  /// Binds 127.0.0.1:\p Port (0 = ephemeral) and starts the accept
+  /// thread. \returns false (after logging) when the socket cannot be set
+  /// up. start() on a running server is an error and returns false.
+  bool start(uint16_t Port);
+
+  /// The actually bound port (valid after a successful start()).
+  uint16_t port() const { return BoundPort; }
+
+  bool running() const { return ListenFd >= 0; }
+
+  /// True once a client requested /quitquitquit.
+  bool quitRequested() const {
+    return Quit.load(std::memory_order_relaxed);
+  }
+
+  /// Blocks until quitRequested() or \p TimeoutSeconds elapsed. \returns
+  /// quitRequested(). Used by `--stats-linger` so a test client can
+  /// scrape a finished run before the process exits.
+  bool waitQuit(double TimeoutSeconds);
+
+  /// Stops accepting, closes the socket, joins the thread. Idempotent.
+  void stop();
+
+  StatsServer(const StatsServer &) = delete;
+  StatsServer &operator=(const StatsServer &) = delete;
+
+private:
+  void serveLoop();
+
+  int ListenFd = -1;
+  uint16_t BoundPort = 0;
+  std::thread Thread;
+  std::atomic<bool> Quit{false};
+  std::atomic<bool> Stopping{false};
+};
+
+} // namespace telemetry
+} // namespace oppsla
+
+#endif // OPPSLA_SUPPORT_STATSSERVER_H

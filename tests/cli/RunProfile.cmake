@@ -1,0 +1,89 @@
+# Runs `oppsla eval` with the span profiler enabled and validates the
+# three sinks: the call-tree report in the CLI `metrics:` section, the
+# folded-stack file (--profile-out) with the attack->engine->nn call path,
+# and the `profile` block of the --metrics-out snapshot. Then re-runs the
+# same sweep without profiling and asserts the --runs-out JSONL is byte
+# identical: profiling must never perturb results.
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(FOLDED ${WORK_DIR}/prof.folded)
+set(METRICS ${WORK_DIR}/metrics.json)
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env OPPSLA_CACHE_DIR=${WORK_DIR}/cache
+    ${CLI} eval --scale smoke
+    --profile --profile-out ${FOLDED} --metrics-out ${METRICS}
+    --runs-out ${WORK_DIR}/runs_profiled.jsonl
+  OUTPUT_VARIABLE OUT
+  RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "eval --profile failed with ${RC}: ${OUT}")
+endif()
+
+# (a) The call-tree report rendered into the metrics: section.
+if(NOT OUT MATCHES "profile: [0-9]+ thread")
+  message(FATAL_ERROR "no profile report in eval output: ${OUT}")
+endif()
+if(NOT OUT MATCHES "cli\\.eval")
+  message(FATAL_ERROR "profile report lacks the cli.eval root span: ${OUT}")
+endif()
+
+# (b) Folded stacks: non-empty, `path <usec>` lines, and at least one path
+# descending attack -> engine -> nn.
+if(NOT EXISTS ${FOLDED})
+  message(FATAL_ERROR "--profile-out produced no file")
+endif()
+file(STRINGS ${FOLDED} FOLDED_LINES)
+list(LENGTH FOLDED_LINES NUM_FOLDED)
+if(NUM_FOLDED EQUAL 0)
+  message(FATAL_ERROR "folded-stack file is empty")
+endif()
+set(SAW_DEEP_PATH FALSE)
+foreach(LINE IN LISTS FOLDED_LINES)
+  if(NOT LINE MATCHES "^[^ ]+ [0-9]+$")
+    message(FATAL_ERROR "malformed folded line: '${LINE}'")
+  endif()
+  if(LINE MATCHES "attack:" AND LINE MATCHES "engine\\." AND
+     LINE MATCHES ";nn\\.")
+    set(SAW_DEEP_PATH TRUE)
+  endif()
+endforeach()
+if(NOT SAW_DEEP_PATH)
+  message(FATAL_ERROR
+    "no attack->engine->nn call path in the folded stacks")
+endif()
+
+# (c) The profile summary block inside the metrics snapshot.
+file(READ ${METRICS} MJSON)
+string(JSON THREADS GET "${MJSON}" profile threads)
+if(THREADS LESS 1)
+  message(FATAL_ERROR "profile block reports ${THREADS} threads")
+endif()
+string(JSON NUM_SPANS LENGTH "${MJSON}" profile spans)
+if(NUM_SPANS EQUAL 0)
+  message(FATAL_ERROR "profile block has no spans")
+endif()
+string(JSON FIRST_PATH GET "${MJSON}" profile spans 0 path)
+if(FIRST_PATH STREQUAL "")
+  message(FATAL_ERROR "first profile span has an empty path")
+endif()
+
+# Determinism: the identical sweep without profiling writes byte-identical
+# run logs.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env OPPSLA_CACHE_DIR=${WORK_DIR}/cache
+    ${CLI} eval --scale smoke --runs-out ${WORK_DIR}/runs_plain.jsonl
+  OUTPUT_VARIABLE OUT2
+  RESULT_VARIABLE RC2)
+if(NOT RC2 EQUAL 0)
+  message(FATAL_ERROR "plain eval failed with ${RC2}: ${OUT2}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+    ${WORK_DIR}/runs_profiled.jsonl ${WORK_DIR}/runs_plain.jsonl
+  RESULT_VARIABLE DIFF)
+if(NOT DIFF EQUAL 0)
+  message(FATAL_ERROR
+    "--profile changed the run results: runs_profiled.jsonl differs "
+    "from runs_plain.jsonl")
+endif()
+message(STATUS "profile sinks OK; results byte-identical with profiling")

@@ -1,0 +1,32 @@
+# Starts `oppsla eval --stats-port 0 --stats-linger` and a scraper client
+# (ScrapeStats.cmake) concurrently; the scraper discovers the bound port
+# via --stats-port-file, pulls /metrics and /healthz while the process is
+# alive, validates both payloads, and releases the linger via
+# /quitquitquit. Both processes must exit cleanly.
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(PORT_FILE ${WORK_DIR}/port.txt)
+file(REMOVE ${PORT_FILE})
+
+# The two COMMANDs run concurrently (execute_process pipelines them). The
+# CLI's own output is redirected to a file by the sh wrapper: the scraper
+# usually finishes first, and a CLI writing into the then-closed pipe
+# would die of SIGPIPE.
+execute_process(
+  COMMAND sh -c "OPPSLA_CACHE_DIR='${WORK_DIR}/cache' exec '${CLI}' \
+eval --scale smoke --stats-port 0 --stats-port-file '${PORT_FILE}' \
+--stats-linger > '${WORK_DIR}/eval_out.txt' 2>&1"
+  COMMAND ${CMAKE_COMMAND}
+    -DPORT_FILE=${PORT_FILE} -DWORK_DIR=${WORK_DIR}
+    -P ${SRC_DIR}/cli/ScrapeStats.cmake
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE ERR
+  RESULTS_VARIABLE RCS)
+list(GET RCS 0 CLI_RC)
+list(GET RCS 1 SCRAPE_RC)
+if(NOT CLI_RC EQUAL 0)
+  message(FATAL_ERROR "eval exited with ${CLI_RC}: ${ERR}")
+endif()
+if(NOT SCRAPE_RC EQUAL 0)
+  message(FATAL_ERROR "scraper exited with ${SCRAPE_RC}: ${OUT}\n${ERR}")
+endif()
+message(STATUS "live scrape OK")

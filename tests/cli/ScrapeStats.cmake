@@ -1,0 +1,59 @@
+# The scraper half of RunStatsServer.cmake: polls for the port file the
+# CLI writes, then pulls the live endpoints over HTTP and validates them.
+# Inputs: PORT_FILE, WORK_DIR.
+set(PORT "")
+foreach(I RANGE 300)
+  if(EXISTS ${PORT_FILE})
+    file(READ ${PORT_FILE} PORT)
+    string(STRIP "${PORT}" PORT)
+    if(NOT PORT STREQUAL "")
+      break()
+    endif()
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+endforeach()
+if(PORT STREQUAL "")
+  message(FATAL_ERROR "no bound port appeared at ${PORT_FILE}")
+endif()
+
+# /metrics: Prometheus text exposition. The run-info metric is registered
+# before the server starts, so it is present however early we scrape.
+set(METRICS_OUT ${WORK_DIR}/scraped_metrics.txt)
+file(DOWNLOAD http://127.0.0.1:${PORT}/metrics ${METRICS_OUT}
+  STATUS DL_STATUS TIMEOUT 30)
+list(GET DL_STATUS 0 DL_RC)
+if(NOT DL_RC EQUAL 0)
+  message(FATAL_ERROR "GET /metrics failed: ${DL_STATUS}")
+endif()
+file(READ ${METRICS_OUT} METRICS)
+if(NOT METRICS MATCHES "oppsla_run_info{")
+  message(FATAL_ERROR "no oppsla_run_info in /metrics: ${METRICS}")
+endif()
+if(NOT METRICS MATCHES "command=\"eval\"")
+  message(FATAL_ERROR "run_info lacks command=\"eval\": ${METRICS}")
+endif()
+
+# /healthz: a JSON object with a status field.
+set(HEALTH_OUT ${WORK_DIR}/scraped_healthz.json)
+file(DOWNLOAD http://127.0.0.1:${PORT}/healthz ${HEALTH_OUT}
+  STATUS DL_STATUS TIMEOUT 30)
+list(GET DL_STATUS 0 DL_RC)
+if(NOT DL_RC EQUAL 0)
+  message(FATAL_ERROR "GET /healthz failed: ${DL_STATUS}")
+endif()
+file(READ ${HEALTH_OUT} HEALTH)
+string(JSON STATUS_FIELD GET "${HEALTH}" status)
+if(NOT STATUS_FIELD STREQUAL "ok")
+  message(FATAL_ERROR "unexpected /healthz status: ${HEALTH}")
+endif()
+string(JSON DONE GET "${HEALTH}" done)
+string(JSON TOTAL GET "${HEALTH}" total)
+message(STATUS "scraped /healthz: ${DONE}/${TOTAL} done")
+
+# Release the CLI's --stats-linger wait.
+file(DOWNLOAD http://127.0.0.1:${PORT}/quitquitquit ${WORK_DIR}/quit.txt
+  STATUS DL_STATUS TIMEOUT 30)
+list(GET DL_STATUS 0 DL_RC)
+if(NOT DL_RC EQUAL 0)
+  message(FATAL_ERROR "GET /quitquitquit failed: ${DL_STATUS}")
+endif()

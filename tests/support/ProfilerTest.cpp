@@ -1,0 +1,201 @@
+//===- tests/support/ProfilerTest.cpp - Span profiler tests -------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+
+using namespace oppsla;
+
+namespace {
+
+/// Enables profiling for one test and restores a clean profiler state on
+/// exit so tests cannot leak spans into each other.
+struct ProfGuard {
+  ProfGuard() {
+    telemetry::resetProfiler();
+    telemetry::setProfilingEnabled(true);
+  }
+  ~ProfGuard() {
+    telemetry::setProfilingEnabled(false);
+    telemetry::resetProfiler();
+  }
+};
+
+const telemetry::ProfileEntry *findPath(
+    const std::vector<telemetry::ProfileEntry> &Entries,
+    const std::string &Path) {
+  for (const telemetry::ProfileEntry &E : Entries)
+    if (E.Path == Path)
+      return &E;
+  return nullptr;
+}
+
+} // namespace
+
+TEST(Profiler, DisabledRecordsNothing) {
+  telemetry::resetProfiler();
+  telemetry::setProfilingEnabled(false);
+  {
+    telemetry::ProfileScope A("off.a");
+    telemetry::ProfileScope B("off.b");
+  }
+  EXPECT_TRUE(telemetry::profileSnapshot().empty());
+  EXPECT_EQ(telemetry::profileThreadCount(), 0u);
+  EXPECT_TRUE(telemetry::profileTextReport().empty());
+  EXPECT_TRUE(telemetry::profileFoldedReport().empty());
+}
+
+TEST(Profiler, NullNameIsNoOp) {
+  ProfGuard G;
+  {
+    telemetry::ProfileScope A(nullptr);
+  }
+  EXPECT_TRUE(telemetry::profileSnapshot().empty());
+}
+
+TEST(Profiler, TreeShapeAndCounts) {
+  ProfGuard G;
+  for (int I = 0; I != 3; ++I) {
+    telemetry::ProfileScope Outer("t.outer");
+    {
+      telemetry::ProfileScope Inner("t.inner");
+    }
+    {
+      telemetry::ProfileScope Inner("t.inner");
+    }
+  }
+  const auto Entries = telemetry::profileSnapshot();
+  const auto *Outer = findPath(Entries, "t.outer");
+  const auto *Inner = findPath(Entries, "t.outer;t.inner");
+  ASSERT_NE(Outer, nullptr);
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(Outer->Count, 3u);
+  EXPECT_EQ(Outer->Depth, 0u);
+  EXPECT_EQ(Inner->Count, 6u);
+  EXPECT_EQ(Inner->Depth, 1u);
+  EXPECT_EQ(Inner->Name, "t.inner");
+  // Inclusive parent time covers its children; self = total - children.
+  EXPECT_GE(Outer->TotalNs, Inner->TotalNs);
+  EXPECT_EQ(Outer->SelfNs, Outer->TotalNs - Inner->TotalNs);
+  EXPECT_EQ(Inner->SelfNs, Inner->TotalNs);
+  // The same name at top level is a *different* path.
+  EXPECT_EQ(findPath(Entries, "t.inner"), nullptr);
+}
+
+TEST(Profiler, InFlightSpansCountOnlyAtExit) {
+  ProfGuard G;
+  telemetry::ProfileScope Open("t.open");
+  EXPECT_EQ(findPath(telemetry::profileSnapshot(), "t.open"), nullptr)
+      << "a span still on the stack must not be reported";
+}
+
+TEST(Profiler, MergesIdenticalPathsAcrossThreads) {
+  ProfGuard G;
+  auto Work = [] {
+    // The name reaches this thread as a distinct std::string copy, so the
+    // merge must compare content, not pointers.
+    const std::string Name("mt.leaf");
+    const char *Interned = telemetry::internProfileName(Name);
+    telemetry::ProfileScope Outer("mt.root");
+    telemetry::ProfileScope Inner(Interned);
+  };
+  std::thread T1(Work), T2(Work);
+  T1.join();
+  T2.join();
+  Work(); // and once on this thread
+
+  EXPECT_EQ(telemetry::profileThreadCount(), 3u);
+  const auto Entries = telemetry::profileSnapshot();
+  const auto *Root = findPath(Entries, "mt.root");
+  const auto *Leaf = findPath(Entries, "mt.root;mt.leaf");
+  ASSERT_NE(Root, nullptr);
+  ASSERT_NE(Leaf, nullptr);
+  EXPECT_EQ(Root->Count, 3u) << "three threads merged into one path";
+  EXPECT_EQ(Leaf->Count, 3u);
+}
+
+TEST(Profiler, InternReturnsStablePointer) {
+  const char *A = telemetry::internProfileName("intern.same");
+  const char *B = telemetry::internProfileName("intern.same");
+  EXPECT_EQ(A, B);
+  EXPECT_STREQ(A, "intern.same");
+}
+
+TEST(Profiler, FoldedReportFormat) {
+  ProfGuard G;
+  {
+    telemetry::ProfileScope Outer("f.outer");
+    telemetry::ProfileScope Inner("f.inner");
+    // Folded lines are whole microseconds of *self* time and zero-weight
+    // lines are dropped, so the leaf must run long enough to register.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const std::string Folded = telemetry::profileFoldedReport();
+  ASSERT_FALSE(Folded.empty());
+  std::istringstream In(Folded);
+  std::string Line;
+  bool SawInner = false;
+  while (std::getline(In, Line)) {
+    // Every line: a semicolon-joined path, one space, integer usec.
+    const size_t Space = Line.rfind(' ');
+    ASSERT_NE(Space, std::string::npos) << Line;
+    const std::string Path = Line.substr(0, Space);
+    const std::string Usec = Line.substr(Space + 1);
+    EXPECT_FALSE(Path.empty());
+    EXPECT_TRUE(std::all_of(Usec.begin(), Usec.end(),
+                            [](char C) { return C >= '0' && C <= '9'; }))
+        << Line;
+    if (Path == "f.outer;f.inner")
+      SawInner = true;
+  }
+  EXPECT_TRUE(SawInner);
+}
+
+TEST(Profiler, TextReportMentionsSpans) {
+  ProfGuard G;
+  {
+    telemetry::ProfileScope S("txt.span");
+  }
+  const std::string Report = telemetry::profileTextReport();
+  EXPECT_NE(Report.find("txt.span"), std::string::npos);
+  EXPECT_NE(Report.find("profile:"), std::string::npos);
+}
+
+TEST(Profiler, ResetDiscardsAndReenables) {
+  ProfGuard G;
+  {
+    telemetry::ProfileScope S("r.before");
+  }
+  ASSERT_FALSE(telemetry::profileSnapshot().empty());
+  telemetry::resetProfiler();
+  EXPECT_TRUE(telemetry::profileSnapshot().empty());
+  // The same thread can record again after a reset (its detached arena is
+  // replaced on the next span).
+  telemetry::setProfilingEnabled(true);
+  {
+    telemetry::ProfileScope S("r.after");
+  }
+  EXPECT_NE(findPath(telemetry::profileSnapshot(), "r.after"), nullptr);
+}
+
+TEST(Profiler, JsonBlockShape) {
+  ProfGuard G;
+  {
+    telemetry::ProfileScope Outer("j.outer");
+    telemetry::ProfileScope Inner("j.inner");
+  }
+  const std::string Json = telemetry::profileJson();
+  EXPECT_NE(Json.find("\"threads\":1"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"path\":\"j.outer;j.inner\""), std::string::npos)
+      << Json;
+  EXPECT_NE(Json.find("\"total_us\""), std::string::npos);
+  EXPECT_NE(Json.find("\"self_us\""), std::string::npos);
+}

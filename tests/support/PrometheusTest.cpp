@@ -1,0 +1,194 @@
+//===- tests/support/PrometheusTest.cpp - Exposition conformance --------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Validates the Prometheus text exposition (version 0.0.4) produced for
+// the /metrics endpoint: HELP/TYPE headers precede samples, counters get
+// the _total suffix, metric names are sanitized, histogram bucket series
+// are cumulative with le="+Inf" equal to _count, and run-info label values
+// are escaped per the format's rules.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+using namespace oppsla;
+
+namespace {
+
+std::vector<std::string> linesOf(const std::string &Text) {
+  std::vector<std::string> Lines;
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line))
+    Lines.push_back(Line);
+  return Lines;
+}
+
+/// Index of the first line starting with \p Prefix, or npos.
+size_t findLine(const std::vector<std::string> &Lines,
+                const std::string &Prefix, size_t From = 0) {
+  for (size_t I = From; I < Lines.size(); ++I)
+    if (Lines[I].rfind(Prefix, 0) == 0)
+      return I;
+  return std::string::npos;
+}
+
+} // namespace
+
+TEST(Prometheus, CounterHasHelpTypeAndTotalSuffix) {
+  telemetry::counter("promtest.hits").inc(7);
+  const auto Lines = linesOf(telemetry::prometheusTextExposition());
+
+  const size_t Help = findLine(Lines, "# HELP oppsla_promtest_hits_total ");
+  const size_t Type = findLine(Lines, "# TYPE oppsla_promtest_hits_total ");
+  const size_t Sample = findLine(Lines, "oppsla_promtest_hits_total ");
+  ASSERT_NE(Help, std::string::npos);
+  ASSERT_NE(Type, std::string::npos);
+  ASSERT_NE(Sample, std::string::npos);
+  EXPECT_LT(Help, Sample) << "HELP must precede the sample";
+  EXPECT_LT(Type, Sample) << "TYPE must precede the sample";
+  EXPECT_EQ(Lines[Type], "# TYPE oppsla_promtest_hits_total counter");
+  EXPECT_EQ(Lines[Sample], "oppsla_promtest_hits_total 7");
+}
+
+TEST(Prometheus, MetricNamesAreSanitized) {
+  telemetry::counter("promtest.weird-name").inc();
+  const std::string Text = telemetry::prometheusTextExposition();
+  EXPECT_NE(Text.find("oppsla_promtest_weird_name_total 1"),
+            std::string::npos)
+      << "dots and dashes must map to underscores";
+  // No raw dot/dash survives into any sample line of this metric.
+  EXPECT_EQ(Text.find("oppsla_promtest.weird"), std::string::npos);
+}
+
+TEST(Prometheus, GaugeExposition) {
+  telemetry::gauge("promtest.level").set(2.5);
+  const auto Lines = linesOf(telemetry::prometheusTextExposition());
+  const size_t Type = findLine(Lines, "# TYPE oppsla_promtest_level ");
+  const size_t Sample = findLine(Lines, "oppsla_promtest_level ");
+  ASSERT_NE(Type, std::string::npos);
+  ASSERT_NE(Sample, std::string::npos);
+  EXPECT_EQ(Lines[Type], "# TYPE oppsla_promtest_level gauge");
+  EXPECT_EQ(Lines[Sample], "oppsla_promtest_level 2.5");
+}
+
+TEST(Prometheus, GaugeAddAccumulates) {
+  telemetry::Gauge G;
+  G.add(1.5);
+  G.add(2.0);
+  G.add(-0.5);
+  EXPECT_DOUBLE_EQ(G.value(), 3.0);
+}
+
+TEST(Prometheus, HistogramBucketsAreCumulative) {
+  auto &H = telemetry::histogram("promtest.lat", {1.0, 2.0, 4.0});
+  H.observe(0.5); // bucket le=1
+  H.observe(1.5); // bucket le=2
+  H.observe(3.0); // bucket le=4
+  H.observe(9.0); // overflow
+  const auto Lines = linesOf(telemetry::prometheusTextExposition());
+
+  const size_t B1 = findLine(Lines, "oppsla_promtest_lat_bucket{le=\"1\"}");
+  const size_t B2 = findLine(Lines, "oppsla_promtest_lat_bucket{le=\"2\"}");
+  const size_t B4 = findLine(Lines, "oppsla_promtest_lat_bucket{le=\"4\"}");
+  const size_t BInf =
+      findLine(Lines, "oppsla_promtest_lat_bucket{le=\"+Inf\"}");
+  const size_t Sum = findLine(Lines, "oppsla_promtest_lat_sum ");
+  const size_t Count = findLine(Lines, "oppsla_promtest_lat_count ");
+  ASSERT_NE(B1, std::string::npos);
+  ASSERT_NE(B2, std::string::npos);
+  ASSERT_NE(B4, std::string::npos);
+  ASSERT_NE(BInf, std::string::npos);
+  ASSERT_NE(Sum, std::string::npos);
+  ASSERT_NE(Count, std::string::npos);
+
+  EXPECT_EQ(Lines[B1], "oppsla_promtest_lat_bucket{le=\"1\"} 1");
+  EXPECT_EQ(Lines[B2], "oppsla_promtest_lat_bucket{le=\"2\"} 2");
+  EXPECT_EQ(Lines[B4], "oppsla_promtest_lat_bucket{le=\"4\"} 3");
+  EXPECT_EQ(Lines[BInf], "oppsla_promtest_lat_bucket{le=\"+Inf\"} 4")
+      << "+Inf bucket must equal the total observation count";
+  EXPECT_EQ(Lines[Count], "oppsla_promtest_lat_count 4");
+  EXPECT_EQ(Lines[Sum], "oppsla_promtest_lat_sum 14");
+  // Ordering within the family: buckets ascending, then sum, then count.
+  EXPECT_LT(B1, B2);
+  EXPECT_LT(B2, B4);
+  EXPECT_LT(B4, BInf);
+  EXPECT_LT(BInf, Sum);
+  EXPECT_LT(Sum, Count);
+}
+
+TEST(Prometheus, RunInfoLabelValuesAreEscaped) {
+  telemetry::setRunInfo("promtest_label", "a\"b\\c\nd");
+  const std::string Text = telemetry::prometheusTextExposition();
+  // Escaping per the text format: \ -> \\, " -> \", newline -> \n.
+  EXPECT_NE(Text.find("promtest_label=\"a\\\"b\\\\c\\nd\""),
+            std::string::npos)
+      << Text;
+  const auto Lines = linesOf(Text);
+  const size_t Info = findLine(Lines, "oppsla_run_info{");
+  ASSERT_NE(Info, std::string::npos);
+  EXPECT_EQ(Lines[Info].substr(Lines[Info].size() - 3), "} 1");
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram quantile estimation (feeds the p50/p90/p99 report columns)
+//===----------------------------------------------------------------------===//
+
+TEST(HistogramQuantile, EmptyReturnsZero) {
+  telemetry::Histogram H({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(H.quantile(0.5), 0.0);
+}
+
+TEST(HistogramQuantile, InterpolatesWithinBucket) {
+  telemetry::Histogram H({10.0, 20.0, 40.0});
+  // 10 observations, all in the (10, 20] bucket.
+  for (int I = 0; I != 10; ++I)
+    H.observe(15.0);
+  // Rank 5 of 10 lands halfway through the bucket: 10 + (20-10)*(5/10).
+  EXPECT_DOUBLE_EQ(H.quantile(0.5), 15.0);
+  EXPECT_DOUBLE_EQ(H.quantile(0.9), 19.0);
+  // The first bucket's lower edge is 0 (observations are non-negative).
+  telemetry::Histogram H2({10.0, 20.0});
+  for (int I = 0; I != 4; ++I)
+    H2.observe(1.0);
+  EXPECT_DOUBLE_EQ(H2.quantile(0.5), 5.0) << "0 + (10-0) * (2/4)";
+}
+
+TEST(HistogramQuantile, SpansBuckets) {
+  telemetry::Histogram H({10.0, 20.0});
+  H.observe(5.0);  // bucket (0, 10]
+  H.observe(5.0);  // bucket (0, 10]
+  H.observe(15.0); // bucket (10, 20]
+  H.observe(15.0); // bucket (10, 20]
+  // p25 (rank 1) is mid first bucket; p75 (rank 3) mid second.
+  EXPECT_DOUBLE_EQ(H.quantile(0.25), 5.0);
+  EXPECT_DOUBLE_EQ(H.quantile(0.75), 15.0);
+}
+
+TEST(HistogramQuantile, OverflowClampsToLastBound) {
+  telemetry::Histogram H({10.0, 20.0});
+  for (int I = 0; I != 4; ++I)
+    H.observe(100.0); // all overflow
+  EXPECT_DOUBLE_EQ(H.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(H.quantile(0.99), 20.0);
+}
+
+TEST(HistogramQuantile, ReportsCarryQuantiles) {
+  auto &H = telemetry::histogram("promtest.qdist", {8.0, 64.0});
+  H.observe(4.0);
+  const std::string Text = telemetry::metricsTextReport();
+  EXPECT_NE(Text.find("p50="), std::string::npos);
+  EXPECT_NE(Text.find("p90="), std::string::npos);
+  EXPECT_NE(Text.find("p99="), std::string::npos);
+  const std::string Json = telemetry::snapshotMetricsJson();
+  EXPECT_NE(Json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"p99\":"), std::string::npos);
+}

@@ -1,0 +1,189 @@
+//===- tests/support/StatsServerTest.cpp - Embedded HTTP server tests ---------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Drives the embedded stats server over a real loopback socket: binds an
+// ephemeral port, issues raw HTTP/1.1 GETs, and validates the /metrics,
+// /healthz and /profile payloads — including a scrape taken mid-sweep
+// while a worker thread is publishing progress.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+#include "support/Profiler.h"
+#include "support/Progress.h"
+#include "support/StatsServer.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+using namespace oppsla;
+
+namespace {
+
+/// Minimal HTTP client: one GET, reads to EOF (the server sends
+/// `Connection: close`), returns the raw response.
+std::string httpGet(uint16_t Port, const std::string &Target) {
+  const int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return "";
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return "";
+  }
+  const std::string Req =
+      "GET " + Target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  size_t Sent = 0;
+  while (Sent < Req.size()) {
+    const ssize_t N = ::send(Fd, Req.data() + Sent, Req.size() - Sent, 0);
+    if (N <= 0) {
+      ::close(Fd);
+      return "";
+    }
+    Sent += static_cast<size_t>(N);
+  }
+  std::string Out;
+  char Buf[4096];
+  ssize_t N;
+  while ((N = ::recv(Fd, Buf, sizeof(Buf), 0)) > 0)
+    Out.append(Buf, static_cast<size_t>(N));
+  ::close(Fd);
+  return Out;
+}
+
+std::string bodyOf(const std::string &Response) {
+  const size_t Pos = Response.find("\r\n\r\n");
+  return Pos == std::string::npos ? "" : Response.substr(Pos + 4);
+}
+
+} // namespace
+
+TEST(StatsServer, BindsEphemeralPortAndStops) {
+  telemetry::StatsServer S;
+  ASSERT_TRUE(S.start(0));
+  EXPECT_TRUE(S.running());
+  EXPECT_NE(S.port(), 0);
+  EXPECT_FALSE(S.start(0)) << "second start on a running server must fail";
+  S.stop();
+  EXPECT_FALSE(S.running());
+  S.stop(); // idempotent
+}
+
+TEST(StatsServer, ServesPrometheusMetrics) {
+  telemetry::counter("statstest.pings").inc(3);
+  telemetry::StatsServer S;
+  ASSERT_TRUE(S.start(0));
+  const std::string Resp = httpGet(S.port(), "/metrics");
+  S.stop();
+
+  EXPECT_NE(Resp.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(Resp.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(Resp.find("Content-Length:"), std::string::npos);
+  const std::string Body = bodyOf(Resp);
+  EXPECT_NE(Body.find("# TYPE oppsla_statstest_pings_total counter"),
+            std::string::npos);
+  EXPECT_NE(Body.find("oppsla_statstest_pings_total 3"), std::string::npos);
+}
+
+TEST(StatsServer, ServesHealthzJson) {
+  telemetry::progressBegin("statstest", 10);
+  telemetry::progressItem(true, true, 4);
+  telemetry::progressItem(true, false, 8);
+  telemetry::StatsServer S;
+  ASSERT_TRUE(S.start(0));
+  const std::string Resp = httpGet(S.port(), "/healthz");
+  S.stop();
+  telemetry::progressFinish();
+
+  EXPECT_NE(Resp.find("application/json"), std::string::npos);
+  const std::string Body = bodyOf(Resp);
+  EXPECT_NE(Body.find("\"status\":\"ok\""), std::string::npos) << Body;
+  EXPECT_NE(Body.find("\"mode\":\"statstest\""), std::string::npos) << Body;
+  EXPECT_NE(Body.find("\"done\":2"), std::string::npos) << Body;
+  EXPECT_NE(Body.find("\"total\":10"), std::string::npos) << Body;
+  EXPECT_NE(Body.find("\"success_rate\":0.5"), std::string::npos) << Body;
+  EXPECT_NE(Body.find("\"avg_queries\":6"), std::string::npos) << Body;
+}
+
+TEST(StatsServer, ServesProfileFoldedStacks) {
+  telemetry::resetProfiler();
+  telemetry::setProfilingEnabled(true);
+  {
+    telemetry::ProfileScope Outer("statstest.outer");
+    telemetry::ProfileScope Inner("statstest.inner");
+    // Zero-self-time paths are dropped from the folded rendering; give
+    // the leaf a measurable duration.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  telemetry::StatsServer S;
+  ASSERT_TRUE(S.start(0));
+  const std::string Body = bodyOf(httpGet(S.port(), "/profile"));
+  S.stop();
+  telemetry::setProfilingEnabled(false);
+  telemetry::resetProfiler();
+
+  EXPECT_NE(Body.find("statstest.outer;statstest.inner "),
+            std::string::npos)
+      << Body;
+}
+
+TEST(StatsServer, UnknownPathIs404) {
+  telemetry::StatsServer S;
+  ASSERT_TRUE(S.start(0));
+  const std::string Resp = httpGet(S.port(), "/no-such-endpoint");
+  S.stop();
+  EXPECT_NE(Resp.find("HTTP/1.1 404"), std::string::npos);
+}
+
+TEST(StatsServer, QuitEndpointReleasesWait) {
+  telemetry::StatsServer S;
+  ASSERT_TRUE(S.start(0));
+  EXPECT_FALSE(S.quitRequested());
+  EXPECT_FALSE(S.waitQuit(0.05)) << "no quit yet: the wait must time out";
+  httpGet(S.port(), "/quitquitquit");
+  EXPECT_TRUE(S.waitQuit(5.0));
+  EXPECT_TRUE(S.quitRequested());
+  S.stop();
+}
+
+TEST(StatsServer, ScrapesMidSweep) {
+  telemetry::StatsServer S;
+  ASSERT_TRUE(S.start(0));
+
+  // A worker publishing progress while the main thread scrapes — the
+  // /healthz snapshot must always be internally consistent JSON.
+  std::atomic<bool> Stop{false};
+  telemetry::progressBegin("statstest-sweep", 1000);
+  std::thread Worker([&Stop] {
+    while (!Stop.load())
+      telemetry::progressItem(true, true, 2);
+  });
+
+  bool SawProgress = false;
+  for (int I = 0; I != 20; ++I) {
+    const std::string Body = bodyOf(httpGet(S.port(), "/healthz"));
+    ASSERT_NE(Body.find("\"status\":\"ok\""), std::string::npos) << Body;
+    ASSERT_NE(Body.find("\"mode\":\"statstest-sweep\""), std::string::npos);
+    if (Body.find("\"done\":0,") == std::string::npos)
+      SawProgress = true;
+  }
+  Stop.store(true);
+  Worker.join();
+  telemetry::progressFinish();
+  S.stop();
+  EXPECT_TRUE(SawProgress) << "the worker made progress during scraping";
+}

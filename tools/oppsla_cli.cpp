@@ -31,6 +31,9 @@
 #include "eval/Export.h"
 #include "support/ArgParse.h"
 #include "support/Metrics.h"
+#include "support/Profiler.h"
+#include "support/Progress.h"
+#include "support/StatsServer.h"
 #include "support/Table.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
@@ -53,6 +56,15 @@ int usage() {
          "                  results are identical for any thread count)\n"
          "  telemetry:      --trace-out t.jsonl  --metrics-out m.json\n"
          "                  --layer-timing (per-layer forward timings)\n"
+         "                  --profile (span profiler call-tree report)\n"
+         "                  --profile-out p.folded (folded stacks for\n"
+         "                  flamegraph.pl/speedscope; implies --profile)\n"
+         "                  --progress (single updating stderr line)\n"
+         "  stats server:   --stats-port N (HTTP /metrics /profile\n"
+         "                  /healthz on 127.0.0.1; 0 = ephemeral port)\n"
+         "                  --stats-port-file f (write the bound port)\n"
+         "                  --stats-linger (serve after the run until\n"
+         "                  GET /quitquitquit, 30s cap)\n"
          "  query engine:   --batch-size N (images per physical forward,\n"
          "                  default 8)  --cache-capacity N (memoized\n"
          "                  scores, default 4096)  --no-cache\n"
@@ -91,18 +103,35 @@ QueryEngineConfig engineConfigFromArgs(const ArgParse &Args) {
   return Config;
 }
 
+/// Prints the span profiler's call-tree (indented under \p Indent) when
+/// profiling was on and recorded anything.
+void printProfileReport(const char *Indent) {
+  const std::string Report = telemetry::profileTextReport();
+  if (Report.empty())
+    return;
+  std::istringstream In(Report);
+  std::string Line;
+  while (std::getline(In, Line))
+    std::cout << Indent << Line << "\n";
+}
+
 int cmdTrain(const ArgParse &Args) {
   const BenchScale Scale = BenchScale::preset(Args.get("scale", "small"));
-  auto Victim = makeScaledVictim(taskOf(Args), archOf(Args), Scale);
+  std::unique_ptr<NNClassifier> Victim;
   const Dataset Test = makeTestSet(taskOf(Args), Scale);
   size_t Correct = 0;
-  for (size_t I = 0; I != Test.size(); ++I)
-    Correct += Victim->predict(Test.Images[I]) == Test.Labels[I];
+  {
+    telemetry::ProfileScope Root("cli.train");
+    Victim = makeScaledVictim(taskOf(Args), archOf(Args), Scale);
+    for (size_t I = 0; I != Test.size(); ++I)
+      Correct += Victim->predict(Test.Images[I]) == Test.Labels[I];
+  }
   std::cout << "victim " << Victim->name() << " ready; test accuracy "
             << Table::fmt(100.0 * static_cast<double>(Correct) /
                               static_cast<double>(Test.size()),
                           1)
             << "% over " << Test.size() << " images\n";
+  printProfileReport("");
   return 0;
 }
 
@@ -120,9 +149,14 @@ int cmdSynthesize(const ArgParse &Args) {
   const Dataset Train = makeSynthesisSet(Task, Label, Scale);
   std::vector<SynthesisStep> Trace;
   const std::string TraceJsonl = Args.get("synth-trace-out", "");
-  const Program P = synthesizeProgram(*Victim, Train, Config,
-                                      TraceJsonl.empty() ? nullptr : &Trace);
+  Program P;
+  {
+    telemetry::ProfileScope Root("cli.synth");
+    P = synthesizeProgram(*Victim, Train, Config,
+                          TraceJsonl.empty() ? nullptr : &Trace);
+  }
   std::cout << P.str();
+  printProfileReport("");
   if (!TraceJsonl.empty()) {
     if (!exportSynthesisTraceJsonl(Trace, TraceJsonl)) {
       std::cerr << "error: cannot write " << TraceJsonl << "\n";
@@ -200,23 +234,32 @@ int cmdAttack(const ArgParse &Args) {
   QueryEngine Engine(*Victim, engineConfigFromArgs(Args));
   SketchAttack A(P, Path.empty() ? "Sketch+False" : "program");
   Table T({"image", "outcome", "#queries", "pixel", "perturbation"});
-  for (size_t I = 0; I != Test.size(); ++I) {
-    telemetry::TraceImageScope Scope(static_cast<int64_t>(I));
-    const AttackResult R =
-        A.attack(Engine, Test.Images[I], Label, Budget);
-    std::ostringstream Loc, Pert;
-    if (R.Success && !R.AlreadyMisclassified) {
-      Loc << "(" << R.Loc.Row << "," << R.Loc.Col << ")";
-      Pert << "(" << R.Perturbation.R << "," << R.Perturbation.G << ","
-           << R.Perturbation.B << ")";
+  {
+    telemetry::ProfileScope Root("cli.attack");
+    telemetry::progressBegin("attack", Test.size());
+    for (size_t I = 0; I != Test.size(); ++I) {
+      telemetry::TraceImageScope Scope(static_cast<int64_t>(I));
+      const AttackResult R =
+          A.attack(Engine, Test.Images[I], Label, Budget);
+      telemetry::progressItem(!R.AlreadyMisclassified,
+                              R.Success && !R.AlreadyMisclassified,
+                              R.Queries);
+      std::ostringstream Loc, Pert;
+      if (R.Success && !R.AlreadyMisclassified) {
+        Loc << "(" << R.Loc.Row << "," << R.Loc.Col << ")";
+        Pert << "(" << R.Perturbation.R << "," << R.Perturbation.G << ","
+             << R.Perturbation.B << ")";
+      }
+      T.addRow({std::to_string(I),
+                R.AlreadyMisclassified ? "discarded"
+                : R.Success            ? "success"
+                                       : "failure",
+                std::to_string(R.Queries), Loc.str(), Pert.str()});
     }
-    T.addRow({std::to_string(I),
-              R.AlreadyMisclassified ? "discarded"
-              : R.Success            ? "success"
-                                     : "failure",
-              std::to_string(R.Queries), Loc.str(), Pert.str()});
+    telemetry::progressFinish();
   }
   T.print(std::cout);
+  printProfileReport("");
   return 0;
 }
 
@@ -236,24 +279,32 @@ int cmdEval(const ArgParse &Args) {
 
   const std::string Kind = Args.get("attack", "oppsla");
   const size_t Threads = threadCountFromArgs(Args);
+  telemetry::setRunInfo("attack", Kind);
+  telemetry::setRunInfo("victim", Victim->name());
   std::vector<AttackRunLog> Logs;
-  if (Kind == "oppsla") {
-    const std::vector<Program> Programs = synthesizeClassPrograms(
-        *Victim, victimStem(Task, A, Scale), Task, Scale, /*Seed=*/1,
-        Threads);
-    Logs = runProgramsOverSet(Programs, Engine, Test, Budget, Threads);
-  } else if (Kind == "sparse-rs") {
-    SparseRS Attack;
-    Logs = runAttackOverSet(Attack, Engine, Test, Budget, Threads);
-  } else if (Kind == "suopa") {
-    SuOPA Attack;
-    Logs = runAttackOverSet(Attack, Engine, Test, Budget, Threads);
-  } else if (Kind == "random") {
-    RandomPairSearch Attack;
-    Logs = runAttackOverSet(Attack, Engine, Test, Budget, Threads);
-  } else {
-    std::cerr << "error: unknown --attack '" << Kind << "'\n";
-    return 2;
+  {
+    // The root span closes here, before the metrics section renders:
+    // the profiler counts a span only once it exits, so the report's
+    // `cli.eval` total covers the whole sweep (≈ the run's wall time).
+    telemetry::ProfileScope Root("cli.eval");
+    if (Kind == "oppsla") {
+      const std::vector<Program> Programs = synthesizeClassPrograms(
+          *Victim, victimStem(Task, A, Scale), Task, Scale, /*Seed=*/1,
+          Threads);
+      Logs = runProgramsOverSet(Programs, Engine, Test, Budget, Threads);
+    } else if (Kind == "sparse-rs") {
+      SparseRS Attack;
+      Logs = runAttackOverSet(Attack, Engine, Test, Budget, Threads);
+    } else if (Kind == "suopa") {
+      SuOPA Attack;
+      Logs = runAttackOverSet(Attack, Engine, Test, Budget, Threads);
+    } else if (Kind == "random") {
+      RandomPairSearch Attack;
+      Logs = runAttackOverSet(Attack, Engine, Test, Budget, Threads);
+    } else {
+      std::cerr << "error: unknown --attack '" << Kind << "'\n";
+      return 2;
+    }
   }
 
   const std::string RunsOut = Args.get("runs-out", "");
@@ -285,6 +336,7 @@ int cmdEval(const ArgParse &Args) {
   const std::string LayerReport = telemetry::layerTimingReport();
   if (!LayerReport.empty())
     std::cout << LayerReport;
+  printProfileReport("  ");
   return 0;
 }
 
@@ -299,6 +351,26 @@ int main(int argc, char **argv) {
   // Telemetry flags are shared by every subcommand.
   if (!telemetry::configureFromArgs(Args))
     return 1;
+  telemetry::setProgressEnabled(Args.getFlag("progress"));
+  telemetry::setRunInfo("command", Cmd);
+
+  // Live introspection: --stats-port 0 picks a free port; the bound port
+  // can be written to a file so scrapers do not have to guess.
+  telemetry::StatsServer Server;
+  if (Args.has("stats-port")) {
+    const auto Port =
+        static_cast<uint16_t>(Args.getInt("stats-port", 0));
+    if (!Server.start(Port))
+      return 1;
+    std::cerr << "stats server listening on 127.0.0.1:" << Server.port()
+              << "\n";
+    const std::string PortFile = Args.get("stats-port-file", "");
+    if (!PortFile.empty()) {
+      std::ofstream OS(PortFile);
+      OS << Server.port() << "\n";
+    }
+  }
+
   int RC;
   if (Cmd == "train")
     RC = cmdTrain(Args);
@@ -312,6 +384,14 @@ int main(int argc, char **argv) {
     RC = cmdEval(Args);
   else
     return usage();
+
+  // --stats-linger keeps the server up briefly after the run so a scraper
+  // launched in parallel can still read the final state; GET /quitquitquit
+  // releases the wait early.
+  if (Server.running() && Args.getFlag("stats-linger"))
+    Server.waitQuit(30.0);
+  Server.stop();
+
   if (!telemetry::finalizeTelemetry() && RC == 0)
     RC = 1;
   return RC;
