@@ -30,6 +30,14 @@ endif()
 file(READ ${OUT_JSON} J)
 
 # string(JSON) raises a hard error on malformed JSON or missing keys.
+string(JSON GOT_SCHEMA GET "${J}" schema)
+if(NOT GOT_SCHEMA EQUAL 2)
+  message(FATAL_ERROR "artifact schema '${GOT_SCHEMA}' != 2")
+endif()
+string(JSON GOT_REPEAT GET "${J}" repeat)
+if(GOT_REPEAT LESS 0)
+  message(FATAL_ERROR "artifact repeat '${GOT_REPEAT}' must be >= 0")
+endif()
 string(JSON GOT_NAME GET "${J}" name)
 if(NOT GOT_NAME STREQUAL "${NAME}")
   message(FATAL_ERROR "artifact name '${GOT_NAME}' != expected '${NAME}'")

@@ -124,7 +124,7 @@ int main(int argc, char **argv) {
   perConditionAblation(Scale, Threads);
   robustnessAblation(Scale, Threads);
 
-  BenchJson BJ("ablation_conditions", Scale.Name);
+  BenchJson BJ("ablation_conditions", Scale.Name, Args);
   BJ.set("wall_seconds",
          std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        BenchStart)

@@ -203,7 +203,7 @@ int main(int argc, char **argv) {
   std::cout << "\nwrote " << OutPath << "\n";
 
   // The standard flat artifact alongside the detailed per-spec one above.
-  BenchJson BJ("batch_throughput", Scale.Name);
+  BenchJson BJ("batch_throughput", Scale.Name, Args);
   double BestSpeedup = 0.0, BestRate = 0.0, TotalSeconds = 0.0;
   for (const RunResult &R : Results) {
     BestSpeedup = std::max(BestSpeedup, R.SpeedupVsBatch1);
@@ -214,6 +214,11 @@ int main(int argc, char **argv) {
   BJ.set("best_speedup_vs_batch1", BestSpeedup);
   BJ.set("best_images_per_sec", BestRate);
   BJ.set("runs", static_cast<double>(Results.size()));
+  // Fold the engine's process-wide efficiency counters into the artifact
+  // so every ledger row of this bench carries hit rate and batching next
+  // to the throughput headline.
+  for (const auto &[Key, Value] : engineLedgerMetrics())
+    BJ.set(Key, Value);
   if (!BJ.writeFromArgs(Args))
     return 1;
   telemetry::finalizeTelemetry();

@@ -113,7 +113,7 @@ int main(int argc, char **argv) {
                "budget;\nthe gap is largest at <=100 queries; baselines "
                "approach OPPSLA\nonly at the largest budgets.\n";
 
-  BenchJson BJ("fig3_success_vs_queries", Scale.Name);
+  BenchJson BJ("fig3_success_vs_queries", Scale.Name, Args);
   BJ.set("wall_seconds",
          std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        BenchStart)

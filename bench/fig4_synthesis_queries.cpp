@@ -92,7 +92,7 @@ int main(int argc, char **argv) {
                "iterations (the paper reports ~2.7x after ~6 iterations), "
                "then a flat tail.\n";
 
-  BenchJson BJ("fig4_synthesis_queries", Scale.Name);
+  BenchJson BJ("fig4_synthesis_queries", Scale.Name, Args);
   BJ.set("wall_seconds",
          std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        BenchStart)

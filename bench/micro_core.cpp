@@ -195,7 +195,10 @@ int main(int argc, char **argv) {
                            std::strncmp(A, "--profile", 9) == 0 ||
                            std::strncmp(A, "--progress", 10) == 0 ||
                            std::strncmp(A, "--stats-port", 12) == 0 ||
-                           std::strncmp(A, "--stats-linger", 14) == 0;
+                           std::strncmp(A, "--stats-linger", 14) == 0 ||
+                           std::strncmp(A, "--repeat", 8) == 0 ||
+                           std::strncmp(A, "--hw-counters", 13) == 0 ||
+                           std::strncmp(A, "--ledger", 8) == 0;
     if (Telemetry) {
       if (std::strchr(A, '=') == nullptr && I + 1 < argc &&
           std::strncmp(argv[I + 1], "--", 2) != 0)
@@ -210,7 +213,7 @@ int main(int argc, char **argv) {
   benchmark::RunSpecifiedBenchmarks(&Reporter);
   benchmark::Shutdown();
 
-  BenchJson BJ("micro_core", BenchScale::fromEnv().Name);
+  BenchJson BJ("micro_core", BenchScale::fromEnv().Name, Args);
   for (const auto &[Name, RealTime] : Reporter.Times)
     BJ.set(Name + "_ns", RealTime);
   if (!BJ.writeFromArgs(Args))

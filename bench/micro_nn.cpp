@@ -140,7 +140,10 @@ int main(int argc, char **argv) {
                            std::strncmp(A, "--profile", 9) == 0 ||
                            std::strncmp(A, "--progress", 10) == 0 ||
                            std::strncmp(A, "--stats-port", 12) == 0 ||
-                           std::strncmp(A, "--stats-linger", 14) == 0;
+                           std::strncmp(A, "--stats-linger", 14) == 0 ||
+                           std::strncmp(A, "--repeat", 8) == 0 ||
+                           std::strncmp(A, "--hw-counters", 13) == 0 ||
+                           std::strncmp(A, "--ledger", 8) == 0;
     if (Telemetry) {
       // Skip a separate `--flag value` operand as ArgParse would.
       if (std::strchr(A, '=') == nullptr && I + 1 < argc &&
@@ -160,7 +163,7 @@ int main(int argc, char **argv) {
   if (!LayerReport.empty())
     std::cout << "\n" << LayerReport;
 
-  BenchJson BJ("micro_nn", BenchScale::fromEnv().Name);
+  BenchJson BJ("micro_nn", BenchScale::fromEnv().Name, Args);
   for (const auto &[Name, RealTime] : Reporter.Times)
     BJ.set(Name + "_ns", RealTime);
   if (!BJ.writeFromArgs(Args))

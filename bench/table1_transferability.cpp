@@ -84,7 +84,7 @@ int main(int argc, char **argv) {
   std::cout << "\nExpected shape (paper): off-diagonal avg queries within "
                "a small factor\n(~1.2-2x) of the diagonal.\n";
 
-  BenchJson BJ("table1_transferability", Scale.Name);
+  BenchJson BJ("table1_transferability", Scale.Name, Args);
   BJ.set("wall_seconds",
          std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        BenchStart)

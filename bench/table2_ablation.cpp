@@ -135,7 +135,7 @@ int main(int argc, char **argv) {
                "Sketch+False < Sparse-RS\non average queries; all sketch "
                "variants share one success rate.\n";
 
-  BenchJson BJ("table2_ablation", Scale.Name);
+  BenchJson BJ("table2_ablation", Scale.Name, Args);
   BJ.set("wall_seconds",
          std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        BenchStart)

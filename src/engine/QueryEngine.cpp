@@ -297,3 +297,28 @@ std::string oppsla::engineMetricsSummary() {
   }
   return S.str();
 }
+
+std::map<std::string, double> oppsla::engineLedgerMetrics() {
+  std::map<std::string, double> M;
+  const uint64_t Queries = logicalCounter().value();
+  if (Queries == 0)
+    return M;
+  const uint64_t Forwards = forwardCounter().value();
+  const uint64_t Hits = hitCounter().value();
+  const uint64_t Misses = missCounter().value();
+  M["engine.queries.logical"] = static_cast<double>(Queries);
+  M["engine.forwards.physical"] = static_cast<double>(Forwards);
+  M["engine.forwards_per_query"] =
+      static_cast<double>(Forwards) / static_cast<double>(Queries);
+  M["engine.cache.hits"] = static_cast<double>(Hits);
+  M["engine.cache.misses"] = static_cast<double>(Misses);
+  if (Hits + Misses != 0)
+    M["engine.cache.hit_rate"] = static_cast<double>(Hits) /
+                                 static_cast<double>(Hits + Misses);
+  M["engine.prefetch.images"] =
+      static_cast<double>(prefetchCounter().value());
+  const telemetry::Histogram &H = batchSizeHist();
+  if (H.count() != 0)
+    M["engine.batch.mean"] = H.mean();
+  return M;
+}

@@ -37,6 +37,7 @@
 #include "engine/ScoreCache.h"
 #include "support/ThreadPool.h"
 
+#include <map>
 #include <memory>
 #include <string>
 
@@ -113,6 +114,13 @@ private:
 /// forwards vs logical queries, mean physical batch). Empty string when no
 /// engine query ran.
 std::string engineMetricsSummary();
+
+/// The same process-wide engine counters as a flat numeric map, derived
+/// ratios included (`engine.cache.hit_rate`, `engine.forwards_per_query`,
+/// `engine.batch.mean`) — the shape BenchJson/the bench ledger ingest, so
+/// every bench artifact carries the engine's efficiency next to its
+/// throughput. Empty map when no engine query ran.
+std::map<std::string, double> engineLedgerMetrics();
 
 } // namespace oppsla
 

@@ -7,6 +7,7 @@
 #include "support/BenchJson.h"
 
 #include "support/ArgParse.h"
+#include "support/Ledger.h"
 #include "support/Logging.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
@@ -15,6 +16,11 @@
 #include <cstdio>
 
 using namespace oppsla;
+
+BenchJson::BenchJson(std::string Name, std::string Scale,
+                     const ArgParse &Args)
+    : Name(std::move(Name)), Scale(std::move(Scale)),
+      Repeat(static_cast<int>(Args.getInt("repeat", 0))) {}
 
 void BenchJson::addTelemetryCounters() {
   const std::string Skip = "nn.forward.";
@@ -27,11 +33,16 @@ void BenchJson::addTelemetryCounters() {
 }
 
 std::string BenchJson::render() const {
-  std::string Out = "{\"name\":\"";
+  char Head[64];
+  std::snprintf(Head, sizeof(Head), "{\"schema\":%d,\"name\":\"",
+                kBenchSchemaVersion);
+  std::string Out = Head;
   telemetry::appendJsonEscaped(Out, Name);
   Out += "\",\"scale\":\"";
   telemetry::appendJsonEscaped(Out, Scale);
-  Out += "\",\"metrics\":{";
+  std::snprintf(Head, sizeof(Head), "\",\"repeat\":%d,\"metrics\":{",
+                Repeat);
+  Out += Head;
   bool First = true;
   char Buf[40];
   for (const auto &[Key, Value] : Metrics) {

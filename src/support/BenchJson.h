@@ -6,14 +6,18 @@
 ///
 /// \file
 /// The standard machine-readable artifact every bench binary writes at its
-/// `--json-out` path:
+/// `--json-out` path (schema version kBenchSchemaVersion):
 ///
-///   {"name": "<bench>", "scale": "<smoke|small|paper>",
-///    "metrics": {"<key>": <number>, ...}}
+///   {"schema": 2, "name": "<bench>", "scale": "<smoke|small|paper>",
+///    "repeat": <i>, "metrics": {"<key>": <number>, ...}}
 ///
 /// One flat numeric map keeps the driver-side diffing trivial; benches
 /// with richer tables (batch_throughput's per-spec results) keep their own
-/// detailed artifact and emit the standard one alongside it.
+/// detailed artifact and emit the standard one alongside it. The artifact
+/// is ledger-ready: `oppsla_bench ingest` turns it into one JSONL ledger
+/// row, and `oppsla_bench gate` medians repeated runs of the same bench
+/// (distinguished by the `--repeat i` flag) before comparing against a
+/// baseline.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,8 +36,13 @@ struct BenchJson {
   BenchJson(std::string Name, std::string Scale)
       : Name(std::move(Name)), Scale(std::move(Scale)) {}
 
+  /// Standard construction for a bench main: picks up the `--repeat i`
+  /// index from \p Args (0 when absent).
+  BenchJson(std::string Name, std::string Scale, const ArgParse &Args);
+
   std::string Name;
   std::string Scale;
+  int Repeat = 0; ///< which of N repeated runs this artifact records
   std::map<std::string, double> Metrics; ///< name-sorted for determinism
 
   void set(const std::string &Key, double Value) { Metrics[Key] = Value; }

@@ -1,0 +1,224 @@
+//===- support/HwCounters.cpp - perf_event hardware counters -----------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/HwCounters.h"
+
+#include "support/Logging.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#define OPPSLA_HAVE_PERF_EVENT 1
+#endif
+
+using namespace oppsla;
+using namespace oppsla::telemetry;
+
+namespace {
+
+std::atomic<bool> HwEnabled{false};
+
+// Tri-state availability latch: 0 unprobed, 1 available, -1 unavailable.
+std::atomic<int> HwAvailability{0};
+
+const char *const HwNames[HwNumCounters] = {
+    "instructions", "cycles", "cache_refs", "cache_misses", "branch_misses"};
+
+#ifdef OPPSLA_HAVE_PERF_EVENT
+
+const uint64_t HwConfigs[HwNumCounters] = {
+    PERF_COUNT_HW_INSTRUCTIONS, PERF_COUNT_HW_CPU_CYCLES,
+    PERF_COUNT_HW_CACHE_REFERENCES, PERF_COUNT_HW_CACHE_MISSES,
+    PERF_COUNT_HW_BRANCH_MISSES};
+
+int perfEventOpen(perf_event_attr *Attr, int GroupFd) {
+  return static_cast<int>(::syscall(SYS_perf_event_open, Attr, /*pid=*/0,
+                                    /*cpu=*/-1, GroupFd, /*flags=*/0UL));
+}
+
+/// This thread's counter group. Members that the PMU cannot host (too few
+/// programmable counters, virtualized PMU without cache events) are
+/// dropped individually; the group is usable as long as the leader opened.
+struct ThreadGroup {
+  int LeaderFd = -1;
+  bool Tried = false;
+  /// Group read position of each slot, or -1 when the member was dropped.
+  int Slot[HwNumCounters] = {-1, -1, -1, -1, -1};
+  int Members = 0;
+  int Fds[HwNumCounters] = {-1, -1, -1, -1, -1};
+
+  ~ThreadGroup() { close(); }
+
+  void close() {
+    for (int &Fd : Fds) {
+      if (Fd >= 0)
+        ::close(Fd);
+      Fd = -1;
+    }
+    LeaderFd = -1;
+  }
+
+  bool open() {
+    Tried = true;
+    for (size_t I = 0; I != HwNumCounters; ++I) {
+      perf_event_attr Attr = {};
+      Attr.type = PERF_TYPE_HARDWARE;
+      Attr.size = sizeof(Attr);
+      Attr.config = HwConfigs[I];
+      // Counting user-space only keeps the group usable under
+      // perf_event_paranoid=2 (the common unprivileged default).
+      Attr.exclude_kernel = 1;
+      Attr.exclude_hv = 1;
+      Attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                         PERF_FORMAT_TOTAL_TIME_RUNNING;
+      Attr.disabled = LeaderFd < 0 ? 1 : 0;
+      const int Fd = perfEventOpen(&Attr, LeaderFd);
+      if (Fd < 0) {
+        if (LeaderFd < 0) {
+          // Leader failed: the whole subsystem is off for this thread —
+          // and for EACCES/EPERM/ENOSYS-class errors, the whole process.
+          return false;
+        }
+        continue; // drop this member, keep the rest of the group
+      }
+      if (LeaderFd < 0)
+        LeaderFd = Fd;
+      Fds[I] = Fd;
+      Slot[I] = Members++;
+    }
+    ::ioctl(LeaderFd, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+    return true;
+  }
+};
+
+thread_local ThreadGroup TlsGroup;
+
+/// Opens the calling thread's group if not yet tried, updating the
+/// process-wide availability latch on the first definitive outcome.
+bool ensureThreadGroup() {
+  if (TlsGroup.Tried)
+    return TlsGroup.LeaderFd >= 0;
+  if (HwAvailability.load(std::memory_order_relaxed) < 0) {
+    TlsGroup.Tried = true;
+    return false;
+  }
+  errno = 0;
+  const bool Ok = TlsGroup.open();
+  if (Ok) {
+    HwAvailability.store(1, std::memory_order_relaxed);
+    return true;
+  }
+  const int E = errno;
+  int Expected = 0;
+  if (HwAvailability.compare_exchange_strong(Expected, -1,
+                                             std::memory_order_relaxed)) {
+    logWarn() << "hardware counters unavailable (perf_event_open: "
+              << std::strerror(E) << "); span hw attribution disabled";
+  }
+  return false;
+}
+
+#endif // OPPSLA_HAVE_PERF_EVENT
+
+} // namespace
+
+const char *oppsla::telemetry::hwCounterName(size_t I) {
+  return I < HwNumCounters ? HwNames[I] : "";
+}
+
+void oppsla::telemetry::setHwCountersEnabled(bool Enabled) {
+  HwEnabled.store(Enabled, std::memory_order_relaxed);
+}
+
+bool oppsla::telemetry::hwCountersEnabled() {
+  return HwEnabled.load(std::memory_order_relaxed);
+}
+
+bool oppsla::telemetry::hwCountersAvailable() {
+#ifdef OPPSLA_HAVE_PERF_EVENT
+  const int State = HwAvailability.load(std::memory_order_relaxed);
+  if (State != 0)
+    return State > 0;
+  return ensureThreadGroup();
+#else
+  return false;
+#endif
+}
+
+HwSample oppsla::telemetry::hwSample() {
+  HwSample S;
+#ifdef OPPSLA_HAVE_PERF_EVENT
+  if (!hwCountersEnabled() || !ensureThreadGroup())
+    return S;
+  // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, values[nr].
+  uint64_t Buf[3 + HwNumCounters] = {};
+  const ssize_t N = ::read(TlsGroup.LeaderFd, Buf, sizeof(Buf));
+  if (N < static_cast<ssize_t>(3 * sizeof(uint64_t)))
+    return S;
+  const uint64_t Nr = Buf[0];
+  const uint64_t Enabled = Buf[1];
+  const uint64_t Running = Buf[2];
+  // Scale for kernel multiplexing; Running == 0 means the group never ran.
+  const double Scale =
+      Running > 0 ? static_cast<double>(Enabled) / static_cast<double>(Running)
+                  : 0.0;
+  if (Scale == 0.0)
+    return S;
+  for (size_t I = 0; I != HwNumCounters; ++I) {
+    const int Slot = TlsGroup.Slot[I];
+    if (Slot < 0 || static_cast<uint64_t>(Slot) >= Nr)
+      continue;
+    S.Values[I] = static_cast<uint64_t>(
+        static_cast<double>(Buf[3 + static_cast<size_t>(Slot)]) * Scale);
+  }
+  S.Valid = true;
+#endif
+  return S;
+}
+
+HwCountersScope::~HwCountersScope() {
+  if (!Accum || !Start.Valid)
+    return;
+  const HwSample End = hwSample();
+  if (!End.Valid)
+    return;
+  for (size_t I = 0; I != HwNumCounters; ++I)
+    if (End.Values[I] > Start.Values[I])
+      Accum[I] += End.Values[I] - Start.Values[I];
+}
+
+std::string oppsla::telemetry::hwDeltaSummary(const uint64_t *Delta) {
+  if (!Delta || Delta[HwInstructions] == 0)
+    return "";
+  char Buf[128];
+  std::string Out;
+  if (Delta[HwCycles] > 0) {
+    std::snprintf(Buf, sizeof(Buf), "ipc=%.2f",
+                  static_cast<double>(Delta[HwInstructions]) /
+                      static_cast<double>(Delta[HwCycles]));
+    Out += Buf;
+  }
+  if (Delta[HwCacheRefs] > 0) {
+    std::snprintf(Buf, sizeof(Buf), "%scache-miss=%.1f%%",
+                  Out.empty() ? "" : " ",
+                  100.0 * static_cast<double>(Delta[HwCacheMisses]) /
+                      static_cast<double>(Delta[HwCacheRefs]));
+    Out += Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf), "%sbranch-miss/ki=%.2f",
+                Out.empty() ? "" : " ",
+                1000.0 * static_cast<double>(Delta[HwBranchMisses]) /
+                    static_cast<double>(Delta[HwInstructions]));
+  Out += Buf;
+  return Out;
+}

@@ -1,0 +1,95 @@
+//===- support/HwCounters.h - perf_event hardware counters -----*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-thread hardware performance counters via `perf_event_open(2)`:
+/// instructions, cycles, cache references/misses, and branch misses, read
+/// as one counter group so a single `read(2)` snapshots all five. The
+/// profiler attaches a snapshot pair to every `ProfileScope` when
+/// `--hw-counters` is on, giving each span IPC and miss rates next to its
+/// wall time — the hardware baseline the SIMD kernel work is judged by.
+///
+/// Containers routinely deny the syscall (seccomp EPERM, ENOSYS, or
+/// `perf_event_paranoid` EACCES). The first failed probe latches the
+/// subsystem unavailable process-wide and every subsequent read degrades
+/// to an invalid (ignored) sample: enabling --hw-counters where perf is
+/// unavailable costs one relaxed load per span and changes no output
+/// except a one-line notice. Counter values are scaled by
+/// time_enabled/time_running when the kernel multiplexes the group.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_SUPPORT_HWCOUNTERS_H
+#define OPPSLA_SUPPORT_HWCOUNTERS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace oppsla {
+namespace telemetry {
+
+/// Slot order of the counter group (and of every per-span accumulator).
+enum HwCounterIndex : size_t {
+  HwInstructions = 0,
+  HwCycles,
+  HwCacheRefs,
+  HwCacheMisses,
+  HwBranchMisses,
+  HwNumCounters
+};
+
+/// Short stable name of slot \p I ("instructions", "cycles", ...).
+const char *hwCounterName(size_t I);
+
+/// Process-wide gate, mirrored by the `--hw-counters` flag. Off by
+/// default; reading costs one relaxed load.
+void setHwCountersEnabled(bool Enabled);
+bool hwCountersEnabled();
+
+/// True when perf_event_open worked at least once in this process. The
+/// first call probes (opening this thread's group); a denied syscall
+/// latches false for the process lifetime.
+bool hwCountersAvailable();
+
+/// One snapshot of this thread's counter group. Valid is false when the
+/// subsystem is disabled or unavailable; Values are cumulative since the
+/// thread's group was opened, multiplex-scaled.
+struct HwSample {
+  uint64_t Values[HwNumCounters] = {0, 0, 0, 0, 0};
+  bool Valid = false;
+};
+
+/// Reads this thread's group (opened lazily on first use). Returns an
+/// invalid sample when disabled or unavailable — never blocks or throws.
+HwSample hwSample();
+
+/// RAII convenience for code outside the profiler: samples at construction
+/// and destruction and adds the per-slot deltas into \p Accum (an array of
+/// HwNumCounters elements; untouched when sampling is unavailable).
+class HwCountersScope {
+public:
+  explicit HwCountersScope(uint64_t *Accum) : Accum(Accum) {
+    if (Accum)
+      Start = hwSample();
+  }
+  ~HwCountersScope();
+  HwCountersScope(const HwCountersScope &) = delete;
+  HwCountersScope &operator=(const HwCountersScope &) = delete;
+
+private:
+  uint64_t *Accum;
+  HwSample Start;
+};
+
+/// One-line human summary of a delta array: "ipc=1.82 cache-miss=3.1%
+/// branch-miss/ki=4.2" (empty when instructions is 0).
+std::string hwDeltaSummary(const uint64_t *Delta);
+
+} // namespace telemetry
+} // namespace oppsla
+
+#endif // OPPSLA_SUPPORT_HWCOUNTERS_H

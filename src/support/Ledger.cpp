@@ -1,0 +1,269 @@
+//===- support/Ledger.cpp - Longitudinal bench-result ledger -----------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Ledger.h"
+
+#include "support/Json.h"
+
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+using namespace oppsla;
+
+#ifndef OPPSLA_BUILD_FLAGS
+#define OPPSLA_BUILD_FLAGS "unknown"
+#endif
+
+namespace {
+
+std::string readCpuModel() {
+  std::ifstream In("/proc/cpuinfo");
+  std::string Line;
+  while (std::getline(In, Line)) {
+    const size_t Colon = Line.find(':');
+    if (Colon == std::string::npos)
+      continue;
+    if (Line.compare(0, 10, "model name") == 0) {
+      size_t Start = Colon + 1;
+      while (Start < Line.size() && Line[Start] == ' ')
+        ++Start;
+      return Line.substr(Start);
+    }
+  }
+  return "unknown";
+}
+
+} // namespace
+
+const HostFingerprint &oppsla::hostFingerprint() {
+  static const HostFingerprint FP = [] {
+    HostFingerprint F;
+    F.CpuModel = readCpuModel();
+    F.Cores = std::thread::hardware_concurrency();
+    F.BuildFlags = OPPSLA_BUILD_FLAGS;
+    return F;
+  }();
+  return FP;
+}
+
+std::string LedgerEntry::renderLine() const {
+  std::string Out = "{\"schema\":";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%d", Schema);
+  Out += Buf;
+  Out += ",\"bench\":\"";
+  json::escape(Out, Bench);
+  Out += "\",\"scale\":\"";
+  json::escape(Out, Scale);
+  Out += "\",\"repeat\":";
+  std::snprintf(Buf, sizeof(Buf), "%d", Repeat);
+  Out += Buf;
+  Out += ",\"git\":\"";
+  json::escape(Out, GitDescribe);
+  Out += "\",\"timestamp\":\"";
+  json::escape(Out, Timestamp);
+  Out += "\",\"host\":{\"cpu\":\"";
+  json::escape(Out, Host.CpuModel);
+  Out += "\",\"cores\":";
+  std::snprintf(Buf, sizeof(Buf), "%u", Host.Cores);
+  Out += Buf;
+  Out += ",\"build_flags\":\"";
+  json::escape(Out, Host.BuildFlags);
+  Out += "\"},\"metrics\":{";
+  bool First = true;
+  for (const auto &[Key, Value] : Metrics) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '"';
+    json::escape(Out, Key);
+    Out += "\":";
+    json::appendNumber(Out, Value);
+  }
+  Out += "}}\n";
+  return Out;
+}
+
+bool LedgerEntry::parseLine(const std::string &Line, std::string &Error) {
+  json::Value Doc;
+  if (!json::parse(Line, Doc, Error))
+    return false;
+  if (!Doc.isObject()) {
+    Error = "ledger row is not an object";
+    return false;
+  }
+  Schema = static_cast<int>(Doc.getNumber("schema", 0));
+  Bench = Doc.getString("bench");
+  Scale = Doc.getString("scale");
+  Repeat = static_cast<int>(Doc.getNumber("repeat", 0));
+  GitDescribe = Doc.getString("git");
+  Timestamp = Doc.getString("timestamp");
+  if (const json::Value *H = Doc.find("host"); H && H->isObject()) {
+    Host.CpuModel = H->getString("cpu");
+    Host.Cores = static_cast<unsigned>(H->getNumber("cores", 0));
+    Host.BuildFlags = H->getString("build_flags");
+  }
+  Metrics.clear();
+  const json::Value *M = Doc.find("metrics");
+  if (Bench.empty() || !M || !M->isObject()) {
+    Error = "ledger row missing bench name or metrics map";
+    return false;
+  }
+  for (const auto &[Key, V] : M->members()) {
+    if (!V.isNumber() && !V.isNull()) {
+      Error = "ledger metric '" + Key + "' is not numeric";
+      return false;
+    }
+    if (V.isNumber())
+      Metrics[Key] = V.number();
+  }
+  return true;
+}
+
+bool LedgerEntry::fromBenchArtifact(const json::Value &Doc,
+                                    std::string &Error) {
+  if (!Doc.isObject()) {
+    Error = "bench artifact is not an object";
+    return false;
+  }
+  // Schema 1 artifacts predate the "schema"/"repeat" fields.
+  Schema = static_cast<int>(Doc.getNumber("schema", 1));
+  Bench = Doc.getString("name");
+  Scale = Doc.getString("scale");
+  Repeat = static_cast<int>(Doc.getNumber("repeat", 0));
+  Host = hostFingerprint();
+  Metrics.clear();
+  const json::Value *M = Doc.find("metrics");
+  if (Bench.empty() || !M || !M->isObject()) {
+    Error = "bench artifact missing name or metrics map";
+    return false;
+  }
+  for (const auto &[Key, V] : M->members()) {
+    if (!V.isNumber() && !V.isNull()) {
+      Error = "bench metric '" + Key + "' is not numeric";
+      return false;
+    }
+    if (V.isNumber())
+      Metrics[Key] = V.number();
+  }
+  return true;
+}
+
+void oppsla::foldMetricsSnapshot(const json::Value &Snapshot,
+                                 std::map<std::string, double> &Metrics) {
+  if (const json::Value *C = Snapshot.find("counters"); C && C->isObject())
+    for (const auto &[Key, V] : C->members())
+      if (V.isNumber())
+        Metrics[Key] = V.number();
+  if (const json::Value *G = Snapshot.find("gauges"); G && G->isObject())
+    for (const auto &[Key, V] : G->members())
+      if (V.isNumber())
+        Metrics["gauge." + Key] = V.number();
+  if (const json::Value *H = Snapshot.find("histograms"); H && H->isObject())
+    for (const auto &[Name, Hist] : H->members())
+      for (const char *Field : {"count", "mean", "p50", "p90", "p99"})
+        if (const json::Value *V = Hist.find(Field); V && V->isNumber())
+          Metrics[Name + "." + Field] = V->number();
+  if (const json::Value *P = Snapshot.find("profile"); P && P->isObject())
+    if (const json::Value *Spans = P->find("spans"); Spans && Spans->isArray())
+      for (const json::Value &Span : Spans->array()) {
+        const std::string Path = Span.getString("path");
+        if (Path.empty())
+          continue;
+        if (const json::Value *V = Span.find("self_us"); V && V->isNumber())
+          Metrics["profile." + Path + ".self_us"] = V->number();
+      }
+}
+
+bool oppsla::ledger::append(const std::string &Path, const LedgerEntry &Entry,
+                            std::string &Error) {
+  std::FILE *F = std::fopen(Path.c_str(), "a");
+  if (!F) {
+    Error = "cannot open " + Path + " for append";
+    return false;
+  }
+  const std::string Line = Entry.renderLine();
+  const size_t Written = std::fwrite(Line.data(), 1, Line.size(), F);
+  const bool Ok = Written == Line.size() && std::fclose(F) == 0;
+  if (!Ok)
+    Error = "short write to " + Path;
+  return Ok;
+}
+
+bool oppsla::ledger::readAll(const std::string &Path,
+                             std::vector<LedgerEntry> &Out,
+                             std::string &Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    Error = "cannot open " + Path;
+    return false;
+  }
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    LedgerEntry E;
+    std::string RowError;
+    if (!E.parseLine(Line, RowError)) {
+      std::ostringstream O;
+      O << Path << ":" << LineNo << ": " << RowError;
+      Error = O.str();
+      return false;
+    }
+    Out.push_back(std::move(E));
+  }
+  return true;
+}
+
+std::string oppsla::ledger::tailJson(const std::string &Path,
+                                     size_t MaxEntries) {
+  std::string Out = "{\"path\":\"";
+  json::escape(Out, Path);
+  Out += "\",";
+  std::vector<LedgerEntry> Entries;
+  std::string Error;
+  if (Path.empty() || !readAll(Path, Entries, Error)) {
+    Out += "\"rows\":0,\"entries\":[]}";
+    return Out;
+  }
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%zu", Entries.size());
+  Out += "\"rows\":";
+  Out += Buf;
+  Out += ",\"entries\":[";
+  const size_t Start =
+      Entries.size() > MaxEntries ? Entries.size() - MaxEntries : 0;
+  for (size_t I = Start; I != Entries.size(); ++I) {
+    if (I != Start)
+      Out += ',';
+    std::string Line = Entries[I].renderLine();
+    if (!Line.empty() && Line.back() == '\n')
+      Line.pop_back();
+    Out += Line;
+  }
+  Out += "]}";
+  return Out;
+}
+
+namespace {
+std::mutex ServedPathMu;
+std::string ServedPathValue;
+} // namespace
+
+void oppsla::ledger::setServedPath(const std::string &Path) {
+  std::lock_guard<std::mutex> Lock(ServedPathMu);
+  ServedPathValue = Path;
+}
+
+std::string oppsla::ledger::servedPath() {
+  std::lock_guard<std::mutex> Lock(ServedPathMu);
+  return ServedPathValue;
+}

@@ -1,0 +1,115 @@
+//===- support/Ledger.h - Longitudinal bench-result ledger -----*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The append-only JSONL ledger behind the perf-regression sentinel. Every
+/// `BENCH_<name>.json` artifact a bench writes (plus, optionally, the
+/// counters/quantiles/profile spans of a `--metrics-out` snapshot) can be
+/// ingested as one ledger row, keyed by:
+///
+///   - the artifact schema version, bench name, scale, and repeat index;
+///   - a git describe string and timestamp passed in via flags (the ledger
+///     never shells out — provenance is the caller's statement);
+///   - a host fingerprint: cpu model, core count, and the build flags the
+///     binary was compiled with (so a -O0 run can never masquerade as a
+///     regression of a -O3 baseline).
+///
+/// Rows are one JSON object per line, newest last; `oppsla_bench` renders
+/// trajectories (`list`), deltas between runs (`diff`), and the noise-aware
+/// regression gate (`gate`) on top of this file. The stats server's
+/// `GET /ledger` endpoint serves the tail of the registered ledger for live
+/// inspection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_SUPPORT_LEDGER_H
+#define OPPSLA_SUPPORT_LEDGER_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace oppsla {
+
+namespace json {
+class Value;
+} // namespace json
+
+/// Current version of both the BENCH_<name>.json artifact schema and the
+/// ledger row schema (they evolve together; a row records the version it
+/// was ingested at).
+inline constexpr int kBenchSchemaVersion = 2;
+
+/// What identifies the machine and build a ledger row was measured on.
+struct HostFingerprint {
+  std::string CpuModel;   ///< /proc/cpuinfo "model name" (or "unknown")
+  unsigned Cores = 0;     ///< std::thread::hardware_concurrency()
+  std::string BuildFlags; ///< compiler flags baked in at build time
+};
+
+/// The fingerprint of the running process (cpu model read once, cached).
+const HostFingerprint &hostFingerprint();
+
+/// One ledger row.
+struct LedgerEntry {
+  int Schema = kBenchSchemaVersion;
+  std::string Bench;
+  std::string Scale;
+  int Repeat = 0;
+  std::string GitDescribe; ///< from --git-describe (may be empty)
+  std::string Timestamp;   ///< from --timestamp (may be empty)
+  HostFingerprint Host;
+  std::map<std::string, double> Metrics; ///< name-sorted, flat numeric
+
+  /// Renders the row as one JSONL line (trailing newline included).
+  std::string renderLine() const;
+
+  /// Parses one JSONL line. \returns false with \p Error set on malformed
+  /// rows (missing bench name, non-numeric metrics, ...).
+  bool parseLine(const std::string &Line, std::string &Error);
+
+  /// Fills Bench/Scale/Repeat/Schema/Metrics from a parsed BENCH_<name>
+  /// artifact document. Accepts schema 1 artifacts (no "schema"/"repeat"
+  /// fields) for old files; \returns false with \p Error otherwise.
+  bool fromBenchArtifact(const json::Value &Doc, std::string &Error);
+};
+
+/// Folds a `--metrics-out` snapshot document into \p Metrics: every
+/// counter as-is, every gauge under `gauge.<name>`, histogram count/mean/
+/// p50/p90/p99 under `<name>.count` etc., and each profile span's self
+/// time under `profile.<path>.self_us`. Non-numeric entries are skipped.
+void foldMetricsSnapshot(const json::Value &Snapshot,
+                         std::map<std::string, double> &Metrics);
+
+/// File operations over the append-only JSONL ledger.
+namespace ledger {
+
+/// Appends one row. \returns false with \p Error when the file cannot be
+/// opened or written.
+bool append(const std::string &Path, const LedgerEntry &Entry,
+            std::string &Error);
+
+/// Reads every row, oldest first. Blank lines are skipped; a malformed
+/// line fails the read (an append-only ledger should never be hand-edited
+/// into a half-parsable state). \returns false with \p Error then.
+bool readAll(const std::string &Path, std::vector<LedgerEntry> &Out,
+             std::string &Error);
+
+/// JSON document for the stats server's `GET /ledger`: the registered
+/// path, total row count, and the newest \p MaxEntries rows (raw row
+/// objects, oldest of the tail first). A missing/empty/unregistered ledger
+/// yields a document with `"rows":0`.
+std::string tailJson(const std::string &Path, size_t MaxEntries);
+
+/// Registers the ledger path served by `GET /ledger` (the CLI's
+/// `--ledger` flag). Thread-safe; empty string unregisters.
+void setServedPath(const std::string &Path);
+std::string servedPath();
+
+} // namespace ledger
+} // namespace oppsla
+
+#endif // OPPSLA_SUPPORT_LEDGER_H

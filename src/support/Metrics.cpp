@@ -7,6 +7,8 @@
 #include "support/Metrics.h"
 
 #include "support/ArgParse.h"
+#include "support/HwCounters.h"
+#include "support/Ledger.h"
 #include "support/Logging.h"
 #include "support/Profiler.h"
 #include "support/Trace.h"
@@ -565,6 +567,15 @@ bool oppsla::telemetry::configureFromArgs(const ArgParse &Args) {
   pendingProfilePath() = ProfileOut;
   if (!ProfileOut.empty() || Args.getFlag("profile"))
     setProfilingEnabled(true);
+  if (Args.getFlag("hw-counters")) {
+    // Hardware counters only surface through profiler spans, so the flag
+    // implies profiling. Unavailability (container seccomp, paranoid
+    // sysctl) degrades to a no-op after one logged notice.
+    setProfilingEnabled(true);
+    setHwCountersEnabled(true);
+    (void)hwCountersAvailable();
+  }
+  ledger::setServedPath(Args.get("ledger", ""));
   if (!TraceOut.empty() || !MetricsOut.empty() || !ProfileOut.empty())
     installTelemetryExitHandlers();
   return true;

@@ -213,6 +213,11 @@ std::string layerTimingReport();
 ///   --profile             enable the hierarchical span profiler
 ///   --profile-out <path>  write folded stacks at finalize (implies
 ///                         --profile)
+///   --hw-counters         attach perf_event hardware counters to every
+///                         profiler span (implies --profile; no-op with a
+///                         logged notice when perf_event_open is denied)
+///   --ledger <path>       register the bench ledger served by the stats
+///                         server's GET /ledger endpoint
 /// When any file sink is configured, installs best-effort flush handlers
 /// (atexit + SIGINT/SIGTERM) so the sinks survive an interrupted run.
 /// \returns false (after logging) if the trace sink cannot be opened.

@@ -32,6 +32,10 @@ struct ProfNode {
   std::atomic<ProfNode *> NextSibling{nullptr};
   std::atomic<uint64_t> Count{0};
   std::atomic<uint64_t> TotalNs{0};
+  /// Inclusive hardware counter totals (HwCounterIndex order) and how many
+  /// completed spans contributed valid samples. Zero unless --hw-counters.
+  std::atomic<uint64_t> Hw[HwNumCounters] = {};
+  std::atomic<uint64_t> HwCount{0};
 };
 
 /// Per-thread arena: a node tree plus the enter/exit cursor. Nodes live in
@@ -76,12 +80,17 @@ struct TlsArena {
 struct MergedNode {
   uint64_t Count = 0;
   uint64_t TotalNs = 0;
+  uint64_t Hw[HwNumCounters] = {0, 0, 0, 0, 0};
+  uint64_t HwCount = 0;
   std::map<std::string, MergedNode> Children;
 };
 
 void mergeInto(MergedNode &Dst, const ProfNode &Src) {
   Dst.Count += Src.Count.load(std::memory_order_relaxed);
   Dst.TotalNs += Src.TotalNs.load(std::memory_order_relaxed);
+  for (size_t I = 0; I != HwNumCounters; ++I)
+    Dst.Hw[I] += Src.Hw[I].load(std::memory_order_relaxed);
+  Dst.HwCount += Src.HwCount.load(std::memory_order_relaxed);
   for (const ProfNode *C = Src.FirstChild.load(std::memory_order_acquire); C;
        C = C->NextSibling.load(std::memory_order_relaxed))
     mergeInto(Dst.Children[C->Name], *C);
@@ -139,6 +148,9 @@ void flatten(const MergedNode &N, const std::string &Path,
     E.Count = N.Count;
     E.TotalNs = N.TotalNs;
     E.SelfNs = N.TotalNs > ChildTotal ? N.TotalNs - ChildTotal : 0;
+    for (size_t I = 0; I != HwNumCounters; ++I)
+      E.Hw[I] = N.Hw[I];
+    E.HwCount = N.HwCount;
     Out.push_back(std::move(E));
   }
   for (const auto *KV : Order) {
@@ -188,9 +200,20 @@ ProfNode *oppsla::telemetry::profdetail::enter(ProfArena &A,
 }
 
 void oppsla::telemetry::profdetail::exit(ProfArena &A, ProfNode *N,
-                                         uint64_t Ns) {
+                                         uint64_t Ns,
+                                         const HwSample *HwStart) {
   N->Count.fetch_add(1, std::memory_order_relaxed);
   N->TotalNs.fetch_add(Ns, std::memory_order_relaxed);
+  if (HwStart && HwStart->Valid) {
+    const HwSample End = hwSample();
+    if (End.Valid) {
+      for (size_t I = 0; I != HwNumCounters; ++I)
+        if (End.Values[I] > HwStart->Values[I])
+          N->Hw[I].fetch_add(End.Values[I] - HwStart->Values[I],
+                             std::memory_order_relaxed);
+      N->HwCount.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   A.Current = N->Parent;
 }
 
@@ -233,17 +256,28 @@ std::string oppsla::telemetry::profileTextReport() {
   uint64_t GrandTotalNs = 0;
   for (const auto &[_, C] : Root.Children)
     GrandTotalNs += C.TotalNs;
+  // Hardware columns only when at least one span carried a valid sample,
+  // so runs without --hw-counters render byte-identically to before.
+  bool HaveHw = false;
+  for (const ProfileEntry &E : Entries)
+    HaveHw = HaveHw || E.HwCount > 0;
 
   std::string Out;
-  char Buf[256];
+  char Buf[320];
   std::snprintf(Buf, sizeof(Buf),
                 "profile: %zu thread%s, %zu span path%s\n", Threads,
                 Threads == 1 ? "" : "s", Entries.size(),
                 Entries.size() == 1 ? "" : "s");
   Out += Buf;
-  std::snprintf(Buf, sizeof(Buf), "  %-40s %10s %14s %12s %7s\n", "span",
+  std::snprintf(Buf, sizeof(Buf), "  %-40s %10s %14s %12s %7s", "span",
                 "count", "total ms", "self ms", "%");
   Out += Buf;
+  if (HaveHw) {
+    std::snprintf(Buf, sizeof(Buf), " %6s %8s %7s", "ipc", "c-miss%",
+                  "bm/ki");
+    Out += Buf;
+  }
+  Out += '\n';
   for (const ProfileEntry &E : Entries) {
     std::string Label(E.Depth * 2, ' ');
     Label += E.Name;
@@ -255,11 +289,31 @@ std::string oppsla::telemetry::profileTextReport() {
                   static_cast<double>(GrandTotalNs)
             : 0.0;
     std::snprintf(Buf, sizeof(Buf),
-                  "  %-40s %10" PRIu64 " %14.3f %12.3f %6.1f%%\n",
+                  "  %-40s %10" PRIu64 " %14.3f %12.3f %6.1f%%",
                   Label.c_str(), E.Count,
                   static_cast<double>(E.TotalNs) / 1e6,
                   static_cast<double>(E.SelfNs) / 1e6, Pct);
     Out += Buf;
+    if (HaveHw) {
+      if (E.Hw[HwCycles] > 0 && E.Hw[HwInstructions] > 0) {
+        const double Ipc = static_cast<double>(E.Hw[HwInstructions]) /
+                           static_cast<double>(E.Hw[HwCycles]);
+        const double CacheMiss =
+            E.Hw[HwCacheRefs] > 0
+                ? 100.0 * static_cast<double>(E.Hw[HwCacheMisses]) /
+                      static_cast<double>(E.Hw[HwCacheRefs])
+                : 0.0;
+        const double BranchMissPerKi =
+            1000.0 * static_cast<double>(E.Hw[HwBranchMisses]) /
+            static_cast<double>(E.Hw[HwInstructions]);
+        std::snprintf(Buf, sizeof(Buf), " %6.2f %7.1f%% %7.2f", Ipc,
+                      CacheMiss, BranchMissPerKi);
+      } else {
+        std::snprintf(Buf, sizeof(Buf), " %6s %8s %7s", "-", "-", "-");
+      }
+      Out += Buf;
+    }
+    Out += '\n';
   }
   return Out;
 }
@@ -304,9 +358,27 @@ std::string oppsla::telemetry::profileJson() {
     }
     std::snprintf(Buf, sizeof(Buf),
                   "\",\"count\":%" PRIu64 ",\"total_us\":%" PRIu64
-                  ",\"self_us\":%" PRIu64 "}",
+                  ",\"self_us\":%" PRIu64,
                   E.Count, E.TotalNs / 1000, E.SelfNs / 1000);
     Out += Buf;
+    if (E.HwCount > 0) {
+      std::snprintf(Buf, sizeof(Buf), ",\"hw\":{\"sampled\":%" PRIu64,
+                    E.HwCount);
+      Out += Buf;
+      for (size_t I = 0; I != HwNumCounters; ++I) {
+        std::snprintf(Buf, sizeof(Buf), ",\"%s\":%" PRIu64,
+                      hwCounterName(I), E.Hw[I]);
+        Out += Buf;
+      }
+      if (E.Hw[HwCycles] > 0) {
+        std::snprintf(Buf, sizeof(Buf), ",\"ipc\":%.4f",
+                      static_cast<double>(E.Hw[HwInstructions]) /
+                          static_cast<double>(E.Hw[HwCycles]));
+        Out += Buf;
+      }
+      Out += '}';
+    }
+    Out += '}';
   }
   Out += "]}";
   return Out;

@@ -36,6 +36,8 @@
 #ifndef OPPSLA_SUPPORT_PROFILER_H
 #define OPPSLA_SUPPORT_PROFILER_H
 
+#include "support/HwCounters.h"
+
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -61,8 +63,11 @@ ProfArena &arena();
 /// if needed) and returns it.
 ProfNode *enter(ProfArena &A, const char *Name);
 /// Records one completed span of \p Ns nanoseconds on \p N and moves the
-/// cursor back to its parent.
-void exit(ProfArena &A, ProfNode *N, uint64_t Ns);
+/// cursor back to its parent. \p HwStart (optional) is the hardware
+/// counter snapshot taken at span entry; the exit snapshot is read here
+/// and the deltas accumulate on the node (inclusive, like TotalNs).
+void exit(ProfArena &A, ProfNode *N, uint64_t Ns,
+          const HwSample *HwStart = nullptr);
 
 inline uint64_t nowNs() {
   return static_cast<uint64_t>(
@@ -83,11 +88,14 @@ public:
       return;
     A = &profdetail::arena();
     Node = profdetail::enter(*A, Name);
+    if (hwCountersEnabled())
+      HwStart = hwSample();
     StartNs = profdetail::nowNs();
   }
   ~ProfileScope() {
     if (Node)
-      profdetail::exit(*A, Node, profdetail::nowNs() - StartNs);
+      profdetail::exit(*A, Node, profdetail::nowNs() - StartNs,
+                       HwStart.Valid ? &HwStart : nullptr);
   }
   ProfileScope(const ProfileScope &) = delete;
   ProfileScope &operator=(const ProfileScope &) = delete;
@@ -96,6 +104,7 @@ private:
   profdetail::ProfArena *A = nullptr;
   profdetail::ProfNode *Node = nullptr;
   uint64_t StartNs = 0;
+  HwSample HwStart;
 };
 
 /// Returns a stable `const char *` for a dynamic span name (e.g. an attack
@@ -111,6 +120,11 @@ struct ProfileEntry {
   uint64_t Count = 0;   ///< completed spans on this path
   uint64_t TotalNs = 0; ///< inclusive time
   uint64_t SelfNs = 0;  ///< TotalNs minus children's TotalNs
+  /// Inclusive hardware counter totals (slot order of HwCounterIndex) over
+  /// the HwCount spans that carried valid samples; all zero when
+  /// --hw-counters was off or perf_event_open is unavailable.
+  uint64_t Hw[HwNumCounters] = {0, 0, 0, 0, 0};
+  uint64_t HwCount = 0; ///< completed spans with valid hw samples
 };
 
 /// Merges all thread arenas by call-path content. Entries are emitted

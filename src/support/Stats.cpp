@@ -36,12 +36,22 @@ double oppsla::median(std::vector<double> Values) {
 }
 
 double oppsla::quantile(std::vector<double> Values, double Q) {
-  assert(Q >= 0.0 && Q <= 1.0 && "quantile outside [0,1]");
+  // NaN samples must not poison every percentile of the histogram report
+  // (and sorting a range containing NaN is unordered); drop them.
+  Values.erase(std::remove_if(Values.begin(), Values.end(),
+                              [](double V) { return std::isnan(V); }),
+               Values.end());
   if (Values.empty())
     return 0.0;
-  std::sort(Values.begin(), Values.end());
   if (Values.size() == 1)
     return Values.front();
+  // Clamp out-of-range (or NaN) Q: the old assert compiled away in
+  // release builds, where Q > 1 interpolated off the end of the array.
+  if (!(Q > 0.0))
+    Q = 0.0;
+  if (Q > 1.0)
+    Q = 1.0;
+  std::sort(Values.begin(), Values.end());
   double Rank = Q * static_cast<double>(Values.size() - 1);
   auto Lo = static_cast<size_t>(Rank);
   size_t Hi = std::min(Lo + 1, Values.size() - 1);

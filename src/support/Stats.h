@@ -31,8 +31,10 @@ double stddev(const std::vector<double> &Values);
 /// 0 for an empty vector. Does not modify the input.
 double median(std::vector<double> Values);
 
-/// Returns the \p Q quantile (0 <= Q <= 1) using linear interpolation
-/// between closest ranks; 0 for an empty vector.
+/// Returns the \p Q quantile using linear interpolation between closest
+/// ranks. Total: never NaN. NaN samples are dropped; an empty (or all-NaN)
+/// vector yields 0; a single sample is returned for every Q; out-of-range
+/// or NaN Q clamps into [0, 1].
 double quantile(std::vector<double> Values, double Q);
 
 /// Welford online mean/variance accumulator.

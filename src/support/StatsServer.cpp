@@ -6,6 +6,8 @@
 
 #include "support/StatsServer.h"
 
+#include "support/HwCounters.h"
+#include "support/Ledger.h"
 #include "support/Logging.h"
 #include "support/Metrics.h"
 #include "support/Profiler.h"
@@ -20,6 +22,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 using namespace oppsla;
@@ -90,6 +93,24 @@ std::string readRequestTarget(int Fd) {
   return std::string(Start, End);
 }
 
+/// The `GET /ledger` payload: the tail of the registered bench ledger
+/// (see `--ledger`) plus the hardware-counter state and the per-span
+/// profile snapshot carrying IPC/miss-rate attribution when --hw-counters
+/// recorded samples.
+std::string ledgerEndpointJson() {
+  std::string Out = "{\"ledger\":";
+  Out += oppsla::ledger::tailJson(oppsla::ledger::servedPath(),
+                                  /*MaxEntries=*/32);
+  Out += ",\"hw_counters\":{\"enabled\":";
+  Out += hwCountersEnabled() ? "true" : "false";
+  Out += ",\"available\":";
+  Out += (hwCountersEnabled() && hwCountersAvailable()) ? "true" : "false";
+  Out += "},\"profile\":";
+  Out += profileJson();
+  Out += "}";
+  return Out;
+}
+
 } // namespace
 
 StatsServer::~StatsServer() { stop(); }
@@ -158,6 +179,13 @@ void StatsServer::serveLoop() {
       return;
     }
 
+    // One accept thread serves everyone, so a stalled or malicious client
+    // must never wedge the loop: bound both directions of every exchange.
+    timeval Timeout = {};
+    Timeout.tv_sec = 5;
+    ::setsockopt(Client, SOL_SOCKET, SO_RCVTIMEO, &Timeout, sizeof(Timeout));
+    ::setsockopt(Client, SOL_SOCKET, SO_SNDTIMEO, &Timeout, sizeof(Timeout));
+
     const std::string Target = readRequestTarget(Client);
     if (Target == "/metrics") {
       sendResponse(Client, "200 OK",
@@ -168,6 +196,9 @@ void StatsServer::serveLoop() {
                    profileFoldedReport());
     } else if (Target == "/healthz") {
       sendResponse(Client, "200 OK", "application/json", healthzJson());
+    } else if (Target == "/ledger") {
+      sendResponse(Client, "200 OK", "application/json",
+                   ledgerEndpointJson());
     } else if (Target == "/quitquitquit") {
       Quit.store(true, std::memory_order_relaxed);
       sendResponse(Client, "200 OK", "text/plain; charset=utf-8",

@@ -15,6 +15,9 @@
 ///   GET /profile       the profiler's current folded stacks (text);
 ///   GET /healthz       run progress JSON (done/total, success rate,
 ///                      avg queries, elapsed, ETA);
+///   GET /ledger        the tail of the registered bench ledger
+///                      (`--ledger`) plus hardware-counter state and the
+///                      per-span profile snapshot with IPC/miss rates;
 ///   GET /quitquitquit  asks the server's owner to stop lingering (used
 ///                      by tests scraping a finished run).
 ///

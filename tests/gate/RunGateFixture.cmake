@@ -1,0 +1,54 @@
+# Drives `oppsla_bench gate` against the synthetic fixtures and asserts
+# the sentinel's contract: exit code 0/1 per the manifest's rules, and a
+# failure report that names the offending <bench>.<metric>.
+#
+# Inputs: GATE (oppsla_bench binary), FIXTURES (tests/gate/fixtures dir),
+# MODE (pass | regress | drift).
+if(MODE STREQUAL "pass")
+  # Three repeats: 880 / 980 / 1010 images/sec. The first repeat alone is
+  # 12% under baseline and would fail — the median (980) must absorb that
+  # noise and pass. This is the median-of-N rule doing its job.
+  set(ARTIFACTS
+    ${FIXTURES}/run_pass_r0.json
+    ${FIXTURES}/run_pass_r1.json
+    ${FIXTURES}/run_pass_r2.json)
+  set(WANT_RC 0)
+  set(WANT_IN_REPORT "gate: PASS")
+elseif(MODE STREQUAL "regress")
+  # 850 images/sec vs a 1000 baseline under a 10% tolerance: fail, and the
+  # report must name the throughput metric.
+  set(ARTIFACTS ${FIXTURES}/run_throughput_regress.json)
+  set(WANT_RC 1)
+  set(WANT_IN_REPORT "gate_fixture.images_per_sec")
+elseif(MODE STREQUAL "drift")
+  # avg_queries moved 42.5 -> 77 under an exact-match rule: attack results
+  # are pure functions of (seed, image), so any drift is a correctness
+  # change, not noise.
+  set(ARTIFACTS ${FIXTURES}/run_avgqueries_drift.json)
+  set(WANT_RC 1)
+  set(WANT_IN_REPORT "gate_fixture.avg_queries")
+else()
+  message(FATAL_ERROR "unknown MODE '${MODE}'")
+endif()
+
+execute_process(
+  COMMAND ${GATE} gate --baselines ${FIXTURES} ${ARTIFACTS}
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE ERR
+  RESULT_VARIABLE RC)
+if(NOT RC EQUAL ${WANT_RC})
+  message(FATAL_ERROR
+    "gate exited ${RC}, expected ${WANT_RC} in mode '${MODE}':\n${OUT}\n${ERR}")
+endif()
+if(NOT OUT MATCHES "${WANT_IN_REPORT}")
+  message(FATAL_ERROR
+    "gate report lacks '${WANT_IN_REPORT}' in mode '${MODE}':\n${OUT}")
+endif()
+
+if(MODE STREQUAL "regress")
+  # The exact-ruled metrics were untouched; the report must not blame them.
+  if(OUT MATCHES "gate_fixture\\.avg_queries" AND OUT MATCHES "FAIL —.*avg_queries")
+    message(FATAL_ERROR "regress mode wrongly failed avg_queries:\n${OUT}")
+  endif()
+endif()
+message(STATUS "gate fixture mode '${MODE}' OK")

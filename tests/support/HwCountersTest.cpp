@@ -1,0 +1,174 @@
+//===- tests/support/HwCountersTest.cpp - perf_event counter tests ------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The hardware-counter layer must work in two worlds: on bare metal where
+// perf_event_open succeeds, and in containers where it is denied (seccomp
+// EPERM/ENOSYS or perf_event_paranoid EACCES). These tests assert the
+// contract that holds in both: sampling never throws, never blocks, and
+// degrades to invalid (ignored) samples rather than garbage — whichever
+// world the test host happens to be.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/HwCounters.h"
+#include "support/Profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+using namespace oppsla;
+using namespace oppsla::telemetry;
+
+namespace {
+
+/// Enables the subsystem for one test body and restores the previous
+/// state afterwards (other tests expect the default-off gate).
+class EnabledGuard {
+public:
+  EnabledGuard() : Was(hwCountersEnabled()) { setHwCountersEnabled(true); }
+  ~EnabledGuard() { setHwCountersEnabled(Was); }
+
+private:
+  bool Was;
+};
+
+/// Burns a few hundred thousand instructions so a working counter group
+/// has something to count.
+uint64_t spin() {
+  volatile uint64_t Acc = 1;
+  for (int I = 0; I != 200000; ++I)
+    Acc = Acc * 33 + 7;
+  return Acc;
+}
+
+} // namespace
+
+TEST(HwCounters, SlotNamesAreStable) {
+  EXPECT_STREQ(hwCounterName(HwInstructions), "instructions");
+  EXPECT_STREQ(hwCounterName(HwCycles), "cycles");
+  EXPECT_STREQ(hwCounterName(HwCacheRefs), "cache_refs");
+  EXPECT_STREQ(hwCounterName(HwCacheMisses), "cache_misses");
+  EXPECT_STREQ(hwCounterName(HwBranchMisses), "branch_misses");
+  EXPECT_STREQ(hwCounterName(HwNumCounters), "");
+}
+
+TEST(HwCounters, DisabledMeansInvalidSamples) {
+  setHwCountersEnabled(false);
+  EXPECT_FALSE(hwCountersEnabled());
+  const HwSample S = hwSample();
+  EXPECT_FALSE(S.Valid) << "sampling while disabled must be a no-op";
+}
+
+TEST(HwCounters, EnabledSamplingNeverThrowsWhereverItRuns) {
+  EnabledGuard G;
+  EXPECT_TRUE(hwCountersEnabled());
+
+  const bool Available = hwCountersAvailable();
+  const HwSample A = hwSample();
+  spin();
+  const HwSample B = hwSample();
+
+  if (!Available) {
+    // The containerized world: the probe latched unavailable and every
+    // sample is invalid, forever, with no crash and no syscall storm.
+    EXPECT_FALSE(A.Valid);
+    EXPECT_FALSE(B.Valid);
+    EXPECT_FALSE(hwCountersAvailable()) << "unavailability must latch";
+  } else if (A.Valid && B.Valid) {
+    // The bare-metal world: cumulative counters move forward.
+    EXPECT_GE(B.Values[HwInstructions], A.Values[HwInstructions]);
+    EXPECT_GE(B.Values[HwCycles], A.Values[HwCycles]);
+  }
+}
+
+TEST(HwCounters, ScopeAccumulatesOrLeavesUntouched) {
+  EnabledGuard G;
+  uint64_t Accum[HwNumCounters];
+  std::memset(Accum, 0, sizeof(Accum));
+  {
+    HwCountersScope Scope(Accum);
+    spin();
+  }
+  if (!hwCountersAvailable()) {
+    for (size_t I = 0; I != HwNumCounters; ++I)
+      EXPECT_EQ(Accum[I], 0u) << hwCounterName(I)
+                              << " must stay untouched without perf";
+  } else if (Accum[HwInstructions] != 0) {
+    // 200k multiply-add iterations cannot execute in fewer than 200k
+    // instructions.
+    EXPECT_GT(Accum[HwInstructions], 200000u);
+  }
+}
+
+TEST(HwCounters, NullAccumulatorIsSafe) {
+  EnabledGuard G;
+  HwCountersScope Scope(nullptr);
+  spin();
+  // Destructor must not dereference the null accumulator.
+}
+
+TEST(HwCounters, PerThreadGroupsDoNotInterfere) {
+  EnabledGuard G;
+  // Each thread opens (or fails to open) its own group lazily; racing
+  // first-use from many threads must neither crash nor deadlock.
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != 8; ++T)
+    Threads.emplace_back([] {
+      for (int I = 0; I != 50; ++I) {
+        const HwSample S = hwSample();
+        (void)S;
+        spin();
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+TEST(HwCounters, DeltaSummaryFormats) {
+  uint64_t Delta[HwNumCounters] = {0, 0, 0, 0, 0};
+  EXPECT_TRUE(hwDeltaSummary(Delta).empty())
+      << "zero instructions means nothing to report";
+
+  Delta[HwInstructions] = 2000000;
+  Delta[HwCycles] = 1000000;
+  Delta[HwCacheRefs] = 100000;
+  Delta[HwCacheMisses] = 5000;
+  Delta[HwBranchMisses] = 4000;
+  const std::string S = hwDeltaSummary(Delta);
+  EXPECT_NE(S.find("ipc=2.00"), std::string::npos) << S;
+  EXPECT_NE(S.find("cache-miss=5.0%"), std::string::npos) << S;
+  EXPECT_NE(S.find("branch-miss/ki=2.00"), std::string::npos) << S;
+}
+
+TEST(HwCounters, ProfileScopeCarriesHwWithoutChangingShape) {
+  // A profiled region with --hw-counters on: the profile tree must be
+  // structurally identical to the counters-off world; hw data appears
+  // only in the per-entry Hw fields (and only where sampling worked).
+  resetProfiler();
+  setProfilingEnabled(true);
+  {
+    EnabledGuard G;
+    ProfileScope Outer("hwtest.outer");
+    ProfileScope Inner("hwtest.inner");
+    spin();
+  }
+  const std::vector<ProfileEntry> Entries = profileSnapshot();
+  setProfilingEnabled(false);
+  resetProfiler();
+
+  ASSERT_EQ(Entries.size(), 2u);
+  for (const ProfileEntry &E : Entries) {
+    if (E.HwCount == 0) {
+      for (size_t I = 0; I != HwNumCounters; ++I)
+        EXPECT_EQ(E.Hw[I], 0u);
+    } else {
+      EXPECT_TRUE(hwCountersAvailable());
+    }
+  }
+}

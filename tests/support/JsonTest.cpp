@@ -1,0 +1,137 @@
+//===- tests/support/JsonTest.cpp - JSON document model tests -----------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The reading-side JSON model behind the bench ledger and the regression
+// gate: parser acceptance/rejection, escape handling, key order, and the
+// writer helpers (escape / appendNumber) the ledger rows are rendered with.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+using namespace oppsla;
+
+namespace {
+
+json::Value parseOk(const std::string &Text) {
+  json::Value V;
+  std::string Error;
+  EXPECT_TRUE(json::parse(Text, V, Error)) << Text << ": " << Error;
+  return V;
+}
+
+std::string parseErr(const std::string &Text) {
+  json::Value V;
+  std::string Error;
+  EXPECT_FALSE(json::parse(Text, V, Error)) << "accepted: " << Text;
+  return Error;
+}
+
+} // namespace
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parseOk("null").isNull());
+  EXPECT_TRUE(parseOk("true").boolean());
+  EXPECT_FALSE(parseOk("false").boolean());
+  EXPECT_DOUBLE_EQ(parseOk("42").number(), 42.0);
+  EXPECT_DOUBLE_EQ(parseOk("-0.5").number(), -0.5);
+  EXPECT_DOUBLE_EQ(parseOk("1.25e3").number(), 1250.0);
+  EXPECT_EQ(parseOk("\"hi\"").str(), "hi");
+  EXPECT_EQ(parseOk("  \" spaced \"  ").str(), " spaced ");
+}
+
+TEST(Json, ParsesEscapes) {
+  EXPECT_EQ(parseOk(R"("a\"b\\c\/d\n\t")").str(), "a\"b\\c/d\n\t");
+  // \u escapes: ASCII, two-byte, and three-byte UTF-8 encodings.
+  EXPECT_EQ(parseOk(R"("A")").str(), "A");
+  EXPECT_EQ(parseOk(R"("é")").str(), "\xc3\xa9");
+  EXPECT_EQ(parseOk(R"("€")").str(), "\xe2\x82\xac");
+}
+
+TEST(Json, ParsesContainers) {
+  const json::Value A = parseOk("[1, [2, 3], {\"k\": 4}]");
+  ASSERT_TRUE(A.isArray());
+  ASSERT_EQ(A.array().size(), 3u);
+  EXPECT_DOUBLE_EQ(A.array()[0].number(), 1.0);
+  EXPECT_DOUBLE_EQ(A.array()[1].array()[1].number(), 3.0);
+  EXPECT_DOUBLE_EQ(A.array()[2].getNumber("k"), 4.0);
+
+  EXPECT_TRUE(parseOk("[]").array().empty());
+  EXPECT_TRUE(parseOk("{}").members().empty());
+}
+
+TEST(Json, ObjectKeepsKeyOrderAndLookupWorks) {
+  const json::Value O = parseOk(R"({"z": 1, "a": "two", "m": true})");
+  ASSERT_TRUE(O.isObject());
+  ASSERT_EQ(O.members().size(), 3u);
+  EXPECT_EQ(O.members()[0].first, "z");
+  EXPECT_EQ(O.members()[1].first, "a");
+  EXPECT_EQ(O.members()[2].first, "m");
+
+  EXPECT_DOUBLE_EQ(O.getNumber("z"), 1.0);
+  EXPECT_EQ(O.getString("a"), "two");
+  ASSERT_NE(O.find("m"), nullptr);
+  EXPECT_TRUE(O.find("m")->boolean());
+  EXPECT_EQ(O.find("missing"), nullptr);
+  // Typed getters fall back on kind mismatch, not just absence.
+  EXPECT_DOUBLE_EQ(O.getNumber("a", -1.0), -1.0);
+  EXPECT_EQ(O.getString("z", "dflt"), "dflt");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  parseErr("");
+  parseErr("{");
+  parseErr("[1, 2");
+  parseErr("{\"a\": }");
+  parseErr("{\"a\": 1,}"); // trailing comma
+  parseErr("[1, 2,]");
+  parseErr("'single'");
+  parseErr("{\"a\" 1}");
+  parseErr("nul");
+  parseErr("\"unterminated");
+  parseErr("1 2");           // trailing content
+  parseErr("{} garbage");    // trailing content after document
+  const std::string Error = parseErr("{\"a\": tru}");
+  EXPECT_NE(Error.find("offset"), std::string::npos) << Error;
+}
+
+TEST(Json, RejectsRunawayNesting) {
+  std::string Deep(100, '[');
+  Deep += std::string(100, ']');
+  parseErr(Deep);
+}
+
+TEST(Json, EscapeHelperRoundTrips) {
+  std::string Out;
+  json::escape(Out, "a\"b\\c\nd\te\x01");
+  // Escaped text re-parses to the original bytes.
+  json::Value V;
+  std::string Error;
+  ASSERT_TRUE(json::parse("\"" + Out + "\"", V, Error)) << Error;
+  EXPECT_EQ(V.str(), "a\"b\\c\nd\te\x01");
+}
+
+TEST(Json, AppendNumberMatchesWriterConventions) {
+  std::string Out;
+  json::appendNumber(Out, 0.25);
+  EXPECT_EQ(Out, "0.25");
+  Out.clear();
+  json::appendNumber(Out, 1234567.0);
+  EXPECT_EQ(Out, "1234567");
+  // Non-finite numbers are not representable in JSON; null keeps the
+  // document parseable.
+  Out.clear();
+  json::appendNumber(Out, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(Out, "null");
+  Out.clear();
+  json::appendNumber(Out, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(Out, "null");
+}

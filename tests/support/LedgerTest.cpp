@@ -1,0 +1,242 @@
+//===- tests/support/LedgerTest.cpp - Bench ledger tests ----------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The perf-regression sentinel's storage layer: ledger row render/parse
+// round trips, artifact ingestion (schema 1 and 2), the --metrics-out
+// snapshot folding rules, append/readAll over a real file, and the
+// /ledger tail document.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+#include "support/Ledger.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+using namespace oppsla;
+
+namespace {
+
+/// A self-deleting temp file path under the test's working directory.
+class TempFile {
+public:
+  explicit TempFile(const std::string &Name)
+      : Path(::testing::TempDir() + "/" + Name) {
+    std::remove(Path.c_str());
+  }
+  ~TempFile() { std::remove(Path.c_str()); }
+  const std::string &path() const { return Path; }
+
+private:
+  std::string Path;
+};
+
+json::Value parseDoc(const std::string &Text) {
+  json::Value V;
+  std::string Error;
+  EXPECT_TRUE(json::parse(Text, V, Error)) << Error;
+  return V;
+}
+
+LedgerEntry sampleEntry() {
+  LedgerEntry E;
+  E.Bench = "batch_throughput";
+  E.Scale = "smoke";
+  E.Repeat = 2;
+  E.GitDescribe = "v1-4-gabc";
+  E.Timestamp = "2026-08-09T12:00:00Z";
+  E.Host.CpuModel = "Test CPU \"quoted\"";
+  E.Host.Cores = 8;
+  E.Host.BuildFlags = "Release: -O3";
+  E.Metrics = {{"best_images_per_sec", 123.5}, {"runs", 8.0}};
+  return E;
+}
+
+} // namespace
+
+TEST(Ledger, RowRoundTrips) {
+  const LedgerEntry E = sampleEntry();
+  const std::string Line = E.renderLine();
+  ASSERT_FALSE(Line.empty());
+  EXPECT_EQ(Line.back(), '\n');
+
+  LedgerEntry Back;
+  std::string Error;
+  ASSERT_TRUE(Back.parseLine(Line, Error)) << Error;
+  EXPECT_EQ(Back.Schema, kBenchSchemaVersion);
+  EXPECT_EQ(Back.Bench, E.Bench);
+  EXPECT_EQ(Back.Scale, E.Scale);
+  EXPECT_EQ(Back.Repeat, E.Repeat);
+  EXPECT_EQ(Back.GitDescribe, E.GitDescribe);
+  EXPECT_EQ(Back.Timestamp, E.Timestamp);
+  EXPECT_EQ(Back.Host.CpuModel, E.Host.CpuModel);
+  EXPECT_EQ(Back.Host.Cores, E.Host.Cores);
+  EXPECT_EQ(Back.Host.BuildFlags, E.Host.BuildFlags);
+  EXPECT_EQ(Back.Metrics, E.Metrics);
+}
+
+TEST(Ledger, ParseLineRejectsMalformedRows) {
+  LedgerEntry E;
+  std::string Error;
+  EXPECT_FALSE(E.parseLine("not json", Error));
+  EXPECT_FALSE(E.parseLine("[1,2]", Error)) << "row must be an object";
+  EXPECT_FALSE(E.parseLine(R"({"schema":2,"scale":"smoke"})", Error))
+      << "bench name is mandatory";
+  EXPECT_FALSE(E.parseLine(
+      R"({"schema":2,"bench":"b","scale":"s","metrics":{"m":"oops"}})",
+      Error))
+      << "metrics must be numeric";
+}
+
+TEST(Ledger, FromBenchArtifactReadsSchema2) {
+  const json::Value Doc = parseDoc(
+      R"({"schema":2,"name":"micro_core","scale":"small","repeat":3,)"
+      R"("metrics":{"a_ns":12.5,"b_ns":7}})");
+  LedgerEntry E;
+  std::string Error;
+  ASSERT_TRUE(E.fromBenchArtifact(Doc, Error)) << Error;
+  EXPECT_EQ(E.Schema, 2);
+  EXPECT_EQ(E.Bench, "micro_core");
+  EXPECT_EQ(E.Scale, "small");
+  EXPECT_EQ(E.Repeat, 3);
+  ASSERT_EQ(E.Metrics.size(), 2u);
+  EXPECT_DOUBLE_EQ(E.Metrics.at("a_ns"), 12.5);
+  // The host fingerprint is stamped at ingest time, not read from the
+  // artifact.
+  EXPECT_EQ(E.Host.Cores, hostFingerprint().Cores);
+}
+
+TEST(Ledger, FromBenchArtifactAcceptsSchema1) {
+  // Pre-sentinel artifacts had no "schema"/"repeat" fields.
+  const json::Value Doc =
+      parseDoc(R"({"name":"legacy","scale":"smoke","metrics":{"x":1}})");
+  LedgerEntry E;
+  std::string Error;
+  ASSERT_TRUE(E.fromBenchArtifact(Doc, Error)) << Error;
+  EXPECT_EQ(E.Schema, 1);
+  EXPECT_EQ(E.Repeat, 0);
+  EXPECT_EQ(E.Bench, "legacy");
+}
+
+TEST(Ledger, FromBenchArtifactRejectsBrokenDocs) {
+  LedgerEntry E;
+  std::string Error;
+  EXPECT_FALSE(
+      E.fromBenchArtifact(parseDoc(R"({"scale":"s","metrics":{}})"), Error));
+  EXPECT_FALSE(E.fromBenchArtifact(
+      parseDoc(R"({"name":"n","scale":"s","metrics":[1]})"), Error))
+      << "metrics must be an object";
+  EXPECT_FALSE(E.fromBenchArtifact(parseDoc("[]"), Error));
+}
+
+TEST(Ledger, FoldsMetricsSnapshot) {
+  // The shape --metrics-out writes: counters, gauges, histograms with a
+  // quantile block, and the profiler's span array.
+  const json::Value Snapshot = parseDoc(R"({
+    "counters": {"engine.queries": 240, "weird": "skip-me"},
+    "gauges": {"sweep.progress": 0.5},
+    "histograms": {
+      "engine.batch.size": {"count": 31, "mean": 3.1, "p50": 2, "p90": 8,
+                            "p99": 8, "sum": 96.1}
+    },
+    "profile": {
+      "threads": 1,
+      "spans": [
+        {"path": "eval;engine.query", "self_us": 1200.5, "count": 240},
+        {"path": "eval", "self_us": 99.5}
+      ]
+    }
+  })");
+  std::map<std::string, double> M;
+  foldMetricsSnapshot(Snapshot, M);
+  EXPECT_DOUBLE_EQ(M.at("engine.queries"), 240.0);
+  EXPECT_EQ(M.count("weird"), 0u) << "non-numeric counters are skipped";
+  EXPECT_DOUBLE_EQ(M.at("gauge.sweep.progress"), 0.5);
+  EXPECT_DOUBLE_EQ(M.at("engine.batch.size.count"), 31.0);
+  EXPECT_DOUBLE_EQ(M.at("engine.batch.size.mean"), 3.1);
+  EXPECT_DOUBLE_EQ(M.at("engine.batch.size.p90"), 8.0);
+  EXPECT_DOUBLE_EQ(M.at("profile.eval;engine.query.self_us"), 1200.5);
+  EXPECT_DOUBLE_EQ(M.at("profile.eval.self_us"), 99.5);
+}
+
+TEST(Ledger, AppendAndReadAllRoundTrip) {
+  TempFile F("ledger_roundtrip.jsonl");
+  std::string Error;
+  LedgerEntry A = sampleEntry();
+  LedgerEntry B = sampleEntry();
+  B.GitDescribe = "v1-5-gdef";
+  B.Metrics["best_images_per_sec"] = 150.0;
+  ASSERT_TRUE(ledger::append(F.path(), A, Error)) << Error;
+  ASSERT_TRUE(ledger::append(F.path(), B, Error)) << Error;
+
+  std::vector<LedgerEntry> Rows;
+  ASSERT_TRUE(ledger::readAll(F.path(), Rows, Error)) << Error;
+  ASSERT_EQ(Rows.size(), 2u);
+  EXPECT_EQ(Rows[0].GitDescribe, "v1-4-gabc");
+  EXPECT_EQ(Rows[1].GitDescribe, "v1-5-gdef");
+  EXPECT_DOUBLE_EQ(Rows[1].Metrics.at("best_images_per_sec"), 150.0);
+}
+
+TEST(Ledger, ReadAllFailsOnCorruptLineWithLocation) {
+  TempFile F("ledger_corrupt.jsonl");
+  {
+    std::ofstream Out(F.path());
+    Out << sampleEntry().renderLine() << "\n" // blank line is fine
+        << "{\"bench\": \n";                  // line 3 is broken
+  }
+  std::vector<LedgerEntry> Rows;
+  std::string Error;
+  EXPECT_FALSE(ledger::readAll(F.path(), Rows, Error));
+  EXPECT_NE(Error.find(":3"), std::string::npos)
+      << "error should carry the line number: " << Error;
+}
+
+TEST(Ledger, TailJsonServesNewestRows) {
+  TempFile F("ledger_tail.jsonl");
+  std::string Error;
+  for (int I = 0; I != 5; ++I) {
+    LedgerEntry E = sampleEntry();
+    E.Repeat = I;
+    ASSERT_TRUE(ledger::append(F.path(), E, Error)) << Error;
+  }
+  const std::string Doc = ledger::tailJson(F.path(), 2);
+  json::Value V;
+  ASSERT_TRUE(json::parse(Doc, V, Error)) << Error << "\n" << Doc;
+  EXPECT_DOUBLE_EQ(V.getNumber("rows"), 5.0);
+  const json::Value *Entries = V.find("entries");
+  ASSERT_NE(Entries, nullptr);
+  ASSERT_TRUE(Entries->isArray());
+  ASSERT_EQ(Entries->array().size(), 2u);
+  // Oldest of the tail first: repeats 3 then 4.
+  EXPECT_DOUBLE_EQ(Entries->array()[0].getNumber("repeat"), 3.0);
+  EXPECT_DOUBLE_EQ(Entries->array()[1].getNumber("repeat"), 4.0);
+}
+
+TEST(Ledger, TailJsonOnMissingPathIsEmptyDocument) {
+  const std::string Doc = ledger::tailJson("/nonexistent/ledger.jsonl", 8);
+  json::Value V;
+  std::string Error;
+  ASSERT_TRUE(json::parse(Doc, V, Error)) << Error << "\n" << Doc;
+  EXPECT_DOUBLE_EQ(V.getNumber("rows"), 0.0);
+}
+
+TEST(Ledger, ServedPathIsSticky) {
+  ledger::setServedPath("/tmp/some_ledger.jsonl");
+  EXPECT_EQ(ledger::servedPath(), "/tmp/some_ledger.jsonl");
+  ledger::setServedPath("");
+  EXPECT_EQ(ledger::servedPath(), "");
+}
+
+TEST(Ledger, HostFingerprintIsPopulated) {
+  const HostFingerprint &H = hostFingerprint();
+  EXPECT_FALSE(H.CpuModel.empty());
+  EXPECT_GT(H.Cores, 0u);
+  EXPECT_FALSE(H.BuildFlags.empty());
+}

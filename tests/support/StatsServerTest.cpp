@@ -11,6 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Ledger.h"
 #include "support/Metrics.h"
 #include "support/Profiler.h"
 #include "support/Progress.h"
@@ -24,8 +25,10 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdio>
 #include <string>
 #include <thread>
+#include <vector>
 
 using namespace oppsla;
 
@@ -158,6 +161,90 @@ TEST(StatsServer, QuitEndpointReleasesWait) {
   EXPECT_TRUE(S.waitQuit(5.0));
   EXPECT_TRUE(S.quitRequested());
   S.stop();
+}
+
+TEST(StatsServer, ServesLedgerEndpoint) {
+  // With no ledger registered the endpoint still answers with a valid,
+  // empty document plus the hw-counter availability block.
+  ledger::setServedPath("");
+  telemetry::StatsServer S;
+  ASSERT_TRUE(S.start(0));
+  std::string Body = bodyOf(httpGet(S.port(), "/ledger"));
+  EXPECT_NE(Body.find("\"rows\":0"), std::string::npos) << Body;
+  EXPECT_NE(Body.find("\"hw_counters\""), std::string::npos) << Body;
+
+  // Register a real ledger file and scrape again: the tail must appear.
+  const std::string Path = ::testing::TempDir() + "/statsserver_ledger.jsonl";
+  std::remove(Path.c_str());
+  LedgerEntry E;
+  E.Bench = "statstest_bench";
+  E.Scale = "smoke";
+  E.Metrics["m"] = 1.5;
+  std::string Error;
+  ASSERT_TRUE(ledger::append(Path, E, Error)) << Error;
+  ledger::setServedPath(Path);
+  Body = bodyOf(httpGet(S.port(), "/ledger"));
+  S.stop();
+  ledger::setServedPath("");
+  std::remove(Path.c_str());
+
+  EXPECT_NE(Body.find("\"rows\":1"), std::string::npos) << Body;
+  EXPECT_NE(Body.find("statstest_bench"), std::string::npos) << Body;
+}
+
+TEST(StatsServer, ConcurrentScrapersDuringSweep) {
+  // The hardening contract for the single accept loop: eight scraper
+  // threads hammering all three live endpoints while a worker publishes
+  // progress must all get complete, well-formed responses — no torn
+  // payloads, no wedged server, no crash.
+  ledger::setServedPath("");
+  telemetry::StatsServer S;
+  ASSERT_TRUE(S.start(0));
+
+  std::atomic<bool> Stop{false};
+  telemetry::progressBegin("statstest-concurrent", 100000);
+  std::thread Worker([&Stop] {
+    while (!Stop.load())
+      telemetry::progressItem(true, true, 3);
+  });
+
+  constexpr int NumScrapers = 8;
+  constexpr int GetsPerScraper = 25;
+  std::atomic<int> Failures{0};
+  std::vector<std::thread> Scrapers;
+  for (int T = 0; T != NumScrapers; ++T)
+    Scrapers.emplace_back([&, T] {
+      const char *Targets[] = {"/metrics", "/healthz", "/ledger"};
+      for (int I = 0; I != GetsPerScraper; ++I) {
+        const std::string Target = Targets[(T + I) % 3];
+        const std::string Resp = httpGet(S.port(), Target);
+        if (Resp.find("HTTP/1.1 200 OK") == std::string::npos) {
+          ++Failures;
+          continue;
+        }
+        const std::string Body = bodyOf(Resp);
+        bool Ok = true;
+        if (Target == std::string("/metrics"))
+          Ok = Body.find("# TYPE") != std::string::npos;
+        else if (Target == std::string("/healthz"))
+          Ok = Body.find("\"status\":\"ok\"") != std::string::npos;
+        else
+          Ok = Body.find("\"ledger\"") != std::string::npos;
+        if (!Ok)
+          ++Failures;
+      }
+    });
+  for (std::thread &T : Scrapers)
+    T.join();
+  Stop.store(true);
+  Worker.join();
+  telemetry::progressFinish();
+
+  // The server must still be alive and answering after the storm.
+  const std::string After = httpGet(S.port(), "/healthz");
+  S.stop();
+  EXPECT_EQ(Failures.load(), 0);
+  EXPECT_NE(After.find("HTTP/1.1 200 OK"), std::string::npos);
 }
 
 TEST(StatsServer, ScrapesMidSweep) {

@@ -54,6 +54,39 @@ TEST(Stats, QuantileSingleton) {
   EXPECT_DOUBLE_EQ(quantile({42.0}, 0.99), 42.0);
 }
 
+// The total contract the bench ledger's histogram folding relies on:
+// quantile() never returns NaN, for any sample vector and any Q.
+TEST(Stats, QuantileEmptyIsZeroForEveryQ) {
+  for (double Q : {-1.0, 0.0, 0.5, 0.99, 1.0, 2.0}) {
+    const double R = quantile({}, Q);
+    EXPECT_DOUBLE_EQ(R, 0.0) << "Q=" << Q;
+    EXPECT_FALSE(std::isnan(R));
+  }
+}
+
+TEST(Stats, QuantileSingleSampleForEveryQ) {
+  for (double Q : {-0.5, 0.0, 0.5, 1.0, 1.5})
+    EXPECT_DOUBLE_EQ(quantile({7.0}, Q), 7.0) << "Q=" << Q;
+}
+
+TEST(Stats, QuantileClampsOutOfRangeQ) {
+  const std::vector<double> V = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(V, -3.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(V, 17.0), 4.0);
+  // A NaN Q clamps to 0 rather than poisoning the interpolation.
+  EXPECT_DOUBLE_EQ(quantile(V, std::nan("")), 1.0);
+}
+
+TEST(Stats, QuantileDropsNaNSamples) {
+  const double N = std::nan("");
+  EXPECT_DOUBLE_EQ(quantile({N, 3.0, N, 1.0, 2.0}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(quantile({N, 5.0}, 1.0), 5.0);
+  // All-NaN degenerates to the empty vector's answer.
+  const double R = quantile({N, N, N}, 0.9);
+  EXPECT_DOUBLE_EQ(R, 0.0);
+  EXPECT_FALSE(std::isnan(R));
+}
+
 TEST(RunningStat, MatchesDirectComputation) {
   const std::vector<double> V = {1.0, 4.0, 2.0, 8.0, 5.0};
   RunningStat S;

@@ -1,0 +1,493 @@
+//===- tools/oppsla_bench.cpp - Bench ledger & regression gate ---------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The perf-regression sentinel's driver. Four subcommands over the
+// append-only JSONL bench ledger and the checked-in baselines:
+//
+//   oppsla_bench ingest --ledger runs.jsonl [--git-describe S]
+//                [--timestamp S] [--metrics-json m.json] BENCH_x.json...
+//       records each artifact (plus, optionally, the counters/profile of a
+//       --metrics-out snapshot) as one ledger row stamped with the host
+//       fingerprint.
+//
+//   oppsla_bench list --ledger runs.jsonl [--bench B] [--metric K]
+//       renders the run trajectory, newest last.
+//
+//   oppsla_bench diff --ledger runs.jsonl --bench B [--scale S]
+//       per-metric delta table between the two newest rows of a bench.
+//
+//   oppsla_bench gate --baselines DIR [--manifest M] BENCH_x.json...
+//       the noise-aware regression gate: artifacts of the same bench are
+//       median-reduced across repeats, then compared against
+//       DIR/BENCH_<bench>.json under the manifest's per-metric rules
+//       (exact | ratio with direction+rel_tol | info). Exits 1 with a
+//       delta report naming every offending metric; 2 on structural
+//       problems (unreadable artifact, missing baseline, scale mismatch).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ArgParse.h"
+#include "support/Json.h"
+#include "support/Ledger.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace oppsla;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: oppsla_bench <ingest|list|diff|gate> [options] [files]\n"
+         "  ingest --ledger L.jsonl [--git-describe S] [--timestamp S]\n"
+         "         [--metrics-json m.json] BENCH_<name>.json...\n"
+         "  list   --ledger L.jsonl [--bench B] [--metric K]\n"
+         "  diff   --ledger L.jsonl --bench B [--scale S]\n"
+         "  gate   --baselines DIR [--manifest M.json] BENCH_<name>.json...\n";
+  return 2;
+}
+
+/// Loads one BENCH_<name>.json artifact into a ledger entry (host
+/// fingerprint stamped, provenance left empty).
+bool loadArtifact(const std::string &Path, LedgerEntry &Out) {
+  json::Value Doc;
+  std::string Error;
+  if (!json::parseFile(Path, Doc, Error) || !Out.fromBenchArtifact(Doc, Error)) {
+    std::cerr << "error: " << Path << ": " << Error << "\n";
+    return false;
+  }
+  return true;
+}
+
+std::string fmtMetric(double V) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  return Buf;
+}
+
+// --- ingest -----------------------------------------------------------------
+
+int cmdIngest(const ArgParse &Args,
+              const std::vector<std::string> &Artifacts) {
+  const std::string LedgerPath = Args.get("ledger", "");
+  if (LedgerPath.empty() || Artifacts.empty()) {
+    std::cerr << "error: ingest needs --ledger and at least one artifact\n";
+    return 2;
+  }
+
+  // An optional --metrics-out snapshot folds into every ingested row
+  // (counters as-is, histogram quantiles, per-span profile self times).
+  std::map<std::string, double> Folded;
+  const std::string MetricsJson = Args.get("metrics-json", "");
+  if (!MetricsJson.empty()) {
+    json::Value Snapshot;
+    std::string Error;
+    if (!json::parseFile(MetricsJson, Snapshot, Error)) {
+      std::cerr << "error: " << Error << "\n";
+      return 2;
+    }
+    foldMetricsSnapshot(Snapshot, Folded);
+  }
+
+  size_t Rows = 0;
+  for (const std::string &Path : Artifacts) {
+    LedgerEntry E;
+    if (!loadArtifact(Path, E))
+      return 2;
+    E.GitDescribe = Args.get("git-describe", "");
+    E.Timestamp = Args.get("timestamp", "");
+    for (const auto &[Key, Value] : Folded)
+      E.Metrics.emplace(Key, Value); // artifact's own metrics win
+    std::string Error;
+    if (!ledger::append(LedgerPath, E, Error)) {
+      std::cerr << "error: " << Error << "\n";
+      return 2;
+    }
+    ++Rows;
+  }
+  std::cout << "ingested " << Rows << " row" << (Rows == 1 ? "" : "s")
+            << " into " << LedgerPath << "\n";
+  return 0;
+}
+
+// --- list -------------------------------------------------------------------
+
+int cmdList(const ArgParse &Args) {
+  const std::string LedgerPath = Args.get("ledger", "");
+  if (LedgerPath.empty()) {
+    std::cerr << "error: list needs --ledger\n";
+    return 2;
+  }
+  std::vector<LedgerEntry> Entries;
+  std::string Error;
+  if (!ledger::readAll(LedgerPath, Entries, Error)) {
+    std::cerr << "error: " << Error << "\n";
+    return 2;
+  }
+  const std::string BenchFilter = Args.get("bench", "");
+  const std::string Metric = Args.get("metric", "");
+
+  std::vector<std::string> Header = {"#",     "bench",     "scale",
+                                     "rep",   "git",       "timestamp",
+                                     "cores", "metrics"};
+  if (!Metric.empty())
+    Header.push_back(Metric);
+  Table T(std::move(Header));
+  size_t Shown = 0;
+  for (size_t I = 0; I != Entries.size(); ++I) {
+    const LedgerEntry &E = Entries[I];
+    if (!BenchFilter.empty() && E.Bench != BenchFilter)
+      continue;
+    ++Shown;
+    std::vector<std::string> Row = {
+        std::to_string(I),
+        E.Bench,
+        E.Scale,
+        std::to_string(E.Repeat),
+        E.GitDescribe.empty() ? "-" : E.GitDescribe,
+        E.Timestamp.empty() ? "-" : E.Timestamp,
+        std::to_string(E.Host.Cores),
+        std::to_string(E.Metrics.size())};
+    if (!Metric.empty()) {
+      const auto It = E.Metrics.find(Metric);
+      Row.push_back(It == E.Metrics.end() ? "-" : fmtMetric(It->second));
+    }
+    T.addRow(std::move(Row));
+  }
+  std::cout << "ledger " << LedgerPath << ": " << Entries.size() << " row"
+            << (Entries.size() == 1 ? "" : "s");
+  if (!BenchFilter.empty())
+    std::cout << ", " << Shown << " matching bench '" << BenchFilter << "'";
+  std::cout << "\n\n";
+  T.print(std::cout);
+  return 0;
+}
+
+// --- diff -------------------------------------------------------------------
+
+int cmdDiff(const ArgParse &Args) {
+  const std::string LedgerPath = Args.get("ledger", "");
+  const std::string Bench = Args.get("bench", "");
+  if (LedgerPath.empty() || Bench.empty()) {
+    std::cerr << "error: diff needs --ledger and --bench\n";
+    return 2;
+  }
+  std::vector<LedgerEntry> Entries;
+  std::string Error;
+  if (!ledger::readAll(LedgerPath, Entries, Error)) {
+    std::cerr << "error: " << Error << "\n";
+    return 2;
+  }
+  const std::string Scale = Args.get("scale", "");
+  std::vector<const LedgerEntry *> Matching;
+  for (const LedgerEntry &E : Entries)
+    if (E.Bench == Bench && (Scale.empty() || E.Scale == Scale))
+      Matching.push_back(&E);
+  if (Matching.size() < 2) {
+    std::cerr << "error: need at least two ledger rows for bench '" << Bench
+              << "'" << (Scale.empty() ? "" : " at scale '" + Scale + "'")
+              << ", have " << Matching.size() << "\n";
+    return 2;
+  }
+  const LedgerEntry &Old = *Matching[Matching.size() - 2];
+  const LedgerEntry &New = *Matching.back();
+  std::cout << "diff of bench '" << Bench << "': "
+            << (Old.GitDescribe.empty() ? "(old)" : Old.GitDescribe) << " -> "
+            << (New.GitDescribe.empty() ? "(new)" : New.GitDescribe) << "\n\n";
+
+  Table T({"metric", "old", "new", "delta", "delta %"});
+  std::vector<std::string> Keys;
+  for (const auto &[Key, _] : Old.Metrics)
+    Keys.push_back(Key);
+  for (const auto &[Key, _] : New.Metrics)
+    if (!Old.Metrics.count(Key))
+      Keys.push_back(Key);
+  std::sort(Keys.begin(), Keys.end());
+  for (const std::string &Key : Keys) {
+    const auto OldIt = Old.Metrics.find(Key);
+    const auto NewIt = New.Metrics.find(Key);
+    if (OldIt == Old.Metrics.end()) {
+      T.addRow({Key, "-", fmtMetric(NewIt->second), "(new)", "-"});
+      continue;
+    }
+    if (NewIt == New.Metrics.end()) {
+      T.addRow({Key, fmtMetric(OldIt->second), "-", "(gone)", "-"});
+      continue;
+    }
+    const double Delta = NewIt->second - OldIt->second;
+    const std::string Pct =
+        OldIt->second != 0.0
+            ? Table::fmt(100.0 * Delta / OldIt->second, 2) + "%"
+            : "-";
+    T.addRow({Key, fmtMetric(OldIt->second), fmtMetric(NewIt->second),
+              fmtMetric(Delta), Pct});
+  }
+  T.print(std::cout);
+  return 0;
+}
+
+// --- gate -------------------------------------------------------------------
+
+/// One manifest rule. Kind semantics:
+///   exact  current must equal the baseline bit-for-bit (runs are pure
+///          functions of (seed, image), so correctness metrics like
+///          avgQueries have no legitimate noise);
+///   ratio  relative comparison with a direction: "higher" means bigger is
+///          better (throughput) and a drop below (1 - rel_tol) x baseline
+///          fails; "lower" means smaller is better (latency, queries) and
+///          a rise above (1 + rel_tol) x baseline fails;
+///   info   tracked in the report, never gates (wall-clock noise).
+struct GateRule {
+  enum class Kind { Exact, Ratio, Info } K = Kind::Info;
+  bool HigherIsBetter = true;
+  double RelTol = 0.1;
+};
+
+struct GateManifest {
+  GateRule Default;
+  std::map<std::string, GateRule> BenchDefault;
+  std::map<std::string, std::map<std::string, GateRule>> PerMetric;
+
+  const GateRule &ruleFor(const std::string &Bench,
+                          const std::string &Metric) const {
+    if (const auto B = PerMetric.find(Bench); B != PerMetric.end())
+      if (const auto M = B->second.find(Metric); M != B->second.end())
+        return M->second;
+    if (const auto B = BenchDefault.find(Bench); B != BenchDefault.end())
+      return B->second;
+    return Default;
+  }
+};
+
+bool parseRule(const json::Value &Doc, GateRule &Out, std::string &Error) {
+  const std::string Kind = Doc.getString("kind");
+  if (Kind == "exact") {
+    Out.K = GateRule::Kind::Exact;
+  } else if (Kind == "info") {
+    Out.K = GateRule::Kind::Info;
+  } else if (Kind == "ratio") {
+    Out.K = GateRule::Kind::Ratio;
+    const std::string Dir = Doc.getString("direction");
+    if (Dir != "higher" && Dir != "lower") {
+      Error = "ratio rule needs direction 'higher' or 'lower'";
+      return false;
+    }
+    Out.HigherIsBetter = Dir == "higher";
+    Out.RelTol = Doc.getNumber("rel_tol", 0.1);
+    if (!(Out.RelTol >= 0.0)) {
+      Error = "ratio rule rel_tol must be >= 0";
+      return false;
+    }
+  } else {
+    Error = "unknown rule kind '" + Kind + "'";
+    return false;
+  }
+  return true;
+}
+
+bool parseManifest(const std::string &Path, GateManifest &Out,
+                   std::string &Error) {
+  json::Value Doc;
+  if (!json::parseFile(Path, Doc, Error))
+    return false;
+  if (const json::Value *D = Doc.find("default"))
+    if (!parseRule(*D, Out.Default, Error))
+      return false;
+  const json::Value *Benches = Doc.find("benches");
+  if (!Benches)
+    return true;
+  if (!Benches->isObject()) {
+    Error = Path + ": 'benches' must be an object";
+    return false;
+  }
+  for (const auto &[Bench, Spec] : Benches->members()) {
+    if (const json::Value *D = Spec.find("default")) {
+      GateRule R;
+      if (!parseRule(*D, R, Error))
+        return false;
+      Out.BenchDefault[Bench] = R;
+    }
+    if (const json::Value *Metrics = Spec.find("metrics")) {
+      if (!Metrics->isObject()) {
+        Error = Path + ": metrics of '" + Bench + "' must be an object";
+        return false;
+      }
+      for (const auto &[Metric, RuleDoc] : Metrics->members()) {
+        GateRule R;
+        if (!parseRule(RuleDoc, R, Error)) {
+          Error += " (bench '" + Bench + "', metric '" + Metric + "')";
+          return false;
+        }
+        Out.PerMetric[Bench][Metric] = R;
+      }
+    }
+  }
+  return true;
+}
+
+const char *ruleLabel(const GateRule &R) {
+  switch (R.K) {
+  case GateRule::Kind::Exact:
+    return "exact";
+  case GateRule::Kind::Info:
+    return "info";
+  case GateRule::Kind::Ratio:
+    return R.HigherIsBetter ? "higher" : "lower";
+  }
+  return "?";
+}
+
+int cmdGate(const ArgParse &Args,
+            const std::vector<std::string> &Artifacts) {
+  const std::string BaselineDir = Args.get("baselines", "");
+  if (BaselineDir.empty() || Artifacts.empty()) {
+    std::cerr << "error: gate needs --baselines and at least one artifact\n";
+    return 2;
+  }
+  GateManifest Manifest;
+  std::string Error;
+  const std::string ManifestPath =
+      Args.get("manifest", BaselineDir + "/gate_manifest.json");
+  if (!parseManifest(ManifestPath, Manifest, Error)) {
+    std::cerr << "error: " << Error << "\n";
+    return 2;
+  }
+
+  // Group artifacts by bench: N files of the same bench are N repeats and
+  // median-reduce per metric, so one noisy run cannot fail (or pass) the
+  // throughput gate by itself.
+  std::map<std::string, std::vector<LedgerEntry>> Groups;
+  for (const std::string &Path : Artifacts) {
+    LedgerEntry E;
+    if (!loadArtifact(Path, E))
+      return 2;
+    Groups[E.Bench].push_back(std::move(E));
+  }
+
+  std::vector<std::string> Failures;
+  for (const auto &[Bench, Repeats] : Groups) {
+    const std::string BaselinePath = BaselineDir + "/BENCH_" + Bench + ".json";
+    LedgerEntry Baseline;
+    if (!loadArtifact(BaselinePath, Baseline)) {
+      std::cerr << "error: no baseline for bench '" << Bench << "' at "
+                << BaselinePath << "\n";
+      return 2;
+    }
+    for (const LedgerEntry &R : Repeats)
+      if (R.Scale != Baseline.Scale) {
+        std::cerr << "error: bench '" << Bench << "' ran at scale '"
+                  << R.Scale << "' but the baseline is scale '"
+                  << Baseline.Scale << "'\n";
+        return 2;
+      }
+
+    std::map<std::string, double> Current;
+    {
+      std::map<std::string, std::vector<double>> Samples;
+      for (const LedgerEntry &R : Repeats)
+        for (const auto &[Key, Value] : R.Metrics)
+          Samples[Key].push_back(Value);
+      for (auto &[Key, Values] : Samples)
+        Current[Key] = median(std::move(Values));
+    }
+
+    std::cout << "== gate: " << Bench << " (scale " << Baseline.Scale << ", "
+              << Repeats.size() << " repeat"
+              << (Repeats.size() == 1 ? "" : "s") << " vs " << BaselinePath
+              << ") ==\n";
+    Table T({"metric", "baseline", "current", "delta %", "rule", "verdict"});
+    for (const auto &[Metric, Base] : Baseline.Metrics) {
+      const GateRule &Rule = Manifest.ruleFor(Bench, Metric);
+      const auto CurIt = Current.find(Metric);
+      std::string Verdict = "ok";
+      bool Failed = false;
+      std::string CurText = "-", PctText = "-";
+      if (CurIt == Current.end()) {
+        Failed = Rule.K != GateRule::Kind::Info;
+        Verdict = Failed ? "FAIL (missing)" : "missing";
+      } else {
+        const double Cur = CurIt->second;
+        CurText = fmtMetric(Cur);
+        if (Base != 0.0)
+          PctText = Table::fmt(100.0 * (Cur - Base) / Base, 2) + "%";
+        switch (Rule.K) {
+        case GateRule::Kind::Exact:
+          if (Cur != Base) {
+            Failed = true;
+            Verdict = "FAIL (drift)";
+          }
+          break;
+        case GateRule::Kind::Ratio: {
+          const double Floor = Base * (1.0 - Rule.RelTol);
+          const double Ceil = Base * (1.0 + Rule.RelTol);
+          if (Rule.HigherIsBetter ? Cur < Floor : Cur > Ceil) {
+            Failed = true;
+            char Buf[64];
+            std::snprintf(Buf, sizeof(Buf), "FAIL (>%.0f%% %s)",
+                          100.0 * Rule.RelTol,
+                          Rule.HigherIsBetter ? "slower" : "higher");
+            Verdict = Buf;
+          }
+          break;
+        }
+        case GateRule::Kind::Info:
+          Verdict = "info";
+          break;
+        }
+      }
+      if (Failed)
+        Failures.push_back(Bench + "." + Metric);
+      T.addRow({Metric, fmtMetric(Base), CurText, PctText, ruleLabel(Rule),
+                Verdict});
+    }
+    // Metrics the baseline has never seen are reported, never gated.
+    for (const auto &[Metric, Cur] : Current)
+      if (!Baseline.Metrics.count(Metric))
+        T.addRow({Metric, "-", fmtMetric(Cur), "-", "-", "new"});
+    T.print(std::cout);
+    std::cout << "\n";
+  }
+
+  if (!Failures.empty()) {
+    std::cout << "gate: FAIL —";
+    for (const std::string &F : Failures)
+      std::cout << " " << F;
+    std::cout << "\n";
+    return 1;
+  }
+  std::cout << "gate: PASS (" << Groups.size() << " bench"
+            << (Groups.size() == 1 ? "" : "es") << ")\n";
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const ArgParse Args(argc, argv);
+  if (Args.positional().empty())
+    return usage();
+  const std::string Cmd = Args.positional().front();
+  const std::vector<std::string> Files(Args.positional().begin() + 1,
+                                       Args.positional().end());
+  if (Cmd == "ingest")
+    return cmdIngest(Args, Files);
+  if (Cmd == "list")
+    return cmdList(Args);
+  if (Cmd == "diff")
+    return cmdDiff(Args);
+  if (Cmd == "gate")
+    return cmdGate(Args, Files);
+  std::cerr << "error: unknown subcommand '" << Cmd << "'\n";
+  return usage();
+}

@@ -60,8 +60,12 @@ int usage() {
          "                  --profile-out p.folded (folded stacks for\n"
          "                  flamegraph.pl/speedscope; implies --profile)\n"
          "                  --progress (single updating stderr line)\n"
+         "                  --hw-counters (perf_event IPC/miss rates per\n"
+         "                  span; no-op where perf is unavailable)\n"
          "  stats server:   --stats-port N (HTTP /metrics /profile\n"
-         "                  /healthz on 127.0.0.1; 0 = ephemeral port)\n"
+         "                  /healthz /ledger on 127.0.0.1; 0 = ephemeral)\n"
+         "                  --ledger runs.jsonl (bench ledger served by\n"
+         "                  GET /ledger; see tools/oppsla_bench)\n"
          "                  --stats-port-file f (write the bound port)\n"
          "                  --stats-linger (serve after the run until\n"
          "                  GET /quitquitquit, 30s cap)\n"
