@@ -16,6 +16,7 @@
 #include "classify/NNClassifier.h"
 #include "engine/QueryEngine.h"
 #include "nn/ModelZoo.h"
+#include "tensor/Gemm.h"
 #include "support/ArgParse.h"
 #include "support/BenchJson.h"
 #include "support/BenchScale.h"
@@ -174,6 +175,34 @@ int main(int argc, char **argv) {
     }
   }
 
+  // Kernel comparison: the same batch-32 cache-off forward through the
+  // packed/fused SGEMM vs --naive-kernels (the pre-kernel scalar loops),
+  // per model. This is the acceptance headline for kernel changes.
+  struct KernelRow {
+    std::string Model;
+    double FastRate = 0.0, NaiveRate = 0.0, Speedup = 0.0;
+  };
+  std::vector<KernelRow> Kernels;
+  for (const auto &M : Models) {
+    Rng R(7);
+    NNClassifier Inner(buildModel(M.A, 10, Side, R), 10, M.Name);
+    const std::vector<Image> Imgs = makeImages(NumImages, Side);
+    const RunSpec Spec{/*BatchSize=*/32, /*CacheCapacity=*/0, /*Threads=*/1,
+                       /*Passes=*/2};
+    KernelRow Row;
+    Row.Model = M.Name;
+    // Untimed warm-up per kernel so one-time costs (scratch allocation,
+    // page faults, the fusion plan) don't bias whichever runs first.
+    runOne(M.Name, Inner, Imgs, Spec);
+    Row.FastRate = runOne(M.Name, Inner, Imgs, Spec).ImagesPerSec;
+    kernels::setNaive(true);
+    runOne(M.Name, Inner, Imgs, Spec);
+    Row.NaiveRate = runOne(M.Name, Inner, Imgs, Spec).ImagesPerSec;
+    kernels::setNaive(false);
+    Row.Speedup = Row.NaiveRate > 0 ? Row.FastRate / Row.NaiveRate : 0.0;
+    Kernels.push_back(Row);
+  }
+
   Table T({"model", "batch", "cache", "threads", "images", "forwards",
            "images/sec", "vs batch 1"});
   for (const RunResult &R : Results)
@@ -183,6 +212,13 @@ int main(int argc, char **argv) {
               std::to_string(R.PhysicalForwards), Table::fmt(R.ImagesPerSec, 1),
               Table::fmt(R.SpeedupVsBatch1, 2) + "x"});
   T.print(std::cout);
+
+  std::cout << "\n";
+  Table KT({"model", "fast images/sec", "naive images/sec", "kernel speedup"});
+  for (const KernelRow &K : Kernels)
+    KT.addRow({K.Model, Table::fmt(K.FastRate, 1), Table::fmt(K.NaiveRate, 1),
+               Table::fmt(K.Speedup, 2) + "x"});
+  KT.print(std::cout);
 
   std::string Json = "{\n  \"bench\": \"queryengine_batch_throughput\",\n";
   Json += "  \"scale\": \"" + Scale.Name + "\",\n";
@@ -214,6 +250,15 @@ int main(int argc, char **argv) {
   BJ.set("best_speedup_vs_batch1", BestSpeedup);
   BJ.set("best_images_per_sec", BestRate);
   BJ.set("runs", static_cast<double>(Results.size()));
+  double ForwardRate = 0.0, NaiveRate = 0.0, KernelSpeedup = 0.0;
+  for (const KernelRow &K : Kernels) {
+    ForwardRate = std::max(ForwardRate, K.FastRate);
+    NaiveRate = std::max(NaiveRate, K.NaiveRate);
+    KernelSpeedup = std::max(KernelSpeedup, K.Speedup);
+  }
+  BJ.set("forward_images_per_sec", ForwardRate);
+  BJ.set("naive_images_per_sec", NaiveRate);
+  BJ.set("kernel_speedup_vs_naive", KernelSpeedup);
   // Fold the engine's process-wide efficiency counters into the artifact
   // so every ledger row of this bench carries hit rate and batching next
   // to the throughput headline.

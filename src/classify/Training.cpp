@@ -98,9 +98,12 @@ float oppsla::evalAccuracy(Sequential &Model, const Dataset &Data) {
 }
 
 std::string VictimSpec::cacheStem() const {
+  // v2: bump whenever training numerics change so stale cached victims are
+  // invalidated (v2 = unbiased BatchNorm running variance + fma-pinned
+  // matmul reduction order, DESIGN.md §12).
   std::ostringstream OS;
-  OS << taskName(Task) << "_" << archName(Architecture) << "_s" << Seed
-     << "_n" << TrainImagesPerClass << "_c" << NumClasses << "_e"
+  OS << "v2_" << taskName(Task) << "_" << archName(Architecture) << "_s"
+     << Seed << "_n" << TrainImagesPerClass << "_c" << NumClasses << "_e"
      << Train.Epochs << "_d" << (Side ? Side : taskDefaultSide(Task));
   if (Train.UseAugment)
     OS << "_aug" << Train.Augment.CutoutPatch;

@@ -9,6 +9,7 @@
 #include "support/Metrics.h"
 #include "support/Profiler.h"
 #include "support/Trace.h"
+#include "tensor/Gemm.h"
 
 #include <algorithm>
 #include <cstring>
@@ -245,12 +246,16 @@ void QueryEngine::forwardUnique(std::span<const Image> Imgs,
   if (NumChunks > 1 && ensureWorkers()) {
     // Worker T owns clone T-1 (worker 0 reuses the inner classifier);
     // chunks are assigned round-robin so each classifier instance is used
-    // by exactly one task chain at a time.
+    // by exactly one task chain at a time. Chunk-level parallelism is the
+    // better use of the thread budget here, so each worker pins its GEMM
+    // column fan-out to one thread (results are identical either way —
+    // the kernels are deterministic at any split).
     const size_t W = Config.Threads;
     std::vector<std::future<void>> Futures;
     for (size_t T = 0; T != std::min(W, NumChunks); ++T) {
       Classifier *C = T == 0 ? &Inner : WorkerClones[T - 1].get();
       Futures.push_back(Pool->submit([&, C, T] {
+        kernels::ScopedColumnThreads Pin(1);
         for (size_t K = T; K < NumChunks; K += W)
           RunChunk(*C, K);
       }));
@@ -260,6 +265,9 @@ void QueryEngine::forwardUnique(std::span<const Image> Imgs,
     return;
   }
 
+  // Single chunk (or no workers): donate the engine's thread budget to
+  // the GEMM column dimension instead.
+  kernels::ScopedColumnThreads Donate(Config.Threads);
   for (size_t K = 0; K != NumChunks; ++K)
     RunChunk(Inner, K);
 }

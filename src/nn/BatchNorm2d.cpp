@@ -25,16 +25,21 @@ Tensor BatchNorm2d::forward(const Tensor &In, bool Train) {
   Tensor Out(In.shape());
 
   if (!Train) {
-    // Inference: normalize with running statistics.
+    // Inference: normalize with running statistics, folded to the affine
+    // form shared with the fused GEMM epilogue. The explicit std::fma is
+    // part of the kernel determinism contract (DESIGN.md §12): fused and
+    // unfused paths perform the identical rounding per element.
+    AffineScale.resize(Channels);
+    AffineShift.resize(Channels);
+    inferenceAffine(AffineScale, AffineShift);
     for (size_t C = 0; C != Channels; ++C) {
-      const float InvStd = 1.0f / std::sqrt(RunningVar[C] + Eps);
-      const float Scale = Gamma[C] * InvStd;
-      const float Shift = Beta[C] - RunningMean[C] * Scale;
+      const float Scale = AffineScale[C];
+      const float Shift = AffineShift[C];
       for (size_t B = 0; B != N; ++B) {
         const float *Src = In.data() + (B * Channels + C) * Plane;
         float *Dst = Out.data() + (B * Channels + C) * Plane;
         for (size_t I = 0; I != Plane; ++I)
-          Dst[I] = Src[I] * Scale + Shift;
+          Dst[I] = std::fma(Src[I], Scale, Shift);
       }
     }
     return Out;
@@ -56,14 +61,22 @@ Tensor BatchNorm2d::forward(const Tensor &In, bool Train) {
         SqSum += static_cast<double>(Src[I]) * Src[I];
       }
     }
+    const double VarD = SqSum / Count - (Sum / Count) * (Sum / Count);
     const float Mean = static_cast<float>(Sum / Count);
-    const float Var =
-        static_cast<float>(SqSum / Count - (Sum / Count) * (Sum / Count));
+    const float Var = static_cast<float>(VarD);
     const float InvStd = 1.0f / std::sqrt(std::max(Var, 0.0f) + Eps);
     CachedInvStd[C] = InvStd;
 
+    // Normalization uses the biased (population, /Count) variance, but the
+    // running buffer tracks the unbiased sample variance (Bessel's
+    // Count/(Count-1) correction) — the torch.nn.BatchNorm2d convention
+    // the training recipes assume. Count == 1 has no unbiased estimate;
+    // fall back to the biased value rather than divide by zero.
+    const float VarUnbiased =
+        Count > 1.0 ? static_cast<float>(VarD * Count / (Count - 1.0)) : Var;
     RunningMean[C] = (1.0f - Momentum) * RunningMean[C] + Momentum * Mean;
-    RunningVar[C] = (1.0f - Momentum) * RunningVar[C] + Momentum * Var;
+    RunningVar[C] =
+        (1.0f - Momentum) * RunningVar[C] + Momentum * VarUnbiased;
 
     for (size_t B = 0; B != N; ++B) {
       const float *Src = In.data() + (B * Channels + C) * Plane;
@@ -114,6 +127,17 @@ Tensor BatchNorm2d::backward(const Tensor &GradOut) {
     }
   }
   return GradIn;
+}
+
+void BatchNorm2d::inferenceAffine(std::vector<float> &Scale,
+                                  std::vector<float> &Shift) const {
+  Scale.resize(Channels);
+  Shift.resize(Channels);
+  for (size_t C = 0; C != Channels; ++C) {
+    const float InvStd = 1.0f / std::sqrt(RunningVar[C] + Eps);
+    Scale[C] = Gamma[C] * InvStd;
+    Shift[C] = Beta[C] - RunningMean[C] * Scale[C];
+  }
 }
 
 void BatchNorm2d::collectParams(const std::string &Prefix,

@@ -9,6 +9,8 @@
 
 #include "nn/Layer.h"
 
+#include <vector>
+
 namespace oppsla {
 
 /// Per-channel batch normalization over NCHW tensors.
@@ -30,6 +32,14 @@ public:
       override;
   std::string name() const override { return "batchnorm2d"; }
 
+  /// The per-channel affine form of inference-mode normalization:
+  /// out = fma(in, Scale[c], Shift[c]). Both the unfused inference forward
+  /// and Conv2d's fused GEMM epilogue take their coefficients from this one
+  /// function, so the two paths are bit-identical by construction. Resizes
+  /// the outputs to channels().
+  void inferenceAffine(std::vector<float> &Scale,
+                       std::vector<float> &Shift) const;
+
   size_t channels() const { return Channels; }
   Tensor &runningMean() { return RunningMean; }
   Tensor &runningVar() { return RunningVar; }
@@ -44,6 +54,8 @@ private:
   Tensor CachedXHat;   ///< normalized input, same shape as In
   Tensor CachedInvStd; ///< {C}
   size_t CachedN = 0, CachedH = 0, CachedW = 0;
+  // Inference scratch for the folded affine coefficients.
+  std::vector<float> AffineScale, AffineShift;
 };
 
 } // namespace oppsla

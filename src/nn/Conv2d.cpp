@@ -6,8 +6,11 @@
 
 #include "nn/Conv2d.h"
 
+#include "nn/BatchNorm2d.h"
 #include "nn/Init.h"
+#include "support/Metrics.h"
 #include "support/Rng.h"
+#include "tensor/Gemm.h"
 #include "tensor/TensorOps.h"
 
 #include <cmath>
@@ -23,37 +26,72 @@ Conv2d::Conv2d(size_t InC, size_t OutC, size_t Kernel, size_t Stride,
   kaimingNormal(Weight, /*FanIn=*/InC * Kernel * Kernel, R);
 }
 
-Tensor Conv2d::forward(const Tensor &In, bool Train) {
+Tensor Conv2d::prepareForward(const Tensor &In, bool Train, size_t &N,
+                              size_t &OH, size_t &OW, Tensor *&Cols) {
   assert(In.rank() == 4 && In.dim(1) == InC && "conv input shape mismatch");
-  const size_t N = In.dim(0), H = In.dim(2), W = In.dim(3);
-  const size_t OH = convOutSize(H, Kernel, Stride, Pad);
-  const size_t OW = convOutSize(W, Kernel, Stride, Pad);
+  N = In.dim(0);
+  const size_t H = In.dim(2), W = In.dim(3);
+  OH = convOutSize(H, Kernel, Stride, Pad);
+  OW = convOutSize(W, Kernel, Stride, Pad);
   const size_t Rows = InC * Kernel * Kernel;
   const size_t ColsN = N * OH * OW;
 
-  Tensor &Cols = Train ? CachedCols : ScratchCols;
-  if (Cols.rank() != 2 || Cols.dim(0) != Rows || Cols.dim(1) != ColsN)
-    Cols = Tensor({Rows, ColsN});
-  im2col(In, Kernel, Kernel, Stride, Pad, Cols);
+  Cols = Train ? &CachedCols : &ScratchCols;
+  noteScratchRealloc(Cols->ensureShape({Rows, ColsN}));
+  im2col(In, Kernel, Kernel, Stride, Pad, *Cols);
   if (Train) {
     CachedN = N;
     CachedH = H;
     CachedW = W;
   }
+  return Tensor({N, OutC, OH, OW});
+}
 
-  // GEMM: {OutC, Rows} x {Rows, N*OH*OW}.
-  Tensor &Out2d = ScratchOut;
-  if (Out2d.rank() != 2 || Out2d.dim(0) != OutC || Out2d.dim(1) != ColsN)
-    Out2d = Tensor({OutC, ColsN});
-  matmul(Weight, Cols, Out2d);
+void Conv2d::packWeight() {
+  const size_t K = Weight.dim(1);
+  // Repacked every forward: the optimizer writes Weight in place through
+  // ParamRef with no invalidation hook, and packing is O(OutC*K) against
+  // the GEMM's O(OutC*K*N).
+  PackedWeight.resize(gemmPackedSize(OutC, K));
+  gemmPackA(Weight.data(), OutC, K, PackedWeight.data());
+}
+
+void Conv2d::noteScratchRealloc(bool Grew) {
+  if (!Grew)
+    return;
+  ++ScratchReallocCount;
+  telemetry::counter("nn.conv.scratch.reallocs").inc();
+}
+
+Tensor Conv2d::forward(const Tensor &In, bool Train) {
+  size_t N, OH, OW;
+  Tensor *Cols = nullptr;
+  Tensor Out = prepareForward(In, Train, N, OH, OW, Cols);
+  const size_t Rows = InC * Kernel * Kernel;
+  const size_t ColsN = N * OH * OW;
+
+  if (!Train && !kernels::naive()) {
+    // Fast inference: packed GEMM scatters straight into NCHW with the
+    // bias folded into the tile store.
+    packWeight();
+    GemmEpilogue Ep;
+    Ep.Bias = HasBias ? Bias.data() : nullptr;
+    gemmPackedConvOut(PackedWeight.data(), Cols->data(), Out.data(), OutC,
+                      Rows, N, OH * OW, Ep);
+    return Out;
+  }
+
+  // Reference path (training, and inference under --naive-kernels):
+  // GEMM {OutC, Rows} x {Rows, N*OH*OW}, then scatter + bias.
+  noteScratchRealloc(ScratchOut.ensureShape({OutC, ColsN}));
+  matmul(Weight, *Cols, ScratchOut);
 
   // Scatter {OutC, N*OH*OW} into NCHW (plus bias). Column index encodes
   // (B, Oi, Oj) as (B*OH + Oi)*OW + Oj.
-  Tensor Out({N, OutC, OH, OW});
   const size_t Plane = OH * OW;
   for (size_t Oc = 0; Oc != OutC; ++Oc) {
     const float B = HasBias ? Bias[Oc] : 0.0f;
-    const float *Src = Out2d.data() + Oc * ColsN;
+    const float *Src = ScratchOut.data() + Oc * ColsN;
     for (size_t Bn = 0; Bn != N; ++Bn) {
       float *Dst = Out.data() + (Bn * OutC + Oc) * Plane;
       const float *SrcB = Src + Bn * Plane;
@@ -61,6 +99,27 @@ Tensor Conv2d::forward(const Tensor &In, bool Train) {
         Dst[I] = SrcB[I] + B;
     }
   }
+  return Out;
+}
+
+Tensor Conv2d::forwardFused(const Tensor &In, const BatchNorm2d *Bn,
+                            bool Relu) {
+  assert(!kernels::naive() && "fused forward requires fast kernels");
+  assert((!Bn || Bn->channels() == OutC) && "fused batchnorm channel count");
+  size_t N, OH, OW;
+  Tensor *Cols = nullptr;
+  Tensor Out = prepareForward(In, /*Train=*/false, N, OH, OW, Cols);
+  packWeight();
+  GemmEpilogue Ep;
+  Ep.Bias = HasBias ? Bias.data() : nullptr;
+  if (Bn) {
+    Bn->inferenceAffine(FusedScale, FusedShift);
+    Ep.Scale = FusedScale.data();
+    Ep.Shift = FusedShift.data();
+  }
+  Ep.Relu = Relu;
+  gemmPackedConvOut(PackedWeight.data(), Cols->data(), Out.data(), OutC,
+                    InC * Kernel * Kernel, N, OH * OW, Ep);
   return Out;
 }
 

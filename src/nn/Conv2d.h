@@ -9,8 +9,11 @@
 
 #include "nn/Layer.h"
 
+#include <vector>
+
 namespace oppsla {
 
+class BatchNorm2d;
 class Rng;
 
 /// 2-D convolution over NCHW tensors, lowered to GEMM via im2col.
@@ -23,6 +26,14 @@ public:
          Rng &R, bool HasBias = true);
 
   Tensor forward(const Tensor &In, bool Train) override;
+
+  /// Inference-only fused forward: conv + optional BatchNorm affine +
+  /// optional ReLU in a single packed-GEMM pass (the epilogue runs while
+  /// each output tile is still in registers). Only called by Sequential's
+  /// fusion plan when fast kernels are enabled; bit-identical to running
+  /// the unfused layers in sequence (DESIGN.md §12).
+  Tensor forwardFused(const Tensor &In, const BatchNorm2d *Bn, bool Relu);
+
   Tensor backward(const Tensor &GradOut) override;
   void collectParams(const std::string &Prefix,
                      std::vector<ParamRef> &Params) override;
@@ -37,7 +48,21 @@ public:
   Tensor &weight() { return Weight; }
   Tensor &bias() { return Bias; }
 
+  /// How many times the inference scratch buffers had to grow. With
+  /// capacity-based reuse this stays at the high-water mark count (engine
+  /// full batches + one tail size allocate at most twice), not once per
+  /// batch-size change; regression-tested in tests/nn/LayerBehaviorTest.
+  size_t scratchReallocs() const { return ScratchReallocCount; }
+
 private:
+  /// im2col into \p Cols (capacity-reusing) and return the {N,OutC,OH,OW}
+  /// output tensor shell shared by all forward flavors.
+  Tensor prepareForward(const Tensor &In, bool Train, size_t &N, size_t &OH,
+                        size_t &OW, Tensor *&Cols);
+  void packWeight();
+  /// Counts a scratch growth event in the layer and in telemetry.
+  void noteScratchRealloc(bool Grew);
+
   size_t InC, OutC, Kernel, Stride, Pad;
   bool HasBias;
   Tensor Weight, WeightGrad;
@@ -45,8 +70,16 @@ private:
   // Cached forward state for backward.
   Tensor CachedCols; ///< im2col matrix of the last training input
   size_t CachedN = 0, CachedH = 0, CachedW = 0;
-  // Scratch reused across batch-1 inference calls to avoid reallocation.
+  // Scratch reused across inference calls; resized capacity-preserving so
+  // alternating batch shapes do not thrash the allocator.
   Tensor ScratchCols, ScratchOut;
+  size_t ScratchReallocCount = 0;
+  // Fast-kernel scratch: Weight packed into MR-row panels (rebuilt every
+  // forward — packing is O(M*K) against the GEMM's O(M*K*N), and the
+  // optimizer mutates Weight in place between forwards) and the folded
+  // BatchNorm affine coefficients for the fused epilogue.
+  std::vector<float> PackedWeight;
+  std::vector<float> FusedScale, FusedShift;
 };
 
 } // namespace oppsla

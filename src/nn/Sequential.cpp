@@ -6,8 +6,12 @@
 
 #include "nn/Sequential.h"
 
+#include "nn/Activations.h"
+#include "nn/BatchNorm2d.h"
+#include "nn/Conv2d.h"
 #include "support/Metrics.h"
 #include "support/Profiler.h"
+#include "tensor/Gemm.h"
 
 #include <chrono>
 #include <cstdio>
@@ -34,7 +38,42 @@ void recordLayerTime(size_t Index, const std::string &LayerName,
 
 } // namespace
 
+void Sequential::buildFusionPlan() {
+  FusionPlan.clear();
+  for (size_t I = 0; I != Layers.size();) {
+    FusedStep St;
+    St.Begin = I;
+    if (auto *Conv = dynamic_cast<Conv2d *>(Layers[I].get())) {
+      size_t Next = I + 1;
+      auto *Bn = Next != Layers.size()
+                     ? dynamic_cast<BatchNorm2d *>(Layers[Next].get())
+                     : nullptr;
+      if (Bn && Bn->channels() != Conv->outChannels())
+        Bn = nullptr;
+      if (Bn)
+        ++Next;
+      const bool Relu = Next != Layers.size() &&
+                        dynamic_cast<ReLU *>(Layers[Next].get()) != nullptr;
+      if (Relu)
+        ++Next;
+      if (Next != I + 1) {
+        St.Conv = Conv;
+        St.Bn = Bn;
+        St.Relu = Relu;
+        St.Count = Next - I;
+      }
+    }
+    I += St.Count;
+    FusionPlan.push_back(St);
+  }
+  FusionPlanLayers = Layers.size();
+}
+
 Tensor Sequential::forward(const Tensor &In, bool Train) {
+  const bool Fast = !Train && !kernels::naive();
+  if (Fast && FusionPlanLayers != Layers.size())
+    buildFusionPlan();
+
   const bool Timing = telemetry::layerTimingEnabled();
   const bool Prof = telemetry::profilingEnabled();
   if ((Timing || Prof) && ForwardDepth == 0) {
@@ -53,10 +92,21 @@ Tensor Sequential::forward(const Tensor &In, bool Train) {
     ++ForwardDepth;
     telemetry::ProfileScope ForwardSpan(Prof ? "nn.forward" : nullptr);
     Tensor X = In;
-    for (size_t I = 0; I != Layers.size(); ++I) {
+    size_t Step = 0;
+    for (size_t I = 0; I != Layers.size();) {
+      // A fused step is attributed to its conv layer's span/counter; the
+      // folded BatchNorm/ReLU layers simply do not appear in that run.
       telemetry::ProfileScope LayerSpan(Prof ? SpanNames[I] : nullptr);
       const auto T0 = std::chrono::steady_clock::now();
-      X = Layers[I]->forward(X, Train);
+      size_t Count = 1;
+      if (Fast) {
+        const FusedStep &St = FusionPlan[Step++];
+        Count = St.Count;
+        X = St.Conv ? St.Conv->forwardFused(X, St.Bn, St.Relu)
+                    : Layers[I]->forward(X, Train);
+      } else {
+        X = Layers[I]->forward(X, Train);
+      }
       if (Timing) {
         const auto Us =
             std::chrono::duration_cast<std::chrono::microseconds>(
@@ -64,11 +114,18 @@ Tensor Sequential::forward(const Tensor &In, bool Train) {
                 .count();
         recordLayerTime(I, Layers[I]->name(), static_cast<uint64_t>(Us));
       }
+      I += Count;
     }
     --ForwardDepth;
     return X;
   }
   Tensor X = In;
+  if (Fast) {
+    for (const FusedStep &St : FusionPlan)
+      X = St.Conv ? St.Conv->forwardFused(X, St.Bn, St.Relu)
+                  : Layers[St.Begin]->forward(X, Train);
+    return X;
+  }
   for (LayerPtr &L : Layers)
     X = L->forward(X, Train);
   return X;

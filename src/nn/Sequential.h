@@ -13,7 +13,17 @@
 
 namespace oppsla {
 
+class BatchNorm2d;
+class Conv2d;
+
 /// A chain of layers; itself a Layer so blocks can nest.
+///
+/// Inference forwards with fast kernels enabled run through a lazily built
+/// fusion plan: every direct Conv2d -> [BatchNorm2d] -> [ReLU] run executes
+/// as one Conv2d::forwardFused call (the GEMM epilogue applies the
+/// BatchNorm affine and ReLU in registers), bit-identical to running the
+/// layers in sequence. Blocks nest Sequentials, so the plan covers every
+/// zoo architecture without the blocks knowing about fusion.
 class Sequential : public Layer {
 public:
   Sequential() = default;
@@ -54,7 +64,26 @@ public:
   std::vector<std::pair<std::string, Tensor *>> buffers();
 
 private:
+  /// One execution step of the fusion plan: either a single plain layer
+  /// (Conv == nullptr, Count == 1) or a fused conv run consuming Count
+  /// layers starting at Begin.
+  struct FusedStep {
+    size_t Begin = 0;
+    size_t Count = 1;
+    Conv2d *Conv = nullptr;
+    BatchNorm2d *Bn = nullptr;
+    bool Relu = false;
+  };
+
+  /// Rebuilds FusionPlan to tile [0, Layers.size()). Lazily invoked on the
+  /// first fast-kernel inference forward and whenever the layer count
+  /// changed; models are cloned per worker thread, so the build races
+  /// nothing.
+  void buildFusionPlan();
+
   std::vector<LayerPtr> Layers;
+  std::vector<FusedStep> FusionPlan;
+  size_t FusionPlanLayers = static_cast<size_t>(-1);
   /// Interned `nn.<ii>.<layer>` span names for the profiler, built lazily
   /// on the first profiled forward (index-aligned with Layers).
   std::vector<const char *> SpanNames;

@@ -29,6 +29,14 @@ void Tensor::fill(float Value) {
   std::fill(Data.begin(), Data.end(), Value);
 }
 
+bool Tensor::ensureShape(Shape NewShape) {
+  const size_t N = NewShape.numel();
+  const bool Grew = N > Data.capacity();
+  Dims = std::move(NewShape);
+  Data.resize(N);
+  return Grew;
+}
+
 Tensor Tensor::reshaped(Shape NewShape) const {
   assert(NewShape.numel() == numel() && "reshape must preserve numel");
   return Tensor(std::move(NewShape), Data);

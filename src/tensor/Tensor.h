@@ -119,6 +119,15 @@ public:
     return Data[((N * Dims[1] + C) * Dims[2] + H) * Dims[3] + W];
   }
 
+  /// Reshapes in place for scratch reuse: storage is resized to the new
+  /// numel but the underlying capacity is never released, so alternating
+  /// between shapes (e.g. engine full batches and tail batches) allocates
+  /// at most once per high-water mark. Newly exposed elements are
+  /// zero-initialized; surviving elements keep their (stale) values —
+  /// callers are expected to overwrite the whole tensor. Returns true when
+  /// the call had to grow the allocation.
+  bool ensureShape(Shape NewShape);
+
   /// Sets every element to \p Value.
   void fill(float Value);
   /// Zeroes all elements (keeps the allocation).

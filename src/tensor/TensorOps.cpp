@@ -6,7 +6,9 @@
 
 #include "tensor/TensorOps.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
 using namespace oppsla;
 
@@ -19,7 +21,10 @@ void oppsla::matmul(const Tensor &A, const Tensor &B, Tensor &C) {
   const float *BD = B.data();
   float *CD = C.data();
   // ikj loop order keeps the B row hot in cache and vectorizes the inner
-  // loop; good enough for the small GEMMs this project runs.
+  // loop. The explicit std::fma pins each element to the exact chain
+  // acc_k = fma(A[i,k], B[k,j], acc_{k-1}), k ascending — the same
+  // contract the packed microkernel in Gemm.cpp follows, so the fast and
+  // naive kernel paths agree bit for bit (DESIGN.md §12).
   for (size_t I = 0; I != M; ++I) {
     float *CRow = CD + I * N;
     for (size_t J = 0; J != N; ++J)
@@ -28,7 +33,7 @@ void oppsla::matmul(const Tensor &A, const Tensor &B, Tensor &C) {
       const float AV = AD[I * K + Kk];
       const float *BRow = BD + Kk * N;
       for (size_t J = 0; J != N; ++J)
-        CRow[J] += AV * BRow[J];
+        CRow[J] = std::fma(AV, BRow[J], CRow[J]);
     }
   }
 }
@@ -47,7 +52,7 @@ void oppsla::matmulTransposedB(const Tensor &A, const Tensor &B, Tensor &C) {
       const float *BRow = BD + J * K;
       float Acc = 0.0f;
       for (size_t Kk = 0; Kk != K; ++Kk)
-        Acc += ARow[Kk] * BRow[Kk];
+        Acc = std::fma(ARow[Kk], BRow[Kk], Acc);
       CD[I * N + J] = Acc;
     }
   }
@@ -62,16 +67,19 @@ void oppsla::matmulTransposedA(const Tensor &A, const Tensor &B, Tensor &C) {
   const float *BD = B.data();
   float *CD = C.data();
   C.zero();
+  // No skipping of AV == 0.0f rows: the shortcut looked free but changed
+  // semantics for non-finite operands (0 * Inf must produce NaN, and the
+  // skip silently dropped it), so the sparse-A path could diverge from
+  // matmul/the packed GEMM on the same data. Regression-tested with
+  // Inf/NaN operands in tests/tensor/TensorOpsTest.cpp.
   for (size_t I = 0; I != M; ++I) {
     const float *ARow = AD + I * K;
     const float *BRow = BD + I * N;
     for (size_t Kk = 0; Kk != K; ++Kk) {
       const float AV = ARow[Kk];
-      if (AV == 0.0f)
-        continue;
       float *CRow = CD + Kk * N;
       for (size_t J = 0; J != N; ++J)
-        CRow[J] += AV * BRow[J];
+        CRow[J] = std::fma(AV, BRow[J], CRow[J]);
     }
   }
 }
@@ -102,28 +110,79 @@ void oppsla::im2col(const Tensor &Input, size_t KH, size_t KW, size_t Stride,
   float *Out = Cols.data();
   for (size_t Ch = 0; Ch != C; ++Ch) {
     for (size_t Ki = 0; Ki != KH; ++Ki) {
+      // Vertical split: Ii = Oi*Stride + Ki - Pad is in [0, H) exactly for
+      // Oi in [OiLo, OiHi). Everything outside is zero padding, filled as
+      // one block per image instead of row by row.
+      const long IOff = static_cast<long>(Ki) - static_cast<long>(Pad);
+      size_t OiLo =
+          IOff >= 0 ? 0 : (static_cast<size_t>(-IOff) + Stride - 1) / Stride;
+      size_t OiHi =
+          IOff >= static_cast<long>(H)
+              ? 0
+              : (static_cast<size_t>(static_cast<long>(H) - IOff) + Stride -
+                 1) /
+                    Stride;
+      OiHi = std::min(OiHi, OH);
+      OiLo = std::min(OiLo, OiHi);
       for (size_t Kj = 0; Kj != KW; ++Kj) {
         const size_t Row = (Ch * KH + Ki) * KW + Kj;
         float *OutRow = Out + Row * ColsN;
+        // Horizontal split, hoisted out of the per-row loop: the two
+        // ceil-divisions here are loop-invariant, and at small output
+        // widths they used to dominate the actual copying. Jj = Oj*Stride
+        // + Off is in [0, W) exactly for Oj in [Lo, Hi).
+        const long Off = static_cast<long>(Kj) - static_cast<long>(Pad);
+        size_t Lo =
+            Off >= 0 ? 0 : (static_cast<size_t>(-Off) + Stride - 1) / Stride;
+        size_t Hi =
+            Off >= static_cast<long>(W)
+                ? 0
+                : (static_cast<size_t>(static_cast<long>(W) - Off) + Stride -
+                   1) /
+                      Stride;
+        Hi = std::min(Hi, OW);
+        Lo = std::min(Lo, Hi);
+        // When the copy covers the full output row at stride 1 and Off ==
+        // 0, consecutive output rows read consecutive input rows with
+        // matching pitch (OW == W), so the whole in-bounds block is one
+        // contiguous copy per image.
+        const bool FullRows =
+            Stride == 1 && Off == 0 && Lo == 0 && Hi == OW && OW == W;
         for (size_t B = 0; B != N; ++B) {
           const float *InPlane = In + (B * C + Ch) * H * W;
-          for (size_t Oi = 0; Oi != OH; ++Oi) {
-            const long Ii = static_cast<long>(Oi * Stride + Ki) -
-                            static_cast<long>(Pad);
-            float *OutPos = OutRow + (B * OH + Oi) * OW;
-            if (Ii < 0 || Ii >= static_cast<long>(H)) {
-              for (size_t Oj = 0; Oj != OW; ++Oj)
-                OutPos[Oj] = 0.0f;
-              continue;
-            }
-            const float *InRow = InPlane + static_cast<size_t>(Ii) * W;
-            for (size_t Oj = 0; Oj != OW; ++Oj) {
-              const long Jj = static_cast<long>(Oj * Stride + Kj) -
-                              static_cast<long>(Pad);
-              OutPos[Oj] = (Jj < 0 || Jj >= static_cast<long>(W))
-                               ? 0.0f
-                               : InRow[static_cast<size_t>(Jj)];
-            }
+          float *OutBase = OutRow + B * OH * OW;
+          std::fill(OutBase, OutBase + OiLo * OW, 0.0f);
+          std::fill(OutBase + OiHi * OW, OutBase + OH * OW, 0.0f);
+          if (FullRows) {
+            std::memcpy(OutBase + OiLo * OW,
+                        InPlane +
+                            static_cast<size_t>(
+                                static_cast<long>(OiLo * Stride) + IOff) *
+                                W,
+                        (OiHi - OiLo) * OW * sizeof(float));
+            continue;
+          }
+          for (size_t Oi = OiLo; Oi != OiHi; ++Oi) {
+            const float *InRow =
+                InPlane + static_cast<size_t>(
+                              static_cast<long>(Oi * Stride) + IOff) *
+                              W;
+            float *OutPos = OutBase + Oi * OW;
+            for (size_t Oj = 0; Oj != Lo; ++Oj)
+              OutPos[Oj] = 0.0f;
+            if (Stride == 1) {
+              // Plain loop, not memcpy: segments are a few dozen floats,
+              // where the call overhead exceeds the copy; this form
+              // auto-vectorizes to unrolled vector moves.
+              const float *Src = InRow + (static_cast<long>(Lo) + Off);
+              for (size_t Oj = Lo; Oj != Hi; ++Oj)
+                OutPos[Oj] = Src[Oj - Lo];
+            } else
+              for (size_t Oj = Lo; Oj != Hi; ++Oj)
+                OutPos[Oj] = InRow[static_cast<size_t>(
+                    static_cast<long>(Oj * Stride) + Off)];
+            for (size_t Oj = Hi; Oj != OW; ++Oj)
+              OutPos[Oj] = 0.0f;
           }
         }
       }

@@ -1,0 +1,175 @@
+//===- tests/nn/FusedForwardTest.cpp - Fused-kernel parity tests --------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Parity between the default fast kernels (packed SGEMM with the fused
+// bias/BatchNorm/ReLU epilogue, driven by Sequential's fusion plan) and
+// the --naive-kernels scalar reference path. The contract is BIT-identity
+// (DESIGN.md §12): both paths run the same fma reduction chain per output
+// element and the same epilogue op order, so every comparison below is
+// EXPECT_EQ at adversarial shapes — K not a multiple of the row block,
+// OW below the vector width, Pad > 0, batch 1 vs 32 — and across every
+// zoo architecture.
+//
+//===----------------------------------------------------------------------===//
+
+#include "nn/Activations.h"
+#include "nn/BatchNorm2d.h"
+#include "nn/Blocks.h"
+#include "nn/Conv2d.h"
+#include "nn/ModelZoo.h"
+#include "nn/Sequential.h"
+#include "support/Rng.h"
+#include "tensor/Gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace oppsla;
+
+namespace {
+
+/// Runs \p Model on \p In twice — fast kernels, then --naive-kernels —
+/// and asserts the outputs are bit-identical.
+void expectKernelParity(Sequential &Model, const Tensor &In) {
+  kernels::setNaive(false);
+  const Tensor Fast = Model.forward(In, /*Train=*/false);
+  kernels::setNaive(true);
+  const Tensor Naive = Model.forward(In, /*Train=*/false);
+  kernels::setNaive(false);
+  ASSERT_EQ(Fast.shape(), Naive.shape());
+  for (size_t I = 0; I != Fast.numel(); ++I)
+    ASSERT_EQ(Fast[I], Naive[I]) << "at flat index " << I;
+}
+
+/// Gives the BatchNorm layers non-trivial running statistics so the fused
+/// affine actually scales and shifts (fresh layers have mean 0, var 1).
+void perturbRunningStats(Sequential &Model, uint64_t Seed) {
+  Rng R(Seed);
+  for (auto &[Name, Buf] : Model.buffers())
+    for (float &V : Buf->vec())
+      V = Name.find("running_var") != std::string::npos
+              ? static_cast<float>(R.uniform(0.2, 2.0))
+              : static_cast<float>(R.normal(0.0, 0.5));
+}
+
+Tensor randomInput(Shape S, uint64_t Seed) {
+  Rng R(Seed);
+  return Tensor::randn(std::move(S), R);
+}
+
+} // namespace
+
+TEST(FusedForward, ConvBnReluAdversarialShapes) {
+  struct Case {
+    size_t InC, OutC, Kernel, Stride, Pad, Side, Batch;
+  };
+  // K = InC*Kernel*Kernel not a multiple of MR=6 (27, 25, 8), OW below
+  // NR=16 (sides 5 and 7), Pad > 0, batch 1 vs 32.
+  const Case Cases[] = {
+      {3, 7, 3, 1, 1, 5, 1},   // tiny plane, M tail of 1
+      {3, 7, 3, 1, 1, 5, 32},  // same, large batch
+      {1, 16, 5, 2, 2, 7, 4},  // 5x5 kernel, stride 2, pad 2
+      {2, 6, 2, 1, 0, 9, 3},   // even kernel, no pad
+      {3, 13, 3, 2, 1, 16, 2}, // strided, M = 13
+  };
+  for (const Case &C : Cases) {
+    Rng R(100 + C.OutC);
+    Sequential Model;
+    Model.emplace<Conv2d>(C.InC, C.OutC, C.Kernel, C.Stride, C.Pad, R,
+                          /*HasBias=*/false);
+    Model.emplace<BatchNorm2d>(C.OutC);
+    Model.emplace<ReLU>();
+    perturbRunningStats(Model, 200 + C.OutC);
+    const Tensor In = randomInput({C.Batch, C.InC, C.Side, C.Side}, 300);
+    SCOPED_TRACE(::testing::Message()
+                 << "OutC=" << C.OutC << " K=" << C.Kernel << " side="
+                 << C.Side << " batch=" << C.Batch);
+    expectKernelParity(Model, In);
+  }
+}
+
+TEST(FusedForward, BiasedConvWithoutBnOrRelu) {
+  // A bare biased conv takes the fast GEMM path with only the bias stage
+  // of the epilogue enabled.
+  Rng R(9);
+  Sequential Model;
+  Model.emplace<Conv2d>(3, 10, 3, 1, 1, R, /*HasBias=*/true);
+  expectKernelParity(Model, randomInput({2, 3, 8, 8}, 10));
+}
+
+TEST(FusedForward, ConvReluWithoutBn) {
+  Rng R(11);
+  Sequential Model;
+  Model.emplace<Conv2d>(3, 5, 3, 1, 1, R, /*HasBias=*/true);
+  Model.emplace<ReLU>();
+  expectKernelParity(Model, randomInput({3, 3, 6, 6}, 12));
+}
+
+TEST(FusedForward, ResidualBlockWithProjection) {
+  // Exercises the conv-bn-relu + conv-bn body and the 1x1 conv-bn
+  // projection (stride 2), all through nested Sequential fusion plans.
+  Rng R(13);
+  Sequential Model;
+  Model.emplace<ResidualBlock>(3, 8, /*Stride=*/2, R);
+  perturbRunningStats(Model, 14);
+  expectKernelParity(Model, randomInput({2, 3, 8, 8}, 15));
+}
+
+TEST(FusedForward, BatchOneMatchesBatch32Rows) {
+  // The fused path must stay batch-invariant: image 0's scores are the
+  // same whether it is forwarded alone or as row 0 of a batch of 32.
+  Rng R(17);
+  auto Model = buildModel(Arch::MiniResNet, /*NumClasses=*/4,
+                          /*InputSide=*/8, R);
+  perturbRunningStats(*Model, 18);
+  const Tensor Batch = randomInput({32, 3, 8, 8}, 19);
+  Tensor One({1, 3, 8, 8});
+  for (size_t I = 0; I != One.numel(); ++I)
+    One[I] = Batch[I];
+  const Tensor OutBatch = Model->forward(Batch, /*Train=*/false);
+  const Tensor OutOne = Model->forward(One, /*Train=*/false);
+  ASSERT_EQ(OutBatch.dim(0), 32u);
+  ASSERT_EQ(OutOne.dim(0), 1u);
+  const size_t Row = OutBatch.numel() / 32;
+  for (size_t I = 0; I != Row; ++I)
+    ASSERT_EQ(OutOne[I], OutBatch[I]) << "at " << I;
+}
+
+TEST(FusedForward, AllZooArchitectures) {
+  for (Arch A : {Arch::MiniVGG, Arch::MiniResNet, Arch::MiniGoogLeNet,
+                 Arch::MiniDenseNet, Arch::MiniResNet50}) {
+    const size_t Side = A == Arch::MiniResNet50 ? 16 : 8;
+    Rng R(40 + static_cast<int>(A));
+    auto Model = buildModel(A, /*NumClasses=*/10, Side, R);
+    perturbRunningStats(*Model, 50 + static_cast<int>(A));
+    SCOPED_TRACE(archName(A));
+    expectKernelParity(*Model, randomInput({3, 3, Side, Side}, 60));
+  }
+}
+
+TEST(FusedForward, TrainingForwardIgnoresFusion) {
+  // Train-mode forwards must keep the reference path (backward needs the
+  // cached im2col matrix), independent of the kernel toggle.
+  Rng R(71);
+  Sequential Model;
+  Model.emplace<Conv2d>(2, 4, 3, 1, 1, R, /*HasBias=*/false);
+  Model.emplace<BatchNorm2d>(4);
+  Model.emplace<ReLU>();
+  const Tensor In = randomInput({2, 2, 6, 6}, 72);
+  kernels::setNaive(false);
+  const Tensor FastTrain = Model.forward(In, /*Train=*/true);
+  Rng R2(71);
+  Sequential Model2;
+  Model2.emplace<Conv2d>(2, 4, 3, 1, 1, R2, /*HasBias=*/false);
+  Model2.emplace<BatchNorm2d>(4);
+  Model2.emplace<ReLU>();
+  kernels::setNaive(true);
+  const Tensor NaiveTrain = Model2.forward(In, /*Train=*/true);
+  kernels::setNaive(false);
+  for (size_t I = 0; I != FastTrain.numel(); ++I)
+    ASSERT_EQ(FastTrain[I], NaiveTrain[I]) << "at " << I;
+}

@@ -14,6 +14,7 @@
 #include "nn/Pooling.h"
 #include "nn/Sequential.h"
 #include "support/Rng.h"
+#include "tensor/Gemm.h"
 
 #include <gtest/gtest.h>
 
@@ -137,12 +138,49 @@ TEST(BatchNormLayer, InferenceUsesRunningStats) {
   for (float &V : In.vec())
     V = static_cast<float>(R.normal(2.0, 0.5));
   L.forward(In, true);
-  // At inference, normalizing the same batch with the captured stats gives
-  // nearly the same output as train mode (up to the biased-variance eps).
-  const Tensor TrainOut = L.forward(In, true);
+  // Inference normalizes with the captured running stats: the batch mean
+  // and the unbiased (Count/(Count-1)) batch variance.
+  const size_t Count = In.numel();
+  double Sum = 0.0, SqSum = 0.0;
+  for (size_t I = 0; I != Count; ++I) {
+    Sum += In[I];
+    SqSum += static_cast<double>(In[I]) * In[I];
+  }
+  const double Mean = Sum / static_cast<double>(Count);
+  const double VarBiased = SqSum / static_cast<double>(Count) - Mean * Mean;
+  const double VarUnbiased =
+      VarBiased * static_cast<double>(Count) / (Count - 1.0);
   const Tensor EvalOut = L.forward(In, false);
   for (size_t I = 0; I != EvalOut.numel(); ++I)
-    EXPECT_NEAR(EvalOut[I], TrainOut[I], 5e-2f);
+    EXPECT_NEAR(EvalOut[I], (In[I] - Mean) / std::sqrt(VarUnbiased + 1e-5),
+                1e-4f);
+}
+
+TEST(BatchNormLayer, RunningVarIsUnbiasedNormalizationIsBiased) {
+  // ISSUE 7 satellite regression: training normalizes with the biased
+  // (population, /Count) variance, but the running buffer tracks the
+  // unbiased sample variance (Bessel's Count/(Count-1) correction) — the
+  // torch.nn.BatchNorm2d convention the training recipes assume.
+  BatchNorm2d L(1, /*Momentum=*/1.0f);
+  const Tensor In({1, 1, 2, 2}, {1.0f, 2.0f, 3.0f, 4.0f}); // Count = 4
+  const Tensor Out = L.forward(In, true);
+  const double VarBiased = 1.25; // population variance of {1, 2, 3, 4}
+  const double VarUnbiased = VarBiased * 4.0 / 3.0;
+  EXPECT_NEAR(L.runningMean()[0], 2.5f, 1e-6f);
+  EXPECT_NEAR(L.runningVar()[0], static_cast<float>(VarUnbiased), 1e-5f);
+  EXPECT_NEAR(Out[0], (1.0 - 2.5) / std::sqrt(VarBiased + 1e-5), 1e-5f)
+      << "train-mode normalization must stay biased";
+}
+
+TEST(BatchNormLayer, SingleElementBatchGuardsBesselDivision) {
+  // Count == 1 has no unbiased variance estimate; the update must fall
+  // back to the biased value instead of dividing by zero.
+  BatchNorm2d L(1, /*Momentum=*/1.0f);
+  const Tensor In({1, 1, 1, 1}, {3.0f});
+  L.forward(In, true);
+  ASSERT_TRUE(std::isfinite(L.runningVar()[0]));
+  EXPECT_NEAR(L.runningVar()[0], 0.0f, 1e-6f);
+  EXPECT_NEAR(L.runningMean()[0], 3.0f, 1e-6f);
 }
 
 TEST(BatchNormLayer, ExposesRunningBuffers) {
@@ -160,6 +198,31 @@ TEST(Conv2dLayer, OutputShape) {
   const Tensor In({2, 3, 32, 32});
   const Tensor Out = L.forward(In, false);
   EXPECT_EQ(Out.shape(), Shape({2, 8, 16, 16}));
+}
+
+TEST(Conv2dLayer, AlternatingBatchSizesReuseScratch) {
+  // ISSUE 7 satellite regression: the inference scratch buffers used to
+  // be reallocated on any exact shape mismatch, so alternating full and
+  // tail engine batches (e.g. batch 8 then remainder 3) thrashed the
+  // allocator on every submission. Capacity-based reuse allocates only at
+  // the high-water mark: with the larger batch first, at most one growth
+  // per scratch buffer (Cols + Out = 2) no matter how often the sizes
+  // alternate.
+  Rng R(23);
+  Conv2d L(3, 8, 3, 1, 1, R);
+  const Tensor Big = Tensor::randn({8, 3, 8, 8}, R);
+  const Tensor Small = Tensor::randn({3, 3, 8, 8}, R);
+  kernels::setNaive(true); // exercise both ScratchCols and ScratchOut
+  L.forward(Big, /*Train=*/false);
+  const size_t AfterFirst = L.scratchReallocs();
+  EXPECT_LE(AfterFirst, 2u);
+  for (int It = 0; It != 4; ++It) {
+    L.forward(Small, /*Train=*/false);
+    L.forward(Big, /*Train=*/false);
+  }
+  kernels::setNaive(false);
+  EXPECT_EQ(L.scratchReallocs(), AfterFirst)
+      << "alternating batch sizes must not grow scratch again";
 }
 
 TEST(Conv2dLayer, KnownConvolution) {

@@ -7,10 +7,12 @@
 #include "tensor/TensorOps.h"
 
 #include "support/Rng.h"
+#include "tensor/Gemm.h"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 using namespace oppsla;
 
@@ -91,6 +93,46 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
                       std::make_tuple(5, 7, 3), std::make_tuple(8, 8, 8),
                       std::make_tuple(1, 16, 5), std::make_tuple(13, 1, 9)));
+
+TEST(MatmulTransposedA, PropagatesNonFiniteThroughZeroElements) {
+  // ISSUE 7 satellite regression: matmulTransposedA used to skip A
+  // elements equal to 0.0f, silently dropping the 0 * Inf = NaN and
+  // 0 * NaN = NaN products the dense path produces. The sparse-A loop,
+  // the dense matmul on the explicit transpose, and the packed fast GEMM
+  // must agree elementwise on non-finite data.
+  const float Inf = std::numeric_limits<float>::infinity();
+  const float NaN = std::numeric_limits<float>::quiet_NaN();
+  const Tensor A({2, 3}, {0.0f, 1.0f, 0.0f, 2.0f, 0.0f, -1.0f});
+  const Tensor B({2, 4}, {Inf, 1.0f, NaN, 2.0f, 3.0f, -Inf, 4.0f, NaN});
+
+  // Sparse-A path under test: C = A^T * B.
+  Tensor Sparse({3, 4});
+  matmulTransposedA(A, B, Sparse);
+
+  // Dense path: the same product via an explicit transpose.
+  const Tensor At = transpose2d(A);
+  Tensor Dense({3, 4});
+  matmul(At, B, Dense);
+
+  // Packed fast-kernel path.
+  std::vector<float> Pack(gemmPackedSize(3, 2));
+  gemmPackA(At.data(), 3, 2, Pack.data());
+  Tensor Fast({3, 4});
+  gemmPacked(Pack.data(), B.data(), Fast.data(), 3, 2, 4, GemmEpilogue{});
+
+  bool SawNaN = false;
+  for (size_t I = 0; I != Dense.numel(); ++I) {
+    if (std::isnan(Dense[I])) {
+      SawNaN = true;
+      EXPECT_TRUE(std::isnan(Sparse[I])) << "at " << I;
+      EXPECT_TRUE(std::isnan(Fast[I])) << "at " << I;
+    } else {
+      EXPECT_EQ(Sparse[I], Dense[I]) << "at " << I;
+      EXPECT_EQ(Fast[I], Dense[I]) << "at " << I;
+    }
+  }
+  EXPECT_TRUE(SawNaN) << "test data must exercise 0 * Inf";
+}
 
 TEST(Transpose2d, SwapsIndices) {
   const Tensor A({2, 3}, {1, 2, 3, 4, 5, 6});

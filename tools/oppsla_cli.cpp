@@ -37,6 +37,7 @@
 #include "support/Table.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
+#include "tensor/Gemm.h"
 
 #include <algorithm>
 #include <fstream>
@@ -75,6 +76,9 @@ int usage() {
          "                  --engine-threads N (parallel forward chunks)\n"
          "                  results and avgQueries are identical for any\n"
          "                  engine setting, including --batch-size 1\n"
+         "  kernels:        --naive-kernels (route conv/GEMM through the\n"
+         "                  scalar reference loops; bit-identical to the\n"
+         "                  default packed SGEMM, see DESIGN.md §12)\n"
          "run with a subcommand for its specific options (see tool header)\n";
   return 2;
 }
@@ -352,7 +356,9 @@ int main(int argc, char **argv) {
   const std::string Cmd = argv[1];
   ArgParse Args(argc - 1, argv + 1);
 
-  // Telemetry flags are shared by every subcommand.
+  // Telemetry flags are shared by every subcommand, as is the
+  // --naive-kernels escape hatch back to the scalar reference kernels.
+  kernels::configureFromArgs(Args);
   if (!telemetry::configureFromArgs(Args))
     return 1;
   telemetry::setProgressEnabled(Args.getFlag("progress"));
