@@ -1,0 +1,218 @@
+//===- bench/serve_throughput.cpp - Job server throughput --------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the serve subsystem end to end over real loopback HTTP: job
+// submission/completion throughput (jobs/sec) and per-job latency
+// (p50/p99) through the full queue -> runner -> checkpoint -> artifact
+// path, plus a deterministic admission-control phase that saturates a
+// workerless queue and counts the 429 rejects — an exact-gated metric,
+// since sequential submissions against a disabled runner must reject
+// precisely (submitted - capacity) jobs. Emits BENCH_serve.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/JobQueue.h"
+#include "serve/JobRunner.h"
+#include "serve/ServeServer.h"
+#include "support/ArgParse.h"
+#include "support/BenchJson.h"
+#include "support/BenchScale.h"
+#include "support/Http.h"
+#include "support/Json.h"
+#include "support/Metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace oppsla;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+/// One tiny attack job: 2 images of the shared seed-1 victim, so every
+/// job after the first reuses the pooled classifier and score cache and
+/// the bench measures serving overhead, not victim training.
+std::string jobBody(size_t I) {
+  return "{\"kind\":\"attack\",\"attack\":\"random\","
+         "\"victim\":{\"task\":\"cifar\",\"arch\":\"resnet\","
+         "\"scale\":\"smoke\"},\"seed\":1,\"budget\":16,"
+         "\"slice\":{\"begin\":" +
+         std::to_string((I * 2) % 10) + ",\"count\":2}}";
+}
+
+/// POST /v1/jobs; returns the HTTP status and the admitted id (0 on
+/// rejection).
+int submitJob(uint16_t Port, const std::string &Body, uint64_t &Id) {
+  http::Response Resp;
+  std::string Error;
+  if (!http::request(Port, "POST", "/v1/jobs", Body, Resp, Error)) {
+    std::cerr << "error: submit failed: " << Error << "\n";
+    std::exit(1);
+  }
+  Id = 0;
+  json::Value Doc;
+  if (Resp.Status == 202 && json::parse(Resp.Body, Doc, Error))
+    Id = static_cast<uint64_t>(Doc.getNumber("id", 0.0));
+  return Resp.Status;
+}
+
+/// Polls GET /v1/jobs/<id> until the job is done (aborts on failed /
+/// cancelled — the bench's jobs must all succeed).
+void waitDone(uint16_t Port, uint64_t Id) {
+  for (;;) {
+    http::Response Resp;
+    std::string Error;
+    if (!http::request(Port, "GET", "/v1/jobs/" + std::to_string(Id), "",
+                       Resp, Error)) {
+      std::cerr << "error: status poll failed: " << Error << "\n";
+      std::exit(1);
+    }
+    json::Value Doc;
+    if (Resp.Status == 200 && json::parse(Resp.Body, Doc, Error)) {
+      const std::string State = Doc.getString("state", "");
+      if (State == "done")
+        return;
+      if (State == "failed" || State == "cancelled") {
+        std::cerr << "error: job " << Id << " " << State << ": "
+                  << Doc.getString("error", "") << "\n";
+        std::exit(1);
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+double quantileMs(std::vector<double> Sorted, double Q) {
+  if (Sorted.empty())
+    return 0.0;
+  const size_t Idx = std::min(
+      Sorted.size() - 1,
+      static_cast<size_t>(Q * static_cast<double>(Sorted.size())));
+  return Sorted[Idx] * 1e3;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const ArgParse Args(argc, argv);
+  if (!telemetry::configureFromArgs(Args))
+    return 1;
+  const BenchScale Scale = BenchScale::fromEnv();
+  const size_t NumJobs = Scale.Name == "smoke"   ? 8
+                         : Scale.Name == "paper" ? 48
+                                                 : 16;
+
+  std::cout << "== Serve throughput (scale: " << Scale.Name << ", "
+            << NumJobs << " jobs) ==\n\n";
+
+  // --- Phase 1: admission control at saturation. -----------------------
+  // A workerless runner never drains the queue, so submissions beyond the
+  // capacity MUST come back 429 — deterministically.
+  constexpr size_t Capacity = 4;
+  constexpr size_t Overflow = 3;
+  size_t Rejects = 0;
+  {
+    serve::JobQueue Queue(Capacity);
+    serve::JobRunnerConfig RC;
+    RC.Workers = 0;
+    RC.CheckpointDir = "serve-bench-admission";
+    serve::JobRunner Runner(Queue, RC);
+    serve::ServeServer Server(Queue, Runner);
+    if (!Server.start())
+      return 1;
+    for (size_t I = 0; I != Capacity + Overflow; ++I) {
+      uint64_t Id = 0;
+      const int Status = submitJob(Server.port(), jobBody(I), Id);
+      if (Status == 429)
+        ++Rejects;
+      else if (Status != 202) {
+        std::cerr << "error: unexpected submit status " << Status << "\n";
+        return 1;
+      }
+    }
+    Server.stop();
+    Runner.stop();
+  }
+  std::cout << "admission: capacity " << Capacity << ", submitted "
+            << (Capacity + Overflow) << ", rejected " << Rejects
+            << " (want " << Overflow << ")\n";
+  if (Rejects != Overflow) {
+    std::cerr << "error: admission control is not deterministic\n";
+    return 1;
+  }
+
+  // --- Phase 2: throughput through the full serving path. --------------
+  serve::JobQueue Queue(256);
+  serve::JobRunnerConfig RC;
+  RC.Workers = 2;
+  RC.Threads = 1;
+  RC.CheckpointEvery = 4;
+  RC.CheckpointDir = "serve-bench-ckpt";
+  serve::JobRunner Runner(Queue, RC);
+  serve::ServeServer Server(Queue, Runner);
+  if (!Server.start())
+    return 1;
+  Runner.start();
+
+  // Warmup: the first job trains (or loads) the pooled victim; keep that
+  // cost out of the serving numbers.
+  {
+    uint64_t WarmId = 0;
+    if (submitJob(Server.port(), jobBody(0), WarmId) != 202 || !WarmId)
+      return 1;
+    waitDone(Server.port(), WarmId);
+  }
+
+  const auto T0 = Clock::now();
+  std::vector<std::pair<uint64_t, Clock::time_point>> Pending;
+  Pending.reserve(NumJobs);
+  for (size_t I = 0; I != NumJobs; ++I) {
+    uint64_t Id = 0;
+    if (submitJob(Server.port(), jobBody(I), Id) != 202 || !Id) {
+      std::cerr << "error: throughput submission rejected\n";
+      return 1;
+    }
+    Pending.emplace_back(Id, Clock::now());
+  }
+
+  std::vector<double> LatencySeconds;
+  LatencySeconds.reserve(NumJobs);
+  for (const auto &[Id, Submitted] : Pending) {
+    waitDone(Server.port(), Id);
+    LatencySeconds.push_back(
+        std::chrono::duration<double>(Clock::now() - Submitted).count());
+  }
+  const double Wall = std::chrono::duration<double>(Clock::now() - T0).count();
+  Server.stop();
+  Runner.stop();
+
+  std::sort(LatencySeconds.begin(), LatencySeconds.end());
+  const double JobsPerSec =
+      Wall > 0 ? static_cast<double>(NumJobs) / Wall : 0.0;
+  const double P50 = quantileMs(LatencySeconds, 0.50);
+  const double P99 = quantileMs(LatencySeconds, 0.99);
+
+  std::cout << "throughput: " << NumJobs << " jobs in " << Wall
+            << " s = " << JobsPerSec << " jobs/sec\n"
+            << "latency: p50 " << P50 << " ms, p99 " << P99 << " ms\n";
+
+  BenchJson BJ("serve", Scale.Name, Args);
+  BJ.set("jobs", static_cast<double>(NumJobs));
+  BJ.set("jobs_per_sec", JobsPerSec);
+  BJ.set("job_latency_p50_ms", P50);
+  BJ.set("job_latency_p99_ms", P99);
+  BJ.set("queue_full_rejects", static_cast<double>(Rejects));
+  BJ.set("wall_seconds", Wall);
+  BJ.addTelemetryCounters();
+  if (!BJ.writeFromArgs(Args))
+    return 1;
+  return 0;
+}

@@ -56,7 +56,8 @@ bool sameBytes(const Image &A, const Image &B) {
 } // namespace
 
 QueryEngine::QueryEngine(Classifier &Inner, QueryEngineConfig Config)
-    : Inner(Inner), Config(Config), Cache(Config.CacheCapacity) {
+    : Inner(Inner), Config(Config),
+      Cache(std::make_shared<ScoreCache>(Config.CacheCapacity)) {
   assert(this->Config.BatchSize >= 1 && "batch size must be positive");
 }
 
@@ -67,9 +68,9 @@ std::vector<float> QueryEngine::scores(const Image &Img) {
   ++Logical;
   logicalCounter().inc();
   std::vector<float> S;
-  if (Cache.enabled()) {
+  if (Cache->enabled()) {
     const uint64_t Hash = Img.contentHash();
-    if (Cache.lookup(Img, Hash, S)) {
+    if (Cache->lookup(Img, Hash, S)) {
       hitCounter().inc();
       return S;
     }
@@ -78,7 +79,7 @@ std::vector<float> QueryEngine::scores(const Image &Img) {
     ++Physical;
     forwardCounter().inc();
     batchSizeHist().observe(1.0);
-    Cache.insert(Img, Hash, S);
+    Cache->insert(Img, Hash, S);
     return S;
   }
   S = Inner.scores(Img);
@@ -107,13 +108,13 @@ std::vector<std::vector<float>> QueryEngine::scoresBatch(
   {
     telemetry::ProfileScope ProbeSpan("engine.cache.probe");
     for (size_t I = 0; I != N; ++I) {
-      const uint64_t Hash = Cache.enabled() ? Imgs[I].contentHash() : 0;
-      if (Cache.enabled() && Cache.lookup(Imgs[I], Hash, Out[I])) {
+      const uint64_t Hash = Cache->enabled() ? Imgs[I].contentHash() : 0;
+      if (Cache->enabled() && Cache->lookup(Imgs[I], Hash, Out[I])) {
         ++Hits;
         continue;
       }
       bool Aliased = false;
-      if (Cache.enabled()) {
+      if (Cache->enabled()) {
         for (size_t Rep : Reps[Hash]) {
           if (sameBytes(Imgs[Rep], Imgs[I])) {
             Aliases.emplace_back(I, Rep);
@@ -132,9 +133,9 @@ std::vector<std::vector<float>> QueryEngine::scoresBatch(
   missCounter().inc(N - Hits);
 
   forwardUnique(Imgs, Unique, Out);
-  if (Cache.enabled())
+  if (Cache->enabled())
     for (size_t I : Unique)
-      Cache.insert(Imgs[I], Imgs[I].contentHash(), Out[I]);
+      Cache->insert(Imgs[I], Imgs[I].contentHash(), Out[I]);
   for (const auto &[Dup, Rep] : Aliases)
     Out[Dup] = Out[Rep];
 
@@ -150,7 +151,7 @@ std::vector<std::vector<float>> QueryEngine::scoresBatch(
 
 void QueryEngine::prefetch(std::span<const Image> Imgs) {
   // Without a cache there is nowhere to park speculative results.
-  if (!Cache.enabled() || Imgs.empty())
+  if (!Cache->enabled() || Imgs.empty())
     return;
   telemetry::ProfileScope Span("engine.prefetch");
 
@@ -158,7 +159,7 @@ void QueryEngine::prefetch(std::span<const Image> Imgs) {
   std::unordered_map<uint64_t, std::vector<size_t>> Reps;
   for (size_t I = 0; I != Imgs.size(); ++I) {
     const uint64_t Hash = Imgs[I].contentHash();
-    if (Cache.contains(Imgs[I], Hash))
+    if (Cache->contains(Imgs[I], Hash))
       continue;
     bool Aliased = false;
     for (size_t Rep : Reps[Hash])
@@ -172,7 +173,7 @@ void QueryEngine::prefetch(std::span<const Image> Imgs) {
     Unique.push_back(I);
     // Prefetching past the cache capacity would evict this submission's
     // own entries before the attack consumes them.
-    if (Unique.size() == Cache.capacity())
+    if (Unique.size() == Cache->capacity())
       break;
   }
   if (Unique.empty())
@@ -181,7 +182,7 @@ void QueryEngine::prefetch(std::span<const Image> Imgs) {
   std::vector<std::vector<float>> Scores(Imgs.size());
   forwardUnique(Imgs, Unique, Scores);
   for (size_t I : Unique)
-    Cache.insert(Imgs[I], Imgs[I].contentHash(), std::move(Scores[I]));
+    Cache->insert(Imgs[I], Imgs[I].contentHash(), std::move(Scores[I]));
   prefetchCounter().inc(Unique.size());
 
   if (telemetry::traceEnabled())
@@ -278,6 +279,8 @@ std::unique_ptr<Classifier> QueryEngine::clone() const {
     return nullptr;
   auto Out = std::make_unique<QueryEngine>(*InnerClone, Config);
   Out->OwnedInner = std::move(InnerClone);
+  if (Config.ShareCacheOnClone)
+    Out->Cache = Cache; // thread-safe, byte-verified: results unchanged
   return Out;
 }
 

@@ -55,6 +55,13 @@ struct QueryEngineConfig {
   /// of classifier clones (requires a cloneable inner classifier). Results
   /// are assembled in index order, so the thread count never changes them.
   size_t Threads = 1;
+  /// When true, clone() hands out engines that share this engine's
+  /// ScoreCache instead of building a fresh one. The cache is thread-safe
+  /// and verifies full image bytes on every hit, so sharing can only
+  /// convert misses into hits — results stay byte-identical. The serve
+  /// subsystem turns this on so concurrent jobs against the same victim
+  /// pool their forwards.
+  bool ShareCacheOnClone = false;
 };
 
 /// Batching, memoizing classifier decorator.
@@ -69,16 +76,19 @@ public:
   std::vector<std::vector<float>> scoresBatch(
       std::span<const Image> Imgs) override;
   void prefetch(std::span<const Image> Imgs) override;
-  bool prefetchable() const override { return Cache.enabled(); }
+  bool prefetchable() const override { return Cache->enabled(); }
   size_t numClasses() const override { return Inner.numClasses(); }
 
   /// Clones the inner classifier and builds an independent engine around
-  /// it (same config, fresh cache). Returns nullptr when the inner
-  /// classifier is not cloneable.
+  /// it (same config; fresh cache, or this engine's cache when
+  /// Config.ShareCacheOnClone). Returns nullptr when the inner classifier
+  /// is not cloneable.
   std::unique_ptr<Classifier> clone() const override;
 
   const QueryEngineConfig &config() const { return Config; }
-  ScoreCache &cache() { return Cache; }
+  ScoreCache &cache() { return *Cache; }
+  /// The cache as a shareable handle (see ShareCacheOnClone).
+  const std::shared_ptr<ScoreCache> &cacheHandle() const { return Cache; }
 
   /// Per-engine counters (process-wide aggregates live in the telemetry
   /// registry under engine.*).
@@ -100,7 +110,8 @@ private:
   Classifier &Inner;
   std::unique_ptr<Classifier> OwnedInner; ///< set on clones
   QueryEngineConfig Config;
-  ScoreCache Cache;
+  std::shared_ptr<ScoreCache> Cache; ///< never null; shared across clones
+                                     ///< when Config.ShareCacheOnClone
 
   std::unique_ptr<ThreadPool> Pool;
   std::vector<std::unique_ptr<Classifier>> WorkerClones;

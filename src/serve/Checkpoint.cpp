@@ -1,0 +1,101 @@
+//===- serve/Checkpoint.cpp - Job checkpoint files ---------------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Checkpoint.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+
+using namespace oppsla;
+using namespace oppsla::serve;
+
+namespace fs = std::filesystem;
+
+std::string serve::jobCheckpointPath(const std::string &Dir, uint64_t Id) {
+  return Dir + "/job-" + std::to_string(Id) + ".ckpt";
+}
+
+std::string serve::jobResultPath(const std::string &Dir, uint64_t Id) {
+  return Dir + "/job-" + std::to_string(Id) + ".result";
+}
+
+bool serve::ensureDir(const std::string &Dir, std::string &Error) {
+  std::error_code Ec;
+  fs::create_directories(Dir, Ec);
+  if (Ec && !fs::is_directory(Dir)) {
+    Error = "checkpoint: cannot create " + Dir + ": " + Ec.message();
+    return false;
+  }
+  return true;
+}
+
+bool serve::writeCheckpoint(const std::string &Path,
+                            const std::string &SpecJson,
+                            const std::vector<WireRun> &Runs,
+                            std::string &Error) {
+  WireBuilder B;
+  B.addJobSpecJson(SpecJson);
+  // Index order keeps the artifact bytes independent of completion order,
+  // which is what makes resumed and uninterrupted runs byte-identical.
+  std::vector<WireRun> Sorted = Runs;
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const WireRun &A, const WireRun &B) {
+              return A.Index < B.Index;
+            });
+  for (const WireRun &R : Sorted)
+    B.addRun(R);
+  return writeFileAtomic(Path, B.finish(), Error);
+}
+
+bool serve::loadCheckpoint(const std::string &Path, std::string &SpecJson,
+                           std::vector<WireRun> &Runs, std::string &Error) {
+  WireContents C;
+  if (!readWireFile(Path, C, Error))
+    return false;
+  if (C.JobSpecJson.empty()) {
+    Error = "checkpoint: " + Path + " carries no job spec record";
+    return false;
+  }
+  SpecJson = std::move(C.JobSpecJson);
+  Runs = std::move(C.Runs);
+  return true;
+}
+
+std::vector<RecoveredJob> serve::scanCheckpointDir(const std::string &Dir) {
+  std::vector<RecoveredJob> Out;
+  std::error_code Ec;
+  for (const auto &Entry : fs::directory_iterator(Dir, Ec)) {
+    const std::string Name = Entry.path().filename().string();
+    if (Name.rfind("job-", 0) != 0)
+      continue;
+    bool Finished;
+    size_t Tail;
+    if (Name.size() > 7 && Name.compare(Name.size() - 5, 5, ".ckpt") == 0) {
+      Finished = false;
+      Tail = 5;
+    } else if (Name.size() > 9 &&
+               Name.compare(Name.size() - 7, 7, ".result") == 0) {
+      Finished = true;
+      Tail = 7;
+    } else {
+      continue;
+    }
+    const std::string IdStr = Name.substr(4, Name.size() - 4 - Tail);
+    char *End = nullptr;
+    const unsigned long long Id = std::strtoull(IdStr.c_str(), &End, 10);
+    if (End == IdStr.c_str() || *End != '\0')
+      continue;
+    Out.push_back({Id, Entry.path().string(), Finished});
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const RecoveredJob &A, const RecoveredJob &B) {
+              if (A.Id != B.Id)
+                return A.Id < B.Id;
+              return A.Finished > B.Finished;
+            });
+  return Out;
+}

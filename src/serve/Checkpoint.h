@@ -1,0 +1,65 @@
+//===- serve/Checkpoint.h - Job checkpoint files ----------------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Durable per-job state for the serve subsystem. A job's progress lives
+/// in `<dir>/job-<id>.ckpt` (a wire artifact holding the job spec plus
+/// every completed run) and its finished output in `<dir>/job-<id>.result`
+/// (same format, all runs). Both are written atomically, so a crash at any
+/// instant leaves either the previous checkpoint or the new one — never a
+/// torn file. On restart, scanCheckpointDir() recovers finished results
+/// and pending jobs; because each run is a pure function of (seed, image),
+/// re-running only the missing indices reproduces the uninterrupted
+/// artifact byte-for-byte.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_SERVE_CHECKPOINT_H
+#define OPPSLA_SERVE_CHECKPOINT_H
+
+#include "serve/Wire.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace oppsla {
+namespace serve {
+
+/// `<dir>/job-<id>.ckpt` — in-progress state.
+std::string jobCheckpointPath(const std::string &Dir, uint64_t Id);
+
+/// `<dir>/job-<id>.result` — completed artifact, served for download.
+std::string jobResultPath(const std::string &Dir, uint64_t Id);
+
+/// Creates \p Dir (and parents) if missing.
+bool ensureDir(const std::string &Dir, std::string &Error);
+
+/// Atomically writes a checkpoint carrying \p SpecJson and \p Runs.
+bool writeCheckpoint(const std::string &Path, const std::string &SpecJson,
+                     const std::vector<WireRun> &Runs, std::string &Error);
+
+/// Loads a checkpoint written by writeCheckpoint(). All-or-nothing, like
+/// every wire read.
+bool loadCheckpoint(const std::string &Path, std::string &SpecJson,
+                    std::vector<WireRun> &Runs, std::string &Error);
+
+/// One recovered file from a checkpoint directory.
+struct RecoveredJob {
+  uint64_t Id = 0;
+  std::string Path;
+  bool Finished = false; ///< true for .result files, false for .ckpt
+};
+
+/// Lists the job files in \p Dir, sorted by id (results before the
+/// checkpoint of the same id, though a job never has both). Unparseable
+/// filenames are ignored.
+std::vector<RecoveredJob> scanCheckpointDir(const std::string &Dir);
+
+} // namespace serve
+} // namespace oppsla
+
+#endif // OPPSLA_SERVE_CHECKPOINT_H

@@ -1,0 +1,445 @@
+//===- serve/JobRunner.cpp - Job execution engine -----------------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/JobRunner.h"
+
+#include "attacks/RandomPairSearch.h"
+#include "attacks/SparseRS.h"
+#include "attacks/SuOPA.h"
+#include "eval/Evaluation.h"
+#include "serve/Checkpoint.h"
+#include "support/Logging.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+
+#include <unistd.h>
+
+using namespace oppsla;
+using namespace oppsla::serve;
+
+namespace {
+
+telemetry::Gauge &runningGauge() {
+  static telemetry::Gauge &G = telemetry::gauge("serve.jobs.running");
+  return G;
+}
+telemetry::Gauge &inflightGauge() {
+  static telemetry::Gauge &G = telemetry::gauge("serve.shards.inflight");
+  return G;
+}
+telemetry::Counter &completedCounter() {
+  static telemetry::Counter &C = telemetry::counter("serve.jobs.completed");
+  return C;
+}
+telemetry::Counter &failedCounter() {
+  static telemetry::Counter &C = telemetry::counter("serve.jobs.failed");
+  return C;
+}
+telemetry::Counter &cancelledCounter() {
+  static telemetry::Counter &C = telemetry::counter("serve.jobs.cancelled");
+  return C;
+}
+telemetry::Counter &checkpointCounter() {
+  static telemetry::Counter &C =
+      telemetry::counter("serve.checkpoints.written");
+  return C;
+}
+
+TaskKind taskOfSpec(const JobSpec &S) {
+  return S.TaskName == "imagenet" ? TaskKind::ImageNetLike
+                                  : TaskKind::CifarLike;
+}
+
+std::unique_ptr<Attack> makeBaselineAttack(const std::string &Name) {
+  if (Name == "sparse-rs")
+    return std::make_unique<SparseRS>();
+  if (Name == "suopa")
+    return std::make_unique<SuOPA>();
+  if (Name == "random")
+    return std::make_unique<RandomPairSearch>();
+  return nullptr;
+}
+
+/// The per-job progress gauges /metrics exposes
+/// (serve.job.<id>.done/.total).
+void setJobGauges(const Job &J) {
+  const std::string Stem = "serve.job." + std::to_string(J.Id);
+  telemetry::gauge(Stem + ".done")
+      .set(static_cast<double>(J.Done.load(std::memory_order_relaxed)));
+  telemetry::gauge(Stem + ".total")
+      .set(static_cast<double>(J.Total.load(std::memory_order_relaxed)));
+}
+
+WireRun toWireRun(size_t Index, const AttackRunLog &Log) {
+  WireRun R;
+  R.Index = static_cast<uint32_t>(Index);
+  R.Label = static_cast<uint32_t>(Log.Label);
+  R.Outcome = Log.Discarded ? 2 : Log.Success ? 1 : 0;
+  R.Queries = Log.Queries;
+  return R;
+}
+
+} // namespace
+
+JobRunner::JobRunner(JobQueue &Queue, JobRunnerConfig Config)
+    : Queue(Queue), Config(std::move(Config)) {
+  // Shared-cache clones are the point of pooling jobs per victim; the
+  // cache byte-verifies hits, so this is a pure perf setting.
+  this->Config.Engine.ShareCacheOnClone = true;
+  if (this->Config.CheckpointEvery == 0)
+    this->Config.CheckpointEvery = 1;
+  std::string Error;
+  if (!ensureDir(this->Config.CheckpointDir, Error))
+    logError() << "serve: " << Error;
+}
+
+JobRunner::~JobRunner() { stop(); }
+
+void JobRunner::start() {
+  for (size_t T = 0; T != Config.Workers; ++T)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+void JobRunner::stop() {
+  Stopping.store(true, std::memory_order_relaxed);
+  Queue.close();
+  for (std::thread &W : Workers)
+    if (W.joinable())
+      W.join();
+  Workers.clear();
+}
+
+void JobRunner::workerLoop() {
+  while (std::shared_ptr<Job> J = Queue.pop())
+    runJob(J);
+}
+
+JobRunner::VictimEntry &JobRunner::victimEntry(const JobSpec &S) {
+  const BenchScale Scale = BenchScale::preset(S.ScaleName);
+  const TaskKind Task = taskOfSpec(S);
+  const Arch A = archFromName(S.ArchName);
+  const std::string Stem = victimStem(Task, A, Scale, S.Seed);
+
+  VictimEntry *E;
+  {
+    std::lock_guard<std::mutex> Lock(PoolMu);
+    std::unique_ptr<VictimEntry> &Slot = Victims[Stem];
+    if (!Slot)
+      Slot = std::make_unique<VictimEntry>();
+    E = Slot.get();
+  }
+  std::lock_guard<std::mutex> Lock(E->Mu);
+  if (!E->Victim) {
+    E->Victim = makeScaledVictim(Task, A, Scale, S.Seed);
+    QueryEngineConfig EC = Config.Engine;
+    EC.ShareCacheOnClone = true;
+    E->Engine = std::make_unique<QueryEngine>(*E->Victim, EC);
+  }
+  return *E;
+}
+
+bool JobRunner::checkpointJob(Job &J) {
+  std::vector<WireRun> Runs;
+  {
+    std::lock_guard<std::mutex> Lock(J.Mu);
+    Runs = J.Runs;
+  }
+  std::string Error;
+  const std::string Path = jobCheckpointPath(Config.CheckpointDir, J.Id);
+  if (!writeCheckpoint(Path, jobSpecJson(J.Spec), Runs, Error)) {
+    logError() << "serve: " << Error;
+    return false;
+  }
+  checkpointCounter().inc();
+  if (telemetry::traceEnabled())
+    telemetry::traceEvent("job_checkpoint",
+                          {{"job", J.Id},
+                           {"done", J.Done.load(std::memory_order_relaxed)},
+                           {"total",
+                            J.Total.load(std::memory_order_relaxed)}});
+  return true;
+}
+
+void JobRunner::runJob(const std::shared_ptr<Job> &J) {
+  runningGauge().add(1.0);
+  if (telemetry::traceEnabled())
+    telemetry::traceEvent("job_begin",
+                          {{"job", J->Id},
+                           {"kind", jobKindName(J->Spec.Kind)}});
+
+  auto Finish = [&](JobState Final, const std::string &Error) {
+    if (Final == JobState::Failed) {
+      std::lock_guard<std::mutex> Lock(J->Mu);
+      J->Error = Error;
+    }
+    J->State.store(Final, std::memory_order_relaxed);
+    switch (Final) {
+    case JobState::Done:
+      completedCounter().inc();
+      break;
+    case JobState::Failed:
+      failedCounter().inc();
+      break;
+    case JobState::Cancelled:
+      cancelledCounter().inc();
+      break;
+    default:
+      break;
+    }
+    runningGauge().add(-1.0);
+    if (telemetry::traceEnabled())
+      telemetry::traceEvent("job_end", {{"job", J->Id},
+                                        {"state", jobStateName(Final)}});
+  };
+
+  try {
+    const JobSpec &S = J->Spec;
+    const BenchScale Scale = BenchScale::preset(S.ScaleName);
+    const TaskKind Task = taskOfSpec(S);
+    const uint64_t Budget = S.Budget ? S.Budget : Scale.EvalQueryCap;
+    const std::string ResultPath =
+        jobResultPath(Config.CheckpointDir, J->Id);
+    const std::string CkptPath =
+        jobCheckpointPath(Config.CheckpointDir, J->Id);
+
+    VictimEntry &E = victimEntry(S);
+
+    if (S.Kind == JobKind::Synth) {
+      // Synthesis is one atomic step through the program cache; no
+      // mid-job checkpointing.
+      J->Total.store(Scale.NumClasses, std::memory_order_relaxed);
+      setJobGauges(*J);
+      std::vector<Program> Programs;
+      {
+        std::lock_guard<std::mutex> Lock(E.Mu);
+        if (!E.ProgramsReady) {
+          E.Programs = synthesizeClassPrograms(
+              *E.Victim,
+              victimStem(Task, archFromName(S.ArchName), Scale, S.Seed),
+              Task, Scale, S.Seed, std::max<size_t>(1, Config.Threads));
+          E.ProgramsReady = true;
+        }
+        Programs = E.Programs;
+      }
+      WireBuilder B;
+      B.addJobSpecJson(jobSpecJson(S));
+      for (const Program &P : Programs)
+        B.addProgram(P.str());
+      std::string Error;
+      if (!writeFileAtomic(ResultPath, B.finish(), Error))
+        return Finish(JobState::Failed, Error);
+      J->Done.store(Scale.NumClasses, std::memory_order_relaxed);
+      setJobGauges(*J);
+      J->ResultPath = ResultPath;
+      return Finish(JobState::Done, "");
+    }
+
+    // Sweep jobs: materialize the dataset slice.
+    const Dataset Test = makeTestSet(Task, Scale, S.Seed);
+    const size_t Begin = std::min<size_t>(S.Begin, Test.size());
+    const size_t End =
+        S.Count ? std::min<size_t>(Begin + S.Count, Test.size())
+                : Test.size();
+    J->Total.store(End - Begin, std::memory_order_relaxed);
+
+    const std::vector<Program> *Programs = nullptr;
+    std::unique_ptr<Attack> BaselineAttack;
+    if (S.Kind == JobKind::Eval) {
+      std::lock_guard<std::mutex> Lock(E.Mu);
+      if (!E.ProgramsReady) {
+        E.Programs = synthesizeClassPrograms(
+            *E.Victim,
+            victimStem(Task, archFromName(S.ArchName), Scale, S.Seed),
+            Task, Scale, S.Seed, std::max<size_t>(1, Config.Threads));
+        E.ProgramsReady = true;
+      }
+      Programs = &E.Programs;
+    } else {
+      BaselineAttack = makeBaselineAttack(S.AttackName);
+      if (!BaselineAttack)
+        return Finish(JobState::Failed,
+                      "unknown attack '" + S.AttackName + "'");
+    }
+
+    // The job's engine: a clone of the victim's master engine, sharing
+    // its ScoreCache with every other job on this victim. The sweep
+    // harness clones it again per worker; those clones share too.
+    std::unique_ptr<Classifier> Cls;
+    {
+      std::lock_guard<std::mutex> Lock(E.Mu);
+      Cls = E.Engine->clone();
+    }
+    if (!Cls)
+      return Finish(JobState::Failed, "victim classifier not cloneable");
+
+    // Indices still missing (a resumed job arrives with runs preloaded).
+    std::set<uint32_t> Have;
+    {
+      std::lock_guard<std::mutex> Lock(J->Mu);
+      for (const WireRun &R : J->Runs)
+        Have.insert(R.Index);
+    }
+    J->Done.store(Have.size(), std::memory_order_relaxed);
+    setJobGauges(*J);
+    std::vector<size_t> Pending;
+    for (size_t I = Begin; I != End; ++I)
+      if (!Have.count(static_cast<uint32_t>(I)))
+        Pending.push_back(I);
+
+    bool Suspended = false;
+    for (size_t Off = 0; Off < Pending.size();
+         Off += Config.CheckpointEvery) {
+      if (J->CancelRequested.load(std::memory_order_relaxed))
+        break;
+      if (Stopping.load(std::memory_order_relaxed)) {
+        Suspended = true;
+        break;
+      }
+      const size_t ShardEnd =
+          std::min(Off + Config.CheckpointEvery, Pending.size());
+
+      Dataset Shard;
+      Shard.NumClasses = Test.NumClasses;
+      for (size_t K = Off; K != ShardEnd; ++K) {
+        Shard.Images.push_back(Test.Images[Pending[K]]);
+        Shard.Labels.push_back(Test.Labels[Pending[K]]);
+      }
+
+      Inflight.fetch_add(1, std::memory_order_relaxed);
+      inflightGauge().set(
+          static_cast<double>(Inflight.load(std::memory_order_relaxed)));
+      std::vector<AttackRunLog> Logs =
+          S.Kind == JobKind::Eval
+              ? runProgramsOverSet(*Programs, *Cls, Shard, Budget,
+                                   Config.Threads)
+              : runAttackOverSet(*BaselineAttack, *Cls, Shard, Budget,
+                                 Config.Threads);
+      Inflight.fetch_sub(1, std::memory_order_relaxed);
+      inflightGauge().set(
+          static_cast<double>(Inflight.load(std::memory_order_relaxed)));
+
+      {
+        std::lock_guard<std::mutex> Lock(J->Mu);
+        for (size_t K = Off; K != ShardEnd; ++K)
+          J->Runs.push_back(toWireRun(Pending[K], Logs[K - Off]));
+      }
+      J->Done.fetch_add(ShardEnd - Off, std::memory_order_relaxed);
+      setJobGauges(*J);
+      checkpointJob(*J);
+
+      const size_t CompletedNow = ImagesCompleted.fetch_add(
+                                      ShardEnd - Off,
+                                      std::memory_order_relaxed) +
+                                  (ShardEnd - Off);
+      if (Config.CrashAfterImages &&
+          CompletedNow >= Config.CrashAfterImages) {
+        // Crash-injection hook: die without unwinding, exactly as a
+        // kill -9 would — the checkpoint just written is all that
+        // survives. Only reachable under --crash-after-images.
+        ::_exit(3);
+      }
+    }
+
+    if (J->CancelRequested.load(std::memory_order_relaxed)) {
+      std::remove(CkptPath.c_str()); // a cancelled job never resumes
+      return Finish(JobState::Cancelled, "");
+    }
+    if (Suspended) {
+      // Checkpoint reflects every finished shard; hand the job back so a
+      // restart (or this process, were the queue reopened) resumes it.
+      checkpointJob(*J);
+      Queue.enqueue(J, /*Force=*/true);
+      runningGauge().add(-1.0);
+      if (telemetry::traceEnabled())
+        telemetry::traceEvent("job_end",
+                              {{"job", J->Id}, {"state", "suspended"}});
+      return;
+    }
+
+    // Complete: render the result artifact (runs in index order — see
+    // writeCheckpoint — so resumed and uninterrupted runs match bytes).
+    std::vector<WireRun> Runs;
+    {
+      std::lock_guard<std::mutex> Lock(J->Mu);
+      Runs = J->Runs;
+    }
+    std::sort(Runs.begin(), Runs.end(),
+              [](const WireRun &A, const WireRun &B) {
+                return A.Index < B.Index;
+              });
+    WireBuilder B;
+    B.addJobSpecJson(jobSpecJson(S));
+    for (const WireRun &R : Runs)
+      B.addRun(R);
+    std::string Error;
+    if (!writeFileAtomic(ResultPath, B.finish(), Error))
+      return Finish(JobState::Failed, Error);
+    std::remove(CkptPath.c_str());
+    J->ResultPath = ResultPath;
+    return Finish(JobState::Done, "");
+  } catch (const std::exception &Ex) {
+    return Finish(JobState::Failed, Ex.what());
+  }
+}
+
+size_t JobRunner::resume() {
+  size_t Readmitted = 0;
+  for (const RecoveredJob &R : scanCheckpointDir(Config.CheckpointDir)) {
+    std::string Error;
+    if (R.Finished) {
+      WireContents C;
+      if (!readWireFile(R.Path, C, Error)) {
+        logError() << "serve: skipping " << R.Path << ": " << Error;
+        continue;
+      }
+      JobSpec S;
+      if (!parseJobSpec(C.JobSpecJson, S, Error)) {
+        logError() << "serve: skipping " << R.Path << ": " << Error;
+        continue;
+      }
+      auto J = std::make_shared<Job>();
+      J->Id = R.Id;
+      J->Spec = S;
+      const size_t N =
+          S.Kind == JobKind::Synth ? C.Programs.size() : C.Runs.size();
+      J->Done.store(N, std::memory_order_relaxed);
+      J->Total.store(N, std::memory_order_relaxed);
+      J->ResultPath = R.Path;
+      J->State.store(JobState::Done, std::memory_order_relaxed);
+      Queue.adopt(J);
+      continue;
+    }
+
+    std::string SpecJson;
+    std::vector<WireRun> Runs;
+    if (!loadCheckpoint(R.Path, SpecJson, Runs, Error)) {
+      logError() << "serve: skipping " << R.Path << ": " << Error;
+      continue;
+    }
+    JobSpec S;
+    if (!parseJobSpec(SpecJson, S, Error)) {
+      logError() << "serve: skipping " << R.Path << ": " << Error;
+      continue;
+    }
+    auto J = std::make_shared<Job>();
+    J->Id = R.Id;
+    J->Spec = S;
+    {
+      std::lock_guard<std::mutex> Lock(J->Mu);
+      J->Runs = std::move(Runs);
+      J->Done.store(J->Runs.size(), std::memory_order_relaxed);
+    }
+    Queue.adopt(J);
+    Queue.enqueue(J, /*Force=*/true);
+    ++Readmitted;
+  }
+  return Readmitted;
+}

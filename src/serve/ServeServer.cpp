@@ -1,0 +1,340 @@
+//===- serve/ServeServer.cpp - HTTP job API -----------------------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/ServeServer.h"
+
+#include "serve/JobRunner.h"
+#include "support/Http.h"
+#include "support/Logging.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+using namespace oppsla;
+using namespace oppsla::serve;
+
+namespace {
+
+telemetry::Counter &submittedCounter() {
+  static telemetry::Counter &C = telemetry::counter("serve.jobs.submitted");
+  return C;
+}
+telemetry::Counter &rejectedCounter() {
+  static telemetry::Counter &C = telemetry::counter("serve.jobs.rejected");
+  return C;
+}
+
+std::string errorJson(const std::string &Message) {
+  std::string Out = "{\"error\":\"";
+  telemetry::appendJsonEscaped(Out, Message);
+  Out += "\"}";
+  return Out;
+}
+
+/// Splits "/v1/jobs/17/result" into {"v1","jobs","17","result"}.
+std::vector<std::string> pathSegments(const std::string &Target) {
+  std::vector<std::string> Out;
+  std::string Path = Target.substr(0, Target.find('?'));
+  size_t Pos = 0;
+  while (Pos < Path.size()) {
+    if (Path[Pos] == '/') {
+      ++Pos;
+      continue;
+    }
+    size_t End = Path.find('/', Pos);
+    if (End == std::string::npos)
+      End = Path.size();
+    Out.push_back(Path.substr(Pos, End - Pos));
+    Pos = End;
+  }
+  return Out;
+}
+
+bool parseId(const std::string &S, uint64_t &Id) {
+  char *End = nullptr;
+  Id = std::strtoull(S.c_str(), &End, 10);
+  return End != S.c_str() && *End == '\0';
+}
+
+} // namespace
+
+std::string serve::jobStatusJson(Job &J) {
+  std::string Out = "{\"id\":" + std::to_string(J.Id) + ",\"kind\":\"";
+  Out += jobKindName(J.Spec.Kind);
+  Out += "\",\"state\":\"";
+  Out += jobStateName(J.State.load(std::memory_order_relaxed));
+  Out += "\",\"done\":" +
+         std::to_string(J.Done.load(std::memory_order_relaxed)) +
+         ",\"total\":" +
+         std::to_string(J.Total.load(std::memory_order_relaxed)) +
+         ",\"priority\":" + std::to_string(J.Spec.Priority);
+  const std::string Error = J.errorMessage();
+  if (!Error.empty()) {
+    Out += ",\"error\":\"";
+    telemetry::appendJsonEscaped(Out, Error);
+    Out += "\"";
+  }
+  Out += ",\"spec\":" + jobSpecJson(J.Spec) + "}";
+  return Out;
+}
+
+ServeServer::ServeServer(JobQueue &Queue, JobRunner &Runner,
+                         ServeServerConfig Config)
+    : Queue(Queue), Runner(Runner), Config(Config) {}
+
+ServeServer::~ServeServer() { stop(); }
+
+bool ServeServer::start() {
+  if (ListenFd >= 0) {
+    logError() << "serve: server already running on port " << BoundPort;
+    return false;
+  }
+  const int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    logError() << "serve: socket() failed: " << std::strerror(errno);
+    return false;
+  }
+  const int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+
+  sockaddr_in Addr = {};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Config.Port);
+  if (::bind(Fd, reinterpret_cast<const sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    logError() << "serve: bind(127.0.0.1:" << Config.Port
+               << ") failed: " << std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+  if (::listen(Fd, 64) < 0) {
+    logError() << "serve: listen() failed: " << std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+  sockaddr_in Bound = {};
+  socklen_t BoundLen = sizeof(Bound);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Bound), &BoundLen) <
+      0) {
+    logError() << "serve: getsockname() failed: " << std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+  BoundPort = ntohs(Bound.sin_port);
+  ListenFd = Fd;
+  Stopping.store(false, std::memory_order_relaxed);
+  Thread = std::thread([this] { serveLoop(); });
+  return true;
+}
+
+void ServeServer::serveLoop() {
+  for (;;) {
+    const int Client = ::accept(ListenFd, nullptr, nullptr);
+    if (Client < 0) {
+      if (errno == EINTR)
+        continue;
+      return;
+    }
+    if (Stopping.load(std::memory_order_relaxed)) {
+      ::close(Client);
+      return;
+    }
+    timeval Timeout = {};
+    Timeout.tv_sec = 5;
+    ::setsockopt(Client, SOL_SOCKET, SO_RCVTIMEO, &Timeout,
+                 sizeof(Timeout));
+    ::setsockopt(Client, SOL_SOCKET, SO_SNDTIMEO, &Timeout,
+                 sizeof(Timeout));
+
+    http::Request Req;
+    std::string ReqError;
+    if (http::readRequest(Client, Req, ReqError))
+      handle(Client, Req);
+    ::close(Client);
+  }
+}
+
+void ServeServer::handle(int Client, const http::Request &Req) {
+  const std::vector<std::string> Seg = pathSegments(Req.Target);
+
+  // Observability endpoints shared with the stats server's vocabulary.
+  if (Req.Method == "GET" && Seg.size() == 1 && Seg[0] == "metrics") {
+    http::sendResponse(Client, 200,
+                       "text/plain; version=0.0.4; charset=utf-8",
+                       telemetry::prometheusTextExposition());
+    return;
+  }
+  if (Req.Method == "GET" && Seg.size() == 1 && Seg[0] == "healthz") {
+    std::string Out = "{\"queue\":{\"depth\":" +
+                      std::to_string(Queue.depth()) + ",\"capacity\":" +
+                      std::to_string(Queue.capacity()) +
+                      "},\"inflight_shards\":" +
+                      std::to_string(Runner.inflightShards()) +
+                      ",\"jobs\":[";
+    bool First = true;
+    for (const auto &J : Queue.all()) {
+      if (!First)
+        Out += ",";
+      First = false;
+      Out += jobStatusJson(*J);
+    }
+    Out += "]}";
+    http::sendResponse(Client, 200, "application/json", Out);
+    return;
+  }
+  if (Req.Method == "GET" && Seg.size() == 1 && Seg[0] == "quitquitquit") {
+    Quit.store(true, std::memory_order_relaxed);
+    http::sendResponse(Client, 200, "text/plain; charset=utf-8",
+                       "quitting\n");
+    return;
+  }
+
+  // The job API proper: /v1/jobs[...]
+  if (Seg.size() < 2 || Seg[0] != "v1" || Seg[1] != "jobs") {
+    http::sendResponse(Client, 404, "application/json",
+                       errorJson("not found"));
+    return;
+  }
+
+  if (Seg.size() == 2 && Req.Method == "POST") {
+    JobSpec Spec;
+    std::string Error;
+    if (!parseJobSpec(Req.Body, Spec, Error)) {
+      http::sendResponse(Client, 400, "application/json",
+                         errorJson(Error));
+      return;
+    }
+    std::shared_ptr<Job> J = Queue.create(Spec);
+    if (!Queue.enqueue(J)) {
+      rejectedCounter().inc();
+      http::sendResponse(
+          Client, 429, "application/json",
+          errorJson("queue full (capacity " +
+                    std::to_string(Queue.capacity()) + ")"),
+          {{"Retry-After", std::to_string(Config.RetryAfterSeconds)}});
+      return;
+    }
+    submittedCounter().inc();
+    if (telemetry::traceEnabled())
+      telemetry::traceEvent("job_submit",
+                            {{"job", J->Id},
+                             {"kind", jobKindName(Spec.Kind)}});
+    http::sendResponse(Client, 202, "application/json",
+                       "{\"id\":" + std::to_string(J->Id) +
+                           ",\"state\":\"queued\"}");
+    return;
+  }
+  if (Seg.size() == 2 && Req.Method == "GET") {
+    std::string Out = "{\"queue\":{\"depth\":" +
+                      std::to_string(Queue.depth()) + ",\"capacity\":" +
+                      std::to_string(Queue.capacity()) + "},\"jobs\":[";
+    bool First = true;
+    for (const auto &J : Queue.all()) {
+      if (!First)
+        Out += ",";
+      First = false;
+      Out += jobStatusJson(*J);
+    }
+    Out += "]}";
+    http::sendResponse(Client, 200, "application/json", Out);
+    return;
+  }
+
+  uint64_t Id = 0;
+  if (Seg.size() < 3 || !parseId(Seg[2], Id)) {
+    http::sendResponse(Client, 404, "application/json",
+                       errorJson("not found"));
+    return;
+  }
+  std::shared_ptr<Job> J = Queue.find(Id);
+  if (!J) {
+    http::sendResponse(Client, 404, "application/json",
+                       errorJson("no job " + std::to_string(Id)));
+    return;
+  }
+
+  if (Seg.size() == 3 && Req.Method == "GET") {
+    http::sendResponse(Client, 200, "application/json",
+                       jobStatusJson(*J));
+    return;
+  }
+  if (Seg.size() == 3 && Req.Method == "DELETE") {
+    if (!Queue.cancel(Id)) {
+      http::sendResponse(
+          Client, 409, "application/json",
+          errorJson("job " + std::to_string(Id) + " already " +
+                    jobStateName(
+                        J->State.load(std::memory_order_relaxed))));
+      return;
+    }
+    http::sendResponse(Client, 200, "application/json",
+                       jobStatusJson(*J));
+    return;
+  }
+  if (Seg.size() == 4 && Seg[3] == "result" && Req.Method == "GET") {
+    if (J->State.load(std::memory_order_relaxed) != JobState::Done) {
+      http::sendResponse(
+          Client, 409, "application/json",
+          errorJson("job " + std::to_string(Id) + " is " +
+                    jobStateName(
+                        J->State.load(std::memory_order_relaxed)) +
+                    ", result not available"));
+      return;
+    }
+    std::ifstream In(J->ResultPath, std::ios::binary);
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    if (!In) {
+      http::sendResponse(Client, 500, "application/json",
+                         errorJson("cannot read " + J->ResultPath));
+      return;
+    }
+    http::sendResponse(Client, 200, "application/octet-stream",
+                       Buf.str());
+    return;
+  }
+
+  http::sendResponse(Client, 405, "application/json",
+                     errorJson("method not allowed"));
+}
+
+bool ServeServer::waitQuit(double TimeoutSeconds) {
+  const auto Start = std::chrono::steady_clock::now();
+  while (!quitRequested()) {
+    if (TimeoutSeconds > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Start)
+                .count() >= TimeoutSeconds)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return quitRequested();
+}
+
+void ServeServer::stop() {
+  if (ListenFd < 0)
+    return;
+  Stopping.store(true, std::memory_order_relaxed);
+  ::shutdown(ListenFd, SHUT_RDWR);
+  ::close(ListenFd);
+  if (Thread.joinable())
+    Thread.join();
+  ListenFd = -1;
+}

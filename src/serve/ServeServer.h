@@ -1,0 +1,103 @@
+//===- serve/ServeServer.h - HTTP job API -----------------------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The attack-as-a-service HTTP front end (`oppsla serve`). Built on the
+/// same shared plumbing as the stats server (support/Http.h): raw POSIX
+/// sockets, one accept thread, 127.0.0.1 only. Endpoints:
+///
+///   POST   /v1/jobs             submit a job (JSON spec; see
+///                               parseJobSpec). 202 + {"id":N} on
+///                               admission, 429 + Retry-After when the
+///                               queue is full, 400 on a bad spec;
+///   GET    /v1/jobs             every known job plus queue state;
+///   GET    /v1/jobs/<id>        one job's status;
+///   GET    /v1/jobs/<id>/result the finished wire artifact
+///                               (application/octet-stream; 409 until
+///                               the job is done);
+///   DELETE /v1/jobs/<id>        cancel (queued: immediate; running:
+///                               honoured at the next shard boundary);
+///   GET    /metrics             Prometheus exposition incl. the serve.*
+///                               queue/job instruments;
+///   GET    /healthz             queue depth, in-flight shards, and
+///                               per-job progress as JSON;
+///   GET    /quitquitquit        ask the server loop to exit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_SERVE_SERVESERVER_H
+#define OPPSLA_SERVE_SERVESERVER_H
+
+#include "serve/JobQueue.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace oppsla {
+namespace http {
+struct Request;
+} // namespace http
+
+namespace serve {
+
+class JobRunner;
+
+struct ServeServerConfig {
+  uint16_t Port = 0;        ///< 0 = ephemeral
+  int RetryAfterSeconds = 2; ///< advertised on 429 responses
+};
+
+class ServeServer {
+public:
+  ServeServer(JobQueue &Queue, JobRunner &Runner,
+              ServeServerConfig Config = ServeServerConfig());
+  ~ServeServer();
+
+  /// Binds and starts the accept thread. \returns false after logging on
+  /// socket failure.
+  bool start();
+
+  uint16_t port() const { return BoundPort; }
+  bool running() const { return ListenFd >= 0; }
+
+  /// True once a client requested /quitquitquit.
+  bool quitRequested() const {
+    return Quit.load(std::memory_order_relaxed);
+  }
+  /// Blocks until quitRequested() or \p TimeoutSeconds elapsed (0 = no
+  /// cap). \returns quitRequested().
+  bool waitQuit(double TimeoutSeconds);
+
+  /// Stops accepting and joins the thread. Idempotent. Does not touch the
+  /// queue or runner.
+  void stop();
+
+  ServeServer(const ServeServer &) = delete;
+  ServeServer &operator=(const ServeServer &) = delete;
+
+private:
+  void serveLoop();
+  void handle(int Client, const http::Request &Req);
+
+  JobQueue &Queue;
+  JobRunner &Runner;
+  ServeServerConfig Config;
+  int ListenFd = -1;
+  uint16_t BoundPort = 0;
+  std::thread Thread;
+  std::atomic<bool> Quit{false};
+  std::atomic<bool> Stopping{false};
+};
+
+/// One job's status document (shared by GET /v1/jobs and /v1/jobs/<id>).
+std::string jobStatusJson(Job &J);
+
+} // namespace serve
+} // namespace oppsla
+
+#endif // OPPSLA_SERVE_SERVESERVER_H

@@ -1,0 +1,339 @@
+//===- serve/Wire.cpp - Compact binary artifact format ------------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Wire.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace oppsla;
+using namespace oppsla::serve;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Little-endian primitives. Encoded byte-by-byte so artifact bytes do not
+// depend on the host's byte order or struct padding.
+//===----------------------------------------------------------------------===//
+
+void putU32(std::string &Out, uint32_t V) {
+  Out.push_back(static_cast<char>(V & 0xFF));
+  Out.push_back(static_cast<char>((V >> 8) & 0xFF));
+  Out.push_back(static_cast<char>((V >> 16) & 0xFF));
+  Out.push_back(static_cast<char>((V >> 24) & 0xFF));
+}
+
+void putU64(std::string &Out, uint64_t V) {
+  putU32(Out, static_cast<uint32_t>(V & 0xFFFFFFFFu));
+  putU32(Out, static_cast<uint32_t>(V >> 32));
+}
+
+void putF32(std::string &Out, float F) {
+  uint32_t Bits;
+  std::memcpy(&Bits, &F, sizeof(Bits));
+  putU32(Out, Bits);
+}
+
+uint32_t getU32(const std::string &In, size_t Off) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(In[Off])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(In[Off + 1]))
+             << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(In[Off + 2]))
+             << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(In[Off + 3]))
+             << 24;
+}
+
+uint64_t getU64(const std::string &In, size_t Off) {
+  return static_cast<uint64_t>(getU32(In, Off)) |
+         static_cast<uint64_t>(getU32(In, Off + 4)) << 32;
+}
+
+float getF32(const std::string &In, size_t Off) {
+  const uint32_t Bits = getU32(In, Off);
+  float F;
+  std::memcpy(&F, &Bits, sizeof(F));
+  return F;
+}
+
+const std::array<uint32_t, 256> &crcTable() {
+  static const std::array<uint32_t, 256> Table = [] {
+    std::array<uint32_t, 256> T{};
+    for (uint32_t I = 0; I != 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K != 8; ++K)
+        C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+      T[I] = C;
+    }
+    return T;
+  }();
+  return Table;
+}
+
+std::string recordError(size_t RecordIdx, const std::string &What) {
+  return "wire: record " + std::to_string(RecordIdx) + ": " + What;
+}
+
+} // namespace
+
+uint32_t serve::crc32(const void *Data, size_t Len, uint32_t Seed) {
+  const auto *P = static_cast<const unsigned char *>(Data);
+  uint32_t C = Seed ^ 0xFFFFFFFFu;
+  for (size_t I = 0; I != Len; ++I)
+    C = crcTable()[(C ^ P[I]) & 0xFF] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}
+
+const char *serve::wireOutcomeName(uint8_t Outcome) {
+  switch (Outcome) {
+  case 0:
+    return "failure";
+  case 1:
+    return "success";
+  case 2:
+    return "discarded";
+  default:
+    return "unknown";
+  }
+}
+
+void WireBuilder::addJobSpecJson(const std::string &Json) {
+  Records.push_back(
+      {static_cast<uint32_t>(WireRecordType::JobSpec), Json});
+}
+
+void WireBuilder::addRun(const WireRun &Run) {
+  std::string P;
+  P.reserve(17);
+  putU32(P, Run.Index);
+  putU32(P, Run.Label);
+  P.push_back(static_cast<char>(Run.Outcome));
+  putU64(P, Run.Queries);
+  Records.push_back({static_cast<uint32_t>(WireRecordType::Run),
+                     std::move(P)});
+}
+
+void WireBuilder::addProgram(const std::string &Text) {
+  Records.push_back(
+      {static_cast<uint32_t>(WireRecordType::Program), Text});
+}
+
+void WireBuilder::addImage(const Image &Img) {
+  std::string P;
+  P.reserve(8 + Img.raw().size() * 4);
+  putU32(P, static_cast<uint32_t>(Img.height()));
+  putU32(P, static_cast<uint32_t>(Img.width()));
+  for (float F : Img.raw())
+    putF32(P, F);
+  Records.push_back({static_cast<uint32_t>(WireRecordType::Image),
+                     std::move(P)});
+}
+
+std::string WireBuilder::finish() const {
+  std::string Out;
+  Out += "OPWF";
+  putU32(Out, WireEndianMarker);
+  putU32(Out, WireVersion);
+  putU32(Out, static_cast<uint32_t>(Records.size()));
+  putU32(Out, 0); // reserved
+  for (const Record &R : Records) {
+    std::string Head;
+    putU32(Head, R.Type);
+    putU32(Head, static_cast<uint32_t>(R.Payload.size()));
+    const uint32_t Crc =
+        crc32(R.Payload.data(), R.Payload.size(),
+              crc32(Head.data(), Head.size()));
+    Out += Head;
+    Out += R.Payload;
+    putU32(Out, Crc);
+  }
+  return Out;
+}
+
+bool serve::parseWire(const std::string &Bytes, WireContents &Out,
+                      std::string &Error) {
+  if (Bytes.size() < WireHeaderBytes) {
+    Error = "wire: short header — " + std::to_string(Bytes.size()) +
+            " bytes, need " + std::to_string(WireHeaderBytes) +
+            " (truncated file?)";
+    return false;
+  }
+  if (Bytes.compare(0, 4, "OPWF") != 0) {
+    Error = "wire: bad magic (not an OPWF artifact)";
+    return false;
+  }
+  const uint32_t Endian = getU32(Bytes, 4);
+  if (Endian != WireEndianMarker) {
+    std::ostringstream S;
+    S << "wire: endianness marker mismatch (read 0x" << std::hex << Endian
+      << ", expected 0x" << WireEndianMarker
+      << ") — artifact written with an incompatible byte order";
+    Error = S.str();
+    return false;
+  }
+  const uint32_t Version = getU32(Bytes, 8);
+  if (Version != WireVersion) {
+    Error = "wire: unsupported version " + std::to_string(Version) +
+            " (this reader speaks version " + std::to_string(WireVersion) +
+            ")";
+    return false;
+  }
+  const uint32_t NumRecords = getU32(Bytes, 12);
+
+  WireContents C;
+  size_t Off = WireHeaderBytes;
+  for (uint32_t R = 0; R != NumRecords; ++R) {
+    if (Bytes.size() - Off < 8) {
+      Error = recordError(R, "truncated record header at offset " +
+                                 std::to_string(Off));
+      return false;
+    }
+    const uint32_t Type = getU32(Bytes, Off);
+    const uint32_t Len = getU32(Bytes, Off + 4);
+    if (Bytes.size() - Off - 8 < static_cast<size_t>(Len) + 4) {
+      Error = recordError(
+          R, "truncated payload (file ends " +
+                 std::to_string(Bytes.size() - Off - 8) +
+                 " bytes into a " + std::to_string(Len) +
+                 "-byte record)");
+      return false;
+    }
+    const uint32_t Stored = getU32(Bytes, Off + 8 + Len);
+    const uint32_t Computed = crc32(Bytes.data() + Off, 8 + Len);
+    if (Stored != Computed) {
+      std::ostringstream S;
+      S << "wire: record " << R << ": CRC mismatch (stored 0x" << std::hex
+        << Stored << ", computed 0x" << Computed << ")";
+      Error = S.str();
+      return false;
+    }
+    const std::string Payload = Bytes.substr(Off + 8, Len);
+    switch (static_cast<WireRecordType>(Type)) {
+    case WireRecordType::JobSpec:
+      C.JobSpecJson = Payload;
+      break;
+    case WireRecordType::Run: {
+      if (Len != 17) {
+        Error = recordError(R, "run payload is " + std::to_string(Len) +
+                                   " bytes, expected 17");
+        return false;
+      }
+      WireRun Run;
+      Run.Index = getU32(Payload, 0);
+      Run.Label = getU32(Payload, 4);
+      Run.Outcome = static_cast<uint8_t>(Payload[8]);
+      Run.Queries = getU64(Payload, 9);
+      C.Runs.push_back(Run);
+      break;
+    }
+    case WireRecordType::Program:
+      C.Programs.push_back(Payload);
+      break;
+    case WireRecordType::Image: {
+      if (Len < 8) {
+        Error = recordError(R, "image payload shorter than its header");
+        return false;
+      }
+      const uint32_t H = getU32(Payload, 0);
+      const uint32_t W = getU32(Payload, 4);
+      const uint64_t Expect =
+          8 + static_cast<uint64_t>(H) * W * 3 * 4;
+      if (Len != Expect) {
+        Error = recordError(
+            R, "image payload is " + std::to_string(Len) +
+                   " bytes, expected " + std::to_string(Expect) + " for " +
+                   std::to_string(H) + "x" + std::to_string(W));
+        return false;
+      }
+      Image Img(H, W);
+      for (size_t I = 0; I != Img.raw().size(); ++I)
+        Img.raw()[I] = getF32(Payload, 8 + I * 4);
+      C.Images.push_back(std::move(Img));
+      break;
+    }
+    default:
+      Error = recordError(R, "unknown record type " + std::to_string(Type));
+      return false;
+    }
+    Off += 8 + static_cast<size_t>(Len) + 4;
+  }
+  if (Off != Bytes.size()) {
+    Error = "wire: " + std::to_string(Bytes.size() - Off) +
+            " trailing bytes after the last record";
+    return false;
+  }
+  Out = std::move(C);
+  return true;
+}
+
+bool serve::readWireFile(const std::string &Path, WireContents &Out,
+                         std::string &Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Error = "wire: cannot open " + Path;
+    return false;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  if (!In.good() && !In.eof()) {
+    Error = "wire: read error on " + Path;
+    return false;
+  }
+  if (!parseWire(Buf.str(), Out, Error)) {
+    Error += " (" + Path + ")";
+    return false;
+  }
+  return true;
+}
+
+bool serve::writeFileAtomic(const std::string &Path,
+                            const std::string &Bytes, std::string &Error) {
+  const std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream OutF(Tmp, std::ios::binary | std::ios::trunc);
+    if (!OutF) {
+      Error = "wire: cannot create " + Tmp;
+      return false;
+    }
+    OutF.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+    OutF.flush();
+    if (!OutF.good()) {
+      Error = "wire: write failed on " + Tmp;
+      std::remove(Tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    Error = "wire: rename " + Tmp + " -> " + Path + " failed";
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::string serve::runsToJsonl(std::vector<WireRun> Runs) {
+  std::sort(Runs.begin(), Runs.end(),
+            [](const WireRun &A, const WireRun &B) {
+              return A.Index < B.Index;
+            });
+  std::string Out;
+  char Line[160];
+  for (size_t I = 0; I != Runs.size(); ++I) {
+    const WireRun &R = Runs[I];
+    std::snprintf(Line, sizeof(Line),
+                  "{\"image\":%zu,\"label\":%zu,\"outcome\":\"%s\","
+                  "\"queries\":%llu}\n",
+                  I, static_cast<size_t>(R.Label),
+                  wireOutcomeName(R.Outcome),
+                  static_cast<unsigned long long>(R.Queries));
+    Out += Line;
+  }
+  return Out;
+}

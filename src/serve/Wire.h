@@ -1,0 +1,142 @@
+//===- serve/Wire.h - Compact binary artifact format ------------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The versioned binary artifact format used by the serve subsystem for
+/// result downloads and checkpoints, replacing JSONL on the hot path.
+/// Layout (all integers little-endian, encoded byte-by-byte so the format
+/// is identical on any host):
+///
+///   header (20 bytes):
+///     magic       "OPWF"        (4 bytes)
+///     endian      0x0A0B0C0D    (u32; reads back scrambled on a
+///                                wrong-endian decode — rejected loudly)
+///     version     1             (u32)
+///     records     N             (u32)
+///     reserved    0             (u32)
+///   N records, each:
+///     type        (u32)  1=job spec (JSON text)  2=run  3=program text
+///                        4=image
+///     length      (u32)  payload bytes
+///     payload     (length bytes)
+///     crc32       (u32)  over type + length + payload
+///
+/// Record payloads:
+///   run:     index u32, label u32, outcome u8 (0=failure 1=success
+///            2=discarded), queries u64 — one attacked image's result;
+///   image:   height u32, width u32, then H*W*3 f32 channel values;
+///   spec/program: UTF-8 text.
+///
+/// Readers are all-or-nothing: a truncated file, a flipped CRC byte, a
+/// wrong magic/version, or an endianness mismatch fails with a clear
+/// error and never yields partial contents. Writers emit runs in index
+/// order, so two artifacts over the same results are byte-identical —
+/// including an artifact assembled across a checkpoint/resume boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_SERVE_WIRE_H
+#define OPPSLA_SERVE_WIRE_H
+
+#include "data/Image.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace oppsla {
+namespace serve {
+
+/// Format constants, exposed for tests.
+constexpr uint32_t WireEndianMarker = 0x0A0B0C0D;
+constexpr uint32_t WireVersion = 1;
+constexpr size_t WireHeaderBytes = 20;
+
+/// Record type tags.
+enum class WireRecordType : uint32_t {
+  JobSpec = 1, ///< the submitting job's spec as JSON text (provenance)
+  Run = 2,     ///< one per-image attack result
+  Program = 3, ///< a synthesized program as DSL text
+  Image = 4,   ///< raw image pixels (dataset shipping)
+};
+
+/// One attacked image's result. Outcome values mirror the run-log JSONL:
+/// 0 = failure, 1 = success, 2 = discarded (clean image misclassified).
+struct WireRun {
+  uint32_t Index = 0; ///< image index within the job's dataset
+  uint32_t Label = 0; ///< true class
+  uint8_t Outcome = 0;
+  uint64_t Queries = 0;
+
+  bool operator==(const WireRun &O) const {
+    return Index == O.Index && Label == O.Label && Outcome == O.Outcome &&
+           Queries == O.Queries;
+  }
+};
+
+const char *wireOutcomeName(uint8_t Outcome);
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) of \p Data.
+uint32_t crc32(const void *Data, size_t Len, uint32_t Seed = 0);
+
+/// Accumulates records and renders the final artifact bytes.
+class WireBuilder {
+public:
+  void addJobSpecJson(const std::string &Json);
+  void addRun(const WireRun &Run);
+  void addProgram(const std::string &Text);
+  void addImage(const Image &Img);
+
+  size_t numRecords() const { return Records.size(); }
+
+  /// Renders header + records. The builder stays usable (more records can
+  /// be added and finish() called again).
+  std::string finish() const;
+
+private:
+  struct Record {
+    uint32_t Type;
+    std::string Payload;
+  };
+  std::vector<Record> Records;
+};
+
+/// Everything a wire artifact can carry, grouped by record type. Record
+/// order within each group is preserved.
+struct WireContents {
+  std::string JobSpecJson;
+  std::vector<WireRun> Runs;
+  std::vector<std::string> Programs;
+  std::vector<Image> Images;
+};
+
+/// Parses \p Bytes as one artifact. \returns false (with \p Error naming
+/// the problem and, where applicable, the offending record) on any
+/// corruption; \p Out is only written on success.
+bool parseWire(const std::string &Bytes, WireContents &Out,
+               std::string &Error);
+
+/// parseWire() over the contents of \p Path; read failures land in
+/// \p Error.
+bool readWireFile(const std::string &Path, WireContents &Out,
+                  std::string &Error);
+
+/// Writes \p Bytes to \p Path atomically (temp file + rename), so a
+/// reader — or a crash — never observes a half-written artifact.
+bool writeFileAtomic(const std::string &Path, const std::string &Bytes,
+                     std::string &Error);
+
+/// Renders \p Runs (sorted by index) as run-log JSONL with the exact
+/// record shape of `oppsla eval --runs-out`:
+/// {"image":i,"label":l,"outcome":"...","queries":q} — `image` is the
+/// 0-based position in the sorted sequence, matching the offline
+/// exporter's positional numbering.
+std::string runsToJsonl(std::vector<WireRun> Runs);
+
+} // namespace serve
+} // namespace oppsla
+
+#endif // OPPSLA_SERVE_WIRE_H

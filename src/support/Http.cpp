@@ -1,0 +1,308 @@
+//===- support/Http.cpp - Minimal HTTP/1.1 plumbing --------------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+using namespace oppsla;
+using namespace oppsla::http;
+
+namespace {
+
+#ifdef MSG_NOSIGNAL
+constexpr int SendFlags = MSG_NOSIGNAL;
+#else
+constexpr int SendFlags = 0;
+#endif
+
+bool sendAll(int Fd, const char *Data, size_t Len) {
+  size_t Off = 0;
+  while (Off < Len) {
+    const ssize_t N = ::send(Fd, Data + Off, Len - Off, SendFlags);
+    if (N <= 0) {
+      if (N < 0 && errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+std::string lower(std::string S) {
+  std::transform(S.begin(), S.end(), S.begin(),
+                 [](unsigned char C) { return std::tolower(C); });
+  return S;
+}
+
+std::string strip(const std::string &S) {
+  size_t B = 0, E = S.size();
+  while (B < E && std::isspace(static_cast<unsigned char>(S[B])))
+    ++B;
+  while (E > B && std::isspace(static_cast<unsigned char>(S[E - 1])))
+    --E;
+  return S.substr(B, E - B);
+}
+
+/// Parses the request line + header block (everything before the blank
+/// line) into \p Out.
+bool parseHead(const std::string &Head, Request &Out, std::string &Error) {
+  size_t LineEnd = Head.find("\r\n");
+  if (LineEnd == std::string::npos)
+    LineEnd = Head.size();
+  const std::string RequestLine = Head.substr(0, LineEnd);
+
+  const size_t M = RequestLine.find(' ');
+  if (M == std::string::npos) {
+    Error = "http: malformed request line";
+    return false;
+  }
+  const size_t T = RequestLine.find(' ', M + 1);
+  Out.Method = RequestLine.substr(0, M);
+  Out.Target = T == std::string::npos
+                   ? RequestLine.substr(M + 1)
+                   : RequestLine.substr(M + 1, T - M - 1);
+  if (Out.Method.empty() || Out.Target.empty() || Out.Target[0] != '/') {
+    Error = "http: malformed request line '" + RequestLine + "'";
+    return false;
+  }
+
+  size_t Pos = LineEnd;
+  while (Pos < Head.size()) {
+    // Skip the terminator of the previous line.
+    if (Head.compare(Pos, 2, "\r\n") == 0)
+      Pos += 2;
+    else if (Head[Pos] == '\n')
+      Pos += 1;
+    if (Pos >= Head.size())
+      break;
+    size_t End = Head.find("\r\n", Pos);
+    if (End == std::string::npos)
+      End = Head.size();
+    const std::string Line = Head.substr(Pos, End - Pos);
+    Pos = End;
+    const size_t Colon = Line.find(':');
+    if (Colon == std::string::npos)
+      continue; // tolerate junk header lines
+    Out.Headers[lower(strip(Line.substr(0, Colon)))] =
+        strip(Line.substr(Colon + 1));
+  }
+  return true;
+}
+
+/// Reads from \p Fd until \p Buf contains at least \p Want bytes. \returns
+/// false on EOF/error before that.
+bool recvUntil(int Fd, std::string &Buf, size_t Want) {
+  char Chunk[4096];
+  while (Buf.size() < Want) {
+    const ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N <= 0) {
+      if (N < 0 && errno == EINTR)
+        continue;
+      return false;
+    }
+    Buf.append(Chunk, static_cast<size_t>(N));
+  }
+  return true;
+}
+
+} // namespace
+
+std::string Request::header(const std::string &Name) const {
+  const auto It = Headers.find(lower(Name));
+  return It == Headers.end() ? "" : It->second;
+}
+
+bool http::readRequest(int Fd, Request &Out, std::string &Error) {
+  // Phase 1: accumulate until the header terminator. A request line alone
+  // is not a complete request — clients may legitimately deliver the head
+  // in several packets.
+  std::string Buf;
+  size_t HeadEnd = std::string::npos;
+  size_t TermLen = 4;
+  char Chunk[4096];
+  for (;;) {
+    HeadEnd = Buf.find("\r\n\r\n");
+    if (HeadEnd != std::string::npos)
+      break;
+    // Tolerate bare-LF clients.
+    HeadEnd = Buf.find("\n\n");
+    if (HeadEnd != std::string::npos) {
+      TermLen = 2;
+      break;
+    }
+    if (Buf.size() > MaxHeaderBytes) {
+      Error = "http: request head exceeds " +
+              std::to_string(MaxHeaderBytes) + " bytes";
+      return false;
+    }
+    const ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Error = std::string("http: recv failed: ") + std::strerror(errno);
+      return false;
+    }
+    if (N == 0) {
+      Error = Buf.empty() ? "http: peer closed before sending a request"
+                          : "http: peer closed mid-request head";
+      return false;
+    }
+    Buf.append(Chunk, static_cast<size_t>(N));
+  }
+
+  Request R;
+  if (!parseHead(Buf.substr(0, HeadEnd), R, Error))
+    return false;
+
+  // Phase 2: the body, exactly Content-Length bytes (anything already
+  // received past the head counts toward it).
+  const std::string LenStr = R.header("content-length");
+  size_t BodyLen = 0;
+  if (!LenStr.empty()) {
+    char *End = nullptr;
+    const unsigned long long V = std::strtoull(LenStr.c_str(), &End, 10);
+    if (End == LenStr.c_str() || *End != '\0') {
+      Error = "http: unparseable Content-Length '" + LenStr + "'";
+      return false;
+    }
+    if (V > MaxBodyBytes) {
+      Error = "http: body of " + LenStr + " bytes exceeds the " +
+              std::to_string(MaxBodyBytes) + " byte limit";
+      return false;
+    }
+    BodyLen = static_cast<size_t>(V);
+  }
+  std::string Body = Buf.substr(HeadEnd + TermLen);
+  if (Body.size() < BodyLen && !recvUntil(Fd, Body, BodyLen)) {
+    Error = "http: peer closed mid-body (got " +
+            std::to_string(Body.size()) + " of " + std::to_string(BodyLen) +
+            " bytes)";
+    return false;
+  }
+  Body.resize(BodyLen);
+  R.Body = std::move(Body);
+  Out = std::move(R);
+  return true;
+}
+
+const char *http::statusText(int Status) {
+  switch (Status) {
+  case 200:
+    return "OK";
+  case 202:
+    return "Accepted";
+  case 400:
+    return "Bad Request";
+  case 404:
+    return "Not Found";
+  case 405:
+    return "Method Not Allowed";
+  case 409:
+    return "Conflict";
+  case 429:
+    return "Too Many Requests";
+  case 500:
+    return "Internal Server Error";
+  default:
+    return "Unknown";
+  }
+}
+
+void http::sendResponse(
+    int Fd, int Status, const std::string &ContentType,
+    std::string_view Body,
+    const std::vector<std::pair<std::string, std::string>> &ExtraHeaders) {
+  std::string Header = "HTTP/1.1 " + std::to_string(Status) + " " +
+                       statusText(Status) +
+                       "\r\nContent-Type: " + ContentType +
+                       "\r\nContent-Length: " + std::to_string(Body.size()) +
+                       "\r\nConnection: close\r\n";
+  for (const auto &[K, V] : ExtraHeaders)
+    Header += K + ": " + V + "\r\n";
+  Header += "\r\n";
+  if (sendAll(Fd, Header.data(), Header.size()))
+    sendAll(Fd, Body.data(), Body.size());
+}
+
+bool http::request(uint16_t Port, const std::string &Method,
+                   const std::string &Target, const std::string &Body,
+                   Response &Out, std::string &Error,
+                   double TimeoutSeconds) {
+  const int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = std::string("http: socket() failed: ") + std::strerror(errno);
+    return false;
+  }
+  timeval Timeout = {};
+  Timeout.tv_sec = static_cast<time_t>(TimeoutSeconds);
+  Timeout.tv_usec = static_cast<suseconds_t>(
+      (TimeoutSeconds - static_cast<double>(Timeout.tv_sec)) * 1e6);
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Timeout, sizeof(Timeout));
+  ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &Timeout, sizeof(Timeout));
+
+  sockaddr_in Addr = {};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::connect(Fd, reinterpret_cast<const sockaddr *>(&Addr),
+                sizeof(Addr)) != 0) {
+    Error = "http: connect(127.0.0.1:" + std::to_string(Port) +
+            ") failed: " + std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+
+  std::string Req = Method + " " + Target +
+                    " HTTP/1.1\r\nHost: 127.0.0.1\r\n";
+  if (!Body.empty())
+    Req += "Content-Type: application/json\r\nContent-Length: " +
+           std::to_string(Body.size()) + "\r\n";
+  Req += "Connection: close\r\n\r\n" + Body;
+  if (!sendAll(Fd, Req.data(), Req.size())) {
+    Error = std::string("http: send failed: ") + std::strerror(errno);
+    ::close(Fd);
+    return false;
+  }
+
+  std::string Raw;
+  char Chunk[4096];
+  for (;;) {
+    const ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Error = std::string("http: recv failed: ") + std::strerror(errno);
+      ::close(Fd);
+      return false;
+    }
+    if (N == 0)
+      break;
+    Raw.append(Chunk, static_cast<size_t>(N));
+  }
+  ::close(Fd);
+
+  // "HTTP/1.1 <code> <reason>\r\n...\r\n\r\n<body>"
+  const size_t SP = Raw.find(' ');
+  if (SP == std::string::npos || Raw.compare(0, 5, "HTTP/") != 0) {
+    Error = "http: malformed response";
+    return false;
+  }
+  Out.Status = std::atoi(Raw.c_str() + SP + 1);
+  const size_t HeadEnd = Raw.find("\r\n\r\n");
+  Out.Body = HeadEnd == std::string::npos ? "" : Raw.substr(HeadEnd + 4);
+  return true;
+}

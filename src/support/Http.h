@@ -1,0 +1,89 @@
+//===- support/Http.h - Minimal HTTP/1.1 plumbing --------------*- C++ -*-===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The HTTP/1.1 plumbing shared by the stats server (`--stats-port`) and
+/// the serve-mode job server (`oppsla serve`): a request reader that is
+/// robust against requests split across packets, a response writer, and a
+/// small blocking client used by `oppsla client` and the tests.
+///
+/// readRequest() loops on recv() until the header terminator arrives (a
+/// request line alone is *not* a complete request) and then reads exactly
+/// Content-Length body bytes, so POSTs — and GETs whose headers straddle a
+/// packet boundary — are parsed correctly. Both sides always close the
+/// connection after one exchange (`Connection: close`); there is no
+/// keep-alive, chunked encoding, or TLS.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OPPSLA_SUPPORT_HTTP_H
+#define OPPSLA_SUPPORT_HTTP_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace oppsla {
+namespace http {
+
+/// One parsed request. Header names are lower-cased; values are stripped
+/// of surrounding whitespace.
+struct Request {
+  std::string Method; ///< "GET", "POST", "DELETE", ...
+  std::string Target; ///< request target as sent ("/v1/jobs/3")
+  std::map<std::string, std::string> Headers;
+  std::string Body; ///< exactly Content-Length bytes (empty without one)
+
+  /// Header lookup by lower-case name; empty string when absent.
+  std::string header(const std::string &Name) const;
+};
+
+/// Hard limits on what readRequest() accepts; a request exceeding them is
+/// an error, not a truncation.
+constexpr size_t MaxHeaderBytes = 16 * 1024;
+constexpr size_t MaxBodyBytes = 64 * 1024 * 1024;
+
+/// Reads one request from \p Fd: loops on recv() until "\r\n\r\n", parses
+/// the request line and headers, then reads the Content-Length body.
+/// \returns false (with \p Error set) on malformed input, a peer that
+/// closed mid-request, or a receive timeout set on the socket.
+bool readRequest(int Fd, Request &Out, std::string &Error);
+
+/// Standard reason phrase for \p Status ("OK", "Not Found", ...).
+const char *statusText(int Status);
+
+/// Writes one `HTTP/1.1 <status>` response with Content-Length and
+/// `Connection: close`. \p ExtraHeaders are emitted verbatim after the
+/// standard ones (e.g. {"Retry-After", "1"}).
+void sendResponse(
+    int Fd, int Status, const std::string &ContentType,
+    std::string_view Body,
+    const std::vector<std::pair<std::string, std::string>> &ExtraHeaders =
+        {});
+
+/// A client-side response: status code plus body.
+struct Response {
+  int Status = 0;
+  std::string Body;
+};
+
+/// One blocking request against 127.0.0.1:\p Port: connects, sends
+/// \p Method \p Target with \p Body (Content-Length added when non-empty),
+/// reads the response until EOF. \returns false (with \p Error set) when
+/// the connection or the exchange fails; HTTP error statuses are returned
+/// in \p Out, not treated as failures.
+bool request(uint16_t Port, const std::string &Method,
+             const std::string &Target, const std::string &Body,
+             Response &Out, std::string &Error,
+             double TimeoutSeconds = 30.0);
+
+} // namespace http
+} // namespace oppsla
+
+#endif // OPPSLA_SUPPORT_HTTP_H

@@ -6,6 +6,7 @@
 
 #include "support/StatsServer.h"
 
+#include "support/Http.h"
 #include "support/HwCounters.h"
 #include "support/Ledger.h"
 #include "support/Logging.h"
@@ -15,7 +16,6 @@
 
 #include <cerrno>
 #include <chrono>
-#include <cstdio>
 #include <cstring>
 #include <thread>
 
@@ -30,67 +30,9 @@ using namespace oppsla::telemetry;
 
 namespace {
 
-#ifdef MSG_NOSIGNAL
-constexpr int SendFlags = MSG_NOSIGNAL;
-#else
-constexpr int SendFlags = 0;
-#endif
-
-void sendAll(int Fd, const char *Data, size_t Len) {
-  size_t Off = 0;
-  while (Off < Len) {
-    const ssize_t N = ::send(Fd, Data + Off, Len - Off, SendFlags);
-    if (N <= 0) {
-      if (N < 0 && errno == EINTR)
-        continue;
-      return;
-    }
-    Off += static_cast<size_t>(N);
-  }
-}
-
-void sendResponse(int Fd, const char *Status, const char *ContentType,
+void sendResponse(int Fd, int Status, const char *ContentType,
                   const std::string &Body) {
-  char Header[256];
-  const int N = std::snprintf(Header, sizeof(Header),
-                              "HTTP/1.1 %s\r\n"
-                              "Content-Type: %s\r\n"
-                              "Content-Length: %zu\r\n"
-                              "Connection: close\r\n"
-                              "\r\n",
-                              Status, ContentType, Body.size());
-  sendAll(Fd, Header, static_cast<size_t>(N));
-  sendAll(Fd, Body.data(), Body.size());
-}
-
-/// Reads until the end of the request headers (or the buffer fills) and
-/// returns the request target of `GET <target> ...`, empty on anything
-/// else. The server only serves GETs, so the body is never read.
-std::string readRequestTarget(int Fd) {
-  char Buf[2048];
-  size_t Len = 0;
-  while (Len < sizeof(Buf) - 1) {
-    const ssize_t N = ::recv(Fd, Buf + Len, sizeof(Buf) - 1 - Len, 0);
-    if (N <= 0) {
-      if (N < 0 && errno == EINTR)
-        continue;
-      break;
-    }
-    Len += static_cast<size_t>(N);
-    Buf[Len] = '\0';
-    if (std::strstr(Buf, "\r\n\r\n") || std::strstr(Buf, "\n\n"))
-      break;
-    if (std::memchr(Buf, '\n', Len)) // request line is complete
-      break;
-  }
-  Buf[Len] = '\0';
-  if (std::strncmp(Buf, "GET ", 4) != 0)
-    return "";
-  const char *Start = Buf + 4;
-  const char *End = Start;
-  while (*End && *End != ' ' && *End != '\r' && *End != '\n')
-    ++End;
-  return std::string(Start, End);
+  http::sendResponse(Fd, Status, ContentType, Body);
 }
 
 /// The `GET /ledger` payload: the tail of the registered bench ledger
@@ -186,25 +128,35 @@ void StatsServer::serveLoop() {
     ::setsockopt(Client, SOL_SOCKET, SO_RCVTIMEO, &Timeout, sizeof(Timeout));
     ::setsockopt(Client, SOL_SOCKET, SO_SNDTIMEO, &Timeout, sizeof(Timeout));
 
-    const std::string Target = readRequestTarget(Client);
-    if (Target == "/metrics") {
-      sendResponse(Client, "200 OK",
-                   "text/plain; version=0.0.4; charset=utf-8",
+    // The shared reader tolerates requests split across packets and
+    // drains any Content-Length body, so a scraper that POSTs (or a slow
+    // proxy that trickles the head) gets a proper answer instead of a
+    // misparse.
+    http::Request Req;
+    std::string ReqError;
+    if (!http::readRequest(Client, Req, ReqError)) {
+      ::close(Client);
+      continue;
+    }
+    const std::string &Target = Req.Target;
+    if (Req.Method != "GET") {
+      sendResponse(Client, 405, "text/plain; charset=utf-8",
+                   "only GET is served here\n");
+    } else if (Target == "/metrics") {
+      sendResponse(Client, 200, "text/plain; version=0.0.4; charset=utf-8",
                    prometheusTextExposition());
     } else if (Target == "/profile") {
-      sendResponse(Client, "200 OK", "text/plain; charset=utf-8",
+      sendResponse(Client, 200, "text/plain; charset=utf-8",
                    profileFoldedReport());
     } else if (Target == "/healthz") {
-      sendResponse(Client, "200 OK", "application/json", healthzJson());
+      sendResponse(Client, 200, "application/json", healthzJson());
     } else if (Target == "/ledger") {
-      sendResponse(Client, "200 OK", "application/json",
-                   ledgerEndpointJson());
+      sendResponse(Client, 200, "application/json", ledgerEndpointJson());
     } else if (Target == "/quitquitquit") {
       Quit.store(true, std::memory_order_relaxed);
-      sendResponse(Client, "200 OK", "text/plain; charset=utf-8",
-                   "quitting\n");
+      sendResponse(Client, 200, "text/plain; charset=utf-8", "quitting\n");
     } else {
-      sendResponse(Client, "404 Not Found", "text/plain; charset=utf-8",
+      sendResponse(Client, 404, "text/plain; charset=utf-8",
                    "not found\n");
     }
     ::close(Client);

@@ -6,15 +6,23 @@
 # paths compute the identical fma reduction chain per output element, so
 # swapping kernels must not change a single logical answer, query count,
 # or chosen perturbation.
+#
+# Pass -DEXTRA_ARGS="--threads 4 --engine-threads 2" (etc.) to run both
+# sweeps under extra flags — the registered _mt variant uses this to cover
+# the threaded GEMM column split with the same byte-identity bar.
 file(MAKE_DIRECTORY ${WORK_DIR})
 set(RUNS_FAST ${WORK_DIR}/runs_fast.jsonl)
 set(RUNS_NAIVE ${WORK_DIR}/runs_naive.jsonl)
+if(NOT DEFINED EXTRA_ARGS)
+  set(EXTRA_ARGS "")
+endif()
+separate_arguments(EXTRA_LIST UNIX_COMMAND "${EXTRA_ARGS}")
 
 # Default fast kernels.
 execute_process(
   COMMAND ${CMAKE_COMMAND} -E env OPPSLA_CACHE_DIR=${WORK_DIR}/cache
     ${CLI} eval --scale smoke --attack sparse-rs --budget 256
-    --runs-out ${RUNS_FAST}
+    ${EXTRA_LIST} --runs-out ${RUNS_FAST}
   OUTPUT_VARIABLE OUT
   RESULT_VARIABLE RC)
 if(NOT RC EQUAL 0)
@@ -25,7 +33,7 @@ endif()
 execute_process(
   COMMAND ${CMAKE_COMMAND} -E env OPPSLA_CACHE_DIR=${WORK_DIR}/cache
     ${CLI} eval --scale smoke --attack sparse-rs --budget 256
-    --naive-kernels --runs-out ${RUNS_NAIVE}
+    ${EXTRA_LIST} --naive-kernels --runs-out ${RUNS_NAIVE}
   OUTPUT_VARIABLE OUT
   RESULT_VARIABLE RC)
 if(NOT RC EQUAL 0)

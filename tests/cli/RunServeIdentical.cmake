@@ -1,0 +1,89 @@
+# The serving determinism contract, end to end: an eval sweep submitted
+# over the wire to `oppsla serve` must produce run logs byte-identical to
+# the same-seed offline `oppsla eval --runs-out`. Flow: offline reference
+# first, then a background server, `oppsla client submit --wait --out` for
+# the binary artifact, `oppsla wire --runs-out` to re-render it as run-log
+# JSONL, and a byte compare. Both runs share OPPSLA_CACHE_DIR so they
+# attack the identical cached victim.
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(CACHE_DIR ${WORK_DIR}/cache)
+set(RUNS_OFFLINE ${WORK_DIR}/runs_offline.jsonl)
+set(RUNS_SERVED ${WORK_DIR}/runs_served.jsonl)
+set(RESULT_BIN ${WORK_DIR}/result.bin)
+set(PORT_FILE ${WORK_DIR}/port.txt)
+set(SERVER_LOG ${WORK_DIR}/server.log)
+file(REMOVE ${PORT_FILE} ${RESULT_BIN} ${RUNS_OFFLINE} ${RUNS_SERVED})
+
+# Offline reference sweep.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env OPPSLA_CACHE_DIR=${CACHE_DIR}
+    ${CLI} eval --scale smoke --attack oppsla --budget 64 --seed 3
+    --runs-out ${RUNS_OFFLINE}
+  OUTPUT_VARIABLE OUT
+  RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "offline eval failed with ${RC}: ${OUT}")
+endif()
+
+# Background job server on an ephemeral port. --max-seconds caps its
+# lifetime so a wedged run can never leak the process past the harness.
+execute_process(
+  COMMAND sh -c "OPPSLA_CACHE_DIR='${CACHE_DIR}' '${CLI}' serve --port 0 \
+    --port-file '${PORT_FILE}' --checkpoint-dir '${WORK_DIR}/ckpt' \
+    --checkpoint-every 3 --max-seconds 240 > '${SERVER_LOG}' 2>&1 & \
+    echo $!"
+  OUTPUT_VARIABLE SERVER_PID
+  RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "cannot launch the server: ${RC}")
+endif()
+
+# Wait for the port file — the server's "I am listening" signal.
+set(WAITED 0)
+while(NOT EXISTS ${PORT_FILE})
+  if(WAITED GREATER 100)
+    file(READ ${SERVER_LOG} LOG)
+    message(FATAL_ERROR "server never published its port: ${LOG}")
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.25)
+  math(EXPR WAITED "${WAITED} + 1")
+endwhile()
+
+# Submit the same experiment over the wire and download the artifact.
+execute_process(
+  COMMAND ${CLI} client submit --port-file ${PORT_FILE}
+    --kind eval --scale smoke --seed 3 --budget 64
+    --wait --timeout 200 --out ${RESULT_BIN}
+  OUTPUT_VARIABLE OUT
+  RESULT_VARIABLE RC)
+execute_process(COMMAND ${CLI} client shutdown --port-file ${PORT_FILE})
+if(NOT RC EQUAL 0)
+  file(READ ${SERVER_LOG} LOG)
+  message(FATAL_ERROR
+    "client submit --wait failed with ${RC}: ${OUT}\nserver log: ${LOG}")
+endif()
+
+# Re-render the binary artifact as run-log JSONL.
+execute_process(
+  COMMAND ${CLI} wire --in ${RESULT_BIN} --runs-out ${RUNS_SERVED}
+  OUTPUT_VARIABLE OUT
+  RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "wire decode failed with ${RC}: ${OUT}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${RUNS_OFFLINE} ${RUNS_SERVED}
+  RESULT_VARIABLE DIFF)
+if(NOT DIFF EQUAL 0)
+  message(FATAL_ERROR
+    "served run logs differ from the same-seed offline eval; serving must "
+    "not change a single outcome (compare ${RUNS_OFFLINE} with "
+    "${RUNS_SERVED})")
+endif()
+
+file(STRINGS ${RUNS_OFFLINE} LINES)
+list(LENGTH LINES NUM_LINES)
+if(NUM_LINES EQUAL 0)
+  message(FATAL_ERROR "runs JSONL is empty — the comparison proved nothing")
+endif()

@@ -1,0 +1,111 @@
+# The checkpoint/resume contract, end to end: a server killed mid-sweep
+# (deterministically, via --crash-after-images) and restarted with
+# --resume must finish the job and produce a result artifact
+# byte-identical to an uninterrupted run's. Three server generations share
+# one victim cache:
+#   1. uninterrupted reference run -> ref.bin
+#   2. crash run: _exit(3) after 4 images, leaving job-1.ckpt behind
+#   3. resume run: --resume re-admits the checkpoint, finishes the
+#      remaining images only -> resumed.bin
+# then `cmake -E compare_files ref.bin resumed.bin`.
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(CACHE_DIR ${WORK_DIR}/cache)
+set(REF_BIN ${WORK_DIR}/ref.bin)
+set(RESUMED_BIN ${WORK_DIR}/resumed.bin)
+file(REMOVE ${REF_BIN} ${RESUMED_BIN})
+
+# Launches a background server writing PORT_FILE, waits for the port.
+function(launch_server PORT_FILE LOG CKPT_DIR EXTRA)
+  file(REMOVE ${PORT_FILE})
+  execute_process(
+    COMMAND sh -c "OPPSLA_CACHE_DIR='${CACHE_DIR}' '${CLI}' serve --port 0 \
+      --port-file '${PORT_FILE}' --checkpoint-dir '${CKPT_DIR}' \
+      --checkpoint-every 2 --max-seconds 240 ${EXTRA} \
+      > '${LOG}' 2>&1 & echo $!"
+    RESULT_VARIABLE RC)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR "cannot launch the server: ${RC}")
+  endif()
+  set(WAITED 0)
+  while(NOT EXISTS ${PORT_FILE})
+    if(WAITED GREATER 100)
+      file(READ ${LOG} CONTENTS)
+      message(FATAL_ERROR "server never published its port: ${CONTENTS}")
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.25)
+    math(EXPR WAITED "${WAITED} + 1")
+  endwhile()
+endfunction()
+
+set(SUBMIT_ARGS --kind eval --scale smoke --seed 5 --budget 64)
+
+# --- 1. Uninterrupted reference run. -----------------------------------
+launch_server(${WORK_DIR}/port_ref.txt ${WORK_DIR}/server_ref.log
+              ${WORK_DIR}/ckpt_ref "")
+execute_process(
+  COMMAND ${CLI} client submit --port-file ${WORK_DIR}/port_ref.txt
+    ${SUBMIT_ARGS} --wait --timeout 200 --out ${REF_BIN}
+  OUTPUT_VARIABLE OUT
+  RESULT_VARIABLE RC)
+execute_process(
+  COMMAND ${CLI} client shutdown --port-file ${WORK_DIR}/port_ref.txt)
+if(NOT RC EQUAL 0)
+  file(READ ${WORK_DIR}/server_ref.log LOG)
+  message(FATAL_ERROR
+    "reference run failed with ${RC}: ${OUT}\nserver log: ${LOG}")
+endif()
+
+# --- 2. Crash run: the server kills itself after 4 images. -------------
+launch_server(${WORK_DIR}/port_crash.txt ${WORK_DIR}/server_crash.log
+              ${WORK_DIR}/ckpt_crash "--crash-after-images 4")
+execute_process(
+  COMMAND ${CLI} client submit --port-file ${WORK_DIR}/port_crash.txt
+    ${SUBMIT_ARGS} --wait --timeout 200 --out ${WORK_DIR}/never.bin
+  OUTPUT_VARIABLE OUT
+  RESULT_VARIABLE RC)
+if(RC EQUAL 0)
+  message(FATAL_ERROR
+    "the crash run completed — --crash-after-images never fired: ${OUT}")
+endif()
+if(NOT EXISTS ${WORK_DIR}/ckpt_crash/job-1.ckpt)
+  file(READ ${WORK_DIR}/server_crash.log LOG)
+  message(FATAL_ERROR
+    "no checkpoint survived the crash; nothing to resume: ${LOG}")
+endif()
+
+# --- 3. Resume run: finish the interrupted job. ------------------------
+launch_server(${WORK_DIR}/port_resume.txt ${WORK_DIR}/server_resume.log
+              ${WORK_DIR}/ckpt_crash "--resume")
+execute_process(
+  COMMAND ${CLI} client wait --port-file ${WORK_DIR}/port_resume.txt
+    --id 1 --timeout 200
+  OUTPUT_VARIABLE OUT
+  RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  file(READ ${WORK_DIR}/server_resume.log LOG)
+  execute_process(
+    COMMAND ${CLI} client shutdown --port-file ${WORK_DIR}/port_resume.txt)
+  message(FATAL_ERROR
+    "resumed job never finished (${RC}): ${OUT}\nserver log: ${LOG}")
+endif()
+execute_process(
+  COMMAND ${CLI} client result --port-file ${WORK_DIR}/port_resume.txt
+    --id 1 --out ${RESUMED_BIN}
+  OUTPUT_VARIABLE OUT
+  RESULT_VARIABLE RC)
+execute_process(
+  COMMAND ${CLI} client shutdown --port-file ${WORK_DIR}/port_resume.txt)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "result download after resume failed: ${OUT}")
+endif()
+
+# The payoff: crash + resume must be invisible in the artifact bytes.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${REF_BIN} ${RESUMED_BIN}
+  RESULT_VARIABLE DIFF)
+if(NOT DIFF EQUAL 0)
+  message(FATAL_ERROR
+    "resumed artifact differs from the uninterrupted run (compare "
+    "${REF_BIN} with ${RESUMED_BIN}); checkpoint/resume broke "
+    "byte-identity")
+endif()

@@ -194,6 +194,43 @@ TEST(QueryEngine, CloneIsIndependent) {
   EXPECT_EQ(Inner.calls(), 1u);
 }
 
+TEST(QueryEngine, CloneSharesCacheWhenConfigured) {
+  // The serve-mode pooling knob: with ShareCacheOnClone, clones reuse the
+  // master's ScoreCache, so an image scored by one engine is a hit (not a
+  // physical forward) in another. Logical query counters stay per-clone.
+  RecordingClassifier Inner = makeInner();
+  QueryEngineConfig C = config(8, 64);
+  C.ShareCacheOnClone = true;
+  QueryEngine Engine(Inner, C);
+  const Image A = randomImage(4, 4, 1);
+  (void)Engine.scores(A);
+  ASSERT_EQ(Engine.physicalForwards(), 1u);
+
+  std::unique_ptr<Classifier> CloneP = Engine.clone();
+  auto *Clone = dynamic_cast<QueryEngine *>(CloneP.get());
+  ASSERT_NE(Clone, nullptr);
+  EXPECT_EQ(Clone->cache().size(), 1u) << "clone must see the shared cache";
+  EXPECT_EQ(Clone->scores(A), Engine.scores(A));
+  EXPECT_EQ(Clone->physicalForwards(), 0u)
+      << "the shared cache must have absorbed the clone's query";
+  EXPECT_EQ(Clone->logicalQueries(), 1u) << "logical counters stay per-clone";
+
+  // New entries flow both ways.
+  const Image B = randomImage(4, 4, 2);
+  (void)Clone->scores(B);
+  EXPECT_EQ(Engine.scores(B), Inner.scores(B));
+  EXPECT_EQ(Engine.physicalForwards(), 1u)
+      << "the master must hit the entry the clone inserted";
+
+  // Without the flag the clone starts with a fresh, empty cache.
+  QueryEngine Fresh(Inner, config(8, 64));
+  (void)Fresh.scores(A);
+  auto FreshCloneP = Fresh.clone();
+  auto *FreshClone = dynamic_cast<QueryEngine *>(FreshCloneP.get());
+  ASSERT_NE(FreshClone, nullptr);
+  EXPECT_EQ(FreshClone->cache().size(), 0u);
+}
+
 TEST(QueryEngine, CacheCapacityBoundsResidency) {
   RecordingClassifier Inner = makeInner();
   QueryEngine Engine(Inner, config(8, 4));

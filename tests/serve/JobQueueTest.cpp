@@ -1,0 +1,213 @@
+//===- tests/serve/JobQueueTest.cpp - Job queue + spec parsing tests ----------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The admission-control and scheduling contract of the serve queue:
+// bounded capacity with Force-bypass for resume, priority-then-FIFO pop
+// order, cancel semantics across the job lifecycle, and the JSON job-spec
+// parser's accept/reject behaviour.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/JobQueue.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace oppsla;
+using namespace oppsla::serve;
+
+namespace {
+
+JobSpec specWithPriority(int Priority) {
+  JobSpec S;
+  S.Priority = Priority;
+  return S;
+}
+
+/// create() + enqueue() in one step; returns the job.
+std::shared_ptr<Job> submit(JobQueue &Q, int Priority) {
+  auto J = Q.create(specWithPriority(Priority));
+  EXPECT_TRUE(Q.enqueue(J));
+  return J;
+}
+
+} // namespace
+
+TEST(JobQueue, PopOrderIsPriorityThenFifo) {
+  JobQueue Q(8);
+  const auto Low = submit(Q, 0);
+  const auto HighA = submit(Q, 5);
+  const auto Mid = submit(Q, 1);
+  const auto HighB = submit(Q, 5);
+
+  // Highest priority first; FIFO among equal priorities.
+  EXPECT_EQ(Q.pop(), HighA);
+  EXPECT_EQ(Q.pop(), HighB);
+  EXPECT_EQ(Q.pop(), Mid);
+  EXPECT_EQ(Q.pop(), Low);
+  // pop() flips the state to Running.
+  EXPECT_EQ(Low->State.load(), JobState::Running);
+}
+
+TEST(JobQueue, CapacityRejectsAndForceBypasses) {
+  JobQueue Q(2);
+  EXPECT_EQ(Q.capacity(), 2u);
+  submit(Q, 0);
+  submit(Q, 0);
+  EXPECT_EQ(Q.depth(), 2u);
+
+  auto Third = Q.create(specWithPriority(0));
+  EXPECT_FALSE(Q.enqueue(Third)) << "a full queue must reject";
+  EXPECT_EQ(Q.depth(), 2u);
+  // The rejected job stays registered (the HTTP 429 can still be traced
+  // back to a known id) but never runs.
+  EXPECT_EQ(Q.find(Third->Id), Third);
+
+  // Resume/drain requeues bypass admission control.
+  EXPECT_TRUE(Q.enqueue(Third, /*Force=*/true));
+  EXPECT_EQ(Q.depth(), 3u);
+}
+
+TEST(JobQueue, CancelQueuedJobIsImmediateAndPopSkipsIt) {
+  JobQueue Q(4);
+  const auto A = submit(Q, 0);
+  const auto B = submit(Q, 0);
+  EXPECT_TRUE(Q.cancel(A->Id));
+  EXPECT_EQ(A->State.load(), JobState::Cancelled);
+
+  // pop() drops the cancelled job and returns the survivor.
+  EXPECT_EQ(Q.pop(), B);
+  EXPECT_EQ(Q.depth(), 0u);
+}
+
+TEST(JobQueue, CancelRunningJobSetsFlagOnly) {
+  JobQueue Q(4);
+  const auto J = submit(Q, 0);
+  ASSERT_EQ(Q.pop(), J);
+  ASSERT_EQ(J->State.load(), JobState::Running);
+
+  EXPECT_TRUE(Q.cancel(J->Id));
+  // Still running: the runner honours the flag at its next shard boundary.
+  EXPECT_EQ(J->State.load(), JobState::Running);
+  EXPECT_TRUE(J->CancelRequested.load());
+}
+
+TEST(JobQueue, CancelFinishedOrUnknownJobFails) {
+  JobQueue Q(4);
+  const auto J = submit(Q, 0);
+  ASSERT_EQ(Q.pop(), J);
+  J->State.store(JobState::Done);
+  EXPECT_FALSE(Q.cancel(J->Id)) << "finished jobs cannot be cancelled";
+  EXPECT_FALSE(Q.cancel(12345)) << "unknown id";
+}
+
+TEST(JobQueue, CloseWakesBlockedPopAndKeepsQueuedJobs) {
+  JobQueue Q(4);
+  std::thread Blocked([&Q] { EXPECT_EQ(Q.pop(), nullptr); });
+  // Give the popper a moment to block, then close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Q.close();
+  Blocked.join();
+
+  // A job enqueued (Force) after close stays Queued for a later resume;
+  // pop keeps returning nullptr.
+  auto J = Q.create(specWithPriority(0));
+  EXPECT_TRUE(Q.enqueue(J, /*Force=*/true));
+  EXPECT_EQ(Q.pop(), nullptr);
+  EXPECT_EQ(J->State.load(), JobState::Queued);
+}
+
+TEST(JobQueue, AdoptRestoresIdAndBumpsCounter) {
+  JobQueue Q(4);
+  auto Recovered = std::make_shared<Job>();
+  Recovered->Id = 41;
+  Recovered->Spec = specWithPriority(0);
+  Q.adopt(Recovered);
+  EXPECT_EQ(Q.find(41), Recovered);
+  // Fresh ids continue past every adopted one.
+  EXPECT_EQ(Q.create(specWithPriority(0))->Id, 42u);
+}
+
+TEST(JobSpec, ParseNestedAndFlatForms) {
+  JobSpec S;
+  std::string Error;
+  ASSERT_TRUE(parseJobSpec(
+      "{\"kind\":\"attack\",\"attack\":\"suopa\","
+      "\"victim\":{\"task\":\"cifar\",\"arch\":\"cnn\",\"scale\":\"small\"},"
+      "\"seed\":9,\"budget\":128,\"priority\":3,"
+      "\"slice\":{\"begin\":10,\"count\":5}}",
+      S, Error))
+      << Error;
+  EXPECT_EQ(S.Kind, JobKind::Attack);
+  EXPECT_EQ(S.AttackName, "suopa");
+  EXPECT_EQ(S.TaskName, "cifar");
+  EXPECT_EQ(S.ArchName, "cnn");
+  EXPECT_EQ(S.ScaleName, "small");
+  EXPECT_EQ(S.Seed, 9u);
+  EXPECT_EQ(S.Budget, 128u);
+  EXPECT_EQ(S.Priority, 3);
+  EXPECT_EQ(S.Begin, 10u);
+  EXPECT_EQ(S.Count, 5u);
+
+  // Flat keys are an accepted spelling of the same spec.
+  JobSpec Flat;
+  ASSERT_TRUE(parseJobSpec("{\"kind\":\"eval\",\"task\":\"cifar\","
+                           "\"scale\":\"smoke\",\"seed\":2,\"begin\":1,"
+                           "\"count\":4}",
+                           Flat, Error))
+      << Error;
+  EXPECT_EQ(Flat.Kind, JobKind::Eval);
+  EXPECT_EQ(Flat.ScaleName, "smoke");
+  EXPECT_EQ(Flat.Begin, 1u);
+  EXPECT_EQ(Flat.Count, 4u);
+
+  // An empty object is a valid eval job with defaults.
+  JobSpec Defaults;
+  ASSERT_TRUE(parseJobSpec("{}", Defaults, Error)) << Error;
+  EXPECT_EQ(Defaults.Kind, JobKind::Eval);
+  EXPECT_EQ(Defaults.ScaleName, "smoke");
+  EXPECT_EQ(Defaults.Seed, 1u);
+}
+
+TEST(JobSpec, ParseRejectsBadInput) {
+  JobSpec S;
+  std::string Error;
+  EXPECT_FALSE(parseJobSpec("not json", S, Error));
+  EXPECT_FALSE(parseJobSpec("[1,2]", S, Error));
+  EXPECT_NE(Error.find("object"), std::string::npos) << Error;
+  EXPECT_FALSE(parseJobSpec("{\"kind\":\"frobnicate\"}", S, Error));
+  EXPECT_NE(Error.find("unknown kind"), std::string::npos) << Error;
+  EXPECT_FALSE(
+      parseJobSpec("{\"kind\":\"attack\",\"attack\":\"nope\"}", S, Error));
+  EXPECT_NE(Error.find("unknown attack"), std::string::npos) << Error;
+  EXPECT_FALSE(parseJobSpec("{\"task\":\"mnist\"}", S, Error));
+  EXPECT_NE(Error.find("unknown task"), std::string::npos) << Error;
+  EXPECT_FALSE(parseJobSpec("{\"scale\":\"galactic\"}", S, Error));
+  EXPECT_NE(Error.find("unknown scale"), std::string::npos) << Error;
+}
+
+TEST(JobSpec, CanonicalJsonRoundTripsThroughParser) {
+  // jobSpecJson() must render a form parseJobSpec() accepts unchanged —
+  // the stability that keeps checkpoint and result artifacts
+  // byte-identical across resume.
+  JobSpec S;
+  S.Kind = JobKind::Attack;
+  S.AttackName = "random";
+  S.ArchName = "mlp";
+  S.ScaleName = "small";
+  S.Seed = 17;
+  S.Budget = 99;
+  S.Priority = -2;
+  S.Begin = 3;
+  S.Count = 6;
+  const std::string Json = jobSpecJson(S);
+
+  JobSpec Back;
+  std::string Error;
+  ASSERT_TRUE(parseJobSpec(Json, Back, Error)) << Error << "\n" << Json;
+  EXPECT_EQ(jobSpecJson(Back), Json);
+}

@@ -1,0 +1,245 @@
+//===- tests/serve/WireTest.cpp - Binary wire format tests --------------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Round-trips the serve wire format and then attacks it: truncation at
+// every byte boundary, a flipped CRC, a wrong magic, a wrong endianness
+// marker, an unsupported version, trailing garbage, and a run record with
+// a bogus payload length. Every corruption must fail loudly with a
+// descriptive error and must never leave partial contents in the output.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Wire.h"
+
+#include "TestUtil.h"
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace oppsla;
+using namespace oppsla::serve;
+using test::randomImage;
+
+namespace {
+
+/// Little-endian u32 append, mirroring the writer (tests build corrupt
+/// records by hand with it).
+void putU32(std::string &Out, uint32_t V) {
+  Out.push_back(static_cast<char>(V & 0xFF));
+  Out.push_back(static_cast<char>((V >> 8) & 0xFF));
+  Out.push_back(static_cast<char>((V >> 16) & 0xFF));
+  Out.push_back(static_cast<char>((V >> 24) & 0xFF));
+}
+
+std::string header(uint32_t NumRecords, uint32_t Endian = WireEndianMarker,
+                   uint32_t Version = WireVersion,
+                   const char *Magic = "OPWF") {
+  std::string Out(Magic, 4);
+  putU32(Out, Endian);
+  putU32(Out, Version);
+  putU32(Out, NumRecords);
+  putU32(Out, 0);
+  return Out;
+}
+
+/// One well-formed record with a correct CRC (so corruption tests can
+/// isolate the field they actually target).
+std::string record(uint32_t Type, const std::string &Payload) {
+  std::string Head;
+  putU32(Head, Type);
+  putU32(Head, static_cast<uint32_t>(Payload.size()));
+  std::string Out = Head + Payload;
+  putU32(Out, serve::crc32(Payload.data(), Payload.size(),
+                           serve::crc32(Head.data(), Head.size())));
+  return Out;
+}
+
+/// A representative artifact: spec + out-of-order runs + program + image.
+std::string sampleArtifact(WireContents *Expect = nullptr) {
+  WireBuilder B;
+  B.addJobSpecJson("{\"kind\":\"eval\",\"seed\":7}");
+  const WireRun R1{4, 1, 1, 321};
+  const WireRun R2{2, 0, 0, 1000};
+  const WireRun R3{9, 2, 2, 0};
+  B.addRun(R1);
+  B.addRun(R2);
+  B.addRun(R3);
+  B.addProgram("if region(0,0,4,4) then pixel(1,1)");
+  B.addImage(randomImage(4, 4, 0xF00D));
+  if (Expect) {
+    Expect->JobSpecJson = "{\"kind\":\"eval\",\"seed\":7}";
+    Expect->Runs = {R1, R2, R3};
+    Expect->Programs = {"if region(0,0,4,4) then pixel(1,1)"};
+    Expect->Images = {randomImage(4, 4, 0xF00D)};
+  }
+  return B.finish();
+}
+
+/// Parses expecting failure; checks the error mentions \p Needle and the
+/// output kept its sentinel contents (all-or-nothing contract).
+void expectRejects(const std::string &Bytes, const std::string &Needle) {
+  WireContents Out;
+  Out.JobSpecJson = "SENTINEL";
+  Out.Runs = {WireRun{99, 99, 1, 99}};
+  std::string Error;
+  EXPECT_FALSE(parseWire(Bytes, Out, Error));
+  EXPECT_NE(Error.find(Needle), std::string::npos)
+      << "error was: " << Error;
+  EXPECT_EQ(Out.JobSpecJson, "SENTINEL") << "partial contents leaked";
+  ASSERT_EQ(Out.Runs.size(), 1u) << "partial contents leaked";
+  EXPECT_EQ(Out.Runs[0].Index, 99u);
+}
+
+} // namespace
+
+TEST(Wire, Crc32KnownAnswer) {
+  // The standard IEEE 802.3 check value for "123456789".
+  const char *S = "123456789";
+  EXPECT_EQ(serve::crc32(S, 9), 0xCBF43926u);
+  // Seeded continuation equals one-shot over the concatenation.
+  EXPECT_EQ(serve::crc32(S + 4, 5, serve::crc32(S, 4)),
+            serve::crc32(S, 9));
+}
+
+TEST(Wire, RoundTripAllRecordTypes) {
+  WireContents Expect;
+  const std::string Bytes = sampleArtifact(&Expect);
+
+  WireContents Got;
+  std::string Error;
+  ASSERT_TRUE(parseWire(Bytes, Got, Error)) << Error;
+  EXPECT_EQ(Got.JobSpecJson, Expect.JobSpecJson);
+  ASSERT_EQ(Got.Runs.size(), 3u);
+  EXPECT_EQ(Got.Runs, Expect.Runs); // insertion order preserved
+  ASSERT_EQ(Got.Programs.size(), 1u);
+  EXPECT_EQ(Got.Programs[0], Expect.Programs[0]);
+  ASSERT_EQ(Got.Images.size(), 1u);
+  EXPECT_EQ(Got.Images[0].height(), 4u);
+  EXPECT_EQ(Got.Images[0].width(), 4u);
+  EXPECT_EQ(Got.Images[0].raw(), Expect.Images[0].raw());
+}
+
+TEST(Wire, EmptyArtifactRoundTrips) {
+  WireBuilder B;
+  const std::string Bytes = B.finish();
+  EXPECT_EQ(Bytes.size(), WireHeaderBytes);
+  WireContents Got;
+  std::string Error;
+  ASSERT_TRUE(parseWire(Bytes, Got, Error)) << Error;
+  EXPECT_TRUE(Got.JobSpecJson.empty());
+  EXPECT_TRUE(Got.Runs.empty());
+}
+
+TEST(Wire, RebuildIsByteIdentical) {
+  // The byte-identity contract behind checkpoint/resume: two builders fed
+  // the same records produce the same bytes.
+  EXPECT_EQ(sampleArtifact(), sampleArtifact());
+}
+
+TEST(Wire, TruncationAtEveryBoundaryFails) {
+  const std::string Bytes = sampleArtifact();
+  for (size_t Len = 0; Len != Bytes.size(); ++Len) {
+    WireContents Out;
+    Out.JobSpecJson = "SENTINEL";
+    std::string Error;
+    EXPECT_FALSE(parseWire(Bytes.substr(0, Len), Out, Error))
+        << "a " << Len << "-byte prefix of a " << Bytes.size()
+        << "-byte artifact parsed";
+    EXPECT_FALSE(Error.empty()) << "prefix length " << Len;
+    EXPECT_EQ(Out.JobSpecJson, "SENTINEL")
+        << "partial contents leaked at prefix length " << Len;
+  }
+}
+
+TEST(Wire, FlippedCrcByteFails) {
+  std::string Bytes = sampleArtifact();
+  Bytes.back() ^= 0x01; // last byte is the final record's CRC
+  expectRejects(Bytes, "CRC mismatch");
+}
+
+TEST(Wire, FlippedPayloadByteFails) {
+  std::string Bytes = sampleArtifact();
+  // Corrupt a payload byte of the first record (spec JSON text), well past
+  // the header.
+  Bytes[WireHeaderBytes + 8 + 2] ^= 0x40;
+  expectRejects(Bytes, "CRC mismatch");
+}
+
+TEST(Wire, BadMagicFails) {
+  std::string Bytes = sampleArtifact();
+  Bytes[0] = 'X';
+  expectRejects(Bytes, "bad magic");
+}
+
+TEST(Wire, WrongEndianMarkerFails) {
+  // A big-endian writer would emit the marker byte-reversed; the reader
+  // must call that out rather than mis-decode every integer.
+  std::string Bytes = sampleArtifact();
+  std::swap(Bytes[4], Bytes[7]);
+  std::swap(Bytes[5], Bytes[6]);
+  expectRejects(Bytes, "endianness");
+}
+
+TEST(Wire, UnsupportedVersionFails) {
+  std::string Bytes = sampleArtifact();
+  Bytes[8] = 2; // version field, little-endian low byte
+  expectRejects(Bytes, "unsupported version 2");
+}
+
+TEST(Wire, TrailingBytesFail) {
+  std::string Bytes = sampleArtifact();
+  Bytes += "garbage";
+  expectRejects(Bytes, "trailing");
+}
+
+TEST(Wire, RunPayloadWithWrongSizeFails) {
+  // A record whose CRC is valid but whose run payload is 16 bytes instead
+  // of 17 — the structural check must fire even when the checksum passes.
+  const std::string Bytes =
+      header(1) +
+      record(static_cast<uint32_t>(WireRecordType::Run),
+             std::string(16, '\0'));
+  expectRejects(Bytes, "16 bytes, expected 17");
+}
+
+TEST(Wire, UnknownRecordTypeFails) {
+  const std::string Bytes = header(1) + record(77, "whatever");
+  expectRejects(Bytes, "unknown record type");
+}
+
+TEST(Wire, FileRoundTripAndAtomicWrite) {
+  const std::string Path = ::testing::TempDir() + "/wiretest_artifact.bin";
+  std::remove(Path.c_str());
+
+  WireContents Expect;
+  const std::string Bytes = sampleArtifact(&Expect);
+  std::string Error;
+  ASSERT_TRUE(writeFileAtomic(Path, Bytes, Error)) << Error;
+
+  WireContents Got;
+  ASSERT_TRUE(readWireFile(Path, Got, Error)) << Error;
+  EXPECT_EQ(Got.Runs, Expect.Runs);
+  std::remove(Path.c_str());
+
+  // A missing file is a read error that names the path.
+  EXPECT_FALSE(readWireFile(Path, Got, Error));
+  EXPECT_NE(Error.find(Path), std::string::npos) << Error;
+}
+
+TEST(Wire, RunsToJsonlSortsAndMatchesRunLogShape) {
+  // Out-of-order completion (a resume interleaving) must render the same
+  // JSONL as the offline exporter: sorted, positional image numbering.
+  std::vector<WireRun> Runs = {{7, 1, 0, 12}, {3, 0, 1, 4}, {5, 2, 2, 0}};
+  EXPECT_EQ(runsToJsonl(Runs),
+            "{\"image\":0,\"label\":0,\"outcome\":\"success\","
+            "\"queries\":4}\n"
+            "{\"image\":1,\"label\":2,\"outcome\":\"discarded\","
+            "\"queries\":0}\n"
+            "{\"image\":2,\"label\":1,\"outcome\":\"failure\","
+            "\"queries\":12}\n");
+}

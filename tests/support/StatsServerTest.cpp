@@ -68,6 +68,40 @@ std::string httpGet(uint16_t Port, const std::string &Target) {
   return Out;
 }
 
+/// Same GET, but trickled one byte per send() with a pause mid-header —
+/// the request line alone is NOT a complete request, so a server that
+/// parses after a single recv() fails this.
+std::string httpGetSplit(uint16_t Port, const std::string &Target) {
+  const int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return "";
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return "";
+  }
+  const std::string Req =
+      "GET " + Target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  for (size_t I = 0; I != Req.size(); ++I) {
+    if (::send(Fd, Req.data() + I, 1, 0) != 1) {
+      ::close(Fd);
+      return "";
+    }
+    if (I == Req.find('\n'))
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  std::string Out;
+  char Buf[4096];
+  ssize_t N;
+  while ((N = ::recv(Fd, Buf, sizeof(Buf), 0)) > 0)
+    Out.append(Buf, static_cast<size_t>(N));
+  ::close(Fd);
+  return Out;
+}
+
 std::string bodyOf(const std::string &Response) {
   const size_t Pos = Response.find("\r\n\r\n");
   return Pos == std::string::npos ? "" : Response.substr(Pos + 4);
@@ -142,6 +176,21 @@ TEST(StatsServer, ServesProfileFoldedStacks) {
   EXPECT_NE(Body.find("statstest.outer;statstest.inner "),
             std::string::npos)
       << Body;
+}
+
+TEST(StatsServer, RequestSplitAcrossPacketsStillParses) {
+  // The shared http::readRequest() loops on recv() until the header
+  // terminator; a request trickling in one byte at a time — with the
+  // request line and the rest of the header in different packets — must
+  // still be answered, not 400'd from a partial read.
+  telemetry::counter("statstest.split").inc();
+  telemetry::StatsServer S;
+  ASSERT_TRUE(S.start(0));
+  const std::string Resp = httpGetSplit(S.port(), "/metrics");
+  S.stop();
+  EXPECT_NE(Resp.find("HTTP/1.1 200 OK"), std::string::npos) << Resp;
+  EXPECT_NE(bodyOf(Resp).find("oppsla_statstest_split_total"),
+            std::string::npos);
 }
 
 TEST(StatsServer, UnknownPathIs404) {

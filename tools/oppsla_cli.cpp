@@ -12,7 +12,13 @@
 //   oppsla attack     --arch vgg --class 0 --program prog.txt
 //                     [--budget 4096] [--images 16]
 //   oppsla eval       --arch vgg --attack oppsla|sparse-rs|suopa|random
-//                     [--class 0] [--budget 4096]
+//                     [--class 0] [--budget 4096] [--seed 1]
+//   oppsla serve      --port 0 [--capacity 16] [--workers 1]
+//                     [--checkpoint-dir D] [--checkpoint-every 4]
+//                     [--resume] [--max-seconds 0]
+//   oppsla client     submit|list|status|result|cancel|wait|shutdown
+//                     --port N | --port-file f [--id N] [--out f] ...
+//   oppsla wire       --in artifact [--runs-out runs.jsonl]
 //
 // Victims are cached under .oppsla-cache (or $OPPSLA_CACHE_DIR), so the
 // train step is implicit in the other subcommands.
@@ -29,7 +35,14 @@
 #include "eval/Evaluation.h"
 #include "eval/Experiments.h"
 #include "eval/Export.h"
+#include "serve/Checkpoint.h"
+#include "serve/JobQueue.h"
+#include "serve/JobRunner.h"
+#include "serve/ServeServer.h"
+#include "serve/Wire.h"
 #include "support/ArgParse.h"
+#include "support/Http.h"
+#include "support/Json.h"
 #include "support/Metrics.h"
 #include "support/Profiler.h"
 #include "support/Progress.h"
@@ -40,9 +53,11 @@
 #include "tensor/Gemm.h"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 using namespace oppsla;
 
@@ -50,7 +65,9 @@ namespace {
 
 int usage() {
   std::cerr
-      << "usage: oppsla <train|synthesize|explain|attack|eval> [options]\n"
+      << "usage: oppsla "
+         "<train|synthesize|explain|attack|eval|serve|client|wire> "
+         "[options]\n"
          "  common options: --arch vgg|resnet|googlenet|densenet|resnet50\n"
          "                  --task cifar|imagenet  --scale smoke|small|paper\n"
          "                  --threads N (parallel sweeps; 0 = all cores;\n"
@@ -277,8 +294,12 @@ int cmdEval(const ArgParse &Args) {
   const Arch A = archOf(Args);
   const auto Budget = static_cast<uint64_t>(
       Args.getInt("budget", static_cast<long long>(Scale.EvalQueryCap)));
-  auto Victim = makeScaledVictim(Task, A, Scale);
-  const Dataset Test = makeTestSet(Task, Scale);
+  // --seed reseeds the victim, its test set, and program synthesis as one
+  // coherent experiment (the default 1 matches every earlier run).
+  const auto Seed =
+      static_cast<uint64_t>(std::max(0LL, Args.getInt("seed", 1)));
+  auto Victim = makeScaledVictim(Task, A, Scale, Seed);
+  const Dataset Test = makeTestSet(Task, Scale, Seed);
 
   // The attack sweeps query through the engine (synthesis drives the raw
   // victim: it needs the concrete NNClassifier). The parallel sweep clones
@@ -297,7 +318,7 @@ int cmdEval(const ArgParse &Args) {
     telemetry::ProfileScope Root("cli.eval");
     if (Kind == "oppsla") {
       const std::vector<Program> Programs = synthesizeClassPrograms(
-          *Victim, victimStem(Task, A, Scale), Task, Scale, /*Seed=*/1,
+          *Victim, victimStem(Task, A, Scale, Seed), Task, Scale, Seed,
           Threads);
       Logs = runProgramsOverSet(Programs, Engine, Test, Budget, Threads);
     } else if (Kind == "sparse-rs") {
@@ -348,6 +369,288 @@ int cmdEval(const ArgParse &Args) {
   return 0;
 }
 
+/// `oppsla serve`: the attack-as-a-service job server. See DESIGN.md §13.
+int cmdServe(const ArgParse &Args) {
+  serve::JobRunnerConfig RunnerConfig;
+  RunnerConfig.CheckpointDir = Args.get("checkpoint-dir", ".oppsla-serve");
+  RunnerConfig.Workers =
+      static_cast<size_t>(std::max(0LL, Args.getInt("workers", 1)));
+  RunnerConfig.Threads = threadCountFromArgs(Args);
+  RunnerConfig.CheckpointEvery =
+      static_cast<size_t>(std::max(1LL, Args.getInt("checkpoint-every", 4)));
+  RunnerConfig.Engine = engineConfigFromArgs(Args);
+  RunnerConfig.CrashAfterImages = static_cast<size_t>(
+      std::max(0LL, Args.getInt("crash-after-images", 0)));
+
+  std::string Error;
+  if (!serve::ensureDir(RunnerConfig.CheckpointDir, Error)) {
+    std::cerr << "error: " << Error << "\n";
+    return 1;
+  }
+
+  serve::JobQueue Queue(
+      static_cast<size_t>(std::max(1LL, Args.getInt("capacity", 16))));
+  serve::JobRunner Runner(Queue, RunnerConfig);
+  if (Args.getFlag("resume"))
+    std::cerr << "serve: resumed " << Runner.resume()
+              << " pending job(s) from " << RunnerConfig.CheckpointDir
+              << "\n";
+
+  serve::ServeServerConfig ServerConfig;
+  ServerConfig.Port =
+      static_cast<uint16_t>(Args.getInt("port", 0));
+  serve::ServeServer Server(Queue, Runner, ServerConfig);
+  if (!Server.start())
+    return 1;
+  std::cerr << "serve: listening on 127.0.0.1:" << Server.port() << "\n";
+  const std::string PortFile = Args.get("port-file", "");
+  if (!PortFile.empty()) {
+    std::ofstream OS(PortFile);
+    OS << Server.port() << "\n";
+  }
+  Runner.start();
+
+  // Serve until GET /quitquitquit — or the --max-seconds safety cap, so a
+  // test-launched server can never outlive its harness.
+  Server.waitQuit(Args.getDouble("max-seconds", 0.0));
+  Server.stop();
+  Runner.stop(); // drains the current shard, checkpoints, requeues
+  std::cerr << "serve: shut down\n";
+  return 0;
+}
+
+/// Resolves the server port from --port or --port-file.
+bool clientPort(const ArgParse &Args, uint16_t &Port, std::string &Error) {
+  if (Args.has("port")) {
+    Port = static_cast<uint16_t>(Args.getInt("port", 0));
+    return true;
+  }
+  const std::string PortFile = Args.get("port-file", "");
+  if (PortFile.empty()) {
+    Error = "--port or --port-file is required";
+    return false;
+  }
+  std::ifstream In(PortFile);
+  long long V = 0;
+  if (!(In >> V) || V <= 0 || V > 65535) {
+    Error = "cannot read a port from " + PortFile;
+    return false;
+  }
+  Port = static_cast<uint16_t>(V);
+  return true;
+}
+
+/// Exit codes shared by the client verbs, so scripts can branch:
+/// 0 ok, 1 job failed/cancelled, 2 usage, 3 queue full (429),
+/// 4 HTTP-level rejection, 6 wait timeout, 7 server unreachable.
+constexpr int RcJobFailed = 1;
+constexpr int RcQueueFull = 3;
+constexpr int RcRejected = 4;
+constexpr int RcTimeout = 6;
+constexpr int RcUnreachable = 7;
+
+/// Polls GET /v1/jobs/<id> until the job leaves queued/running.
+int clientWait(uint16_t Port, uint64_t Id, double TimeoutSeconds) {
+  const auto Deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(TimeoutSeconds);
+  while (std::chrono::steady_clock::now() < Deadline) {
+    http::Response Resp;
+    std::string Error;
+    if (!http::request(Port, "GET", "/v1/jobs/" + std::to_string(Id), "",
+                       Resp, Error)) {
+      std::cerr << "error: " << Error << "\n";
+      return RcUnreachable;
+    }
+    json::Value Doc;
+    if (Resp.Status == 200 && json::parse(Resp.Body, Doc, Error)) {
+      const std::string State = Doc.getString("state", "");
+      if (State == "done") {
+        std::cout << Resp.Body << "\n";
+        return 0;
+      }
+      if (State == "failed" || State == "cancelled") {
+        std::cout << Resp.Body << "\n";
+        return RcJobFailed;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  std::cerr << "error: timed out waiting for job " << Id << "\n";
+  return RcTimeout;
+}
+
+/// Downloads /v1/jobs/<id>/result into \p OutPath.
+int clientResult(uint16_t Port, uint64_t Id, const std::string &OutPath) {
+  http::Response Resp;
+  std::string Error;
+  if (!http::request(Port, "GET",
+                     "/v1/jobs/" + std::to_string(Id) + "/result", "",
+                     Resp, Error)) {
+    std::cerr << "error: " << Error << "\n";
+    return RcUnreachable;
+  }
+  if (Resp.Status != 200) {
+    std::cerr << "error: " << Resp.Body << "\n";
+    return RcRejected;
+  }
+  if (OutPath.empty() || OutPath == "-") {
+    std::cout << Resp.Body;
+    return 0;
+  }
+  if (!serve::writeFileAtomic(OutPath, Resp.Body, Error)) {
+    std::cerr << "error: " << Error << "\n";
+    return 1;
+  }
+  std::cout << "result (" << Resp.Body.size() << " bytes) saved to "
+            << OutPath << "\n";
+  return 0;
+}
+
+/// `oppsla client`: talk to a running `oppsla serve`.
+int cmdClient(const ArgParse &Args) {
+  if (Args.positional().empty()) {
+    std::cerr << "usage: oppsla client "
+                 "<submit|list|status|result|cancel|wait|shutdown> "
+                 "(--port N | --port-file f) [--id N] [--out f]\n"
+                 "  submit: --spec '<json>' or --kind attack|eval|synth "
+                 "[--attack sparse-rs|suopa|random]\n"
+                 "          [--task cifar|imagenet] [--arch resnet|...] "
+                 "[--scale smoke|small|paper]\n"
+                 "          [--seed N] [--budget N] [--priority N] "
+                 "[--begin N] [--count N] [--wait] [--out f]\n";
+    return 2;
+  }
+  uint16_t Port = 0;
+  std::string Error;
+  if (!clientPort(Args, Port, Error)) {
+    std::cerr << "error: " << Error << "\n";
+    return 2;
+  }
+  const std::string Verb = Args.positional()[0];
+  const double Timeout = Args.getDouble("timeout", 600.0);
+  const auto Id = static_cast<uint64_t>(std::max(0LL, Args.getInt("id", 0)));
+
+  if (Verb == "submit") {
+    std::string Body = Args.get("spec", "");
+    if (Body.empty()) {
+      Body = "{\"kind\":\"" + Args.get("kind", "eval") + "\"";
+      if (Args.has("attack"))
+        Body += ",\"attack\":\"" + Args.get("attack", "") + "\"";
+      Body += ",\"victim\":{\"task\":\"" + Args.get("task", "cifar") +
+              "\",\"arch\":\"" + Args.get("arch", "resnet") +
+              "\",\"scale\":\"" + Args.get("scale", "smoke") +
+              "\"},\"seed\":" + std::to_string(Args.getInt("seed", 1)) +
+              ",\"budget\":" + std::to_string(Args.getInt("budget", 0)) +
+              ",\"priority\":" +
+              std::to_string(Args.getInt("priority", 0)) +
+              ",\"slice\":{\"begin\":" +
+              std::to_string(Args.getInt("begin", 0)) +
+              ",\"count\":" + std::to_string(Args.getInt("count", 0)) +
+              "}}";
+    }
+    http::Response Resp;
+    if (!http::request(Port, "POST", "/v1/jobs", Body, Resp, Error)) {
+      std::cerr << "error: " << Error << "\n";
+      return RcUnreachable;
+    }
+    std::cout << Resp.Body << "\n";
+    if (Resp.Status == 429)
+      return RcQueueFull;
+    if (Resp.Status != 202)
+      return RcRejected;
+    if (!Args.getFlag("wait"))
+      return 0;
+    json::Value Doc;
+    if (!json::parse(Resp.Body, Doc, Error))
+      return RcRejected;
+    const auto NewId = static_cast<uint64_t>(Doc.getNumber("id", 0.0));
+    const int RC = clientWait(Port, NewId, Timeout);
+    if (RC != 0)
+      return RC;
+    const std::string Out = Args.get("out", "");
+    return Out.empty() ? 0 : clientResult(Port, NewId, Out);
+  }
+  if (Verb == "list") {
+    http::Response Resp;
+    if (!http::request(Port, "GET", "/v1/jobs", "", Resp, Error)) {
+      std::cerr << "error: " << Error << "\n";
+      return RcUnreachable;
+    }
+    std::cout << Resp.Body << "\n";
+    return Resp.Status == 200 ? 0 : RcRejected;
+  }
+  if (Verb == "status") {
+    http::Response Resp;
+    if (!http::request(Port, "GET", "/v1/jobs/" + std::to_string(Id), "",
+                       Resp, Error)) {
+      std::cerr << "error: " << Error << "\n";
+      return RcUnreachable;
+    }
+    std::cout << Resp.Body << "\n";
+    return Resp.Status == 200 ? 0 : RcRejected;
+  }
+  if (Verb == "result")
+    return clientResult(Port, Id, Args.get("out", ""));
+  if (Verb == "cancel") {
+    http::Response Resp;
+    if (!http::request(Port, "DELETE", "/v1/jobs/" + std::to_string(Id),
+                       "", Resp, Error)) {
+      std::cerr << "error: " << Error << "\n";
+      return RcUnreachable;
+    }
+    std::cout << Resp.Body << "\n";
+    return Resp.Status == 200 ? 0 : RcRejected;
+  }
+  if (Verb == "wait")
+    return clientWait(Port, Id, Timeout);
+  if (Verb == "shutdown") {
+    http::Response Resp;
+    if (!http::request(Port, "GET", "/quitquitquit", "", Resp, Error)) {
+      std::cerr << "error: " << Error << "\n";
+      return RcUnreachable;
+    }
+    return Resp.Status == 200 ? 0 : RcRejected;
+  }
+  std::cerr << "error: unknown client verb '" << Verb << "'\n";
+  return 2;
+}
+
+/// `oppsla wire`: inspect a wire artifact / convert its runs to the
+/// run-log JSONL shape of `eval --runs-out`.
+int cmdWire(const ArgParse &Args) {
+  const std::string In = Args.get("in", "");
+  if (In.empty()) {
+    std::cerr << "usage: oppsla wire --in artifact [--runs-out runs.jsonl]"
+                 " [--dump-programs]\n";
+    return 2;
+  }
+  serve::WireContents C;
+  std::string Error;
+  if (!serve::readWireFile(In, C, Error)) {
+    std::cerr << "error: " << Error << "\n";
+    return 1;
+  }
+  std::cout << "wire artifact: " << C.Runs.size() << " runs, "
+            << C.Programs.size() << " programs, " << C.Images.size()
+            << " images\n";
+  if (!C.JobSpecJson.empty())
+    std::cout << "spec: " << C.JobSpecJson << "\n";
+  if (Args.getFlag("dump-programs"))
+    for (const std::string &P : C.Programs)
+      std::cout << P << "\n";
+  const std::string RunsOut = Args.get("runs-out", "");
+  if (!RunsOut.empty()) {
+    std::ofstream OS(RunsOut, std::ios::binary | std::ios::trunc);
+    OS << serve::runsToJsonl(C.Runs);
+    if (!OS.good()) {
+      std::cerr << "error: cannot write " << RunsOut << "\n";
+      return 1;
+    }
+    std::cout << "runs saved to " << RunsOut << "\n";
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -392,6 +695,12 @@ int main(int argc, char **argv) {
     RC = cmdAttack(Args);
   else if (Cmd == "eval")
     RC = cmdEval(Args);
+  else if (Cmd == "serve")
+    RC = cmdServe(Args);
+  else if (Cmd == "client")
+    RC = cmdClient(Args);
+  else if (Cmd == "wire")
+    RC = cmdWire(Args);
   else
     return usage();
 
