@@ -10,7 +10,16 @@
 // path, plus a deterministic admission-control phase that saturates a
 // workerless queue and counts the 429 rejects — an exact-gated metric,
 // since sequential submissions against a disabled runner must reject
-// precisely (submitted - capacity) jobs. Emits BENCH_serve.json.
+// precisely (submitted - capacity) jobs.
+//
+// The throughput phase runs twice per repeat — job tracing on, then off —
+// and reports trace_overhead_pct, the percent of jobs/sec the per-job
+// timeline recording costs (gated at <= 5% by an absolute-cap rule). The
+// estimate is the MINIMUM overhead across the adjacent on/off pairs: a
+// real tracing cost slows every pair, while a scheduler stall only
+// poisons one, so the min resists run-to-run noise. Primary throughput/
+// latency metrics come from each mode's best repeat, and from the traced
+// runs, which is how `oppsla serve` ships. Emits BENCH_serve.json.
 //
 //===----------------------------------------------------------------------===//
 
@@ -99,6 +108,75 @@ double quantileMs(std::vector<double> Sorted, double Q) {
   return Sorted[Idx] * 1e3;
 }
 
+struct ThroughputResult {
+  double JobsPerSec = 0.0;
+  double P50Ms = 0.0;
+  double P99Ms = 0.0;
+  double WallSeconds = 0.0;
+};
+
+/// One full throughput run through the serving path with job tracing
+/// switched to \p Tracing. Exits the process on any serving error (the
+/// bench's jobs must all succeed).
+ThroughputResult runThroughput(bool Tracing, size_t NumJobs,
+                               const std::string &CheckpointDir) {
+  serve::setJobTracingEnabled(Tracing);
+  serve::JobQueue Queue(256);
+  serve::JobRunnerConfig RC;
+  RC.Workers = 2;
+  RC.Threads = 1;
+  RC.CheckpointEvery = 4;
+  RC.CheckpointDir = CheckpointDir;
+  serve::JobRunner Runner(Queue, RC);
+  serve::ServeServer Server(Queue, Runner);
+  if (!Server.start())
+    std::exit(1);
+  Runner.start();
+
+  // Warmup: the first job trains (or loads) the pooled victim; keep that
+  // cost out of the serving numbers. Cheap after the first run — the
+  // victim pool is process-wide.
+  {
+    uint64_t WarmId = 0;
+    if (submitJob(Server.port(), jobBody(0), WarmId) != 202 || !WarmId)
+      std::exit(1);
+    waitDone(Server.port(), WarmId);
+  }
+
+  const auto T0 = Clock::now();
+  std::vector<std::pair<uint64_t, Clock::time_point>> Pending;
+  Pending.reserve(NumJobs);
+  for (size_t I = 0; I != NumJobs; ++I) {
+    uint64_t Id = 0;
+    if (submitJob(Server.port(), jobBody(I), Id) != 202 || !Id) {
+      std::cerr << "error: throughput submission rejected\n";
+      std::exit(1);
+    }
+    Pending.emplace_back(Id, Clock::now());
+  }
+
+  std::vector<double> LatencySeconds;
+  LatencySeconds.reserve(NumJobs);
+  for (const auto &[Id, Submitted] : Pending) {
+    waitDone(Server.port(), Id);
+    LatencySeconds.push_back(
+        std::chrono::duration<double>(Clock::now() - Submitted).count());
+  }
+  ThroughputResult R;
+  R.WallSeconds =
+      std::chrono::duration<double>(Clock::now() - T0).count();
+  Server.stop();
+  Runner.stop();
+
+  std::sort(LatencySeconds.begin(), LatencySeconds.end());
+  R.JobsPerSec = R.WallSeconds > 0
+                     ? static_cast<double>(NumJobs) / R.WallSeconds
+                     : 0.0;
+  R.P50Ms = quantileMs(LatencySeconds, 0.50);
+  R.P99Ms = quantileMs(LatencySeconds, 0.99);
+  return R;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -106,9 +184,11 @@ int main(int argc, char **argv) {
   if (!telemetry::configureFromArgs(Args))
     return 1;
   const BenchScale Scale = BenchScale::fromEnv();
-  const size_t NumJobs = Scale.Name == "smoke"   ? 8
-                         : Scale.Name == "paper" ? 48
-                                                 : 16;
+  // Enough jobs that one run's wall clock dwarfs scheduler jitter — the
+  // traced/untraced comparison divides two of these.
+  const size_t NumJobs = Scale.Name == "smoke"   ? 64
+                         : Scale.Name == "paper" ? 128
+                                                 : 96;
 
   std::cout << "== Serve throughput (scale: " << Scale.Name << ", "
             << NumJobs << " jobs) ==\n\n";
@@ -149,68 +229,52 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  // --- Phase 2: throughput through the full serving path. --------------
-  serve::JobQueue Queue(256);
-  serve::JobRunnerConfig RC;
-  RC.Workers = 2;
-  RC.Threads = 1;
-  RC.CheckpointEvery = 4;
-  RC.CheckpointDir = "serve-bench-ckpt";
-  serve::JobRunner Runner(Queue, RC);
-  serve::ServeServer Server(Queue, Runner);
-  if (!Server.start())
-    return 1;
-  Runner.start();
-
-  // Warmup: the first job trains (or loads) the pooled victim; keep that
-  // cost out of the serving numbers.
-  {
-    uint64_t WarmId = 0;
-    if (submitJob(Server.port(), jobBody(0), WarmId) != 202 || !WarmId)
-      return 1;
-    waitDone(Server.port(), WarmId);
+  // --- Phase 2: throughput through the full serving path, traced and
+  // untraced. Modes interleave across repeats so slow thermal/scheduler
+  // drift hits both equally; each mode keeps its best repeat.
+  const size_t Repeats = 4;
+  ThroughputResult Traced, Untraced;
+  double OverheadPct = 100.0;
+  for (size_t R = 0; R != Repeats; ++R) {
+    const ThroughputResult On =
+        runThroughput(true, NumJobs, "serve-bench-ckpt");
+    if (On.JobsPerSec > Traced.JobsPerSec)
+      Traced = On;
+    const ThroughputResult Off =
+        runThroughput(false, NumJobs, "serve-bench-ckpt-notrace");
+    if (Off.JobsPerSec > Untraced.JobsPerSec)
+      Untraced = Off;
+    // Overhead comes from the adjacent pair, not the cross-repeat bests:
+    // a real tracing cost slows EVERY pair, so the min across pairs is
+    // it, while a one-off scheduler stall only poisons one pair. Tracing
+    // can only add work, so a negative delta is noise — clamp to zero
+    // instead of reporting a nonsense "speedup".
+    const double PairPct =
+        Off.JobsPerSec > 0.0
+            ? std::max(0.0, 100.0 * (Off.JobsPerSec - On.JobsPerSec) /
+                                Off.JobsPerSec)
+            : 0.0;
+    OverheadPct = std::min(OverheadPct, PairPct);
   }
+  serve::setJobTracingEnabled(true); // restore the shipping default
 
-  const auto T0 = Clock::now();
-  std::vector<std::pair<uint64_t, Clock::time_point>> Pending;
-  Pending.reserve(NumJobs);
-  for (size_t I = 0; I != NumJobs; ++I) {
-    uint64_t Id = 0;
-    if (submitJob(Server.port(), jobBody(I), Id) != 202 || !Id) {
-      std::cerr << "error: throughput submission rejected\n";
-      return 1;
-    }
-    Pending.emplace_back(Id, Clock::now());
-  }
-
-  std::vector<double> LatencySeconds;
-  LatencySeconds.reserve(NumJobs);
-  for (const auto &[Id, Submitted] : Pending) {
-    waitDone(Server.port(), Id);
-    LatencySeconds.push_back(
-        std::chrono::duration<double>(Clock::now() - Submitted).count());
-  }
-  const double Wall = std::chrono::duration<double>(Clock::now() - T0).count();
-  Server.stop();
-  Runner.stop();
-
-  std::sort(LatencySeconds.begin(), LatencySeconds.end());
-  const double JobsPerSec =
-      Wall > 0 ? static_cast<double>(NumJobs) / Wall : 0.0;
-  const double P50 = quantileMs(LatencySeconds, 0.50);
-  const double P99 = quantileMs(LatencySeconds, 0.99);
-
-  std::cout << "throughput: " << NumJobs << " jobs in " << Wall
-            << " s = " << JobsPerSec << " jobs/sec\n"
-            << "latency: p50 " << P50 << " ms, p99 " << P99 << " ms\n";
+  std::cout << "throughput (traced): " << NumJobs << " jobs in "
+            << Traced.WallSeconds << " s = " << Traced.JobsPerSec
+            << " jobs/sec\n"
+            << "throughput (untraced): " << Untraced.JobsPerSec
+            << " jobs/sec -> trace overhead " << OverheadPct << "%\n"
+            << "latency (traced): p50 " << Traced.P50Ms << " ms, p99 "
+            << Traced.P99Ms << " ms\n";
 
   BenchJson BJ("serve", Scale.Name, Args);
   BJ.set("jobs", static_cast<double>(NumJobs));
-  BJ.set("jobs_per_sec", JobsPerSec);
-  BJ.set("job_latency_p50_ms", P50);
-  BJ.set("job_latency_p99_ms", P99);
+  BJ.set("jobs_per_sec", Traced.JobsPerSec);
+  BJ.set("jobs_per_sec_untraced", Untraced.JobsPerSec);
+  BJ.set("trace_overhead_pct", OverheadPct);
+  BJ.set("job_latency_p50_ms", Traced.P50Ms);
+  BJ.set("job_latency_p99_ms", Traced.P99Ms);
   BJ.set("queue_full_rejects", static_cast<double>(Rejects));
-  BJ.set("wall_seconds", Wall);
+  BJ.set("wall_seconds", Traced.WallSeconds);
   BJ.addTelemetryCounters();
   if (!BJ.writeFromArgs(Args))
     return 1;

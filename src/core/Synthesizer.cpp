@@ -91,8 +91,15 @@ ProgramEval evaluateProgramWith(const Program &P, Classifier &N,
     std::atomic<size_t> Next{0};
     std::vector<std::future<void>> Futures;
     Futures.reserve(Workers->Classifiers.size());
+    // Adopt the submitting thread's job context (profile root + trace
+    // id) on each pool worker — synthesis inside a served job should
+    // attribute to that job.
+    const char *ProfRoot = telemetry::ambientProfileRoot();
+    const std::string TraceId = telemetry::traceContextId();
     for (Classifier *NT : Workers->Classifiers)
       Futures.push_back(Workers->Pool->submit([&, NT] {
+        telemetry::ProfileTaskScope Task(ProfRoot);
+        telemetry::TraceContextScope Trace(TraceId);
         Sketch Sk(P);
         for (size_t I = Next.fetch_add(1); I < TrainSet.size();
              I = Next.fetch_add(1))

@@ -252,10 +252,17 @@ void QueryEngine::forwardUnique(std::span<const Image> Imgs,
     // column fan-out to one thread (results are identical either way —
     // the kernels are deterministic at any split).
     const size_t W = Config.Threads;
+    // Engine pool threads outlive any one job: hand each task the
+    // submitting thread's ambient profile root and trace id so forward
+    // spans and trace events attribute to the right job.
+    const char *ProfRoot = telemetry::ambientProfileRoot();
+    const std::string TraceId = telemetry::traceContextId();
     std::vector<std::future<void>> Futures;
     for (size_t T = 0; T != std::min(W, NumChunks); ++T) {
       Classifier *C = T == 0 ? &Inner : WorkerClones[T - 1].get();
       Futures.push_back(Pool->submit([&, C, T] {
+        telemetry::ProfileTaskScope Task(ProfRoot);
+        telemetry::TraceContextScope Trace(TraceId);
         kernels::ScopedColumnThreads Pin(1);
         for (size_t K = T; K < NumChunks; K += W)
           RunChunk(*C, K);

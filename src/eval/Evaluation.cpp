@@ -70,10 +70,17 @@ bool runAttackOverSetParallel(Attack &A, Classifier &N,
   std::atomic<size_t> Next{0};
   std::vector<std::future<void>> Futures;
   Futures.reserve(Workers);
+  // Capture the submitting thread's ambient job context so worker spans
+  // nest under the job's profile root and worker events carry its trace
+  // id (pool threads outlive any one job).
+  const char *ProfRoot = telemetry::ambientProfileRoot();
+  const std::string TraceId = telemetry::traceContextId();
   for (size_t T = 0; T != Workers; ++T) {
     Attack *AT = T == 0 ? &A : AttackClones[T - 1].get();
     Classifier *NT = T == 0 ? &N : ClassifierClones[T - 1].get();
     Futures.push_back(Pool.submit([&, AT, NT] {
+      telemetry::ProfileTaskScope Task(ProfRoot);
+      telemetry::TraceContextScope Trace(TraceId);
       for (size_t I = Next.fetch_add(1); I < TestSet.size();
            I = Next.fetch_add(1))
         Logs[I] = attackOne(*AT, *NT, TestSet, I, Budget);
@@ -147,9 +154,15 @@ std::vector<AttackRunLog> oppsla::runProgramsOverSet(
       std::atomic<size_t> Next{0};
       std::vector<std::future<void>> Futures;
       Futures.reserve(Workers);
+      // Same ambient-context capture as runAttackOverSetParallel: worker
+      // spans/events belong to the submitting job.
+      const char *ProfRoot = telemetry::ambientProfileRoot();
+      const std::string TraceId = telemetry::traceContextId();
       for (size_t T = 0; T != Workers; ++T) {
         Classifier *NT = T == 0 ? &N : Clones[T - 1].get();
         Futures.push_back(Pool.submit([&, NT] {
+          telemetry::ProfileTaskScope Task(ProfRoot);
+          telemetry::TraceContextScope Trace(TraceId);
           for (size_t I = Next.fetch_add(1); I < TestSet.size();
                I = Next.fetch_add(1))
             Logs[I] = RunOne(*NT, I);

@@ -104,6 +104,14 @@ bool serve::parseJobSpec(const std::string &JsonText, JobSpec &Out,
     S.Count = static_cast<uint64_t>(Doc.getNumber("count", 0.0));
   }
 
+  // Optional trace context (checkpoint records round-trip it so a resumed
+  // job keeps its client's trace id). Malformed values are dropped, not
+  // errors — observability never rejects work.
+  const std::string Trace = Doc.getString("trace", "");
+  telemetry::TraceContext Ctx;
+  if (telemetry::parseTraceparent(Trace, Ctx))
+    S.TraceParent = Ctx.traceparent();
+
   Out = std::move(S);
   return true;
 }
@@ -131,8 +139,48 @@ std::string serve::jobSpecJson(const JobSpec &Spec) {
   return Out;
 }
 
+std::string serve::jobSpecJsonWithTrace(const JobSpec &Spec) {
+  std::string Out = jobSpecJson(Spec);
+  if (Spec.TraceParent.empty())
+    return Out;
+  Out.pop_back(); // reopen the object
+  Out += ",\"trace\":\"";
+  json::escape(Out, Spec.TraceParent);
+  Out += "\"}";
+  return Out;
+}
+
+namespace {
+
+/// Queue-wait distribution in milliseconds, fed by pop() from the same
+/// clock reads that close the "queued" phase span.
+telemetry::Histogram &queueWaitHistogram() {
+  static telemetry::Histogram &H = telemetry::histogram(
+      "serve.queue.wait_ms", {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0,
+                              500.0, 1000.0, 2000.0, 5000.0, 10000.0,
+                              30000.0, 60000.0});
+  return H;
+}
+
+/// Builds the job's timeline when tracing is on: adopt the traceparent the
+/// spec carries (client-minted or checkpoint-round-tripped), else mint.
+std::shared_ptr<JobTrace> makeJobTrace(uint64_t Id, JobSpec &Spec) {
+  if (!jobTracingEnabled())
+    return nullptr;
+  telemetry::TraceContext Ctx;
+  if (!telemetry::parseTraceparent(Spec.TraceParent, Ctx))
+    Ctx = telemetry::mintTraceContext();
+  Spec.TraceParent = Ctx.traceparent();
+  return std::make_shared<JobTrace>(Id, std::move(Ctx));
+}
+
+} // namespace
+
 JobQueue::JobQueue(size_t Capacity) : Capacity(std::max<size_t>(1, Capacity)) {
   updateDepthGauge(0);
+  // Register the wait histogram up front so /metrics exposes the series
+  // (with zero observations) before the first pop, not after.
+  queueWaitHistogram();
 }
 
 void JobQueue::updateDepthGauge(size_t Depth) const {
@@ -143,13 +191,21 @@ void JobQueue::updateDepthGauge(size_t Depth) const {
 std::shared_ptr<Job> JobQueue::create(const JobSpec &Spec) {
   auto J = std::make_shared<Job>();
   J->Spec = Spec;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    J->Id = NextId++;
+  }
+  // Build the timeline before the job becomes findable, so Job::Trace is
+  // immutable once any other thread can see the job.
+  J->Trace = makeJobTrace(J->Id, J->Spec);
   std::lock_guard<std::mutex> Lock(Mu);
-  J->Id = NextId++;
   Registry[J->Id] = J;
   return J;
 }
 
 void JobQueue::adopt(const std::shared_ptr<Job> &J) {
+  if (!J->Trace)
+    J->Trace = makeJobTrace(J->Id, J->Spec);
   std::lock_guard<std::mutex> Lock(Mu);
   Registry[J->Id] = J;
   NextId = std::max(NextId, J->Id + 1);
@@ -164,8 +220,23 @@ bool JobQueue::enqueue(const std::shared_ptr<Job> &J, bool Force) {
     Queued.push_back(J);
     updateDepthGauge(Queued.size());
   }
+  if (J->Trace)
+    J->QueuedToken.store(J->Trace->beginPhase("queued"),
+                         std::memory_order_release);
   Ready.notify_one();
   return true;
+}
+
+void JobQueue::closeQueuedPhase(Job &J, bool ObserveWait) {
+  if (!J.Trace)
+    return;
+  const uint64_t Token =
+      J.QueuedToken.exchange(0, std::memory_order_acq_rel);
+  if (Token == 0)
+    return;
+  const uint64_t WaitNs = J.Trace->endPhase(Token);
+  if (ObserveWait)
+    queueWaitHistogram().observe(static_cast<double>(WaitNs) / 1e6);
 }
 
 std::shared_ptr<Job> JobQueue::pop() {
@@ -197,6 +268,8 @@ std::shared_ptr<Job> JobQueue::pop() {
     Queued.erase(Best);
     updateDepthGauge(Queued.size());
     J->State.store(JobState::Running, std::memory_order_relaxed);
+    Lock.unlock();
+    closeQueuedPhase(*J, /*ObserveWait=*/true);
     return J;
   }
 }
@@ -228,6 +301,9 @@ bool JobQueue::cancel(uint64_t Id) {
                                        std::memory_order_relaxed)) {
     // pop() lazily removes it from the deque.
     J->CancelRequested.store(true, std::memory_order_relaxed);
+    closeQueuedPhase(*J, /*ObserveWait=*/false);
+    if (J->Trace)
+      J->Trace->instant("cancelled");
     return true;
   }
   if (Expected == JobState::Running) {

@@ -21,6 +21,7 @@
 #ifndef OPPSLA_SERVE_JOBQUEUE_H
 #define OPPSLA_SERVE_JOBQUEUE_H
 
+#include "serve/JobTrace.h"
 #include "serve/Wire.h"
 
 #include <atomic>
@@ -65,6 +66,11 @@ struct JobSpec {
   int Priority = 0;    ///< higher pops first
   uint64_t Begin = 0;  ///< dataset slice start
   uint64_t Count = 0;  ///< slice length; 0 = everything from Begin
+
+  /// W3C traceparent from the submitting client ("" = server mints one).
+  /// Pure observability: never rendered into jobSpecJson(), so result
+  /// artifacts embedding the spec stay byte-identical across trace ids.
+  std::string TraceParent;
 };
 
 /// Parses the POST /v1/jobs body. Unknown kinds/attacks/archs and
@@ -73,8 +79,15 @@ bool parseJobSpec(const std::string &JsonText, JobSpec &Out,
                   std::string &Error);
 
 /// Canonical JSON rendering of \p Spec — stable across submit, checkpoint,
-/// and resume, so artifacts embedding it stay byte-identical.
+/// and resume, so artifacts embedding it stay byte-identical. Never
+/// includes the trace context.
 std::string jobSpecJson(const JobSpec &Spec);
+
+/// jobSpecJson() plus a trailing `"trace":"<traceparent>"` key when the
+/// spec carries one. Used for checkpoint records only, so a resumed job
+/// keeps the trace id its client minted; result artifacts always embed
+/// the canonical trace-free form.
+std::string jobSpecJsonWithTrace(const JobSpec &Spec);
 
 /// One admitted job. Progress fields are atomics (the HTTP thread reads
 /// them while a runner worker writes); Runs/Error take the mutex.
@@ -91,6 +104,14 @@ struct Job {
   std::vector<WireRun> Runs; ///< completed runs (preloaded on resume)
 
   std::string ResultPath; ///< set before State becomes Done
+
+  /// Phase timeline + trace context; null when job tracing is disabled.
+  /// Created at admission (create/adopt) and immutable afterwards, so
+  /// readers need no lock for the pointer itself.
+  std::shared_ptr<JobTrace> Trace;
+  /// Open "queued" phase token (0 = none); set by enqueue, closed by
+  /// pop()/cancel().
+  std::atomic<uint64_t> QueuedToken{0};
 
   std::string errorMessage() {
     std::lock_guard<std::mutex> Lock(Mu);
@@ -145,6 +166,10 @@ public:
 
 private:
   void updateDepthGauge(size_t Depth) const;
+  /// Closes a job's open "queued" phase span (idempotent). \p ObserveWait
+  /// feeds the serve.queue.wait_ms histogram — true on the pop() path,
+  /// false for cancellations (a cancelled wait is not a service sample).
+  static void closeQueuedPhase(Job &J, bool ObserveWait);
 
   const size_t Capacity;
   mutable std::mutex Mu;

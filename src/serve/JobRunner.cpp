@@ -13,9 +13,11 @@
 #include "serve/Checkpoint.h"
 #include "support/Logging.h"
 #include "support/Metrics.h"
+#include "support/Profiler.h"
 #include "support/Trace.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <set>
 #include <stdexcept>
@@ -51,6 +53,15 @@ telemetry::Counter &checkpointCounter() {
   static telemetry::Counter &C =
       telemetry::counter("serve.checkpoints.written");
   return C;
+}
+/// Per-shard sweep duration distribution (milliseconds), on /metrics as
+/// serve.shard.exec_ms.
+telemetry::Histogram &shardExecHistogram() {
+  static telemetry::Histogram &H = telemetry::histogram(
+      "serve.shard.exec_ms", {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
+                              200.0, 500.0, 1000.0, 2000.0, 5000.0,
+                              10000.0, 30000.0, 60000.0});
+  return H;
 }
 
 TaskKind taskOfSpec(const JobSpec &S) {
@@ -96,6 +107,9 @@ JobRunner::JobRunner(JobQueue &Queue, JobRunnerConfig Config)
   this->Config.Engine.ShareCacheOnClone = true;
   if (this->Config.CheckpointEvery == 0)
     this->Config.CheckpointEvery = 1;
+  // Register the exec histogram up front so /metrics exposes the series
+  // before the first shard completes.
+  shardExecHistogram();
   std::string Error;
   if (!ensureDir(this->Config.CheckpointDir, Error))
     logError() << "serve: " << Error;
@@ -146,7 +160,9 @@ JobRunner::VictimEntry &JobRunner::victimEntry(const JobSpec &S) {
   return *E;
 }
 
-bool JobRunner::checkpointJob(Job &J) {
+bool JobRunner::checkpointJob(Job &J, int64_t Shard) {
+  const uint64_t Tok =
+      J.Trace ? J.Trace->beginPhase("checkpoint", Shard) : 0;
   std::vector<WireRun> Runs;
   {
     std::lock_guard<std::mutex> Lock(J.Mu);
@@ -154,7 +170,14 @@ bool JobRunner::checkpointJob(Job &J) {
   }
   std::string Error;
   const std::string Path = jobCheckpointPath(Config.CheckpointDir, J.Id);
-  if (!writeCheckpoint(Path, jobSpecJson(J.Spec), Runs, Error)) {
+  // Checkpoints carry the trace context (so a resumed job keeps its
+  // client's trace id); result artifacts embed the canonical trace-free
+  // spec and stay byte-identical across trace ids.
+  const bool Ok =
+      writeCheckpoint(Path, jobSpecJsonWithTrace(J.Spec), Runs, Error);
+  if (J.Trace)
+    J.Trace->endPhase(Tok);
+  if (!Ok) {
     logError() << "serve: " << Error;
     return false;
   }
@@ -169,13 +192,36 @@ bool JobRunner::checkpointJob(Job &J) {
 }
 
 void JobRunner::runJob(const std::shared_ptr<Job> &J) {
+  const auto ServiceStart = std::chrono::steady_clock::now();
+  JobTrace *T = J->Trace.get();
+
+  // Ambient per-job context for everything this job does on this thread —
+  // and, via the sweep harness's context capture, on its pool workers:
+  // JSONL trace events and log-ring records carry the trace id, profiler
+  // spans re-root under "job.<id>" instead of process-global.
+  telemetry::TraceContextScope TraceScope(
+      T ? T->context().TraceId : std::string());
+  telemetry::ProfileTaskScope TaskScope(
+      telemetry::profilingEnabled()
+          ? telemetry::internProfileName("job." + std::to_string(J->Id))
+          : nullptr);
+
+  // Phase tiling: "setup" runs from pop until the first sweep (victim
+  // construction, synthesis, resume bookkeeping); TailTok holds whichever
+  // span is open at Finish time (synth or finalize). Finish closes both —
+  // endPhase is a no-op on already-closed tokens — so failure paths never
+  // leave a span dangling.
+  uint64_t SetupTok = T ? T->beginPhase("setup") : 0;
+  uint64_t TailTok = 0;
+
   runningGauge().add(1.0);
   if (telemetry::traceEnabled())
     telemetry::traceEvent("job_begin",
                           {{"job", J->Id},
                            {"kind", jobKindName(J->Spec.Kind)}});
 
-  auto Finish = [&](JobState Final, const std::string &Error) {
+  auto Finish = [&](JobState Final, const std::string &Error,
+                    int64_t Shard = -1) {
     if (Final == JobState::Failed) {
       std::lock_guard<std::mutex> Lock(J->Mu);
       J->Error = Error;
@@ -184,6 +230,10 @@ void JobRunner::runJob(const std::shared_ptr<Job> &J) {
     switch (Final) {
     case JobState::Done:
       completedCounter().inc();
+      recordServiceSample(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        ServiceStart)
+              .count());
       break;
     case JobState::Failed:
       failedCounter().inc();
@@ -193,6 +243,11 @@ void JobRunner::runJob(const std::shared_ptr<Job> &J) {
       break;
     default:
       break;
+    }
+    if (T) {
+      T->endPhase(SetupTok);
+      T->endPhase(TailTok);
+      T->instant(jobStateName(Final), Shard);
     }
     runningGauge().add(-1.0);
     if (telemetry::traceEnabled())
@@ -217,6 +272,10 @@ void JobRunner::runJob(const std::shared_ptr<Job> &J) {
       // mid-job checkpointing.
       J->Total.store(Scale.NumClasses, std::memory_order_relaxed);
       setJobGauges(*J);
+      if (T) {
+        T->endPhase(SetupTok);
+        TailTok = T->beginPhase("synth");
+      }
       std::vector<Program> Programs;
       {
         std::lock_guard<std::mutex> Lock(E.Mu);
@@ -294,9 +353,13 @@ void JobRunner::runJob(const std::shared_ptr<Job> &J) {
       if (!Have.count(static_cast<uint32_t>(I)))
         Pending.push_back(I);
 
+    if (T)
+      T->endPhase(SetupTok);
+
     bool Suspended = false;
+    size_t ShardIdx = 0; ///< next shard to sweep (also the cancel marker)
     for (size_t Off = 0; Off < Pending.size();
-         Off += Config.CheckpointEvery) {
+         Off += Config.CheckpointEvery, ++ShardIdx) {
       if (J->CancelRequested.load(std::memory_order_relaxed))
         break;
       if (Stopping.load(std::memory_order_relaxed)) {
@@ -313,6 +376,9 @@ void JobRunner::runJob(const std::shared_ptr<Job> &J) {
         Shard.Labels.push_back(Test.Labels[Pending[K]]);
       }
 
+      const uint64_t ShardTok =
+          T ? T->beginPhase("shard", static_cast<int64_t>(ShardIdx)) : 0;
+      telemetry::ScopedTimer ShardTimer; // histogram fed in ms below
       Inflight.fetch_add(1, std::memory_order_relaxed);
       inflightGauge().set(
           static_cast<double>(Inflight.load(std::memory_order_relaxed)));
@@ -325,6 +391,9 @@ void JobRunner::runJob(const std::shared_ptr<Job> &J) {
       Inflight.fetch_sub(1, std::memory_order_relaxed);
       inflightGauge().set(
           static_cast<double>(Inflight.load(std::memory_order_relaxed)));
+      shardExecHistogram().observe(ShardTimer.seconds() * 1e3);
+      if (T)
+        T->endPhase(ShardTok);
 
       {
         std::lock_guard<std::mutex> Lock(J->Mu);
@@ -333,7 +402,10 @@ void JobRunner::runJob(const std::shared_ptr<Job> &J) {
       }
       J->Done.fetch_add(ShardEnd - Off, std::memory_order_relaxed);
       setJobGauges(*J);
-      checkpointJob(*J);
+      checkpointJob(*J, static_cast<int64_t>(ShardIdx));
+
+      if (Config.OnShardDone)
+        Config.OnShardDone(J->Id, ShardIdx);
 
       const size_t CompletedNow = ImagesCompleted.fetch_add(
                                       ShardEnd - Off,
@@ -350,12 +422,18 @@ void JobRunner::runJob(const std::shared_ptr<Job> &J) {
 
     if (J->CancelRequested.load(std::memory_order_relaxed)) {
       std::remove(CkptPath.c_str()); // a cancelled job never resumes
-      return Finish(JobState::Cancelled, "");
+      // ShardIdx is the first shard that did NOT run — the cancellation
+      // boundary the trace instant reports.
+      return Finish(JobState::Cancelled, "",
+                    static_cast<int64_t>(ShardIdx));
     }
     if (Suspended) {
       // Checkpoint reflects every finished shard; hand the job back so a
       // restart (or this process, were the queue reopened) resumes it.
       checkpointJob(*J);
+      if (T) {
+        T->instant("suspended", static_cast<int64_t>(ShardIdx));
+      }
       Queue.enqueue(J, /*Force=*/true);
       runningGauge().add(-1.0);
       if (telemetry::traceEnabled())
@@ -363,6 +441,9 @@ void JobRunner::runJob(const std::shared_ptr<Job> &J) {
                               {{"job", J->Id}, {"state", "suspended"}});
       return;
     }
+
+    if (T)
+      TailTok = T->beginPhase("finalize");
 
     // Complete: render the result artifact (runs in index order — see
     // writeCheckpoint — so resumed and uninterrupted runs match bytes).
@@ -388,6 +469,23 @@ void JobRunner::runJob(const std::shared_ptr<Job> &J) {
   } catch (const std::exception &Ex) {
     return Finish(JobState::Failed, Ex.what());
   }
+}
+
+void JobRunner::recordServiceSample(double Seconds) {
+  std::lock_guard<std::mutex> Lock(ServiceMu);
+  ServiceSamples.push_back(Seconds);
+}
+
+double JobRunner::medianServiceSeconds() const {
+  std::lock_guard<std::mutex> Lock(ServiceMu);
+  if (ServiceSamples.empty())
+    return 0.0;
+  std::vector<double> S = ServiceSamples;
+  const size_t Mid = S.size() / 2;
+  std::nth_element(S.begin(), S.begin() + Mid, S.end());
+  if (S.size() % 2 != 0)
+    return S[Mid];
+  return (S[Mid] + *std::max_element(S.begin(), S.begin() + Mid)) / 2.0;
 }
 
 size_t JobRunner::resume() {

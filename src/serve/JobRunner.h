@@ -29,6 +29,7 @@
 #include "serve/JobQueue.h"
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -55,6 +56,11 @@ struct JobRunnerConfig {
   /// checkpoint/resume ctest uses it to kill the server at a
   /// deterministic point. 0 = off.
   size_t CrashAfterImages = 0;
+  /// Test hook: called after shard \p ShardIdx of job \p JobId has been
+  /// swept and checkpointed, before the next shard starts. Runs on the
+  /// worker thread — the cancel-at-shard-boundary test uses it to cancel
+  /// a job at a deterministic point. Null = off.
+  std::function<void(uint64_t JobId, size_t ShardIdx)> OnShardDone;
 };
 
 /// Pops jobs from a JobQueue and runs them to completion (or checkpointed
@@ -83,6 +89,15 @@ public:
     return Inflight.load(std::memory_order_relaxed);
   }
 
+  /// Records one observed job service time (pop to completion). Called by
+  /// runJob for every job that runs to Done; tests inject samples to pin
+  /// Retry-After arithmetic.
+  void recordServiceSample(double Seconds);
+
+  /// Median of the recorded service samples, or 0.0 when none exist yet.
+  /// The HTTP layer derives 429 Retry-After from this.
+  double medianServiceSeconds() const;
+
   const JobRunnerConfig &config() const { return Config; }
 
   JobRunner(const JobRunner &) = delete;
@@ -103,7 +118,7 @@ private:
   void workerLoop();
   void runJob(const std::shared_ptr<Job> &J);
   VictimEntry &victimEntry(const JobSpec &Spec);
-  bool checkpointJob(Job &J);
+  bool checkpointJob(Job &J, int64_t Shard = -1);
 
   JobQueue &Queue;
   JobRunnerConfig Config;
@@ -114,6 +129,9 @@ private:
 
   std::mutex PoolMu; ///< guards the Victims map (not the entries)
   std::map<std::string, std::unique_ptr<VictimEntry>> Victims;
+
+  mutable std::mutex ServiceMu; ///< guards ServiceSamples
+  std::vector<double> ServiceSamples;
 };
 
 } // namespace serve

@@ -12,8 +12,10 @@
 #include "support/Metrics.h"
 #include "support/Trace.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -90,6 +92,8 @@ std::string serve::jobStatusJson(Job &J) {
     telemetry::appendJsonEscaped(Out, Error);
     Out += "\"";
   }
+  if (J.Trace)
+    Out += ",\"trace_id\":\"" + J.Trace->context().TraceId + "\"";
   Out += ",\"spec\":" + jobSpecJson(J.Spec) + "}";
   return Out;
 }
@@ -97,6 +101,18 @@ std::string serve::jobStatusJson(Job &J) {
 ServeServer::ServeServer(JobQueue &Queue, JobRunner &Runner,
                          ServeServerConfig Config)
     : Queue(Queue), Runner(Runner), Config(Config) {}
+
+int ServeServer::retryAfterSeconds() const {
+  const double Median = Runner.medianServiceSeconds();
+  if (Median <= 0.0)
+    return Config.RetryAfterSeconds;
+  const double Workers =
+      static_cast<double>(std::max<size_t>(1, Runner.config().Workers));
+  const double Est =
+      Median * static_cast<double>(Queue.depth() + 1) / Workers;
+  return static_cast<int>(
+      std::min(3600.0, std::max(1.0, std::ceil(Est))));
+}
 
 ServeServer::~ServeServer() { stop(); }
 
@@ -199,6 +215,23 @@ void ServeServer::handle(int Client, const http::Request &Req) {
     http::sendResponse(Client, 200, "application/json", Out);
     return;
   }
+  if (Req.Method == "GET" && Seg.size() == 1 && Seg[0] == "logz") {
+    size_t N = 100;
+    const std::string NStr = http::queryParam(Req.Target, "n");
+    if (!NStr.empty())
+      N = static_cast<size_t>(std::strtoull(NStr.c_str(), nullptr, 10));
+    LogLevel Level = LogLevel::Debug;
+    const std::string LevelStr = http::queryParam(Req.Target, "level");
+    if (!LevelStr.empty() && !parseLogLevel(LevelStr, Level)) {
+      http::sendResponse(Client, 400, "application/json",
+                         errorJson("unknown level '" + LevelStr +
+                                   "' (want error|warn|info|debug)"));
+      return;
+    }
+    http::sendResponse(Client, 200, "application/x-ndjson",
+                       logRingJsonl(std::min<size_t>(N, 1024), Level));
+    return;
+  }
   if (Req.Method == "GET" && Seg.size() == 1 && Seg[0] == "quitquitquit") {
     Quit.store(true, std::memory_order_relaxed);
     http::sendResponse(Client, 200, "text/plain; charset=utf-8",
@@ -221,6 +254,11 @@ void ServeServer::handle(int Client, const http::Request &Req) {
                          errorJson(Error));
       return;
     }
+    // Adopt the client's trace context when the header parses; the spec
+    // body's "trace" key (checkpoint round-trips) loses to the header.
+    telemetry::TraceContext Ctx;
+    if (telemetry::parseTraceparent(Req.header("traceparent"), Ctx))
+      Spec.TraceParent = Ctx.traceparent();
     std::shared_ptr<Job> J = Queue.create(Spec);
     if (!Queue.enqueue(J)) {
       rejectedCounter().inc();
@@ -228,7 +266,7 @@ void ServeServer::handle(int Client, const http::Request &Req) {
           Client, 429, "application/json",
           errorJson("queue full (capacity " +
                     std::to_string(Queue.capacity()) + ")"),
-          {{"Retry-After", std::to_string(Config.RetryAfterSeconds)}});
+          {{"Retry-After", std::to_string(retryAfterSeconds())}});
       return;
     }
     submittedCounter().inc();
@@ -236,9 +274,12 @@ void ServeServer::handle(int Client, const http::Request &Req) {
       telemetry::traceEvent("job_submit",
                             {{"job", J->Id},
                              {"kind", jobKindName(Spec.Kind)}});
-    http::sendResponse(Client, 202, "application/json",
-                       "{\"id\":" + std::to_string(J->Id) +
-                           ",\"state\":\"queued\"}");
+    std::string Out =
+        "{\"id\":" + std::to_string(J->Id) + ",\"state\":\"queued\"";
+    if (J->Trace)
+      Out += ",\"trace_id\":\"" + J->Trace->context().TraceId + "\"";
+    Out += "}";
+    http::sendResponse(Client, 202, "application/json", Out);
     return;
   }
   if (Seg.size() == 2 && Req.Method == "GET") {
@@ -286,6 +327,16 @@ void ServeServer::handle(int Client, const http::Request &Req) {
     }
     http::sendResponse(Client, 200, "application/json",
                        jobStatusJson(*J));
+    return;
+  }
+  if (Seg.size() == 4 && Seg[3] == "trace" && Req.Method == "GET") {
+    if (!J->Trace) {
+      http::sendResponse(Client, 404, "application/json",
+                         errorJson("job tracing is disabled"));
+      return;
+    }
+    http::sendResponse(Client, 200, "application/json",
+                       J->Trace->chromeTraceJson());
     return;
   }
   if (Seg.size() == 4 && Seg[3] == "result" && Req.Method == "GET") {

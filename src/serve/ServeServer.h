@@ -18,13 +18,24 @@
 ///   GET    /v1/jobs/<id>/result the finished wire artifact
 ///                               (application/octet-stream; 409 until
 ///                               the job is done);
+///   GET    /v1/jobs/<id>/trace  the job's phase timeline as Chrome
+///                               Trace Event JSON (404 when job tracing
+///                               is off; partial for running jobs);
 ///   DELETE /v1/jobs/<id>        cancel (queued: immediate; running:
 ///                               honoured at the next shard boundary);
 ///   GET    /metrics             Prometheus exposition incl. the serve.*
 ///                               queue/job instruments;
 ///   GET    /healthz             queue depth, in-flight shards, and
 ///                               per-job progress as JSON;
+///   GET    /logz?n=..&level=..  newest log-ring records as JSONL;
 ///   GET    /quitquitquit        ask the server loop to exit.
+///
+/// Submissions honour a W3C `traceparent` request header: the job adopts
+/// the client's trace context (echoed as "trace_id" in the 202 body and
+/// stamped on every phase span); without one the server mints a context.
+/// A full queue's 429 carries Retry-After derived from the observed
+/// median job service time scaled by queue depth over worker count
+/// (falling back to Config.RetryAfterSeconds before any job completed).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -49,7 +60,7 @@ class JobRunner;
 
 struct ServeServerConfig {
   uint16_t Port = 0;        ///< 0 = ephemeral
-  int RetryAfterSeconds = 2; ///< advertised on 429 responses
+  int RetryAfterSeconds = 2; ///< 429 Retry-After fallback (no samples yet)
 };
 
 class ServeServer {
@@ -83,6 +94,10 @@ public:
 private:
   void serveLoop();
   void handle(int Client, const http::Request &Req);
+  /// Seconds to advertise on a 429: median observed service time scaled
+  /// by (queue depth + 1) / workers, clamped to [1, 3600]; the configured
+  /// constant until the first job completes.
+  int retryAfterSeconds() const;
 
   JobQueue &Queue;
   JobRunner &Runner;

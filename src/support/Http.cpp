@@ -238,10 +238,30 @@ void http::sendResponse(
     sendAll(Fd, Body.data(), Body.size());
 }
 
+std::string http::queryParam(const std::string &Target,
+                             const std::string &Key) {
+  const size_t Q = Target.find('?');
+  if (Q == std::string::npos)
+    return "";
+  size_t Pos = Q + 1;
+  while (Pos < Target.size()) {
+    size_t End = Target.find('&', Pos);
+    if (End == std::string::npos)
+      End = Target.size();
+    const size_t Eq = Target.find('=', Pos);
+    if (Eq != std::string::npos && Eq < End &&
+        Target.compare(Pos, Eq - Pos, Key) == 0)
+      return Target.substr(Eq + 1, End - Eq - 1);
+    Pos = End + 1;
+  }
+  return "";
+}
+
 bool http::request(uint16_t Port, const std::string &Method,
                    const std::string &Target, const std::string &Body,
-                   Response &Out, std::string &Error,
-                   double TimeoutSeconds) {
+                   Response &Out, std::string &Error, double TimeoutSeconds,
+                   const std::vector<std::pair<std::string, std::string>>
+                       &ExtraHeaders) {
   const int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (Fd < 0) {
     Error = std::string("http: socket() failed: ") + std::strerror(errno);
@@ -268,6 +288,8 @@ bool http::request(uint16_t Port, const std::string &Method,
 
   std::string Req = Method + " " + Target +
                     " HTTP/1.1\r\nHost: 127.0.0.1\r\n";
+  for (const auto &[K, V] : ExtraHeaders)
+    Req += K + ": " + V + "\r\n";
   if (!Body.empty())
     Req += "Content-Type: application/json\r\nContent-Length: " +
            std::to_string(Body.size()) + "\r\n";

@@ -75,13 +75,21 @@ struct Response {
 
 /// One blocking request against 127.0.0.1:\p Port: connects, sends
 /// \p Method \p Target with \p Body (Content-Length added when non-empty),
-/// reads the response until EOF. \returns false (with \p Error set) when
-/// the connection or the exchange fails; HTTP error statuses are returned
-/// in \p Out, not treated as failures.
+/// reads the response until EOF. \p ExtraHeaders are emitted verbatim into
+/// the request head (e.g. {"traceparent", "00-..."}). \returns false (with
+/// \p Error set) when the connection or the exchange fails; HTTP error
+/// statuses are returned in \p Out, not treated as failures.
 bool request(uint16_t Port, const std::string &Method,
              const std::string &Target, const std::string &Body,
              Response &Out, std::string &Error,
-             double TimeoutSeconds = 30.0);
+             double TimeoutSeconds = 30.0,
+             const std::vector<std::pair<std::string, std::string>>
+                 &ExtraHeaders = {});
+
+/// Extracts the value of \p Key from the query string of \p Target
+/// ("/logz?n=20&level=debug"), or "" when absent. No %-decoding — the
+/// serve endpoints only take numbers and identifiers.
+std::string queryParam(const std::string &Target, const std::string &Key);
 
 } // namespace http
 } // namespace oppsla

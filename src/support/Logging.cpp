@@ -6,6 +6,12 @@
 
 #include "support/Logging.h"
 
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -55,13 +61,139 @@ const char *levelTag(LogLevel Level) {
   return "?";
 }
 
+//===----------------------------------------------------------------------===//
+// The log ring: per-slot seqlock over a fixed array
+//===----------------------------------------------------------------------===//
+//
+// Writers claim a global ticket with one fetch_add, then publish through the
+// slot's sequence word: 2*ticket+1 while the payload is being written,
+// 2*ticket+2 once published. Readers copy the payload and re-check the
+// sequence word — if a writer lapped them the word changed and the copy is
+// discarded. No locks, no allocation on the write path, and a stalled
+// reader can never block logging.
+
+constexpr size_t RingSlots = 1024; // power of two
+constexpr size_t RingMsgBytes = 240;
+
+struct RingSlot {
+  std::atomic<uint64_t> Seq{0}; // 0 = never written
+  uint64_t TsUs = 0;
+  uint8_t Level = 0;
+  uint8_t TraceLen = 0;
+  uint16_t MsgLen = 0;
+  char Trace[32];
+  char Msg[RingMsgBytes];
+};
+
+RingSlot Ring[RingSlots];
+std::atomic<uint64_t> RingCursor{0};
+
+/// Microseconds since the first log line of the process (steady clock, so
+/// ring timestamps are comparable to trace-span timestamps).
+uint64_t ringNowUs() {
+  static const std::chrono::steady_clock::time_point Start =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count());
+}
+
+void ringRecord(LogLevel Level, const std::string &Message) {
+  const uint64_t TsUs = ringNowUs();
+  const std::string &Trace = telemetry::traceContextId();
+  const uint64_t Ticket =
+      RingCursor.fetch_add(1, std::memory_order_relaxed);
+  RingSlot &S = Ring[Ticket & (RingSlots - 1)];
+  S.Seq.store(2 * Ticket + 1, std::memory_order_release);
+  S.TsUs = TsUs;
+  S.Level = static_cast<uint8_t>(Level);
+  S.TraceLen =
+      static_cast<uint8_t>(std::min(Trace.size(), sizeof(S.Trace)));
+  std::memcpy(S.Trace, Trace.data(), S.TraceLen);
+  S.MsgLen = static_cast<uint16_t>(std::min(Message.size(), RingMsgBytes));
+  std::memcpy(S.Msg, Message.data(), S.MsgLen);
+  S.Seq.store(2 * Ticket + 2, std::memory_order_release);
+}
+
 } // namespace
 
 LogLevel oppsla::logLevel() { return currentLevel(); }
 
 void oppsla::setLogLevel(LogLevel Level) { currentLevel() = Level; }
 
+const char *oppsla::logLevelName(LogLevel Level) { return levelTag(Level); }
+
+bool oppsla::parseLogLevel(const std::string &Name, LogLevel &Out) {
+  for (LogLevel L : {LogLevel::Error, LogLevel::Warn, LogLevel::Info,
+                     LogLevel::Debug}) {
+    if (Name == levelTag(L)) {
+      Out = L;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<LogRecord> oppsla::logRingSnapshot(size_t MaxEntries,
+                                               LogLevel MaxLevel) {
+  std::vector<LogRecord> Out;
+  if (MaxEntries == 0)
+    return Out;
+  const uint64_t Cursor = RingCursor.load(std::memory_order_acquire);
+  const uint64_t Floor = Cursor > RingSlots ? Cursor - RingSlots : 0;
+  // Newest first, so the MaxEntries cap keeps the most recent lines;
+  // reversed before returning.
+  for (uint64_t T = Cursor; T-- > Floor;) {
+    RingSlot &S = Ring[T & (RingSlots - 1)];
+    const uint64_t Seq1 = S.Seq.load(std::memory_order_acquire);
+    if (Seq1 != 2 * T + 2)
+      continue; // never written, mid-write, or already lapped
+    LogRecord R;
+    R.Seq = T;
+    R.TsUs = S.TsUs;
+    R.Level = static_cast<LogLevel>(S.Level);
+    R.Trace.assign(S.Trace, S.TraceLen);
+    R.Message.assign(S.Msg, S.MsgLen);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (S.Seq.load(std::memory_order_relaxed) != Seq1)
+      continue; // a writer lapped us mid-copy; the copy may be torn
+    if (static_cast<int>(R.Level) > static_cast<int>(MaxLevel))
+      continue;
+    Out.push_back(std::move(R));
+    if (Out.size() == MaxEntries)
+      break;
+  }
+  std::reverse(Out.begin(), Out.end());
+  return Out;
+}
+
+std::string oppsla::logRingJsonl(size_t MaxEntries, LogLevel MaxLevel) {
+  std::string Out;
+  for (const LogRecord &R : logRingSnapshot(MaxEntries, MaxLevel)) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "{\"seq\":%" PRIu64 ",\"ts_us\":%" PRIu64,
+                  R.Seq, R.TsUs);
+    Out += Buf;
+    Out += ",\"level\":\"";
+    Out += levelTag(R.Level);
+    Out += '"';
+    if (!R.Trace.empty()) {
+      Out += ",\"trace\":\"";
+      telemetry::appendJsonEscaped(Out, R.Trace);
+      Out += '"';
+    }
+    Out += ",\"msg\":\"";
+    telemetry::appendJsonEscaped(Out, R.Message);
+    Out += "\"}\n";
+  }
+  return Out;
+}
+
 void oppsla::logLine(LogLevel Level, const std::string &Message) {
+  // The ring sees every line (it is the live-debugging view); the stderr
+  // threshold only gates the terminal.
+  ringRecord(Level, Message);
   if (static_cast<int>(Level) > static_cast<int>(currentLevel()))
     return;
   // Compose the full line, then emit it with a single fwrite under a

@@ -519,6 +519,17 @@ namespace {
 std::atomic<bool> ExitHandlersInstalled{false};
 std::atomic<bool> FlushInProgress{false};
 
+struct FlushHookRegistry {
+  std::mutex Mu;
+  uint64_t NextToken = 1;
+  std::map<uint64_t, std::function<void()>> Hooks;
+};
+
+FlushHookRegistry &flushHooks() {
+  static FlushHookRegistry R;
+  return R;
+}
+
 /// Best-effort flush of every configured file sink. Runs from atexit and
 /// from the SIGINT/SIGTERM handler; the exchange guard makes a signal
 /// that lands during a flush a no-op instead of a reentrant corruption.
@@ -527,6 +538,19 @@ std::atomic<bool> FlushInProgress{false};
 void flushTelemetrySinks() {
   if (FlushInProgress.exchange(true))
     return;
+  // Registered hooks first: they may still be emitting into the sinks
+  // (e.g. serve mode draining per-job trace timelines to files). Copy
+  // under the lock, run outside it — a hook may call back into telemetry.
+  std::vector<std::function<void()>> Hooks;
+  {
+    FlushHookRegistry &R = flushHooks();
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    Hooks.reserve(R.Hooks.size());
+    for (const auto &[Token, Hook] : R.Hooks)
+      Hooks.push_back(Hook);
+  }
+  for (const auto &Hook : Hooks)
+    Hook();
   TraceWriter::instance().close();
   const std::string MetricsPath = pendingMetricsPath();
   if (!MetricsPath.empty())
@@ -552,6 +576,23 @@ void oppsla::telemetry::installTelemetryExitHandlers() {
   std::signal(SIGINT, telemetrySignalHandler);
   std::signal(SIGTERM, telemetrySignalHandler);
 }
+
+uint64_t
+oppsla::telemetry::addTelemetryFlushHook(std::function<void()> Hook) {
+  FlushHookRegistry &R = flushHooks();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  const uint64_t Token = R.NextToken++;
+  R.Hooks.emplace(Token, std::move(Hook));
+  return Token;
+}
+
+void oppsla::telemetry::removeTelemetryFlushHook(uint64_t Token) {
+  FlushHookRegistry &R = flushHooks();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.Hooks.erase(Token);
+}
+
+void oppsla::telemetry::flushTelemetryNow() { flushTelemetrySinks(); }
 
 bool oppsla::telemetry::configureFromArgs(const ArgParse &Args) {
   const std::string TraceOut = Args.get("trace-out", "");

@@ -28,6 +28,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -232,6 +233,20 @@ bool finalizeTelemetry();
 /// automatically by configureFromArgs when a file sink is requested).
 /// Idempotent.
 void installTelemetryExitHandlers();
+
+/// Registers \p Hook to run at telemetry flush time — atexit, fatal
+/// signal, or an explicit flushTelemetryNow() — *before* the file sinks
+/// close, so subsystems with their own buffered state (e.g. per-job trace
+/// timelines in serve mode) can drain into files. \returns a token for
+/// removeTelemetryFlushHook(). Hooks must be idempotent: a signal can
+/// arrive after an explicit drain already ran them.
+uint64_t addTelemetryFlushHook(std::function<void()> Hook);
+void removeTelemetryFlushHook(uint64_t Token);
+
+/// Runs the flush hooks and file-sink flush immediately (same body the
+/// exit handlers run). Used by orderly shutdown paths (/quitquitquit)
+/// that exit via _exit() and would otherwise skip atexit.
+void flushTelemetryNow();
 
 } // namespace telemetry
 } // namespace oppsla

@@ -232,6 +232,19 @@ const char *oppsla::telemetry::internProfileName(const std::string &Name) {
   return Interned.insert(Name).first->c_str();
 }
 
+namespace {
+/// See ambientProfileRoot(): the task-level span name pool workers should
+/// nest their spans under. Plain thread-local pointer to an interned (or
+/// literal) name.
+thread_local const char *AmbientRoot = nullptr;
+} // namespace
+
+void oppsla::telemetry::setAmbientProfileRoot(const char *Name) {
+  AmbientRoot = Name;
+}
+
+const char *oppsla::telemetry::ambientProfileRoot() { return AmbientRoot; }
+
 std::vector<ProfileEntry> oppsla::telemetry::profileSnapshot() {
   const MergedNode Root = mergedForest();
   std::vector<ProfileEntry> Out;

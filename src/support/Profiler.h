@@ -112,6 +112,37 @@ private:
 /// lifetime; repeated calls with equal content return the same pointer.
 const char *internProfileName(const std::string &Name);
 
+/// The calling thread's ambient profile root: the task-level span name
+/// (e.g. an interned "job.17") every span recorded by this thread should
+/// nest under. Thread-pool workers adopt the submitting task's root so a
+/// job's engine/attack spans aggregate under the job, not process-global.
+/// Null = no ambient root.
+void setAmbientProfileRoot(const char *Name);
+const char *ambientProfileRoot();
+
+/// RAII task-level span: opens a ProfileScope for \p Name and publishes it
+/// as the calling thread's ambient root; restores the previous root (and
+/// closes the span) on destruction. Used both where a task is rooted (the
+/// job runner) and where a pool worker adopts the submitting task's root —
+/// equal names merge by content, so worker spans nest under the same node.
+/// A null name is a no-op, matching ProfileScope; callers gate dynamic
+/// names on profilingEnabled().
+class ProfileTaskScope {
+public:
+  explicit ProfileTaskScope(const char *Name)
+      : Saved(ambientProfileRoot()), Scope(Name) {
+    if (Name)
+      setAmbientProfileRoot(Name);
+  }
+  ~ProfileTaskScope() { setAmbientProfileRoot(Saved); }
+  ProfileTaskScope(const ProfileTaskScope &) = delete;
+  ProfileTaskScope &operator=(const ProfileTaskScope &) = delete;
+
+private:
+  const char *Saved;
+  ProfileScope Scope;
+};
+
 /// One merged call path in depth-first order.
 struct ProfileEntry {
   std::string Path;     ///< `a;b;c` — span names root to leaf

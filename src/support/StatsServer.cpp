@@ -16,6 +16,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 
@@ -152,6 +153,21 @@ void StatsServer::serveLoop() {
       sendResponse(Client, 200, "application/json", healthzJson());
     } else if (Target == "/ledger") {
       sendResponse(Client, 200, "application/json", ledgerEndpointJson());
+    } else if (Target == "/logz" ||
+               Target.compare(0, 6, "/logz?") == 0) {
+      size_t N = 100;
+      const std::string NStr = http::queryParam(Target, "n");
+      if (!NStr.empty())
+        N = static_cast<size_t>(std::strtoull(NStr.c_str(), nullptr, 10));
+      LogLevel Level = LogLevel::Debug;
+      const std::string LevelStr = http::queryParam(Target, "level");
+      if (!LevelStr.empty() && !parseLogLevel(LevelStr, Level)) {
+        sendResponse(Client, 400, "text/plain; charset=utf-8",
+                     "unknown level (want error|warn|info|debug)\n");
+      } else {
+        sendResponse(Client, 200, "application/x-ndjson",
+                     logRingJsonl(std::min<size_t>(N, 1024), Level));
+      }
     } else if (Target == "/quitquitquit") {
       Quit.store(true, std::memory_order_relaxed);
       sendResponse(Client, 200, "text/plain; charset=utf-8", "quitting\n");

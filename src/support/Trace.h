@@ -113,6 +113,60 @@ inline bool traceEnabled() { return TraceWriter::enabled(); }
 /// Convenience forwarder to TraceWriter::instance().event().
 void traceEvent(const char *Type, std::initializer_list<TraceField> Fields);
 
+//===----------------------------------------------------------------------===//
+// Trace context: W3C-style traceparent propagation
+//===----------------------------------------------------------------------===//
+
+/// A W3C-style trace context: a 32-hex-digit trace id naming the causal
+/// chain end to end, and a 16-hex-digit span id naming the hop that minted
+/// or forwarded it. `oppsla client` mints one per submission and sends it
+/// as a `traceparent` HTTP header; the serve subsystem adopts it and stamps
+/// it on every phase span, log record, and JSONL trace event the job emits.
+struct TraceContext {
+  std::string TraceId; ///< 32 lower-case hex digits, not all zero
+  std::string SpanId;  ///< 16 lower-case hex digits, not all zero
+
+  bool valid() const { return TraceId.size() == 32 && SpanId.size() == 16; }
+
+  /// Renders `00-<trace-id>-<span-id>-01` (version 00, sampled flag set).
+  std::string traceparent() const;
+};
+
+/// Mints a fresh random context. Randomness comes from std::random_device,
+/// never from an attack RNG stream — minting a trace id cannot perturb any
+/// result byte.
+TraceContext mintTraceContext();
+
+/// Parses a `traceparent` header value (`00-<32 hex>-<16 hex>-<2 hex>`,
+/// case-insensitive input, normalized to lower case). \returns false on
+/// malformed input or the all-zero trace/span ids the spec forbids.
+bool parseTraceparent(const std::string &Header, TraceContext &Out);
+
+/// Ambient trace id for the calling thread: stamped as a `"trace"` field
+/// onto every JSONL trace event and log-ring record the thread emits while
+/// set. Empty string = unset.
+void setTraceContextId(const std::string &TraceId);
+const std::string &traceContextId();
+
+/// RAII ambient trace id (same save/restore discipline as
+/// TraceImageScope): workers adopt the submitting job's id for the span of
+/// a sweep and restore on exit, exceptions included.
+class TraceContextScope {
+public:
+  TraceContextScope() : Saved(traceContextId()) {}
+  explicit TraceContextScope(const std::string &TraceId)
+      : TraceContextScope() {
+    setTraceContextId(TraceId);
+  }
+  ~TraceContextScope() { setTraceContextId(Saved); }
+
+  TraceContextScope(const TraceContextScope &) = delete;
+  TraceContextScope &operator=(const TraceContextScope &) = delete;
+
+private:
+  std::string Saved;
+};
+
 /// Ambient trace context: the index of the image currently under attack,
 /// stamped onto query and attack-span events by the emitters so individual
 /// attacks/queries can be grouped offline. -1 when unset.

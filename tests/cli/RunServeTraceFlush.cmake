@@ -1,0 +1,82 @@
+# The shutdown-drain regression test: per-job trace timelines must reach
+# <checkpoint-dir>/job-<id>.trace.json on BOTH shutdown paths — the
+# orderly /quitquitquit quit and a SIGTERM (whose handler flushes before
+# _exit). A server that loses its trace buffers on either path fails.
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(CACHE_DIR ${WORK_DIR}/cache)
+
+function(run_one_server TAG STOP_CMD)
+  set(PORT_FILE ${WORK_DIR}/port_${TAG}.txt)
+  set(SERVER_LOG ${WORK_DIR}/server_${TAG}.log)
+  set(CKPT_DIR ${WORK_DIR}/ckpt_${TAG})
+  set(TRACE_FILE ${CKPT_DIR}/job-1.trace.json)
+  file(REMOVE ${PORT_FILE} ${TRACE_FILE})
+
+  execute_process(
+    COMMAND sh -c "OPPSLA_CACHE_DIR='${CACHE_DIR}' '${CLI}' serve --port 0 \
+      --port-file '${PORT_FILE}' --checkpoint-dir '${CKPT_DIR}' \
+      --max-seconds 240 > '${SERVER_LOG}' 2>&1 & echo $!"
+    OUTPUT_VARIABLE SERVER_PID
+    RESULT_VARIABLE RC)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR "${TAG}: cannot launch the server: ${RC}")
+  endif()
+  string(STRIP "${SERVER_PID}" SERVER_PID)
+
+  set(WAITED 0)
+  while(NOT EXISTS ${PORT_FILE})
+    if(WAITED GREATER 100)
+      file(READ ${SERVER_LOG} LOG)
+      message(FATAL_ERROR "${TAG}: server never published its port: ${LOG}")
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.25)
+    math(EXPR WAITED "${WAITED} + 1")
+  endwhile()
+
+  execute_process(
+    COMMAND ${CLI} client submit --port-file ${PORT_FILE}
+      --kind attack --attack random --scale smoke --seed 1 --budget 32
+      --count 4 --wait --timeout 200
+    OUTPUT_VARIABLE OUT
+    RESULT_VARIABLE RC)
+  if(NOT RC EQUAL 0)
+    file(READ ${SERVER_LOG} LOG)
+    message(FATAL_ERROR
+      "${TAG}: submit failed with ${RC}: ${OUT}\nserver log: ${LOG}")
+  endif()
+
+  if(STOP_CMD STREQUAL "quit")
+    execute_process(COMMAND ${CLI} client shutdown --port-file ${PORT_FILE})
+  else()
+    execute_process(COMMAND kill -TERM ${SERVER_PID})
+  endif()
+
+  # The trace dump must appear once the process is gone (poll: the flush
+  # runs between the stop signal and process exit).
+  set(WAITED 0)
+  while(NOT EXISTS ${TRACE_FILE})
+    if(WAITED GREATER 100)
+      file(READ ${SERVER_LOG} LOG)
+      message(FATAL_ERROR
+        "${TAG}: ${TRACE_FILE} never appeared — the ${STOP_CMD} path "
+        "dropped the per-job trace buffers\nserver log: ${LOG}")
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.25)
+    math(EXPR WAITED "${WAITED} + 1")
+  endwhile()
+
+  # And it must be a valid Chrome trace with spans, not a torn write.
+  execute_process(
+    COMMAND ${TRACECHECK} ${TRACE_FILE}
+    OUTPUT_VARIABLE OUT
+    ERROR_VARIABLE ERR
+    RESULT_VARIABLE RC)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR
+      "${TAG}: flushed trace is invalid (${RC}): ${OUT}\n${ERR}")
+  endif()
+  message(STATUS "${TAG}: ${OUT}")
+endfunction()
+
+run_one_server(quit quit)
+run_one_server(sigterm term)

@@ -1,0 +1,82 @@
+# End-to-end job tracing: submit a job with a client-minted traceparent,
+# fetch its timeline via `client trace`, and validate the Chrome Trace
+# Event JSON with oppsla_tracecheck — pid/tid/ph shape, per-lane ts
+# monotonicity, the client's trace id on the spans, and span coverage of
+# at least 95% of the job's wall clock (the acceptance bar for "the
+# timeline explains where the time went").
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(CACHE_DIR ${WORK_DIR}/cache)
+set(PORT_FILE ${WORK_DIR}/port.txt)
+set(SERVER_LOG ${WORK_DIR}/server.log)
+set(TRACE_JSON ${WORK_DIR}/job.trace.json)
+file(REMOVE ${PORT_FILE} ${TRACE_JSON})
+
+set(TRACE_ID "4bf92f3577b34da6a3ce929d0e0e4736")
+set(TRACEPARENT "00-${TRACE_ID}-00f067aa0ba902b7-01")
+
+execute_process(
+  COMMAND sh -c "OPPSLA_CACHE_DIR='${CACHE_DIR}' '${CLI}' serve --port 0 \
+    --port-file '${PORT_FILE}' --checkpoint-dir '${WORK_DIR}/ckpt' \
+    --checkpoint-every 2 --max-seconds 240 > '${SERVER_LOG}' 2>&1 & \
+    echo $!"
+  OUTPUT_VARIABLE SERVER_PID
+  RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "cannot launch the server: ${RC}")
+endif()
+
+set(WAITED 0)
+while(NOT EXISTS ${PORT_FILE})
+  if(WAITED GREATER 100)
+    file(READ ${SERVER_LOG} LOG)
+    message(FATAL_ERROR "server never published its port: ${LOG}")
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.25)
+  math(EXPR WAITED "${WAITED} + 1")
+endwhile()
+
+# Submit with an explicit traceparent so the expected trace id is known,
+# and wait for completion (the first job on a fresh server is id 1).
+execute_process(
+  COMMAND ${CLI} client submit --port-file ${PORT_FILE}
+    --kind attack --attack random --scale smoke --seed 1 --budget 32
+    --count 6 --traceparent ${TRACEPARENT} --wait --timeout 200
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE ERR
+  RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  file(READ ${SERVER_LOG} LOG)
+  message(FATAL_ERROR
+    "client submit --wait failed with ${RC}: ${OUT}\n${ERR}\n"
+    "server log: ${LOG}")
+endif()
+
+# The 202 body must already echo the client's trace id.
+string(FIND "${OUT}" "\"trace_id\":\"${TRACE_ID}\"" POS)
+if(POS EQUAL -1)
+  message(FATAL_ERROR "submit response does not echo the trace id: ${OUT}")
+endif()
+
+execute_process(
+  COMMAND ${CLI} client trace --port-file ${PORT_FILE} --id 1
+    --out ${TRACE_JSON}
+  OUTPUT_VARIABLE OUT
+  RESULT_VARIABLE RC)
+execute_process(COMMAND ${CLI} client shutdown --port-file ${PORT_FILE})
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "client trace failed with ${RC}: ${OUT}")
+endif()
+
+execute_process(
+  COMMAND ${TRACECHECK} ${TRACE_JSON}
+    --expect-trace-id ${TRACE_ID} --min-coverage-pct 95
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE ERR
+  RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  file(READ ${TRACE_JSON} TRACE)
+  message(FATAL_ERROR
+    "trace schema validation failed with ${RC}: ${OUT}\n${ERR}\n"
+    "trace: ${TRACE}")
+endif()
+message(STATUS "tracecheck: ${OUT}")

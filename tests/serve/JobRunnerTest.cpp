@@ -1,0 +1,136 @@
+//===- tests/serve/JobRunnerTest.cpp - Job execution engine tests -------------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Runner behaviour that needs real job execution: cancellation observed
+// at a shard boundary (the cancelled instant reports the first shard that
+// did NOT run, and the partial trace stays fetchable), and the service
+// time samples feeding the derived Retry-After.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/JobRunner.h"
+
+#include "serve/JobQueue.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+using namespace oppsla;
+using namespace oppsla::serve;
+
+namespace {
+
+/// A tiny real attack job: random-pair attack on a smoke-scale victim,
+/// sliced to \p Count images so CheckpointEvery=1 yields Count shards.
+JobSpec attackSpec(size_t Count) {
+  JobSpec S;
+  std::string Error;
+  EXPECT_TRUE(parseJobSpec(
+      "{\"kind\":\"attack\",\"attack\":\"random\","
+      "\"victim\":{\"task\":\"cifar\",\"arch\":\"resnet\","
+      "\"scale\":\"smoke\"},\"seed\":1,\"budget\":16,"
+      "\"slice\":{\"begin\":0,\"count\":" +
+          std::to_string(Count) + "}}",
+      S, Error))
+      << Error;
+  return S;
+}
+
+/// Waits (bounded) until \p J reaches a terminal state.
+JobState waitTerminal(const Job &J, double TimeoutSeconds = 120.0) {
+  const auto Deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration<double>(TimeoutSeconds);
+  while (std::chrono::steady_clock::now() < Deadline) {
+    const JobState S = J.State.load(std::memory_order_relaxed);
+    if (S == JobState::Done || S == JobState::Failed ||
+        S == JobState::Cancelled)
+      return S;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return J.State.load(std::memory_order_relaxed);
+}
+
+} // namespace
+
+TEST(JobRunner, CancelAtShardBoundaryEmitsShardTaggedInstant) {
+  JobQueue Queue(8);
+  JobRunnerConfig RC;
+  RC.Workers = 1;
+  RC.Threads = 1;
+  RC.CheckpointEvery = 1; // one image per shard: 4 shard boundaries
+  RC.CheckpointDir = ::testing::TempDir() + "/job_runner_cancel_test";
+  // Cancel after the first shard checkpoints; the runner must observe it
+  // at the next boundary, before shard 1 sweeps.
+  JobQueue *QueuePtr = &Queue;
+  RC.OnShardDone = [QueuePtr](uint64_t JobId, size_t ShardIdx) {
+    if (ShardIdx == 0)
+      QueuePtr->cancel(JobId);
+  };
+  JobRunner Runner(Queue, RC);
+
+  auto J = Queue.create(attackSpec(4));
+  ASSERT_TRUE(J->Trace) << "tracing is on by default";
+  ASSERT_TRUE(Queue.enqueue(J));
+  Runner.start();
+  const JobState Final = waitTerminal(*J);
+  Runner.stop();
+
+  ASSERT_EQ(Final, JobState::Cancelled);
+  EXPECT_EQ(J->Done.load(), 1u) << "exactly shard 0 ran";
+
+  // The partial trace is still fetchable and carries the cancellation
+  // boundary: instant "cancelled" tagged with shard 1, the first shard
+  // that did not run.
+  json::Value Doc;
+  std::string Error;
+  ASSERT_TRUE(json::parse(J->Trace->chromeTraceJson(), Doc, Error))
+      << Error;
+  const json::Value *Events = Doc.find("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  bool SawCancelled = false, SawShard0 = false, SawShard1 = false;
+  for (const json::Value &E : Events->array()) {
+    const std::string Name = E.getString("name", "");
+    const json::Value *Args = E.find("args");
+    if (Name == "cancelled") {
+      SawCancelled = true;
+      ASSERT_NE(Args, nullptr);
+      EXPECT_EQ(E.getString("ph", ""), "i");
+      EXPECT_EQ(Args->getNumber("shard", -1.0), 1.0)
+          << "cancel boundary must be the first unprocessed shard";
+    }
+    if (Name == "shard" && Args) {
+      SawShard0 |= Args->getNumber("shard", -1.0) == 0.0;
+      SawShard1 |= Args->getNumber("shard", -1.0) == 1.0;
+    }
+  }
+  EXPECT_TRUE(SawCancelled);
+  EXPECT_TRUE(SawShard0) << "shard 0 completed and must appear";
+  EXPECT_FALSE(SawShard1) << "shard 1 never ran";
+
+  // A cancelled job yields no service-time sample (only Done jobs feed
+  // the Retry-After estimate).
+  EXPECT_EQ(Runner.medianServiceSeconds(), 0.0);
+}
+
+TEST(JobRunner, ServiceSamplesFeedTheMedian) {
+  JobQueue Queue(2);
+  JobRunnerConfig RC;
+  RC.Workers = 0;
+  RC.CheckpointDir = ::testing::TempDir() + "/job_runner_median_test";
+  JobRunner Runner(Queue, RC);
+  EXPECT_EQ(Runner.medianServiceSeconds(), 0.0);
+  Runner.recordServiceSample(4.0);
+  EXPECT_EQ(Runner.medianServiceSeconds(), 4.0);
+  Runner.recordServiceSample(2.0);
+  EXPECT_EQ(Runner.medianServiceSeconds(), 3.0) << "even count averages";
+  Runner.recordServiceSample(10.0);
+  EXPECT_EQ(Runner.medianServiceSeconds(), 4.0);
+}

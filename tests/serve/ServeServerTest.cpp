@@ -17,6 +17,7 @@
 #include "serve/JobRunner.h"
 
 #include "support/Http.h"
+#include "support/Logging.h"
 
 #include <gtest/gtest.h>
 
@@ -207,6 +208,92 @@ TEST_F(ServeServerTest, HealthzAndMetricsExposeQueueState) {
   EXPECT_NE(M.Body.find("oppsla_serve_jobs_submitted_total"),
             std::string::npos)
       << M.Body;
+}
+
+TEST_F(ServeServerTest, SubmitAdoptsClientTraceparent) {
+  const std::string TP =
+      "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01";
+  const std::string Body = "{}";
+  const std::string Raw = rawExchange(
+      Server->port(),
+      "POST /v1/jobs HTTP/1.1\r\nHost: localhost\r\ntraceparent: " + TP +
+          "\r\nContent-Length: " + std::to_string(Body.size()) +
+          "\r\n\r\n" + Body);
+  EXPECT_NE(Raw.find("HTTP/1.1 202"), std::string::npos) << Raw;
+  EXPECT_NE(
+      Raw.find("\"trace_id\":\"0af7651916cd43dd8448eb211c80319c\""),
+      std::string::npos)
+      << "the 202 must echo the client's trace id: " << Raw;
+
+  // Status carries it too, and the job's stored context matches.
+  const http::Response St = roundTrip("GET", "/v1/jobs/1");
+  EXPECT_NE(
+      St.Body.find("\"trace_id\":\"0af7651916cd43dd8448eb211c80319c\""),
+      std::string::npos)
+      << St.Body;
+  const auto J = Queue->find(1);
+  ASSERT_TRUE(J && J->Trace);
+  EXPECT_EQ(J->Trace->context().TraceId,
+            "0af7651916cd43dd8448eb211c80319c");
+}
+
+TEST_F(ServeServerTest, SubmitWithoutTraceparentMintsOne) {
+  ASSERT_EQ(roundTrip("POST", "/v1/jobs", "{}").Status, 202);
+  const auto J = Queue->find(1);
+  ASSERT_TRUE(J && J->Trace);
+  EXPECT_EQ(J->Trace->context().TraceId.size(), 32u);
+  EXPECT_NE(J->Trace->context().TraceId,
+            std::string(32, '0'));
+}
+
+TEST_F(ServeServerTest, TraceEndpointServesChromeTraceJson) {
+  ASSERT_EQ(roundTrip("POST", "/v1/jobs", "{}").Status, 202);
+  const http::Response R = roundTrip("GET", "/v1/jobs/1/trace");
+  EXPECT_EQ(R.Status, 200);
+  EXPECT_NE(R.Body.find("\"traceEvents\":["), std::string::npos) << R.Body;
+  EXPECT_NE(R.Body.find("\"queued\""), std::string::npos)
+      << "a queued job's trace must already show the queued phase: "
+      << R.Body;
+  EXPECT_EQ(roundTrip("GET", "/v1/jobs/999/trace").Status, 404);
+}
+
+TEST_F(ServeServerTest, LogzServesTheRingAndValidatesLevel) {
+  logInfo() << "serve-logz-marker hello";
+  const http::Response R = roundTrip("GET", "/logz?n=200");
+  EXPECT_EQ(R.Status, 200);
+  EXPECT_NE(R.Body.find("serve-logz-marker"), std::string::npos) << R.Body;
+  EXPECT_NE(R.Body.find("\"level\":\"info\""), std::string::npos);
+
+  // Level filter drops info lines; unknown levels are a client error.
+  const http::Response Errors = roundTrip("GET", "/logz?n=200&level=error");
+  EXPECT_EQ(Errors.Status, 200);
+  EXPECT_EQ(Errors.Body.find("serve-logz-marker"), std::string::npos);
+  EXPECT_EQ(roundTrip("GET", "/logz?level=bogus").Status, 400);
+}
+
+TEST_F(ServeServerTest, RetryAfterDerivesFromObservedServiceTime) {
+  // With service samples, Retry-After estimates the backlog drain time:
+  // ceil(median * (depth + 1) / max(1, workers)). Here: median 2s, depth
+  // 3 (the full queue), workers 0 -> treated as 1 -> ceil(2*4/1) = 8.
+  Runner->recordServiceSample(2.0);
+  for (size_t I = 0; I != TestCapacity; ++I)
+    ASSERT_EQ(roundTrip("POST", "/v1/jobs", "{}").Status, 202) << I;
+  const std::string Body = "{}";
+  const std::string Raw = rawExchange(
+      Server->port(),
+      "POST /v1/jobs HTTP/1.1\r\nHost: localhost\r\nContent-Length: " +
+          std::to_string(Body.size()) + "\r\n\r\n" + Body);
+  EXPECT_NE(Raw.find("HTTP/1.1 429"), std::string::npos) << Raw;
+  EXPECT_NE(Raw.find("Retry-After: 8"), std::string::npos)
+      << "derived Retry-After missing: " << Raw;
+}
+
+TEST_F(ServeServerTest, MetricsExposeWaitAndExecHistograms) {
+  ASSERT_EQ(roundTrip("POST", "/v1/jobs", "{}").Status, 202);
+  const http::Response M = roundTrip("GET", "/metrics");
+  EXPECT_EQ(M.Status, 200);
+  EXPECT_NE(M.Body.find("oppsla_serve_queue_wait_ms"), std::string::npos)
+      << "queue-wait histogram missing from the exposition";
 }
 
 TEST_F(ServeServerTest, QuitEndpointReleasesWait) {

@@ -1,0 +1,124 @@
+//===- tests/support/TraceContextTest.cpp - W3C trace context tests -----------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The trace-context layer under end-to-end job tracing: traceparent
+// minting and parsing (W3C format), the thread-local ambient trace id,
+// and its RAII scope's save/restore across nesting and threads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <thread>
+
+using namespace oppsla;
+using namespace oppsla::telemetry;
+
+namespace {
+
+bool allHex(const std::string &S) {
+  for (char C : S)
+    if (!std::isxdigit(static_cast<unsigned char>(C)) ||
+        (std::isalpha(static_cast<unsigned char>(C)) && !std::islower(C)))
+      return false;
+  return true;
+}
+
+bool allZero(const std::string &S) {
+  return S.find_first_not_of('0') == std::string::npos;
+}
+
+} // namespace
+
+TEST(TraceContext, MintProducesValidContext) {
+  const TraceContext Ctx = mintTraceContext();
+  EXPECT_TRUE(Ctx.valid());
+  EXPECT_EQ(Ctx.TraceId.size(), 32u);
+  EXPECT_EQ(Ctx.SpanId.size(), 16u);
+  EXPECT_TRUE(allHex(Ctx.TraceId)) << Ctx.TraceId;
+  EXPECT_TRUE(allHex(Ctx.SpanId)) << Ctx.SpanId;
+  EXPECT_FALSE(allZero(Ctx.TraceId)) << "all-zero trace id is forbidden";
+  EXPECT_FALSE(allZero(Ctx.SpanId));
+
+  // Mints must differ (128-bit collisions would mean a broken generator).
+  EXPECT_NE(mintTraceContext().TraceId, Ctx.TraceId);
+}
+
+TEST(TraceContext, TraceparentRendersW3CFormat) {
+  const TraceContext Ctx = mintTraceContext();
+  const std::string TP = Ctx.traceparent();
+  ASSERT_EQ(TP.size(), 55u);
+  EXPECT_EQ(TP.substr(0, 3), "00-");
+  EXPECT_EQ(TP[35], '-');
+  EXPECT_EQ(TP[52], '-');
+  EXPECT_EQ(TP.substr(53), "01");
+  EXPECT_EQ(TP.substr(3, 32), Ctx.TraceId);
+  EXPECT_EQ(TP.substr(36, 16), Ctx.SpanId);
+}
+
+TEST(TraceContext, ParseRoundTripsAndNormalizesCase) {
+  const TraceContext Minted = mintTraceContext();
+  TraceContext Parsed;
+  ASSERT_TRUE(parseTraceparent(Minted.traceparent(), Parsed));
+  EXPECT_EQ(Parsed.TraceId, Minted.TraceId);
+  EXPECT_EQ(Parsed.SpanId, Minted.SpanId);
+
+  // Upper-case hex is valid on the wire and normalized to lower-case.
+  TraceContext Upper;
+  ASSERT_TRUE(parseTraceparent(
+      "00-0AF7651916CD43DD8448EB211C80319C-B7AD6B7169203331-01", Upper));
+  EXPECT_EQ(Upper.TraceId, "0af7651916cd43dd8448eb211c80319c");
+  EXPECT_EQ(Upper.SpanId, "b7ad6b7169203331");
+}
+
+TEST(TraceContext, ParseRejectsMalformedHeaders) {
+  TraceContext Ctx;
+  const char *Bad[] = {
+      "",
+      "not-a-traceparent",
+      // Wrong length (53).
+      "00-0af7651916cd43dd8448eb211c80319c-b7ad6b71692033-01",
+      // All-zero trace id.
+      "00-00000000000000000000000000000000-b7ad6b7169203331-01",
+      // All-zero span id.
+      "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",
+      // Forbidden version ff.
+      "ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+      // Non-hex in the trace id.
+      "00-0af7651916cd43dd8448eb211c8031zz-b7ad6b7169203331-01",
+      // Dashes in the wrong place.
+      "000af7651916cd43dd8448eb211c80319c-b7ad6b7169203331--01",
+  };
+  for (const char *H : Bad)
+    EXPECT_FALSE(parseTraceparent(H, Ctx)) << "accepted: " << H;
+}
+
+TEST(TraceContext, AmbientIdScopesSaveAndRestore) {
+  setTraceContextId("");
+  EXPECT_EQ(traceContextId(), "");
+  {
+    TraceContextScope Outer("aaaa");
+    EXPECT_EQ(traceContextId(), "aaaa");
+    {
+      TraceContextScope Inner("bbbb");
+      EXPECT_EQ(traceContextId(), "bbbb");
+    }
+    EXPECT_EQ(traceContextId(), "aaaa") << "inner scope must restore";
+  }
+  EXPECT_EQ(traceContextId(), "");
+}
+
+TEST(TraceContext, AmbientIdIsPerThread) {
+  TraceContextScope Scope("parent-id");
+  std::string SeenOnWorker = "unset";
+  std::thread([&] { SeenOnWorker = traceContextId(); }).join();
+  EXPECT_EQ(SeenOnWorker, "")
+      << "a fresh thread must not inherit the parent's ambient id";
+  EXPECT_EQ(traceContextId(), "parent-id");
+}

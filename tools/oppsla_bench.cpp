@@ -247,11 +247,15 @@ int cmdDiff(const ArgParse &Args) {
 ///          better (throughput) and a drop below (1 - rel_tol) x baseline
 ///          fails; "lower" means smaller is better (latency, queries) and
 ///          a rise above (1 + rel_tol) x baseline fails;
+///   max    current must stay at or below an absolute cap (the baseline
+///          value is reported but does not set the bar) — for bounded
+///          overheads like trace_overhead_pct;
 ///   info   tracked in the report, never gates (wall-clock noise).
 struct GateRule {
-  enum class Kind { Exact, Ratio, Info } K = Kind::Info;
+  enum class Kind { Exact, Ratio, Max, Info } K = Kind::Info;
   bool HigherIsBetter = true;
   double RelTol = 0.1;
+  double MaxValue = 0.0;
 };
 
 struct GateManifest {
@@ -289,6 +293,14 @@ bool parseRule(const json::Value &Doc, GateRule &Out, std::string &Error) {
       Error = "ratio rule rel_tol must be >= 0";
       return false;
     }
+  } else if (Kind == "max") {
+    Out.K = GateRule::Kind::Max;
+    const json::Value *Cap = Doc.find("max");
+    if (!Cap || !Cap->isNumber()) {
+      Error = "max rule needs a numeric 'max' cap";
+      return false;
+    }
+    Out.MaxValue = Cap->number();
   } else {
     Error = "unknown rule kind '" + Kind + "'";
     return false;
@@ -344,6 +356,8 @@ const char *ruleLabel(const GateRule &R) {
     return "info";
   case GateRule::Kind::Ratio:
     return R.HigherIsBetter ? "higher" : "lower";
+  case GateRule::Kind::Max:
+    return "max";
   }
   return "?";
 }
@@ -441,6 +455,15 @@ int cmdGate(const ArgParse &Args,
           }
           break;
         }
+        case GateRule::Kind::Max:
+          if (Cur > Rule.MaxValue) {
+            Failed = true;
+            char Buf[64];
+            std::snprintf(Buf, sizeof(Buf), "FAIL (> cap %g)",
+                          Rule.MaxValue);
+            Verdict = Buf;
+          }
+          break;
         case GateRule::Kind::Info:
           Verdict = "info";
           break;

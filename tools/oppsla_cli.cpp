@@ -15,8 +15,8 @@
 //                     [--class 0] [--budget 4096] [--seed 1]
 //   oppsla serve      --port 0 [--capacity 16] [--workers 1]
 //                     [--checkpoint-dir D] [--checkpoint-every 4]
-//                     [--resume] [--max-seconds 0]
-//   oppsla client     submit|list|status|result|cancel|wait|shutdown
+//                     [--resume] [--max-seconds 0] [--no-job-trace]
+//   oppsla client     submit|list|status|result|cancel|wait|trace|shutdown
 //                     --port N | --port-file f [--id N] [--out f] ...
 //   oppsla wire       --in artifact [--runs-out runs.jsonl]
 //
@@ -388,6 +388,10 @@ int cmdServe(const ArgParse &Args) {
     return 1;
   }
 
+  // Job tracing is on by default (it is the observability layer the serve
+  // endpoints expose); --no-job-trace turns it off for overhead A/Bs.
+  serve::setJobTracingEnabled(!Args.getFlag("no-job-trace"));
+
   serve::JobQueue Queue(
       static_cast<size_t>(std::max(1LL, Args.getInt("capacity", 16))));
   serve::JobRunner Runner(Queue, RunnerConfig);
@@ -395,6 +399,25 @@ int cmdServe(const ArgParse &Args) {
     std::cerr << "serve: resumed " << Runner.resume()
               << " pending job(s) from " << RunnerConfig.CheckpointDir
               << "\n";
+
+  // Drain per-job trace timelines to <checkpoint-dir>/job-<id>.trace.json
+  // at telemetry flush time, so SIGTERM and /quitquitquit both persist
+  // them before the process dies (the flush-on-shutdown regression test
+  // reads these files). The hook is removed before Queue goes out of
+  // scope.
+  const std::string TraceDir = RunnerConfig.CheckpointDir;
+  const uint64_t FlushHook = telemetry::addTelemetryFlushHook(
+      [&Queue, TraceDir] {
+        for (const auto &J : Queue.all()) {
+          if (!J->Trace)
+            continue;
+          std::string E;
+          serve::writeFileAtomic(TraceDir + "/job-" +
+                                     std::to_string(J->Id) + ".trace.json",
+                                 J->Trace->chromeTraceJson(), E);
+        }
+      });
+  telemetry::installTelemetryExitHandlers();
 
   serve::ServeServerConfig ServerConfig;
   ServerConfig.Port =
@@ -415,6 +438,11 @@ int cmdServe(const ArgParse &Args) {
   Server.waitQuit(Args.getDouble("max-seconds", 0.0));
   Server.stop();
   Runner.stop(); // drains the current shard, checkpoints, requeues
+  // Orderly shutdown drains trace buffers explicitly — the atexit path
+  // would too, but doing it here keeps the guarantee independent of how
+  // main() unwinds.
+  telemetry::flushTelemetryNow();
+  telemetry::removeTelemetryFlushHook(FlushHook);
   std::cerr << "serve: shut down\n";
   return 0;
 }
@@ -510,14 +538,17 @@ int clientResult(uint16_t Port, uint64_t Id, const std::string &OutPath) {
 int cmdClient(const ArgParse &Args) {
   if (Args.positional().empty()) {
     std::cerr << "usage: oppsla client "
-                 "<submit|list|status|result|cancel|wait|shutdown> "
+                 "<submit|list|status|result|cancel|wait|trace|shutdown> "
                  "(--port N | --port-file f) [--id N] [--out f]\n"
                  "  submit: --spec '<json>' or --kind attack|eval|synth "
                  "[--attack sparse-rs|suopa|random]\n"
                  "          [--task cifar|imagenet] [--arch resnet|...] "
                  "[--scale smoke|small|paper]\n"
                  "          [--seed N] [--budget N] [--priority N] "
-                 "[--begin N] [--count N] [--wait] [--out f]\n";
+                 "[--begin N] [--count N] [--wait] [--out f]\n"
+                 "          [--traceparent 00-..-..-01] [--no-trace]\n"
+                 "  trace:  --id N [--out f] (Chrome Trace Event JSON;\n"
+                 "          open in chrome://tracing or Perfetto)\n";
     return 2;
   }
   uint16_t Port = 0;
@@ -548,8 +579,28 @@ int cmdClient(const ArgParse &Args) {
               ",\"count\":" + std::to_string(Args.getInt("count", 0)) +
               "}}";
     }
+    // Mint (or adopt via --traceparent) a trace context and send it as a
+    // W3C traceparent header, so the server's job timeline carries an id
+    // the submitter chose and can correlate across systems. --no-trace
+    // leaves minting to the server.
+    std::vector<std::pair<std::string, std::string>> Headers;
+    if (!Args.getFlag("no-trace")) {
+      telemetry::TraceContext Ctx;
+      const std::string Given = Args.get("traceparent", "");
+      if (!Given.empty()) {
+        if (!telemetry::parseTraceparent(Given, Ctx)) {
+          std::cerr << "error: malformed --traceparent '" << Given << "'\n";
+          return 2;
+        }
+      } else {
+        Ctx = telemetry::mintTraceContext();
+      }
+      Headers.emplace_back("traceparent", Ctx.traceparent());
+      std::cerr << "trace-id: " << Ctx.TraceId << "\n";
+    }
     http::Response Resp;
-    if (!http::request(Port, "POST", "/v1/jobs", Body, Resp, Error)) {
+    if (!http::request(Port, "POST", "/v1/jobs", Body, Resp, Error, 30.0,
+                       Headers)) {
       std::cerr << "error: " << Error << "\n";
       return RcUnreachable;
     }
@@ -603,6 +654,31 @@ int cmdClient(const ArgParse &Args) {
   }
   if (Verb == "wait")
     return clientWait(Port, Id, Timeout);
+  if (Verb == "trace") {
+    http::Response Resp;
+    if (!http::request(Port, "GET",
+                       "/v1/jobs/" + std::to_string(Id) + "/trace", "",
+                       Resp, Error)) {
+      std::cerr << "error: " << Error << "\n";
+      return RcUnreachable;
+    }
+    if (Resp.Status != 200) {
+      std::cerr << "error: " << Resp.Body << "\n";
+      return RcRejected;
+    }
+    const std::string Out = Args.get("out", "");
+    if (Out.empty() || Out == "-") {
+      std::cout << Resp.Body << "\n";
+      return 0;
+    }
+    if (!serve::writeFileAtomic(Out, Resp.Body, Error)) {
+      std::cerr << "error: " << Error << "\n";
+      return 1;
+    }
+    std::cout << "trace (" << Resp.Body.size() << " bytes) saved to " << Out
+              << "\n";
+    return 0;
+  }
   if (Verb == "shutdown") {
     http::Response Resp;
     if (!http::request(Port, "GET", "/quitquitquit", "", Resp, Error)) {

@@ -1,0 +1,194 @@
+//===- tools/oppsla_tracecheck.cpp - Chrome Trace Event JSON validator --------===//
+//
+// Part of the OPPSLA reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Validates a Chrome Trace Event JSON file (the payload of
+// `GET /v1/jobs/<id>/trace` / `oppsla client trace`):
+//
+//   oppsla_tracecheck <trace.json> [--expect-trace-id HEX32]
+//                     [--min-coverage-pct P]
+//
+// Checks, in order:
+//   - the document is `{"traceEvents":[...], ...}`
+//   - every event is an object with string "ph" and numeric "pid"/"tid"
+//     (metadata "M" events are exempt from ts checks)
+//   - "X" events carry numeric ts >= 0 and dur >= 0; per-(pid,tid) start
+//     timestamps are monotonically non-decreasing (the exporter sorts)
+//   - "i" instants carry numeric ts and scope "s"
+//   - with --expect-trace-id, at least one event's args.trace_id matches
+//   - with --min-coverage-pct, the union of "X" span extents must cover at
+//     least P percent of [0, max span end] — the acceptance bar for "the
+//     timeline explains the job's wall clock".
+//
+// Exit codes: 0 ok, 1 validation failure, 2 usage/IO error. Failures print
+// one line per problem so ctest logs pinpoint the offending event.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+using namespace oppsla;
+
+namespace {
+
+struct Extent {
+  double Begin = 0.0, End = 0.0;
+};
+
+int fail(size_t Index, const std::string &What) {
+  std::cerr << "tracecheck: event[" << Index << "]: " << What << "\n";
+  return 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Path, ExpectTraceId;
+  double MinCoveragePct = -1.0;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--expect-trace-id") == 0 && I + 1 < argc)
+      ExpectTraceId = argv[++I];
+    else if (std::strcmp(argv[I], "--min-coverage-pct") == 0 && I + 1 < argc)
+      MinCoveragePct = std::stod(argv[++I]);
+    else if (Path.empty())
+      Path = argv[I];
+    else {
+      std::cerr << "usage: oppsla_tracecheck <trace.json> "
+                   "[--expect-trace-id HEX32] [--min-coverage-pct P]\n";
+      return 2;
+    }
+  }
+  if (Path.empty()) {
+    std::cerr << "usage: oppsla_tracecheck <trace.json> "
+                 "[--expect-trace-id HEX32] [--min-coverage-pct P]\n";
+    return 2;
+  }
+
+  json::Value Doc;
+  std::string Error;
+  if (!json::parseFile(Path, Doc, Error)) {
+    std::cerr << "tracecheck: " << Path << ": " << Error << "\n";
+    return 2;
+  }
+  const json::Value *Events = Doc.find("traceEvents");
+  if (!Events || !Events->isArray()) {
+    std::cerr << "tracecheck: missing traceEvents array\n";
+    return 1;
+  }
+
+  int RC = 0;
+  bool SawExpectedId = ExpectTraceId.empty();
+  // Last start ts per (pid,tid) lane, for the monotonicity check.
+  std::map<std::pair<double, double>, double> LastTs;
+  std::vector<Extent> Spans;
+  size_t NumComplete = 0;
+
+  const auto &Arr = Events->array();
+  for (size_t I = 0; I != Arr.size(); ++I) {
+    const json::Value &E = Arr[I];
+    if (!E.isObject()) {
+      RC |= fail(I, "not an object");
+      continue;
+    }
+    const std::string Ph = E.getString("ph", "");
+    if (Ph.empty()) {
+      RC |= fail(I, "missing ph");
+      continue;
+    }
+    const json::Value *Pid = E.find("pid"), *Tid = E.find("tid");
+    if (!Pid || !Pid->isNumber())
+      RC |= fail(I, "missing numeric pid");
+    if (!Tid || !Tid->isNumber())
+      RC |= fail(I, "missing numeric tid");
+    if (const json::Value *A = E.find("args"))
+      if (A->getString("trace_id", "") == ExpectTraceId)
+        SawExpectedId = true;
+    if (Ph == "M")
+      continue; // metadata events carry no timestamps
+
+    const json::Value *Ts = E.find("ts");
+    if (!Ts || !Ts->isNumber()) {
+      RC |= fail(I, "missing numeric ts");
+      continue;
+    }
+    if (Ts->number() < 0.0)
+      RC |= fail(I, "negative ts");
+    if (Pid && Pid->isNumber() && Tid && Tid->isNumber()) {
+      const auto Lane = std::make_pair(Pid->number(), Tid->number());
+      const auto It = LastTs.find(Lane);
+      if (It != LastTs.end() && Ts->number() < It->second)
+        RC |= fail(I, "ts not monotonically non-decreasing within lane");
+      LastTs[Lane] = std::max(It == LastTs.end() ? Ts->number() : It->second,
+                              Ts->number());
+    }
+
+    if (Ph == "X") {
+      ++NumComplete;
+      const json::Value *Dur = E.find("dur");
+      if (!Dur || !Dur->isNumber() || Dur->number() < 0.0) {
+        RC |= fail(I, "X event without non-negative numeric dur");
+        continue;
+      }
+      Spans.push_back({Ts->number(), Ts->number() + Dur->number()});
+    } else if (Ph == "i") {
+      if (E.getString("s", "").empty())
+        RC |= fail(I, "instant without scope \"s\"");
+    } else {
+      RC |= fail(I, "unexpected ph \"" + Ph + "\"");
+    }
+  }
+
+  if (!SawExpectedId) {
+    std::cerr << "tracecheck: no event carries args.trace_id="
+              << ExpectTraceId << "\n";
+    RC = 1;
+  }
+  if (NumComplete == 0) {
+    std::cerr << "tracecheck: no complete (\"X\") spans\n";
+    RC = 1;
+  }
+
+  if (MinCoveragePct >= 0.0 && !Spans.empty()) {
+    // Union length of the span extents over [0, latest end]: phases may
+    // nest (shard inside setup would be a bug, but checkpoint overlaps
+    // nothing), so merge before measuring.
+    std::sort(Spans.begin(), Spans.end(),
+              [](const Extent &A, const Extent &B) { return A.Begin < B.Begin; });
+    double Covered = 0.0, CurBegin = Spans[0].Begin, CurEnd = Spans[0].End;
+    double Latest = 0.0;
+    for (const Extent &S : Spans) {
+      Latest = std::max(Latest, S.End);
+      if (S.Begin > CurEnd) {
+        Covered += CurEnd - CurBegin;
+        CurBegin = S.Begin;
+        CurEnd = S.End;
+      } else {
+        CurEnd = std::max(CurEnd, S.End);
+      }
+    }
+    Covered += CurEnd - CurBegin;
+    const double Pct = Latest > 0.0 ? 100.0 * Covered / Latest : 100.0;
+    if (Pct + 1e-9 < MinCoveragePct) {
+      std::cerr << "tracecheck: span coverage " << Pct << "% < required "
+                << MinCoveragePct << "%\n";
+      RC = 1;
+    } else {
+      std::cout << "coverage: " << Pct << "%\n";
+    }
+  }
+
+  if (RC == 0)
+    std::cout << "ok: " << Arr.size() << " events, " << NumComplete
+              << " spans\n";
+  return RC;
+}
