@@ -25,6 +25,7 @@
 #include "support/Table.h"
 #include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <chrono>
 #include <iostream>
 
@@ -53,12 +54,20 @@ int main(int argc, char **argv) {
       Test, Scale.EvalQueryCap, Threads);
   const double FixedAvg = toQuerySample(FixedLogs).avgQueries();
 
-  // Synthesis with a full trace.
+  // Synthesis with a full trace, on the island path (DESIGN.md §15): with
+  // --synth-islands N > 1 the trace records the elite trajectory, one
+  // step per exchange round, and an "accept" means the global best
+  // improved. The default exchange cadence is short enough to fire even
+  // within the smoke iteration budget.
   SynthesisConfig Config;
   Config.MaxIter = Scale.SynthIters;
   Config.PerImageQueryCap = Scale.SynthQueryCap;
   Config.Seed = 1;
   Config.Threads = Threads;
+  Config.Islands =
+      static_cast<size_t>(std::max(1LL, Args.getInt("synth-islands", 2)));
+  Config.ExchangeInterval =
+      static_cast<size_t>(std::max(1LL, Args.getInt("exchange-interval", 2)));
   std::vector<SynthesisStep> Trace;
   synthesizeProgram(*Victim, Train, Config, &Trace);
 

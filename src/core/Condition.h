@@ -31,6 +31,14 @@
 
 namespace oppsla {
 
+/// Version of the condition DSL itself. Bump whenever the language gains a
+/// function symbol, a source, a comparison, or changes the sketch arity —
+/// anything that alters what a serialized program means. Persisted program
+/// artifacts (the content-addressed program store) embed this in their key,
+/// so a DSL change invalidates every stored program instead of silently
+/// reinterpreting it.
+constexpr uint32_t DslVersion = 1;
+
 /// The function symbol F of a condition.
 enum class FuncKind : uint8_t {
   MaxPixel,  ///< max over the RGB channels of the pixel argument

@@ -17,7 +17,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <functional>
 #include <future>
+#include <memory>
 
 using namespace oppsla;
 
@@ -128,6 +130,294 @@ ProgramEval evaluateProgramWith(const Program &P, Classifier &N,
   return Eval;
 }
 
+/// Stream-id tag for island Rng derivation: island i of a synthesis seeded
+/// S draws from SplitMix64 stream (S, IslandStreamTag + i), so the streams
+/// are decorrelated from each other and from every other derived stream
+/// (serve shard seeds, dataset seeds) without any shared draw order.
+constexpr uint64_t IslandStreamTag = 0x49534c44; // "ISLD"
+
+/// One MH chain of the island model. Everything an island touches is
+/// island-private (Rng, classifier, chain state), so rounds can run on any
+/// thread — or all on one — with bit-identical results.
+struct IslandState {
+  size_t Index = 0;
+  Rng R{1};
+  Classifier *Cls = nullptr;
+  Program P;               ///< current chain state
+  ProgramEval Eval;
+  double Score = 0.0;
+  Program Best;            ///< best-seen elite (incl. adopted migrants)
+  ProgramEval BestEval;
+  double BestScore = 0.0;
+  uint64_t Cumulative = 0; ///< queries posed by this island
+};
+
+/// Runs \p Iters MH iterations on island \p S (serial candidate scoring;
+/// the parallelism budget is spent across islands, not within one).
+void runIslandRound(IslandState &S, const MutationContext &Ctx,
+                    const SynthesisConfig &Config, size_t StartIter,
+                    size_t Iters, const Dataset &TrainSet,
+                    telemetry::Counter &IterCounter,
+                    telemetry::Counter &AcceptCounter,
+                    telemetry::Counter &SynthQueries) {
+  telemetry::ProfileScope Span("synth.island");
+  for (size_t K = 0; K != Iters; ++K) {
+    const size_t Iter = StartIter + K;
+    MutationKind Kind = MutationKind::Root;
+    Program Candidate;
+    {
+      telemetry::ProfileScope ProposeSpan("synth.propose");
+      Candidate = mutateProgram(S.P, Ctx, S.R, &Kind);
+    }
+    const ProgramEval CandEval = evaluateProgramWith(
+        Candidate, *S.Cls, TrainSet, Config.PerImageQueryCap, nullptr);
+    const double CandScore = CandEval.score(Config.Beta);
+    S.Cumulative += CandEval.TotalQueries;
+    bool Accept;
+    if (S.Score <= 0.0)
+      Accept = CandScore > 0.0;
+    else
+      Accept = S.R.uniform() < CandScore / S.Score;
+    if (Accept) {
+      S.P = Candidate;
+      S.Eval = CandEval;
+      S.Score = CandScore;
+    }
+    if (CandScore > S.BestScore) {
+      S.Best = Candidate;
+      S.BestEval = CandEval;
+      S.BestScore = CandScore;
+    }
+    IterCounter.inc();
+    if (Accept)
+      AcceptCounter.inc();
+    SynthQueries.inc(CandEval.TotalQueries);
+    if (telemetry::traceEnabled())
+      telemetry::traceEvent("synth_iter",
+                            {{"island", S.Index},
+                             {"iter", Iter},
+                             {"proposal", mutationKindName(Kind)},
+                             {"accepted", Accept},
+                             {"cand_score", CandScore},
+                             {"cand_avg_queries", CandEval.AvgQueries},
+                             {"cand_successes", CandEval.Successes},
+                             {"cur_avg_queries", S.Eval.AvgQueries},
+                             {"cum_queries", S.Cumulative}});
+  }
+}
+
+/// The island-model synthesizer (Islands > 1): N independent MH chains,
+/// each on its own Rng stream and classifier clone, with deterministic
+/// ring migration of elites every ExchangeInterval iterations. The result
+/// is a pure function of (Seed, Islands, ExchangeInterval) — the thread
+/// count only changes wall-clock time, never a byte of the program.
+Program synthesizeIslands(Classifier &N, const Dataset &TrainSet,
+                          const SynthesisConfig &Config,
+                          std::vector<SynthesisStep> *Trace,
+                          std::vector<IslandElite> *Elites) {
+  const size_t NumIslands = Config.Islands;
+  const size_t Interval = std::max<size_t>(1, Config.ExchangeInterval);
+  MutationContext Ctx;
+  Ctx.ImageSide =
+      TrainSet.size() > 0 ? TrainSet.Images.front().height() : 32;
+
+  static telemetry::Counter &IterCounter =
+      telemetry::counter("synth.iterations");
+  static telemetry::Counter &AcceptCounter =
+      telemetry::counter("synth.accepts");
+  static telemetry::Counter &SynthQueries =
+      telemetry::counter("synth.queries");
+  static telemetry::Counter &IslandCounter =
+      telemetry::counter("synth.islands");
+  static telemetry::Counter &ExchangeCounter =
+      telemetry::counter("synth.exchanges");
+  IslandCounter.inc(NumIslands);
+
+  // Island 0 runs on the caller's classifier, the rest on clones. A
+  // non-cloneable classifier degrades to all islands sharing N serially —
+  // same chains, same result, no parallelism.
+  std::vector<std::unique_ptr<Classifier>> Owned;
+  bool Cloneable = true;
+  for (size_t I = 1; I < NumIslands && Cloneable; ++I) {
+    auto C = N.clone();
+    if (!C)
+      Cloneable = false;
+    else
+      Owned.push_back(std::move(C));
+  }
+  if (!Cloneable)
+    Owned.clear();
+
+  std::vector<IslandState> Islands(NumIslands);
+  for (size_t I = 0; I != NumIslands; ++I) {
+    IslandState &S = Islands[I];
+    S.Index = I;
+    S.R = Rng(Rng::deriveRunSeed(Config.Seed, IslandStreamTag + I));
+    S.Cls = (I == 0 || !Cloneable) ? &N : Owned[I - 1].get();
+  }
+
+  const size_t PoolThreads =
+      Cloneable ? std::min(Config.Threads, NumIslands) : 1;
+  std::unique_ptr<ThreadPool> Pool;
+  if (PoolThreads >= 2)
+    Pool = std::make_unique<ThreadPool>(PoolThreads);
+
+  // Runs Fn over every island, on the pool when available. Pool workers
+  // adopt the submitting thread's job context so island spans and trace
+  // events attribute to the surrounding job.
+  auto RunAll = [&](const std::function<void(IslandState &)> &Fn) {
+    if (!Pool) {
+      for (IslandState &S : Islands)
+        Fn(S);
+      return;
+    }
+    const char *ProfRoot = telemetry::ambientProfileRoot();
+    const std::string TraceId = telemetry::traceContextId();
+    std::vector<std::future<void>> Futures;
+    Futures.reserve(NumIslands);
+    for (size_t I = 0; I != NumIslands; ++I)
+      Futures.push_back(Pool->submit([&, I] {
+        telemetry::ProfileTaskScope Task(ProfRoot);
+        telemetry::TraceContextScope TraceScope(TraceId);
+        Fn(Islands[I]);
+      }));
+    for (auto &F : Futures)
+      F.get();
+  };
+
+  // Round 0: every island draws and scores its own initial program.
+  RunAll([&](IslandState &S) {
+    telemetry::ProfileScope Span("synth.island");
+    S.P = randomProgram(Ctx, S.R);
+    S.Eval = evaluateProgramWith(S.P, *S.Cls, TrainSet,
+                                 Config.PerImageQueryCap, nullptr);
+    S.Score = S.Eval.score(Config.Beta);
+    S.Cumulative = S.Eval.TotalQueries;
+    S.Best = S.P;
+    S.BestEval = S.Eval;
+    S.BestScore = S.Score;
+    SynthQueries.inc(S.Eval.TotalQueries);
+  });
+
+  // First-wins argmax in island-index order: ties go to the lower index,
+  // so "the global best" is itself deterministic.
+  auto GlobalBest = [&]() -> const IslandState & {
+    const IslandState *B = &Islands.front();
+    for (const IslandState &S : Islands)
+      if (S.BestScore > B->BestScore)
+        B = &S;
+    return *B;
+  };
+  auto TotalQueries = [&]() {
+    uint64_t Sum = 0;
+    for (const IslandState &S : Islands)
+      Sum += S.Cumulative;
+    return Sum;
+  };
+
+  if (Trace)
+    Trace->push_back(SynthesisStep{0, true, GlobalBest().Best,
+                                   GlobalBest().BestEval.AvgQueries,
+                                   TotalQueries()});
+  if (telemetry::traceEnabled())
+    telemetry::traceEvent("synth_begin",
+                          {{"max_iter", Config.MaxIter},
+                           {"beta", Config.Beta},
+                           {"train_images", TrainSet.size()},
+                           {"islands", NumIslands},
+                           {"exchange_interval", Interval},
+                           {"init_avg_queries", GlobalBest().BestEval.AvgQueries},
+                           {"init_queries", TotalQueries()}});
+  logDebug() << "island synthesis init: islands=" << NumIslands
+             << " interval=" << Interval
+             << " bestAvgQ=" << GlobalBest().BestEval.AvgQueries;
+
+  telemetry::progressBegin("synth", Config.MaxIter);
+  size_t Done = 0;
+  while (Done < Config.MaxIter) {
+    const size_t Iters = std::min(Interval, Config.MaxIter - Done);
+    const double PrevBest = GlobalBest().BestScore;
+    RunAll([&](IslandState &S) {
+      runIslandRound(S, Ctx, Config, Done + 1, Iters, TrainSet, IterCounter,
+                     AcceptCounter, SynthQueries);
+    });
+    Done += Iters;
+
+    // Ring migration, in island-index order from a pre-round snapshot:
+    // island i receives island (i-1)'s elite and adopts it as its chain
+    // state iff it strictly beats the current score. No Rng is consumed,
+    // so exchanges never perturb the chains' random streams.
+    if (Done < Config.MaxIter && NumIslands > 1) {
+      struct EliteSnap {
+        Program P;
+        ProgramEval Eval;
+        double Score;
+      };
+      std::vector<EliteSnap> Snap;
+      Snap.reserve(NumIslands);
+      for (const IslandState &S : Islands)
+        Snap.push_back(EliteSnap{S.Best, S.BestEval, S.BestScore});
+      for (size_t I = 0; I != NumIslands; ++I) {
+        const EliteSnap &In = Snap[(I + NumIslands - 1) % NumIslands];
+        IslandState &S = Islands[I];
+        if (In.Score > S.Score) {
+          S.P = In.P;
+          S.Eval = In.Eval;
+          S.Score = In.Score;
+        }
+        if (In.Score > S.BestScore) {
+          S.Best = In.P;
+          S.BestEval = In.Eval;
+          S.BestScore = In.Score;
+        }
+      }
+      ExchangeCounter.inc();
+      if (telemetry::traceEnabled())
+        telemetry::traceEvent("synth_exchange",
+                              {{"iter", Done},
+                               {"islands", NumIslands},
+                               {"best_score", GlobalBest().BestScore}});
+    }
+
+    const IslandState &B = GlobalBest();
+    if (Trace)
+      Trace->push_back(SynthesisStep{Done, B.BestScore > PrevBest, B.Best,
+                                     B.BestEval.AvgQueries, TotalQueries()});
+    telemetry::progressSet(
+        Done,
+        B.BestEval.Attacks ? static_cast<double>(B.BestEval.Successes) /
+                                 static_cast<double>(B.BestEval.Attacks)
+                           : 0.0,
+        B.BestEval.AvgQueries);
+  }
+  telemetry::progressFinish();
+
+  if (Elites) {
+    Elites->clear();
+    for (const IslandState &S : Islands)
+      Elites->push_back(IslandElite{S.Best, S.BestEval, S.BestScore});
+  }
+
+  const IslandState &B = GlobalBest();
+  if (telemetry::traceEnabled())
+    telemetry::traceEvent("synth_end",
+                          {{"avg_queries", B.BestEval.AvgQueries},
+                           {"successes", B.BestEval.Successes},
+                           {"attacks", B.BestEval.Attacks},
+                           {"islands", NumIslands},
+                           {"cum_queries", TotalQueries()}});
+  logInfo() << "island synthesis done: islands=" << NumIslands
+            << " bestAvgQ=" << B.BestEval.AvgQueries << " over "
+            << B.BestEval.Successes << "/" << B.BestEval.Attacks
+            << " train images, total synthesis queries=" << TotalQueries();
+  if (B.BestScore <= 0.0) {
+    logWarn() << "island synthesis saw no successful training attack; "
+                 "returning the fixed-prioritization program";
+    return allFalseProgram();
+  }
+  return B.Best;
+}
+
 } // namespace
 
 ProgramEval oppsla::evaluateProgram(const Program &P, Classifier &N,
@@ -141,7 +431,10 @@ ProgramEval oppsla::evaluateProgram(const Program &P, Classifier &N,
 
 Program oppsla::synthesizeProgram(Classifier &N, const Dataset &TrainSet,
                                   const SynthesisConfig &Config,
-                                  std::vector<SynthesisStep> *Trace) {
+                                  std::vector<SynthesisStep> *Trace,
+                                  std::vector<IslandElite> *Elites) {
+  if (Config.Islands > 1)
+    return synthesizeIslands(N, TrainSet, Config, Trace, Elites);
   Rng R(Config.Seed);
   MutationContext Ctx;
   Ctx.ImageSide =
@@ -156,6 +449,7 @@ Program oppsla::synthesizeProgram(Classifier &N, const Dataset &TrainSet,
   double Score = Eval.score(Config.Beta);
   uint64_t Cumulative = Eval.TotalQueries;
   Program Best = P;
+  ProgramEval BestEval = Eval;
   double BestScore = Score;
   if (Trace)
     Trace->push_back(
@@ -207,6 +501,7 @@ Program oppsla::synthesizeProgram(Classifier &N, const Dataset &TrainSet,
     }
     if (CandScore > BestScore) {
       Best = Candidate;
+      BestEval = CandEval;
       BestScore = CandScore;
     }
     if (Trace)
@@ -245,6 +540,10 @@ Program oppsla::synthesizeProgram(Classifier &N, const Dataset &TrainSet,
   logInfo() << "synthesis done: avgQ=" << Eval.AvgQueries << " over "
             << Eval.Successes << "/" << Eval.Attacks
             << " train images, total synthesis queries=" << Cumulative;
+  if (Elites) {
+    Elites->clear();
+    Elites->push_back(IslandElite{Best, BestEval, BestScore});
+  }
   if (Config.ReturnBestSeen && BestScore <= 0.0) {
     // No candidate ever succeeded on the training set (e.g. a robust
     // class under a tight cap): the scores carry no signal, so prefer the

@@ -45,7 +45,24 @@ struct SynthesisConfig {
   /// per-image results are reduced in index order, so any thread count
   /// produces bit-identical programs. Requires a cloneable classifier;
   /// falls back to serial otherwise.
+  ///
+  /// With Islands > 1 the same budget buys island-parallelism instead:
+  /// up to min(Threads, Islands) chains run concurrently, each scoring
+  /// its candidates serially on its own classifier clone.
   size_t Threads = 1;
+  /// Number of independent MH chains ("islands") run for this synthesis.
+  /// Each island derives its own Rng stream from (Seed, island) via
+  /// SplitMix64 splitting, runs MaxIter iterations, and every
+  /// ExchangeInterval iterations the islands exchange elites on a ring in
+  /// deterministic index order — so the result is a pure function of
+  /// (Seed, Islands, ExchangeInterval) at ANY thread count. Islands == 1
+  /// is the paper's single chain, bit-identical to every earlier release.
+  /// Islands > 1 always returns the best elite seen across islands
+  /// (ReturnBestSeen semantics; the migration topology has no single
+  /// "last accepted" state).
+  size_t Islands = 1;
+  /// Island iterations between elite exchanges (ignored for Islands <= 1).
+  size_t ExchangeInterval = 25;
 };
 
 /// Aggregate result of running one program over a training set.
@@ -60,13 +77,26 @@ struct ProgramEval {
   double score(double Beta) const;
 };
 
-/// One entry of the synthesis trace: the state after an iteration.
+/// One entry of the synthesis trace: the state after an iteration. With
+/// Islands > 1 the trace is the *elite trajectory* instead: entry 0 is the
+/// best initial program across islands, then one entry per exchange round
+/// holding the global best elite, with Iteration counting per-island
+/// iterations and CumulativeQueries summed over all islands.
 struct SynthesisStep {
   size_t Iteration = 0;            ///< 0 = the initial random program
   bool Accepted = false;           ///< proposal accepted this iteration
   Program Current;                 ///< program held after the iteration
   double AvgQueries = 0.0;         ///< its training-set average queries
   uint64_t CumulativeQueries = 0;  ///< synthesis queries posed so far
+};
+
+/// The best program one island (or the single legacy chain) ever scored,
+/// with the training-set statistics behind its score — what the program
+/// store persists for attack-time portfolio selection.
+struct IslandElite {
+  Program P;
+  ProgramEval Eval;   ///< training-set stats of P
+  double Score = 0.0; ///< Eval.score(Beta), 0 when nothing succeeded
 };
 
 /// Runs program \p P over every (image, label) pair of \p TrainSet with a
@@ -79,10 +109,14 @@ ProgramEval evaluateProgram(const Program &P, Classifier &N,
                             size_t Threads = 1);
 
 /// OPPSLA: synthesizes a program for classifier \p N and training set
-/// \p TrainSet. If \p Trace is non-null every iteration is recorded.
+/// \p TrainSet. If \p Trace is non-null every iteration is recorded
+/// (every exchange round for Islands > 1). If \p Elites is non-null it
+/// receives each island's best-seen program and stats (a single entry for
+/// Islands <= 1) — the raw material the program store persists.
 Program synthesizeProgram(Classifier &N, const Dataset &TrainSet,
                           const SynthesisConfig &Config,
-                          std::vector<SynthesisStep> *Trace = nullptr);
+                          std::vector<SynthesisStep> *Trace = nullptr,
+                          std::vector<IslandElite> *Elites = nullptr);
 
 /// The Sketch+Random baseline (Appendix C): samples \p NumSamples random
 /// programs, evaluates each on the training set, and returns the one with

@@ -6,6 +6,8 @@
 
 #include "eval/Experiments.h"
 
+#include "engine/QueryEngine.h"
+#include "eval/ProgramStore.h"
 #include "support/Logging.h"
 
 #include <cstdio>
@@ -125,50 +127,109 @@ bool oppsla::loadProgram(Program &P, const std::string &Path) {
   return true;
 }
 
-namespace {
-
-std::string cacheDir() {
-  if (const char *Env = std::getenv("OPPSLA_CACHE_DIR"))
-    return Env;
-  return ".oppsla-cache";
+SynthesisConfig oppsla::classSynthesisConfig(const BenchScale &Scale,
+                                             size_t Label, uint64_t Seed,
+                                             const SynthesisRunOptions &Opts) {
+  SynthesisConfig Config;
+  Config.MaxIter = Scale.SynthIters;
+  Config.PerImageQueryCap = Scale.SynthQueryCap;
+  Config.Seed = Seed * 131071 + Label * 8191 + 5;
+  Config.Threads = Opts.Threads;
+  Config.Islands = Opts.Islands;
+  Config.ExchangeInterval = Opts.ExchangeInterval;
+  return Config;
 }
 
-} // namespace
+Program oppsla::synthesizeClassProgram(NNClassifier &Victim,
+                                       const std::string &VictimStem,
+                                       TaskKind Task, const BenchScale &Scale,
+                                       size_t Label, uint64_t Seed,
+                                       const SynthesisRunOptions &Opts) {
+  const SynthesisConfig Config =
+      classSynthesisConfig(Scale, Label, Seed, Opts);
+
+  ProgramStoreKey Key;
+  Key.VictimStem = VictimStem;
+  Key.Label = Label;
+  Key.MaxIter = Config.MaxIter;
+  Key.Beta = Config.Beta;
+  Key.QueryCap = Config.PerImageQueryCap;
+  Key.Seed = Config.Seed;
+  Key.Islands = Config.Islands;
+  Key.ExchangeInterval = Config.ExchangeInterval;
+  Key.TrainPerClass = Scale.TrainPerClass;
+
+  ProgramStore Store(Opts.StoreRoot);
+  if (Opts.UseStore) {
+    std::vector<StoredProgram> Portfolio;
+    if (Store.load(Key, Portfolio)) {
+      logInfo() << "rehydrated program for class " << Label
+                << " from store entry " << Store.entryPath(Key);
+      return selectFromPortfolio(Portfolio).P;
+    }
+  }
+
+  const Dataset Train = makeSynthesisSet(Task, Label, Scale, Seed);
+  logInfo() << "synthesizing program for " << Victim.name() << " class "
+            << Label << " (" << Train.size() << " train images, "
+            << Config.MaxIter << " iters, " << Config.Islands
+            << " island(s))";
+  // Candidate scoring goes through a batching, memoizing engine whose
+  // cache is shared across the island clones: re-probes of the same
+  // training images across candidates (and islands) hit instead of
+  // re-running forwards. The engine-invariance contract keeps the
+  // synthesized program byte-identical to the unwrapped run, so the store
+  // key need not mention the engine at all.
+  QueryEngineConfig EngineConfig;
+  EngineConfig.ShareCacheOnClone = true;
+  QueryEngine Engine(Victim, EngineConfig);
+  std::vector<IslandElite> Elites;
+  const Program P =
+      synthesizeProgram(Engine, Train, Config, /*Trace=*/nullptr, &Elites);
+
+  if (Opts.UseStore) {
+    // Entry 0 is the program this run returned; its stats come from the
+    // matching elite (zeros for the no-success fallback program, which
+    // keeps portfolio selection landing back on it). Entries 1.. are
+    // every island's elite — the attack-time portfolio.
+    std::vector<StoredProgram> Portfolio;
+    StoredProgram Selected;
+    Selected.P = P;
+    const std::string PText = programToStoreText(P);
+    for (const IslandElite &E : Elites)
+      if (programToStoreText(E.P) == PText) {
+        Selected.AvgQueries = E.Eval.AvgQueries;
+        Selected.Successes = E.Eval.Successes;
+        Selected.Attacks = E.Eval.Attacks;
+        break;
+      }
+    Portfolio.push_back(Selected);
+    for (const IslandElite &E : Elites)
+      Portfolio.push_back(StoredProgram{E.P, E.Eval.AvgQueries,
+                                        E.Eval.Successes, E.Eval.Attacks});
+    if (!Store.save(Key, Portfolio))
+      logWarn() << "failed to persist program to store entry "
+                << Store.entryPath(Key);
+  }
+  return P;
+}
+
+std::vector<Program> oppsla::synthesizeClassPrograms(
+    NNClassifier &Victim, const std::string &VictimStem, TaskKind Task,
+    const BenchScale &Scale, uint64_t Seed, const SynthesisRunOptions &Opts) {
+  std::vector<Program> Programs;
+  Programs.reserve(Scale.NumClasses);
+  for (size_t Label = 0; Label != Scale.NumClasses; ++Label)
+    Programs.push_back(
+        synthesizeClassProgram(Victim, VictimStem, Task, Scale, Label, Seed,
+                               Opts));
+  return Programs;
+}
 
 std::vector<Program> oppsla::synthesizeClassPrograms(
     NNClassifier &Victim, const std::string &VictimStem, TaskKind Task,
     const BenchScale &Scale, uint64_t Seed, size_t Threads) {
-  std::vector<Program> Programs;
-  Programs.reserve(Scale.NumClasses);
-
-  std::error_code EC;
-  std::filesystem::create_directories(cacheDir(), EC);
-
-  for (size_t Label = 0; Label != Scale.NumClasses; ++Label) {
-    std::ostringstream Key;
-    Key << cacheDir() << "/prog_" << VictimStem << "_cls" << Label << "_i"
-        << Scale.SynthIters << "_t" << Scale.TrainPerClass << "_s" << Seed
-        << ".txt";
-    Program P;
-    if (loadProgram(P, Key.str())) {
-      logInfo() << "loaded cached program for class " << Label << " from "
-                << Key.str();
-      Programs.push_back(P);
-      continue;
-    }
-    const Dataset Train = makeSynthesisSet(Task, Label, Scale, Seed);
-    SynthesisConfig Config;
-    Config.MaxIter = Scale.SynthIters;
-    Config.PerImageQueryCap = Scale.SynthQueryCap;
-    Config.Seed = Seed * 131071 + Label * 8191 + 5;
-    Config.Threads = Threads;
-    logInfo() << "synthesizing program for " << Victim.name() << " class "
-              << Label << " (" << Train.size() << " train images, "
-              << Config.MaxIter << " iters)";
-    P = synthesizeProgram(Victim, Train, Config);
-    if (!saveProgram(P, Key.str()))
-      logWarn() << "failed to cache program to " << Key.str();
-    Programs.push_back(P);
-  }
-  return Programs;
+  SynthesisRunOptions Opts;
+  Opts.Threads = Threads;
+  return synthesizeClassPrograms(Victim, VictimStem, Task, Scale, Seed, Opts);
 }

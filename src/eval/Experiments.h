@@ -55,12 +55,54 @@ Dataset makeTestSet(TaskKind Task, const BenchScale &Scale,
 Dataset makeSynthesisSet(TaskKind Task, size_t Label,
                          const BenchScale &Scale, uint64_t Seed = 1);
 
-/// Synthesizes one adversarial program per class for \p Victim (or loads
-/// them from the program cache). Returns Scale.NumClasses programs.
-/// The cache key includes \p VictimStem so programs synthesized for one
-/// classifier are never reused for another. \p Threads parallelizes
-/// candidate scoring (SynthesisConfig::Threads); the synthesized programs
-/// are identical for any thread count, so the cache key ignores it.
+/// How the synthesis phase runs: parallelism shape plus program-store
+/// policy. Shared by the CLI commands, the benches, and the serve job
+/// runner so they all spell the same knobs the same way.
+struct SynthesisRunOptions {
+  /// Worker threads (within-candidate scoring for Islands <= 1, across
+  /// islands otherwise). Never part of any cache key: the synthesized
+  /// programs are bit-identical at any thread count.
+  size_t Threads = 1;
+  size_t Islands = 1;          ///< SynthesisConfig::Islands
+  size_t ExchangeInterval = 25; ///< SynthesisConfig::ExchangeInterval
+  /// Rehydrate from / persist to the content-addressed program store.
+  bool UseStore = true;
+  /// Store directory; empty = ProgramStore::defaultRoot().
+  std::string StoreRoot;
+};
+
+/// The per-class synthesis configuration every consumer agrees on (and
+/// the source of truth for the program-store key): MaxIter/cap from the
+/// scale, a per-class seed derived from \p Seed, parallelism and island
+/// shape from \p Opts.
+SynthesisConfig classSynthesisConfig(const BenchScale &Scale, size_t Label,
+                                     uint64_t Seed,
+                                     const SynthesisRunOptions &Opts);
+
+/// Synthesizes the adversarial program for one (victim, class) — or
+/// rehydrates it from the program store, where the winning elites of a
+/// previous run are kept under a key covering everything the result is a
+/// function of (DSL version, victim stem, class, synthesis config).
+/// Candidate scoring is routed through a batched, cache-sharing
+/// QueryEngine around \p Victim; by the engine-invariance contract this
+/// never changes a result byte, only the physical forward count.
+Program synthesizeClassProgram(NNClassifier &Victim,
+                               const std::string &VictimStem, TaskKind Task,
+                               const BenchScale &Scale, size_t Label,
+                               uint64_t Seed,
+                               const SynthesisRunOptions &Opts);
+
+/// synthesizeClassProgram for every class; returns Scale.NumClasses
+/// programs. The store key includes \p VictimStem so programs synthesized
+/// for one classifier are never reused for another.
+std::vector<Program> synthesizeClassPrograms(NNClassifier &Victim,
+                                             const std::string &VictimStem,
+                                             TaskKind Task,
+                                             const BenchScale &Scale,
+                                             uint64_t Seed,
+                                             const SynthesisRunOptions &Opts);
+
+/// Back-compat shim for the pre-island call sites.
 std::vector<Program> synthesizeClassPrograms(NNClassifier &Victim,
                                              const std::string &VictimStem,
                                              TaskKind Task,

@@ -8,6 +8,7 @@
 
 #include "nn/Init.h"
 #include "support/Rng.h"
+#include "tensor/Gemm.h"
 #include "tensor/TensorOps.h"
 
 using namespace oppsla;
@@ -34,6 +35,25 @@ Tensor Linear::forward(const Tensor &In, bool Train) {
     CachedIn = In2d;
 
   Tensor Out({N, OutF});
+  if (!Train && !kernels::naive()) {
+    // Fast inference: packed GEMM with the bias folded into the tile
+    // store. With Plane == 1 the NCHW scatter degenerates to row-major
+    // {N, OutF}, exactly this layer's output layout. Both paths reduce k
+    // ascending through the same fma chain (fma is commutative in its
+    // first two arguments), so this is bit-identical to the naive path.
+    PackedWeight.resize(gemmPackedSize(OutF, InF));
+    gemmPackA(Weight.data(), OutF, InF, PackedWeight.data());
+    ScratchInT.resize(InF * N);
+    const float *InD = In2d.data();
+    for (size_t I = 0; I != N; ++I)
+      for (size_t K = 0; K != InF; ++K)
+        ScratchInT[K * N + I] = InD[I * InF + K];
+    GemmEpilogue Ep;
+    Ep.Bias = Bias.data();
+    gemmPackedConvOut(PackedWeight.data(), ScratchInT.data(), Out.data(),
+                      /*M=*/OutF, /*K=*/InF, /*NB=*/N, /*Plane=*/1, Ep);
+    return Out;
+  }
   matmulTransposedB(In2d, Weight, Out);
   for (size_t I = 0; I != N; ++I) {
     float *Row = Out.data() + I * OutF;

@@ -9,6 +9,8 @@
 
 #include "nn/Layer.h"
 
+#include <vector>
+
 namespace oppsla {
 
 class Rng;
@@ -35,6 +37,10 @@ private:
   Tensor Weight, WeightGrad; ///< {OutF, InF}
   Tensor Bias, BiasGrad;     ///< {OutF}
   Tensor CachedIn;           ///< {N, InF} from the last training forward
+  // Inference scratch for the packed-GEMM path: the tile-major weight
+  // pack and the {InF, N} input transpose. Reused across calls.
+  std::vector<float> PackedWeight;
+  std::vector<float> ScratchInT;
 };
 
 } // namespace oppsla

@@ -20,7 +20,7 @@
 #ifndef OPPSLA_SERVE_CHECKPOINT_H
 #define OPPSLA_SERVE_CHECKPOINT_H
 
-#include "serve/Wire.h"
+#include "wire/Wire.h"
 
 #include <cstdint>
 #include <string>
@@ -28,6 +28,16 @@
 
 namespace oppsla {
 namespace serve {
+
+// The OPWF wire format moved to src/wire so the offline program store can
+// share it; serve keeps its historical unqualified spellings.
+using wire::readWireFile;
+using wire::runsToJsonl;
+using wire::WireBuilder;
+using wire::WireContents;
+using wire::wireOutcomeName;
+using wire::WireRun;
+using wire::writeFileAtomic;
 
 /// `<dir>/job-<id>.ckpt` — in-progress state.
 std::string jobCheckpointPath(const std::string &Dir, uint64_t Id);

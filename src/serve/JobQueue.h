@@ -22,7 +22,7 @@
 #define OPPSLA_SERVE_JOBQUEUE_H
 
 #include "serve/JobTrace.h"
-#include "serve/Wire.h"
+#include "wire/Wire.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -36,6 +36,8 @@
 
 namespace oppsla {
 namespace serve {
+
+using wire::WireRun;
 
 /// What a job computes.
 enum class JobKind {

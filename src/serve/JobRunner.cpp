@@ -160,6 +160,25 @@ JobRunner::VictimEntry &JobRunner::victimEntry(const JobSpec &S) {
   return *E;
 }
 
+Program JobRunner::classProgram(VictimEntry &E, const JobSpec &S,
+                                size_t Label) {
+  const BenchScale Scale = BenchScale::preset(S.ScaleName);
+  const TaskKind Task = taskOfSpec(S);
+  const std::string Stem =
+      victimStem(Task, archFromName(S.ArchName), Scale, S.Seed);
+  std::lock_guard<std::mutex> Lock(E.Mu);
+  auto It = E.ProgramByClass.find(Label);
+  if (It != E.ProgramByClass.end())
+    return It->second;
+  SynthesisRunOptions Opts = Config.Synth;
+  Opts.Threads = std::max<size_t>(1, Config.Threads);
+  Program P =
+      synthesizeClassProgram(*E.Victim, Stem, Task, Scale, Label, S.Seed,
+                             Opts);
+  E.ProgramByClass.emplace(Label, P);
+  return P;
+}
+
 bool JobRunner::checkpointJob(Job &J, int64_t Shard) {
   const uint64_t Tok =
       J.Trace ? J.Trace->beginPhase("checkpoint", Shard) : 0;
@@ -268,8 +287,10 @@ void JobRunner::runJob(const std::shared_ptr<Job> &J) {
     VictimEntry &E = victimEntry(S);
 
     if (S.Kind == JobKind::Synth) {
-      // Synthesis is one atomic step through the program cache; no
-      // mid-job checkpointing.
+      // One class at a time: each class either rehydrates from the
+      // program store or fans its islands out, and Done ticks per class
+      // so /metrics shows live synthesis progress. No mid-job
+      // checkpointing — the store itself is the durable state.
       J->Total.store(Scale.NumClasses, std::memory_order_relaxed);
       setJobGauges(*J);
       if (T) {
@@ -277,16 +298,13 @@ void JobRunner::runJob(const std::shared_ptr<Job> &J) {
         TailTok = T->beginPhase("synth");
       }
       std::vector<Program> Programs;
-      {
-        std::lock_guard<std::mutex> Lock(E.Mu);
-        if (!E.ProgramsReady) {
-          E.Programs = synthesizeClassPrograms(
-              *E.Victim,
-              victimStem(Task, archFromName(S.ArchName), Scale, S.Seed),
-              Task, Scale, S.Seed, std::max<size_t>(1, Config.Threads));
-          E.ProgramsReady = true;
-        }
-        Programs = E.Programs;
+      for (size_t Label = 0; Label != Scale.NumClasses; ++Label) {
+        if (J->CancelRequested.load(std::memory_order_relaxed))
+          return Finish(JobState::Cancelled, "",
+                        static_cast<int64_t>(Label));
+        Programs.push_back(classProgram(E, S, Label));
+        J->Done.fetch_add(1, std::memory_order_relaxed);
+        setJobGauges(*J);
       }
       WireBuilder B;
       B.addJobSpecJson(jobSpecJson(S));
@@ -309,18 +327,17 @@ void JobRunner::runJob(const std::shared_ptr<Job> &J) {
                 : Test.size();
     J->Total.store(End - Begin, std::memory_order_relaxed);
 
+    std::vector<Program> EvalPrograms;
     const std::vector<Program> *Programs = nullptr;
     std::unique_ptr<Attack> BaselineAttack;
     if (S.Kind == JobKind::Eval) {
-      std::lock_guard<std::mutex> Lock(E.Mu);
-      if (!E.ProgramsReady) {
-        E.Programs = synthesizeClassPrograms(
-            *E.Victim,
-            victimStem(Task, archFromName(S.ArchName), Scale, S.Seed),
-            Task, Scale, S.Seed, std::max<size_t>(1, Config.Threads));
-        E.ProgramsReady = true;
+      for (size_t Label = 0; Label != Scale.NumClasses; ++Label) {
+        if (J->CancelRequested.load(std::memory_order_relaxed))
+          return Finish(JobState::Cancelled, "",
+                        static_cast<int64_t>(Label));
+        EvalPrograms.push_back(classProgram(E, S, Label));
       }
-      Programs = &E.Programs;
+      Programs = &EvalPrograms;
     } else {
       BaselineAttack = makeBaselineAttack(S.AttackName);
       if (!BaselineAttack)

@@ -51,6 +51,10 @@ struct JobRunnerConfig {
   size_t CheckpointEvery = 4;
   /// Per-job query engine settings; ShareCacheOnClone is forced on.
   QueryEngineConfig Engine;
+  /// Synthesis-phase shape for Synth/Eval jobs: island fan-out, exchange
+  /// cadence, and program-store policy. Threads is overridden per job
+  /// with the runner's sweep thread budget.
+  SynthesisRunOptions Synth;
   /// Crash-injection test hook: after this many images have been attacked
   /// (and their shard checkpointed) in this process, _exit(3) — the
   /// checkpoint/resume ctest uses it to kill the server at a
@@ -111,13 +115,18 @@ private:
     std::mutex Mu; ///< guards construction, synthesis, and master access
     std::unique_ptr<NNClassifier> Victim;
     std::unique_ptr<QueryEngine> Engine;
-    std::vector<Program> Programs;
-    bool ProgramsReady = false;
+    /// In-memory program cache, filled class by class (the durable copy
+    /// lives in the program store).
+    std::map<size_t, Program> ProgramByClass;
   };
 
   void workerLoop();
   void runJob(const std::shared_ptr<Job> &J);
   VictimEntry &victimEntry(const JobSpec &Spec);
+  /// The synthesized program for one class of \p Spec's victim: the
+  /// in-memory cache, then the program store, then an island synthesis
+  /// run — whichever answers first. Serialized per victim via E.Mu.
+  Program classProgram(VictimEntry &E, const JobSpec &Spec, size_t Label);
   bool checkpointJob(Job &J, int64_t Shard = -1);
 
   JobQueue &Queue;

@@ -1,10 +1,10 @@
-//===- serve/Wire.cpp - Compact binary artifact format ------------------------===//
+//===- wire/Wire.cpp - Compact binary artifact format -------------------------===//
 //
 // Part of the OPPSLA reproduction. MIT license.
 //
 //===----------------------------------------------------------------------===//
 
-#include "serve/Wire.h"
+#include "wire/Wire.h"
 
 #include <algorithm>
 #include <array>
@@ -14,7 +14,7 @@
 #include <sstream>
 
 using namespace oppsla;
-using namespace oppsla::serve;
+using namespace oppsla::wire;
 
 namespace {
 
@@ -83,7 +83,7 @@ std::string recordError(size_t RecordIdx, const std::string &What) {
 
 } // namespace
 
-uint32_t serve::crc32(const void *Data, size_t Len, uint32_t Seed) {
+uint32_t wire::crc32(const void *Data, size_t Len, uint32_t Seed) {
   const auto *P = static_cast<const unsigned char *>(Data);
   uint32_t C = Seed ^ 0xFFFFFFFFu;
   for (size_t I = 0; I != Len; ++I)
@@ -91,7 +91,7 @@ uint32_t serve::crc32(const void *Data, size_t Len, uint32_t Seed) {
   return C ^ 0xFFFFFFFFu;
 }
 
-const char *serve::wireOutcomeName(uint8_t Outcome) {
+const char *wire::wireOutcomeName(uint8_t Outcome) {
   switch (Outcome) {
   case 0:
     return "failure";
@@ -157,7 +157,7 @@ std::string WireBuilder::finish() const {
   return Out;
 }
 
-bool serve::parseWire(const std::string &Bytes, WireContents &Out,
+bool wire::parseWire(const std::string &Bytes, WireContents &Out,
                       std::string &Error) {
   if (Bytes.size() < WireHeaderBytes) {
     Error = "wire: short header — " + std::to_string(Bytes.size()) +
@@ -273,7 +273,7 @@ bool serve::parseWire(const std::string &Bytes, WireContents &Out,
   return true;
 }
 
-bool serve::readWireFile(const std::string &Path, WireContents &Out,
+bool wire::readWireFile(const std::string &Path, WireContents &Out,
                          std::string &Error) {
   std::ifstream In(Path, std::ios::binary);
   if (!In) {
@@ -293,7 +293,7 @@ bool serve::readWireFile(const std::string &Path, WireContents &Out,
   return true;
 }
 
-bool serve::writeFileAtomic(const std::string &Path,
+bool wire::writeFileAtomic(const std::string &Path,
                             const std::string &Bytes, std::string &Error) {
   const std::string Tmp = Path + ".tmp";
   {
@@ -318,7 +318,7 @@ bool serve::writeFileAtomic(const std::string &Path,
   return true;
 }
 
-std::string serve::runsToJsonl(std::vector<WireRun> Runs) {
+std::string wire::runsToJsonl(std::vector<WireRun> Runs) {
   std::sort(Runs.begin(), Runs.end(),
             [](const WireRun &A, const WireRun &B) {
               return A.Index < B.Index;

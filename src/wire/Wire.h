@@ -1,12 +1,14 @@
-//===- serve/Wire.h - Compact binary artifact format ------------*- C++ -*-===//
+//===- wire/Wire.h - Compact binary artifact format -------------*- C++ -*-===//
 //
 // Part of the OPPSLA reproduction. MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The versioned binary artifact format used by the serve subsystem for
-/// result downloads and checkpoints, replacing JSONL on the hot path.
+/// The versioned binary artifact format shared by the serve subsystem
+/// (result downloads, checkpoints) and the offline program store. It grew
+/// up inside src/serve; it lives in its own low-level library so eval-side
+/// code can read and write artifacts without linking the server.
 /// Layout (all integers little-endian, encoded byte-by-byte so the format
 /// is identical on any host):
 ///
@@ -38,8 +40,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef OPPSLA_SERVE_WIRE_H
-#define OPPSLA_SERVE_WIRE_H
+#ifndef OPPSLA_WIRE_WIRE_H
+#define OPPSLA_WIRE_WIRE_H
 
 #include "data/Image.h"
 
@@ -48,7 +50,7 @@
 #include <vector>
 
 namespace oppsla {
-namespace serve {
+namespace wire {
 
 /// Format constants, exposed for tests.
 constexpr uint32_t WireEndianMarker = 0x0A0B0C0D;
@@ -136,7 +138,7 @@ bool writeFileAtomic(const std::string &Path, const std::string &Bytes,
 /// exporter's positional numbering.
 std::string runsToJsonl(std::vector<WireRun> Runs);
 
-} // namespace serve
+} // namespace wire
 } // namespace oppsla
 
-#endif // OPPSLA_SERVE_WIRE_H
+#endif // OPPSLA_WIRE_WIRE_H

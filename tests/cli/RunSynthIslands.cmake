@@ -1,0 +1,74 @@
+# Runs `oppsla synthesize --synth-islands 4` twice against the same cached
+# victim — once with 4 worker threads and once with 1 — and byte-compares
+# the saved programs. This is the island determinism contract of
+# DESIGN.md §15: the synthesized program is a pure function of
+# (seed, islands, exchange interval), never of the thread count. Both
+# searches run live (--no-program-store), then a store-backed pair checks
+# that a warm store rehydrates the same bytes the search produced.
+# Inputs: CLI, WORK_DIR.
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(COMMON synthesize --scale smoke --class 0 --synth-islands 4
+  --exchange-interval 2)
+
+# Live search at two thread counts.
+foreach(T 4 1)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env OPPSLA_CACHE_DIR=${WORK_DIR}/cache
+      ${CLI} ${COMMON} --threads ${T} --no-program-store
+      --out ${WORK_DIR}/prog_t${T}.txt
+    OUTPUT_VARIABLE OUT
+    RESULT_VARIABLE RC)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR
+      "synthesize --threads ${T} failed with ${RC}: ${OUT}")
+  endif()
+endforeach()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+    ${WORK_DIR}/prog_t4.txt ${WORK_DIR}/prog_t1.txt
+  RESULT_VARIABLE DIFF)
+if(NOT DIFF EQUAL 0)
+  message(FATAL_ERROR
+    "island synthesis diverged across thread counts; the program must be "
+    "a pure function of (seed, islands, exchange interval) (compare "
+    "${WORK_DIR}/prog_t4.txt with ${WORK_DIR}/prog_t1.txt)")
+endif()
+
+# Store-backed pair: a cold run persists the portfolio, the warm rerun
+# must rehydrate (not re-search) and still save identical bytes.
+foreach(PASS cold warm)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E env OPPSLA_CACHE_DIR=${WORK_DIR}/cache
+      ${CLI} ${COMMON} --threads 1
+      --program-store ${WORK_DIR}/store
+      --out ${WORK_DIR}/prog_${PASS}.txt
+    OUTPUT_VARIABLE OUT
+    RESULT_VARIABLE RC)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR "synthesize (${PASS}) failed with ${RC}: ${OUT}")
+  endif()
+endforeach()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+    ${WORK_DIR}/prog_cold.txt ${WORK_DIR}/prog_warm.txt
+  RESULT_VARIABLE DIFF)
+if(NOT DIFF EQUAL 0)
+  message(FATAL_ERROR
+    "warm program-store rehydration differs from the cold search (compare "
+    "${WORK_DIR}/prog_cold.txt with ${WORK_DIR}/prog_warm.txt)")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+    ${WORK_DIR}/prog_cold.txt ${WORK_DIR}/prog_t1.txt
+  RESULT_VARIABLE DIFF)
+if(NOT DIFF EQUAL 0)
+  message(FATAL_ERROR
+    "store-backed synthesis differs from the live search under the same "
+    "config")
+endif()
+
+file(GLOB ENTRIES ${WORK_DIR}/store/*.opwf)
+list(LENGTH ENTRIES NUM_ENTRIES)
+if(NUM_ENTRIES EQUAL 0)
+  message(FATAL_ERROR "no .opwf entry appeared in ${WORK_DIR}/store")
+endif()

@@ -50,6 +50,32 @@ string(JSON DONE GET "${HEALTH}" done)
 string(JSON TOTAL GET "${HEALTH}" total)
 message(STATUS "scraped /healthz: ${DONE}/${TOTAL} done")
 
+# /logz: the ambient run trace context must stamp the offline eval path's
+# log records, so an operator can correlate live logs with the run's
+# trace id outside `oppsla serve`. The id is minted at CLI startup and
+# registered as the run_info trace_id label — recover it from /metrics and
+# require at least one ring record carrying it.
+if(NOT METRICS MATCHES "trace_id=\"([0-9a-f]+)\"")
+  message(FATAL_ERROR "run_info lacks a trace_id label: ${METRICS}")
+endif()
+set(TRACE_ID ${CMAKE_MATCH_1})
+set(LOGZ_OUT ${WORK_DIR}/scraped_logz.jsonl)
+file(DOWNLOAD http://127.0.0.1:${PORT}/logz?n=200 ${LOGZ_OUT}
+  STATUS DL_STATUS TIMEOUT 30)
+list(GET DL_STATUS 0 DL_RC)
+if(NOT DL_RC EQUAL 0)
+  message(FATAL_ERROR "GET /logz failed: ${DL_STATUS}")
+endif()
+file(READ ${LOGZ_OUT} LOGZ)
+if(NOT LOGZ MATCHES "\"msg\":")
+  message(FATAL_ERROR "/logz returned no log records: ${LOGZ}")
+endif()
+if(NOT LOGZ MATCHES "\"trace\":\"${TRACE_ID}\"")
+  message(FATAL_ERROR
+    "no /logz record is stamped with the run trace id ${TRACE_ID}: ${LOGZ}")
+endif()
+message(STATUS "scraped /logz: records stamped with trace ${TRACE_ID}")
+
 # Release the CLI's --stats-linger wait.
 file(DOWNLOAD http://127.0.0.1:${PORT}/quitquitquit ${WORK_DIR}/quit.txt
   STATUS DL_STATUS TIMEOUT 30)

@@ -147,6 +147,138 @@ TEST(Synthesizer, ImprovesOverInitialProgramOnAverage) {
       << "MH should not drift far above the starting point";
 }
 
+namespace {
+
+bool samePrograms(const Program &A, const Program &B) {
+  for (size_t I = 0; I != 4; ++I)
+    if (A.Conds[I].Func != B.Conds[I].Func ||
+        A.Conds[I].Source != B.Conds[I].Source ||
+        A.Conds[I].Cmp != B.Conds[I].Cmp ||
+        A.Conds[I].Threshold != B.Conds[I].Threshold)
+      return false;
+  return true;
+}
+
+} // namespace
+
+TEST(IslandSynthesis, DeterministicAcrossThreadCounts) {
+  // The island result is a pure function of (Seed, Islands,
+  // ExchangeInterval): islands evaluate serially on their own clone and
+  // exchanges consume no randomness, so the thread count can never leak
+  // into a program byte.
+  const Dataset Train = tinyTrainSet(3, 4);
+  SynthesisConfig Config;
+  Config.MaxIter = 10;
+  Config.PerImageQueryCap = 128;
+  Config.Seed = 17;
+  Config.Islands = 4;
+  Config.ExchangeInterval = 3;
+
+  FakeClassifier N1 = offCenterVulnerable(2, 1);
+  Config.Threads = 4;
+  std::vector<IslandElite> E1;
+  const Program A = synthesizeProgram(N1, Train, Config, nullptr, &E1);
+
+  FakeClassifier N2 = offCenterVulnerable(2, 1);
+  Config.Threads = 1;
+  std::vector<IslandElite> E2;
+  const Program B = synthesizeProgram(N2, Train, Config, nullptr, &E2);
+
+  EXPECT_TRUE(samePrograms(A, B));
+  ASSERT_EQ(E1.size(), 4u);
+  ASSERT_EQ(E2.size(), 4u);
+  for (size_t I = 0; I != 4; ++I) {
+    EXPECT_TRUE(samePrograms(E1[I].P, E2[I].P)) << "island " << I;
+    EXPECT_DOUBLE_EQ(E1[I].Score, E2[I].Score) << "island " << I;
+    EXPECT_DOUBLE_EQ(E1[I].Eval.AvgQueries, E2[I].Eval.AvgQueries);
+  }
+}
+
+TEST(IslandSynthesis, EliteExchangeDeterministicAndBestReturned) {
+  // Two identical runs agree byte for byte, the elite vector has one
+  // entry per island, and the returned program is the first-wins argmax
+  // over the island elites (best-seen semantics).
+  const Dataset Train = tinyTrainSet(2, 4);
+  SynthesisConfig Config;
+  Config.MaxIter = 9;
+  Config.PerImageQueryCap = 200;
+  Config.Seed = 23;
+  Config.Islands = 3;
+  Config.ExchangeInterval = 2;
+
+  FakeClassifier N1 = offCenterVulnerable(1, 2);
+  std::vector<IslandElite> E1;
+  const Program A = synthesizeProgram(N1, Train, Config, nullptr, &E1);
+  FakeClassifier N2 = offCenterVulnerable(1, 2);
+  std::vector<IslandElite> E2;
+  const Program B = synthesizeProgram(N2, Train, Config, nullptr, &E2);
+
+  EXPECT_TRUE(samePrograms(A, B));
+  ASSERT_EQ(E1.size(), 3u);
+  size_t BestIdx = 0;
+  for (size_t I = 1; I != E1.size(); ++I)
+    if (E1[I].Score > E1[BestIdx].Score)
+      BestIdx = I;
+  EXPECT_TRUE(samePrograms(A, E1[BestIdx].P))
+      << "returned program must be the best island elite";
+  for (size_t I = 0; I != E1.size(); ++I)
+    EXPECT_LE(E1[I].Score, E1[BestIdx].Score);
+}
+
+TEST(IslandSynthesis, TraceRecordsEliteTrajectoryPerRound) {
+  // Islands > 1 traces the elite trajectory: step 0 is the best initial
+  // program, then one step per exchange round with cumulative queries
+  // summed across islands, non-decreasing.
+  const Dataset Train = tinyTrainSet(2, 4);
+  SynthesisConfig Config;
+  Config.MaxIter = 10;
+  Config.PerImageQueryCap = 128;
+  Config.Seed = 5;
+  Config.Islands = 2;
+  Config.ExchangeInterval = 4;
+  FakeClassifier N = offCenterVulnerable(0, 1);
+  std::vector<SynthesisStep> Trace;
+  synthesizeProgram(N, Train, Config, &Trace);
+  // Rounds: ceil(10 / 4) = 3, plus the initial step.
+  ASSERT_EQ(Trace.size(), 4u);
+  EXPECT_EQ(Trace.front().Iteration, 0u);
+  EXPECT_TRUE(Trace.front().Accepted);
+  EXPECT_EQ(Trace.back().Iteration, 10u);
+  uint64_t Prev = 0;
+  for (const SynthesisStep &Step : Trace) {
+    EXPECT_GE(Step.CumulativeQueries, Prev);
+    Prev = Step.CumulativeQueries;
+  }
+}
+
+TEST(IslandSynthesis, SingleIslandKeepsLegacyChain) {
+  // Islands == 1 must stay byte-identical to the pre-island synthesizer:
+  // same trace shape, same program as a default-config run.
+  const Dataset Train = tinyTrainSet(2, 4);
+  SynthesisConfig Legacy;
+  Legacy.MaxIter = 6;
+  Legacy.PerImageQueryCap = 128;
+  Legacy.Seed = 29;
+  SynthesisConfig OneIsland = Legacy;
+  OneIsland.Islands = 1;
+  OneIsland.ExchangeInterval = 2; // ignored on the legacy chain
+
+  FakeClassifier N1 = offCenterVulnerable(3, 0);
+  std::vector<SynthesisStep> T1;
+  const Program A = synthesizeProgram(N1, Train, Legacy, &T1);
+  FakeClassifier N2 = offCenterVulnerable(3, 0);
+  std::vector<SynthesisStep> T2;
+  const Program B = synthesizeProgram(N2, Train, OneIsland, &T2);
+
+  EXPECT_TRUE(samePrograms(A, B));
+  ASSERT_EQ(T1.size(), T2.size());
+  ASSERT_EQ(T1.size(), 7u) << "initial program + MaxIter iterations";
+  for (size_t I = 0; I != T1.size(); ++I) {
+    EXPECT_EQ(T1[I].Accepted, T2[I].Accepted);
+    EXPECT_EQ(T1[I].CumulativeQueries, T2[I].CumulativeQueries);
+  }
+}
+
 TEST(RandomSearchProgram, ReturnsBestOfSamples) {
   FakeClassifier N = offCenterVulnerable(1, 2);
   const Dataset Train = tinyTrainSet(3, 4);

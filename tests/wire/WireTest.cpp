@@ -1,10 +1,10 @@
-//===- tests/serve/WireTest.cpp - Binary wire format tests --------------------===//
+//===- tests/wire/WireTest.cpp - Binary wire format tests ---------------------===//
 //
 // Part of the OPPSLA reproduction. MIT license.
 //
 //===----------------------------------------------------------------------===//
 //
-// Round-trips the serve wire format and then attacks it: truncation at
+// Round-trips the OPWF wire format and then attacks it: truncation at
 // every byte boundary, a flipped CRC, a wrong magic, a wrong endianness
 // marker, an unsupported version, trailing garbage, and a run record with
 // a bogus payload length. Every corruption must fail loudly with a
@@ -12,7 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "serve/Wire.h"
+#include "wire/Wire.h"
 
 #include "TestUtil.h"
 #include <gtest/gtest.h>
@@ -22,7 +22,7 @@
 #include <vector>
 
 using namespace oppsla;
-using namespace oppsla::serve;
+using namespace oppsla::wire;
 using test::randomImage;
 
 namespace {
@@ -54,8 +54,8 @@ std::string record(uint32_t Type, const std::string &Payload) {
   putU32(Head, Type);
   putU32(Head, static_cast<uint32_t>(Payload.size()));
   std::string Out = Head + Payload;
-  putU32(Out, serve::crc32(Payload.data(), Payload.size(),
-                           serve::crc32(Head.data(), Head.size())));
+  putU32(Out, wire::crc32(Payload.data(), Payload.size(),
+                           wire::crc32(Head.data(), Head.size())));
   return Out;
 }
 
@@ -100,10 +100,10 @@ void expectRejects(const std::string &Bytes, const std::string &Needle) {
 TEST(Wire, Crc32KnownAnswer) {
   // The standard IEEE 802.3 check value for "123456789".
   const char *S = "123456789";
-  EXPECT_EQ(serve::crc32(S, 9), 0xCBF43926u);
+  EXPECT_EQ(wire::crc32(S, 9), 0xCBF43926u);
   // Seeded continuation equals one-shot over the concatenation.
-  EXPECT_EQ(serve::crc32(S + 4, 5, serve::crc32(S, 4)),
-            serve::crc32(S, 9));
+  EXPECT_EQ(wire::crc32(S + 4, 5, wire::crc32(S, 4)),
+            wire::crc32(S, 9));
 }
 
 TEST(Wire, RoundTripAllRecordTypes) {

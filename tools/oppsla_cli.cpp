@@ -39,7 +39,7 @@
 #include "serve/JobQueue.h"
 #include "serve/JobRunner.h"
 #include "serve/ServeServer.h"
-#include "serve/Wire.h"
+#include "wire/Wire.h"
 #include "support/ArgParse.h"
 #include "support/Http.h"
 #include "support/Json.h"
@@ -96,6 +96,14 @@ int usage() {
          "  kernels:        --naive-kernels (route conv/GEMM through the\n"
          "                  scalar reference loops; bit-identical to the\n"
          "                  default packed SGEMM, see DESIGN.md §12)\n"
+         "  synthesis:      --synth-islands N (parallel MH chains with\n"
+         "                  elite exchange; programs are identical for\n"
+         "                  any --threads)  --exchange-interval N\n"
+         "                  --program-store DIR (content-addressed cache\n"
+         "                  of synthesized programs; default\n"
+         "                  .oppsla-cache/programs)  --no-program-store\n"
+         "  tracing:        --traceparent 00-..-..-01 (adopt a W3C trace\n"
+         "                  context for this run; minted when absent)\n"
          "run with a subcommand for its specific options (see tool header)\n";
   return 2;
 }
@@ -126,6 +134,23 @@ QueryEngineConfig engineConfigFromArgs(const ArgParse &Args) {
   Config.Threads = static_cast<size_t>(
       std::max(1LL, Args.getInt("engine-threads", 1)));
   return Config;
+}
+
+/// Shared `--synth-islands` / `--exchange-interval` / `--program-store` /
+/// `--no-program-store` wiring for every command that synthesizes.
+/// Islands and the exchange cadence are part of the result (and of the
+/// store key); threads and the store are not — any thread count and a warm
+/// or cold store yield byte-identical programs.
+SynthesisRunOptions synthesisOptionsFromArgs(const ArgParse &Args) {
+  SynthesisRunOptions Opts;
+  Opts.Threads = threadCountFromArgs(Args);
+  Opts.Islands = static_cast<size_t>(
+      std::max(1LL, Args.getInt("synth-islands", 1)));
+  Opts.ExchangeInterval = static_cast<size_t>(
+      std::max(1LL, Args.getInt("exchange-interval", 25)));
+  Opts.UseStore = !Args.getFlag("no-program-store");
+  Opts.StoreRoot = Args.get("program-store", "");
+  return Opts;
 }
 
 /// Prints the span profiler's call-tree (indented under \p Indent) when
@@ -161,24 +186,38 @@ int cmdTrain(const ArgParse &Args) {
 }
 
 int cmdSynthesize(const ArgParse &Args) {
-  const BenchScale Scale = BenchScale::preset(Args.get("scale", "small"));
+  BenchScale Scale = BenchScale::preset(Args.get("scale", "small"));
+  // --iters overrides the scale's iteration budget; it feeds the store key
+  // through Scale, so custom-budget programs never alias preset ones.
+  Scale.SynthIters = static_cast<size_t>(std::max(
+      0LL,
+      Args.getInt("iters", static_cast<long long>(Scale.SynthIters))));
   const TaskKind Task = taskOf(Args);
   const auto Label = static_cast<size_t>(Args.getInt("class", 0));
-  auto Victim = makeScaledVictim(Task, archOf(Args), Scale);
+  const auto Seed =
+      static_cast<uint64_t>(std::max(0LL, Args.getInt("seed", 1)));
+  auto Victim = makeScaledVictim(Task, archOf(Args), Scale, Seed);
+  const SynthesisRunOptions Opts = synthesisOptionsFromArgs(Args);
 
-  SynthesisConfig Config;
-  Config.MaxIter = static_cast<size_t>(
-      Args.getInt("iters", static_cast<long long>(Scale.SynthIters)));
-  Config.PerImageQueryCap = Scale.SynthQueryCap;
-  Config.Threads = threadCountFromArgs(Args);
-  const Dataset Train = makeSynthesisSet(Task, Label, Scale);
   std::vector<SynthesisStep> Trace;
   const std::string TraceJsonl = Args.get("synth-trace-out", "");
   Program P;
   {
     telemetry::ProfileScope Root("cli.synth");
-    P = synthesizeProgram(*Victim, Train, Config,
-                          TraceJsonl.empty() ? nullptr : &Trace);
+    if (TraceJsonl.empty()) {
+      // The store-backed path `eval` and `serve` use: a warm store
+      // rehydrates instead of re-searching.
+      P = synthesizeClassProgram(*Victim,
+                                 victimStem(Task, archOf(Args), Scale, Seed),
+                                 Task, Scale, Label, Seed, Opts);
+    } else {
+      // A trace records a live search, so this path always runs the MH
+      // chains (same config and per-class seed as the store-backed path).
+      const SynthesisConfig Config =
+          classSynthesisConfig(Scale, Label, Seed, Opts);
+      const Dataset Train = makeSynthesisSet(Task, Label, Scale, Seed);
+      P = synthesizeProgram(*Victim, Train, Config, &Trace);
+    }
   }
   std::cout << P.str();
   printProfileReport("");
@@ -317,9 +356,11 @@ int cmdEval(const ArgParse &Args) {
     // `cli.eval` total covers the whole sweep (≈ the run's wall time).
     telemetry::ProfileScope Root("cli.eval");
     if (Kind == "oppsla") {
+      SynthesisRunOptions SynthOpts = synthesisOptionsFromArgs(Args);
+      SynthOpts.Threads = Threads;
       const std::vector<Program> Programs = synthesizeClassPrograms(
           *Victim, victimStem(Task, A, Scale, Seed), Task, Scale, Seed,
-          Threads);
+          SynthOpts);
       Logs = runProgramsOverSet(Programs, Engine, Test, Budget, Threads);
     } else if (Kind == "sparse-rs") {
       SparseRS Attack;
@@ -379,6 +420,7 @@ int cmdServe(const ArgParse &Args) {
   RunnerConfig.CheckpointEvery =
       static_cast<size_t>(std::max(1LL, Args.getInt("checkpoint-every", 4)));
   RunnerConfig.Engine = engineConfigFromArgs(Args);
+  RunnerConfig.Synth = synthesisOptionsFromArgs(Args);
   RunnerConfig.CrashAfterImages = static_cast<size_t>(
       std::max(0LL, Args.getInt("crash-after-images", 0)));
 
@@ -412,7 +454,7 @@ int cmdServe(const ArgParse &Args) {
           if (!J->Trace)
             continue;
           std::string E;
-          serve::writeFileAtomic(TraceDir + "/job-" +
+          wire::writeFileAtomic(TraceDir + "/job-" +
                                      std::to_string(J->Id) + ".trace.json",
                                  J->Trace->chromeTraceJson(), E);
         }
@@ -525,7 +567,7 @@ int clientResult(uint16_t Port, uint64_t Id, const std::string &OutPath) {
     std::cout << Resp.Body;
     return 0;
   }
-  if (!serve::writeFileAtomic(OutPath, Resp.Body, Error)) {
+  if (!wire::writeFileAtomic(OutPath, Resp.Body, Error)) {
     std::cerr << "error: " << Error << "\n";
     return 1;
   }
@@ -671,7 +713,7 @@ int cmdClient(const ArgParse &Args) {
       std::cout << Resp.Body << "\n";
       return 0;
     }
-    if (!serve::writeFileAtomic(Out, Resp.Body, Error)) {
+    if (!wire::writeFileAtomic(Out, Resp.Body, Error)) {
       std::cerr << "error: " << Error << "\n";
       return 1;
     }
@@ -700,9 +742,9 @@ int cmdWire(const ArgParse &Args) {
                  " [--dump-programs]\n";
     return 2;
   }
-  serve::WireContents C;
+  wire::WireContents C;
   std::string Error;
-  if (!serve::readWireFile(In, C, Error)) {
+  if (!wire::readWireFile(In, C, Error)) {
     std::cerr << "error: " << Error << "\n";
     return 1;
   }
@@ -717,7 +759,7 @@ int cmdWire(const ArgParse &Args) {
   const std::string RunsOut = Args.get("runs-out", "");
   if (!RunsOut.empty()) {
     std::ofstream OS(RunsOut, std::ios::binary | std::ios::trunc);
-    OS << serve::runsToJsonl(C.Runs);
+    OS << wire::runsToJsonl(C.Runs);
     if (!OS.good()) {
       std::cerr << "error: cannot write " << RunsOut << "\n";
       return 1;
@@ -742,6 +784,27 @@ int main(int argc, char **argv) {
     return 1;
   telemetry::setProgressEnabled(Args.getFlag("progress"));
   telemetry::setRunInfo("command", Cmd);
+
+  // Ambient run-level trace context: adopt --traceparent or mint one, so
+  // log-ring records and JSONL trace events carry a trace id on *offline*
+  // runs too — the stats server's /logz is correlatable without `oppsla
+  // serve` in the loop. Served jobs still open their own per-job scopes on
+  // top of this one.
+  const std::string GivenTraceparent = Args.get("traceparent", "");
+  telemetry::TraceContext RunCtx;
+  if (!GivenTraceparent.empty()) {
+    if (!telemetry::parseTraceparent(GivenTraceparent, RunCtx)) {
+      std::cerr << "error: malformed --traceparent '" << GivenTraceparent
+                << "'\n";
+      return 2;
+    }
+  } else {
+    RunCtx = telemetry::mintTraceContext();
+  }
+  telemetry::TraceContextScope RunTraceScope(RunCtx.TraceId);
+  telemetry::setRunInfo("trace_id", RunCtx.TraceId);
+  if (Args.has("stats-port") || !GivenTraceparent.empty())
+    std::cerr << "trace-id: " << RunCtx.TraceId << "\n";
 
   // Live introspection: --stats-port 0 picks a free port; the bound port
   // can be written to a file so scrapers do not have to guess.
